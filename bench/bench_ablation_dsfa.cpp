@@ -1,0 +1,147 @@
+// DSFA ablations (DESIGN.md D2/D3/D4): merge-bucket capacity (MBsize),
+// time/density thresholds (MtTh/MdTh), merge mode and idle dispatch —
+// their effect on end-to-end latency, merge behaviour, drops and the
+// accuracy proxy. The paper: "It is also important to choose an optimal
+// MBsize to achieve the best tradeoff between accuracy and performance"
+// and "both MtTh and MdTh needs to be tuned for each task individually".
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/e2e_accuracy.hpp"
+#include "core/pipeline.hpp"
+#include "events/density_profile.hpp"
+#include "sched/mapping.hpp"
+
+namespace eb = evedge::bench;
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace eh = evedge::hw;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace ss = evedge::sched;
+
+namespace {
+
+struct Setup {
+  eh::Platform platform = eh::xavier_agx();
+  en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kSpikeFlowNet,
+                        en::ZooConfig::full_scale());
+  ec::ActivationDensityProfile densities = ec::measure_activation_densities(
+      en::build_network(en::NetworkId::kSpikeFlowNet, eb::bench_scale()), 7);
+  ss::TaskMapping mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+  ee::EventStream stream = eb::make_davis_stream(
+      ee::DensityProfile::indoor_flying2(), 4'000'000, 21);
+
+  [[nodiscard]] ec::PipelineStats run(const ec::DsfaConfig& dsfa,
+                                      bool idle_dispatch,
+                                      double frame_rate) const {
+    ec::PipelineConfig cfg;
+    cfg.use_e2sf = true;
+    cfg.use_dsfa = true;
+    cfg.idle_dispatch = idle_dispatch;
+    cfg.dsfa = dsfa;
+    cfg.frame_rate_hz = frame_rate;
+    return ec::simulate_pipeline(stream, spec, mapping, platform, densities,
+                                 cfg);
+  }
+
+  /// Accuracy proxy at test scale for the same DSFA configuration.
+  [[nodiscard]] double accuracy_proxy(const ec::DsfaConfig& dsfa) const {
+    const auto small = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                         en::ZooConfig::test_scale());
+    const auto small_stream = eb::make_matched_stream(
+        small, ee::DensityProfile::indoor_flying1(), 500'000, 39);
+    ec::E2eAccuracyConfig cfg;
+    cfg.apply_dsfa = true;
+    cfg.dsfa = dsfa;
+    cfg.max_intervals = 3;
+    return ec::evaluate_e2e_accuracy(small, small_stream, cfg)
+        .measured_degradation;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Setup setup;
+  // Overloaded regime so merging decisions matter.
+  const double frame_rate = 30.0;
+
+  eb::print_header("DSFA ablation D3: merge bucket capacity (MBsize)");
+  std::printf("%-8s %-14s %-10s %-10s %-12s\n", "MBsize", "latency[us]",
+              "merge", "batches", "accuracy-dA");
+  eb::print_rule(60);
+  for (const std::size_t mbsize : {1u, 2u, 4u, 8u}) {
+    ec::DsfaConfig dsfa;
+    dsfa.merge_bucket_capacity = mbsize;
+    dsfa.event_buffer_size = 2 * mbsize;
+    const auto stats = setup.run(dsfa, true, frame_rate);
+    std::printf("%-8zu %-14.0f %-10.2f %-10zu %-12.4f\n", mbsize,
+                stats.mean_latency_us, stats.dsfa.mean_merge_factor(),
+                stats.inferences, setup.accuracy_proxy(dsfa));
+  }
+  std::printf(
+      "expected shape: larger buckets -> fewer inferences & lower latency "
+      "but higher accuracy degradation.\n");
+
+  eb::print_header("DSFA ablation D2a: max time delay threshold (MtTh)");
+  std::printf("%-12s %-14s %-10s %-14s\n", "MtTh[ms]", "latency[us]",
+              "merge", "time-closures");
+  eb::print_rule(56);
+  for (const double mtth : {2'000.0, 10'000.0, 40'000.0, 200'000.0}) {
+    ec::DsfaConfig dsfa;
+    dsfa.max_time_delay_us = mtth;
+    const auto stats = setup.run(dsfa, true, frame_rate);
+    std::printf("%-12.0f %-14.0f %-10.2f %-14zu\n", mtth / 1000.0,
+                stats.mean_latency_us, stats.dsfa.mean_merge_factor(),
+                stats.dsfa.time_threshold_closures);
+  }
+
+  eb::print_header("DSFA ablation D2b: max density change threshold (MdTh)");
+  std::printf("%-12s %-14s %-10s %-16s\n", "MdTh", "latency[us]", "merge",
+              "density-closures");
+  eb::print_rule(56);
+  for (const double mdth : {0.05, 0.25, 0.75, 5.0}) {
+    ec::DsfaConfig dsfa;
+    dsfa.max_density_change = mdth;
+    const auto stats = setup.run(dsfa, true, frame_rate);
+    std::printf("%-12.2f %-14.0f %-10.2f %-16zu\n", mdth,
+                stats.mean_latency_us, stats.dsfa.mean_merge_factor(),
+                stats.dsfa.density_threshold_closures);
+  }
+
+  eb::print_header("DSFA ablation: merge mode (cMode)");
+  std::printf("%-10s %-14s %-10s %-10s\n", "mode", "latency[us]", "merge",
+              "batch");
+  eb::print_rule(48);
+  const char* names[] = {"cAdd", "cAverage", "cBatch"};
+  for (const auto mode :
+       {evedge::sparse::MergeMode::kAdd, evedge::sparse::MergeMode::kAverage,
+        evedge::sparse::MergeMode::kBatch}) {
+    ec::DsfaConfig dsfa;
+    dsfa.merge_mode = mode;
+    const auto stats = setup.run(dsfa, true, frame_rate);
+    std::printf("%-10s %-14.0f %-10.2f %-10.2f\n",
+                names[static_cast<int>(mode)], stats.mean_latency_us,
+                stats.dsfa.mean_merge_factor(), stats.mean_batch);
+  }
+
+  eb::print_header("DSFA ablation D4: idle dispatch on/off");
+  std::printf("%-8s %-14s %-14s\n", "idle", "latency[us]", "staleness[us]");
+  eb::print_rule(40);
+  for (const bool idle : {true, false}) {
+    ec::DsfaConfig dsfa;
+    const auto stats = setup.run(dsfa, idle, 20.0);  // light load
+    std::printf("%-8s %-14.0f %-14.0f\n", idle ? "on" : "off",
+                stats.mean_latency_us, stats.mean_staleness_us);
+  }
+  std::printf(
+      "expected shape: idle dispatch cuts latency when the device has "
+      "headroom (paper section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Frame-construction ablation (paper §4.2 motivation): "Existing
+// approaches either construct event frames by statically counting events
+// or sampling events at a fixed rate without considering the hardware
+// processing capabilities ... resulting in a backlog of event frames
+// during periods of high activity."
+//
+// Three framing strategies feed the *identical* runtime over the same
+// bursty stream:
+//  - fixed-count accumulation  (a frame every N events),
+//  - fixed-time accumulation   (a frame every T microseconds),
+//  - E2SF + DSFA               (hardware-aware adaptive merging).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/e2sf.hpp"
+#include "core/pipeline.hpp"
+#include "events/density_profile.hpp"
+#include "sched/mapping.hpp"
+
+namespace eb = evedge::bench;
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace eh = evedge::hw;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace ss = evedge::sched;
+
+int main() {
+  eb::print_header(
+      "Framing ablation: static count / static time / DSFA "
+      "(SpikeFlowNet, bursty indoor_flying2-like stream)");
+
+  const auto platform = eh::xavier_agx();
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::full_scale());
+  const auto densities = ec::measure_activation_densities(
+      en::build_network(en::NetworkId::kSpikeFlowNet, eb::bench_scale()), 7);
+  const auto mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+  const auto stream = eb::make_davis_stream(
+      ee::DensityProfile::indoor_flying2(), 4'000'000, 21);
+
+  // Match mean frame rates: the stream averages ~`mean_rate` events/s;
+  // both static policies are tuned to ~150 frames/s at the mean so only
+  // their *burst* behaviour differs.
+  const double mean_rate = static_cast<double>(stream.size()) /
+                           (static_cast<double>(stream.duration()) / 1e6);
+  const auto count_frames =
+      ec::accumulate_by_count(stream,
+                              static_cast<std::size_t>(mean_rate / 150.0));
+  const auto time_frames = ec::accumulate_by_time(stream, 6'666);
+
+  ec::PipelineConfig cfg;
+  cfg.use_e2sf = true;
+  cfg.use_dsfa = false;
+  const auto count_stats = ec::simulate_frame_pipeline(
+      count_frames, spec, mapping, platform, densities, cfg);
+  const auto time_stats = ec::simulate_frame_pipeline(
+      time_frames, spec, mapping, platform, densities, cfg);
+
+  auto dsfa_cfg = cfg;
+  dsfa_cfg.use_dsfa = true;
+  dsfa_cfg.frame_rate_hz = 30.0;  // 30 Hz x 5 bins = 150 frames/s
+  const auto dsfa_stats = ec::simulate_pipeline(
+      stream, spec, mapping, platform, densities, dsfa_cfg);
+
+  std::printf("%-22s %-10s %-14s %-12s %-10s %-8s\n", "framing", "frames",
+              "latency[us]", "p95[us]", "dropped", "merge");
+  eb::print_rule(80);
+  std::printf("%-22s %-10zu %-14.0f %-12.0f %-10zu %-8s\n",
+              "static event count", count_stats.frames_generated,
+              count_stats.mean_latency_us, count_stats.p95_latency_us,
+              count_stats.frames_dropped, "-");
+  std::printf("%-22s %-10zu %-14.0f %-12.0f %-10zu %-8s\n",
+              "static fixed time", time_stats.frames_generated,
+              time_stats.mean_latency_us, time_stats.p95_latency_us,
+              time_stats.frames_dropped, "-");
+  std::printf("%-22s %-10zu %-14.0f %-12.0f %-10zu %-8.2f\n",
+              "E2SF + DSFA", dsfa_stats.frames_generated,
+              dsfa_stats.mean_latency_us, dsfa_stats.p95_latency_us,
+              dsfa_stats.frames_dropped,
+              dsfa_stats.dsfa.mean_merge_factor());
+  eb::print_rule(80);
+  std::printf(
+      "expected shape: both static policies backlog (high p95, drops) "
+      "during bursts; DSFA absorbs them by merging.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// NMP objective ablation (paper §4.3: "this procedure can be repeated to
+// optimize for other objectives such as energy as well"): the same
+// multi-task search run under latency, energy and energy-delay-product
+// objectives, showing the latency/energy frontier each lands on.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hw/profiler.hpp"
+#include "mapper/nmp.hpp"
+#include "quant/accuracy.hpp"
+
+namespace eb = evedge::bench;
+namespace eh = evedge::hw;
+namespace em = evedge::mapper;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace ss = evedge::sched;
+
+int main() {
+  eb::print_header("NMP objective ablation (all-ANN config)");
+  const auto platform = eh::xavier_agx();
+  const auto config = en::multi_task_all_ann();
+
+  std::vector<en::NetworkSpec> specs;
+  for (const auto id : config.networks) {
+    specs.push_back(en::build_network(id, en::ZooConfig::full_scale()));
+  }
+  const auto profiles = eh::profile_tasks(specs, platform);
+
+  std::vector<eq::AccuracyEvaluator> evaluators;
+  std::vector<eq::SensitivityModel> sensitivities;
+  for (const auto id : config.networks) {
+    const auto small = en::build_network(id, en::ZooConfig::test_scale());
+    evaluators.emplace_back(small, 7, eq::make_validation_set(small, 2, 21));
+    sensitivities.emplace_back(evaluators.back(), 1);
+  }
+  em::AccuracyFn accuracy = [&sensitivities](int task,
+                                             const ss::TaskMapping& m) {
+    eq::PrecisionMap p;
+    for (std::size_t n = 0; n < m.nodes.size(); ++n) {
+      if (m.nodes[n].pe >= 0) p[static_cast<int>(n)] = m.nodes[n].precision;
+    }
+    return sensitivities[static_cast<std::size_t>(task)].predict(p);
+  };
+
+  std::printf("%-22s %-14s %-12s %-14s\n", "objective", "latency[ms]",
+              "energy[mJ]", "EDP[mJ*ms]");
+  eb::print_rule(64);
+  const em::Objective objectives[] = {em::Objective::kLatency,
+                                      em::Objective::kEnergy,
+                                      em::Objective::kEnergyDelayProduct};
+  const char* names[] = {"latency (Eq. 2)", "energy",
+                         "energy-delay product"};
+  for (int i = 0; i < 3; ++i) {
+    em::NmpConfig cfg;
+    cfg.population = 24;
+    cfg.generations = 24;
+    cfg.objective = objectives[i];
+    cfg.seed = 29;
+    em::NetworkMapper mapper(specs, profiles, platform, accuracy, cfg);
+    const auto result = mapper.run();
+    const auto& s = result.best_schedule;
+    std::printf("%-22s %-14.2f %-12.1f %-14.1f\n", names[i],
+                s.max_task_latency_us / 1000.0, s.energy_mj,
+                s.energy_mj * s.max_task_latency_us / 1000.0);
+  }
+  eb::print_rule(64);
+  std::printf(
+      "expected shape: the energy objective trades latency for DLA/INT8 "
+      "placements; EDP sits between.\n");
+  return 0;
+}

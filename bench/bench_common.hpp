@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared helpers for the per-figure/table benchmark harnesses: MVSEC-like
+// stream construction at DAVIS346 geometry, formatted table printing and
+// the network/scale conventions used across experiments (see DESIGN.md
+// section 5 for the experiment index).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "events/density_profile.hpp"
+#include "events/event_stream.hpp"
+#include "events/event_synth.hpp"
+#include "nn/zoo.hpp"
+
+namespace evedge::bench {
+
+/// Mid-resolution functional scale used for activation-density and
+/// accuracy probes in benches (full-scale functional runs are too slow
+/// for a single-core harness; node ids match across scales).
+[[nodiscard]] inline nn::ZooConfig bench_scale() {
+  return nn::ZooConfig{64, 88, 16, 5};
+}
+
+/// MVSEC-like stream on the DAVIS346 sensor.
+[[nodiscard]] inline events::EventStream make_davis_stream(
+    const events::DensityProfile& profile, events::TimeUs duration_us,
+    std::uint64_t seed = 42) {
+  events::SynthConfig cfg;
+  cfg.geometry = events::davis346();
+  cfg.seed = seed;
+  return events::PoissonEventSynthesizer(profile, cfg)
+      .generate(0, duration_us);
+}
+
+/// Stream matching a network's input geometry (for functional accuracy).
+[[nodiscard]] inline events::EventStream make_matched_stream(
+    const nn::NetworkSpec& spec, const events::DensityProfile& profile,
+    events::TimeUs duration_us, std::uint64_t seed = 42) {
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  events::SynthConfig cfg;
+  cfg.geometry = events::SensorGeometry{shape.w, shape.h};
+  cfg.seed = seed;
+  return events::PoissonEventSynthesizer(profile, cfg)
+      .generate(0, duration_us);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Compact ASCII bar for series rendering.
+[[nodiscard]] inline std::string bar(double value, double max_value,
+                                     int width = 40) {
+  const int n = max_value > 0.0
+                    ? static_cast<int>(value / max_value * width + 0.5)
+                    : 0;
+  return std::string(static_cast<std::size_t>(std::max(0, n)), '#');
+}
+
+}  // namespace evedge::bench

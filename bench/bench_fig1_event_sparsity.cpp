@@ -1,0 +1,85 @@
+// Figure 1 reproduction: average percentage of events in an event frame
+// and the number of operations expended for processing those events —
+// Adaptive-SpikeNet on an MVSEC indoor_flying1-like sequence.
+//
+// The paper's point: event frames are mostly empty, yet dense fixed-size
+// GEMMs spend the full MAC budget regardless; the useful (event-driven)
+// fraction of the first-layer operations tracks the frame fill ratio.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/e2sf.hpp"
+#include "events/stats.hpp"
+#include "sparse/sparse_ops.hpp"
+
+namespace eb = evedge::bench;
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace en = evedge::nn;
+namespace es = evedge::sparse;
+
+int main() {
+  eb::print_header(
+      "Figure 1: event-frame fill ratio and expended operations "
+      "(Adaptive-SpikeNet, indoor_flying1-like)");
+
+  const auto stream = eb::make_davis_stream(
+      ee::DensityProfile::indoor_flying1(), 4'000'000);
+  const auto spec = en::build_network(en::NetworkId::kAdaptiveSpikeNet,
+                                      en::ZooConfig::full_scale());
+
+  // First spiking conv of Adaptive-SpikeNet at full scale.
+  const auto& first = spec.graph.node(1).spec;
+  es::DenseTensor weights(es::TensorShape{first.conv.out_channels,
+                                          first.conv.in_channels,
+                                          first.conv.kernel,
+                                          first.conv.kernel});
+  weights.fill_random(7);
+
+  const ec::Event2SparseFrame e2sf(stream.geometry(),
+                                   ec::E2sfConfig{spec.n_bins});
+  const auto clock = ee::FrameClock::uniform(
+      0, 33'333, 1 + static_cast<std::size_t>(stream.duration() / 33'333));
+  const auto intervals = e2sf.convert_stream(stream, clock);
+
+  std::printf("%-8s %-12s %-16s %-16s %-10s\n", "frame", "fill-%",
+              "dense-MACs", "event-MACs", "useful-%");
+  eb::print_rule();
+
+  double fill_sum = 0.0;
+  double useful_sum = 0.0;
+  std::size_t frames = 0;
+  std::size_t printed = 0;
+  for (const auto& bins : intervals) {
+    for (const auto& frame : bins) {
+      es::ConvWork work;
+      std::vector<es::CooChannel> channels{frame.positive(),
+                                           frame.negative()};
+      (void)es::sparse_conv2d(channels, weights, {}, first.conv, &work);
+      const double fill = frame.pixel_fill_ratio() * 100.0;
+      const double useful =
+          work.dense_macs > 0
+              ? 100.0 * static_cast<double>(work.sparse_macs) /
+                    static_cast<double>(work.dense_macs)
+              : 0.0;
+      fill_sum += fill;
+      useful_sum += useful;
+      ++frames;
+      if (printed < 20) {  // sample rows; summary below covers the rest
+        std::printf("%-8zu %-12.3f %-16zu %-16zu %-10.3f\n", frames, fill,
+                    work.dense_macs, work.sparse_macs, useful);
+        ++printed;
+      }
+    }
+  }
+  eb::print_rule();
+  std::printf(
+      "frames analysed: %zu | mean fill: %.3f%% | mean useful ops: %.3f%%\n",
+      frames, fill_sum / static_cast<double>(frames),
+      useful_sum / static_cast<double>(frames));
+  std::printf(
+      "paper's Fig. 1 shape: events occupy only a few %% of each frame "
+      "while dense execution always spends 100%% of the MACs.\n");
+  return 0;
+}

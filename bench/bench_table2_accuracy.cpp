@@ -1,0 +1,87 @@
+// Table 2 reproduction: task accuracy of the baseline vs Ev-Edge (DSFA
+// merging + NMP mixed precision) for every network. Pretrained weights
+// are unavailable, so absolute values are anchored to the paper's
+// baseline column and shifted by the degradation *measured* on the
+// functional networks (DESIGN.md section 2): the merged + quantized
+// pipeline output is compared against the FP32 unmerged reference on the
+// same synthetic event stream.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/e2e_accuracy.hpp"
+#include "core/runtime.hpp"
+#include "events/density_profile.hpp"
+
+namespace eb = evedge::bench;
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+
+int main() {
+  eb::print_header(
+      "Table 2: accuracy for single-task execution (baseline vs Ev-Edge)");
+  std::printf("%-20s %-12s %-10s %-10s %-12s %s\n", "network", "metric",
+              "baseline", "Ev-Edge", "paper", "direction");
+  eb::print_rule(84);
+
+  // Paper's Ev-Edge column for the reference line.
+  const auto paper_evedge = [](const std::string& name) {
+    if (name == "SpikeFlowNet") return 0.96;
+    if (name == "Fusion-FlowNet") return 0.79;
+    if (name == "Adaptive-SpikeNet") return 1.36;
+    if (name == "HALSIE") return 64.18;
+    if (name == "HidalgoDepth") return 0.63;
+    return 0.82;  // DOTIE
+  };
+
+  for (const auto id : en::table1_networks()) {
+    // NMP-searched per-layer precisions (accuracy-scale twin).
+    ec::EvEdgeOptions options;
+    options.nmp.population = 20;
+    options.nmp.generations = 20;
+    options.nmp.accuracy_threshold = 0.02;
+    options.nmp.seed = 3;
+    const ec::EvEdgeRuntime runtime(id, evedge::hw::xavier_agx(), options);
+
+    eq::PrecisionMap precisions;
+    const auto& mapping = runtime.mapping();
+    for (std::size_t n = 0; n < mapping.nodes.size(); ++n) {
+      if (mapping.nodes[n].pe >= 0) {
+        precisions[static_cast<int>(n)] = mapping.nodes[n].precision;
+      }
+    }
+
+    // Functional end-to-end accuracy at the reduced scale on a matched
+    // synthetic stream.
+    const auto spec = en::build_network(id, en::ZooConfig::test_scale());
+    const auto stream = eb::make_matched_stream(
+        spec, ee::DensityProfile::indoor_flying1(), 800'000, 33);
+
+    ec::E2eAccuracyConfig cfg;
+    cfg.apply_dsfa = spec.task != en::TaskKind::kSegmentation;
+    cfg.dsfa.merge_bucket_capacity = 2;
+    // Flow tasks merge with cAverage (per-timestep scale preserved);
+    // cAdd's temporal coarsening is too destructive for fully-spiking
+    // flow networks (paper: cMode is chosen per task).
+    if (spec.task == en::TaskKind::kOpticalFlow ||
+        spec.task == en::TaskKind::kDepth) {
+      cfg.dsfa.merge_mode = evedge::sparse::MergeMode::kAverage;
+    }
+    cfg.precisions = precisions;
+    cfg.max_intervals = 4;
+    const auto result = ec::evaluate_e2e_accuracy(spec, stream, cfg);
+
+    std::printf("%-20s %-12s %-10.2f %-10.2f %-12.2f %s\n",
+                spec.name.c_str(), result.metric_name,
+                result.baseline_metric, result.evedge_metric,
+                paper_evedge(spec.name),
+                result.lower_is_better ? "lower=better" : "higher=better");
+  }
+  eb::print_rule(84);
+  std::printf(
+      "baseline column is the paper's anchor; the Ev-Edge column shifts "
+      "it by the degradation measured on the functional pipeline.\n");
+  return 0;
+}

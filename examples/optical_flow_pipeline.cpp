@@ -1,0 +1,90 @@
+// Optical-flow scenario: the full sensing-to-inference data path on a
+// physically simulated scene.
+//
+//  - a textured scene translates with known ground-truth velocity;
+//  - the DVS pixel model (log-intensity threshold) emits events;
+//  - E2SF bins them into two-channel sparse frames (Eq. 1);
+//  - DSFA stages/merges the frames;
+//  - the functional SpikeFlowNet consumes them, and we report the data
+//    path statistics plus the end-to-end accuracy evaluation harness.
+//
+// Build & run:  ./build/examples/optical_flow_pipeline
+
+#include <cstdio>
+
+#include "core/dsfa.hpp"
+#include "core/e2e_accuracy.hpp"
+#include "core/e2sf.hpp"
+#include "events/scene.hpp"
+#include "nn/engine.hpp"
+#include "nn/zoo.hpp"
+
+using namespace evedge;
+
+int main() {
+  // --- Scene + DVS sensor: 60 px/s horizontal drift on a 44x32 array.
+  events::TexturedTranslationScene::Params scene_params;
+  scene_params.geometry = events::SensorGeometry{44, 32};
+  scene_params.vx_px_per_s = 60.0;
+  scene_params.vy_px_per_s = -15.0;
+  const events::TexturedTranslationScene scene(scene_params);
+  const events::EventStream stream = events::simulate_dvs(
+      scene, 0, 600'000, 2000.0, events::DvsConfig{});
+  std::printf("DVS produced %zu events (%.1f kev/s); ground-truth flow "
+              "(%.0f, %.0f) px/s\n",
+              stream.size(),
+              static_cast<double>(stream.size()) /
+                  (static_cast<double>(stream.duration()) / 1e3),
+              scene_params.vx_px_per_s, scene_params.vy_px_per_s);
+
+  // --- E2SF: one frame interval -> 5 sparse bins.
+  const core::Event2SparseFrame e2sf(stream.geometry(),
+                                     core::E2sfConfig{5});
+  const auto bins = e2sf.convert(stream.slice(0, 100'000), 0, 100'000);
+  std::printf("\nE2SF bins (interval 0-100 ms):\n");
+  for (const auto& bin : bins) {
+    std::printf("  bin %lld: %6lld events, %5zu nnz, fill %.2f%%\n",
+                static_cast<long long>(bin.bin_index),
+                static_cast<long long>(bin.source_events), bin.nnz(),
+                bin.pixel_fill_ratio() * 100.0);
+  }
+
+  // --- DSFA staging on the same bins.
+  core::DsfaConfig dsfa_cfg;
+  dsfa_cfg.merge_bucket_capacity = 2;
+  core::DynamicSparseFrameAggregator dsfa(dsfa_cfg);
+  for (const auto& bin : bins) dsfa.push(bin);
+  dsfa.dispatch_available();
+  while (auto batch = dsfa.take_ready_batch()) {
+    std::printf("DSFA batch: %zu merged buckets (mean merge %.2f)\n",
+                batch->size(), dsfa.stats().mean_merge_factor());
+  }
+
+  // --- Functional inference on the binned events.
+  auto zoo_cfg = nn::ZooConfig::test_scale();
+  zoo_cfg.height = 32;
+  zoo_cfg.width = 44;
+  const auto spec = nn::build_network(nn::NetworkId::kSpikeFlowNet, zoo_cfg);
+  nn::FunctionalNetwork net(spec, 7);
+  std::vector<sparse::DenseTensor> steps;
+  for (const auto& bin : bins) steps.push_back(bin.to_dense());
+  const auto flow = net.run(steps);
+  std::printf("\nSpikeFlowNet output: flow field [%d x %d x %d], spiking "
+              "activity %.1f%%\n",
+              flow.shape().c, flow.shape().h, flow.shape().w,
+              net.network_firing_rate() * 100.0);
+
+  // --- End-to-end accuracy harness: DSFA merging vs unmerged reference.
+  core::E2eAccuracyConfig acc_cfg;
+  acc_cfg.apply_dsfa = true;
+  acc_cfg.dsfa = dsfa_cfg;
+  acc_cfg.dsfa.merge_mode = sparse::MergeMode::kAverage;
+  acc_cfg.max_intervals = 3;
+  const auto acc = core::evaluate_e2e_accuracy(spec, stream, acc_cfg);
+  std::printf(
+      "accuracy (Table 2 style): baseline %s %.2f -> Ev-Edge %.2f "
+      "(measured degradation %.4f)\n",
+      acc.metric_name, acc.baseline_metric, acc.evedge_metric,
+      acc.measured_degradation);
+  return 0;
+}

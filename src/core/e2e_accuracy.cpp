@@ -1,0 +1,254 @@
+#include "core/e2e_accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/kernels.hpp"
+#include "quant/quantizer.hpp"
+
+namespace evedge::core {
+
+using sparse::DenseTensor;
+using sparse::SparseFrame;
+
+std::vector<SparseFrame> reslot_merged_frames(
+    const std::vector<SparseFrame>& bins, const DsfaConfig& config) {
+  // Replay the DSFA bucketing on this interval's bins in isolation: a
+  // buffer large enough to hold them all, one dispatch at the end.
+  DsfaConfig local = config;
+  local.event_buffer_size = bins.size() + 1;
+  local.inference_queue_capacity = bins.size() + 1;
+  DynamicSparseFrameAggregator dsfa(local);
+  for (const SparseFrame& bin : bins) dsfa.push(bin);
+  dsfa.dispatch_available();
+
+  std::vector<SparseFrame> slots;
+  for (const SparseFrame& bin : bins) {
+    SparseFrame empty(bin.height(), bin.width());
+    empty.t_start = bin.t_start;
+    empty.t_end = bin.t_end;
+    empty.bin_index = bin.bin_index;
+    slots.push_back(std::move(empty));
+  }
+
+  while (auto batch = dsfa.take_ready_batch()) {
+    for (const SparseFrame& merged : batch->frames) {
+      // Constituent slots: bins fully inside the merged time span
+      // (bucket constituents are contiguous in time).
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (bins[i].t_start >= merged.t_start &&
+            bins[i].t_end <= merged.t_end) {
+          members.push_back(i);
+        }
+      }
+      if (members.empty()) continue;
+      switch (config.merge_mode) {
+        case sparse::MergeMode::kAdd: {
+          // Temporal coarsening: the whole bucket lands in its first slot.
+          SparseFrame f = merged;
+          f.bin_index = bins[members.front()].bin_index;
+          slots[members.front()] = std::move(f);
+          break;
+        }
+        case sparse::MergeMode::kAverage:
+          for (const std::size_t m : members) {
+            SparseFrame f = merged;
+            f.bin_index = bins[m].bin_index;
+            slots[m] = std::move(f);
+          }
+          break;
+        case sparse::MergeMode::kBatch:
+          for (const std::size_t m : members) slots[m] = bins[m];
+          break;
+      }
+    }
+  }
+  return slots;
+}
+
+namespace {
+
+/// Builds the network input for one interval from per-bin sparse frames:
+/// SNN/hybrid nets take one 2-channel tensor per timestep; pure ANN nets
+/// (timesteps == 1) take all bins stacked as channels.
+[[nodiscard]] std::vector<DenseTensor> to_network_input(
+    const nn::NetworkSpec& spec, const std::vector<SparseFrame>& bins) {
+  std::vector<DenseTensor> steps;
+  if (spec.timesteps > 1) {
+    if (static_cast<int>(bins.size()) != spec.timesteps) {
+      throw std::invalid_argument("bin count != timesteps");
+    }
+    for (const SparseFrame& bin : bins) steps.push_back(bin.to_dense());
+    return steps;
+  }
+  // Stack bins as channels: [1, 2 * n_bins, H, W].
+  const int h = bins.front().height();
+  const int w = bins.front().width();
+  DenseTensor stacked(sparse::TensorShape{
+      1, 2 * static_cast<int>(bins.size()), h, w});
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    const DenseTensor d = bins[b].to_dense();
+    for (int c = 0; c < 2; ++c) {
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          stacked.at(0, static_cast<int>(2 * b) + c, y, x) =
+              d.at(0, c, y, x);
+        }
+      }
+    }
+  }
+  steps.push_back(std::move(stacked));
+  return steps;
+}
+
+}  // namespace
+
+E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
+                                        const events::EventStream& stream,
+                                        const E2eAccuracyConfig& config) {
+  if (config.max_intervals <= 0) {
+    throw std::invalid_argument("max_intervals must be > 0");
+  }
+  // The network's event input extent must match the sensor geometry.
+  const auto input_shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  if (input_shape.h != stream.geometry().height ||
+      input_shape.w != stream.geometry().width) {
+    throw std::invalid_argument(
+        "network input extent does not match stream geometry");
+  }
+
+  E2sfConfig e2sf_cfg = config.e2sf;
+  e2sf_cfg.n_bins = spec.n_bins;  // input representation is the network's
+  const Event2SparseFrame e2sf(stream.geometry(), e2sf_cfg);
+
+  const auto period_us = static_cast<events::TimeUs>(
+      std::llround(1e6 / config.frame_rate_hz));
+  const auto available = static_cast<std::size_t>(
+      (stream.t_end() - stream.t_begin()) / period_us);
+  const std::size_t n_intervals = std::min(
+      static_cast<std::size_t>(config.max_intervals), available);
+  if (n_intervals == 0) {
+    throw std::invalid_argument("stream shorter than one frame interval");
+  }
+  const events::FrameClock clock = events::FrameClock::uniform(
+      stream.t_begin(), period_us, n_intervals + 1);
+  const auto intervals = e2sf.convert_stream(stream, clock);
+
+  nn::FunctionalNetwork net(spec, config.weight_seed);
+  const bool needs_image = spec.graph.input_ids().size() > 1;
+  DenseTensor image;
+  if (needs_image) {
+    image = DenseTensor(
+        spec.graph.node(spec.graph.input_ids().back()).spec.out_shape);
+    image.fill_random(1234, 0.5f);
+    for (float& v : image.data()) v = std::abs(v);
+  }
+
+  // Pristine weights for restoration after the quantized runs.
+  std::vector<int> weight_nodes;
+  std::vector<DenseTensor> pristine;
+  for (const auto& node : spec.graph.nodes()) {
+    if (nn::is_weight_layer(node.spec.kind)) {
+      weight_nodes.push_back(node.id);
+      pristine.push_back(net.weights(node.id));
+    }
+  }
+
+  double degradation_sum = 0.0;
+  // Scale-free deviation for magnitude-dependent outputs: cosine
+  // dissimilarity between the output fields (random-weight outputs have
+  // arbitrary magnitude, so raw AEE units do not transfer to the paper's
+  // metric scale).
+  const auto cosine_dissimilarity = [](const DenseTensor& a,
+                                       const DenseTensor& b) {
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      dot += static_cast<double>(a.data()[i]) *
+             static_cast<double>(b.data()[i]);
+      na += static_cast<double>(a.data()[i]) *
+            static_cast<double>(a.data()[i]);
+      nb += static_cast<double>(b.data()[i]) *
+            static_cast<double>(b.data()[i]);
+    }
+    const double denom = std::sqrt(na) * std::sqrt(nb);
+    if (denom <= 1e-12) return 0.0;
+    return std::max(0.0, 1.0 - dot / denom);
+  };
+  for (const auto& bins : intervals) {
+    // Reference: unmerged, FP32.
+    const auto ref_steps = to_network_input(spec, bins);
+    const DenseTensor ref =
+        net.run(ref_steps, needs_image ? &image : nullptr);
+
+    // Ev-Edge: DSFA-merged slots, quantized per the precision map.
+    const auto merged_bins =
+        config.apply_dsfa ? reslot_merged_frames(bins, config.dsfa) : bins;
+    const auto merged_steps = to_network_input(spec, merged_bins);
+
+    for (std::size_t i = 0; i < weight_nodes.size(); ++i) {
+      const auto it = config.precisions.find(weight_nodes[i]);
+      if (it != config.precisions.end() &&
+          it->second != quant::Precision::kFp32) {
+        quant::fake_quantize(net.weights(weight_nodes[i]), it->second);
+      }
+    }
+    net.set_activation_hook(
+        [&config](int node_id, DenseTensor& activation) {
+          const auto it = config.precisions.find(node_id);
+          if (it != config.precisions.end() &&
+              it->second != quant::Precision::kFp32) {
+            quant::fake_quantize(activation, it->second);
+          }
+        });
+    const DenseTensor out =
+        net.run(merged_steps, needs_image ? &image : nullptr);
+    net.set_activation_hook(nullptr);
+    for (std::size_t i = 0; i < weight_nodes.size(); ++i) {
+      net.weights(weight_nodes[i]) = pristine[i];
+    }
+
+    double degradation = 0.0;
+    switch (spec.task) {
+      case nn::TaskKind::kOpticalFlow:
+        degradation = cosine_dissimilarity(out, ref);
+        break;
+      case nn::TaskKind::kDepth:
+        // Depth is a dense regression map like flow: use the same
+        // scale-free deviation (per-pixel relative error explodes on the
+        // near-zero reference depths a random-weight net emits).
+        degradation = cosine_dissimilarity(out, ref);
+        break;
+      default:
+        degradation = quant::metric_degradation(spec.task, out, ref);
+        break;
+    }
+    degradation_sum += degradation;
+  }
+  const double degradation =
+      degradation_sum / static_cast<double>(intervals.size());
+
+  const quant::PaperBaseline anchor =
+      quant::paper_baseline(spec.task, spec.name);
+  E2eAccuracyResult result;
+  result.baseline_metric = anchor.value;
+  result.metric_name = anchor.metric_name;
+  result.lower_is_better = anchor.lower_is_better;
+  result.measured_degradation = degradation;
+  if (anchor.lower_is_better) {
+    // Error metrics: the measured degradation is a relative fraction
+    // (flow normalized above; depth error is relative by definition),
+    // so it scales the anchor multiplicatively.
+    result.evedge_metric = anchor.value * (1.0 + degradation);
+  } else {
+    // Quality metrics (mIoU): degradation is a fraction lost.
+    result.evedge_metric = anchor.value * (1.0 - degradation);
+  }
+  return result;
+}
+
+}  // namespace evedge::core

@@ -1,0 +1,56 @@
+#pragma once
+
+// End-to-end accuracy evaluation (Table 2): how much the Ev-Edge
+// optimizations — DSFA merging (temporal-granularity loss) and NMP mixed
+// precision (quantization noise) — move each task's metric relative to
+// the unmerged FP32 reference on the same event data.
+//
+// Absolute metric values are anchored to the paper's Table 2 baseline
+// column (pretrained weights are unavailable; see DESIGN.md section 2):
+// we *measure* the degradation on the functional network and report
+// baseline (+/-) measured degradation in the paper's metric units.
+
+#include <cstdint>
+
+#include "core/dsfa.hpp"
+#include "core/e2sf.hpp"
+#include "events/event_stream.hpp"
+#include "nn/zoo.hpp"
+#include "quant/accuracy.hpp"
+
+namespace evedge::core {
+
+struct E2eAccuracyResult {
+  double baseline_metric = 0.0;       ///< paper Table 2 anchor
+  double evedge_metric = 0.0;         ///< anchor shifted by measurement
+  double measured_degradation = 0.0;  ///< metric_degradation units
+  const char* metric_name = "";
+  bool lower_is_better = true;
+};
+
+struct E2eAccuracyConfig {
+  E2sfConfig e2sf{};
+  DsfaConfig dsfa{};
+  bool apply_dsfa = true;
+  quant::PrecisionMap precisions;  ///< empty = all FP32
+  double frame_rate_hz = 30.0;
+  int max_intervals = 6;  ///< evaluation windows (validation subset)
+  std::uint64_t weight_seed = 7;
+};
+
+/// Runs the functional network on E2SF frames from `stream`, unmerged
+/// FP32 (reference) vs DSFA-merged + quantized (Ev-Edge), and reports the
+/// metric shift anchored to Table 2.
+[[nodiscard]] E2eAccuracyResult evaluate_e2e_accuracy(
+    const nn::NetworkSpec& spec, const events::EventStream& stream,
+    const E2eAccuracyConfig& config);
+
+/// Rebuilds a fixed-slot input representation from DSFA-merged buckets so
+/// the network sees its expected timestep count: under cAdd the bucket
+/// sum lands in the bucket's first slot (temporal coarsening), under
+/// cAverage every constituent slot carries the bucket mean, and cBatch
+/// keeps slots unchanged. Exposed for tests.
+[[nodiscard]] std::vector<sparse::SparseFrame> reslot_merged_frames(
+    const std::vector<sparse::SparseFrame>& bins, const DsfaConfig& config);
+
+}  // namespace evedge::core

@@ -1,0 +1,156 @@
+#include "core/e2sf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evedge::core {
+
+using events::Event;
+using events::Polarity;
+using events::TimeUs;
+using sparse::CooEntry;
+using sparse::SparseFrame;
+
+Event2SparseFrame::Event2SparseFrame(events::SensorGeometry geometry,
+                                     E2sfConfig config)
+    : geometry_(geometry), config_(config) {
+  events::validate_geometry(geometry_);
+  if (config_.n_bins <= 0) {
+    throw std::invalid_argument("E2SF: n_bins must be > 0");
+  }
+}
+
+std::vector<SparseFrame> Event2SparseFrame::convert(
+    std::span<const Event> window, TimeUs t_start, TimeUs t_end) const {
+  if (t_end <= t_start) {
+    throw std::invalid_argument("E2SF: t_end must exceed t_start");
+  }
+  const int n_bins = config_.n_bins;
+  const double bin_span =
+      static_cast<double>(t_end - t_start) / n_bins;  // biS of Eq. 1
+
+  // Per-bin per-polarity accumulation buffers.
+  std::vector<std::vector<CooEntry>> pos(static_cast<std::size_t>(n_bins));
+  std::vector<std::vector<CooEntry>> neg(static_cast<std::size_t>(n_bins));
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n_bins), 0);
+
+  for (const Event& e : window) {
+    if (e.t < t_start || e.t >= t_end) {
+      throw std::invalid_argument(
+          "E2SF: event outside the frame interval (slice the stream first)");
+    }
+    // EBk = floor((tk - Tstart) / biS); clamp the t == Tend-epsilon edge.
+    auto bin = static_cast<int>(
+        std::floor(static_cast<double>(e.t - t_start) / bin_span));
+    bin = std::clamp(bin, 0, n_bins - 1);
+    const auto bi = static_cast<std::size_t>(bin);
+    auto& channel = e.p == Polarity::kPositive ? pos[bi] : neg[bi];
+    channel.push_back(CooEntry{e.y, e.x, 1.0f});
+    ++counts[bi];
+  }
+
+  std::vector<SparseFrame> frames;
+  frames.reserve(static_cast<std::size_t>(n_bins));
+  for (int b = 0; b < n_bins; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    SparseFrame frame(geometry_.height, geometry_.width);
+    frame.positive() = sparse::CooChannel::from_entries(
+        geometry_.height, geometry_.width, std::move(pos[bi]));
+    frame.negative() = sparse::CooChannel::from_entries(
+        geometry_.height, geometry_.width, std::move(neg[bi]));
+    frame.t_start = t_start + static_cast<TimeUs>(std::llround(b * bin_span));
+    frame.t_end =
+        t_start + static_cast<TimeUs>(std::llround((b + 1) * bin_span));
+    frame.bin_index = b;
+    frame.source_events = counts[bi];
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::vector<std::vector<SparseFrame>> Event2SparseFrame::convert_stream(
+    const events::EventStream& stream,
+    const events::FrameClock& clock) const {
+  if (!(stream.geometry() == geometry_)) {
+    throw std::invalid_argument("E2SF: stream geometry mismatch");
+  }
+  std::vector<std::vector<SparseFrame>> intervals;
+  intervals.reserve(clock.interval_count());
+  for (std::size_t i = 0; i + 1 < clock.timestamps.size(); ++i) {
+    const TimeUs t0 = clock.timestamps[i];
+    const TimeUs t1 = clock.timestamps[i + 1];
+    intervals.push_back(convert(stream.slice(t0, t1), t0, t1));
+  }
+  return intervals;
+}
+
+std::vector<sparse::DenseTensor> dense_event_frames(
+    const events::SensorGeometry& geometry, std::span<const Event> window,
+    TimeUs t_start, TimeUs t_end, int n_bins) {
+  Event2SparseFrame converter(geometry, E2sfConfig{n_bins});
+  const auto frames = converter.convert(window, t_start, t_end);
+  std::vector<sparse::DenseTensor> dense;
+  dense.reserve(frames.size());
+  for (const SparseFrame& f : frames) dense.push_back(f.to_dense());
+  return dense;
+}
+
+namespace {
+
+[[nodiscard]] SparseFrame frame_from_events(
+    const events::SensorGeometry& geometry, std::span<const Event> window) {
+  SparseFrame frame(geometry.height, geometry.width);
+  std::vector<CooEntry> pos;
+  std::vector<CooEntry> neg;
+  for (const Event& e : window) {
+    (e.p == Polarity::kPositive ? pos : neg)
+        .push_back(CooEntry{e.y, e.x, 1.0f});
+  }
+  frame.positive() = sparse::CooChannel::from_entries(
+      geometry.height, geometry.width, std::move(pos));
+  frame.negative() = sparse::CooChannel::from_entries(
+      geometry.height, geometry.width, std::move(neg));
+  if (!window.empty()) {
+    frame.t_start = window.front().t;
+    frame.t_end = window.back().t + 1;
+  }
+  frame.source_events = static_cast<std::int64_t>(window.size());
+  return frame;
+}
+
+}  // namespace
+
+std::vector<SparseFrame> accumulate_by_count(const events::EventStream& stream,
+                                             std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("accumulate_by_count: count must be > 0");
+  }
+  std::vector<SparseFrame> frames;
+  const auto events = stream.events();
+  for (std::size_t i = 0; i < events.size(); i += count) {
+    const std::size_t n = std::min(count, events.size() - i);
+    frames.push_back(
+        frame_from_events(stream.geometry(), events.subspan(i, n)));
+  }
+  return frames;
+}
+
+std::vector<SparseFrame> accumulate_by_time(const events::EventStream& stream,
+                                            TimeUs window_us) {
+  if (window_us <= 0) {
+    throw std::invalid_argument("accumulate_by_time: window must be > 0");
+  }
+  std::vector<SparseFrame> frames;
+  if (stream.empty()) return frames;
+  for (TimeUs t = stream.t_begin(); t <= stream.t_end(); t += window_us) {
+    auto frame = frame_from_events(stream.geometry(),
+                                   stream.slice(t, t + window_us));
+    frame.t_start = t;
+    frame.t_end = t + window_us;
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace evedge::core

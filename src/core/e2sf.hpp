@@ -1,0 +1,74 @@
+#pragma once
+
+// Event2Sparse Frame converter (E2SF, paper §4.1, Eq. 1): bins the raw
+// AER stream between two grayscale-frame timestamps into nB event bins
+//
+//   biS  = (Tend - Tstart) / nB
+//   EBk  = floor((tk - Tstart) / biS)
+//
+// accumulating positive and negative polarities separately per pixel and
+// emitting each bin directly as a two-channel COO sparse frame — without
+// materializing the dense intermediate event frame.
+//
+// The static accumulation baselines of §4.2 (fixed event count / fixed
+// time interval, as in [7, 8]) and the dense-frame construction the paper
+// measures against live here too.
+
+#include <span>
+#include <vector>
+
+#include "events/event_stream.hpp"
+#include "sparse/sparse_frame.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::core {
+
+struct E2sfConfig {
+  int n_bins = 5;  ///< event bins per (Tstart, Tend) frame interval
+};
+
+/// Converts raw events to sparse frames per Eq. 1.
+class Event2SparseFrame {
+ public:
+  Event2SparseFrame(events::SensorGeometry geometry, E2sfConfig config);
+
+  /// Bins the events of one frame interval [t_start, t_end); the events
+  /// span must already be restricted to that window (see
+  /// EventStream::slice). Returns exactly n_bins frames (possibly empty),
+  /// each carrying its bin timing metadata.
+  [[nodiscard]] std::vector<sparse::SparseFrame> convert(
+      std::span<const events::Event> window, events::TimeUs t_start,
+      events::TimeUs t_end) const;
+
+  /// Converts every (Tstart, Tend) interval of the frame clock; outer
+  /// index = interval, inner = bin.
+  [[nodiscard]] std::vector<std::vector<sparse::SparseFrame>> convert_stream(
+      const events::EventStream& stream,
+      const events::FrameClock& clock) const;
+
+  [[nodiscard]] const E2sfConfig& config() const noexcept { return config_; }
+
+ private:
+  events::SensorGeometry geometry_;
+  E2sfConfig config_;
+};
+
+/// Dense event-frame construction (the representation E2SF bypasses):
+/// one [1, 2, H, W] tensor per bin, same binning as Eq. 1. The returned
+/// tensors are what the all-GPU baseline feeds its fixed-size GEMMs.
+[[nodiscard]] std::vector<sparse::DenseTensor> dense_event_frames(
+    const events::SensorGeometry& geometry,
+    std::span<const events::Event> window, events::TimeUs t_start,
+    events::TimeUs t_end, int n_bins);
+
+/// Static accumulation baseline: a new frame every `count` events
+/// (paper §4.2: "statically counting events").
+[[nodiscard]] std::vector<sparse::SparseFrame> accumulate_by_count(
+    const events::EventStream& stream, std::size_t count);
+
+/// Static accumulation baseline: a new frame every `window_us`
+/// (paper §4.2: "sampling events at a fixed rate").
+[[nodiscard]] std::vector<sparse::SparseFrame> accumulate_by_time(
+    const events::EventStream& stream, events::TimeUs window_us);
+
+}  // namespace evedge::core

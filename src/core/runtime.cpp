@@ -1,0 +1,79 @@
+#include "core/runtime.hpp"
+
+#include "hw/profiler.hpp"
+#include "quant/accuracy.hpp"
+
+namespace evedge::core {
+
+EvEdgeRuntime::EvEdgeRuntime(nn::NetworkId network, hw::Platform platform,
+                             EvEdgeOptions options)
+    : options_(std::move(options)),
+      platform_(std::move(platform)),
+      spec_(nn::build_network(network, options_.perf_scale)) {
+  platform_.validate();
+
+  // --- Accuracy surrogate on the reduced-scale functional instance.
+  const nn::NetworkSpec accuracy_spec =
+      nn::build_network(network, options_.accuracy_scale);
+
+  // --- Activation densities for sparse-aware profiling and the runtime
+  // cost model (measured once on the functional instance; node ids match
+  // the perf-scale graph).
+  densities_ = measure_activation_densities(accuracy_spec, options_.seed);
+
+  // --- Offline profiling (the TensorRT-profile substitute), sparse-aware
+  // so the mapping search sees the same route economics as the runtime.
+  std::vector<nn::NetworkSpec> specs{spec_};
+  std::vector<hw::TaskProfile> profiles{
+      hw::profile_task(spec_, platform_, &densities_.density)};
+  quant::AccuracyEvaluator evaluator(
+      accuracy_spec, options_.seed,
+      quant::make_validation_set(accuracy_spec, options_.validation_samples,
+                                 options_.seed + 1));
+  const quant::SensitivityModel sensitivity(evaluator,
+                                            options_.sensitivity_subset);
+
+  // --- NMP search (single task).
+  mapper::AccuracyFn accuracy_fn =
+      [&sensitivity](int, const sched::TaskMapping& mapping) {
+        quant::PrecisionMap precisions;
+        for (std::size_t n = 0; n < mapping.nodes.size(); ++n) {
+          if (mapping.nodes[n].pe >= 0) {
+            precisions[static_cast<int>(n)] = mapping.nodes[n].precision;
+          }
+        }
+        return sensitivity.predict(precisions);
+      };
+  mapper::NetworkMapper nmp(specs, profiles, platform_,
+                            std::move(accuracy_fn), options_.nmp);
+  nmp_result_ = nmp.run();
+  mapping_ = nmp_result_.best.tasks.front();
+}
+
+PipelineStats EvEdgeRuntime::process(
+    const events::EventStream& stream) const {
+  PipelineConfig config;
+  config.e2sf = options_.e2sf;
+  config.dsfa = options_.dsfa;
+  config.use_e2sf = true;
+  config.use_dsfa = true;
+  config.frame_rate_hz = options_.frame_rate_hz;
+  return simulate_pipeline(stream, spec_, mapping_, platform_, densities_,
+                           config);
+}
+
+PipelineStats EvEdgeRuntime::process_all_gpu_baseline(
+    const events::EventStream& stream) const {
+  const sched::MappingCandidate baseline = sched::uniform_candidate(
+      {spec_}, platform_.first_pe(hw::PeKind::kGpu),
+      quant::Precision::kFp32);
+  PipelineConfig config;
+  config.e2sf = options_.e2sf;
+  config.use_e2sf = false;
+  config.use_dsfa = false;
+  config.frame_rate_hz = options_.frame_rate_hz;
+  return simulate_pipeline(stream, spec_, baseline.tasks.front(), platform_,
+                           densities_, config);
+}
+
+}  // namespace evedge::core

@@ -1,0 +1,80 @@
+#pragma once
+
+// EvEdgeRuntime: the user-facing facade assembling the whole framework
+// (Fig. 4). Construction performs the offline phase — workload profiling
+// and the NMP mapping search; process() then runs the online pipeline
+// (E2SF -> DSFA -> mapped inference) over an event stream.
+//
+// Two network scales are involved (DESIGN.md section 2): performance
+// modeling uses full-scale layer descriptors, while accuracy sensitivity
+// is probed on a reduced-scale functional instance of the *same* graph
+// (node ids are identical across scales by construction).
+
+#include <cstdint>
+
+#include "core/pipeline.hpp"
+#include "mapper/baselines.hpp"
+#include "mapper/nmp.hpp"
+#include "nn/zoo.hpp"
+
+namespace evedge::core {
+
+struct EvEdgeOptions {
+  nn::ZooConfig perf_scale = nn::ZooConfig::full_scale();
+  nn::ZooConfig accuracy_scale = nn::ZooConfig::test_scale();
+  E2sfConfig e2sf{};
+  DsfaConfig dsfa{};
+  mapper::NmpConfig nmp{};
+  double frame_rate_hz = 30.0;
+  int validation_samples = 4;        ///< functional accuracy probes
+  std::size_t sensitivity_subset = 2;  ///< samples per sensitivity probe
+  std::uint64_t seed = 7;
+};
+
+class EvEdgeRuntime {
+ public:
+  /// Offline phase: builds the network at both scales, profiles it on
+  /// the platform, calibrates the accuracy surrogate and runs the NMP
+  /// search for the single-task mapping.
+  EvEdgeRuntime(nn::NetworkId network, hw::Platform platform,
+                EvEdgeOptions options);
+
+  /// Online phase: full Ev-Edge pipeline (E2SF + DSFA + NMP mapping).
+  [[nodiscard]] PipelineStats process(
+      const events::EventStream& stream) const;
+
+  /// All-GPU FP32 dense baseline over the same stream (the Fig. 8
+  /// reference point).
+  [[nodiscard]] PipelineStats process_all_gpu_baseline(
+      const events::EventStream& stream) const;
+
+  [[nodiscard]] const nn::NetworkSpec& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] const sched::TaskMapping& mapping() const noexcept {
+    return mapping_;
+  }
+  [[nodiscard]] const mapper::NmpResult& nmp_result() const noexcept {
+    return nmp_result_;
+  }
+  [[nodiscard]] const hw::Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] const ActivationDensityProfile& activation_densities()
+      const noexcept {
+    return densities_;
+  }
+  [[nodiscard]] const EvEdgeOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  EvEdgeOptions options_;
+  hw::Platform platform_;
+  nn::NetworkSpec spec_;           ///< perf-scale descriptors
+  ActivationDensityProfile densities_;
+  mapper::NmpResult nmp_result_;
+  sched::TaskMapping mapping_;
+};
+
+}  // namespace evedge::core

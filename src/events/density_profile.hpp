@@ -1,0 +1,69 @@
+#pragma once
+
+// Temporal event-density profiles. MVSEC / DENSE recordings are not
+// redistributable here, so the reproduction replays their *statistics*:
+// a DensityProfile maps time to a target sensor-wide event rate, and the
+// PoissonEventSynthesizer (event_synth.hpp) realizes an event stream with
+// that rate. Presets are shaped after the sequences the paper evaluates:
+//
+//  - indoor_flying1/2: drone hover-dash-hover patterns; long quiet spans
+//    punctuated by large bursts (the Fig. 5 shape).
+//  - outdoor_day1: continuous driving texture; high, comparatively steady
+//    rate with mild traffic modulations.
+//  - dense_town10: synthetic town flythrough (DENSE dataset); smooth
+//    periodic rate swings.
+//
+// Rates are expressed per pixel per second so profiles transfer across
+// sensor resolutions (tests run on small grids, benches on DAVIS346).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "events/event.hpp"
+
+namespace evedge::events {
+
+/// One Gaussian activity burst centered at t_center seconds.
+struct Burst {
+  double t_center_s = 0.0;
+  double width_s = 0.2;      ///< Gaussian sigma
+  double peak_rate = 8.0;    ///< added events/s/pixel at the center
+};
+
+/// Piecewise-analytic density profile:
+///   rate(t) = base + sum(bursts) + sin-modulation, clamped to >= 0.
+class DensityProfile {
+ public:
+  DensityProfile(std::string name, double base_rate_per_px,
+                 std::vector<Burst> bursts, double mod_amplitude,
+                 double mod_period_s);
+
+  /// Sensor-wide expected rate at time t, events/second/pixel.
+  [[nodiscard]] double rate_per_pixel(double t_s) const noexcept;
+
+  /// rate_per_pixel integrated over [t0, t1] via midpoint rule (n steps).
+  [[nodiscard]] double mean_rate_per_pixel(double t0_s, double t1_s,
+                                           int steps = 256) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Burst>& bursts() const noexcept {
+    return bursts_;
+  }
+
+  // --- Presets shaped after the paper's evaluation sequences. ---
+  [[nodiscard]] static DensityProfile indoor_flying1();
+  [[nodiscard]] static DensityProfile indoor_flying2();
+  [[nodiscard]] static DensityProfile outdoor_day1();
+  [[nodiscard]] static DensityProfile dense_town10();
+
+ private:
+  std::string name_;
+  double base_rate_per_px_;
+  std::vector<Burst> bursts_;
+  double mod_amplitude_;
+  double mod_period_s_;
+};
+
+}  // namespace evedge::events

@@ -1,0 +1,98 @@
+#include "events/dvs_sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace evedge::events {
+
+DvsSensor::DvsSensor(SensorGeometry geometry, DvsConfig config)
+    : geometry_(geometry), config_(config), stream_(geometry) {
+  validate_geometry(geometry_);
+  if (config_.contrast_threshold <= 0.0) {
+    throw std::invalid_argument("contrast_threshold must be > 0");
+  }
+  if (config_.refractory_us < 0.0) {
+    throw std::invalid_argument("refractory_us must be >= 0");
+  }
+  const auto n = static_cast<std::size_t>(geometry_.pixel_count());
+  log_memory_.assign(n, 0.0f);
+  last_event_t_.assign(n, -1e30);
+}
+
+void DvsSensor::process_frame(const IntensityFrame& frame) {
+  if (frame.width != geometry_.width || frame.height != geometry_.height) {
+    throw std::invalid_argument("frame extents do not match sensor geometry");
+  }
+  if (frame.intensity.size() !=
+      static_cast<std::size_t>(geometry_.pixel_count())) {
+    throw std::invalid_argument("frame intensity buffer has wrong size");
+  }
+  if (primed_ && frame.t <= last_frame_t_) {
+    throw std::invalid_argument("frame timestamps must strictly increase");
+  }
+
+  const auto n = static_cast<std::size_t>(geometry_.pixel_count());
+  if (!primed_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      log_memory_[i] = std::log(frame.intensity[i] + config_.log_eps);
+    }
+    primed_ = true;
+    last_frame_t_ = frame.t;
+    return;
+  }
+
+  const double theta = config_.contrast_threshold;
+  const double t0 = static_cast<double>(last_frame_t_);
+  const double t1 = static_cast<double>(frame.t);
+  const double dt = t1 - t0;
+
+  // Events are produced pixel-by-pixel with interpolated timestamps, then
+  // sorted once per frame so the output stream stays time-ordered.
+  std::vector<Event> frame_events;
+  for (int y = 0; y < geometry_.height; ++y) {
+    for (int x = 0; x < geometry_.width; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) *
+                                static_cast<std::size_t>(geometry_.width) +
+                            static_cast<std::size_t>(x);
+      const float log_now =
+          std::log(frame.intensity[i] + config_.log_eps);
+      double delta = static_cast<double>(log_now) -
+                     static_cast<double>(log_memory_[i]);
+      if (std::abs(delta) < theta) continue;
+
+      const Polarity pol =
+          delta > 0 ? Polarity::kPositive : Polarity::kNegative;
+      const double step = delta > 0 ? theta : -theta;
+      const auto n_events =
+          static_cast<std::int64_t>(std::floor(std::abs(delta) / theta));
+      for (std::int64_t k = 1; k <= n_events; ++k) {
+        // Linear interpolation of the crossing time within [t0, t1].
+        const double frac =
+            std::abs(static_cast<double>(k) * theta / delta);
+        const double te = t0 + frac * dt;
+        if (te - last_event_t_[i] < config_.refractory_us) continue;
+        last_event_t_[i] = te;
+        frame_events.push_back(Event{
+            static_cast<std::uint16_t>(x), static_cast<std::uint16_t>(y),
+            static_cast<TimeUs>(std::llround(te)), pol});
+      }
+      log_memory_[i] += static_cast<float>(static_cast<double>(n_events) *
+                                           step);
+    }
+  }
+
+  std::stable_sort(frame_events.begin(), frame_events.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+  for (const Event& e : frame_events) stream_.push_back(e);
+  last_frame_t_ = frame.t;
+}
+
+EventStream DvsSensor::take_stream() {
+  EventStream out = std::move(stream_);
+  stream_ = EventStream(geometry_);
+  return out;
+}
+
+}  // namespace evedge::events

@@ -1,0 +1,75 @@
+#pragma once
+
+// DVS pixel model: converts a sequence of intensity frames into an
+// asynchronous event stream using the standard log-intensity threshold
+// model (paper, Background section 2):
+//
+//   an event fires at pixel (x, y) whenever
+//     | log I(t+1) - log I(t_mem) | >= theta
+//   and the pixel's memory potential steps by +-theta per emitted event.
+//
+// Timestamps of events between two consecutive frames are linearly
+// interpolated, matching ESIM-style simulators. An optional per-pixel
+// refractory period suppresses events that would fire too soon after the
+// previous one at the same pixel.
+
+#include <cstdint>
+#include <vector>
+
+#include "events/event.hpp"
+#include "events/event_stream.hpp"
+
+namespace evedge::events {
+
+/// A single grayscale intensity frame (row-major, values >= 0).
+struct IntensityFrame {
+  int width = 0;
+  int height = 0;
+  TimeUs t = 0;
+  std::vector<float> intensity;  ///< size = width * height, linear intensity
+
+  [[nodiscard]] float at(int x, int y) const {
+    return intensity[static_cast<std::size_t>(y) *
+                         static_cast<std::size_t>(width) +
+                     static_cast<std::size_t>(x)];
+  }
+};
+
+/// Tunable parameters of the DVS pixel model.
+struct DvsConfig {
+  double contrast_threshold = 0.18;  ///< theta, log-intensity units
+  double refractory_us = 100.0;      ///< min time between events per pixel
+  float log_eps = 1e-3f;             ///< added before log() for stability
+};
+
+/// Stateful DVS simulator. Feed frames in non-decreasing time order with
+/// process_frame(); collected events accumulate in an internal stream.
+class DvsSensor {
+ public:
+  DvsSensor(SensorGeometry geometry, DvsConfig config);
+
+  /// Initializes per-pixel memory from the first frame (no events emitted),
+  /// then emits events for every subsequent frame. Frame extents must match
+  /// the sensor geometry and timestamps must strictly increase.
+  void process_frame(const IntensityFrame& frame);
+
+  /// Events emitted so far (time-ordered).
+  [[nodiscard]] const EventStream& stream() const noexcept { return stream_; }
+
+  /// Moves the accumulated events out, resetting the internal stream (the
+  /// per-pixel memory is kept so streaming can continue).
+  [[nodiscard]] EventStream take_stream();
+
+  [[nodiscard]] const DvsConfig& config() const noexcept { return config_; }
+
+ private:
+  SensorGeometry geometry_;
+  DvsConfig config_;
+  bool primed_ = false;
+  TimeUs last_frame_t_ = 0;
+  std::vector<float> log_memory_;      ///< per-pixel memorized log intensity
+  std::vector<double> last_event_t_;   ///< per-pixel last event time (us)
+  EventStream stream_;
+};
+
+}  // namespace evedge::events

@@ -1,0 +1,73 @@
+#pragma once
+
+// Core event-camera data types: the Address Event Representation (AER)
+// event record and the sensor geometry it lives on.
+//
+// Event cameras emit an asynchronous stream of brightness-change events.
+// Each event is the tuple {x, y, t, p}: pixel location, timestamp and the
+// polarity (sign) of the log-intensity change (paper, Background section 2).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace evedge::events {
+
+/// Timestamp in microseconds. MVSEC and most DAVIS tooling use integer
+/// microseconds; we follow that convention everywhere.
+using TimeUs = std::int64_t;
+
+/// Polarity of the brightness change that triggered an event.
+enum class Polarity : std::uint8_t {
+  kNegative = 0,  ///< log-intensity decreased by at least the threshold
+  kPositive = 1,  ///< log-intensity increased by at least the threshold
+};
+
+/// Sign of a polarity as an integer: +1 for positive, -1 for negative.
+[[nodiscard]] constexpr int polarity_sign(Polarity p) noexcept {
+  return p == Polarity::kPositive ? +1 : -1;
+}
+
+/// One AER event record {x, y, t, p}.
+struct Event {
+  std::uint16_t x = 0;  ///< column, in [0, width)
+  std::uint16_t y = 0;  ///< row, in [0, height)
+  TimeUs t = 0;         ///< timestamp, microseconds
+  Polarity p = Polarity::kPositive;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Sensor pixel-array geometry. Default is the DAVIS346 used to record
+/// MVSEC (346 x 260).
+struct SensorGeometry {
+  int width = 346;
+  int height = 260;
+
+  [[nodiscard]] constexpr std::int64_t pixel_count() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+
+  [[nodiscard]] constexpr bool contains(int x, int y) const noexcept {
+    return x >= 0 && x < width && y >= 0 && y < height;
+  }
+
+  friend bool operator==(const SensorGeometry&,
+                         const SensorGeometry&) = default;
+};
+
+/// Geometry preset for the DAVIS346 (MVSEC recordings).
+[[nodiscard]] constexpr SensorGeometry davis346() noexcept {
+  return SensorGeometry{346, 260};
+}
+
+/// Throws std::invalid_argument unless the geometry has positive extents.
+inline void validate_geometry(const SensorGeometry& g) {
+  if (g.width <= 0 || g.height <= 0) {
+    throw std::invalid_argument("SensorGeometry extents must be positive: " +
+                                std::to_string(g.width) + "x" +
+                                std::to_string(g.height));
+  }
+}
+
+}  // namespace evedge::events

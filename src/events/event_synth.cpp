@@ -1,0 +1,158 @@
+#include "events/event_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace evedge::events {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+struct BlobCenter {
+  double x, y;
+};
+
+[[nodiscard]] BlobCenter blob_center(const ActivityBlob& blob,
+                                     const SensorGeometry& g, double t_s) {
+  // Lissajous path keeps blobs inside the array with margins of one sigma.
+  const double mx = std::max(1.0, blob.sigma_px);
+  const double my = std::max(1.0, blob.sigma_px);
+  const double ax = (static_cast<double>(g.width) - 2.0 * mx) / 2.0;
+  const double ay = (static_cast<double>(g.height) - 2.0 * my) / 2.0;
+  const double cx = static_cast<double>(g.width) / 2.0 +
+                    ax * std::sin(2.0 * std::numbers::pi * blob.fx_hz * t_s +
+                                  blob.phase);
+  const double cy = static_cast<double>(g.height) / 2.0 +
+                    ay * std::sin(2.0 * std::numbers::pi * blob.fy_hz * t_s +
+                                  0.5 * blob.phase);
+  return {cx, cy};
+}
+
+}  // namespace
+
+PoissonEventSynthesizer::PoissonEventSynthesizer(DensityProfile profile,
+                                                 SynthConfig config)
+    : profile_(std::move(profile)), config_(config) {
+  validate_geometry(config_.geometry);
+  if (config_.blob_count <= 0) {
+    throw std::invalid_argument("blob_count must be > 0");
+  }
+  if (config_.background_weight < 0.0 || config_.background_weight > 1.0) {
+    throw std::invalid_argument("background_weight must be in [0,1]");
+  }
+  if (config_.step_us <= 0.0) {
+    throw std::invalid_argument("step_us must be > 0");
+  }
+  std::mt19937_64 rng(config_.seed);
+  std::uniform_real_distribution<double> amp(0.5, 1.5);
+  std::uniform_real_distribution<double> sigma(3.0, 9.0);
+  std::uniform_real_distribution<double> freq(0.08, 0.45);
+  std::uniform_real_distribution<double> phase(0.0, 2.0 * std::numbers::pi);
+  for (int b = 0; b < config_.blob_count; ++b) {
+    blobs_.push_back(ActivityBlob{amp(rng), sigma(rng), freq(rng), freq(rng),
+                                  phase(rng)});
+  }
+}
+
+EventStream PoissonEventSynthesizer::generate(TimeUs t0,
+                                              TimeUs duration_us) const {
+  if (duration_us <= 0) {
+    throw std::invalid_argument("generate: duration must be > 0");
+  }
+  const SensorGeometry& g = config_.geometry;
+  std::mt19937_64 rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  double blob_weight_total = 0.0;
+  for (const ActivityBlob& b : blobs_) blob_weight_total += b.amplitude;
+
+  EventStream stream(g);
+  const double t_begin_s = static_cast<double>(t0) / kUsPerSecond;
+  const auto n_steps = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(duration_us) / config_.step_us));
+
+  std::vector<Event> step_events;
+  for (std::int64_t s = 0; s < n_steps; ++s) {
+    const double step_start_us =
+        static_cast<double>(t0) + static_cast<double>(s) * config_.step_us;
+    const double step_len_us = std::min(
+        config_.step_us,
+        static_cast<double>(t0 + duration_us) - step_start_us);
+    const double t_mid_s =
+        (step_start_us + 0.5 * step_len_us) / kUsPerSecond;
+
+    const double rate_px = profile_.rate_per_pixel(t_mid_s);
+    const double lambda = rate_px *
+                          static_cast<double>(g.pixel_count()) *
+                          (step_len_us / kUsPerSecond);
+    if (lambda <= 0.0) continue;
+    std::poisson_distribution<std::int64_t> pois(lambda);
+    const std::int64_t count = pois(rng);
+
+    step_events.clear();
+    step_events.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      int x = 0;
+      int y = 0;
+      bool from_blob = unit(rng) >= config_.background_weight;
+      double motion_dir = 1.0;
+      if (from_blob) {
+        // Pick a blob proportionally to amplitude, sample a Gaussian
+        // offset, reject-and-retry (bounded) when outside the array.
+        double pick = unit(rng) * blob_weight_total;
+        std::size_t bi = 0;
+        for (; bi + 1 < blobs_.size(); ++bi) {
+          if (pick < blobs_[bi].amplitude) break;
+          pick -= blobs_[bi].amplitude;
+        }
+        const ActivityBlob& blob = blobs_[bi];
+        const BlobCenter c = blob_center(blob, g, t_mid_s - t_begin_s);
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          const double dx = gauss(rng) * blob.sigma_px;
+          const double dy = gauss(rng) * blob.sigma_px;
+          const int cx = static_cast<int>(std::lround(c.x + dx));
+          const int cy = static_cast<int>(std::lround(c.y + dy));
+          if (g.contains(cx, cy)) {
+            x = cx;
+            y = cy;
+            // Leading edge of the moving blob fires positive events,
+            // trailing edge negative (DVS on/off structure).
+            motion_dir = dx * std::cos(2.0 * std::numbers::pi * blob.fx_hz *
+                                       (t_mid_s - t_begin_s));
+            placed = true;
+          }
+        }
+        if (!placed) from_blob = false;
+      }
+      if (!from_blob) {
+        x = static_cast<int>(unit(rng) * static_cast<double>(g.width));
+        y = static_cast<int>(unit(rng) * static_cast<double>(g.height));
+        x = std::min(x, g.width - 1);
+        y = std::min(y, g.height - 1);
+        motion_dir = unit(rng) - 0.5;
+      }
+      const double tu = step_start_us + unit(rng) * step_len_us;
+      step_events.push_back(Event{
+          static_cast<std::uint16_t>(x), static_cast<std::uint16_t>(y),
+          static_cast<TimeUs>(std::llround(tu)),
+          motion_dir >= 0 ? Polarity::kPositive : Polarity::kNegative});
+    }
+    std::sort(step_events.begin(), step_events.end(),
+              [](const Event& a, const Event& b) { return a.t < b.t; });
+    // Clamp any boundary rounding into the step so global order holds.
+    for (Event& e : step_events) {
+      e.t = std::max<TimeUs>(
+          e.t, stream.empty() ? t0 : stream.events().back().t);
+      stream.push_back(e);
+    }
+  }
+  return stream;
+}
+
+}  // namespace evedge::events

@@ -1,0 +1,104 @@
+#include "events/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace evedge::events {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'E', 'V', 'E', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+struct PackedEvent {
+  std::uint16_t x;
+  std::uint16_t y;
+  std::int64_t t;
+  std::uint8_t p;
+};
+
+void write_raw(std::ofstream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+void read_raw(std::ifstream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("event file truncated");
+}
+
+}  // namespace
+
+void write_binary(const EventStream& stream,
+                  const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  write_raw(out, kMagic.data(), kMagic.size());
+  write_raw(out, &kVersion, sizeof kVersion);
+  const std::int32_t w = stream.geometry().width;
+  const std::int32_t h = stream.geometry().height;
+  const std::uint64_t n = stream.size();
+  write_raw(out, &w, sizeof w);
+  write_raw(out, &h, sizeof h);
+  write_raw(out, &n, sizeof n);
+  for (const Event& e : stream.events()) {
+    PackedEvent pe{e.x, e.y, e.t, static_cast<std::uint8_t>(e.p)};
+    write_raw(out, &pe.x, sizeof pe.x);
+    write_raw(out, &pe.y, sizeof pe.y);
+    write_raw(out, &pe.t, sizeof pe.t);
+    write_raw(out, &pe.p, sizeof pe.p);
+  }
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+EventStream read_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open for reading: " + path.string());
+  }
+  std::array<char, 4> magic{};
+  read_raw(in, magic.data(), magic.size());
+  if (magic != kMagic) throw std::runtime_error("bad magic in event file");
+  std::uint32_t version = 0;
+  read_raw(in, &version, sizeof version);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported event file version " +
+                             std::to_string(version));
+  }
+  std::int32_t w = 0;
+  std::int32_t h = 0;
+  std::uint64_t n = 0;
+  read_raw(in, &w, sizeof w);
+  read_raw(in, &h, sizeof h);
+  read_raw(in, &n, sizeof n);
+  EventStream stream(SensorGeometry{w, h});
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PackedEvent pe{};
+    read_raw(in, &pe.x, sizeof pe.x);
+    read_raw(in, &pe.y, sizeof pe.y);
+    read_raw(in, &pe.t, sizeof pe.t);
+    read_raw(in, &pe.p, sizeof pe.p);
+    if (pe.p > 1) throw std::runtime_error("bad polarity in event file");
+    stream.push_back(Event{pe.x, pe.y, pe.t, static_cast<Polarity>(pe.p)});
+  }
+  return stream;
+}
+
+void write_csv(const EventStream& stream,
+               const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  out << "x,y,t_us,polarity\n";
+  for (const Event& e : stream.events()) {
+    out << e.x << ',' << e.y << ',' << e.t << ','
+        << (e.p == Polarity::kPositive ? 1 : -1) << '\n';
+  }
+}
+
+}  // namespace evedge::events

@@ -1,0 +1,23 @@
+#pragma once
+
+// Minimal binary + CSV persistence for event streams. The binary format is
+// a fixed 24-byte header (magic, version, geometry, count) followed by
+// packed little-endian event records; CSV is for plotting tool interop.
+
+#include <filesystem>
+
+#include "events/event_stream.hpp"
+
+namespace evedge::events {
+
+/// Writes `stream` to `path` in the EVED binary format (overwrites).
+void write_binary(const EventStream& stream,
+                  const std::filesystem::path& path);
+
+/// Reads an EVED binary file; throws std::runtime_error on malformed input.
+[[nodiscard]] EventStream read_binary(const std::filesystem::path& path);
+
+/// Writes "x,y,t_us,polarity" rows (with header) for external plotting.
+void write_csv(const EventStream& stream, const std::filesystem::path& path);
+
+}  // namespace evedge::events

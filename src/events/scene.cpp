@@ -1,0 +1,195 @@
+#include "events/scene.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace evedge::events {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+[[nodiscard]] FlowField uniform_flow(const SensorGeometry& g, double vx,
+                                     double vy) {
+  FlowField f;
+  f.width = g.width;
+  f.height = g.height;
+  const auto n = static_cast<std::size_t>(g.pixel_count());
+  f.vx.assign(n, static_cast<float>(vx));
+  f.vy.assign(n, static_cast<float>(vy));
+  return f;
+}
+
+[[nodiscard]] IntensityFrame blank_frame(const SensorGeometry& g, TimeUs t,
+                                         double value) {
+  IntensityFrame frame;
+  frame.width = g.width;
+  frame.height = g.height;
+  frame.t = t;
+  frame.intensity.assign(static_cast<std::size_t>(g.pixel_count()),
+                         static_cast<float>(value));
+  return frame;
+}
+
+}  // namespace
+
+TexturedTranslationScene::TexturedTranslationScene(const Params& params)
+    : params_(params) {
+  validate_geometry(params_.geometry);
+  if (params_.harmonics <= 0) {
+    throw std::invalid_argument("harmonics must be > 0");
+  }
+  std::mt19937_64 rng(params_.seed);
+  std::uniform_real_distribution<double> freq(0.03, 0.22);
+  std::uniform_real_distribution<double> phase(0.0,
+                                               2.0 * std::numbers::pi);
+  for (int h = 0; h < params_.harmonics; ++h) {
+    harmonics_.push_back(Harmonic{freq(rng), freq(rng), phase(rng),
+                                  params_.contrast /
+                                      static_cast<double>(params_.harmonics)});
+  }
+}
+
+IntensityFrame TexturedTranslationScene::render(TimeUs t) const {
+  const double ts = static_cast<double>(t) / kUsPerSecond;
+  const double ox = params_.vx_px_per_s * ts;
+  const double oy = params_.vy_px_per_s * ts;
+  IntensityFrame frame =
+      blank_frame(params_.geometry, t, params_.base_intensity);
+  const int w = params_.geometry.width;
+  const int h = params_.geometry.height;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double v = params_.base_intensity;
+      for (const Harmonic& hm : harmonics_) {
+        v += hm.amplitude *
+             std::sin(2.0 * std::numbers::pi *
+                          (hm.fx * (static_cast<double>(x) - ox) +
+                           hm.fy * (static_cast<double>(y) - oy)) +
+                      hm.phase);
+      }
+      frame.intensity[static_cast<std::size_t>(y) *
+                          static_cast<std::size_t>(w) +
+                      static_cast<std::size_t>(x)] =
+          static_cast<float>(std::max(0.01, v));
+    }
+  }
+  return frame;
+}
+
+FlowField TexturedTranslationScene::ground_truth_flow(TimeUs) const {
+  return uniform_flow(params_.geometry, params_.vx_px_per_s,
+                      params_.vy_px_per_s);
+}
+
+MovingBarScene::MovingBarScene(const Params& params) : params_(params) {
+  validate_geometry(params_.geometry);
+  if (params_.bar_width_px <= 0) {
+    throw std::invalid_argument("bar_width_px must be > 0");
+  }
+}
+
+IntensityFrame MovingBarScene::render(TimeUs t) const {
+  const double ts = static_cast<double>(t) / kUsPerSecond;
+  const int w = params_.geometry.width;
+  const int h = params_.geometry.height;
+  // The bar wraps around so arbitrarily long sequences stay active.
+  const double x0 =
+      std::fmod(params_.speed_px_per_s * ts, static_cast<double>(w));
+  IntensityFrame frame = blank_frame(params_.geometry, t, params_.background);
+  for (int y = 0; y < h; ++y) {
+    for (int dx = 0; dx < params_.bar_width_px; ++dx) {
+      const int x =
+          (static_cast<int>(std::floor(x0)) + dx) % w;
+      frame.intensity[static_cast<std::size_t>(y) *
+                          static_cast<std::size_t>(w) +
+                      static_cast<std::size_t>(x)] =
+          static_cast<float>(params_.foreground);
+    }
+  }
+  return frame;
+}
+
+FlowField MovingBarScene::ground_truth_flow(TimeUs) const {
+  return uniform_flow(params_.geometry, params_.speed_px_per_s, 0.0);
+}
+
+DriftingDotsScene::DriftingDotsScene(const Params& params) : params_(params) {
+  validate_geometry(params_.geometry);
+  if (params_.dot_count <= 0) {
+    throw std::invalid_argument("dot_count must be > 0");
+  }
+  std::mt19937_64 rng(params_.seed);
+  std::uniform_real_distribution<double> ux(
+      0.0, static_cast<double>(params_.geometry.width));
+  std::uniform_real_distribution<double> uy(
+      0.0, static_cast<double>(params_.geometry.height));
+  for (int i = 0; i < params_.dot_count; ++i) {
+    dot_x0_.push_back(ux(rng));
+    dot_y0_.push_back(uy(rng));
+  }
+}
+
+IntensityFrame DriftingDotsScene::render(TimeUs t) const {
+  const double ts = static_cast<double>(t) / kUsPerSecond;
+  const int w = params_.geometry.width;
+  const int h = params_.geometry.height;
+  IntensityFrame frame = blank_frame(params_.geometry, t, params_.background);
+  const double r2 = params_.dot_radius_px * params_.dot_radius_px;
+  for (std::size_t d = 0; d < dot_x0_.size(); ++d) {
+    // Dots wrap around the sensor to keep activity stationary over time.
+    double cx = std::fmod(dot_x0_[d] + params_.vx_px_per_s * ts,
+                          static_cast<double>(w));
+    double cy = std::fmod(dot_y0_[d] + params_.vy_px_per_s * ts,
+                          static_cast<double>(h));
+    if (cx < 0) cx += static_cast<double>(w);
+    if (cy < 0) cy += static_cast<double>(h);
+    const int xmin = std::max(0, static_cast<int>(cx - params_.dot_radius_px) - 1);
+    const int xmax = std::min(w - 1, static_cast<int>(cx + params_.dot_radius_px) + 1);
+    const int ymin = std::max(0, static_cast<int>(cy - params_.dot_radius_px) - 1);
+    const int ymax = std::min(h - 1, static_cast<int>(cy + params_.dot_radius_px) + 1);
+    for (int y = ymin; y <= ymax; ++y) {
+      for (int x = xmin; x <= xmax; ++x) {
+        const double ddx = static_cast<double>(x) - cx;
+        const double ddy = static_cast<double>(y) - cy;
+        if (ddx * ddx + ddy * ddy <= r2) {
+          frame.intensity[static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(w) +
+                          static_cast<std::size_t>(x)] =
+              static_cast<float>(params_.foreground);
+        }
+      }
+    }
+  }
+  return frame;
+}
+
+FlowField DriftingDotsScene::ground_truth_flow(TimeUs) const {
+  return uniform_flow(params_.geometry, params_.vx_px_per_s,
+                      params_.vy_px_per_s);
+}
+
+EventStream simulate_dvs(const Scene& scene, TimeUs t0, TimeUs duration_us,
+                         double fps_sim, const DvsConfig& dvs_config) {
+  if (duration_us <= 0) {
+    throw std::invalid_argument("simulate_dvs: duration must be > 0");
+  }
+  if (fps_sim <= 0.0) {
+    throw std::invalid_argument("simulate_dvs: fps_sim must be > 0");
+  }
+  DvsSensor sensor(scene.geometry(), dvs_config);
+  const double period_us = kUsPerSecond / fps_sim;
+  const auto n_frames =
+      static_cast<std::int64_t>(static_cast<double>(duration_us) / period_us) +
+      1;
+  for (std::int64_t i = 0; i <= n_frames; ++i) {
+    const auto t = t0 + static_cast<TimeUs>(std::llround(
+                            static_cast<double>(i) * period_us));
+    sensor.process_frame(scene.render(t));
+  }
+  return sensor.take_stream();
+}
+
+}  // namespace evedge::events

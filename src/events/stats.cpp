@@ -1,0 +1,89 @@
+#include "events/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace evedge::events {
+
+std::vector<DensitySample> temporal_density_trace(const EventStream& stream,
+                                                  TimeUs window_us) {
+  if (window_us <= 0) {
+    throw std::invalid_argument("temporal_density_trace: window must be > 0");
+  }
+  std::vector<DensitySample> trace;
+  if (stream.empty()) return trace;
+  const TimeUs t0 = stream.t_begin();
+  const TimeUs t1 = stream.t_end();
+  for (TimeUs w = t0; w <= t1; w += window_us) {
+    DensitySample s;
+    s.window_start = w;
+    s.window_end = w + window_us;
+    s.event_count = stream.count_in(w, w + window_us);
+    s.events_per_second = static_cast<double>(s.event_count) /
+                          (static_cast<double>(window_us) / 1e6);
+    trace.push_back(s);
+  }
+  return trace;
+}
+
+double frame_fill_ratio(const EventStream& stream, TimeUs t0, TimeUs t1) {
+  const auto events = stream.slice(t0, t1);
+  std::unordered_set<std::int64_t> active;
+  active.reserve(events.size());
+  const auto w = static_cast<std::int64_t>(stream.geometry().width);
+  for (const Event& e : events) {
+    active.insert(static_cast<std::int64_t>(e.y) * w + e.x);
+  }
+  return static_cast<double>(active.size()) /
+         static_cast<double>(stream.geometry().pixel_count());
+}
+
+double mean_bin_fill_ratio(const EventStream& stream, const FrameClock& clock,
+                           int n_bins) {
+  if (n_bins <= 0) {
+    throw std::invalid_argument("mean_bin_fill_ratio: n_bins must be > 0");
+  }
+  if (clock.interval_count() == 0) {
+    throw std::invalid_argument("mean_bin_fill_ratio: empty frame clock");
+  }
+  double acc = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = 0; i + 1 < clock.timestamps.size(); ++i) {
+    const TimeUs ts = clock.timestamps[i];
+    const TimeUs te = clock.timestamps[i + 1];
+    const double bin_span =
+        static_cast<double>(te - ts) / static_cast<double>(n_bins);
+    for (int b = 0; b < n_bins; ++b) {
+      const auto b0 = ts + static_cast<TimeUs>(
+                               std::llround(static_cast<double>(b) * bin_span));
+      const auto b1 = ts + static_cast<TimeUs>(std::llround(
+                               static_cast<double>(b + 1) * bin_span));
+      acc += frame_fill_ratio(stream, b0, b1);
+      ++bins;
+    }
+  }
+  return acc / static_cast<double>(bins);
+}
+
+DensitySummary summarize(const std::vector<DensitySample>& trace) {
+  DensitySummary s;
+  if (trace.empty()) return s;
+  double sum = 0.0;
+  for (const DensitySample& d : trace) {
+    sum += d.events_per_second;
+    s.peak_rate = std::max(s.peak_rate, d.events_per_second);
+  }
+  s.mean_rate = sum / static_cast<double>(trace.size());
+  double var = 0.0;
+  for (const DensitySample& d : trace) {
+    const double diff = d.events_per_second - s.mean_rate;
+    var += diff * diff;
+  }
+  var /= static_cast<double>(trace.size());
+  s.coefficient_of_variation =
+      s.mean_rate > 0.0 ? std::sqrt(var) / s.mean_rate : 0.0;
+  return s;
+}
+
+}  // namespace evedge::events

@@ -1,0 +1,46 @@
+#pragma once
+
+// Event-stream statistics backing Figures 1, 3 and 5 of the paper:
+// temporal density traces and per-window spatial fill ratios.
+
+#include <cstddef>
+#include <vector>
+
+#include "events/event_stream.hpp"
+
+namespace evedge::events {
+
+/// One sample of a temporal density trace (Fig. 5).
+struct DensitySample {
+  TimeUs window_start = 0;
+  TimeUs window_end = 0;
+  std::size_t event_count = 0;
+  double events_per_second = 0.0;
+};
+
+/// Counts events in consecutive windows of `window_us` across the stream.
+[[nodiscard]] std::vector<DensitySample> temporal_density_trace(
+    const EventStream& stream, TimeUs window_us);
+
+/// Fraction of pixels that receive at least one event in [t0, t1) —
+/// the "% events in an event frame" quantity of Figures 1 and 3.
+[[nodiscard]] double frame_fill_ratio(const EventStream& stream, TimeUs t0,
+                                      TimeUs t1);
+
+/// Mean fill ratio over all (Tstart, Tend) intervals of a frame clock,
+/// each interval subdivided into n_bins event bins (the per-network input
+/// representation of Fig. 3).
+[[nodiscard]] double mean_bin_fill_ratio(const EventStream& stream,
+                                         const FrameClock& clock, int n_bins);
+
+/// Summary statistics over a density trace.
+struct DensitySummary {
+  double mean_rate = 0.0;  ///< events/s
+  double peak_rate = 0.0;  ///< events/s
+  double coefficient_of_variation = 0.0;  ///< stddev / mean (burstiness)
+};
+
+[[nodiscard]] DensitySummary summarize(
+    const std::vector<DensitySample>& trace);
+
+}  // namespace evedge::events

@@ -1,0 +1,50 @@
+#include "hw/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace evedge::hw {
+
+EnergyAccumulator::EnergyAccumulator(const Platform& platform)
+    : platform_(&platform),
+      busy_us_per_pe_(platform.pes.size(), 0.0) {}
+
+void EnergyAccumulator::add_busy(int pe_id, Precision precision,
+                                 double duration_us) {
+  if (duration_us < 0.0) {
+    throw std::invalid_argument("busy duration must be >= 0");
+  }
+  const ProcessingElement& pe = platform_->pe(pe_id);
+  if (!pe.supports(precision)) {
+    throw std::invalid_argument(pe.name + " does not support " +
+                                quant::to_string(precision));
+  }
+  busy_us_per_pe_[static_cast<std::size_t>(pe_id)] += duration_us;
+  // W * us = uJ; /1000 -> mJ.
+  busy_mj_ += pe.active_power(precision) * duration_us / 1000.0;
+}
+
+void EnergyAccumulator::add_transfer(double bytes) {
+  if (bytes < 0.0) throw std::invalid_argument("bytes must be >= 0");
+  // pJ -> mJ: 1e-9.
+  transfer_mj_ += bytes * kTransferEnergyPjPerByte * 1e-9;
+}
+
+double EnergyAccumulator::busy_us(int pe_id) const {
+  (void)platform_->pe(pe_id);
+  return busy_us_per_pe_[static_cast<std::size_t>(pe_id)];
+}
+
+double EnergyAccumulator::total_mj(double makespan_us) const {
+  if (makespan_us < 0.0) {
+    throw std::invalid_argument("makespan must be >= 0");
+  }
+  double idle_mj = 0.0;
+  for (std::size_t i = 0; i < platform_->pes.size(); ++i) {
+    const double idle_us =
+        std::max(0.0, makespan_us - busy_us_per_pe_[i]);
+    idle_mj += platform_->pes[i].idle_power_w * idle_us / 1000.0;
+  }
+  return busy_mj_ + transfer_mj_ + idle_mj;
+}
+
+}  // namespace evedge::hw

@@ -1,0 +1,43 @@
+#pragma once
+
+// Energy accounting over a schedule: busy energy (PE active power at the
+// executing precision x time) plus idle energy (idle power x remaining
+// makespan). Substitute for the paper's Tegrastats measurements.
+
+#include <array>
+#include <vector>
+
+#include "hw/platform.hpp"
+
+namespace evedge::hw {
+
+class EnergyAccumulator {
+ public:
+  explicit EnergyAccumulator(const Platform& platform);
+
+  /// Records `duration_us` of busy time on `pe_id` at `precision`.
+  void add_busy(int pe_id, Precision precision, double duration_us);
+
+  /// Records a unified-memory transfer of `bytes` (charged at a fixed
+  /// energy cost per byte for DRAM traffic).
+  void add_transfer(double bytes);
+
+  /// Total energy in millijoules for a run spanning `makespan_us`:
+  /// busy + transfer + per-PE idle power over the non-busy remainder.
+  [[nodiscard]] double total_mj(double makespan_us) const;
+
+  [[nodiscard]] double busy_mj() const noexcept { return busy_mj_; }
+  [[nodiscard]] double transfer_mj() const noexcept { return transfer_mj_; }
+  [[nodiscard]] double busy_us(int pe_id) const;
+
+ private:
+  const Platform* platform_;
+  std::vector<double> busy_us_per_pe_;
+  double busy_mj_ = 0.0;
+  double transfer_mj_ = 0.0;
+};
+
+/// DRAM transfer energy: ~120 pJ/byte for LPDDR4x class memory.
+inline constexpr double kTransferEnergyPjPerByte = 120.0;
+
+}  // namespace evedge::hw

@@ -1,0 +1,116 @@
+#include "hw/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace evedge::hw {
+
+LayerWorkload LayerWorkload::from_layer(const nn::LayerSpec& spec) {
+  LayerWorkload w;
+  w.macs = spec.macs();
+  w.input_elements = spec.input_elements();
+  w.output_elements = spec.output_elements();
+  w.weight_elements = spec.weight_count();
+  w.domain = nn::domain_of(spec.kind);
+  return w;
+}
+
+double activation_bytes(std::size_t elements, Precision precision) noexcept {
+  return static_cast<double>(elements) *
+         quant::bytes_per_element(precision);
+}
+
+namespace {
+
+/// Batch utilization bonus: one batched GEMM of size b runs slightly
+/// better than b unit GEMMs even past overhead amortization.
+[[nodiscard]] double batch_efficiency(int batch) noexcept {
+  return std::min(1.25, 1.0 + 0.05 * (batch - 1));
+}
+
+}  // namespace
+
+double layer_latency_us(const ProcessingElement& pe, Precision precision,
+                        const LayerWorkload& workload, Route route,
+                        int batch) {
+  if (batch < 1) throw std::invalid_argument("batch must be >= 1");
+  if (!pe.supports(precision)) {
+    throw std::invalid_argument(pe.name + " does not support " +
+                                quant::to_string(precision));
+  }
+  if (route == Route::kSparse && !pe.supports_sparse) {
+    throw std::invalid_argument(pe.name + " has no sparse kernels");
+  }
+  if (workload.input_density < 0.0 || workload.input_density > 1.0) {
+    throw std::invalid_argument("input_density out of [0, 1]");
+  }
+
+  const double eff =
+      pe.dense_efficiency *
+      (workload.domain == nn::Domain::kSnn ? pe.spiking_efficiency : 1.0) *
+      batch_efficiency(batch);
+  const double rate = pe.peak(precision) * eff;  // MAC/s
+
+  double effective_macs = static_cast<double>(workload.macs);
+  if (route == Route::kSparse) {
+    effective_macs *= workload.input_density * pe.sparse_overhead;
+  }
+  const double compute_us = effective_macs / rate * 1e6;
+
+  // Memory traffic: activations in/out plus one weight fetch per batch.
+  double act_bytes = activation_bytes(
+      workload.input_elements + workload.output_elements, precision);
+  if (route == Route::kSparse) {
+    // COO traffic: only non-zeros move, but each carries coordinates
+    // (2 x int32) in addition to its value.
+    const double coord_bytes = 8.0;
+    act_bytes = static_cast<double>(workload.input_elements) *
+                    workload.input_density *
+                    (quant::bytes_per_element(precision) + coord_bytes) +
+                activation_bytes(workload.output_elements, precision);
+  }
+  if (workload.domain == nn::Domain::kSnn) {
+    // LIF state: membrane read-modify-write plus threshold compare. The
+    // membrane potential needs at least half-precision storage whatever
+    // the synaptic precision, so its traffic never drops below 2 B/site.
+    const double state_bytes = std::max(quant::bytes_per_element(precision),
+                                        2.0);
+    act_bytes += 3.0 * static_cast<double>(workload.output_elements) *
+                 state_bytes;
+  }
+  const double weight_bytes =
+      activation_bytes(workload.weight_elements, precision);
+  const double mem_us =
+      (static_cast<double>(batch) * act_bytes + weight_bytes) /
+      pe.mem_bandwidth_bytes_per_us;
+
+  const double per_batch_compute =
+      static_cast<double>(batch) * compute_us;
+  // Sparse kernels pay an extra setup pass (index handling) on top of
+  // the plain launch.
+  const double launch = route == Route::kSparse
+                            ? 1.5 * pe.launch_overhead_us
+                            : pe.launch_overhead_us;
+  return launch + std::max(per_batch_compute, mem_us);
+}
+
+Route best_route(const ProcessingElement& pe, Precision precision,
+                 const LayerWorkload& workload) {
+  if (!pe.supports_sparse) return Route::kDense;
+  const double dense = layer_latency_us(pe, precision, workload,
+                                        Route::kDense);
+  const double sparse = layer_latency_us(pe, precision, workload,
+                                         Route::kSparse);
+  return sparse < dense ? Route::kSparse : Route::kDense;
+}
+
+double encode_to_sparse_us(const ProcessingElement& pe, std::size_t elements,
+                           Precision precision) {
+  // Full scan of the dense tensor plus compaction writes; memory bound.
+  const double scan_bytes = activation_bytes(elements, precision);
+  return pe.launch_overhead_us +
+         2.0 * scan_bytes / pe.mem_bandwidth_bytes_per_us;
+}
+
+}  // namespace evedge::hw

@@ -1,0 +1,64 @@
+#pragma once
+
+// Roofline-style layer latency model with sparsity and batching hooks.
+// latency = launch_overhead
+//         + max(compute_time, memory_time)            [per inference]
+// where compute_time depends on the execution route:
+//   dense : macs / (peak * dense_eff * spiking_penalty)
+//   sparse: macs * density * sparse_overhead / (peak * dense_eff * ...)
+// and memory_time moves activations + weights over the PE's bandwidth.
+//
+// Batched execution amortizes the launch overhead over the batch and
+// adds a mild utilization bonus (larger GEMMs) — the mechanism DSFA's
+// cBatch mode exploits.
+
+#include "hw/platform.hpp"
+#include "nn/graph.hpp"
+#include "quant/precision.hpp"
+
+namespace evedge::hw {
+
+/// Execution route for a layer.
+enum class Route : std::uint8_t { kDense, kSparse };
+
+/// Workload of one layer application (one timestep, batch 1).
+struct LayerWorkload {
+  std::size_t macs = 0;          ///< dense multiply-accumulates
+  std::size_t input_elements = 0;
+  std::size_t output_elements = 0;
+  std::size_t weight_elements = 0;
+  nn::Domain domain = nn::Domain::kAnn;
+  /// Fraction of input activations that are non-zero (drives the sparse
+  /// route; 1.0 = fully dense).
+  double input_density = 1.0;
+
+  /// Derives the static part of the workload from a layer spec.
+  [[nodiscard]] static LayerWorkload from_layer(const nn::LayerSpec& spec);
+};
+
+/// Latency of one layer on one PE at one precision (microseconds).
+/// `batch` > 1 models DSFA-batched inference; returns the *total* time
+/// for the whole batch. Throws if the PE does not support `precision`,
+/// or if `route` is sparse on a PE without sparse kernels.
+[[nodiscard]] double layer_latency_us(const ProcessingElement& pe,
+                                      Precision precision,
+                                      const LayerWorkload& workload,
+                                      Route route = Route::kDense,
+                                      int batch = 1);
+
+/// Chooses the cheaper of dense / (if available) sparse for the layer.
+[[nodiscard]] Route best_route(const ProcessingElement& pe,
+                               Precision precision,
+                               const LayerWorkload& workload);
+
+/// Cost of converting a dense activation tensor to COO on this PE (the
+/// encode overhead E2SF eliminates; charged to the dense->sparse baseline).
+[[nodiscard]] double encode_to_sparse_us(const ProcessingElement& pe,
+                                         std::size_t elements,
+                                         Precision precision);
+
+/// Activation bytes for a count of elements at a precision.
+[[nodiscard]] double activation_bytes(std::size_t elements,
+                                      Precision precision) noexcept;
+
+}  // namespace evedge::hw

@@ -1,0 +1,93 @@
+#pragma once
+
+// Analytic model of a heterogeneous edge platform. The preset mirrors the
+// NVIDIA Jetson Xavier AGX the paper evaluates on: 8-core Carmel CPU, a
+// 512-core Volta integrated GPU and two DLA engines sharing LPDDR4x
+// unified memory. Peak-rate and power constants follow the public
+// datasheet / MAXN power-mode measurements; per-layer times produced from
+// them stand in for the TensorRT profiles the paper records before the
+// mapping search (DESIGN.md section 2).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/precision.hpp"
+
+namespace evedge::hw {
+
+using quant::Precision;
+
+enum class PeKind : std::uint8_t { kCpu, kGpu, kDla };
+
+[[nodiscard]] std::string to_string(PeKind kind);
+
+/// One processing element of the platform.
+struct ProcessingElement {
+  int id = -1;
+  std::string name;
+  PeKind kind = PeKind::kGpu;
+
+  /// Peak multiply-accumulate rate per precision (MAC/s); 0 = precision
+  /// not supported on this PE (e.g. the DLA has no FP32 path).
+  std::array<double, 3> peak_macs_per_s{};
+
+  /// Fraction of peak sustained on dense conv workloads.
+  double dense_efficiency = 0.5;
+  /// Additional multiplier for spiking (LIF) layers — elementwise,
+  /// branchy state updates utilize wide SIMD/tensor datapaths poorly.
+  double spiking_efficiency = 0.3;
+  /// Fixed per-layer dispatch overhead (kernel launch / DLA submit), us.
+  double launch_overhead_us = 20.0;
+  /// Effective local memory bandwidth for activation traffic, bytes/us.
+  double mem_bandwidth_bytes_per_us = 60'000.0;
+  /// Whether sparse (COO gather-scatter) kernels are available.
+  bool supports_sparse = false;
+  /// Per-MAC cost multiplier of the sparse route relative to dense MACs.
+  double sparse_overhead = 2.5;
+
+  /// Active power draw per precision (W) while executing, and idle power.
+  std::array<double, 3> active_power_w{};
+  double idle_power_w = 0.5;
+
+  [[nodiscard]] bool supports(Precision p) const noexcept {
+    return peak_macs_per_s[static_cast<std::size_t>(p)] > 0.0;
+  }
+  [[nodiscard]] double peak(Precision p) const noexcept {
+    return peak_macs_per_s[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] double active_power(Precision p) const noexcept {
+    return active_power_w[static_cast<std::size_t>(p)];
+  }
+};
+
+/// The platform: processing elements + unified memory fabric.
+struct Platform {
+  std::string name;
+  std::vector<ProcessingElement> pes;
+
+  /// Unified-memory copy bandwidth between PEs (bytes/us) and the fixed
+  /// synchronization cost per transfer (us). Producer/consumer layers on
+  /// the same PE communicate through cache/registers at zero model cost.
+  double unified_mem_bandwidth_bytes_per_us = 85'000.0;
+  double transfer_sync_overhead_us = 12.0;
+
+  [[nodiscard]] const ProcessingElement& pe(int id) const;
+  [[nodiscard]] int pe_count() const noexcept {
+    return static_cast<int>(pes.size());
+  }
+  /// Id of the first PE of the given kind; throws if absent.
+  [[nodiscard]] int first_pe(PeKind kind) const;
+
+  void validate() const;
+};
+
+/// Jetson Xavier AGX preset (MAXN power mode).
+[[nodiscard]] Platform xavier_agx();
+
+/// Time to move `bytes` between two PEs over unified memory (0 for same PE).
+[[nodiscard]] double transfer_time_us(const Platform& platform, int from_pe,
+                                      int to_pe, double bytes);
+
+}  // namespace evedge::hw

@@ -1,0 +1,83 @@
+#include "hw/profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evedge::hw {
+
+bool supports_layer(const ProcessingElement& pe, nn::LayerKind kind) {
+  if (pe.kind != PeKind::kDla) return true;
+  switch (kind) {
+    case nn::LayerKind::kSpikingConv:
+    case nn::LayerKind::kAdaptiveSpikingConv:
+    case nn::LayerKind::kTransposedConv:
+      return false;
+    default:
+      return true;
+  }
+}
+
+TaskProfile profile_task(const nn::NetworkSpec& spec,
+                         const Platform& platform,
+                         const std::vector<double>* node_densities) {
+  platform.validate();
+  if (node_densities != nullptr &&
+      node_densities->size() != spec.graph.size()) {
+    throw std::invalid_argument("profile_task: density size mismatch");
+  }
+  TaskProfile profile;
+  profile.nodes.reserve(spec.graph.size());
+  for (const nn::LayerNode& node : spec.graph.nodes()) {
+    NodeProfile np;
+    np.node_id = node.id;
+    np.mappable = node.spec.kind != nn::LayerKind::kInput &&
+                  node.spec.kind != nn::LayerKind::kOutput;
+    np.output_elements = node.spec.output_elements();
+    np.domain = nn::domain_of(node.spec.kind);
+
+    LayerWorkload workload = LayerWorkload::from_layer(node.spec);
+    if (node_densities != nullptr && !node.parents.empty()) {
+      // Input density of this node = measured output density of its
+      // first parent.
+      workload.input_density = std::clamp(
+          (*node_densities)[static_cast<std::size_t>(
+              node.parents.front())],
+          0.0, 1.0);
+    }
+    // Spiking layers execute once per event-bin timestep per inference.
+    const double repeats =
+        np.domain == nn::Domain::kSnn ? spec.timesteps : 1;
+
+    np.time_us.resize(platform.pes.size());
+    for (const ProcessingElement& pe : platform.pes) {
+      for (const Precision p : quant::kAllPrecisions) {
+        double t = std::numeric_limits<double>::infinity();
+        if (np.mappable && pe.supports(p) &&
+            supports_layer(pe, node.spec.kind)) {
+          const Route route = node_densities != nullptr
+                                  ? best_route(pe, p, workload)
+                                  : Route::kDense;
+          t = repeats * layer_latency_us(pe, p, workload, route);
+        } else if (!np.mappable) {
+          t = 0.0;  // inputs/outputs cost nothing themselves
+        }
+        np.time_us[static_cast<std::size_t>(pe.id)]
+                  [static_cast<std::size_t>(p)] = t;
+      }
+    }
+    profile.nodes.push_back(std::move(np));
+  }
+  return profile;
+}
+
+std::vector<TaskProfile> profile_tasks(
+    const std::vector<nn::NetworkSpec>& specs, const Platform& platform) {
+  std::vector<TaskProfile> profiles;
+  profiles.reserve(specs.size());
+  for (const nn::NetworkSpec& spec : specs) {
+    profiles.push_back(profile_task(spec, platform));
+  }
+  return profiles;
+}
+
+}  // namespace evedge::hw

@@ -1,0 +1,70 @@
+#pragma once
+
+// Simulated profiling pass. The paper (§4.3.2): "The individual execution
+// time for each layer and the communication time between layers are
+// measured on the hardware platform and recorded before the search
+// process begins." This module produces those tables from the analytic
+// latency model: for every mappable node of every task, the execution
+// time on every (PE, precision) combination, plus per-node output volume
+// for communication costing.
+
+#include <limits>
+#include <vector>
+
+#include "hw/latency_model.hpp"
+#include "hw/platform.hpp"
+#include "nn/graph.hpp"
+
+namespace evedge::hw {
+
+/// Whether a PE can execute a layer kind at all. The DLA is a fixed-
+/// function conv engine: custom ops (LIF spiking updates) and transposed
+/// convolutions are not offloadable and fall back to the GPU on the real
+/// platform.
+[[nodiscard]] bool supports_layer(const ProcessingElement& pe,
+                                  nn::LayerKind kind);
+
+/// Profiled times for one graph node: time_us[pe][precision];
+/// +inf marks unsupported combinations.
+struct NodeProfile {
+  int node_id = -1;
+  bool mappable = false;  ///< inputs/outputs are pinned, not mapped
+  std::vector<std::array<double, 3>> time_us;  ///< [pe][precision]
+  std::size_t output_elements = 0;  ///< for communication volume
+  nn::Domain domain = nn::Domain::kAnn;
+
+  [[nodiscard]] double time(int pe, Precision p) const {
+    return time_us[static_cast<std::size_t>(pe)]
+                  [static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] bool supported(int pe, Precision p) const {
+    return time(pe, p) < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Profile of one task (network): node profiles indexed by node id.
+struct TaskProfile {
+  std::vector<NodeProfile> nodes;
+
+  [[nodiscard]] const NodeProfile& node(int id) const {
+    return nodes.at(static_cast<std::size_t>(id));
+  }
+};
+
+/// Profiles every node of `spec` on `platform`. SNN layer times include
+/// the per-inference timestep repetition (spiking layers execute once per
+/// event bin). By default the recorded time is the dense route (matching
+/// TensorRT profiling); when `node_densities` is given (one activation
+/// density per node id, as measured on the functional network), each
+/// entry records the cheaper of the dense and sparse routes at that
+/// density — so a mapper consuming the profile makes decisions consistent
+/// with the sparse-aware runtime.
+[[nodiscard]] TaskProfile profile_task(
+    const nn::NetworkSpec& spec, const Platform& platform,
+    const std::vector<double>* node_densities = nullptr);
+
+/// Profiles several concurrent tasks (one entry per task).
+[[nodiscard]] std::vector<TaskProfile> profile_tasks(
+    const std::vector<nn::NetworkSpec>& specs, const Platform& platform);
+
+}  // namespace evedge::hw

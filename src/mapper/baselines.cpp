@@ -1,0 +1,135 @@
+#include "mapper/baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace evedge::mapper {
+
+quant::Precision widest_precision(const hw::ProcessingElement& pe) {
+  for (const quant::Precision p : quant::kAllPrecisions) {
+    if (pe.supports(p)) return p;  // kAllPrecisions is widest-first
+  }
+  throw std::logic_error("PE supports no precision");
+}
+
+std::vector<int> capability_order(const hw::Platform& platform) {
+  // Round-robin distributes over the accelerators; the host CPU is only
+  // part of the cycle when it is the sole processing element.
+  std::vector<int> order;
+  for (const hw::ProcessingElement& pe : platform.pes) {
+    if (pe.kind != hw::PeKind::kCpu) order.push_back(pe.id);
+  }
+  if (order.empty()) {
+    for (const hw::ProcessingElement& pe : platform.pes) {
+      order.push_back(pe.id);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&platform](int a, int b) {
+    const auto strength = [&platform](int id) {
+      const hw::ProcessingElement& pe = platform.pe(id);
+      double best = 0.0;
+      for (const quant::Precision p : quant::kAllPrecisions) {
+        best = std::max(best, pe.peak(p) * pe.dense_efficiency);
+      }
+      return best;
+    };
+    return strength(a) > strength(b);
+  });
+  return order;
+}
+
+MappingCandidate rr_network_candidate(
+    const std::vector<nn::NetworkSpec>& specs,
+    const std::vector<hw::TaskProfile>& profiles,
+    const hw::Platform& platform) {
+  if (specs.size() != profiles.size()) {
+    throw std::invalid_argument("specs/profiles size mismatch");
+  }
+  const std::vector<int> order = capability_order(platform);
+  // Literal cyclic assignment: network i takes the i-th accelerator in
+  // capability order (network 0 gets the GPU, and so on).
+  std::vector<int> task_pe(specs.size());
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    task_pe[t] = order[t % order.size()];
+  }
+  MappingCandidate candidate;
+  candidate.tasks.resize(specs.size());
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    const int pe_id = task_pe[t];
+    TaskMapping& mapping = candidate.tasks[t];
+    mapping.nodes.resize(specs[t].graph.size());
+    for (const nn::LayerNode& node : specs[t].graph.nodes()) {
+      const hw::NodeProfile& np = profiles[t].node(node.id);
+      if (!np.mappable) continue;
+      // Layers the assigned PE cannot execute fall back to the GPU
+      // (TensorRT's GPU-fallback behaviour for DLA-incompatible layers).
+      int chosen = pe_id;
+      if (!np.supported(pe_id, widest_precision(platform.pe(pe_id)))) {
+        chosen = platform.first_pe(hw::PeKind::kGpu);
+      }
+      mapping.nodes[static_cast<std::size_t>(node.id)] =
+          sched::NodeAssignment{chosen,
+                                widest_precision(platform.pe(chosen))};
+    }
+  }
+  return candidate;
+}
+
+MappingCandidate rr_layer_candidate(
+    const std::vector<nn::NetworkSpec>& specs,
+    const std::vector<hw::TaskProfile>& profiles,
+    const hw::Platform& platform) {
+  if (specs.size() != profiles.size()) {
+    throw std::invalid_argument("specs/profiles size mismatch");
+  }
+  const std::vector<int> order = capability_order(platform);
+  MappingCandidate candidate;
+  candidate.tasks.resize(specs.size());
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    TaskMapping& mapping = candidate.tasks[t];
+    mapping.nodes.resize(specs[t].graph.size());
+    for (const nn::LayerNode& node : specs[t].graph.nodes()) {
+      const hw::NodeProfile& np = profiles[t].node(node.id);
+      if (!np.mappable) continue;
+      int pe_id = order[cursor % order.size()];
+      ++cursor;
+      if (!np.supported(pe_id, widest_precision(platform.pe(pe_id)))) {
+        pe_id = platform.first_pe(hw::PeKind::kGpu);  // GPU fallback
+      }
+      mapping.nodes[static_cast<std::size_t>(node.id)] =
+          sched::NodeAssignment{pe_id,
+                                widest_precision(platform.pe(pe_id))};
+    }
+  }
+  return candidate;
+}
+
+RandomSearchResult random_search(const NetworkMapper& mapper, int population,
+                                 int generations, std::uint64_t seed) {
+  if (population < 1 || generations < 1) {
+    throw std::invalid_argument("random search budget must be positive");
+  }
+  std::mt19937_64 rng(seed);
+  RandomSearchResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (int gen = 0; gen < generations; ++gen) {
+    for (int i = 0; i < population; ++i) {
+      const MappingCandidate candidate = mapper.random_candidate(rng());
+      const double f = mapper.fitness(candidate);
+      ++result.fitness_evaluations;
+      if (f < best) {
+        best = f;
+        result.best = candidate;
+        result.best_fitness = f;
+      }
+    }
+    GenerationRecord record;
+    record.generation = gen;
+    record.best_fitness = best;
+    result.history.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace evedge::mapper

@@ -1,0 +1,52 @@
+#pragma once
+
+// Scheduling baselines the paper compares NMP against (§6):
+//  - RR-Network: coarse round-robin — each whole network is pinned to one
+//    processing element, networks distributed cyclically.
+//  - RR-Layer: fine round-robin — consecutive layers distributed
+//    cyclically over the processing elements.
+//  - Random search: candidates sampled uniformly every generation with
+//    the same evaluation budget as the evolutionary search (Fig. 10b).
+
+#include "mapper/nmp.hpp"
+
+namespace evedge::mapper {
+
+/// Widest precision the PE supports (FP32 where available, else FP16).
+[[nodiscard]] quant::Precision widest_precision(
+    const hw::ProcessingElement& pe);
+
+/// PE ids ordered by dense capability (fastest first): the round-robin
+/// baselines cycle through this order so the strongest engines are used
+/// before the CPU.
+[[nodiscard]] std::vector<int> capability_order(const hw::Platform& platform);
+
+/// RR-Network candidate: network i runs entirely on PE (i mod #PEs), at
+/// that PE's widest supported precision.
+[[nodiscard]] MappingCandidate rr_network_candidate(
+    const std::vector<nn::NetworkSpec>& specs,
+    const std::vector<hw::TaskProfile>& profiles,
+    const hw::Platform& platform);
+
+/// RR-Layer candidate: mappable layers (in task order, then topological
+/// order) cycle over the PEs, each at the PE's widest precision.
+[[nodiscard]] MappingCandidate rr_layer_candidate(
+    const std::vector<nn::NetworkSpec>& specs,
+    const std::vector<hw::TaskProfile>& profiles,
+    const hw::Platform& platform);
+
+struct RandomSearchResult {
+  MappingCandidate best;
+  double best_fitness = 0.0;
+  std::vector<GenerationRecord> history;  ///< best-so-far per generation
+  std::size_t fitness_evaluations = 0;
+};
+
+/// Random search with the same per-generation candidate budget as the
+/// mapper's EA; `mapper` supplies candidate sampling and fitness.
+[[nodiscard]] RandomSearchResult random_search(const NetworkMapper& mapper,
+                                               int population,
+                                               int generations,
+                                               std::uint64_t seed);
+
+}  // namespace evedge::mapper

@@ -1,0 +1,335 @@
+#include "mapper/nmp.hpp"
+
+#include "mapper/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace evedge::mapper {
+
+namespace {
+
+struct Scored {
+  MappingCandidate candidate;
+  double fitness = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::uint64_t candidate_hash(const MappingCandidate& candidate) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  for (const TaskMapping& task : candidate.tasks) {
+    for (const sched::NodeAssignment& a : task.nodes) {
+      mix(static_cast<std::uint64_t>(a.pe + 1));
+      mix(static_cast<std::uint64_t>(a.precision));
+    }
+  }
+  return h;
+}
+
+NetworkMapper::NetworkMapper(std::vector<nn::NetworkSpec> specs,
+                             std::vector<hw::TaskProfile> profiles,
+                             hw::Platform platform, AccuracyFn accuracy,
+                             NmpConfig config)
+    : specs_(std::move(specs)),
+      profiles_(std::move(profiles)),
+      platform_(std::move(platform)),
+      accuracy_(std::move(accuracy)),
+      config_(config) {
+  if (specs_.empty() || specs_.size() != profiles_.size()) {
+    throw std::invalid_argument("mapper needs matching specs/profiles");
+  }
+  if (config_.population < 2) {
+    throw std::invalid_argument("population must be >= 2");
+  }
+  if (config_.generations < 1) {
+    throw std::invalid_argument("generations must be >= 1");
+  }
+  if (!accuracy_) {
+    throw std::invalid_argument("accuracy oracle must be set");
+  }
+  platform_.validate();
+}
+
+std::vector<sched::NodeAssignment> NetworkMapper::choices_for(
+    int task, int node_id) const {
+  const hw::NodeProfile& np =
+      profiles_[static_cast<std::size_t>(task)].node(node_id);
+  std::vector<sched::NodeAssignment> choices;
+  if (!np.mappable) return choices;
+  for (const hw::ProcessingElement& pe : platform_.pes) {
+    for (const quant::Precision p : quant::kAllPrecisions) {
+      if (!config_.allow_reduced_precision &&
+          p == quant::Precision::kInt8) {
+        continue;
+      }
+      if (np.supported(pe.id, p)) {
+        choices.push_back(sched::NodeAssignment{pe.id, p});
+      }
+    }
+  }
+  if (choices.empty()) {
+    throw std::logic_error("node has no valid (PE, precision) choice");
+  }
+  return choices;
+}
+
+MappingCandidate NetworkMapper::random_candidate(std::uint64_t seed) const {
+  std::mt19937_64 rng(seed);
+  MappingCandidate candidate;
+  candidate.tasks.resize(specs_.size());
+  for (std::size_t t = 0; t < specs_.size(); ++t) {
+    TaskMapping& mapping = candidate.tasks[t];
+    mapping.nodes.resize(specs_[t].graph.size());
+    for (const nn::LayerNode& node : specs_[t].graph.nodes()) {
+      const auto choices = choices_for(static_cast<int>(t), node.id);
+      if (choices.empty()) continue;
+      std::uniform_int_distribution<std::size_t> pick(0, choices.size() - 1);
+      mapping.nodes[static_cast<std::size_t>(node.id)] = choices[pick(rng)];
+    }
+  }
+  return candidate;
+}
+
+MappingCandidate NetworkMapper::greedy_candidate(
+    bool full_precision_only) const {
+  MappingCandidate candidate;
+  candidate.tasks.resize(specs_.size());
+  for (std::size_t t = 0; t < specs_.size(); ++t) {
+    TaskMapping& mapping = candidate.tasks[t];
+    mapping.nodes.resize(specs_[t].graph.size());
+    for (const nn::LayerNode& node : specs_[t].graph.nodes()) {
+      const hw::NodeProfile& np = profiles_[t].node(node.id);
+      if (!np.mappable) continue;
+      sched::NodeAssignment best{};
+      double best_time = std::numeric_limits<double>::infinity();
+      for (const sched::NodeAssignment& a :
+           choices_for(static_cast<int>(t), node.id)) {
+        if (full_precision_only && a.precision == quant::Precision::kInt8) {
+          continue;
+        }
+        const double time = np.time(a.pe, a.precision);
+        if (time < best_time) {
+          best_time = time;
+          best = a;
+        }
+      }
+      mapping.nodes[static_cast<std::size_t>(node.id)] = best;
+    }
+  }
+  return candidate;
+}
+
+double NetworkMapper::fitness(const MappingCandidate& candidate,
+                              sched::ScheduleResult* schedule_out,
+                              std::vector<double>* degradation_out) const {
+  const sched::ScheduleResult result =
+      sched::schedule(specs_, profiles_, candidate, platform_);
+  double penalty = 0.0;
+  std::vector<double> degradation(specs_.size(), 0.0);
+  for (std::size_t t = 0; t < specs_.size(); ++t) {
+    degradation[t] =
+        accuracy_(static_cast<int>(t), candidate.tasks[t]);
+    if (degradation[t] > config_.accuracy_threshold) {
+      penalty += (degradation[t] - config_.accuracy_threshold) /
+                 std::max(config_.accuracy_threshold, 1e-9);
+    }
+  }
+  if (schedule_out != nullptr) *schedule_out = result;
+  if (degradation_out != nullptr) *degradation_out = std::move(degradation);
+  double objective = 0.0;
+  switch (config_.objective) {
+    case Objective::kLatency:
+      objective = result.max_task_latency_us;
+      break;
+    case Objective::kEnergy:
+      objective = result.energy_mj;
+      break;
+    case Objective::kEnergyDelayProduct:
+      objective = result.energy_mj * result.max_task_latency_us / 1000.0;
+      break;
+  }
+  return objective * (1.0 + config_.constraint_penalty * penalty);
+}
+
+void NetworkMapper::mutate(MappingCandidate& candidate,
+                           std::mt19937_64& rng) const {
+  for (std::size_t t = 0; t < candidate.tasks.size(); ++t) {
+    // Collect mappable node ids once per task.
+    std::vector<int> mappable;
+    for (const nn::LayerNode& node : specs_[t].graph.nodes()) {
+      if (profiles_[t].node(node.id).mappable) mappable.push_back(node.id);
+    }
+    if (mappable.empty()) continue;
+    std::uniform_int_distribution<std::size_t> pick_node(0,
+                                                         mappable.size() - 1);
+    for (int m = 0; m < config_.mutation_layers; ++m) {
+      const int node_id = mappable[pick_node(rng)];
+      const auto choices = choices_for(static_cast<int>(t), node_id);
+      std::uniform_int_distribution<std::size_t> pick(0, choices.size() - 1);
+      candidate.tasks[t].nodes[static_cast<std::size_t>(node_id)] =
+          choices[pick(rng)];
+    }
+  }
+}
+
+NmpResult NetworkMapper::run() {
+  std::mt19937_64 rng(config_.seed);
+  NmpResult result;
+
+  // Fitness cache (paper §4.3.1: "the fitness scores are cached for each
+  // new candidate and reused if the same candidate emerges").
+  std::unordered_map<std::uint64_t, double> cache;
+  const auto evaluate = [&](const MappingCandidate& c) {
+    const std::uint64_t key = candidate_hash(c);
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      ++result.cache_hits;
+      return it->second;
+    }
+    const double f = fitness(c);
+    ++result.fitness_evaluations;
+    cache.emplace(key, f);
+    return f;
+  };
+
+  // --- Initial population: optional greedy seeds + random candidates.
+  std::vector<Scored> population;
+  population.reserve(static_cast<std::size_t>(config_.population));
+  if (config_.seed_greedy) {
+    Scored greedy;
+    greedy.candidate = greedy_candidate(false);
+    greedy.fitness = evaluate(greedy.candidate);
+    population.push_back(std::move(greedy));
+    if (config_.allow_reduced_precision) {
+      Scored safe;  // constraint-safe full-precision variant
+      safe.candidate = greedy_candidate(true);
+      safe.fitness = evaluate(safe.candidate);
+      population.push_back(std::move(safe));
+    }
+    // Round-robin baselines as seeds: the search must never lose to a
+    // candidate it could trivially have started from.
+    for (auto maker : {rr_network_candidate, rr_layer_candidate}) {
+      if (population.size() >=
+          static_cast<std::size_t>(config_.population)) {
+        break;
+      }
+      Scored rr;
+      rr.candidate = maker(specs_, profiles_, platform_);
+      if (!config_.allow_reduced_precision) {
+        // Strip any INT8 the baseline picked (widest precision never
+        // selects INT8, so this is a no-op today; kept for safety).
+        for (auto& task : rr.candidate.tasks) {
+          for (auto& node : task.nodes) {
+            if (node.pe >= 0 &&
+                node.precision == quant::Precision::kInt8) {
+              node.precision = quant::Precision::kFp16;
+            }
+          }
+        }
+      }
+      rr.fitness = evaluate(rr.candidate);
+      // Also seed an INT8-where-possible variant of the same placement:
+      // a common strong point the crossover can splice from.
+      Scored rr8;
+      rr8.candidate = rr.candidate;
+      if (config_.allow_reduced_precision) {
+        for (std::size_t t = 0; t < rr8.candidate.tasks.size(); ++t) {
+          auto& task = rr8.candidate.tasks[t];
+          for (std::size_t n = 0; n < task.nodes.size(); ++n) {
+            auto& node = task.nodes[n];
+            if (node.pe >= 0 &&
+                profiles_[t].node(static_cast<int>(n))
+                    .supported(node.pe, quant::Precision::kInt8)) {
+              node.precision = quant::Precision::kInt8;
+            }
+          }
+        }
+      }
+      population.push_back(std::move(rr));
+      if (config_.allow_reduced_precision &&
+          population.size() <
+              static_cast<std::size_t>(config_.population)) {
+        rr8.fitness = evaluate(rr8.candidate);
+        population.push_back(std::move(rr8));
+      }
+    }
+  }
+  while (population.size() <
+         static_cast<std::size_t>(config_.population)) {
+    Scored s;
+    s.candidate = random_candidate(rng());
+    s.fitness = evaluate(s.candidate);
+    population.push_back(std::move(s));
+  }
+
+  const auto by_fitness = [](const Scored& a, const Scored& b) {
+    return a.fitness < b.fitness;
+  };
+
+  const int elite_count = std::max(
+      1, static_cast<int>(config_.elite_fraction * config_.population));
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    std::sort(population.begin(), population.end(), by_fitness);
+
+    GenerationRecord record;
+    record.generation = gen;
+    record.best_fitness = population.front().fitness;
+    double mean = 0.0;
+    for (const Scored& s : population) mean += s.fitness;
+    record.mean_fitness = mean / static_cast<double>(population.size());
+    {
+      sched::ScheduleResult sr;
+      std::vector<double> deg;
+      (void)fitness(population.front().candidate, &sr, &deg);
+      record.best_latency_us = sr.max_task_latency_us;
+      for (std::size_t t = 0; t < deg.size(); ++t) {
+        record.best_accuracy_violation =
+            std::max(record.best_accuracy_violation,
+                     deg[t] - config_.accuracy_threshold);
+      }
+    }
+    result.history.push_back(record);
+
+    // --- Next generation: elites survive; children come from neighbor-
+    // pair crossover among the fittest half (paper: "new children are
+    // produced by the fittest candidates"; one of each neighboring pair
+    // is chosen as the child with equal likelihood), then mutated.
+    std::vector<Scored> next;
+    next.reserve(population.size());
+    for (int e = 0; e < elite_count; ++e) {
+      next.push_back(population[static_cast<std::size_t>(e)]);
+    }
+    const std::size_t parent_pool =
+        std::max<std::size_t>(2, population.size() / 2);
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::size_t pair = 0;
+    while (next.size() < population.size()) {
+      const std::size_t a = pair % parent_pool;
+      const std::size_t b = (pair + 1) % parent_pool;
+      ++pair;
+      Scored child;
+      child.candidate = coin(rng) == 0 ? population[a].candidate
+                                       : population[b].candidate;
+      mutate(child.candidate, rng);
+      child.fitness = evaluate(child.candidate);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  std::sort(population.begin(), population.end(), by_fitness);
+  result.best = population.front().candidate;
+  (void)fitness(result.best, &result.best_schedule,
+                &result.task_degradation);
+  return result;
+}
+
+}  // namespace evedge::mapper

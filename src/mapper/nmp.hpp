@@ -1,0 +1,132 @@
+#pragma once
+
+// Network Mapper (NMP, paper §4.3): evolutionary search over per-layer
+// (processing element, precision) assignments for concurrently executing
+// tasks, minimizing the maximum task latency subject to per-task accuracy
+// degradation bounds (Eq. 2). Latency of a candidate comes from the list
+// scheduler (Eq. 3); accuracy degradation from a caller-supplied model
+// (normally a quant::SensitivityModel calibrated on the functional nets).
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace evedge::mapper {
+
+using sched::MappingCandidate;
+using sched::TaskMapping;
+
+/// Accuracy-degradation oracle: Delta-A of one task under a mapping, in
+/// the task's metric units (see quant::metric_degradation).
+using AccuracyFn =
+    std::function<double(int task_index, const TaskMapping& mapping)>;
+
+/// Optimization objective (paper §4.3: "this procedure can be repeated
+/// to optimize for other objectives such as energy as well").
+enum class Objective : std::uint8_t {
+  kLatency,            ///< Eq. 2: minimize max task latency
+  kEnergy,             ///< minimize schedule energy
+  kEnergyDelayProduct, ///< minimize energy x max task latency
+};
+
+struct NmpConfig {
+  int population = 24;
+  int generations = 30;
+  Objective objective = Objective::kLatency;
+  /// Layers per task replaced with random genes during mutation
+  /// (paper: "a specified number of layers in each task is replaced").
+  int mutation_layers = 2;
+  /// Per-task accuracy degradation bound (Eq. 2's Delta-A), metric units.
+  double accuracy_threshold = 0.05;
+  /// Fitness penalty slope for constraint violations.
+  double constraint_penalty = 4.0;
+  /// false = Ev-Edge-NMP-FP: only full-precision mappings are searched.
+  /// Following TensorRT convention, FP32 and FP16 both count as full
+  /// precision ("prevent any accuracy degradation"); INT8 is the
+  /// quantized mode this flag disables.
+  bool allow_reduced_precision = true;
+  std::uint64_t seed = 1;
+
+  /// Fraction of elite candidates carried over unchanged per generation.
+  double elite_fraction = 0.25;
+
+  /// Seed the initial population with latency-greedy candidates (per-node
+  /// argmin execution time, plus a full-precision constraint-safe
+  /// variant) and with the round-robin baseline candidates. Deviation
+  /// from the paper's purely random initialization that substantially
+  /// tightens convergence at small budgets; disable to reproduce the
+  /// paper's initialization.
+  bool seed_greedy = true;
+};
+
+/// One point of the convergence history (Fig. 10a).
+struct GenerationRecord {
+  int generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double best_latency_us = 0.0;
+  double best_accuracy_violation = 0.0;
+};
+
+struct NmpResult {
+  MappingCandidate best;
+  sched::ScheduleResult best_schedule;
+  std::vector<double> task_degradation;  ///< Delta-A per task of `best`
+  std::vector<GenerationRecord> history;
+  std::size_t fitness_evaluations = 0;   ///< scheduler+accuracy runs
+  std::size_t cache_hits = 0;            ///< candidates served from cache
+};
+
+class NetworkMapper {
+ public:
+  NetworkMapper(std::vector<nn::NetworkSpec> specs,
+                std::vector<hw::TaskProfile> profiles, hw::Platform platform,
+                AccuracyFn accuracy, NmpConfig config);
+
+  /// Runs the evolutionary search.
+  [[nodiscard]] NmpResult run();
+
+  /// Draws one random valid candidate (used for initialization and by
+  /// the random-search baseline).
+  [[nodiscard]] MappingCandidate random_candidate(std::uint64_t seed) const;
+
+  /// Latency-greedy candidate: every node takes its fastest supported
+  /// (PE, precision) pair in isolation (contention-blind). With
+  /// `full_precision_only`, INT8 is excluded so the candidate is
+  /// accuracy-constraint-safe by construction.
+  [[nodiscard]] MappingCandidate greedy_candidate(
+      bool full_precision_only) const;
+
+  /// Fitness of a candidate: max task latency inflated by accuracy
+  /// violations. Lower is better. Exposed for the baselines/benches.
+  [[nodiscard]] double fitness(const MappingCandidate& candidate,
+                               sched::ScheduleResult* schedule_out = nullptr,
+                               std::vector<double>* degradation_out =
+                                   nullptr) const;
+
+  [[nodiscard]] const NmpConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<nn::NetworkSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+ private:
+  /// (pe, precision) choices valid for a node under the config.
+  [[nodiscard]] std::vector<sched::NodeAssignment> choices_for(
+      int task, int node_id) const;
+
+  void mutate(MappingCandidate& candidate, std::mt19937_64& rng) const;
+
+  std::vector<nn::NetworkSpec> specs_;
+  std::vector<hw::TaskProfile> profiles_;
+  hw::Platform platform_;
+  AccuracyFn accuracy_;
+  NmpConfig config_;
+};
+
+/// FNV-1a hash of a candidate's gene sequence (fitness-cache key).
+[[nodiscard]] std::uint64_t candidate_hash(const MappingCandidate& candidate);
+
+}  // namespace evedge::mapper

@@ -1,0 +1,274 @@
+#include "nn/engine.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "nn/kernels.hpp"
+
+namespace evedge::nn {
+
+using sparse::DenseTensor;
+using sparse::TensorShape;
+
+namespace {
+
+/// He-style init range: sqrt(2 / fan_in), clipped to a sane interval.
+[[nodiscard]] float he_range(std::size_t fan_in) {
+  const double r = std::sqrt(
+      2.0 / static_cast<double>(std::max<std::size_t>(fan_in, 1)));
+  return static_cast<float>(std::min(0.6, std::max(0.02, r)));
+}
+
+}  // namespace
+
+DenseTensor center_crop(const DenseTensor& t, int h, int w) {
+  const TensorShape& s = t.shape();
+  if (h > s.h || w > s.w) {
+    throw std::invalid_argument("center_crop: target larger than source");
+  }
+  if (h == s.h && w == s.w) return t;
+  const int oy = (s.h - h) / 2;
+  const int ox = (s.w - w) / 2;
+  DenseTensor out(TensorShape{s.n, s.c, h, w});
+  for (int n = 0; n < s.n; ++n) {
+    for (int c = 0; c < s.c; ++c) {
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          out.at(n, c, y, x) = t.at(n, c, y + oy, x + ox);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+FunctionalNetwork::FunctionalNetwork(NetworkSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)) {
+  spec_.graph.validate();
+  const auto n = spec_.graph.size();
+  weights_.resize(n);
+  biases_.resize(n);
+  channel_leak_.resize(n);
+  channel_threshold_.resize(n);
+  lif_.resize(n);
+  is_spiking_.assign(n, false);
+
+  std::mt19937_64 rng(seed);
+  for (const LayerNode& node : spec_.graph.nodes()) {
+    const LayerSpec& ls = node.spec;
+    const auto idx = static_cast<std::size_t>(node.id);
+    switch (ls.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kTransposedConv:
+      case LayerKind::kSpikingConv:
+      case LayerKind::kAdaptiveSpikingConv: {
+        weights_[idx] = DenseTensor(TensorShape{ls.conv.out_channels,
+                                                ls.conv.in_channels,
+                                                ls.conv.kernel,
+                                                ls.conv.kernel});
+        const auto fan_in = static_cast<std::size_t>(ls.conv.in_channels) *
+                            static_cast<std::size_t>(ls.conv.kernel) *
+                            static_cast<std::size_t>(ls.conv.kernel);
+        weights_[idx].fill_random(rng(), he_range(fan_in));
+        biases_[idx].assign(static_cast<std::size_t>(ls.conv.out_channels),
+                            0.0f);
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        const auto in_features = ls.input_elements();
+        weights_[idx] = DenseTensor(
+            TensorShape{ls.fc_out, static_cast<int>(in_features), 1, 1});
+        weights_[idx].fill_random(rng(), he_range(in_features));
+        biases_[idx].assign(static_cast<std::size_t>(ls.fc_out), 0.0f);
+        break;
+      }
+      default:
+        break;
+    }
+    if (ls.kind == LayerKind::kSpikingConv ||
+        ls.kind == LayerKind::kAdaptiveSpikingConv) {
+      is_spiking_[idx] = true;
+      if (ls.kind == LayerKind::kAdaptiveSpikingConv) {
+        // Stand-in for learned per-channel dynamics: deterministic
+        // per-channel leak/threshold spread around the shared values.
+        std::uniform_real_distribution<float> leak_d(0.7f, 0.97f);
+        std::uniform_real_distribution<float> vth_d(0.6f * ls.lif.v_threshold,
+                                                    1.4f * ls.lif.v_threshold);
+        for (int c = 0; c < ls.conv.out_channels; ++c) {
+          channel_leak_[idx].push_back(leak_d(rng));
+          channel_threshold_[idx].push_back(vth_d(rng));
+        }
+      }
+      lif_[idx] = LifState(ls.out_shape, ls.lif, channel_leak_[idx],
+                           channel_threshold_[idx]);
+    }
+  }
+}
+
+DenseTensor& FunctionalNetwork::weights(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(weights_.size()) ||
+      weights_[static_cast<std::size_t>(node_id)].size() == 0) {
+    throw std::invalid_argument("node " + std::to_string(node_id) +
+                                " has no weights");
+  }
+  return weights_[static_cast<std::size_t>(node_id)];
+}
+
+const DenseTensor& FunctionalNetwork::weights(int node_id) const {
+  return const_cast<FunctionalNetwork*>(this)->weights(node_id);
+}
+
+std::vector<float>& FunctionalNetwork::bias(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(biases_.size())) {
+    throw std::invalid_argument("bad node id");
+  }
+  return biases_[static_cast<std::size_t>(node_id)];
+}
+
+void FunctionalNetwork::reset_spiking_state() {
+  for (std::size_t i = 0; i < lif_.size(); ++i) {
+    if (is_spiking_[i]) lif_[i].reset();
+  }
+}
+
+DenseTensor FunctionalNetwork::run(std::span<const DenseTensor> event_steps,
+                                   const DenseTensor* image) {
+  const std::vector<int> inputs = spec_.graph.input_ids();
+  const std::vector<int> outputs = spec_.graph.output_ids();
+  if (static_cast<int>(event_steps.size()) != spec_.timesteps) {
+    throw std::invalid_argument(
+        "run: expected " + std::to_string(spec_.timesteps) +
+        " timestep inputs, got " + std::to_string(event_steps.size()));
+  }
+  if (inputs.size() > 1 && image == nullptr) {
+    throw std::invalid_argument("run: network requires an image input");
+  }
+  reset_spiking_state();
+
+  DenseTensor accumulated;
+  std::vector<DenseTensor> values(spec_.graph.size());
+
+  for (int t = 0; t < spec_.timesteps; ++t) {
+    const DenseTensor& step = event_steps[static_cast<std::size_t>(t)];
+    for (const LayerNode& node : spec_.graph.nodes()) {
+      const LayerSpec& ls = node.spec;
+      const auto idx = static_cast<std::size_t>(node.id);
+      DenseTensor out;
+      switch (ls.kind) {
+        case LayerKind::kInput: {
+          const bool is_event_input = node.id == inputs.front();
+          const DenseTensor& src = is_event_input ? step : *image;
+          if (!(src.shape() == ls.out_shape)) {
+            throw std::invalid_argument("run: input shape mismatch at '" +
+                                        ls.name + "'");
+          }
+          out = src;
+          break;
+        }
+        case LayerKind::kConv: {
+          out = conv2d(values[static_cast<std::size_t>(node.parents[0])],
+                       weights_[idx], biases_[idx], ls.conv);
+          if (ls.relu_after) relu_inplace(out);
+          break;
+        }
+        case LayerKind::kTransposedConv: {
+          out = transposed_conv2d(
+              values[static_cast<std::size_t>(node.parents[0])],
+              weights_[idx], biases_[idx], ls.conv);
+          if (ls.relu_after) relu_inplace(out);
+          break;
+        }
+        case LayerKind::kSpikingConv:
+        case LayerKind::kAdaptiveSpikingConv: {
+          DenseTensor current =
+              conv2d(values[static_cast<std::size_t>(node.parents[0])],
+                     weights_[idx], biases_[idx], ls.conv);
+          out = lif_[idx].step(current);
+          break;
+        }
+        case LayerKind::kFullyConnected:
+          out = fully_connected(
+              values[static_cast<std::size_t>(node.parents[0])],
+              weights_[idx], biases_[idx]);
+          break;
+        case LayerKind::kMaxPool:
+          out = max_pool(values[static_cast<std::size_t>(node.parents[0])],
+                         ls.pool_kernel);
+          break;
+        case LayerKind::kAvgPool:
+          out = avg_pool(values[static_cast<std::size_t>(node.parents[0])],
+                         ls.pool_kernel);
+          break;
+        case LayerKind::kUpsample:
+          out = upsample_nearest(
+              values[static_cast<std::size_t>(node.parents[0])],
+              ls.upsample_factor);
+          break;
+        case LayerKind::kConcat: {
+          const DenseTensor& a =
+              values[static_cast<std::size_t>(node.parents[0])];
+          const DenseTensor& b =
+              values[static_cast<std::size_t>(node.parents[1])];
+          const int h = std::min(a.shape().h, b.shape().h);
+          const int w = std::min(a.shape().w, b.shape().w);
+          out = concat_channels(center_crop(a, h, w), center_crop(b, h, w));
+          break;
+        }
+        case LayerKind::kAdd: {
+          const DenseTensor& a =
+              values[static_cast<std::size_t>(node.parents[0])];
+          const DenseTensor& b =
+              values[static_cast<std::size_t>(node.parents[1])];
+          const int h = std::min(a.shape().h, b.shape().h);
+          const int w = std::min(a.shape().w, b.shape().w);
+          out = add(center_crop(a, h, w), center_crop(b, h, w));
+          break;
+        }
+        case LayerKind::kOutput:
+          out = values[static_cast<std::size_t>(node.parents[0])];
+          break;
+      }
+      if (activation_hook_ && ls.kind != LayerKind::kInput &&
+          ls.kind != LayerKind::kOutput) {
+        activation_hook_(node.id, out);
+      }
+      values[idx] = std::move(out);
+    }
+
+    const DenseTensor& step_out =
+        values[static_cast<std::size_t>(outputs.front())];
+    if (t == 0) {
+      accumulated = step_out;
+    } else {
+      accumulated = add(accumulated, step_out);
+    }
+  }
+
+  if (spec_.timesteps > 1) {
+    const float inv = 1.0f / static_cast<float>(spec_.timesteps);
+    for (float& v : accumulated.data()) v *= inv;
+  }
+  return accumulated;
+}
+
+double FunctionalNetwork::mean_firing_rate(int node_id) const {
+  if (node_id < 0 || node_id >= static_cast<int>(lif_.size())) return 0.0;
+  const auto idx = static_cast<std::size_t>(node_id);
+  return is_spiking_[idx] ? lif_[idx].mean_firing_rate() : 0.0;
+}
+
+double FunctionalNetwork::network_firing_rate() const {
+  double acc = 0.0;
+  int count = 0;
+  for (std::size_t i = 0; i < lif_.size(); ++i) {
+    if (is_spiking_[i]) {
+      acc += lif_[i].mean_firing_rate();
+      ++count;
+    }
+  }
+  return count > 0 ? acc / count : 0.0;
+}
+
+}  // namespace evedge::nn

@@ -1,0 +1,78 @@
+#pragma once
+
+// FunctionalNetwork: numerically executes a NetworkSpec on the CPU.
+// This is the substrate behind every accuracy experiment: quantization
+// and DSFA merging perturb the inputs/weights and the resulting output
+// deviation (vs. the FP32 unmerged reference) drives the task metrics.
+//
+// Execution model (Background §2 input representations):
+//  - SNN / hybrid nets: the event bins are presented sequentially as
+//    `timesteps` 2-channel frames; spiking layers keep membrane state
+//    across steps; the network output is the mean over timesteps.
+//  - pure ANN nets: timesteps == 1 and all bins are stacked as channels.
+//  - two-input nets (Fusion-FlowNet, HALSIE) additionally take a
+//    grayscale image, constant across timesteps.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/lif.hpp"
+
+namespace evedge::nn {
+
+class FunctionalNetwork {
+ public:
+  /// Materializes weights (He-scaled uniform, deterministic in `seed`) and
+  /// per-channel LIF parameters for adaptive spiking layers.
+  FunctionalNetwork(NetworkSpec spec, std::uint64_t seed);
+
+  /// Runs one inference. `event_steps` must contain spec.timesteps
+  /// tensors shaped like the event input node; `image`, when the graph
+  /// has a second input, must match its shape. Returns the output-node
+  /// tensor averaged over timesteps.
+  [[nodiscard]] sparse::DenseTensor run(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image = nullptr);
+
+  [[nodiscard]] const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// Learned parameters of a weight node (throws for helper nodes).
+  [[nodiscard]] sparse::DenseTensor& weights(int node_id);
+  [[nodiscard]] const sparse::DenseTensor& weights(int node_id) const;
+  [[nodiscard]] std::vector<float>& bias(int node_id);
+
+  /// Hook applied to each node's activations right after it executes
+  /// (used by the quantization module for fake-quant inference).
+  using ActivationHook =
+      std::function<void(int node_id, sparse::DenseTensor& activation)>;
+  void set_activation_hook(ActivationHook hook) {
+    activation_hook_ = std::move(hook);
+  }
+
+  /// Mean firing rate of a spiking node measured over the last run()
+  /// (0 for non-spiking nodes or before any run).
+  [[nodiscard]] double mean_firing_rate(int node_id) const;
+
+  /// Mean firing rate across all spiking nodes over the last run().
+  [[nodiscard]] double network_firing_rate() const;
+
+ private:
+  void reset_spiking_state();
+
+  NetworkSpec spec_;
+  std::vector<sparse::DenseTensor> weights_;   // per node (empty if none)
+  std::vector<std::vector<float>> biases_;     // per node
+  std::vector<std::vector<float>> channel_leak_;       // adaptive LIF
+  std::vector<std::vector<float>> channel_threshold_;  // adaptive LIF
+  std::vector<LifState> lif_;                  // per node (spiking only)
+  std::vector<bool> is_spiking_;
+  ActivationHook activation_hook_;
+};
+
+/// Center-crops `t` spatially to (h, w); h/w must not exceed the extents.
+[[nodiscard]] sparse::DenseTensor center_crop(const sparse::DenseTensor& t,
+                                              int h, int w);
+
+}  // namespace evedge::nn

@@ -1,0 +1,312 @@
+#include "nn/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace evedge::nn {
+
+using sparse::conv_out_extent;
+
+std::size_t LayerSpec::macs() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+    case LayerKind::kSpikingConv:
+    case LayerKind::kAdaptiveSpikingConv:
+      return static_cast<std::size_t>(out_shape.h) *
+             static_cast<std::size_t>(out_shape.w) *
+             static_cast<std::size_t>(conv.out_channels) *
+             static_cast<std::size_t>(conv.in_channels) *
+             static_cast<std::size_t>(conv.kernel) *
+             static_cast<std::size_t>(conv.kernel);
+    case LayerKind::kTransposedConv:
+      return static_cast<std::size_t>(in_shape.h) *
+             static_cast<std::size_t>(in_shape.w) *
+             static_cast<std::size_t>(conv.in_channels) *
+             static_cast<std::size_t>(conv.out_channels) *
+             static_cast<std::size_t>(conv.kernel) *
+             static_cast<std::size_t>(conv.kernel);
+    case LayerKind::kFullyConnected:
+      return input_elements() * static_cast<std::size_t>(fc_out);
+    case LayerKind::kInput:
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+    case LayerKind::kUpsample:
+    case LayerKind::kConcat:
+    case LayerKind::kAdd:
+    case LayerKind::kOutput:
+      return 0;
+  }
+  return 0;
+}
+
+std::size_t LayerSpec::weight_count() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+    case LayerKind::kTransposedConv:
+    case LayerKind::kSpikingConv:
+    case LayerKind::kAdaptiveSpikingConv:
+      return static_cast<std::size_t>(conv.out_channels) *
+                 static_cast<std::size_t>(conv.in_channels) *
+                 static_cast<std::size_t>(conv.kernel) *
+                 static_cast<std::size_t>(conv.kernel) +
+             static_cast<std::size_t>(conv.out_channels);  // + bias
+    case LayerKind::kFullyConnected:
+      return input_elements() * static_cast<std::size_t>(fc_out) +
+             static_cast<std::size_t>(fc_out);
+    default:
+      return 0;
+  }
+}
+
+int NetworkGraph::add_input(const std::string& name, TensorShape shape) {
+  sparse::validate_shape(shape);
+  LayerSpec spec;
+  spec.name = name;
+  spec.kind = LayerKind::kInput;
+  spec.in_shape = shape;
+  spec.out_shape = shape;
+  nodes_.push_back(LayerNode{static_cast<int>(nodes_.size()), std::move(spec),
+                             {}});
+  return nodes_.back().id;
+}
+
+int NetworkGraph::add_layer(LayerSpec spec, const std::vector<int>& parents) {
+  if (parents.empty()) {
+    throw std::invalid_argument("add_layer: node needs at least one parent");
+  }
+  for (int p : parents) {
+    if (p < 0 || p >= static_cast<int>(nodes_.size())) {
+      throw std::invalid_argument("add_layer: unknown parent id " +
+                                  std::to_string(p));
+    }
+  }
+  const bool binary =
+      spec.kind == LayerKind::kConcat || spec.kind == LayerKind::kAdd;
+  if (binary && parents.size() != 2) {
+    throw std::invalid_argument("add_layer: concat/add need two parents");
+  }
+  if (!binary && parents.size() != 1) {
+    throw std::invalid_argument("add_layer: single-input node, got " +
+                                std::to_string(parents.size()) + " parents");
+  }
+  spec.in_shape = nodes_[static_cast<std::size_t>(parents[0])].spec.out_shape;
+  spec.out_shape = infer_shape(spec, parents);
+  nodes_.push_back(LayerNode{static_cast<int>(nodes_.size()), std::move(spec),
+                             parents});
+  return nodes_.back().id;
+}
+
+TensorShape NetworkGraph::infer_shape(const LayerSpec& spec,
+                                      const std::vector<int>& parents) const {
+  const TensorShape in =
+      nodes_[static_cast<std::size_t>(parents[0])].spec.out_shape;
+  switch (spec.kind) {
+    case LayerKind::kInput:
+      return in;
+    case LayerKind::kConv:
+    case LayerKind::kSpikingConv:
+    case LayerKind::kAdaptiveSpikingConv: {
+      sparse::validate_conv_spec(spec.conv);
+      if (in.c != spec.conv.in_channels) {
+        throw std::invalid_argument("conv in_channels mismatch at '" +
+                                    spec.name + "'");
+      }
+      return TensorShape{
+          in.n, spec.conv.out_channels,
+          conv_out_extent(in.h, spec.conv.kernel, spec.conv.stride,
+                          spec.conv.padding),
+          conv_out_extent(in.w, spec.conv.kernel, spec.conv.stride,
+                          spec.conv.padding)};
+    }
+    case LayerKind::kTransposedConv: {
+      sparse::validate_conv_spec(spec.conv);
+      if (in.c != spec.conv.in_channels) {
+        throw std::invalid_argument("tconv in_channels mismatch at '" +
+                                    spec.name + "'");
+      }
+      const int oh = (in.h - 1) * spec.conv.stride - 2 * spec.conv.padding +
+                     spec.conv.kernel;
+      const int ow = (in.w - 1) * spec.conv.stride - 2 * spec.conv.padding +
+                     spec.conv.kernel;
+      if (oh <= 0 || ow <= 0) {
+        throw std::invalid_argument("tconv output extent <= 0 at '" +
+                                    spec.name + "'");
+      }
+      return TensorShape{in.n, spec.conv.out_channels, oh, ow};
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+      if (spec.pool_kernel <= 0 || in.h % spec.pool_kernel != 0 ||
+          in.w % spec.pool_kernel != 0) {
+        throw std::invalid_argument("pool extent mismatch at '" + spec.name +
+                                    "'");
+      }
+      return TensorShape{in.n, in.c, in.h / spec.pool_kernel,
+                         in.w / spec.pool_kernel};
+    case LayerKind::kUpsample:
+      if (spec.upsample_factor <= 0) {
+        throw std::invalid_argument("bad upsample factor at '" + spec.name +
+                                    "'");
+      }
+      return TensorShape{in.n, in.c, in.h * spec.upsample_factor,
+                         in.w * spec.upsample_factor};
+    case LayerKind::kFullyConnected:
+      if (spec.fc_out <= 0) {
+        throw std::invalid_argument("fc_out must be positive at '" +
+                                    spec.name + "'");
+      }
+      return TensorShape{in.n, spec.fc_out, 1, 1};
+    case LayerKind::kConcat: {
+      const TensorShape b =
+          nodes_[static_cast<std::size_t>(parents[1])].spec.out_shape;
+      // Spatial extents may differ by decoder rounding; consumers crop to
+      // the smaller extent (the engine implements the same rule).
+      return TensorShape{in.n, in.c + b.c, std::min(in.h, b.h),
+                         std::min(in.w, b.w)};
+    }
+    case LayerKind::kAdd: {
+      const TensorShape b =
+          nodes_[static_cast<std::size_t>(parents[1])].spec.out_shape;
+      if (in.c != b.c) {
+        throw std::invalid_argument("add channel mismatch at '" + spec.name +
+                                    "'");
+      }
+      return TensorShape{in.n, in.c, std::min(in.h, b.h),
+                         std::min(in.w, b.w)};
+    }
+    case LayerKind::kOutput:
+      return in;
+  }
+  throw std::logic_error("unhandled layer kind");
+}
+
+const LayerNode& NetworkGraph::node(int id) const {
+  if (id < 0 || id >= static_cast<int>(nodes_.size())) {
+    throw std::out_of_range("NetworkGraph::node: bad id " +
+                            std::to_string(id));
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> NetworkGraph::input_ids() const {
+  std::vector<int> ids;
+  for (const LayerNode& n : nodes_) {
+    if (n.spec.kind == LayerKind::kInput) ids.push_back(n.id);
+  }
+  return ids;
+}
+
+std::vector<int> NetworkGraph::output_ids() const {
+  std::vector<int> ids;
+  for (const LayerNode& n : nodes_) {
+    if (n.spec.kind == LayerKind::kOutput) ids.push_back(n.id);
+  }
+  return ids;
+}
+
+std::vector<int> NetworkGraph::sink_ids() const {
+  std::unordered_set<int> consumed;
+  for (const LayerNode& n : nodes_) {
+    for (int p : n.parents) consumed.insert(p);
+  }
+  std::vector<int> sinks;
+  for (const LayerNode& n : nodes_) {
+    if (!consumed.contains(n.id)) sinks.push_back(n.id);
+  }
+  return sinks;
+}
+
+std::size_t NetworkGraph::total_macs() const noexcept {
+  std::size_t total = 0;
+  for (const LayerNode& n : nodes_) total += n.spec.macs();
+  return total;
+}
+
+std::size_t NetworkGraph::total_weights() const noexcept {
+  std::size_t total = 0;
+  for (const LayerNode& n : nodes_) total += n.spec.weight_count();
+  return total;
+}
+
+void NetworkGraph::validate() const {
+  for (const LayerNode& n : nodes_) {
+    if (n.id != &n - nodes_.data()) {
+      throw std::logic_error("node id does not match position");
+    }
+    for (int p : n.parents) {
+      if (p < 0 || p >= n.id) {
+        throw std::logic_error("parent not topologically earlier at node " +
+                               std::to_string(n.id));
+      }
+    }
+    if (n.spec.kind == LayerKind::kInput && !n.parents.empty()) {
+      throw std::logic_error("input node has parents");
+    }
+    if (n.spec.kind != LayerKind::kInput && n.parents.empty()) {
+      throw std::logic_error("non-input node without parents");
+    }
+  }
+  if (input_ids().empty()) throw std::logic_error("graph has no input");
+  if (output_ids().empty()) throw std::logic_error("graph has no output");
+}
+
+std::string to_string(TaskKind task) {
+  switch (task) {
+    case TaskKind::kOpticalFlow: return "optical-flow";
+    case TaskKind::kSegmentation: return "segmentation";
+    case TaskKind::kDepth: return "depth";
+    case TaskKind::kTracking: return "tracking";
+  }
+  return "?";
+}
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kTransposedConv: return "tconv";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kUpsample: return "upsample";
+    case LayerKind::kSpikingConv: return "spiking-conv";
+    case LayerKind::kAdaptiveSpikingConv: return "adaptive-spiking-conv";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+int NetworkSpec::weight_layer_count() const noexcept {
+  int count = 0;
+  for (const LayerNode& n : graph.nodes()) {
+    if (is_weight_layer(n.spec.kind)) ++count;
+  }
+  return count;
+}
+
+int NetworkSpec::snn_layer_count() const noexcept {
+  int count = 0;
+  for (const LayerNode& n : graph.nodes()) {
+    if (is_weight_layer(n.spec.kind) &&
+        domain_of(n.spec.kind) == Domain::kSnn) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int NetworkSpec::ann_layer_count() const noexcept {
+  return weight_layer_count() - snn_layer_count();
+}
+
+std::string NetworkSpec::type_string() const {
+  const int snn = snn_layer_count();
+  const int ann = ann_layer_count();
+  if (snn > 0 && ann > 0) return "SNN-ANN";
+  return snn > 0 ? "SNN" : "ANN";
+}
+
+}  // namespace evedge::nn

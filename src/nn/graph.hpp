@@ -1,0 +1,156 @@
+#pragma once
+
+// Network graph representation: a DAG of layer nodes. This single
+// structure serves three consumers:
+//  - the functional engine (engine.hpp) executes it numerically,
+//  - the hardware model derives per-layer workloads (MACs, bytes) from it,
+//  - the Network Mapper assigns each node a processing element + precision.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/lif.hpp"
+#include "sparse/sparse_ops.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::nn {
+
+using sparse::Conv2dSpec;
+using sparse::TensorShape;
+
+/// Node operator kinds. Weight layers (the ones Table 1 counts) are
+/// kConv, kTransposedConv, kFullyConnected, kSpikingConv and
+/// kAdaptiveSpikingConv; the rest are shape/wiring helpers.
+enum class LayerKind : std::uint8_t {
+  kInput,              ///< graph input placeholder
+  kConv,               ///< dense conv (+ optional fused ReLU)
+  kTransposedConv,     ///< upsampling conv (+ optional fused ReLU)
+  kFullyConnected,     ///< dense linear layer
+  kMaxPool,            ///< kxk max pooling, stride = k
+  kAvgPool,            ///< kxk average pooling, stride = k
+  kUpsample,           ///< nearest-neighbour upsample
+  kSpikingConv,        ///< conv whose activation is a shared-parameter LIF
+  kAdaptiveSpikingConv,///< conv + per-channel (learnable) LIF dynamics
+  kConcat,             ///< channel concat of 2 parents (center-crop to min)
+  kAdd,                ///< elementwise sum of 2 parents (crop to min)
+  kOutput,             ///< task head marker (identity)
+};
+
+/// Whether a node executes spiking (SNN) or conventional (ANN) compute.
+enum class Domain : std::uint8_t { kAnn, kSnn };
+
+[[nodiscard]] constexpr bool is_weight_layer(LayerKind k) noexcept {
+  return k == LayerKind::kConv || k == LayerKind::kTransposedConv ||
+         k == LayerKind::kFullyConnected || k == LayerKind::kSpikingConv ||
+         k == LayerKind::kAdaptiveSpikingConv;
+}
+
+[[nodiscard]] constexpr Domain domain_of(LayerKind k) noexcept {
+  return (k == LayerKind::kSpikingConv ||
+          k == LayerKind::kAdaptiveSpikingConv)
+             ? Domain::kSnn
+             : Domain::kAnn;
+}
+
+/// Static description of one layer.
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  Conv2dSpec conv{};        ///< conv-like layers
+  int pool_kernel = 2;      ///< pool layers
+  int upsample_factor = 2;  ///< upsample layers
+  int fc_out = 0;           ///< fully connected output features
+  bool relu_after = true;   ///< fused activation for ANN conv-like layers
+  LifParams lif{};          ///< spiking layers
+
+  // Filled by NetworkGraph when the node is added (per-timestep, batch 1).
+  TensorShape in_shape{};
+  TensorShape out_shape{};
+
+  /// Multiply-accumulate operations for one forward application.
+  [[nodiscard]] std::size_t macs() const noexcept;
+  /// Number of learned weight values (0 for helper nodes).
+  [[nodiscard]] std::size_t weight_count() const noexcept;
+  /// Activation element counts.
+  [[nodiscard]] std::size_t input_elements() const noexcept {
+    return in_shape.element_count();
+  }
+  [[nodiscard]] std::size_t output_elements() const noexcept {
+    return out_shape.element_count();
+  }
+};
+
+/// One node of the graph: a LayerSpec plus its wiring.
+struct LayerNode {
+  int id = -1;
+  LayerSpec spec;
+  std::vector<int> parents;  ///< producer node ids (empty for kInput)
+};
+
+/// Append-only DAG; nodes are stored in topological order by construction
+/// (parents must already exist). Shapes are inferred on insertion.
+class NetworkGraph {
+ public:
+  /// Adds an input node of the given per-timestep shape; returns its id.
+  int add_input(const std::string& name, TensorShape shape);
+
+  /// Adds a layer fed by `parents`; infers and records shapes; returns id.
+  int add_layer(LayerSpec spec, const std::vector<int>& parents);
+
+  [[nodiscard]] const std::vector<LayerNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const LayerNode& node(int id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Ids of kInput nodes in insertion order.
+  [[nodiscard]] std::vector<int> input_ids() const;
+  /// Ids of kOutput nodes in insertion order.
+  [[nodiscard]] std::vector<int> output_ids() const;
+
+  /// Node ids with no consumers (should normally be exactly the outputs).
+  [[nodiscard]] std::vector<int> sink_ids() const;
+
+  /// Total MACs over all nodes (one timestep).
+  [[nodiscard]] std::size_t total_macs() const noexcept;
+  /// Total learned weights over all nodes.
+  [[nodiscard]] std::size_t total_weights() const noexcept;
+
+  /// Throws std::logic_error when structural invariants fail.
+  void validate() const;
+
+ private:
+  [[nodiscard]] TensorShape infer_shape(const LayerSpec& spec,
+                                        const std::vector<int>& parents) const;
+  std::vector<LayerNode> nodes_;
+};
+
+/// Task families evaluated in the paper (Table 1).
+enum class TaskKind : std::uint8_t {
+  kOpticalFlow,
+  kSegmentation,
+  kDepth,
+  kTracking,
+};
+
+[[nodiscard]] std::string to_string(TaskKind task);
+[[nodiscard]] std::string to_string(LayerKind kind);
+
+/// A complete network: graph + input representation metadata.
+struct NetworkSpec {
+  std::string name;
+  TaskKind task = TaskKind::kOpticalFlow;
+  NetworkGraph graph;
+  int n_bins = 5;      ///< event bins per frame interval (input channels/steps)
+  int timesteps = 1;   ///< SNN timesteps per inference (1 for pure ANN)
+
+  [[nodiscard]] int weight_layer_count() const noexcept;
+  [[nodiscard]] int snn_layer_count() const noexcept;
+  [[nodiscard]] int ann_layer_count() const noexcept;
+
+  /// "SNN", "ANN" or "SNN-ANN" as in Table 1's Type column.
+  [[nodiscard]] std::string type_string() const;
+};
+
+}  // namespace evedge::nn

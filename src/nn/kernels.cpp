@@ -1,0 +1,285 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace evedge::nn {
+
+using sparse::conv_out_extent;
+using sparse::validate_conv_spec;
+
+DenseTensor conv2d(const DenseTensor& input, const DenseTensor& weights,
+                   std::span<const float> bias, const Conv2dSpec& spec) {
+  validate_conv_spec(spec);
+  const TensorShape& is = input.shape();
+  const TensorShape& ws = weights.shape();
+  if (is.c != spec.in_channels) {
+    throw std::invalid_argument("conv2d: input channel mismatch");
+  }
+  if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
+      ws.h != spec.kernel || ws.w != spec.kernel) {
+    throw std::invalid_argument("conv2d: weight shape mismatch");
+  }
+  if (!bias.empty() && static_cast<int>(bias.size()) != spec.out_channels) {
+    throw std::invalid_argument("conv2d: bias size mismatch");
+  }
+  const int out_h = conv_out_extent(is.h, spec.kernel, spec.stride,
+                                    spec.padding);
+  const int out_w = conv_out_extent(is.w, spec.kernel, spec.stride,
+                                    spec.padding);
+  DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
+  for (int n = 0; n < is.n; ++n) {
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      const float b =
+          bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          float acc = b;
+          for (int ic = 0; ic < spec.in_channels; ++ic) {
+            for (int ky = 0; ky < spec.kernel; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= is.h) continue;
+              for (int kx = 0; kx < spec.kernel; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= is.w) continue;
+                acc += input.at(n, ic, iy, ix) * weights.at(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.at(n, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int transposed_conv_out_extent(int in_extent, int kernel, int stride,
+                               int padding) {
+  const int out = (in_extent - 1) * stride - 2 * padding + kernel;
+  if (out <= 0) {
+    throw std::invalid_argument("transposed conv output extent <= 0");
+  }
+  return out;
+}
+
+DenseTensor transposed_conv2d(const DenseTensor& input,
+                              const DenseTensor& weights,
+                              std::span<const float> bias,
+                              const Conv2dSpec& spec) {
+  validate_conv_spec(spec);
+  const TensorShape& is = input.shape();
+  const TensorShape& ws = weights.shape();
+  if (is.c != spec.in_channels) {
+    throw std::invalid_argument("tconv2d: input channel mismatch");
+  }
+  if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
+      ws.h != spec.kernel || ws.w != spec.kernel) {
+    throw std::invalid_argument("tconv2d: weight shape mismatch");
+  }
+  const int out_h = transposed_conv_out_extent(is.h, spec.kernel, spec.stride,
+                                               spec.padding);
+  const int out_w = transposed_conv_out_extent(is.w, spec.kernel, spec.stride,
+                                               spec.padding);
+  DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
+  if (!bias.empty()) {
+    if (static_cast<int>(bias.size()) != spec.out_channels) {
+      throw std::invalid_argument("tconv2d: bias size mismatch");
+    }
+    for (int n = 0; n < is.n; ++n) {
+      for (int oc = 0; oc < spec.out_channels; ++oc) {
+        for (int y = 0; y < out_h; ++y) {
+          for (int x = 0; x < out_w; ++x) {
+            out.at(n, oc, y, x) = bias[static_cast<std::size_t>(oc)];
+          }
+        }
+      }
+    }
+  }
+  // Scatter formulation: each input pixel contributes a kernel-sized
+  // patch into the (stride-spaced) output.
+  for (int n = 0; n < is.n; ++n) {
+    for (int ic = 0; ic < spec.in_channels; ++ic) {
+      for (int iy = 0; iy < is.h; ++iy) {
+        for (int ix = 0; ix < is.w; ++ix) {
+          const float v = input.at(n, ic, iy, ix);
+          if (v == 0.0f) continue;
+          for (int ky = 0; ky < spec.kernel; ++ky) {
+            const int oy = iy * spec.stride + ky - spec.padding;
+            if (oy < 0 || oy >= out_h) continue;
+            for (int kx = 0; kx < spec.kernel; ++kx) {
+              const int ox = ix * spec.stride + kx - spec.padding;
+              if (ox < 0 || ox >= out_w) continue;
+              for (int oc = 0; oc < spec.out_channels; ++oc) {
+                out.at(n, oc, oy, ox) += v * weights.at(oc, ic, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseTensor fully_connected(const DenseTensor& input,
+                            const DenseTensor& weights,
+                            std::span<const float> bias) {
+  const TensorShape& is = input.shape();
+  const TensorShape& ws = weights.shape();
+  const auto in_features = static_cast<std::size_t>(is.c) *
+                           static_cast<std::size_t>(is.h) *
+                           static_cast<std::size_t>(is.w);
+  if (static_cast<std::size_t>(ws.c) != in_features || ws.h != 1 ||
+      ws.w != 1) {
+    throw std::invalid_argument("fully_connected: weight shape mismatch");
+  }
+  if (!bias.empty() && static_cast<int>(bias.size()) != ws.n) {
+    throw std::invalid_argument("fully_connected: bias size mismatch");
+  }
+  DenseTensor out(TensorShape{is.n, ws.n, 1, 1});
+  for (int n = 0; n < is.n; ++n) {
+    const std::size_t base = static_cast<std::size_t>(n) * in_features;
+    for (int o = 0; o < ws.n; ++o) {
+      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(o)];
+      const std::size_t wbase =
+          static_cast<std::size_t>(o) * in_features;
+      for (std::size_t i = 0; i < in_features; ++i) {
+        acc += input.data()[base + i] * weights.data()[wbase + i];
+      }
+      out.at(n, o, 0, 0) = acc;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Reduce>
+DenseTensor pool_impl(const DenseTensor& input, int kernel, float init,
+                      Reduce reduce, bool average) {
+  if (kernel <= 0) throw std::invalid_argument("pool kernel must be > 0");
+  const TensorShape& is = input.shape();
+  if (is.h % kernel != 0 || is.w % kernel != 0) {
+    throw std::invalid_argument("pool: extent not divisible by kernel");
+  }
+  const int out_h = is.h / kernel;
+  const int out_w = is.w / kernel;
+  DenseTensor out(TensorShape{is.n, is.c, out_h, out_w});
+  for (int n = 0; n < is.n; ++n) {
+    for (int c = 0; c < is.c; ++c) {
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          float acc = init;
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              acc = reduce(acc,
+                           input.at(n, c, oy * kernel + ky, ox * kernel + kx));
+            }
+          }
+          if (average) {
+            acc /= static_cast<float>(kernel * kernel);
+          }
+          out.at(n, c, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DenseTensor max_pool(const DenseTensor& input, int kernel) {
+  return pool_impl(
+      input, kernel, -std::numeric_limits<float>::infinity(),
+      [](float a, float b) { return std::max(a, b); }, false);
+}
+
+DenseTensor avg_pool(const DenseTensor& input, int kernel) {
+  return pool_impl(
+      input, kernel, 0.0f, [](float a, float b) { return a + b; }, true);
+}
+
+void relu_inplace(DenseTensor& t) noexcept {
+  for (float& v : t.data()) v = std::max(v, 0.0f);
+}
+
+DenseTensor channel_affine(const DenseTensor& input,
+                           std::span<const float> gamma,
+                           std::span<const float> beta) {
+  const TensorShape& is = input.shape();
+  if (static_cast<int>(gamma.size()) != is.c ||
+      static_cast<int>(beta.size()) != is.c) {
+    throw std::invalid_argument("channel_affine: parameter size mismatch");
+  }
+  DenseTensor out = input;
+  for (int n = 0; n < is.n; ++n) {
+    for (int c = 0; c < is.c; ++c) {
+      const float g = gamma[static_cast<std::size_t>(c)];
+      const float b = beta[static_cast<std::size_t>(c)];
+      for (int y = 0; y < is.h; ++y) {
+        for (int x = 0; x < is.w; ++x) {
+          out.at(n, c, y, x) = input.at(n, c, y, x) * g + b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseTensor concat_channels(const DenseTensor& a, const DenseTensor& b) {
+  const TensorShape& as = a.shape();
+  const TensorShape& bs = b.shape();
+  if (as.n != bs.n || as.h != bs.h || as.w != bs.w) {
+    throw std::invalid_argument("concat_channels: N/H/W mismatch");
+  }
+  DenseTensor out(TensorShape{as.n, as.c + bs.c, as.h, as.w});
+  for (int n = 0; n < as.n; ++n) {
+    for (int c = 0; c < as.c; ++c) {
+      for (int y = 0; y < as.h; ++y) {
+        for (int x = 0; x < as.w; ++x) {
+          out.at(n, c, y, x) = a.at(n, c, y, x);
+        }
+      }
+    }
+    for (int c = 0; c < bs.c; ++c) {
+      for (int y = 0; y < as.h; ++y) {
+        for (int x = 0; x < as.w; ++x) {
+          out.at(n, as.c + c, y, x) = b.at(n, c, y, x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseTensor add(const DenseTensor& a, const DenseTensor& b) {
+  if (!(a.shape() == b.shape())) {
+    throw std::invalid_argument("add: shape mismatch");
+  }
+  DenseTensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] += b.data()[i];
+  }
+  return out;
+}
+
+DenseTensor upsample_nearest(const DenseTensor& input, int factor) {
+  if (factor <= 0) throw std::invalid_argument("upsample factor must be > 0");
+  const TensorShape& is = input.shape();
+  DenseTensor out(TensorShape{is.n, is.c, is.h * factor, is.w * factor});
+  for (int n = 0; n < is.n; ++n) {
+    for (int c = 0; c < is.c; ++c) {
+      for (int y = 0; y < is.h * factor; ++y) {
+        for (int x = 0; x < is.w * factor; ++x) {
+          out.at(n, c, y, x) = input.at(n, c, y / factor, x / factor);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace evedge::nn

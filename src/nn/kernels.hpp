@@ -1,0 +1,68 @@
+#pragma once
+
+// Dense functional kernels (single-threaded CPU reference, NCHW). These
+// are the numerical ground truth of the repository: the sparse kernels,
+// the quantized paths and the end-to-end accuracy experiments are all
+// validated against them.
+
+#include <span>
+
+#include "sparse/sparse_ops.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::nn {
+
+using sparse::Conv2dSpec;
+using sparse::DenseTensor;
+using sparse::TensorShape;
+
+/// Direct dense 2-D convolution. input [N, Cin, H, W], weights
+/// [Cout, Cin, k, k], bias per out channel (empty = none).
+[[nodiscard]] DenseTensor conv2d(const DenseTensor& input,
+                                 const DenseTensor& weights,
+                                 std::span<const float> bias,
+                                 const Conv2dSpec& spec);
+
+/// Transposed convolution (a.k.a. deconvolution) used by decoder stages.
+/// Output extent: (in - 1) * stride - 2 * padding + kernel.
+[[nodiscard]] DenseTensor transposed_conv2d(const DenseTensor& input,
+                                            const DenseTensor& weights,
+                                            std::span<const float> bias,
+                                            const Conv2dSpec& spec);
+
+[[nodiscard]] int transposed_conv_out_extent(int in_extent, int kernel,
+                                             int stride, int padding);
+
+/// Fully connected layer over flattened input. weights [out, in] stored
+/// as a [out, in, 1, 1] tensor.
+[[nodiscard]] DenseTensor fully_connected(const DenseTensor& input,
+                                          const DenseTensor& weights,
+                                          std::span<const float> bias);
+
+/// 2x2 (or kxk) max pooling with stride = kernel.
+[[nodiscard]] DenseTensor max_pool(const DenseTensor& input, int kernel);
+
+/// kxk average pooling with stride = kernel.
+[[nodiscard]] DenseTensor avg_pool(const DenseTensor& input, int kernel);
+
+/// In-place ReLU.
+void relu_inplace(DenseTensor& t) noexcept;
+
+/// Per-channel affine normalization: y = x * gamma[c] + beta[c]
+/// (inference-mode batchnorm with folded statistics).
+[[nodiscard]] DenseTensor channel_affine(const DenseTensor& input,
+                                         std::span<const float> gamma,
+                                         std::span<const float> beta);
+
+/// Channel-wise concatenation of two tensors with equal N/H/W.
+[[nodiscard]] DenseTensor concat_channels(const DenseTensor& a,
+                                          const DenseTensor& b);
+
+/// Elementwise sum of two equal-shaped tensors.
+[[nodiscard]] DenseTensor add(const DenseTensor& a, const DenseTensor& b);
+
+/// Nearest-neighbour upsampling by integer factor.
+[[nodiscard]] DenseTensor upsample_nearest(const DenseTensor& input,
+                                           int factor);
+
+}  // namespace evedge::nn

@@ -1,0 +1,374 @@
+#include "nn/zoo.hpp"
+
+#include <stdexcept>
+
+namespace evedge::nn {
+
+namespace {
+
+[[nodiscard]] LayerSpec conv(const std::string& name, int in, int out, int k,
+                             int s, int p, bool relu = true) {
+  LayerSpec spec;
+  spec.name = name;
+  spec.kind = LayerKind::kConv;
+  spec.conv = Conv2dSpec{in, out, k, s, p};
+  spec.relu_after = relu;
+  return spec;
+}
+
+[[nodiscard]] LayerSpec sconv(const std::string& name, int in, int out, int k,
+                              int s, int p) {
+  LayerSpec spec;
+  spec.name = name;
+  spec.kind = LayerKind::kSpikingConv;
+  spec.conv = Conv2dSpec{in, out, k, s, p};
+  spec.lif = LifParams{0.85f, 0.22f, true};
+  return spec;
+}
+
+[[nodiscard]] LayerSpec asconv(const std::string& name, int in, int out,
+                               int k, int s, int p) {
+  LayerSpec spec = sconv(name, in, out, k, s, p);
+  spec.kind = LayerKind::kAdaptiveSpikingConv;
+  return spec;
+}
+
+[[nodiscard]] LayerSpec tconv(const std::string& name, int in, int out) {
+  LayerSpec spec;
+  spec.name = name;
+  spec.kind = LayerKind::kTransposedConv;
+  spec.conv = Conv2dSpec{in, out, 4, 2, 1};
+  spec.relu_after = true;
+  return spec;
+}
+
+[[nodiscard]] LayerSpec helper(const std::string& name, LayerKind kind) {
+  LayerSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  return spec;
+}
+
+void validate_zoo_config(const ZooConfig& cfg) {
+  if (cfg.height < 16 || cfg.width < 16) {
+    throw std::invalid_argument("zoo: input extent too small (< 16)");
+  }
+  if (cfg.base_channels < 2) {
+    throw std::invalid_argument("zoo: base_channels must be >= 2");
+  }
+  if (cfg.n_bins <= 0) {
+    throw std::invalid_argument("zoo: n_bins must be > 0");
+  }
+}
+
+}  // namespace
+
+std::string to_string(NetworkId id) {
+  switch (id) {
+    case NetworkId::kSpikeFlowNet: return "SpikeFlowNet";
+    case NetworkId::kFusionFlowNet: return "Fusion-FlowNet";
+    case NetworkId::kAdaptiveSpikeNet: return "Adaptive-SpikeNet";
+    case NetworkId::kHalsie: return "HALSIE";
+    case NetworkId::kHidalgoDepth: return "HidalgoDepth";
+    case NetworkId::kDotie: return "DOTIE";
+    case NetworkId::kEvFlowNet: return "EV-FlowNet";
+  }
+  return "?";
+}
+
+NetworkSpec build_spikeflownet(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  const int B = cfg.base_channels;
+  NetworkSpec net;
+  net.name = "SpikeFlowNet";
+  net.task = TaskKind::kOpticalFlow;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = cfg.n_bins;  // sequential event-bin presentation
+  NetworkGraph& g = net.graph;
+
+  const int in = g.add_input("events", TensorShape{1, 2, cfg.height,
+                                                   cfg.width});
+  // Spiking encoder (4 SNN layers).
+  const int e1 = g.add_layer(sconv("enc1", 2, B, 3, 2, 1), {in});
+  const int e2 = g.add_layer(sconv("enc2", B, 2 * B, 3, 2, 1), {e1});
+  const int e3 = g.add_layer(sconv("enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
+  const int e4 = g.add_layer(sconv("enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
+  // ANN residual bottleneck (2).
+  const int r1 = g.add_layer(conv("res1", 8 * B, 8 * B, 3, 1, 1), {e4});
+  const int r2 = g.add_layer(conv("res2", 8 * B, 8 * B, 3, 1, 1), {r1});
+  // ANN decoder with encoder skips (4 transposed convs).
+  const int d4 = g.add_layer(tconv("dec4", 8 * B, 4 * B), {r2});
+  const int c4 = g.add_layer(helper("skip4", LayerKind::kConcat), {d4, e3});
+  const int d3 = g.add_layer(tconv("dec3", 8 * B, 2 * B), {c4});
+  const int c3 = g.add_layer(helper("skip3", LayerKind::kConcat), {d3, e2});
+  const int d2 = g.add_layer(tconv("dec2", 4 * B, B), {c3});
+  const int c2 = g.add_layer(helper("skip2", LayerKind::kConcat), {d2, e1});
+  const int d1 = g.add_layer(tconv("dec1", 2 * B, B), {c2});
+  // Flow head (2).
+  const int h1 = g.add_layer(conv("flow1", B, 16, 3, 1, 1), {d1});
+  const int h2 = g.add_layer(conv("flow2", 16, 2, 1, 1, 0, false), {h1});
+  g.add_layer(helper("flow", LayerKind::kOutput), {h2});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_evflownet(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  const int B = cfg.base_channels;
+  NetworkSpec net;
+  net.name = "EV-FlowNet";
+  net.task = TaskKind::kOpticalFlow;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = 1;  // bins stacked as channels (single presentation)
+  NetworkGraph& g = net.graph;
+
+  const int in = g.add_input(
+      "events", TensorShape{1, 2 * cfg.n_bins, cfg.height, cfg.width});
+  const int e1 = g.add_layer(conv("enc1", 2 * cfg.n_bins, B, 3, 2, 1), {in});
+  const int e2 = g.add_layer(conv("enc2", B, 2 * B, 3, 2, 1), {e1});
+  const int e3 = g.add_layer(conv("enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
+  const int e4 = g.add_layer(conv("enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
+  // Two residual blocks (4 convs + add nodes).
+  const int r1a = g.add_layer(conv("res1a", 8 * B, 8 * B, 3, 1, 1), {e4});
+  const int r1b =
+      g.add_layer(conv("res1b", 8 * B, 8 * B, 3, 1, 1, false), {r1a});
+  const int r1 = g.add_layer(helper("res1", LayerKind::kAdd), {r1b, e4});
+  const int r2a = g.add_layer(conv("res2a", 8 * B, 8 * B, 3, 1, 1), {r1});
+  const int r2b =
+      g.add_layer(conv("res2b", 8 * B, 8 * B, 3, 1, 1, false), {r2a});
+  const int r2 = g.add_layer(helper("res2", LayerKind::kAdd), {r2b, r1});
+  // Decoder with skips.
+  const int d4 = g.add_layer(tconv("dec4", 8 * B, 4 * B), {r2});
+  const int c4 = g.add_layer(helper("skip4", LayerKind::kConcat), {d4, e3});
+  const int d3 = g.add_layer(tconv("dec3", 8 * B, 2 * B), {c4});
+  const int c3 = g.add_layer(helper("skip3", LayerKind::kConcat), {d3, e2});
+  const int d2 = g.add_layer(tconv("dec2", 4 * B, B), {c3});
+  const int c2 = g.add_layer(helper("skip2", LayerKind::kConcat), {d2, e1});
+  const int d1 = g.add_layer(tconv("dec1", 2 * B, B), {c2});
+  const int h1 = g.add_layer(conv("flow1", B, 16, 3, 1, 1), {d1});
+  const int h2 = g.add_layer(conv("flow2", 16, 2, 1, 1, 0, false), {h1});
+  g.add_layer(helper("flow", LayerKind::kOutput), {h2});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_adaptive_spikenet(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  const int B = cfg.base_channels;
+  NetworkSpec net;
+  net.name = "Adaptive-SpikeNet";
+  net.task = TaskKind::kOpticalFlow;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = cfg.n_bins;
+  NetworkGraph& g = net.graph;
+
+  const int in = g.add_input("events", TensorShape{1, 2, cfg.height,
+                                                   cfg.width});
+  const int e1 = g.add_layer(asconv("enc1", 2, B, 3, 2, 1), {in});
+  const int e2 = g.add_layer(asconv("enc2", B, 2 * B, 3, 2, 1), {e1});
+  const int e3 = g.add_layer(asconv("enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
+  const int e4 = g.add_layer(asconv("enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
+  const int r1 = g.add_layer(asconv("res1", 8 * B, 8 * B, 3, 1, 1), {e4});
+  const int r2 = g.add_layer(asconv("res2", 8 * B, 8 * B, 3, 1, 1), {r1});
+  const int u1 = g.add_layer(helper("up1", LayerKind::kUpsample), {r2});
+  const int d1 = g.add_layer(asconv("dec1", 8 * B, B, 3, 1, 1), {u1});
+  const int u2 = g.add_layer(helper("up2", LayerKind::kUpsample), {d1});
+  const int d2 = g.add_layer(asconv("dec2", B, 2, 3, 1, 1), {u2});
+  // Flow is decoded from spike rates at quarter resolution, then
+  // upsampled to full resolution (non-weight helper).
+  LayerSpec up = helper("up4x", LayerKind::kUpsample);
+  up.upsample_factor = 4;
+  const int u3 = g.add_layer(up, {d2});
+  g.add_layer(helper("flow", LayerKind::kOutput), {u3});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_fusionflownet(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  const int B = cfg.base_channels;
+  NetworkSpec net;
+  net.name = "Fusion-FlowNet";
+  net.task = TaskKind::kOpticalFlow;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = cfg.n_bins;
+  NetworkGraph& g = net.graph;
+
+  const int ev = g.add_input("events", TensorShape{1, 2, cfg.height,
+                                                   cfg.width});
+  const int im = g.add_input("image", TensorShape{1, 1, cfg.height,
+                                                  cfg.width});
+  // Spiking event encoder: 4 levels x 2 convs + 2 bottleneck = 10 SNN.
+  const int s1a = g.add_layer(sconv("ev1a", 2, B, 3, 1, 1), {ev});
+  const int s1b = g.add_layer(sconv("ev1b", B, B, 3, 2, 1), {s1a});
+  const int s2a = g.add_layer(sconv("ev2a", B, 2 * B, 3, 1, 1), {s1b});
+  const int s2b = g.add_layer(sconv("ev2b", 2 * B, 2 * B, 3, 2, 1), {s2a});
+  const int s3a = g.add_layer(sconv("ev3a", 2 * B, 4 * B, 3, 1, 1), {s2b});
+  const int s3b = g.add_layer(sconv("ev3b", 4 * B, 4 * B, 3, 2, 1), {s3a});
+  const int s4a = g.add_layer(sconv("ev4a", 4 * B, 8 * B, 3, 1, 1), {s3b});
+  const int s4b = g.add_layer(sconv("ev4b", 8 * B, 8 * B, 3, 2, 1), {s4a});
+  const int sb1 = g.add_layer(sconv("evb1", 8 * B, 8 * B, 3, 1, 1), {s4b});
+  const int sb2 = g.add_layer(sconv("evb2", 8 * B, 8 * B, 3, 1, 1), {sb1});
+  // ANN image encoder: 9 convs.
+  const int i1 = g.add_layer(conv("im1", 1, B, 3, 2, 1), {im});
+  const int i2 = g.add_layer(conv("im2", B, 2 * B, 3, 2, 1), {i1});
+  const int i3 = g.add_layer(conv("im3", 2 * B, 4 * B, 3, 2, 1), {i2});
+  const int i4 = g.add_layer(conv("im4", 4 * B, 8 * B, 3, 2, 1), {i3});
+  const int i5 = g.add_layer(conv("im5", 8 * B, 8 * B, 3, 1, 1), {i4});
+  const int i6 = g.add_layer(conv("im6", 8 * B, 8 * B, 3, 1, 1), {i5});
+  const int i7 = g.add_layer(conv("im7", 8 * B, 8 * B, 3, 1, 1), {i6});
+  const int i8 = g.add_layer(conv("im8", 8 * B, 8 * B, 3, 1, 1), {i7});
+  const int i9 = g.add_layer(conv("im9", 8 * B, 8 * B, 3, 1, 1), {i8});
+  // Fused ANN decoder: 10 convs.
+  const int fuse =
+      g.add_layer(helper("fuse", LayerKind::kConcat), {sb2, i9});
+  const int f1 = g.add_layer(conv("fuse1", 16 * B, 8 * B, 3, 1, 1), {fuse});
+  const int d4 = g.add_layer(tconv("dec4", 8 * B, 4 * B), {f1});
+  const int c4 = g.add_layer(helper("skip4", LayerKind::kConcat), {d4, s3b});
+  const int f2 = g.add_layer(conv("fuse2", 8 * B, 4 * B, 3, 1, 1), {c4});
+  const int d3 = g.add_layer(tconv("dec3", 4 * B, 2 * B), {f2});
+  const int c3 = g.add_layer(helper("skip3", LayerKind::kConcat), {d3, s2b});
+  const int f3 = g.add_layer(conv("fuse3", 4 * B, 2 * B, 3, 1, 1), {c3});
+  const int d2 = g.add_layer(tconv("dec2", 2 * B, B), {f3});
+  const int c2 = g.add_layer(helper("skip2", LayerKind::kConcat), {d2, s1b});
+  const int f4 = g.add_layer(conv("fuse4", 2 * B, B, 3, 1, 1), {c2});
+  const int d1 = g.add_layer(tconv("dec1", B, B), {f4});
+  const int h1 = g.add_layer(conv("flow1", B, 16, 3, 1, 1), {d1});
+  const int h2 = g.add_layer(conv("flow2", 16, 2, 1, 1, 0, false), {h1});
+  g.add_layer(helper("flow", LayerKind::kOutput), {h2});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_halsie(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  const int B = cfg.base_channels;
+  constexpr int kClasses = 6;  // MVSEC-style driving classes
+  NetworkSpec net;
+  net.name = "HALSIE";
+  net.task = TaskKind::kSegmentation;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = cfg.n_bins;
+  NetworkGraph& g = net.graph;
+
+  const int ev = g.add_input("events", TensorShape{1, 2, cfg.height,
+                                                   cfg.width});
+  const int im = g.add_input("image", TensorShape{1, 1, cfg.height,
+                                                  cfg.width});
+  // Spiking event branch: 3 SNN convs.
+  const int s1 = g.add_layer(sconv("ev1", 2, B, 3, 2, 1), {ev});
+  const int s2 = g.add_layer(sconv("ev2", B, 2 * B, 3, 2, 1), {s1});
+  const int s3 = g.add_layer(sconv("ev3", 2 * B, 4 * B, 3, 2, 1), {s2});
+  // ANN image branch: 5 convs.
+  const int i1 = g.add_layer(conv("im1", 1, B, 3, 2, 1), {im});
+  const int i2 = g.add_layer(conv("im2", B, 2 * B, 3, 2, 1), {i1});
+  const int i3 = g.add_layer(conv("im3", 2 * B, 4 * B, 3, 2, 1), {i2});
+  const int i4 = g.add_layer(conv("im4", 4 * B, 4 * B, 3, 1, 1), {i3});
+  const int i5 = g.add_layer(conv("im5", 4 * B, 4 * B, 3, 1, 1), {i4});
+  // Fused ANN decoder: 8 convs.
+  const int fuse = g.add_layer(helper("fuse", LayerKind::kConcat), {s3, i5});
+  const int f1 = g.add_layer(conv("fuse1", 8 * B, 4 * B, 3, 1, 1), {fuse});
+  const int f2 = g.add_layer(conv("fuse2", 4 * B, 4 * B, 3, 1, 1), {f1});
+  const int d3 = g.add_layer(tconv("dec3", 4 * B, 2 * B), {f2});
+  const int f3 = g.add_layer(conv("fuse3", 2 * B, 2 * B, 3, 1, 1), {d3});
+  const int d2 = g.add_layer(tconv("dec2", 2 * B, B), {f3});
+  const int f4 = g.add_layer(conv("fuse4", B, B, 3, 1, 1), {d2});
+  const int d1 = g.add_layer(tconv("dec1", B, B), {f4});
+  const int h1 =
+      g.add_layer(conv("seg", B, kClasses, 1, 1, 0, false), {d1});
+  g.add_layer(helper("segmentation", LayerKind::kOutput), {h1});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_hidalgo_depth(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  const int B = cfg.base_channels;
+  NetworkSpec net;
+  net.name = "HidalgoDepth";
+  net.task = TaskKind::kDepth;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = 1;  // voxel-grid bins stacked as channels
+  NetworkGraph& g = net.graph;
+
+  const int in = g.add_input(
+      "events", TensorShape{1, 2 * cfg.n_bins, cfg.height, cfg.width});
+  const int e1 = g.add_layer(conv("enc1", 2 * cfg.n_bins, B, 3, 2, 1), {in});
+  const int e2 = g.add_layer(conv("enc2", B, 2 * B, 3, 2, 1), {e1});
+  const int e3 = g.add_layer(conv("enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
+  const int e4 = g.add_layer(conv("enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
+  const int e5 = g.add_layer(conv("enc5", 8 * B, 8 * B, 3, 1, 1), {e4});
+  const int e6 = g.add_layer(conv("enc6", 8 * B, 8 * B, 3, 1, 1), {e5});
+  const int r1 = g.add_layer(conv("res1", 8 * B, 8 * B, 3, 1, 1), {e6});
+  const int r2 = g.add_layer(conv("res2", 8 * B, 8 * B, 3, 1, 1), {r1});
+  const int d4 = g.add_layer(tconv("dec4", 8 * B, 4 * B), {r2});
+  const int c4 = g.add_layer(helper("skip4", LayerKind::kConcat), {d4, e3});
+  const int d3 = g.add_layer(tconv("dec3", 8 * B, 2 * B), {c4});
+  const int c3 = g.add_layer(helper("skip3", LayerKind::kConcat), {d3, e2});
+  const int d2 = g.add_layer(tconv("dec2", 4 * B, B), {c3});
+  const int c2 = g.add_layer(helper("skip2", LayerKind::kConcat), {d2, e1});
+  const int d1 = g.add_layer(tconv("dec1", 2 * B, B), {c2});
+  const int f1 = g.add_layer(conv("refine1", B, B, 3, 1, 1), {d1});
+  const int f2 = g.add_layer(conv("refine2", B, 16, 3, 1, 1), {f1});
+  const int h1 = g.add_layer(conv("depth", 16, 1, 1, 1, 0, false), {f2});
+  g.add_layer(helper("depth-out", LayerKind::kOutput), {h1});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_dotie(const ZooConfig& cfg) {
+  validate_zoo_config(cfg);
+  NetworkSpec net;
+  net.name = "DOTIE";
+  net.task = TaskKind::kTracking;
+  net.n_bins = cfg.n_bins;
+  net.timesteps = cfg.n_bins;
+  NetworkGraph& g = net.graph;
+
+  const int in = g.add_input("events", TensorShape{1, 2, cfg.height,
+                                                   cfg.width});
+  // Single spiking layer acting as a temporal-isolation filter: slow
+  // objects fail to integrate to threshold, fast objects spike.
+  const int s1 = g.add_layer(sconv("isolate", 2, 1, 5, 1, 2), {in});
+  g.add_layer(helper("objectness", LayerKind::kOutput), {s1});
+  g.validate();
+  return net;
+}
+
+NetworkSpec build_network(NetworkId id, const ZooConfig& cfg) {
+  switch (id) {
+    case NetworkId::kSpikeFlowNet: return build_spikeflownet(cfg);
+    case NetworkId::kFusionFlowNet: return build_fusionflownet(cfg);
+    case NetworkId::kAdaptiveSpikeNet: return build_adaptive_spikenet(cfg);
+    case NetworkId::kHalsie: return build_halsie(cfg);
+    case NetworkId::kHidalgoDepth: return build_hidalgo_depth(cfg);
+    case NetworkId::kDotie: return build_dotie(cfg);
+    case NetworkId::kEvFlowNet: return build_evflownet(cfg);
+  }
+  throw std::invalid_argument("unknown network id");
+}
+
+std::vector<NetworkId> table1_networks() {
+  return {NetworkId::kSpikeFlowNet,     NetworkId::kFusionFlowNet,
+          NetworkId::kAdaptiveSpikeNet, NetworkId::kHalsie,
+          NetworkId::kHidalgoDepth,     NetworkId::kDotie};
+}
+
+MultiTaskConfig multi_task_all_ann() {
+  return MultiTaskConfig{"all-ANN",
+                         {NetworkId::kEvFlowNet, NetworkId::kHidalgoDepth}};
+}
+
+MultiTaskConfig multi_task_all_snn() {
+  return MultiTaskConfig{"all-SNN",
+                         {NetworkId::kDotie, NetworkId::kAdaptiveSpikeNet}};
+}
+
+MultiTaskConfig multi_task_mixed() {
+  return MultiTaskConfig{
+      "mixed SNN-ANN",
+      {NetworkId::kFusionFlowNet, NetworkId::kHalsie, NetworkId::kDotie,
+       NetworkId::kHidalgoDepth}};
+}
+
+}  // namespace evedge::nn

@@ -1,0 +1,77 @@
+#pragma once
+
+// Network zoo: layer-accurate architecture descriptors for the networks
+// the paper evaluates (Table 1, plus EV-FlowNet used in the multi-task
+// configurations of section 5). Weight-layer counts and the SNN/ANN split
+// match Table 1 exactly; channel widths and exact encoder/decoder wiring
+// are faithful-in-spirit reconstructions of the cited architectures
+// (pretrained weights are unavailable — weights are fixed-seed random,
+// see DESIGN.md section 2).
+//
+// All builders take a ZooConfig so tests can run tiny functional
+// instances while the performance model uses full-scale descriptors.
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace evedge::nn {
+
+/// Construction parameters for zoo networks.
+struct ZooConfig {
+  /// Per-timestep input extent. Full scale is 352x256 (DAVIS346's 346x260
+  /// rounded to multiples of 32 so encoder/decoder extents align; the
+  /// substitution is documented in DESIGN.md).
+  int height = 256;
+  int width = 352;
+  /// Base channel width; encoder levels use base, 2*base, 4*base, ...
+  int base_channels = 32;
+  /// Event bins per frame interval (input representation, Background §2).
+  int n_bins = 5;
+
+  [[nodiscard]] static ZooConfig full_scale() { return ZooConfig{}; }
+  /// Small config for fast functional tests (extents /8, channels /4).
+  [[nodiscard]] static ZooConfig test_scale() {
+    return ZooConfig{32, 44, 8, 5};
+  }
+};
+
+/// Identifiers for the zoo networks.
+enum class NetworkId : std::uint8_t {
+  kSpikeFlowNet,       ///< [7] hybrid, 12 layers (4 SNN + 8 ANN)
+  kFusionFlowNet,      ///< [8] hybrid, 29 layers (10 SNN + 19 ANN)
+  kAdaptiveSpikeNet,   ///< [1] SNN, 8 layers
+  kHalsie,             ///< [16] hybrid, 16 layers (3 SNN + 13 ANN)
+  kHidalgoDepth,       ///< [11] ANN, 15 layers
+  kDotie,              ///< [13] SNN, 1 layer
+  kEvFlowNet,          ///< [4] ANN, 14 layers (multi-task configs only)
+};
+
+[[nodiscard]] std::string to_string(NetworkId id);
+
+/// Builds the given network at the given scale.
+[[nodiscard]] NetworkSpec build_network(NetworkId id, const ZooConfig& cfg);
+
+/// All Table 1 networks in paper order (excludes EV-FlowNet).
+[[nodiscard]] std::vector<NetworkId> table1_networks();
+
+/// Multi-task configurations of section 5.
+struct MultiTaskConfig {
+  std::string name;
+  std::vector<NetworkId> networks;
+};
+[[nodiscard]] MultiTaskConfig multi_task_all_ann();
+[[nodiscard]] MultiTaskConfig multi_task_all_snn();
+[[nodiscard]] MultiTaskConfig multi_task_mixed();
+
+// Individual builders (exposed for targeted tests).
+[[nodiscard]] NetworkSpec build_spikeflownet(const ZooConfig& cfg);
+[[nodiscard]] NetworkSpec build_fusionflownet(const ZooConfig& cfg);
+[[nodiscard]] NetworkSpec build_adaptive_spikenet(const ZooConfig& cfg);
+[[nodiscard]] NetworkSpec build_halsie(const ZooConfig& cfg);
+[[nodiscard]] NetworkSpec build_hidalgo_depth(const ZooConfig& cfg);
+[[nodiscard]] NetworkSpec build_dotie(const ZooConfig& cfg);
+[[nodiscard]] NetworkSpec build_evflownet(const ZooConfig& cfg);
+
+}  // namespace evedge::nn

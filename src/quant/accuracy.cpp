@@ -1,0 +1,170 @@
+#include "quant/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "quant/quantizer.hpp"
+
+namespace evedge::quant {
+
+using sparse::DenseTensor;
+using sparse::TensorShape;
+
+std::vector<ValidationSample> make_validation_set(const nn::NetworkSpec& spec,
+                                                  int n, std::uint64_t seed,
+                                                  double fill) {
+  if (n <= 0) throw std::invalid_argument("validation set size must be > 0");
+  if (fill <= 0.0 || fill > 1.0) {
+    throw std::invalid_argument("fill must be in (0, 1]");
+  }
+  const auto input_ids = spec.graph.input_ids();
+  const TensorShape event_shape =
+      spec.graph.node(input_ids.front()).spec.out_shape;
+  const bool has_image = input_ids.size() > 1;
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> count(1, 3);
+
+  std::vector<ValidationSample> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ValidationSample s;
+    for (int t = 0; t < spec.timesteps; ++t) {
+      DenseTensor frame(event_shape);
+      for (float& v : frame.data()) {
+        if (unit(rng) < fill) v = static_cast<float>(count(rng));
+      }
+      s.event_steps.push_back(std::move(frame));
+    }
+    if (has_image) {
+      const TensorShape image_shape =
+          spec.graph.node(input_ids.back()).spec.out_shape;
+      DenseTensor img(image_shape);
+      img.fill_random(rng(), 0.5f);
+      for (float& v : img.data()) v = std::abs(v);
+      s.image = std::move(img);
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+PrecisionMap uniform_assignment(const nn::NetworkSpec& spec,
+                                Precision precision) {
+  PrecisionMap map;
+  for (const auto& node : spec.graph.nodes()) {
+    if (nn::is_weight_layer(node.spec.kind)) map[node.id] = precision;
+  }
+  return map;
+}
+
+AccuracyEvaluator::AccuracyEvaluator(nn::NetworkSpec spec,
+                                     std::uint64_t weight_seed,
+                                     std::vector<ValidationSample> validation)
+    : spec_(std::move(spec)),
+      net_(spec_, weight_seed),
+      validation_(std::move(validation)) {
+  if (validation_.empty()) {
+    throw std::invalid_argument("validation set must not be empty");
+  }
+  for (const auto& node : spec_.graph.nodes()) {
+    if (nn::is_weight_layer(node.spec.kind)) {
+      weight_nodes_.push_back(node.id);
+      pristine_weights_.emplace(node.id, net_.weights(node.id));
+    }
+  }
+  reference_.reserve(validation_.size());
+  for (std::size_t i = 0; i < validation_.size(); ++i) {
+    reference_.push_back(run_sample(i));
+  }
+}
+
+DenseTensor AccuracyEvaluator::run_sample(std::size_t index) {
+  ValidationSample& s = validation_[index];
+  return net_.run(s.event_steps,
+                  s.image.has_value() ? &s.image.value() : nullptr);
+}
+
+double AccuracyEvaluator::evaluate(const PrecisionMap& assignment,
+                                   std::size_t subset,
+                                   std::uint64_t subset_seed) {
+  // Select the validation subset (paper: "inference only on a randomly
+  // sampled subset of the validation set").
+  std::vector<std::size_t> indices(validation_.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  if (subset > 0 && subset < indices.size()) {
+    std::mt19937_64 rng(subset_seed);
+    std::shuffle(indices.begin(), indices.end(), rng);
+    indices.resize(subset);
+  }
+
+  // Quantize weights in place per the assignment.
+  for (const auto& [node_id, precision] : assignment) {
+    if (!pristine_weights_.contains(node_id)) continue;
+    if (precision == Precision::kFp32) continue;
+    fake_quantize(net_.weights(node_id), precision);
+  }
+  // Quantize activations through the engine hook.
+  net_.set_activation_hook(
+      [&assignment](int node_id, DenseTensor& activation) {
+        const auto it = assignment.find(node_id);
+        if (it != assignment.end() && it->second != Precision::kFp32) {
+          fake_quantize(activation, it->second);
+        }
+      });
+
+  double total = 0.0;
+  for (const std::size_t i : indices) {
+    const DenseTensor out = run_sample(i);
+    total += metric_degradation(spec_.task, out, reference_[i]);
+  }
+
+  // Restore pristine state.
+  net_.set_activation_hook(nullptr);
+  for (const auto& [node_id, pristine] : pristine_weights_) {
+    net_.weights(node_id) = pristine;
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+SensitivityModel::SensitivityModel(AccuracyEvaluator& evaluator,
+                                   std::size_t probe_subset,
+                                   std::uint64_t subset_seed) {
+  for (const int node_id : evaluator.weight_nodes()) {
+    PrecisionMap probe;
+    probe[node_id] = Precision::kFp16;
+    fp16_[node_id] = evaluator.evaluate(probe, probe_subset, subset_seed);
+    probe[node_id] = Precision::kInt8;
+    int8_[node_id] = evaluator.evaluate(probe, probe_subset, subset_seed);
+  }
+}
+
+double SensitivityModel::predict(const PrecisionMap& assignment) const {
+  double acc = 0.0;
+  for (const auto& [node_id, precision] : assignment) {
+    acc += sensitivity(node_id, precision);
+  }
+  return acc;
+}
+
+double SensitivityModel::sensitivity(int node_id, Precision p) const {
+  switch (p) {
+    case Precision::kFp32:
+      return 0.0;
+    case Precision::kFp16: {
+      const auto it = fp16_.find(node_id);
+      return it != fp16_.end() ? it->second : 0.0;
+    }
+    case Precision::kInt8: {
+      const auto it = int8_.find(node_id);
+      return it != int8_.end() ? it->second : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace evedge::quant

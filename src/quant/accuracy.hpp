@@ -1,0 +1,103 @@
+#pragma once
+
+// Accuracy-degradation evaluation for mixed-precision candidates
+// (paper §4.3.1 "Candidate evaluation"): the pretrained network is
+// linearly quantized at the candidate's per-layer bit-widths and scored
+// on a validation subset against the FP32 reference output.
+//
+// Two evaluation paths:
+//  - AccuracyEvaluator: direct — quantize, run, measure (exact but slow).
+//  - SensitivityModel: additive per-layer surrogate calibrated from
+//    direct measurements; the evolutionary search uses this (with the
+//    evaluator's own fitness caching this mirrors the paper's
+//    "inference only on a randomly sampled subset" + caching tricks).
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/engine.hpp"
+#include "quant/metrics.hpp"
+#include "quant/precision.hpp"
+
+namespace evedge::quant {
+
+/// Inputs for one validation inference.
+struct ValidationSample {
+  std::vector<sparse::DenseTensor> event_steps;
+  std::optional<sparse::DenseTensor> image;
+};
+
+/// Synthesizes `n` sparse event-frame validation samples matching the
+/// network's input representation (fraction `fill` of sites carry small
+/// integer event counts, emulating E2SF output densities).
+[[nodiscard]] std::vector<ValidationSample> make_validation_set(
+    const nn::NetworkSpec& spec, int n, std::uint64_t seed,
+    double fill = 0.08);
+
+/// Per-node precision assignment. Nodes absent from the map run FP32.
+using PrecisionMap = std::unordered_map<int, Precision>;
+
+/// Uniform assignment for every weight node of the graph.
+[[nodiscard]] PrecisionMap uniform_assignment(const nn::NetworkSpec& spec,
+                                              Precision precision);
+
+/// Direct quantized-accuracy evaluation against the FP32 reference.
+class AccuracyEvaluator {
+ public:
+  /// Builds the functional network (weights from `weight_seed`) and
+  /// computes FP32 reference outputs for every validation sample.
+  AccuracyEvaluator(nn::NetworkSpec spec, std::uint64_t weight_seed,
+                    std::vector<ValidationSample> validation);
+
+  /// Mean task-metric degradation (metric_degradation units) of the
+  /// assignment over `subset` validation samples (0 = all). The subset is
+  /// drawn deterministically from `subset_seed`.
+  [[nodiscard]] double evaluate(const PrecisionMap& assignment,
+                                std::size_t subset = 0,
+                                std::uint64_t subset_seed = 1);
+
+  [[nodiscard]] const nn::NetworkSpec& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] std::size_t validation_size() const noexcept {
+    return validation_.size();
+  }
+  /// Ids of quantizable (weight) nodes.
+  [[nodiscard]] const std::vector<int>& weight_nodes() const noexcept {
+    return weight_nodes_;
+  }
+
+ private:
+  [[nodiscard]] sparse::DenseTensor run_sample(std::size_t index);
+
+  nn::NetworkSpec spec_;
+  nn::FunctionalNetwork net_;
+  std::vector<ValidationSample> validation_;
+  std::vector<sparse::DenseTensor> reference_;  ///< FP32 outputs
+  std::vector<int> weight_nodes_;
+  std::unordered_map<int, sparse::DenseTensor> pristine_weights_;
+};
+
+/// Additive per-layer surrogate: dA(assignment) ~= sum_l s_l(p_l).
+/// Calibrated by single-layer quantization probes through a direct
+/// evaluator; evaluation is then O(#layers) table lookups.
+class SensitivityModel {
+ public:
+  /// Probes every weight node at FP16 and INT8 using `probe_subset`
+  /// validation samples per probe.
+  SensitivityModel(AccuracyEvaluator& evaluator, std::size_t probe_subset,
+                   std::uint64_t subset_seed = 7);
+
+  [[nodiscard]] double predict(const PrecisionMap& assignment) const;
+
+  /// Per-layer sensitivity s_l(p) (0 for FP32 / unknown nodes).
+  [[nodiscard]] double sensitivity(int node_id, Precision p) const;
+
+ private:
+  std::unordered_map<int, double> fp16_;
+  std::unordered_map<int, double> int8_;
+};
+
+}  // namespace evedge::quant

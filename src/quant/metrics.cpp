@@ -1,0 +1,155 @@
+#include "quant/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace evedge::quant {
+
+using sparse::DenseTensor;
+using sparse::TensorShape;
+
+namespace {
+
+void require_same_shape(const DenseTensor& a, const DenseTensor& b,
+                        const char* what) {
+  if (!(a.shape() == b.shape())) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+}
+
+}  // namespace
+
+double average_endpoint_error(const DenseTensor& flow,
+                              const DenseTensor& ref) {
+  require_same_shape(flow, ref, "average_endpoint_error");
+  const TensorShape& s = flow.shape();
+  if (s.c != 2) {
+    throw std::invalid_argument("AEE expects 2-channel flow tensors");
+  }
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (int n = 0; n < s.n; ++n) {
+    for (int y = 0; y < s.h; ++y) {
+      for (int x = 0; x < s.w; ++x) {
+        const double du = static_cast<double>(flow.at(n, 0, y, x)) -
+                          static_cast<double>(ref.at(n, 0, y, x));
+        const double dv = static_cast<double>(flow.at(n, 1, y, x)) -
+                          static_cast<double>(ref.at(n, 1, y, x));
+        acc += std::sqrt(du * du + dv * dv);
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+double mean_iou(const DenseTensor& scores, const DenseTensor& ref) {
+  require_same_shape(scores, ref, "mean_iou");
+  const TensorShape& s = scores.shape();
+  if (s.c < 2) {
+    throw std::invalid_argument("mean_iou expects >= 2 class channels");
+  }
+  const auto argmax = [&](const DenseTensor& t, int n, int y, int x) {
+    int best = 0;
+    float best_v = t.at(n, 0, y, x);
+    for (int c = 1; c < s.c; ++c) {
+      const float v = t.at(n, c, y, x);
+      if (v > best_v) {
+        best_v = v;
+        best = c;
+      }
+    }
+    return best;
+  };
+  std::vector<std::size_t> inter(static_cast<std::size_t>(s.c), 0);
+  std::vector<std::size_t> uni(static_cast<std::size_t>(s.c), 0);
+  for (int n = 0; n < s.n; ++n) {
+    for (int y = 0; y < s.h; ++y) {
+      for (int x = 0; x < s.w; ++x) {
+        const auto a = static_cast<std::size_t>(argmax(scores, n, y, x));
+        const auto b = static_cast<std::size_t>(argmax(ref, n, y, x));
+        if (a == b) {
+          ++inter[a];
+          ++uni[a];
+        } else {
+          ++uni[a];
+          ++uni[b];
+        }
+      }
+    }
+  }
+  double iou_sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < s.c; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (uni[ci] == 0) continue;
+    iou_sum += static_cast<double>(inter[ci]) / static_cast<double>(uni[ci]);
+    ++present;
+  }
+  return present > 0 ? iou_sum / present : 1.0;
+}
+
+double mean_depth_error(const DenseTensor& depth, const DenseTensor& ref,
+                        double eps) {
+  require_same_shape(depth, ref, "mean_depth_error");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < depth.size(); ++i) {
+    const double d = static_cast<double>(depth.data()[i]);
+    const double r = static_cast<double>(ref.data()[i]);
+    acc += std::abs(d - r) / std::max(std::abs(r), eps);
+  }
+  return depth.size() > 0 ? acc / static_cast<double>(depth.size()) : 0.0;
+}
+
+double objectness_iou(const DenseTensor& map, const DenseTensor& ref,
+                      float threshold) {
+  require_same_shape(map, ref, "objectness_iou");
+  std::size_t inter = 0;
+  std::size_t uni = 0;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    const bool a = map.data()[i] > threshold;
+    const bool b = ref.data()[i] > threshold;
+    if (a && b) ++inter;
+    if (a || b) ++uni;
+  }
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                 : 1.0;
+}
+
+double metric_degradation(nn::TaskKind task, const DenseTensor& output,
+                          const DenseTensor& reference) {
+  switch (task) {
+    case nn::TaskKind::kOpticalFlow:
+      return average_endpoint_error(output, reference);
+    case nn::TaskKind::kSegmentation:
+      return 1.0 - mean_iou(output, reference);
+    case nn::TaskKind::kDepth:
+      return mean_depth_error(output, reference);
+    case nn::TaskKind::kTracking:
+      return 1.0 - objectness_iou(output, reference);
+  }
+  return 0.0;
+}
+
+PaperBaseline paper_baseline(nn::TaskKind task,
+                             const std::string& network_name) {
+  // Table 2 of the paper ("Baseline" column).
+  if (network_name == "SpikeFlowNet") return {0.93, true, "AEE"};
+  if (network_name == "Fusion-FlowNet") return {0.72, true, "AEE"};
+  if (network_name == "Adaptive-SpikeNet") return {1.27, true, "AEE"};
+  if (network_name == "HALSIE") return {66.31, false, "mIOU"};
+  if (network_name == "HidalgoDepth") return {0.61, true, "Avg Error"};
+  if (network_name == "DOTIE") return {0.86, false, "mIOU"};
+  // Networks outside Table 2 (e.g. EV-FlowNet): anchor by task defaults.
+  switch (task) {
+    case nn::TaskKind::kOpticalFlow: return {0.92, true, "AEE"};
+    case nn::TaskKind::kSegmentation: return {65.0, false, "mIOU"};
+    case nn::TaskKind::kDepth: return {0.61, true, "Avg Error"};
+    case nn::TaskKind::kTracking: return {0.86, false, "mIOU"};
+  }
+  return {};
+}
+
+}  // namespace evedge::quant

@@ -1,0 +1,56 @@
+#pragma once
+
+// Task metrics in the units the paper reports (Table 2): average endpoint
+// error (AEE) for optical flow, mean IoU for segmentation/tracking and
+// average relative error for depth. Each metric compares a network output
+// against a reference output of the same shape.
+
+#include "nn/graph.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::quant {
+
+/// Average endpoint error between two [*, 2, H, W] flow fields:
+/// mean over pixels of || (u,v) - (u_ref, v_ref) ||_2.
+[[nodiscard]] double average_endpoint_error(const sparse::DenseTensor& flow,
+                                            const sparse::DenseTensor& ref);
+
+/// Mean intersection-over-union between per-pixel argmax maps of two
+/// [*, C, H, W] class-score tensors (C >= 2), averaged over classes that
+/// appear in either map.
+[[nodiscard]] double mean_iou(const sparse::DenseTensor& scores,
+                              const sparse::DenseTensor& ref);
+
+/// Mean absolute relative depth error between [*, 1, H, W] depth maps:
+/// mean(|d - d_ref| / max(|d_ref|, eps)).
+[[nodiscard]] double mean_depth_error(const sparse::DenseTensor& depth,
+                                      const sparse::DenseTensor& ref,
+                                      double eps = 1e-3);
+
+/// IoU of thresholded objectness maps ([*, 1, H, W]); the DOTIE tracking
+/// metric. Sites above `threshold` count as object.
+[[nodiscard]] double objectness_iou(const sparse::DenseTensor& map,
+                                    const sparse::DenseTensor& ref,
+                                    float threshold = 0.25f);
+
+/// Task-metric *degradation* of `output` w.r.t. `reference`, expressed so
+/// that larger is always worse (paper Eq. 2's ||A_base - A_search||):
+///  - flow:  AEE(output, reference)              [pixels]
+///  - seg:   1 - mIoU(output, reference)         [fraction]
+///  - depth: mean relative error                 [fraction]
+///  - track: 1 - IoU                             [fraction]
+[[nodiscard]] double metric_degradation(nn::TaskKind task,
+                                        const sparse::DenseTensor& output,
+                                        const sparse::DenseTensor& reference);
+
+/// Paper Table 2 baseline metric value for anchoring reports.
+struct PaperBaseline {
+  double value = 0.0;
+  bool lower_is_better = true;
+  const char* metric_name = "";
+};
+
+[[nodiscard]] PaperBaseline paper_baseline(nn::TaskKind task,
+                                           const std::string& network_name);
+
+}  // namespace evedge::quant

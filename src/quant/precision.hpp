@@ -1,0 +1,40 @@
+#pragma once
+
+// Numeric precision levels offered by the platform's processing elements
+// (paper §4.3: the mapper selects a precision per layer from the choices
+// each PE supports; TensorRT on Xavier exposes FP32/FP16/INT8).
+
+#include <cstdint>
+#include <string>
+
+namespace evedge::quant {
+
+enum class Precision : std::uint8_t {
+  kFp32 = 0,
+  kFp16 = 1,
+  kInt8 = 2,
+};
+
+[[nodiscard]] constexpr double bytes_per_element(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp32: return 4.0;
+    case Precision::kFp16: return 2.0;
+    case Precision::kInt8: return 1.0;
+  }
+  return 4.0;
+}
+
+[[nodiscard]] inline std::string to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "FP32";
+    case Precision::kFp16: return "FP16";
+    case Precision::kInt8: return "INT8";
+  }
+  return "?";
+}
+
+/// All precisions, widest first.
+inline constexpr Precision kAllPrecisions[] = {
+    Precision::kFp32, Precision::kFp16, Precision::kInt8};
+
+}  // namespace evedge::quant

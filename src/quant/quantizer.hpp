@@ -1,0 +1,47 @@
+#pragma once
+
+// Fake-quantization: values are rounded to the target precision's grid and
+// immediately dequantized, so all arithmetic stays in float while the
+// numerical error matches the target precision. INT8 uses symmetric
+// per-tensor linear quantization (the paper: "the pretrained network is
+// quantized linearly based on the layer bit-widths").
+
+#include <span>
+
+#include "quant/precision.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::quant {
+
+/// Rounds one float to IEEE half-precision (round-to-nearest-even),
+/// saturating to +-65504. Implemented with bit manipulation; exact for
+/// normals and flushes half-denormals to nearest representable.
+[[nodiscard]] float round_to_fp16(float v) noexcept;
+
+/// Symmetric linear INT8 grid over [-max_abs, max_abs]:
+/// q = clamp(round(v / scale), -127, 127), dequant = q * scale.
+struct Int8Scale {
+  float scale = 1.0f;
+
+  [[nodiscard]] static Int8Scale for_range(float max_abs) noexcept {
+    return Int8Scale{max_abs > 0.0f ? max_abs / 127.0f : 1.0f};
+  }
+  [[nodiscard]] float apply(float v) const noexcept;
+};
+
+/// Largest |v| in the span (0 for empty).
+[[nodiscard]] float max_abs(std::span<const float> values) noexcept;
+
+/// Fake-quantizes every element of `values` in place to `precision`
+/// (no-op for FP32). INT8 scale is computed from the span itself.
+void fake_quantize(std::span<float> values, Precision precision) noexcept;
+
+/// Fake-quantizes a tensor in place.
+void fake_quantize(sparse::DenseTensor& tensor, Precision precision) noexcept;
+
+/// Worst-case quantization step for a tensor with the given max-abs value
+/// (half the INT8 bucket width; fp16 relative epsilon scaled by range).
+[[nodiscard]] double quantization_step(float max_abs_value,
+                                       Precision precision) noexcept;
+
+}  // namespace evedge::quant

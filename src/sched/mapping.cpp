@@ -1,0 +1,66 @@
+#include "sched/mapping.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace evedge::sched {
+
+MappingCandidate uniform_candidate(const std::vector<nn::NetworkSpec>& specs,
+                                   int pe, Precision precision) {
+  MappingCandidate candidate;
+  candidate.tasks.reserve(specs.size());
+  for (const nn::NetworkSpec& spec : specs) {
+    TaskMapping mapping;
+    mapping.nodes.resize(spec.graph.size());
+    for (const nn::LayerNode& node : spec.graph.nodes()) {
+      const bool mappable = node.spec.kind != nn::LayerKind::kInput &&
+                            node.spec.kind != nn::LayerKind::kOutput;
+      if (mappable) {
+        mapping.nodes[static_cast<std::size_t>(node.id)] =
+            NodeAssignment{pe, precision};
+      }
+    }
+    candidate.tasks.push_back(std::move(mapping));
+  }
+  return candidate;
+}
+
+void validate_candidate(const MappingCandidate& candidate,
+                        const std::vector<hw::TaskProfile>& profiles,
+                        const hw::Platform& platform) {
+  if (candidate.tasks.size() != profiles.size()) {
+    throw std::invalid_argument("candidate task count mismatch");
+  }
+  for (std::size_t t = 0; t < profiles.size(); ++t) {
+    const TaskMapping& mapping = candidate.tasks[t];
+    const hw::TaskProfile& profile = profiles[t];
+    if (mapping.nodes.size() != profile.nodes.size()) {
+      throw std::invalid_argument("candidate node count mismatch in task " +
+                                  std::to_string(t));
+    }
+    for (std::size_t n = 0; n < profile.nodes.size(); ++n) {
+      const hw::NodeProfile& np = profile.nodes[n];
+      const NodeAssignment& a = mapping.nodes[n];
+      if (!np.mappable) {
+        if (a.pe >= 0) {
+          throw std::invalid_argument(
+              "non-mappable node assigned a PE in task " + std::to_string(t));
+        }
+        continue;
+      }
+      if (a.pe < 0 || a.pe >= platform.pe_count()) {
+        throw std::invalid_argument("node " + std::to_string(n) +
+                                    " of task " + std::to_string(t) +
+                                    " has no valid PE");
+      }
+      if (!np.supported(a.pe, a.precision)) {
+        throw std::invalid_argument(
+            "node " + std::to_string(n) + " of task " + std::to_string(t) +
+            " mapped to unsupported (" + platform.pe(a.pe).name + ", " +
+            quant::to_string(a.precision) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace evedge::sched

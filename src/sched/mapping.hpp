@@ -1,0 +1,56 @@
+#pragma once
+
+// Mapping candidate representation (paper §4.3.1, Fig. 7a): every mappable
+// node of every concurrently-executing task is assigned one processing
+// element and one precision. Data-transfer (communication) nodes are
+// inserted by the scheduler wherever a producer/consumer pair crosses PEs.
+
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "hw/profiler.hpp"
+#include "nn/graph.hpp"
+#include "quant/precision.hpp"
+
+namespace evedge::sched {
+
+using quant::Precision;
+
+/// Assignment of one graph node. pe < 0 marks non-mappable nodes
+/// (inputs/outputs), which are pinned and carry no cost of their own.
+struct NodeAssignment {
+  int pe = -1;
+  Precision precision = Precision::kFp32;
+
+  friend bool operator==(const NodeAssignment&,
+                         const NodeAssignment&) = default;
+};
+
+/// Assignments for one task, indexed by graph node id.
+struct TaskMapping {
+  std::vector<NodeAssignment> nodes;
+
+  friend bool operator==(const TaskMapping&, const TaskMapping&) = default;
+};
+
+/// A full multi-task mapping candidate.
+struct MappingCandidate {
+  std::vector<TaskMapping> tasks;
+
+  friend bool operator==(const MappingCandidate&,
+                         const MappingCandidate&) = default;
+};
+
+/// Builds a candidate assigning every mappable node of every task to
+/// `pe` at `precision` (the all-GPU baseline when pe = GPU, FP32).
+[[nodiscard]] MappingCandidate uniform_candidate(
+    const std::vector<nn::NetworkSpec>& specs, int pe, Precision precision);
+
+/// Throws std::invalid_argument when the candidate shape does not match
+/// the tasks, assigns an unsupported (PE, precision) pair, or leaves a
+/// mappable node unassigned.
+void validate_candidate(const MappingCandidate& candidate,
+                        const std::vector<hw::TaskProfile>& profiles,
+                        const hw::Platform& platform);
+
+}  // namespace evedge::sched

@@ -1,0 +1,198 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace evedge::sched {
+
+namespace {
+
+/// Internal op node of the scheduling DAG.
+struct Op {
+  int task = -1;
+  int node_id = -1;
+  bool is_comm = false;
+  int queue = -1;
+  double duration_us = 0.0;
+  double depth = 0.0;  ///< serialization key (data-dependency depth)
+  Precision precision = Precision::kFp32;
+  std::vector<int> preds;  ///< indices into the op array
+  double transfer_bytes = 0.0;
+};
+
+}  // namespace
+
+ScheduleResult schedule(const std::vector<nn::NetworkSpec>& specs,
+                        const std::vector<hw::TaskProfile>& profiles,
+                        const MappingCandidate& candidate,
+                        const hw::Platform& platform) {
+  if (specs.size() != profiles.size()) {
+    throw std::invalid_argument("specs/profiles size mismatch");
+  }
+  validate_candidate(candidate, profiles, platform);
+  const int memory_queue = platform.pe_count();
+
+  // --- Build the op DAG: one compute op per mappable node, one comm op
+  // per cross-PE producer->consumer edge.
+  std::vector<Op> ops;
+  // per task: node id -> index of its compute op (-1 if non-mappable).
+  std::vector<std::vector<int>> node_op(specs.size());
+
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    const nn::NetworkGraph& graph = specs[t].graph;
+    const hw::TaskProfile& profile = profiles[t];
+    const TaskMapping& mapping = candidate.tasks[t];
+    node_op[t].assign(graph.size(), -1);
+    std::vector<double> node_depth(graph.size(), 0.0);
+
+    for (const nn::LayerNode& node : graph.nodes()) {
+      const auto nid = static_cast<std::size_t>(node.id);
+      double depth = 0.0;
+      for (int p : node.parents) {
+        depth = std::max(depth,
+                         node_depth[static_cast<std::size_t>(p)] + 1.0);
+      }
+      node_depth[nid] = depth;
+      const hw::NodeProfile& np = profile.nodes[nid];
+      if (!np.mappable) continue;
+
+      const NodeAssignment& a = mapping.nodes[nid];
+      Op op;
+      op.task = static_cast<int>(t);
+      op.node_id = node.id;
+      op.queue = a.pe;
+      op.duration_us = np.time(a.pe, a.precision);
+      op.depth = depth;
+      op.precision = a.precision;
+
+      // Wire dependencies; insert comm ops where the producer lives on a
+      // different PE (paper Fig. 7a's data-transfer nodes).
+      for (int parent : node.parents) {
+        const auto pid = static_cast<std::size_t>(parent);
+        const int parent_op = node_op[t][pid];
+        if (parent_op < 0) continue;  // parent is an input: data in DRAM
+        const Op& producer = ops[static_cast<std::size_t>(parent_op)];
+        if (producer.queue == a.pe) {
+          op.preds.push_back(parent_op);
+          continue;
+        }
+        Op comm;
+        comm.task = static_cast<int>(t);
+        comm.node_id = node.id;
+        comm.is_comm = true;
+        comm.queue = memory_queue;
+        comm.transfer_bytes = hw::activation_bytes(
+            profile.nodes[pid].output_elements, producer.precision);
+        comm.duration_us = hw::transfer_time_us(
+            platform, producer.queue, a.pe, comm.transfer_bytes);
+        comm.depth = node_depth[pid] + 0.5;
+        comm.precision = producer.precision;
+        comm.preds.push_back(parent_op);
+        ops.push_back(std::move(comm));
+        op.preds.push_back(static_cast<int>(ops.size()) - 1);
+      }
+      ops.push_back(std::move(op));
+      node_op[t][nid] = static_cast<int>(ops.size()) - 1;
+    }
+  }
+
+  // --- Serialize within queues: stable order by (depth, task, node).
+  // This realizes the paper's "serialize nodes within their respective
+  // execution queues that are not already serialized by the data
+  // dependencies" with a deterministic tie-break.
+  std::vector<int> order(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&ops](int a, int b) {
+    const Op& oa = ops[static_cast<std::size_t>(a)];
+    const Op& ob = ops[static_cast<std::size_t>(b)];
+    if (oa.depth != ob.depth) return oa.depth < ob.depth;
+    if (oa.task != ob.task) return oa.task < ob.task;
+    return oa.node_id < ob.node_id;
+  });
+
+  // --- Eq. 3 end-time computation in serialized order.
+  std::vector<double> queue_time(
+      static_cast<std::size_t>(platform.pe_count()) + 1, 0.0);
+  std::vector<double> end_time(ops.size(), 0.0);
+  hw::EnergyAccumulator energy(platform);
+
+  ScheduleResult result;
+  result.ops.reserve(ops.size());
+  result.task_latency_us.assign(specs.size(), 0.0);
+
+  for (const int oi : order) {
+    const Op& op = ops[static_cast<std::size_t>(oi)];
+    double ready = 0.0;
+    for (int pred : op.preds) {
+      ready = std::max(ready, end_time[static_cast<std::size_t>(pred)]);
+    }
+    const double start =
+        std::max(ready, queue_time[static_cast<std::size_t>(op.queue)]);
+    const double end = start + op.duration_us;
+    end_time[static_cast<std::size_t>(oi)] = end;
+    queue_time[static_cast<std::size_t>(op.queue)] = end;
+
+    if (op.is_comm) {
+      energy.add_transfer(op.transfer_bytes);
+    } else {
+      energy.add_busy(op.queue, op.precision, op.duration_us);
+    }
+    result.ops.push_back(ScheduledOp{op.task, op.node_id, op.is_comm,
+                                     op.queue, start, end, op.precision});
+    result.makespan_us = std::max(result.makespan_us, end);
+    result.task_latency_us[static_cast<std::size_t>(op.task)] = std::max(
+        result.task_latency_us[static_cast<std::size_t>(op.task)], end);
+  }
+
+  for (double latency : result.task_latency_us) {
+    result.max_task_latency_us =
+        std::max(result.max_task_latency_us, latency);
+  }
+  result.energy_mj = energy.total_mj(result.makespan_us);
+  return result;
+}
+
+std::string format_gantt(const ScheduleResult& result,
+                         const hw::Platform& platform, int columns) {
+  if (columns < 20) columns = 20;
+  const int rows = platform.pe_count() + 1;
+  std::string out;
+  const double scale =
+      result.makespan_us > 0.0
+          ? static_cast<double>(columns) / result.makespan_us
+          : 0.0;
+  for (int q = 0; q < rows; ++q) {
+    std::string label =
+        q < platform.pe_count() ? platform.pe(q).name : "unified-mem";
+    label.resize(12, ' ');
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const ScheduledOp& op : result.ops) {
+      if (op.queue != q) continue;
+      const int c0 = static_cast<int>(op.start_us * scale);
+      const int c1 =
+          std::max(c0 + 1, static_cast<int>(op.end_us * scale));
+      const char mark =
+          op.is_comm ? '~' : static_cast<char>('A' + (op.task % 26));
+      for (int c = c0; c < c1 && c < columns; ++c) {
+        row[static_cast<std::size_t>(c)] = mark;
+      }
+    }
+    out += label + "|" + row + "|\n";
+  }
+  return out;
+}
+
+void write_gantt_csv(const ScheduleResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "task,node,is_comm,queue,start_us,end_us,precision\n";
+  for (const ScheduledOp& op : result.ops) {
+    out << op.task << ',' << op.node_id << ',' << (op.is_comm ? 1 : 0) << ','
+        << op.queue << ',' << op.start_us << ',' << op.end_us << ','
+        << quant::to_string(op.precision) << '\n';
+  }
+}
+
+}  // namespace evedge::sched

@@ -1,0 +1,60 @@
+#pragma once
+
+// List scheduler implementing the paper's latency estimation (§4.3.2,
+// Eq. 3): one execution queue per device plus a unified-memory queue for
+// the inserted data-transfer nodes; nodes are serialized within queues
+// following the data-dependency partial order; then
+//
+//   End_T(node) = max(End_T(parents)..., CurDeviceQ_T) + Exec_T(node)
+//   CriticalPathLatency = max(End_T(all nodes))
+//
+// The scheduler also accumulates per-PE busy time so the energy of the
+// candidate falls out of the same pass.
+
+#include <string>
+#include <vector>
+
+#include "hw/energy_model.hpp"
+#include "sched/mapping.hpp"
+
+namespace evedge::sched {
+
+/// One scheduled operation (a layer execution or a data transfer).
+struct ScheduledOp {
+  int task = -1;
+  int node_id = -1;      ///< graph node (for comm ops: the consumer node)
+  bool is_comm = false;
+  int queue = -1;        ///< PE id, or platform.pe_count() for memory queue
+  double start_us = 0.0;
+  double end_us = 0.0;
+  Precision precision = Precision::kFp32;
+};
+
+struct ScheduleResult {
+  std::vector<ScheduledOp> ops;
+  double makespan_us = 0.0;
+  /// Per-task critical-path latency (end time of the task's last op).
+  std::vector<double> task_latency_us;
+  /// Objective of Eq. 2: max over tasks.
+  double max_task_latency_us = 0.0;
+  /// Energy over the makespan (busy + transfers + idle).
+  double energy_mj = 0.0;
+};
+
+/// Schedules the candidate. `specs` provide graph structure, `profiles`
+/// the per-(node, PE, precision) execution times.
+[[nodiscard]] ScheduleResult schedule(
+    const std::vector<nn::NetworkSpec>& specs,
+    const std::vector<hw::TaskProfile>& profiles,
+    const MappingCandidate& candidate, const hw::Platform& platform);
+
+/// Multi-line textual Gantt rendering (one row per queue) for examples
+/// and debugging.
+[[nodiscard]] std::string format_gantt(const ScheduleResult& result,
+                                       const hw::Platform& platform,
+                                       int columns = 80);
+
+/// CSV export: task,node,is_comm,queue,start_us,end_us,precision.
+void write_gantt_csv(const ScheduleResult& result, const std::string& path);
+
+}  // namespace evedge::sched

@@ -1,0 +1,72 @@
+#pragma once
+
+// CooChannel: one sparse 2-D channel in coordinate (COO) format — sorted
+// row-major coordinates with float values and no duplicates. This is the
+// building block of the two-channel sparse frames E2SF emits (paper §4.1:
+// "store the row indices, column indices and their corresponding
+// polarities as separate channels, similar to the sparse COO format").
+
+#include <cstdint>
+#include <vector>
+
+namespace evedge::sparse {
+
+/// One non-zero entry of a sparse channel.
+struct CooEntry {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  float value = 0.0f;
+
+  friend bool operator==(const CooEntry&, const CooEntry&) = default;
+};
+
+/// Sparse 2-D channel. Invariants (enforced on construction/mutation):
+///  - entries sorted by (row, col), strictly increasing (no duplicates)
+///  - all coordinates inside [0, height) x [0, width)
+///  - no explicitly stored zero values
+class CooChannel {
+ public:
+  CooChannel() = default;
+  CooChannel(int height, int width);
+
+  /// Builds from arbitrary (possibly unsorted / duplicated) entries by
+  /// sorting and accumulating duplicates; zero-sum entries are dropped.
+  [[nodiscard]] static CooChannel from_entries(int height, int width,
+                                               std::vector<CooEntry> entries);
+
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] const std::vector<CooEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+  [[nodiscard]] double density() const noexcept;
+
+  /// Accumulates `value` at (row, col); erases the entry if it cancels to
+  /// zero. O(log n + n) worst case (vector insert); intended for
+  /// construction-time accumulation, not inner loops.
+  void accumulate(std::int32_t row, std::int32_t col, float value);
+
+  /// Value at (row, col); 0 when absent. O(log n).
+  [[nodiscard]] float at(std::int32_t row, std::int32_t col) const noexcept;
+
+  /// Sum of all stored values.
+  [[nodiscard]] double value_sum() const noexcept;
+
+  /// Throws std::logic_error if an invariant is violated (test hook).
+  void validate() const;
+
+ private:
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<CooEntry> entries_;
+};
+
+/// c = a + scale_b * b (merge-union). Extents must match.
+[[nodiscard]] CooChannel add(const CooChannel& a, const CooChannel& b,
+                             float scale_b = 1.0f);
+
+/// Elementwise scaling (entries with zero result are removed).
+[[nodiscard]] CooChannel scale(const CooChannel& a, float factor);
+
+}  // namespace evedge::sparse

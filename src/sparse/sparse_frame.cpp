@@ -1,0 +1,144 @@
+#include "sparse/sparse_frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace evedge::sparse {
+
+SparseFrame::SparseFrame(int height, int width)
+    : pos_(height, width), neg_(height, width) {}
+
+double SparseFrame::density() const noexcept {
+  const double sites = 2.0 * pos_.height() * pos_.width();
+  return sites > 0.0 ? static_cast<double>(nnz()) / sites : 0.0;
+}
+
+double SparseFrame::pixel_fill_ratio() const {
+  std::unordered_set<std::int64_t> active;
+  active.reserve(nnz());
+  const auto w = static_cast<std::int64_t>(width());
+  for (const CooEntry& e : pos_.entries()) {
+    active.insert(static_cast<std::int64_t>(e.row) * w + e.col);
+  }
+  for (const CooEntry& e : neg_.entries()) {
+    active.insert(static_cast<std::int64_t>(e.row) * w + e.col);
+  }
+  const double total = static_cast<double>(height()) * width();
+  return total > 0.0 ? static_cast<double>(active.size()) / total : 0.0;
+}
+
+DenseTensor SparseFrame::to_dense() const {
+  DenseTensor out(TensorShape{1, 2, height(), width()});
+  for (const CooEntry& e : pos_.entries()) {
+    out.at(0, 0, e.row, e.col) = e.value;
+  }
+  for (const CooEntry& e : neg_.entries()) {
+    out.at(0, 1, e.row, e.col) = e.value;
+  }
+  return out;
+}
+
+SparseFrame SparseFrame::from_dense(const DenseTensor& dense) {
+  const TensorShape& s = dense.shape();
+  if (s.n != 1 || s.c != 2) {
+    throw std::invalid_argument("from_dense expects a [1,2,H,W] tensor");
+  }
+  SparseFrame frame(s.h, s.w);
+  std::vector<CooEntry> pos;
+  std::vector<CooEntry> neg;
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      const float p = dense.at(0, 0, y, x);
+      const float n = dense.at(0, 1, y, x);
+      if (p != 0.0f) pos.push_back(CooEntry{y, x, p});
+      if (n != 0.0f) neg.push_back(CooEntry{y, x, n});
+    }
+  }
+  frame.positive() = CooChannel::from_entries(s.h, s.w, std::move(pos));
+  frame.negative() = CooChannel::from_entries(s.h, s.w, std::move(neg));
+  return frame;
+}
+
+void SparseFrame::validate() const {
+  pos_.validate();
+  neg_.validate();
+  if (pos_.height() != neg_.height() || pos_.width() != neg_.width()) {
+    throw std::logic_error("SparseFrame channel extent mismatch");
+  }
+  if (t_end < t_start) {
+    throw std::logic_error("SparseFrame t_end < t_start");
+  }
+}
+
+SparseFrame merge_frames(const std::vector<SparseFrame>& frames,
+                         MergeMode mode) {
+  if (frames.empty()) {
+    throw std::invalid_argument("merge_frames: empty input");
+  }
+  if (mode == MergeMode::kBatch) {
+    throw std::invalid_argument(
+        "merge_frames: kBatch concatenates, use batch_to_dense");
+  }
+  SparseFrame out(frames.front().height(), frames.front().width());
+  out.t_start = frames.front().t_start;
+  out.t_end = frames.front().t_end;
+  CooChannel pos = frames.front().positive();
+  CooChannel neg = frames.front().negative();
+  out.source_events = frames.front().source_events;
+  out.merged_count = frames.front().merged_count;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const SparseFrame& f = frames[i];
+    if (f.height() != out.height() || f.width() != out.width()) {
+      throw std::invalid_argument("merge_frames: extent mismatch");
+    }
+    pos = add(pos, f.positive());
+    neg = add(neg, f.negative());
+    out.t_start = std::min(out.t_start, f.t_start);
+    out.t_end = std::max(out.t_end, f.t_end);
+    out.source_events += f.source_events;
+    out.merged_count += f.merged_count;
+  }
+  if (mode == MergeMode::kAverage) {
+    const float inv = 1.0f / static_cast<float>(frames.size());
+    pos = scale(pos, inv);
+    neg = scale(neg, inv);
+  }
+  out.positive() = std::move(pos);
+  out.negative() = std::move(neg);
+  out.bin_index = frames.front().bin_index;
+  return out;
+}
+
+DenseTensor batch_to_dense(const std::vector<SparseFrame>& frames) {
+  if (frames.empty()) {
+    throw std::invalid_argument("batch_to_dense: empty input");
+  }
+  const int h = frames.front().height();
+  const int w = frames.front().width();
+  DenseTensor out(
+      TensorShape{static_cast<int>(frames.size()), 2, h, w});
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const SparseFrame& f = frames[i];
+    if (f.height() != h || f.width() != w) {
+      throw std::invalid_argument("batch_to_dense: extent mismatch");
+    }
+    for (const CooEntry& e : f.positive().entries()) {
+      out.at(static_cast<int>(i), 0, e.row, e.col) = e.value;
+    }
+    for (const CooEntry& e : f.negative().entries()) {
+      out.at(static_cast<int>(i), 1, e.row, e.col) = e.value;
+    }
+  }
+  return out;
+}
+
+double density_change(const SparseFrame& frame, const SparseFrame& reference,
+                      double eps) {
+  const double d_new = frame.density();
+  const double d_ref = reference.density();
+  return std::abs(d_new - d_ref) / std::max(d_ref, eps);
+}
+
+}  // namespace evedge::sparse

@@ -1,0 +1,93 @@
+#pragma once
+
+// SparseFrame: the unit of data flowing through the Ev-Edge runtime — one
+// event bin rendered as a two-channel (positive / negative polarity) COO
+// sparse image, carrying the timing metadata DSFA's merge policy needs.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::sparse {
+
+/// Merge modes supported by DSFA (paper §4.2).
+enum class MergeMode : std::uint8_t {
+  kAdd,      ///< cAdd: accumulate pixel values across frames
+  kAverage,  ///< cAverage: average pixel values across frames
+  kBatch,    ///< cBatch: keep frames separate, concatenate along batch
+};
+
+/// Two-channel sparse event frame. channel(0) holds accumulated positive
+/// polarity counts, channel(1) negative counts (stored positive).
+class SparseFrame {
+ public:
+  SparseFrame() = default;
+  SparseFrame(int height, int width);
+
+  [[nodiscard]] int height() const noexcept { return pos_.height(); }
+  [[nodiscard]] int width() const noexcept { return pos_.width(); }
+
+  [[nodiscard]] const CooChannel& positive() const noexcept { return pos_; }
+  [[nodiscard]] const CooChannel& negative() const noexcept { return neg_; }
+  [[nodiscard]] CooChannel& positive() noexcept { return pos_; }
+  [[nodiscard]] CooChannel& negative() noexcept { return neg_; }
+
+  /// Total stored non-zeros across both channels.
+  [[nodiscard]] std::size_t nnz() const noexcept {
+    return pos_.nnz() + neg_.nnz();
+  }
+
+  /// Fraction of (pixel, channel) sites that are non-zero, in [0, 1].
+  [[nodiscard]] double density() const noexcept;
+
+  /// Fraction of *pixels* with at least one event in either channel —
+  /// the Fig. 1 / Fig. 3 quantity.
+  [[nodiscard]] double pixel_fill_ratio() const;
+
+  /// Sum of event counts (positive channel + negative channel values).
+  [[nodiscard]] double event_mass() const noexcept {
+    return pos_.value_sum() + neg_.value_sum();
+  }
+
+  // --- timing metadata (microseconds) ---
+  std::int64_t t_start = 0;    ///< bin start
+  std::int64_t t_end = 0;      ///< bin end
+  std::int64_t bin_index = 0;  ///< event-bin index within its frame interval
+  std::int64_t source_events = 0;  ///< raw events accumulated into the bin
+  std::int64_t merged_count = 1;   ///< source frames merged into this one
+
+  /// Dense [1, 2, H, W] rendering (channel 0 positive, 1 negative).
+  [[nodiscard]] DenseTensor to_dense() const;
+
+  /// Builds a frame from a dense [1, 2, H, W] tensor (inverse of
+  /// to_dense); used by the dense-baseline encode path.
+  [[nodiscard]] static SparseFrame from_dense(const DenseTensor& dense);
+
+  void validate() const;
+
+ private:
+  CooChannel pos_;
+  CooChannel neg_;
+};
+
+/// Merges `frames` under cAdd (sum) or cAverage (mean). The result spans
+/// [min t_start, max t_end] and accumulates source_events. Throws for
+/// kBatch (batching concatenates instead of merging — see batch_frames)
+/// and for empty input.
+[[nodiscard]] SparseFrame merge_frames(const std::vector<SparseFrame>& frames,
+                                       MergeMode mode);
+
+/// Batched dense rendering [N, 2, H, W] of N sparse frames (cBatch /
+/// inference-queue concatenation). All frames must share extents.
+[[nodiscard]] DenseTensor batch_to_dense(
+    const std::vector<SparseFrame>& frames);
+
+/// Relative spatial-density change |d(frame) - d(ref)| / max(d(ref), eps) —
+/// the quantity DSFA compares against MdTh.
+[[nodiscard]] double density_change(const SparseFrame& frame,
+                                    const SparseFrame& reference,
+                                    double eps = 1e-9);
+
+}  // namespace evedge::sparse

@@ -1,0 +1,237 @@
+#include "sparse/sparse_ops.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace evedge::sparse {
+
+void validate_conv_spec(const Conv2dSpec& spec) {
+  if (spec.in_channels <= 0 || spec.out_channels <= 0) {
+    throw std::invalid_argument("conv channels must be positive");
+  }
+  if (spec.kernel <= 0 || spec.stride <= 0 || spec.padding < 0) {
+    throw std::invalid_argument("conv kernel/stride/padding invalid");
+  }
+}
+
+int conv_out_extent(int in_extent, int kernel, int stride, int padding) {
+  const int numerator = in_extent + 2 * padding - kernel;
+  if (numerator < 0) {
+    throw std::invalid_argument("conv kernel larger than padded input");
+  }
+  return numerator / stride + 1;
+}
+
+namespace {
+
+void validate_conv_inputs(std::span<const CooChannel> input,
+                          const DenseTensor& weights,
+                          std::span<const float> bias,
+                          const Conv2dSpec& spec) {
+  validate_conv_spec(spec);
+  if (static_cast<int>(input.size()) != spec.in_channels) {
+    throw std::invalid_argument(
+        "sparse conv: channel count mismatch, got " +
+        std::to_string(input.size()) + " expected " +
+        std::to_string(spec.in_channels));
+  }
+  const TensorShape& ws = weights.shape();
+  if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
+      ws.h != spec.kernel || ws.w != spec.kernel) {
+    throw std::invalid_argument("sparse conv: weight shape mismatch");
+  }
+  if (!bias.empty() && static_cast<int>(bias.size()) != spec.out_channels) {
+    throw std::invalid_argument("sparse conv: bias size mismatch");
+  }
+  for (std::size_t c = 1; c < input.size(); ++c) {
+    if (input[c].height() != input[0].height() ||
+        input[c].width() != input[0].width()) {
+      throw std::invalid_argument("sparse conv: input extents differ");
+    }
+  }
+}
+
+[[nodiscard]] std::size_t dense_mac_count(const Conv2dSpec& spec, int out_h,
+                                          int out_w) {
+  return static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w) *
+         static_cast<std::size_t>(spec.out_channels) *
+         static_cast<std::size_t>(spec.in_channels) *
+         static_cast<std::size_t>(spec.kernel) *
+         static_cast<std::size_t>(spec.kernel);
+}
+
+}  // namespace
+
+DenseTensor sparse_conv2d(std::span<const CooChannel> input,
+                          const DenseTensor& weights,
+                          std::span<const float> bias, const Conv2dSpec& spec,
+                          ConvWork* work) {
+  validate_conv_inputs(input, weights, bias, spec);
+  const int in_h = input[0].height();
+  const int in_w = input[0].width();
+  const int out_h = conv_out_extent(in_h, spec.kernel, spec.stride,
+                                    spec.padding);
+  const int out_w = conv_out_extent(in_w, spec.kernel, spec.stride,
+                                    spec.padding);
+
+  DenseTensor out(TensorShape{1, spec.out_channels, out_h, out_w});
+  if (!bias.empty()) {
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      for (int y = 0; y < out_h; ++y) {
+        for (int x = 0; x < out_w; ++x) out.at(0, oc, y, x) = bias[
+            static_cast<std::size_t>(oc)];
+      }
+    }
+  }
+
+  std::size_t sparse_macs = 0;
+  std::size_t nnz_in = 0;
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    const CooChannel& ch = input[static_cast<std::size_t>(ic)];
+    nnz_in += ch.nnz();
+    for (const CooEntry& e : ch.entries()) {
+      // Scatter: output (oy, ox) sees input (r, c) through kernel tap
+      // (ky, kx) iff oy*stride + ky - padding == r (same for x).
+      for (int ky = 0; ky < spec.kernel; ++ky) {
+        const int oy_num = e.row + spec.padding - ky;
+        if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+        const int oy = oy_num / spec.stride;
+        if (oy >= out_h) continue;
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ox_num = e.col + spec.padding - kx;
+          if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+          const int ox = ox_num / spec.stride;
+          if (ox >= out_w) continue;
+          for (int oc = 0; oc < spec.out_channels; ++oc) {
+            out.at(0, oc, oy, ox) += weights.at(oc, ic, ky, kx) * e.value;
+          }
+          sparse_macs += static_cast<std::size_t>(spec.out_channels);
+        }
+      }
+    }
+  }
+
+  if (work != nullptr) {
+    work->dense_macs += dense_mac_count(spec, out_h, out_w);
+    work->sparse_macs += sparse_macs;
+    work->nnz_in += nnz_in;
+  }
+  return out;
+}
+
+std::vector<CooChannel> submanifold_conv2d(std::span<const CooChannel> input,
+                                           const DenseTensor& weights,
+                                           std::span<const float> bias,
+                                           const Conv2dSpec& spec,
+                                           ConvWork* work) {
+  validate_conv_inputs(input, weights, bias, spec);
+  if (spec.stride != 1) {
+    throw std::invalid_argument("submanifold conv requires stride 1");
+  }
+  if (conv_out_extent(input[0].height(), spec.kernel, 1, spec.padding) !=
+          input[0].height() ||
+      conv_out_extent(input[0].width(), spec.kernel, 1, spec.padding) !=
+          input[0].width()) {
+    throw std::invalid_argument(
+        "submanifold conv requires same-extent output (kernel = 2*padding+1)");
+  }
+  const int h = input[0].height();
+  const int w = input[0].width();
+
+  // Active set = union of input active sites across channels.
+  std::set<std::pair<std::int32_t, std::int32_t>> active;
+  for (const CooChannel& ch : input) {
+    for (const CooEntry& e : ch.entries()) active.insert({e.row, e.col});
+  }
+
+  std::size_t sparse_macs = 0;
+  std::size_t nnz_in = 0;
+  for (const CooChannel& ch : input) nnz_in += ch.nnz();
+
+  std::vector<std::vector<CooEntry>> out_entries(
+      static_cast<std::size_t>(spec.out_channels));
+  for (const auto& [row, col] : active) {
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+      for (int ic = 0; ic < spec.in_channels; ++ic) {
+        const CooChannel& ch = input[static_cast<std::size_t>(ic)];
+        for (int ky = 0; ky < spec.kernel; ++ky) {
+          const int iy = row - spec.padding + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < spec.kernel; ++kx) {
+            const int ix = col - spec.padding + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float v = ch.at(iy, ix);
+            if (v != 0.0f) {
+              acc += weights.at(oc, ic, ky, kx) * v;
+              ++sparse_macs;
+            }
+          }
+        }
+      }
+      if (acc != 0.0f) {
+        out_entries[static_cast<std::size_t>(oc)].push_back(
+            CooEntry{row, col, acc});
+      }
+    }
+  }
+
+  std::vector<CooChannel> out;
+  out.reserve(static_cast<std::size_t>(spec.out_channels));
+  for (auto& entries : out_entries) {
+    out.push_back(CooChannel::from_entries(h, w, std::move(entries)));
+  }
+  if (work != nullptr) {
+    work->dense_macs += dense_mac_count(spec, h, w);
+    work->sparse_macs += sparse_macs;
+    work->nnz_in += nnz_in;
+  }
+  return out;
+}
+
+std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,
+                                          std::size_t* scanned_elements) {
+  const TensorShape& s = dense.shape();
+  if (s.n != 1) {
+    throw std::invalid_argument("dense_to_channels expects batch 1");
+  }
+  std::vector<CooChannel> channels;
+  channels.reserve(static_cast<std::size_t>(s.c));
+  for (int c = 0; c < s.c; ++c) {
+    std::vector<CooEntry> entries;
+    for (int y = 0; y < s.h; ++y) {
+      for (int x = 0; x < s.w; ++x) {
+        const float v = dense.at(0, c, y, x);
+        if (v != 0.0f) entries.push_back(CooEntry{y, x, v});
+      }
+    }
+    channels.push_back(CooChannel::from_entries(s.h, s.w,
+                                                std::move(entries)));
+  }
+  if (scanned_elements != nullptr) {
+    *scanned_elements += s.element_count();
+  }
+  return channels;
+}
+
+DenseTensor channels_to_dense(std::span<const CooChannel> channels) {
+  if (channels.empty()) {
+    throw std::invalid_argument("channels_to_dense: empty input");
+  }
+  const int h = channels[0].height();
+  const int w = channels[0].width();
+  DenseTensor out(
+      TensorShape{1, static_cast<int>(channels.size()), h, w});
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    if (channels[c].height() != h || channels[c].width() != w) {
+      throw std::invalid_argument("channels_to_dense: extent mismatch");
+    }
+    for (const CooEntry& e : channels[c].entries()) {
+      out.at(0, static_cast<int>(c), e.row, e.col) = e.value;
+    }
+  }
+  return out;
+}
+
+}  // namespace evedge::sparse

@@ -1,0 +1,66 @@
+#pragma once
+
+// Sparse compute kernels: gather-scatter sparse convolution and the
+// submanifold variant of Graham et al. [6] that the paper's E2SF feeds.
+// Dense reference convolutions live in evedge::nn; tests cross-validate
+// the two implementations on random inputs.
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::sparse {
+
+/// Geometry of a 2-D convolution (square kernel).
+struct Conv2dSpec {
+  int in_channels = 1;
+  int out_channels = 1;
+  int kernel = 3;
+  int stride = 1;
+  int padding = 1;
+};
+
+void validate_conv_spec(const Conv2dSpec& spec);
+
+/// Output spatial extent of a convolution over an h x w input.
+[[nodiscard]] int conv_out_extent(int in_extent, int kernel, int stride,
+                                  int padding);
+
+/// Work accounting for one convolution application.
+struct ConvWork {
+  std::size_t dense_macs = 0;   ///< MACs a dense kernel would execute
+  std::size_t sparse_macs = 0;  ///< MACs the sparse kernel executed
+  std::size_t nnz_in = 0;       ///< input non-zeros
+};
+
+/// Sparse convolution: scatter each input non-zero through the kernel into
+/// a dense output [1, out_channels, out_h, out_w].
+/// `weights` is [out_channels, in_channels, k, k]; `bias` is per output
+/// channel (empty = no bias). `work`, when non-null, accumulates counters.
+[[nodiscard]] DenseTensor sparse_conv2d(std::span<const CooChannel> input,
+                                        const DenseTensor& weights,
+                                        std::span<const float> bias,
+                                        const Conv2dSpec& spec,
+                                        ConvWork* work = nullptr);
+
+/// Submanifold sparse convolution (stride 1 only): output non-zeros are
+/// restricted to the union of input active sites, preventing dilation of
+/// the active set across layers. Returns out_channels sparse channels.
+[[nodiscard]] std::vector<CooChannel> submanifold_conv2d(
+    std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec,
+    ConvWork* work = nullptr);
+
+/// Dense [1, C, H, W] tensor -> C sparse channels (the encode step whose
+/// cost E2SF eliminates). `scanned_elements`, when non-null, receives the
+/// number of dense elements visited (the encode cost driver).
+[[nodiscard]] std::vector<CooChannel> dense_to_channels(
+    const DenseTensor& dense, std::size_t* scanned_elements = nullptr);
+
+/// C sparse channels -> dense [1, C, H, W].
+[[nodiscard]] DenseTensor channels_to_dense(
+    std::span<const CooChannel> channels);
+
+}  // namespace evedge::sparse

@@ -1,0 +1,383 @@
+// Unit and property tests for the events substrate: AER streams, the DVS
+// sensor model, procedural scenes, density profiles, the Poisson
+// synthesizer, statistics and IO.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "events/density_profile.hpp"
+#include "events/dvs_sensor.hpp"
+#include "events/event_stream.hpp"
+#include "events/event_synth.hpp"
+#include "events/io.hpp"
+#include "events/scene.hpp"
+#include "events/stats.hpp"
+
+namespace ee = evedge::events;
+
+// ---------------------------------------------------------------- streams
+
+TEST(EventStream, PushBackKeepsOrderAndGeometry) {
+  ee::EventStream s(ee::SensorGeometry{10, 8});
+  s.push_back({1, 2, 100, ee::Polarity::kPositive});
+  s.push_back({3, 4, 100, ee::Polarity::kNegative});
+  s.push_back({5, 6, 250, ee::Polarity::kPositive});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.t_begin(), 100);
+  EXPECT_EQ(s.t_end(), 250);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(EventStream, RejectsTimeRegression) {
+  ee::EventStream s(ee::SensorGeometry{10, 8});
+  s.push_back({0, 0, 100, ee::Polarity::kPositive});
+  EXPECT_THROW(s.push_back({0, 0, 99, ee::Polarity::kPositive}),
+               std::invalid_argument);
+}
+
+TEST(EventStream, RejectsOutOfGeometry) {
+  ee::EventStream s(ee::SensorGeometry{10, 8});
+  EXPECT_THROW(s.push_back({10, 0, 0, ee::Polarity::kPositive}),
+               std::invalid_argument);
+  EXPECT_THROW(s.push_back({0, 8, 0, ee::Polarity::kPositive}),
+               std::invalid_argument);
+}
+
+TEST(EventStream, SliceIsHalfOpenAndComplete) {
+  ee::EventStream s(ee::SensorGeometry{4, 4});
+  for (int i = 0; i < 10; ++i) {
+    s.push_back({0, 0, i * 10, ee::Polarity::kPositive});
+  }
+  EXPECT_EQ(s.slice(0, 100).size(), 10u);
+  EXPECT_EQ(s.slice(0, 90).size(), 9u);   // t=90 excluded
+  EXPECT_EQ(s.slice(10, 20).size(), 1u);  // only t=10
+  EXPECT_EQ(s.slice(95, 300).size(), 0u);
+  EXPECT_EQ(s.count_in(0, 50) + s.count_in(50, 100), s.size());
+}
+
+TEST(EventStream, EmptyStreamThrowsOnTimeQueries) {
+  ee::EventStream s(ee::SensorGeometry{4, 4});
+  EXPECT_THROW((void)s.t_begin(), std::logic_error);
+  EXPECT_THROW((void)s.t_end(), std::logic_error);
+}
+
+TEST(FrameClock, UniformSpacing) {
+  const auto clock = ee::FrameClock::uniform(1000, 50, 4);
+  ASSERT_EQ(clock.timestamps.size(), 4u);
+  EXPECT_EQ(clock.timestamps[0], 1000);
+  EXPECT_EQ(clock.timestamps[3], 1150);
+  EXPECT_EQ(clock.interval_count(), 3u);
+}
+
+// ------------------------------------------------------------- DVS model
+
+TEST(DvsSensor, NoEventsForStaticScene) {
+  ee::DvsSensor sensor(ee::SensorGeometry{8, 8}, ee::DvsConfig{});
+  ee::IntensityFrame frame;
+  frame.width = 8;
+  frame.height = 8;
+  frame.intensity.assign(64, 0.5f);
+  frame.t = 0;
+  sensor.process_frame(frame);
+  frame.t = 1000;
+  sensor.process_frame(frame);
+  frame.t = 2000;
+  sensor.process_frame(frame);
+  EXPECT_TRUE(sensor.stream().empty());
+}
+
+TEST(DvsSensor, BrighteningPixelFiresPositive) {
+  ee::DvsSensor sensor(ee::SensorGeometry{2, 2},
+                       ee::DvsConfig{0.2, 0.0, 1e-3f});
+  ee::IntensityFrame frame;
+  frame.width = 2;
+  frame.height = 2;
+  frame.intensity = {0.2f, 0.2f, 0.2f, 0.2f};
+  frame.t = 0;
+  sensor.process_frame(frame);
+  frame.intensity = {0.8f, 0.2f, 0.2f, 0.2f};  // pixel (0,0) brightens
+  frame.t = 1000;
+  sensor.process_frame(frame);
+  ASSERT_GT(sensor.stream().size(), 0u);
+  for (const ee::Event& e : sensor.stream().events()) {
+    EXPECT_EQ(e.x, 0);
+    EXPECT_EQ(e.y, 0);
+    EXPECT_EQ(e.p, ee::Polarity::kPositive);
+    EXPECT_GT(e.t, 0);
+    EXPECT_LE(e.t, 1000);
+  }
+  // log(0.8/0.2) ~ 1.386 -> floor(1.386/0.2) = 6 events.
+  EXPECT_EQ(sensor.stream().size(), 6u);
+}
+
+TEST(DvsSensor, DimmingPixelFiresNegative) {
+  ee::DvsSensor sensor(ee::SensorGeometry{2, 2},
+                       ee::DvsConfig{0.3, 0.0, 1e-3f});
+  ee::IntensityFrame frame;
+  frame.width = 2;
+  frame.height = 2;
+  frame.intensity = {0.9f, 0.5f, 0.5f, 0.5f};
+  frame.t = 0;
+  sensor.process_frame(frame);
+  frame.intensity = {0.1f, 0.5f, 0.5f, 0.5f};
+  frame.t = 500;
+  sensor.process_frame(frame);
+  ASSERT_GT(sensor.stream().size(), 0u);
+  for (const ee::Event& e : sensor.stream().events()) {
+    EXPECT_EQ(e.p, ee::Polarity::kNegative);
+  }
+}
+
+TEST(DvsSensor, RefractoryPeriodSuppressesEvents) {
+  // Large change would emit many events; a refractory period as long as
+  // the frame gap keeps at most one per pixel.
+  ee::DvsSensor strict(ee::SensorGeometry{1, 1},
+                       ee::DvsConfig{0.1, 1000.0, 1e-3f});
+  ee::IntensityFrame frame;
+  frame.width = 1;
+  frame.height = 1;
+  frame.intensity = {0.1f};
+  frame.t = 0;
+  strict.process_frame(frame);
+  frame.intensity = {0.9f};
+  frame.t = 1000;
+  strict.process_frame(frame);
+  EXPECT_LE(strict.stream().size(), 1u);
+}
+
+TEST(DvsSensor, SubthresholdChangeAccumulates) {
+  // Two +0.6-threshold steps: neither alone fires, the memory accumulates
+  // and the second crosses.
+  ee::DvsSensor sensor(ee::SensorGeometry{1, 1},
+                       ee::DvsConfig{0.5, 0.0, 1e-3f});
+  ee::IntensityFrame frame;
+  frame.width = 1;
+  frame.height = 1;
+  frame.intensity = {0.5f};
+  frame.t = 0;
+  sensor.process_frame(frame);
+  frame.intensity = {0.65f};  // log ratio ~ 0.26 < 0.5
+  frame.t = 100;
+  sensor.process_frame(frame);
+  EXPECT_EQ(sensor.stream().size(), 0u);
+  frame.intensity = {0.9f};  // cumulative log ratio ~ 0.59 > 0.5
+  frame.t = 200;
+  sensor.process_frame(frame);
+  EXPECT_EQ(sensor.stream().size(), 1u);
+}
+
+TEST(DvsSensor, RejectsNonMonotoneFrames) {
+  ee::DvsSensor sensor(ee::SensorGeometry{2, 2}, ee::DvsConfig{});
+  ee::IntensityFrame frame;
+  frame.width = 2;
+  frame.height = 2;
+  frame.intensity.assign(4, 0.5f);
+  frame.t = 100;
+  sensor.process_frame(frame);
+  frame.t = 100;
+  EXPECT_THROW(sensor.process_frame(frame), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- scenes
+
+TEST(Scenes, MovingBarProducesTimeOrderedEventsInsideGeometry) {
+  ee::MovingBarScene scene(ee::MovingBarScene::Params{
+      ee::SensorGeometry{32, 24}, 200.0, 3, 0.1, 0.9});
+  const auto stream =
+      ee::simulate_dvs(scene, 0, 200'000, 1000.0, ee::DvsConfig{});
+  ASSERT_GT(stream.size(), 100u);
+  EXPECT_NO_THROW(stream.validate());
+}
+
+TEST(Scenes, FasterBarYieldsMoreEvents) {
+  const ee::DvsConfig dvs{};
+  ee::MovingBarScene slow(ee::MovingBarScene::Params{
+      ee::SensorGeometry{32, 24}, 60.0, 3, 0.1, 0.9});
+  ee::MovingBarScene fast(ee::MovingBarScene::Params{
+      ee::SensorGeometry{32, 24}, 240.0, 3, 0.1, 0.9});
+  const auto s_slow = ee::simulate_dvs(slow, 0, 150'000, 2000.0, dvs);
+  const auto s_fast = ee::simulate_dvs(fast, 0, 150'000, 2000.0, dvs);
+  EXPECT_GT(s_fast.size(), s_slow.size());
+}
+
+TEST(Scenes, TexturedTranslationHasUniformGroundTruthFlow) {
+  ee::TexturedTranslationScene scene(ee::TexturedTranslationScene::Params{
+      ee::SensorGeometry{16, 12}, 30.0, -12.0, 3, 0.5, 0.4, 9});
+  const auto flow = scene.ground_truth_flow(0);
+  for (float v : flow.vx) EXPECT_FLOAT_EQ(v, 30.0f);
+  for (float v : flow.vy) EXPECT_FLOAT_EQ(v, -12.0f);
+}
+
+TEST(Scenes, DriftingDotsSparseActivity) {
+  ee::DriftingDotsScene scene(ee::DriftingDotsScene::Params{
+      ee::SensorGeometry{48, 36}, 5, 1.5, 80.0, 0.0, 0.05, 0.9, 3});
+  const auto stream =
+      ee::simulate_dvs(scene, 0, 100'000, 1000.0, ee::DvsConfig{});
+  ASSERT_GT(stream.size(), 0u);
+  // Sparse stimulus: well below 30% of pixels active over the whole run.
+  EXPECT_LT(ee::frame_fill_ratio(stream, 0, 100'000), 0.3);
+}
+
+// ------------------------------------------------------ density profiles
+
+TEST(DensityProfile, PresetsAreNonNegativeEverywhere) {
+  for (const auto& profile :
+       {ee::DensityProfile::indoor_flying1(),
+        ee::DensityProfile::indoor_flying2(), ee::DensityProfile::outdoor_day1(),
+        ee::DensityProfile::dense_town10()}) {
+    for (double t = 0.0; t < 10.0; t += 0.05) {
+      EXPECT_GE(profile.rate_per_pixel(t), 0.0) << profile.name();
+    }
+  }
+}
+
+TEST(DensityProfile, IndoorFlyingIsBurstier) {
+  // The drone profiles must show higher burst-to-base ratio than driving.
+  const auto indoor = ee::DensityProfile::indoor_flying2();
+  const auto outdoor = ee::DensityProfile::outdoor_day1();
+  double indoor_peak = 0.0;
+  double outdoor_peak = 0.0;
+  for (double t = 0.0; t < 9.0; t += 0.01) {
+    indoor_peak = std::max(indoor_peak, indoor.rate_per_pixel(t));
+    outdoor_peak = std::max(outdoor_peak, outdoor.rate_per_pixel(t));
+  }
+  const double indoor_ratio = indoor_peak / indoor.mean_rate_per_pixel(0, 9);
+  const double outdoor_ratio =
+      outdoor_peak / outdoor.mean_rate_per_pixel(0, 9);
+  EXPECT_GT(indoor_ratio, 2.0);
+  EXPECT_GT(indoor_ratio, outdoor_ratio);
+}
+
+// ---------------------------------------------------------- synthesizer
+
+TEST(PoissonSynth, EventCountTracksProfileIntegral) {
+  const ee::SensorGeometry g{64, 48};
+  ee::SynthConfig cfg;
+  cfg.geometry = g;
+  cfg.seed = 123;
+  const auto profile = ee::DensityProfile::indoor_flying1();
+  ee::PoissonEventSynthesizer synth(profile, cfg);
+  const ee::TimeUs duration = 2'000'000;
+  const auto stream = synth.generate(0, duration);
+  const double expected = profile.mean_rate_per_pixel(0.0, 2.0) *
+                          static_cast<double>(g.pixel_count()) * 2.0;
+  ASSERT_GT(stream.size(), 0u);
+  const double actual = static_cast<double>(stream.size());
+  EXPECT_NEAR(actual / expected, 1.0, 0.15);
+}
+
+TEST(PoissonSynth, DeterministicForSameSeed) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{32, 24};
+  cfg.seed = 77;
+  ee::PoissonEventSynthesizer a(ee::DensityProfile::indoor_flying2(), cfg);
+  ee::PoissonEventSynthesizer b(ee::DensityProfile::indoor_flying2(), cfg);
+  const auto sa = a.generate(0, 300'000);
+  const auto sb = b.generate(0, 300'000);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.events()[i], sb.events()[i]);
+  }
+}
+
+TEST(PoissonSynth, StreamIsValidAndBothPolaritiesPresent) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{32, 24};
+  ee::PoissonEventSynthesizer synth(ee::DensityProfile::outdoor_day1(), cfg);
+  const auto s = synth.generate(0, 500'000);
+  EXPECT_NO_THROW(s.validate());
+  std::size_t pos = 0;
+  for (const ee::Event& e : s.events()) {
+    if (e.p == ee::Polarity::kPositive) ++pos;
+  }
+  EXPECT_GT(pos, 0u);
+  EXPECT_LT(pos, s.size());
+}
+
+// ------------------------------------------------------------ statistics
+
+TEST(Stats, TemporalDensityTraceCoversAllEvents) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{32, 24};
+  ee::PoissonEventSynthesizer synth(ee::DensityProfile::indoor_flying2(),
+                                    cfg);
+  const auto s = synth.generate(0, 1'000'000);
+  const auto trace = ee::temporal_density_trace(s, 50'000);
+  std::size_t total = 0;
+  for (const auto& w : trace) total += w.event_count;
+  EXPECT_EQ(total, s.size());
+}
+
+TEST(Stats, BurstProfileHasHighVariation) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{64, 48};
+  cfg.seed = 5;
+  ee::PoissonEventSynthesizer indoor(ee::DensityProfile::indoor_flying2(),
+                                     cfg);
+  const auto s = indoor.generate(0, 8'000'000);
+  const auto summary = ee::summarize(ee::temporal_density_trace(s, 100'000));
+  // Fig. 5 shape: bursty, peak well above mean.
+  EXPECT_GT(summary.peak_rate, 2.0 * summary.mean_rate);
+  EXPECT_GT(summary.coefficient_of_variation, 0.4);
+}
+
+TEST(Stats, FillRatioBounds) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{32, 24};
+  ee::PoissonEventSynthesizer synth(ee::DensityProfile::indoor_flying1(),
+                                    cfg);
+  const auto s = synth.generate(0, 400'000);
+  const double r = ee::frame_fill_ratio(s, 0, 400'000);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0);
+  // Tiny window: far fewer active pixels.
+  const double r_small = ee::frame_fill_ratio(s, 0, 1'000);
+  EXPECT_LE(r_small, r);
+}
+
+TEST(Stats, MeanBinFillRatioDecreasesWithMoreBins) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{64, 48};
+  ee::PoissonEventSynthesizer synth(ee::DensityProfile::outdoor_day1(), cfg);
+  const auto s = synth.generate(0, 1'000'000);
+  const auto clock = ee::FrameClock::uniform(0, 200'000, 6);
+  const double d5 = ee::mean_bin_fill_ratio(s, clock, 5);
+  const double d20 = ee::mean_bin_fill_ratio(s, clock, 20);
+  EXPECT_GT(d5, d20);  // finer bins -> sparser frames
+}
+
+// ------------------------------------------------------------------- IO
+
+TEST(Io, BinaryRoundTrip) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{32, 24};
+  ee::PoissonEventSynthesizer synth(ee::DensityProfile::indoor_flying1(),
+                                    cfg);
+  const auto s = synth.generate(0, 200'000);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "evedge_test_events.bin";
+  ee::write_binary(s, path);
+  const auto loaded = ee::read_binary(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), s.size());
+  EXPECT_EQ(loaded.geometry(), s.geometry());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(loaded.events()[i], s.events()[i]);
+  }
+}
+
+TEST(Io, ReadRejectsGarbage) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "evedge_garbage.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an event file", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)ee::read_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}

@@ -1,0 +1,245 @@
+// Tests for the hardware platform model: Xavier preset invariants, the
+// roofline latency model's monotonicity properties, energy accounting and
+// the profiling pass.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/energy_model.hpp"
+#include "hw/latency_model.hpp"
+#include "hw/platform.hpp"
+#include "hw/profiler.hpp"
+#include "nn/zoo.hpp"
+
+namespace eh = evedge::hw;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+
+namespace {
+
+eh::LayerWorkload conv_workload(std::size_t macs = 10'000'000,
+                                std::size_t elems = 100'000) {
+  eh::LayerWorkload w;
+  w.macs = macs;
+  w.input_elements = elems;
+  w.output_elements = elems;
+  w.weight_elements = 4'800;
+  w.domain = en::Domain::kAnn;
+  w.input_density = 1.0;
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- platform
+
+TEST(Platform, XavierPresetIsValid) {
+  const auto p = eh::xavier_agx();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.pe_count(), 4);  // CPU + GPU + 2x DLA
+  EXPECT_EQ(p.pe(p.first_pe(eh::PeKind::kGpu)).kind, eh::PeKind::kGpu);
+}
+
+TEST(Platform, DlaHasNoFp32Path) {
+  const auto p = eh::xavier_agx();
+  const auto& dla = p.pe(p.first_pe(eh::PeKind::kDla));
+  EXPECT_FALSE(dla.supports(eq::Precision::kFp32));
+  EXPECT_TRUE(dla.supports(eq::Precision::kFp16));
+  EXPECT_TRUE(dla.supports(eq::Precision::kInt8));
+  EXPECT_FALSE(dla.supports_sparse);
+}
+
+TEST(Platform, GpuIsFastestDenseEngine) {
+  const auto p = eh::xavier_agx();
+  const auto w = conv_workload();
+  const double gpu = eh::layer_latency_us(
+      p.pe(p.first_pe(eh::PeKind::kGpu)), eq::Precision::kFp16, w);
+  const double cpu = eh::layer_latency_us(
+      p.pe(p.first_pe(eh::PeKind::kCpu)), eq::Precision::kFp16, w);
+  EXPECT_LT(gpu, cpu);
+}
+
+TEST(Platform, TransferTimeScalesWithBytes) {
+  const auto p = eh::xavier_agx();
+  EXPECT_DOUBLE_EQ(eh::transfer_time_us(p, 1, 1, 1e6), 0.0);  // same PE
+  const double small = eh::transfer_time_us(p, 0, 1, 1e3);
+  const double large = eh::transfer_time_us(p, 0, 1, 1e6);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);  // sync overhead even for tiny transfers
+}
+
+// ------------------------------------------------------------ latency model
+
+TEST(Latency, UnsupportedPrecisionThrows) {
+  const auto p = eh::xavier_agx();
+  const auto& dla = p.pe(p.first_pe(eh::PeKind::kDla));
+  EXPECT_THROW((void)eh::layer_latency_us(dla, eq::Precision::kFp32,
+                                          conv_workload()),
+               std::invalid_argument);
+}
+
+TEST(Latency, SparseRouteNeedsSparseSupport) {
+  const auto p = eh::xavier_agx();
+  const auto& dla = p.pe(p.first_pe(eh::PeKind::kDla));
+  EXPECT_THROW((void)eh::layer_latency_us(dla, eq::Precision::kFp16,
+                                          conv_workload(),
+                                          eh::Route::kSparse),
+               std::invalid_argument);
+}
+
+TEST(Latency, MonotoneInMacs) {
+  const auto p = eh::xavier_agx();
+  const auto& gpu = p.pe(p.first_pe(eh::PeKind::kGpu));
+  const double t1 = eh::layer_latency_us(gpu, eq::Precision::kFp32,
+                                         conv_workload(1'000'000));
+  const double t2 = eh::layer_latency_us(gpu, eq::Precision::kFp32,
+                                         conv_workload(100'000'000));
+  EXPECT_GT(t2, t1);
+}
+
+TEST(Latency, LowerPrecisionIsFasterOnGpu) {
+  const auto p = eh::xavier_agx();
+  const auto& gpu = p.pe(p.first_pe(eh::PeKind::kGpu));
+  const auto w = conv_workload(500'000'000);
+  const double fp32 = eh::layer_latency_us(gpu, eq::Precision::kFp32, w);
+  const double fp16 = eh::layer_latency_us(gpu, eq::Precision::kFp16, w);
+  const double int8 = eh::layer_latency_us(gpu, eq::Precision::kInt8, w);
+  EXPECT_GT(fp32, fp16);
+  EXPECT_GT(fp16, int8);
+}
+
+TEST(Latency, SpikingLayersSlowerThanAnnOnGpu) {
+  // The paper's observation: SNNs have the longest execution times on
+  // these platforms.
+  const auto p = eh::xavier_agx();
+  const auto& gpu = p.pe(p.first_pe(eh::PeKind::kGpu));
+  auto ann = conv_workload(100'000'000);
+  auto snn = ann;
+  snn.domain = en::Domain::kSnn;
+  EXPECT_GT(eh::layer_latency_us(gpu, eq::Precision::kFp32, snn),
+            eh::layer_latency_us(gpu, eq::Precision::kFp32, ann));
+}
+
+TEST(Latency, SparseRouteWinsAtLowDensityOnly) {
+  const auto p = eh::xavier_agx();
+  const auto& gpu = p.pe(p.first_pe(eh::PeKind::kGpu));
+  auto sparse_w = conv_workload(200'000'000);
+  sparse_w.input_density = 0.02;
+  EXPECT_EQ(eh::best_route(gpu, eq::Precision::kFp32, sparse_w),
+            eh::Route::kSparse);
+  auto dense_w = conv_workload(200'000'000);
+  dense_w.input_density = 0.9;
+  EXPECT_EQ(eh::best_route(gpu, eq::Precision::kFp32, dense_w),
+            eh::Route::kDense);
+}
+
+TEST(Latency, BatchAmortizesLaunchOverhead) {
+  const auto p = eh::xavier_agx();
+  const auto& gpu = p.pe(p.first_pe(eh::PeKind::kGpu));
+  const auto w = conv_workload(5'000'000);
+  const double single = eh::layer_latency_us(gpu, eq::Precision::kFp32, w);
+  const double batched =
+      eh::layer_latency_us(gpu, eq::Precision::kFp32, w, eh::Route::kDense,
+                           4);
+  EXPECT_LT(batched, 4.0 * single);
+}
+
+TEST(Latency, EncodeOverheadPositiveAndScales) {
+  const auto p = eh::xavier_agx();
+  const auto& gpu = p.pe(p.first_pe(eh::PeKind::kGpu));
+  const double small =
+      eh::encode_to_sparse_us(gpu, 10'000, eq::Precision::kFp32);
+  const double large =
+      eh::encode_to_sparse_us(gpu, 10'000'000, eq::Precision::kFp32);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+// ---------------------------------------------------------------- energy
+
+TEST(Energy, BusyPlusIdleAccounting) {
+  const auto p = eh::xavier_agx();
+  eh::EnergyAccumulator acc(p);
+  const int gpu = p.first_pe(eh::PeKind::kGpu);
+  acc.add_busy(gpu, eq::Precision::kFp32, 1000.0);  // 1 ms at 18 W = 18 mJ
+  EXPECT_NEAR(acc.busy_mj(), 18.0, 1e-9);
+  EXPECT_NEAR(acc.busy_us(gpu), 1000.0, 1e-9);
+  // Idle: all four PEs idle for the remaining makespan.
+  const double total = acc.total_mj(2000.0);
+  EXPECT_GT(total, acc.busy_mj());
+}
+
+TEST(Energy, TransferEnergyCounts) {
+  const auto p = eh::xavier_agx();
+  eh::EnergyAccumulator acc(p);
+  acc.add_transfer(1e6);  // 1 MB at 120 pJ/B = 0.12 mJ
+  EXPECT_NEAR(acc.transfer_mj(), 0.12, 1e-9);
+}
+
+TEST(Energy, LowerPrecisionCostsLessOnGpu) {
+  const auto p = eh::xavier_agx();
+  eh::EnergyAccumulator a(p);
+  eh::EnergyAccumulator b(p);
+  const int gpu = p.first_pe(eh::PeKind::kGpu);
+  a.add_busy(gpu, eq::Precision::kFp32, 1000.0);
+  b.add_busy(gpu, eq::Precision::kInt8, 1000.0);
+  EXPECT_GT(a.busy_mj(), b.busy_mj());
+}
+
+TEST(Energy, RejectsNegativeDurations) {
+  const auto p = eh::xavier_agx();
+  eh::EnergyAccumulator acc(p);
+  EXPECT_THROW(acc.add_busy(0, eq::Precision::kFp32, -1.0),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- profiler
+
+TEST(Profiler, TablesCoverAllNodesAndPes) {
+  const auto platform = eh::xavier_agx();
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  const auto profile = eh::profile_task(spec, platform);
+  ASSERT_EQ(profile.nodes.size(), spec.graph.size());
+  for (const auto& np : profile.nodes) {
+    ASSERT_EQ(np.time_us.size(),
+              static_cast<std::size_t>(platform.pe_count()));
+    if (!np.mappable) continue;
+    // GPU FP32 must always be available (the all-GPU baseline exists).
+    EXPECT_TRUE(np.supported(platform.first_pe(eh::PeKind::kGpu),
+                             eq::Precision::kFp32));
+    // DLA FP32 must not.
+    EXPECT_FALSE(np.supported(platform.first_pe(eh::PeKind::kDla),
+                              eq::Precision::kFp32));
+  }
+}
+
+TEST(Profiler, SnnLayerTimesIncludeTimestepRepeats) {
+  const auto platform = eh::xavier_agx();
+  // DOTIE: single spiking conv; its profiled time must scale with the
+  // timestep count.
+  auto cfg = en::ZooConfig::test_scale();
+  cfg.n_bins = 2;
+  const auto spec2 = en::build_network(en::NetworkId::kDotie, cfg);
+  cfg.n_bins = 8;
+  const auto spec8 = en::build_network(en::NetworkId::kDotie, cfg);
+  const auto p2 = eh::profile_task(spec2, platform);
+  const auto p8 = eh::profile_task(spec8, platform);
+  const int gpu = platform.first_pe(eh::PeKind::kGpu);
+  // Node 1 is the spiking conv in both.
+  const double t2 = p2.node(1).time(gpu, eq::Precision::kFp32);
+  const double t8 = p8.node(1).time(gpu, eq::Precision::kFp32);
+  EXPECT_NEAR(t8 / t2, 4.0, 0.2);
+}
+
+TEST(Profiler, InputOutputNodesAreFreeAndUnmappable) {
+  const auto platform = eh::xavier_agx();
+  const auto spec = en::build_network(en::NetworkId::kEvFlowNet,
+                                      en::ZooConfig::test_scale());
+  const auto profile = eh::profile_task(spec, platform);
+  for (const int id : spec.graph.input_ids()) {
+    EXPECT_FALSE(profile.node(id).mappable);
+    EXPECT_DOUBLE_EQ(profile.node(id).time(0, eq::Precision::kFp32), 0.0);
+  }
+}

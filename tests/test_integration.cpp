@@ -1,0 +1,338 @@
+// Cross-module integration tests: the EvEdgeRuntime facade (offline
+// profiling + NMP search + online pipeline), pipeline accounting
+// invariants across stream profiles, scheduler/mapper interplay under
+// the DLA layer-support constraints, objective variants and artifact
+// export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/e2e_accuracy.hpp"
+#include "core/runtime.hpp"
+#include "events/density_profile.hpp"
+#include "events/event_synth.hpp"
+#include "hw/profiler.hpp"
+#include "mapper/baselines.hpp"
+#include "quant/accuracy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace eh = evedge::hw;
+namespace em = evedge::mapper;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace ss = evedge::sched;
+
+namespace {
+
+ee::EventStream davis_stream(const ee::DensityProfile& profile,
+                             ee::TimeUs duration, std::uint64_t seed) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::davis346();
+  cfg.seed = seed;
+  return ee::PoissonEventSynthesizer(profile, cfg).generate(0, duration);
+}
+
+ec::EvEdgeOptions fast_options() {
+  ec::EvEdgeOptions options;
+  options.nmp.population = 10;
+  options.nmp.generations = 6;
+  options.validation_samples = 2;
+  options.sensitivity_subset = 1;
+  options.frame_rate_hz = 10.0;
+  return options;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- runtime facade
+
+TEST(Runtime, OfflinePhaseProducesValidMapping) {
+  const ec::EvEdgeRuntime runtime(en::NetworkId::kDotie, eh::xavier_agx(),
+                                  fast_options());
+  const auto& mapping = runtime.mapping();
+  ASSERT_EQ(mapping.nodes.size(), runtime.spec().graph.size());
+  int assigned = 0;
+  for (const auto& node : mapping.nodes) {
+    if (node.pe >= 0) ++assigned;
+  }
+  EXPECT_GT(assigned, 0);
+  // The search history must be recorded (Fig. 10a data).
+  EXPECT_FALSE(runtime.nmp_result().history.empty());
+}
+
+TEST(Runtime, EvEdgeBeatsAllGpuBaselineOnServiceAndEnergy) {
+  const ec::EvEdgeRuntime runtime(en::NetworkId::kSpikeFlowNet,
+                                  eh::xavier_agx(), fast_options());
+  const auto stream =
+      davis_stream(ee::DensityProfile::indoor_flying1(), 1'500'000, 5);
+  const auto evedge = runtime.process(stream);
+  const auto baseline = runtime.process_all_gpu_baseline(stream);
+  EXPECT_LT(evedge.mean_service_per_frame_us,
+            baseline.mean_service_per_frame_us);
+  EXPECT_LT(evedge.energy_per_inference_mj(),
+            baseline.energy_per_inference_mj());
+}
+
+TEST(Runtime, DeterministicAcrossConstructions) {
+  const auto stream =
+      davis_stream(ee::DensityProfile::indoor_flying1(), 800'000, 9);
+  const ec::EvEdgeRuntime a(en::NetworkId::kDotie, eh::xavier_agx(),
+                            fast_options());
+  const ec::EvEdgeRuntime b(en::NetworkId::kDotie, eh::xavier_agx(),
+                            fast_options());
+  const auto sa = a.process(stream);
+  const auto sb = b.process(stream);
+  EXPECT_DOUBLE_EQ(sa.mean_latency_us, sb.mean_latency_us);
+  EXPECT_DOUBLE_EQ(sa.total_energy_mj, sb.total_energy_mj);
+}
+
+// --------------------------------------------------- pipeline invariants
+
+class PipelineProfiles : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineProfiles, AccountingInvariantsHoldOnEveryProfile) {
+  const std::string name = GetParam();
+  const auto profile = name == "indoor1"
+                           ? ee::DensityProfile::indoor_flying1()
+                       : name == "indoor2"
+                           ? ee::DensityProfile::indoor_flying2()
+                       : name == "outdoor"
+                           ? ee::DensityProfile::outdoor_day1()
+                           : ee::DensityProfile::dense_town10();
+  const auto stream = davis_stream(profile, 1'500'000, 13);
+
+  const auto platform = eh::xavier_agx();
+  const auto spec = en::build_network(en::NetworkId::kAdaptiveSpikeNet,
+                                      en::ZooConfig::full_scale());
+  const auto densities = ec::measure_activation_densities(
+      en::build_network(en::NetworkId::kAdaptiveSpikeNet,
+                        en::ZooConfig::test_scale()),
+      7);
+  const auto mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+
+  ec::PipelineConfig cfg;
+  cfg.use_e2sf = true;
+  cfg.use_dsfa = true;
+  cfg.frame_rate_hz = 30.0;
+  const auto stats = ec::simulate_pipeline(stream, spec, mapping, platform,
+                                           densities, cfg);
+
+  EXPECT_GT(stats.frames_generated, 0u);
+  EXPECT_GT(stats.inferences, 0u);
+  // Every completed source frame was generated; drops never exceed input.
+  EXPECT_LE(stats.source_frames_completed, stats.frames_generated);
+  EXPECT_LE(stats.frames_dropped, stats.frames_generated);
+  // Energy: busy is part of total; both positive.
+  EXPECT_GT(stats.busy_energy_mj, 0.0);
+  EXPECT_GE(stats.total_energy_mj, stats.busy_energy_mj);
+  // Latency statistics ordered.
+  EXPECT_LE(stats.mean_latency_us, stats.max_latency_us + 1e-9);
+  EXPECT_LE(stats.p95_latency_us, stats.max_latency_us + 1e-9);
+  EXPECT_GE(stats.mean_staleness_us, stats.mean_latency_us - 1e-9);
+  // Device can't be busy longer than the simulated span.
+  EXPECT_LE(stats.device_busy_us, stats.sim_span_us + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, PipelineProfiles,
+                         ::testing::Values("indoor1", "indoor2", "outdoor",
+                                           "town"));
+
+TEST(PipelineIntegration, ChargingEncodeOverheadNeverHelps) {
+  const auto platform = eh::xavier_agx();
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::full_scale());
+  const auto densities = ec::measure_activation_densities(
+      en::build_network(en::NetworkId::kSpikeFlowNet,
+                        en::ZooConfig::test_scale()),
+      7);
+  const auto mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+  const auto stream =
+      davis_stream(ee::DensityProfile::indoor_flying1(), 1'000'000, 3);
+
+  ec::PipelineConfig direct;
+  direct.use_e2sf = true;
+  direct.use_dsfa = false;
+  ec::PipelineConfig encoded = direct;
+  encoded.charge_encode_overhead = true;
+  const auto s_direct = ec::simulate_pipeline(stream, spec, mapping,
+                                              platform, densities, direct);
+  const auto s_encoded = ec::simulate_pipeline(stream, spec, mapping,
+                                               platform, densities, encoded);
+  EXPECT_LE(s_direct.mean_service_per_frame_us,
+            s_encoded.mean_service_per_frame_us + 1e-9);
+}
+
+// ------------------------------------------- mapper/scheduler interplay
+
+TEST(MapperIntegration, DlaNeverReceivesSpikingOrTransposedLayers) {
+  const auto platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs{en::build_network(
+      en::NetworkId::kSpikeFlowNet, en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  em::NmpConfig cfg;
+  cfg.population = 8;
+  cfg.generations = 4;
+  em::NetworkMapper mapper(
+      specs, profiles, platform,
+      [](int, const ss::TaskMapping&) { return 0.0; }, cfg);
+
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto candidate = mapper.random_candidate(seed);
+    for (const auto& node_spec : specs[0].graph.nodes()) {
+      const auto& a =
+          candidate.tasks[0].nodes[static_cast<std::size_t>(node_spec.id)];
+      if (a.pe < 0) continue;
+      if (platform.pe(a.pe).kind == eh::PeKind::kDla) {
+        EXPECT_TRUE(eh::supports_layer(platform.pe(a.pe),
+                                       node_spec.spec.kind))
+            << "DLA got " << en::to_string(node_spec.spec.kind);
+      }
+    }
+  }
+}
+
+TEST(MapperIntegration, EnergyObjectiveFindsLowerEnergy) {
+  const auto platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs{
+      en::build_network(en::NetworkId::kEvFlowNet,
+                        en::ZooConfig::test_scale()),
+      en::build_network(en::NetworkId::kHidalgoDepth,
+                        en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  const auto zero_accuracy = [](int, const ss::TaskMapping&) {
+    return 0.0;
+  };
+  em::NmpConfig cfg;
+  cfg.population = 14;
+  cfg.generations = 12;
+  cfg.seed = 3;
+  em::NetworkMapper latency_mapper(specs, profiles, platform, zero_accuracy,
+                                   cfg);
+  cfg.objective = em::Objective::kEnergy;
+  em::NetworkMapper energy_mapper(specs, profiles, platform, zero_accuracy,
+                                  cfg);
+  const auto r_latency = latency_mapper.run();
+  const auto r_energy = energy_mapper.run();
+  EXPECT_LE(r_energy.best_schedule.energy_mj,
+            r_latency.best_schedule.energy_mj * 1.001);
+}
+
+TEST(MapperIntegration, ScheduleValidForRandomCandidatesSweep) {
+  // Property: any candidate the mapper can generate must schedule
+  // without violating queue exclusivity or dependency order.
+  const auto platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs{
+      en::build_network(en::NetworkId::kFusionFlowNet,
+                        en::ZooConfig::test_scale()),
+      en::build_network(en::NetworkId::kDotie,
+                        en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  em::NmpConfig cfg;
+  cfg.population = 6;
+  cfg.generations = 2;
+  em::NetworkMapper mapper(
+      specs, profiles, platform,
+      [](int, const ss::TaskMapping&) { return 0.0; }, cfg);
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto candidate = mapper.random_candidate(seed);
+    const auto result =
+        ss::schedule(specs, profiles, candidate, platform);
+    EXPECT_GT(result.makespan_us, 0.0);
+    for (const auto& op : result.ops) {
+      EXPECT_GE(op.end_us, op.start_us);
+    }
+  }
+}
+
+// ----------------------------------------------------- artifact export
+
+TEST(Artifacts, GanttCsvExportsAllOps) {
+  const auto platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs{en::build_network(
+      en::NetworkId::kDotie, en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  const auto candidate = ss::uniform_candidate(
+      specs, platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  const auto result = ss::schedule(specs, profiles, candidate, platform);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "evedge_gantt.csv").string();
+  ss::write_gantt_csv(result, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t rows = 0;
+  std::getline(in, line);  // header
+  EXPECT_EQ(line, "task,node,is_comm,queue,start_us,end_us,precision");
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, result.ops.size());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------- e2e accuracy integration
+
+TEST(E2eIntegration, MergingDegradesRelativeToIdentity) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  const auto shape = spec.graph.node(0).spec.out_shape;
+  ee::SynthConfig synth;
+  synth.geometry = ee::SensorGeometry{shape.w, shape.h};
+  synth.seed = 11;
+  const auto stream =
+      ee::PoissonEventSynthesizer(ee::DensityProfile::indoor_flying1(),
+                                  synth)
+          .generate(0, 600'000);
+
+  // Capacity 1 means every bucket holds one frame: the reslotted input
+  // is identical to the reference, so degradation is exactly zero. Any
+  // real merging perturbs the temporal structure and degrades.
+  ec::E2eAccuracyConfig identity;
+  identity.apply_dsfa = true;
+  identity.dsfa.merge_bucket_capacity = 1;
+  identity.max_intervals = 3;
+  ec::E2eAccuracyConfig merging = identity;
+  merging.dsfa.merge_bucket_capacity = 5;
+
+  const auto r_identity = ec::evaluate_e2e_accuracy(spec, stream, identity);
+  const auto r_merging = ec::evaluate_e2e_accuracy(spec, stream, merging);
+  // Cosine dissimilarity of numerically identical runs is zero up to
+  // floating-point rounding.
+  EXPECT_NEAR(r_identity.measured_degradation, 0.0, 1e-12);
+  EXPECT_GT(r_merging.measured_degradation, 1e-9);
+}
+
+TEST(E2eIntegration, QuantizationAddsToMergeDegradation) {
+  const auto spec = en::build_network(en::NetworkId::kEvFlowNet,
+                                      en::ZooConfig::test_scale());
+  const auto shape = spec.graph.node(0).spec.out_shape;
+  ee::SynthConfig synth;
+  synth.geometry = ee::SensorGeometry{shape.w, shape.h};
+  synth.seed = 19;
+  const auto stream =
+      ee::PoissonEventSynthesizer(ee::DensityProfile::indoor_flying1(),
+                                  synth)
+          .generate(0, 600'000);
+
+  ec::E2eAccuracyConfig merge_only;
+  merge_only.apply_dsfa = true;
+  merge_only.max_intervals = 2;
+  ec::E2eAccuracyConfig merge_quant = merge_only;
+  merge_quant.precisions =
+      eq::uniform_assignment(spec, eq::Precision::kInt8);
+
+  const auto r_merge = ec::evaluate_e2e_accuracy(spec, stream, merge_only);
+  const auto r_both = ec::evaluate_e2e_accuracy(spec, stream, merge_quant);
+  EXPECT_GE(r_both.measured_degradation, r_merge.measured_degradation);
+}

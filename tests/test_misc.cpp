@@ -1,0 +1,312 @@
+// Coverage for auxiliary paths: CSV export, scene ground truth, error
+// handling across module boundaries, Gantt rendering and configuration
+// validation — the code a downstream user hits first when misusing the
+// API, so the error messages and guards deserve tests of their own.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/dsfa.hpp"
+#include "core/e2sf.hpp"
+#include "core/inference_cost.hpp"
+#include "core/pipeline.hpp"
+#include "events/io.hpp"
+#include "events/scene.hpp"
+#include "events/event_synth.hpp"
+#include "hw/profiler.hpp"
+#include "mapper/nmp.hpp"
+#include "nn/zoo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace eh = evedge::hw;
+namespace em = evedge::mapper;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace es = evedge::sparse;
+namespace ss = evedge::sched;
+
+// ------------------------------------------------------------------ events
+
+TEST(MiscEvents, CsvExportHasHeaderAndAllRows) {
+  ee::EventStream s(ee::SensorGeometry{8, 8});
+  s.push_back({1, 2, 100, ee::Polarity::kPositive});
+  s.push_back({3, 4, 200, ee::Polarity::kNegative});
+  const auto path =
+      std::filesystem::temp_directory_path() / "evedge_events.csv";
+  ee::write_csv(s, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y,t_us,polarity");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2,100,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4,200,-1");
+  std::filesystem::remove(path);
+}
+
+TEST(MiscEvents, AppendRejectsPastAndGeometryMismatch) {
+  ee::EventStream a(ee::SensorGeometry{8, 8});
+  a.push_back({0, 0, 500, ee::Polarity::kPositive});
+  ee::EventStream wrong(ee::SensorGeometry{16, 8});
+  EXPECT_THROW(a.append(wrong), std::invalid_argument);
+  ee::EventStream past(ee::SensorGeometry{8, 8});
+  past.push_back({0, 0, 100, ee::Polarity::kPositive});
+  EXPECT_THROW(a.append(past), std::invalid_argument);
+  ee::EventStream future(ee::SensorGeometry{8, 8});
+  future.push_back({0, 0, 900, ee::Polarity::kPositive});
+  EXPECT_NO_THROW(a.append(future));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(MiscEvents, FrameClockRejectsNonPositivePeriod) {
+  EXPECT_THROW((void)ee::FrameClock::uniform(0, 0, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)ee::FrameClock::uniform(0, -5, 3),
+               std::invalid_argument);
+}
+
+TEST(MiscEvents, DriftingDotsGroundTruthMatchesParams) {
+  ee::DriftingDotsScene scene(ee::DriftingDotsScene::Params{
+      ee::SensorGeometry{24, 16}, 4, 1.0, 33.0, -7.0, 0.05, 0.9, 3});
+  const auto flow = scene.ground_truth_flow(12345);
+  EXPECT_FLOAT_EQ(flow.vx.front(), 33.0f);
+  EXPECT_FLOAT_EQ(flow.vy.front(), -7.0f);
+  EXPECT_EQ(flow.width, 24);
+  EXPECT_EQ(flow.height, 16);
+}
+
+TEST(MiscEvents, SynthRejectsBadConfigs) {
+  ee::SynthConfig cfg;
+  cfg.blob_count = 0;
+  EXPECT_THROW(ee::PoissonEventSynthesizer(
+                   ee::DensityProfile::indoor_flying1(), cfg),
+               std::invalid_argument);
+  cfg.blob_count = 3;
+  cfg.background_weight = 1.5;
+  EXPECT_THROW(ee::PoissonEventSynthesizer(
+                   ee::DensityProfile::indoor_flying1(), cfg),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- sparse/nn
+
+TEST(MiscSparse, FromDenseRejectsWrongChannelCount) {
+  es::DenseTensor bad(es::TensorShape{1, 3, 4, 4});
+  EXPECT_THROW((void)es::SparseFrame::from_dense(bad),
+               std::invalid_argument);
+}
+
+TEST(MiscNn, ZooRejectsDegenerateConfigs) {
+  en::ZooConfig tiny;
+  tiny.height = 8;
+  tiny.width = 8;
+  EXPECT_THROW((void)en::build_spikeflownet(tiny), std::invalid_argument);
+  en::ZooConfig narrow = en::ZooConfig::test_scale();
+  narrow.base_channels = 1;
+  EXPECT_THROW((void)en::build_halsie(narrow), std::invalid_argument);
+  en::ZooConfig nobins = en::ZooConfig::test_scale();
+  nobins.n_bins = 0;
+  EXPECT_THROW((void)en::build_dotie(nobins), std::invalid_argument);
+}
+
+TEST(MiscNn, WeightsAccessorGuardsHelperNodes) {
+  const auto spec =
+      en::build_network(en::NetworkId::kSpikeFlowNet,
+                        en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  // Node 0 is the input: no weights.
+  EXPECT_THROW((void)net.weights(0), std::invalid_argument);
+  EXPECT_THROW((void)net.weights(-1), std::invalid_argument);
+  EXPECT_THROW((void)net.weights(10'000), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- sched
+
+TEST(MiscSched, GanttMarksTasksAndTransfers) {
+  const auto platform = eh::xavier_agx();
+  // SpikeFlowNet has many mappable nodes, so moving the first one to the
+  // CPU creates a real cross-PE edge (DOTIE's single layer would not).
+  std::vector<en::NetworkSpec> specs{en::build_network(
+      en::NetworkId::kSpikeFlowNet, en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  auto candidate = ss::uniform_candidate(
+      specs, platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  // Force one cross-PE edge so a '~' transfer shows up.
+  for (auto& node : candidate.tasks[0].nodes) {
+    if (node.pe >= 0) {
+      node.pe = platform.first_pe(eh::PeKind::kCpu);
+      break;
+    }
+  }
+  const auto result = ss::schedule(specs, profiles, candidate, platform);
+  const auto gantt = ss::format_gantt(result, platform, 40);
+  EXPECT_NE(gantt.find('A'), std::string::npos);   // task 0 executes
+  EXPECT_NE(gantt.find('~'), std::string::npos);   // transfer rendered
+  EXPECT_NE(gantt.find("unified-mem"), std::string::npos);
+}
+
+TEST(MiscSched, ScheduleRejectsMismatchedInputs) {
+  const auto platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs{en::build_network(
+      en::NetworkId::kDotie, en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  const auto candidate = ss::uniform_candidate(
+      specs, platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  std::vector<en::NetworkSpec> two = specs;
+  two.push_back(specs[0]);
+  EXPECT_THROW((void)ss::schedule(two, profiles, candidate, platform),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ mapper
+
+TEST(MiscMapper, ConstructorValidatesConfig) {
+  const auto platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs{en::build_network(
+      en::NetworkId::kDotie, en::ZooConfig::test_scale())};
+  const auto profiles = eh::profile_tasks(specs, platform);
+  const auto accuracy = [](int, const ss::TaskMapping&) { return 0.0; };
+
+  em::NmpConfig bad_pop;
+  bad_pop.population = 1;
+  EXPECT_THROW(em::NetworkMapper(specs, profiles, platform, accuracy,
+                                 bad_pop),
+               std::invalid_argument);
+  em::NmpConfig bad_gen;
+  bad_gen.generations = 0;
+  EXPECT_THROW(em::NetworkMapper(specs, profiles, platform, accuracy,
+                                 bad_gen),
+               std::invalid_argument);
+  EXPECT_THROW(em::NetworkMapper(specs, profiles, platform, nullptr,
+                                 em::NmpConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(em::NetworkMapper({}, {}, platform, accuracy,
+                                 em::NmpConfig{}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- core
+
+TEST(MiscCore, E2sfGuards) {
+  const ee::SensorGeometry g{8, 8};
+  EXPECT_THROW(ec::Event2SparseFrame(g, ec::E2sfConfig{0}),
+               std::invalid_argument);
+  const ec::Event2SparseFrame e2sf(g, ec::E2sfConfig{2});
+  EXPECT_THROW((void)e2sf.convert({}, 100, 100), std::invalid_argument);
+  ee::EventStream wrong(ee::SensorGeometry{16, 16});
+  wrong.push_back({0, 0, 0, ee::Polarity::kPositive});
+  EXPECT_THROW((void)e2sf.convert_stream(
+                   wrong, ee::FrameClock::uniform(0, 100, 2)),
+               std::invalid_argument);
+}
+
+TEST(MiscCore, AccumulationGuards) {
+  ee::EventStream s(ee::SensorGeometry{8, 8});
+  s.push_back({0, 0, 0, ee::Polarity::kPositive});
+  EXPECT_THROW((void)ec::accumulate_by_count(s, 0), std::invalid_argument);
+  EXPECT_THROW((void)ec::accumulate_by_time(s, 0), std::invalid_argument);
+}
+
+TEST(MiscCore, DsfaConfigValidation) {
+  ec::DsfaConfig cfg;
+  cfg.event_buffer_size = 0;
+  EXPECT_THROW(ec::DynamicSparseFrameAggregator{cfg},
+               std::invalid_argument);
+  cfg = {};
+  cfg.merge_bucket_capacity = 0;
+  EXPECT_THROW(ec::DynamicSparseFrameAggregator{cfg},
+               std::invalid_argument);
+  cfg = {};
+  cfg.max_time_delay_us = -1.0;
+  EXPECT_THROW(ec::DynamicSparseFrameAggregator{cfg},
+               std::invalid_argument);
+  cfg = {};
+  cfg.inference_queue_capacity = 0;
+  EXPECT_THROW(ec::DynamicSparseFrameAggregator{cfg},
+               std::invalid_argument);
+}
+
+TEST(MiscCore, PipelineGuards) {
+  const auto platform = eh::xavier_agx();
+  const auto spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto densities = ec::measure_activation_densities(spec, 7);
+  const auto mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+  ee::EventStream empty(ee::SensorGeometry{44, 32});
+  EXPECT_THROW((void)ec::simulate_pipeline(empty, spec, mapping, platform,
+                                           densities, ec::PipelineConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ec::simulate_frame_pipeline({}, spec, mapping, platform,
+                                        densities, ec::PipelineConfig{}),
+      std::invalid_argument);
+  ec::PipelineConfig bad_rate;
+  bad_rate.frame_rate_hz = 0.0;
+  ee::SynthConfig synth;
+  synth.geometry = ee::SensorGeometry{44, 32};
+  const auto stream = ee::PoissonEventSynthesizer(
+                          ee::DensityProfile::indoor_flying1(), synth)
+                          .generate(0, 100'000);
+  EXPECT_THROW((void)ec::simulate_pipeline(stream, spec, mapping, platform,
+                                           densities, bad_rate),
+               std::invalid_argument);
+}
+
+TEST(MiscCore, EstimateInferenceGuards) {
+  const auto platform = eh::xavier_agx();
+  const auto spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto densities = ec::measure_activation_densities(spec, 7);
+  const auto mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+  EXPECT_THROW((void)ec::estimate_inference(spec, mapping, platform,
+                                            densities, 1.5),
+               std::invalid_argument);
+  ec::InferenceCostOptions bad_batch;
+  bad_batch.batch = 0;
+  EXPECT_THROW((void)ec::estimate_inference(spec, mapping, platform,
+                                            densities, 0.1, bad_batch),
+               std::invalid_argument);
+  ec::ActivationDensityProfile wrong;
+  wrong.density.assign(1, 0.5);
+  EXPECT_THROW(
+      (void)ec::estimate_inference(spec, mapping, platform, wrong, 0.1),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------- static framing paths
+
+TEST(MiscCore, StaticFramingFeedsPipeline) {
+  const auto platform = eh::xavier_agx();
+  const auto spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto densities = ec::measure_activation_densities(spec, 7);
+  const auto mapping =
+      ss::uniform_candidate({spec}, platform.first_pe(eh::PeKind::kGpu),
+                            eq::Precision::kFp32)
+          .tasks.front();
+  ee::SynthConfig synth;
+  synth.geometry = ee::SensorGeometry{44, 32};
+  synth.seed = 21;
+  const auto stream = ee::PoissonEventSynthesizer(
+                          ee::DensityProfile::indoor_flying1(), synth)
+                          .generate(0, 500'000);
+  const auto frames = ec::accumulate_by_time(stream, 25'000);
+  ec::PipelineConfig cfg;
+  cfg.use_dsfa = false;
+  const auto stats = ec::simulate_frame_pipeline(frames, spec, mapping,
+                                                 platform, densities, cfg);
+  EXPECT_EQ(stats.frames_generated, frames.size());
+  EXPECT_EQ(stats.source_frames_completed + stats.frames_dropped,
+            frames.size());
+}

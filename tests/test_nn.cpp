@@ -1,0 +1,574 @@
+// Tests for the nn substrate: dense kernels (including cross-validation
+// against the sparse kernels), LIF dynamics, graph construction, the
+// network zoo (Table 1 layer counts) and the functional engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+#include <tuple>
+
+#include "nn/engine.hpp"
+#include "nn/graph.hpp"
+#include "nn/kernels.hpp"
+#include "nn/lif.hpp"
+#include "nn/zoo.hpp"
+#include "sparse/sparse_ops.hpp"
+
+namespace en = evedge::nn;
+namespace es = evedge::sparse;
+
+// ----------------------------------------------------------- dense kernels
+
+TEST(Kernels, ConvIdentityKernelPreservesInput) {
+  es::DenseTensor in(es::TensorShape{1, 1, 5, 5});
+  in.fill_random(1);
+  es::DenseTensor w(es::TensorShape{1, 1, 1, 1});
+  w.at(0, 0, 0, 0) = 1.0f;
+  const auto out = en::conv2d(in, w, {}, es::Conv2dSpec{1, 1, 1, 1, 0});
+  EXPECT_FLOAT_EQ(es::max_abs_diff(out, in), 0.0f);
+}
+
+TEST(Kernels, ConvAveragingKernel) {
+  es::DenseTensor in(es::TensorShape{1, 1, 3, 3}, 1.0f);
+  es::DenseTensor w(es::TensorShape{1, 1, 3, 3}, 1.0f / 9.0f);
+  const auto out = en::conv2d(in, w, {}, es::Conv2dSpec{1, 1, 3, 1, 1});
+  // Center pixel sees all nine ones.
+  EXPECT_NEAR(out.at(0, 0, 1, 1), 1.0f, 1e-6f);
+  // Corner sees four.
+  EXPECT_NEAR(out.at(0, 0, 0, 0), 4.0f / 9.0f, 1e-6f);
+}
+
+TEST(Kernels, ConvBiasApplied) {
+  es::DenseTensor in(es::TensorShape{1, 1, 2, 2});
+  es::DenseTensor w(es::TensorShape{2, 1, 1, 1});
+  const std::vector<float> bias{0.5f, -1.5f};
+  const auto out = en::conv2d(in, w, bias, es::Conv2dSpec{1, 2, 1, 1, 0});
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1, 1), -1.5f);
+}
+
+TEST(Kernels, SparseConvMatchesDenseConv) {
+  // The core E2SF claim depends on this equivalence.
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<int> coord(0, 11);
+  for (const auto& [k, s, p] :
+       {std::tuple{3, 1, 1}, std::tuple{3, 2, 1}, std::tuple{5, 1, 2}}) {
+    const es::Conv2dSpec spec{2, 6, k, s, p};
+    es::DenseTensor w(es::TensorShape{6, 2, k, k});
+    w.fill_random(23);
+    const std::vector<float> bias{0.1f, -0.2f, 0.3f, 0.0f, 0.7f, -0.4f};
+
+    es::DenseTensor dense_in(es::TensorShape{1, 2, 12, 12});
+    std::vector<es::CooEntry> pos, neg;
+    for (int i = 0; i < 25; ++i) {
+      const int y = coord(rng);
+      const int x = coord(rng);
+      dense_in.at(0, 0, y, x) += 1.0f;
+      pos.push_back({y, x, 1.0f});
+    }
+    for (int i = 0; i < 15; ++i) {
+      const int y = coord(rng);
+      const int x = coord(rng);
+      dense_in.at(0, 1, y, x) += 1.0f;
+      neg.push_back({y, x, 1.0f});
+    }
+    std::vector<es::CooChannel> sparse_in{
+        es::CooChannel::from_entries(12, 12, pos),
+        es::CooChannel::from_entries(12, 12, neg)};
+
+    const auto y_dense = en::conv2d(dense_in, w, bias, spec);
+    const auto y_sparse = es::sparse_conv2d(sparse_in, w, bias, spec);
+    EXPECT_LT(es::max_abs_diff(y_dense, y_sparse), 1e-4f)
+        << "k=" << k << " s=" << s << " p=" << p;
+  }
+}
+
+TEST(Kernels, SubmanifoldMatchesDenseAtActiveSites) {
+  const es::Conv2dSpec spec{2, 4, 3, 1, 1};
+  es::DenseTensor w(es::TensorShape{4, 2, 3, 3});
+  w.fill_random(29);
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<int> coord(0, 9);
+  es::DenseTensor dense_in(es::TensorShape{1, 2, 10, 10});
+  std::vector<es::CooEntry> pos;
+  for (int i = 0; i < 14; ++i) {
+    const int y = coord(rng);
+    const int x = coord(rng);
+    dense_in.at(0, 0, y, x) += 1.0f;
+    pos.push_back({y, x, 1.0f});
+  }
+  std::vector<es::CooChannel> in{es::CooChannel::from_entries(10, 10, pos),
+                                 es::CooChannel(10, 10)};
+  const auto y_dense = en::conv2d(dense_in, w, {}, spec);
+  const auto y_sub = es::submanifold_conv2d(in, w, {}, spec);
+  for (const auto& ch : y_sub) {
+    EXPECT_EQ(ch.height(), 10);
+  }
+  for (int oc = 0; oc < 4; ++oc) {
+    for (const auto& e : y_sub[static_cast<std::size_t>(oc)].entries()) {
+      EXPECT_NEAR(e.value, y_dense.at(0, oc, e.row, e.col), 1e-4f);
+    }
+  }
+}
+
+TEST(Kernels, TransposedConvUpsamples) {
+  es::DenseTensor in(es::TensorShape{1, 1, 4, 4}, 1.0f);
+  es::DenseTensor w(es::TensorShape{1, 1, 4, 4}, 0.25f);
+  const auto out =
+      en::transposed_conv2d(in, w, {}, es::Conv2dSpec{1, 1, 4, 2, 1});
+  EXPECT_EQ(out.shape().h, 8);
+  EXPECT_EQ(out.shape().w, 8);
+}
+
+TEST(Kernels, TransposedConvAdjointOfConv) {
+  // <conv(x), y> == <x, tconv(y)> for matching geometry (adjoint
+  // property of correlation/convolution pairs with shared weights).
+  const es::Conv2dSpec spec{1, 1, 3, 1, 1};
+  es::DenseTensor w(es::TensorShape{1, 1, 3, 3});
+  w.fill_random(37);
+  es::DenseTensor x(es::TensorShape{1, 1, 6, 6});
+  x.fill_random(38);
+  es::DenseTensor y(es::TensorShape{1, 1, 6, 6});
+  y.fill_random(39);
+
+  const auto cx = en::conv2d(x, w, {}, spec);
+  // conv2d computes cross-correlation, whose adjoint is the transposed-
+  // conv scatter with the *same* (unflipped) weights.
+  const auto ty = en::transposed_conv2d(y, w, {}, spec);
+  double lhs = 0.0;
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < cx.size(); ++i) {
+    lhs += static_cast<double>(cx.data()[i]) *
+           static_cast<double>(y.data()[i]);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) *
+           static_cast<double>(ty.data()[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Kernels, PoolingReducesAndPreservesExtrema) {
+  es::DenseTensor in(es::TensorShape{1, 1, 4, 4});
+  in.fill_random(41);
+  const auto mp = en::max_pool(in, 2);
+  const auto ap = en::avg_pool(in, 2);
+  EXPECT_EQ(mp.shape().h, 2);
+  EXPECT_EQ(ap.shape().w, 2);
+  float max_in = -1e30f;
+  for (float v : in.data()) max_in = std::max(max_in, v);
+  float max_mp = -1e30f;
+  for (float v : mp.data()) max_mp = std::max(max_mp, v);
+  EXPECT_FLOAT_EQ(max_mp, max_in);
+  // Average pool preserves the mean.
+  double mean_in = 0.0;
+  for (float v : in.data()) mean_in += v;
+  double mean_ap = 0.0;
+  for (float v : ap.data()) mean_ap += v;
+  EXPECT_NEAR(mean_in / 16.0, mean_ap / 4.0, 1e-5);
+}
+
+TEST(Kernels, ReluClampsNegatives) {
+  es::DenseTensor t(es::TensorShape{1, 1, 1, 4});
+  t.at(0, 0, 0, 0) = -1.0f;
+  t.at(0, 0, 0, 1) = 2.0f;
+  t.at(0, 0, 0, 2) = -0.5f;
+  t.at(0, 0, 0, 3) = 0.0f;
+  en::relu_inplace(t);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0, 2), 0.0f);
+}
+
+TEST(Kernels, ConcatAndCrop) {
+  es::DenseTensor a(es::TensorShape{1, 2, 4, 4}, 1.0f);
+  es::DenseTensor b(es::TensorShape{1, 3, 4, 4}, 2.0f);
+  const auto c = en::concat_channels(a, b);
+  EXPECT_EQ(c.shape().c, 5);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 4, 3, 3), 2.0f);
+  const auto cropped = en::center_crop(c, 2, 2);
+  EXPECT_EQ(cropped.shape().h, 2);
+  EXPECT_THROW((void)en::center_crop(c, 10, 2), std::invalid_argument);
+}
+
+TEST(Kernels, UpsampleNearestReplicates) {
+  es::DenseTensor in(es::TensorShape{1, 1, 2, 2});
+  in.at(0, 0, 0, 0) = 1.0f;
+  in.at(0, 0, 0, 1) = 2.0f;
+  in.at(0, 0, 1, 0) = 3.0f;
+  in.at(0, 0, 1, 1) = 4.0f;
+  const auto up = en::upsample_nearest(in, 2);
+  EXPECT_FLOAT_EQ(up.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(up.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(up.at(0, 0, 0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(up.at(0, 0, 3, 3), 4.0f);
+}
+
+TEST(Kernels, FullyConnectedMatchesManual) {
+  es::DenseTensor in(es::TensorShape{1, 1, 1, 3});
+  in.at(0, 0, 0, 0) = 1.0f;
+  in.at(0, 0, 0, 1) = 2.0f;
+  in.at(0, 0, 0, 2) = 3.0f;
+  es::DenseTensor w(es::TensorShape{2, 3, 1, 1});
+  // out0 = 1*1 + 2*2 + 3*3 = 14; out1 = -1 -2 -3 = -6
+  w.at(0, 0, 0, 0) = 1.0f;
+  w.at(0, 1, 0, 0) = 2.0f;
+  w.at(0, 2, 0, 0) = 3.0f;
+  w.at(1, 0, 0, 0) = -1.0f;
+  w.at(1, 1, 0, 0) = -1.0f;
+  w.at(1, 2, 0, 0) = -1.0f;
+  const auto out = en::fully_connected(in, w, {});
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 14.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), -6.0f);
+}
+
+// ------------------------------------------------------------------- LIF
+
+TEST(Lif, NoSpikeBelowThreshold) {
+  en::LifState lif(es::TensorShape{1, 1, 1, 1}, en::LifParams{0.9f, 1.0f});
+  es::DenseTensor in(es::TensorShape{1, 1, 1, 1});
+  in.at(0, 0, 0, 0) = 0.3f;
+  const auto s1 = lif.step(in);
+  EXPECT_FLOAT_EQ(s1.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Lif, IntegrationReachesThreshold) {
+  // 0.3 per step with leak 1.0 crosses vth=1.0 on the fourth step.
+  en::LifState lif(es::TensorShape{1, 1, 1, 1}, en::LifParams{1.0f, 1.0f});
+  es::DenseTensor in(es::TensorShape{1, 1, 1, 1});
+  in.at(0, 0, 0, 0) = 0.3f;
+  int spike_step = -1;
+  for (int t = 0; t < 6; ++t) {
+    const auto s = lif.step(in);
+    if (s.at(0, 0, 0, 0) > 0.0f && spike_step < 0) spike_step = t;
+  }
+  EXPECT_EQ(spike_step, 3);
+}
+
+TEST(Lif, SoftResetKeepsResidual) {
+  en::LifState lif(es::TensorShape{1, 1, 1, 1},
+                   en::LifParams{1.0f, 1.0f, true});
+  es::DenseTensor in(es::TensorShape{1, 1, 1, 1});
+  in.at(0, 0, 0, 0) = 1.25f;
+  (void)lif.step(in);
+  EXPECT_NEAR(lif.membrane().at(0, 0, 0, 0), 0.25f, 1e-6f);
+}
+
+TEST(Lif, HardResetZeroes) {
+  en::LifState lif(es::TensorShape{1, 1, 1, 1},
+                   en::LifParams{1.0f, 1.0f, false});
+  es::DenseTensor in(es::TensorShape{1, 1, 1, 1});
+  in.at(0, 0, 0, 0) = 1.25f;
+  (void)lif.step(in);
+  EXPECT_FLOAT_EQ(lif.membrane().at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Lif, LeakDecaysMembrane) {
+  en::LifState lif(es::TensorShape{1, 1, 1, 1}, en::LifParams{0.5f, 10.0f});
+  es::DenseTensor in(es::TensorShape{1, 1, 1, 1});
+  in.at(0, 0, 0, 0) = 1.0f;
+  (void)lif.step(in);  // U = 1
+  in.at(0, 0, 0, 0) = 0.0f;
+  (void)lif.step(in);  // U = 0.5
+  EXPECT_NEAR(lif.membrane().at(0, 0, 0, 0), 0.5f, 1e-6f);
+}
+
+TEST(Lif, FiringRateAccounting) {
+  en::LifState lif(es::TensorShape{1, 1, 2, 2}, en::LifParams{1.0f, 0.5f});
+  es::DenseTensor in(es::TensorShape{1, 1, 2, 2}, 1.0f);
+  (void)lif.step(in);  // all 4 sites fire
+  EXPECT_NEAR(lif.mean_firing_rate(), 1.0, 1e-9);
+  lif.reset();
+  EXPECT_NEAR(lif.mean_firing_rate(), 0.0, 1e-9);
+}
+
+TEST(Lif, PerChannelParamsValidated) {
+  EXPECT_THROW(en::LifState(es::TensorShape{1, 2, 1, 1},
+                            en::LifParams{0.9f, 1.0f}, {0.5f}),
+               std::invalid_argument);
+  EXPECT_THROW(en::LifState(es::TensorShape{1, 2, 1, 1},
+                            en::LifParams{0.9f, 1.0f}, {0.5f, 1.5f}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ graph
+
+TEST(Graph, ShapeInferenceThroughEncoder) {
+  en::NetworkGraph g;
+  const int in = g.add_input("in", es::TensorShape{1, 2, 32, 44});
+  en::LayerSpec c;
+  c.name = "conv";
+  c.kind = en::LayerKind::kConv;
+  c.conv = es::Conv2dSpec{2, 8, 3, 2, 1};
+  const int l1 = g.add_layer(c, {in});
+  EXPECT_EQ(g.node(l1).spec.out_shape.c, 8);
+  EXPECT_EQ(g.node(l1).spec.out_shape.h, 16);
+  EXPECT_EQ(g.node(l1).spec.out_shape.w, 22);
+}
+
+TEST(Graph, RejectsChannelMismatch) {
+  en::NetworkGraph g;
+  const int in = g.add_input("in", es::TensorShape{1, 2, 16, 16});
+  en::LayerSpec c;
+  c.kind = en::LayerKind::kConv;
+  c.conv = es::Conv2dSpec{4, 8, 3, 1, 1};  // expects 4 channels, input has 2
+  EXPECT_THROW(g.add_layer(c, {in}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadParents) {
+  en::NetworkGraph g;
+  const int in = g.add_input("in", es::TensorShape{1, 2, 16, 16});
+  en::LayerSpec c;
+  c.kind = en::LayerKind::kConcat;
+  EXPECT_THROW(g.add_layer(c, {in}), std::invalid_argument);  // needs 2
+  EXPECT_THROW(g.add_layer(c, {in, 99}), std::invalid_argument);
+}
+
+TEST(Graph, MacsMatchHandComputation) {
+  en::NetworkGraph g;
+  const int in = g.add_input("in", es::TensorShape{1, 2, 16, 16});
+  en::LayerSpec c;
+  c.kind = en::LayerKind::kConv;
+  c.conv = es::Conv2dSpec{2, 4, 3, 1, 1};
+  const int l = g.add_layer(c, {in});
+  // 16*16 outputs * 4 out_c * 2 in_c * 9 taps
+  EXPECT_EQ(g.node(l).spec.macs(), 16u * 16u * 4u * 2u * 9u);
+}
+
+// -------------------------------------------------------------------- zoo
+
+struct ZooCase {
+  en::NetworkId id;
+  int layers;
+  int snn;
+  int ann;
+  const char* type;
+};
+
+class ZooTable1 : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooTable1, LayerCountsMatchPaper) {
+  const ZooCase& c = GetParam();
+  const auto net = en::build_network(c.id, en::ZooConfig::test_scale());
+  EXPECT_EQ(net.weight_layer_count(), c.layers) << net.name;
+  EXPECT_EQ(net.snn_layer_count(), c.snn) << net.name;
+  EXPECT_EQ(net.ann_layer_count(), c.ann) << net.name;
+  EXPECT_EQ(net.type_string(), c.type) << net.name;
+  EXPECT_NO_THROW(net.graph.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, ZooTable1,
+    ::testing::Values(
+        ZooCase{en::NetworkId::kSpikeFlowNet, 12, 4, 8, "SNN-ANN"},
+        ZooCase{en::NetworkId::kFusionFlowNet, 29, 10, 19, "SNN-ANN"},
+        ZooCase{en::NetworkId::kAdaptiveSpikeNet, 8, 8, 0, "SNN"},
+        ZooCase{en::NetworkId::kHalsie, 16, 3, 13, "SNN-ANN"},
+        ZooCase{en::NetworkId::kHidalgoDepth, 15, 0, 15, "ANN"},
+        ZooCase{en::NetworkId::kDotie, 1, 1, 0, "SNN"},
+        ZooCase{en::NetworkId::kEvFlowNet, 14, 0, 14, "ANN"}),
+    [](const ::testing::TestParamInfo<ZooCase>& param_info) {
+      auto name = en::to_string(param_info.param.id);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Zoo, FullScaleMacsAreRealistic) {
+  // Full-scale descriptors must land in the 0.1-100 GMAC/inference range
+  // typical for these architectures.
+  for (const auto id : en::table1_networks()) {
+    const auto net = en::build_network(id, en::ZooConfig::full_scale());
+    const double gmacs =
+        static_cast<double>(net.graph.total_macs()) / 1e9 *
+        net.timesteps;
+    EXPECT_GT(gmacs, 0.0005) << net.name;
+    EXPECT_LT(gmacs, 200.0) << net.name;
+  }
+}
+
+TEST(Zoo, MultiTaskConfigsMatchPaper) {
+  EXPECT_EQ(en::multi_task_all_ann().networks.size(), 2u);
+  EXPECT_EQ(en::multi_task_all_snn().networks.size(), 2u);
+  EXPECT_EQ(en::multi_task_mixed().networks.size(), 4u);
+  // all-ANN must contain only ANN networks, all-SNN only SNNs.
+  for (const auto id : en::multi_task_all_ann().networks) {
+    const auto net = en::build_network(id, en::ZooConfig::test_scale());
+    EXPECT_EQ(net.snn_layer_count(), 0) << net.name;
+  }
+  for (const auto id : en::multi_task_all_snn().networks) {
+    const auto net = en::build_network(id, en::ZooConfig::test_scale());
+    EXPECT_EQ(net.ann_layer_count(), 0) << net.name;
+  }
+}
+
+// ----------------------------------------------------------------- engine
+
+namespace {
+
+std::vector<es::DenseTensor> synthetic_steps(const en::NetworkSpec& net,
+                                             std::uint64_t seed) {
+  const auto in_shape =
+      net.graph.node(net.graph.input_ids().front()).spec.out_shape;
+  std::vector<es::DenseTensor> steps;
+  std::mt19937_64 rng(seed);
+  for (int t = 0; t < net.timesteps; ++t) {
+    es::DenseTensor frame(in_shape);
+    // Sparse spike-like input: ~10% of sites get small counts.
+    std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+    for (float& v : frame.data()) {
+      const float u = unit(rng);
+      if (u > 0.9f) v = std::floor(u * 30.0f) - 26.0f;  // 1..3
+    }
+    steps.push_back(std::move(frame));
+  }
+  return steps;
+}
+
+es::DenseTensor synthetic_image(const en::NetworkSpec& net) {
+  const auto ids = net.graph.input_ids();
+  const auto shape = net.graph.node(ids.back()).spec.out_shape;
+  es::DenseTensor img(shape);
+  img.fill_random(1234, 0.5f);
+  for (float& v : img.data()) v = std::abs(v);
+  return img;
+}
+
+}  // namespace
+
+class EngineRuns : public ::testing::TestWithParam<en::NetworkId> {};
+
+TEST_P(EngineRuns, ProducesFiniteOutputOfExpectedShape) {
+  const auto net_spec =
+      en::build_network(GetParam(), en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  const auto steps = synthetic_steps(net_spec, 11);
+  const bool needs_image = net_spec.graph.input_ids().size() > 1;
+  const auto image = synthetic_image(net_spec);
+  const auto out = net.run(steps, needs_image ? &image : nullptr);
+
+  EXPECT_EQ(out.shape().n, 1);
+  switch (net_spec.task) {
+    case en::TaskKind::kOpticalFlow:
+      EXPECT_EQ(out.shape().c, 2);
+      break;
+    case en::TaskKind::kSegmentation:
+      EXPECT_EQ(out.shape().c, 6);
+      break;
+    case en::TaskKind::kDepth:
+    case en::TaskKind::kTracking:
+      EXPECT_EQ(out.shape().c, 1);
+      break;
+  }
+  for (float v : out.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(EngineRuns, DeterministicAcrossRuns) {
+  const auto net_spec =
+      en::build_network(GetParam(), en::ZooConfig::test_scale());
+  en::FunctionalNetwork a(net_spec, 7);
+  en::FunctionalNetwork b(net_spec, 7);
+  const auto steps = synthetic_steps(net_spec, 11);
+  const bool needs_image = net_spec.graph.input_ids().size() > 1;
+  const auto image = synthetic_image(net_spec);
+  const auto oa = a.run(steps, needs_image ? &image : nullptr);
+  const auto ob = b.run(steps, needs_image ? &image : nullptr);
+  EXPECT_FLOAT_EQ(es::max_abs_diff(oa, ob), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, EngineRuns,
+    ::testing::Values(en::NetworkId::kSpikeFlowNet,
+                      en::NetworkId::kFusionFlowNet,
+                      en::NetworkId::kAdaptiveSpikeNet,
+                      en::NetworkId::kHalsie, en::NetworkId::kHidalgoDepth,
+                      en::NetworkId::kDotie, en::NetworkId::kEvFlowNet),
+    [](const ::testing::TestParamInfo<en::NetworkId>& param_info) {
+      auto name = en::to_string(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Engine, SpikingLayersActuallySpike) {
+  // If SNN layers are silent the accuracy experiments degenerate; pin
+  // a healthy firing regime on the hybrid and pure-SNN networks.
+  for (const auto id :
+       {en::NetworkId::kSpikeFlowNet, en::NetworkId::kAdaptiveSpikeNet}) {
+    const auto net_spec = en::build_network(id, en::ZooConfig::test_scale());
+    en::FunctionalNetwork net(net_spec, 7);
+    const auto steps = synthetic_steps(net_spec, 13);
+    (void)net.run(steps);
+    EXPECT_GT(net.network_firing_rate(), 0.001)
+        << en::to_string(id) << " is silent";
+    EXPECT_LT(net.network_firing_rate(), 0.9)
+        << en::to_string(id) << " saturates";
+  }
+}
+
+TEST(Engine, OutputRespondsToInput) {
+  const auto net_spec =
+      en::build_network(en::NetworkId::kEvFlowNet, en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  const auto steps_a = synthetic_steps(net_spec, 1);
+  const auto steps_b = synthetic_steps(net_spec, 2);
+  const auto oa = net.run(steps_a);
+  const auto ob = net.run(steps_b);
+  EXPECT_GT(es::max_abs_diff(oa, ob), 0.0f);
+}
+
+TEST(Engine, ActivationHookObservesEveryComputeNode) {
+  const auto net_spec =
+      en::build_network(en::NetworkId::kSpikeFlowNet,
+                        en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  std::set<int> seen;
+  net.set_activation_hook(
+      [&seen](int id, es::DenseTensor&) { seen.insert(id); });
+  const auto steps = synthetic_steps(net_spec, 11);
+  (void)net.run(steps);
+  int compute_nodes = 0;
+  for (const auto& n : net_spec.graph.nodes()) {
+    if (n.spec.kind != en::LayerKind::kInput &&
+        n.spec.kind != en::LayerKind::kOutput) {
+      ++compute_nodes;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), compute_nodes);
+}
+
+TEST(Engine, HookCanPerturbOutputs) {
+  const auto net_spec = en::build_network(en::NetworkId::kHidalgoDepth,
+                                          en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  const auto steps = synthetic_steps(net_spec, 11);
+  const auto clean = net.run(steps);
+  net.set_activation_hook([](int, es::DenseTensor& t) {
+    for (float& v : t.data()) v *= 1.01f;
+  });
+  const auto perturbed = net.run(steps);
+  EXPECT_GT(es::max_abs_diff(clean, perturbed), 0.0f);
+}
+
+TEST(Engine, MissingImageInputThrows) {
+  const auto net_spec =
+      en::build_network(en::NetworkId::kHalsie, en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  const auto steps = synthetic_steps(net_spec, 11);
+  EXPECT_THROW((void)net.run(steps), std::invalid_argument);
+}
+
+TEST(Engine, WrongTimestepCountThrows) {
+  const auto net_spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  std::vector<es::DenseTensor> too_few;
+  EXPECT_THROW((void)net.run(too_few), std::invalid_argument);
+}

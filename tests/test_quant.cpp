@@ -1,0 +1,273 @@
+// Tests for the quantization substrate: fp16 rounding, symmetric INT8
+// fake-quant, task metrics and the accuracy evaluator / sensitivity model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/zoo.hpp"
+#include "quant/accuracy.hpp"
+#include "quant/metrics.hpp"
+#include "quant/precision.hpp"
+#include "quant/quantizer.hpp"
+
+namespace eq = evedge::quant;
+namespace en = evedge::nn;
+namespace es = evedge::sparse;
+
+// -------------------------------------------------------------- quantizer
+
+TEST(Fp16, ExactValuesPassThrough) {
+  // Powers of two and small integers are exactly representable.
+  for (float v : {0.0f, 1.0f, -2.0f, 0.5f, 1024.0f, -0.25f, 3.0f}) {
+    EXPECT_FLOAT_EQ(eq::round_to_fp16(v), v);
+  }
+}
+
+TEST(Fp16, RoundsMantissaBeyond10Bits) {
+  // 1 + 2^-11 is not representable in half; rounds to 1 or 1+2^-10.
+  const float v = 1.0f + 4.8828125e-4f;
+  const float r = eq::round_to_fp16(v);
+  EXPECT_TRUE(r == 1.0f || r == 1.0f + 9.765625e-4f);
+  EXPECT_NE(r, v);
+}
+
+TEST(Fp16, SaturatesAtHalfMax) {
+  EXPECT_FLOAT_EQ(eq::round_to_fp16(1e6f), 65504.0f);
+  EXPECT_FLOAT_EQ(eq::round_to_fp16(-1e6f), -65504.0f);
+}
+
+TEST(Fp16, FlushesTinyToZero) {
+  EXPECT_FLOAT_EQ(eq::round_to_fp16(1e-9f), 0.0f);
+}
+
+TEST(Fp16, ErrorBounded) {
+  // Relative error of fp16 rounding is at most 2^-11 for normals.
+  for (float v = 0.001f; v < 100.0f; v *= 1.37f) {
+    const float r = eq::round_to_fp16(v);
+    EXPECT_LE(std::abs(r - v) / v, 4.9e-4f) << v;
+  }
+}
+
+TEST(Int8, RoundTripErrorBounded) {
+  std::vector<float> values;
+  for (int i = -50; i <= 50; ++i) {
+    values.push_back(static_cast<float>(i) * 0.037f);
+  }
+  const float range = eq::max_abs(values);
+  auto quantized = values;
+  eq::fake_quantize(quantized, eq::Precision::kInt8);
+  const float step = range / 127.0f;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_LE(std::abs(quantized[i] - values[i]), 0.5f * step + 1e-6f);
+  }
+}
+
+TEST(Int8, GridHas255Levels) {
+  std::vector<float> values{1.0f, -1.0f, 0.3337f};
+  eq::fake_quantize(values, eq::Precision::kInt8);
+  const float step = 1.0f / 127.0f;
+  for (float v : values) {
+    const float q = v / step;
+    EXPECT_NEAR(q, std::round(q), 1e-3f);
+  }
+}
+
+TEST(Quantizer, Fp32IsIdentity) {
+  std::vector<float> values{0.1f, -0.7f, 3.14159f};
+  const auto original = values;
+  eq::fake_quantize(values, eq::Precision::kFp32);
+  EXPECT_EQ(values, original);
+}
+
+TEST(Quantizer, StepOrdering) {
+  // INT8 is coarser than FP16 which is coarser than FP32 (zero).
+  const float range = 2.0f;
+  EXPECT_GT(eq::quantization_step(range, eq::Precision::kInt8),
+            eq::quantization_step(range, eq::Precision::kFp16));
+  EXPECT_GT(eq::quantization_step(range, eq::Precision::kFp16),
+            eq::quantization_step(range, eq::Precision::kFp32));
+}
+
+TEST(Precision, BytesPerElement) {
+  EXPECT_DOUBLE_EQ(eq::bytes_per_element(eq::Precision::kFp32), 4.0);
+  EXPECT_DOUBLE_EQ(eq::bytes_per_element(eq::Precision::kFp16), 2.0);
+  EXPECT_DOUBLE_EQ(eq::bytes_per_element(eq::Precision::kInt8), 1.0);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, AeeZeroForIdentical) {
+  es::DenseTensor flow(es::TensorShape{1, 2, 4, 4});
+  flow.fill_random(3);
+  EXPECT_DOUBLE_EQ(eq::average_endpoint_error(flow, flow), 0.0);
+}
+
+TEST(Metrics, AeeMatchesHandComputation) {
+  es::DenseTensor a(es::TensorShape{1, 2, 1, 1});
+  es::DenseTensor b(es::TensorShape{1, 2, 1, 1});
+  a.at(0, 0, 0, 0) = 3.0f;  // du = 3
+  a.at(0, 1, 0, 0) = 4.0f;  // dv = 4 -> EPE = 5
+  EXPECT_DOUBLE_EQ(eq::average_endpoint_error(a, b), 5.0);
+}
+
+TEST(Metrics, AeeRejectsNonFlowShapes) {
+  es::DenseTensor bad(es::TensorShape{1, 3, 2, 2});
+  EXPECT_THROW((void)eq::average_endpoint_error(bad, bad),
+               std::invalid_argument);
+}
+
+TEST(Metrics, MiouPerfectAndDisjoint) {
+  es::DenseTensor a(es::TensorShape{1, 2, 2, 2});
+  // All pixels class 0.
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) a.at(0, 0, y, x) = 1.0f;
+  }
+  EXPECT_DOUBLE_EQ(eq::mean_iou(a, a), 1.0);
+  // Reference: all pixels class 1 -> complete disagreement.
+  es::DenseTensor b(es::TensorShape{1, 2, 2, 2});
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) b.at(0, 1, y, x) = 1.0f;
+  }
+  EXPECT_DOUBLE_EQ(eq::mean_iou(a, b), 0.0);
+}
+
+TEST(Metrics, DepthErrorRelative) {
+  es::DenseTensor d(es::TensorShape{1, 1, 1, 2});
+  es::DenseTensor r(es::TensorShape{1, 1, 1, 2});
+  d.at(0, 0, 0, 0) = 1.1f;
+  r.at(0, 0, 0, 0) = 1.0f;
+  d.at(0, 0, 0, 1) = 2.0f;
+  r.at(0, 0, 0, 1) = 2.0f;
+  EXPECT_NEAR(eq::mean_depth_error(d, r), 0.05, 1e-6);
+}
+
+TEST(Metrics, ObjectnessIou) {
+  es::DenseTensor a(es::TensorShape{1, 1, 1, 4});
+  es::DenseTensor b(es::TensorShape{1, 1, 1, 4});
+  a.at(0, 0, 0, 0) = 1.0f;
+  a.at(0, 0, 0, 1) = 1.0f;
+  b.at(0, 0, 0, 1) = 1.0f;
+  b.at(0, 0, 0, 2) = 1.0f;
+  // Intersection {1}, union {0,1,2} -> 1/3.
+  EXPECT_NEAR(eq::objectness_iou(a, b), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, DegradationIsZeroForIdenticalOutputs) {
+  es::DenseTensor seg(es::TensorShape{1, 6, 3, 3});
+  seg.fill_random(5);
+  EXPECT_DOUBLE_EQ(
+      eq::metric_degradation(en::TaskKind::kSegmentation, seg, seg), 0.0);
+  es::DenseTensor flow(es::TensorShape{1, 2, 3, 3});
+  flow.fill_random(6);
+  EXPECT_DOUBLE_EQ(
+      eq::metric_degradation(en::TaskKind::kOpticalFlow, flow, flow), 0.0);
+}
+
+TEST(Metrics, PaperBaselinesMatchTable2) {
+  EXPECT_DOUBLE_EQ(
+      eq::paper_baseline(en::TaskKind::kOpticalFlow, "SpikeFlowNet").value,
+      0.93);
+  EXPECT_DOUBLE_EQ(
+      eq::paper_baseline(en::TaskKind::kSegmentation, "HALSIE").value,
+      66.31);
+  EXPECT_FALSE(
+      eq::paper_baseline(en::TaskKind::kSegmentation, "HALSIE")
+          .lower_is_better);
+  EXPECT_DOUBLE_EQ(
+      eq::paper_baseline(en::TaskKind::kDepth, "HidalgoDepth").value, 0.61);
+  EXPECT_DOUBLE_EQ(
+      eq::paper_baseline(en::TaskKind::kTracking, "DOTIE").value, 0.86);
+}
+
+// ----------------------------------------------------- accuracy evaluator
+
+namespace {
+
+eq::AccuracyEvaluator make_evaluator(en::NetworkId id, int samples = 3) {
+  const auto spec = en::build_network(id, en::ZooConfig::test_scale());
+  return eq::AccuracyEvaluator(
+      spec, 7, eq::make_validation_set(spec, samples, 21));
+}
+
+}  // namespace
+
+TEST(Accuracy, Fp32AssignmentHasZeroDegradation) {
+  auto evaluator = make_evaluator(en::NetworkId::kEvFlowNet);
+  const auto fp32 = eq::uniform_assignment(evaluator.spec(),
+                                           eq::Precision::kFp32);
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(fp32), 0.0);
+}
+
+TEST(Accuracy, Int8DegradesMoreThanFp16) {
+  auto evaluator = make_evaluator(en::NetworkId::kEvFlowNet);
+  const double d16 = evaluator.evaluate(
+      eq::uniform_assignment(evaluator.spec(), eq::Precision::kFp16));
+  const double d8 = evaluator.evaluate(
+      eq::uniform_assignment(evaluator.spec(), eq::Precision::kInt8));
+  EXPECT_GE(d8, d16);
+  EXPECT_GT(d8, 0.0);
+}
+
+TEST(Accuracy, EvaluateIsRepeatableAndRestoresState) {
+  auto evaluator = make_evaluator(en::NetworkId::kHidalgoDepth);
+  const auto int8 = eq::uniform_assignment(evaluator.spec(),
+                                           eq::Precision::kInt8);
+  const double first = evaluator.evaluate(int8);
+  // State restoration: an FP32 run in between must still be exact, and
+  // the INT8 result must reproduce.
+  EXPECT_DOUBLE_EQ(
+      evaluator.evaluate(eq::uniform_assignment(evaluator.spec(),
+                                                eq::Precision::kFp32)),
+      0.0);
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(int8), first);
+}
+
+TEST(Accuracy, SubsetSamplingIsDeterministic) {
+  auto evaluator = make_evaluator(en::NetworkId::kEvFlowNet, 5);
+  const auto int8 = eq::uniform_assignment(evaluator.spec(),
+                                           eq::Precision::kInt8);
+  const double a = evaluator.evaluate(int8, 2, 3);
+  const double b = evaluator.evaluate(int8, 2, 3);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Accuracy, SnnOutputsAreQuantizationTolerant) {
+  // Spiking layers emit binary spikes; DOTIE under INT8 should degrade
+  // very little (spikes are exactly representable).
+  auto evaluator = make_evaluator(en::NetworkId::kDotie);
+  const double d8 = evaluator.evaluate(
+      eq::uniform_assignment(evaluator.spec(), eq::Precision::kInt8));
+  EXPECT_LT(d8, 0.5);
+}
+
+TEST(Sensitivity, PredictsZeroForFp32) {
+  auto evaluator = make_evaluator(en::NetworkId::kSpikeFlowNet);
+  eq::SensitivityModel model(evaluator, 1);
+  EXPECT_DOUBLE_EQ(model.predict(eq::uniform_assignment(
+                       evaluator.spec(), eq::Precision::kFp32)),
+                   0.0);
+}
+
+TEST(Sensitivity, AdditiveModelTracksDirectOrdering) {
+  auto evaluator = make_evaluator(en::NetworkId::kEvFlowNet);
+  eq::SensitivityModel model(evaluator, 2);
+  const auto fp16 = eq::uniform_assignment(evaluator.spec(),
+                                           eq::Precision::kFp16);
+  const auto int8 = eq::uniform_assignment(evaluator.spec(),
+                                           eq::Precision::kInt8);
+  // The surrogate must preserve the coarse ordering FP16 <= INT8.
+  EXPECT_LE(model.predict(fp16), model.predict(int8) + 1e-12);
+  EXPECT_GT(model.predict(int8), 0.0);
+}
+
+TEST(Validation, SetShapesMatchSpec) {
+  const auto spec =
+      en::build_network(en::NetworkId::kHalsie, en::ZooConfig::test_scale());
+  const auto set = eq::make_validation_set(spec, 2, 9);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(static_cast<int>(set[0].event_steps.size()), spec.timesteps);
+  ASSERT_TRUE(set[0].image.has_value());
+  EXPECT_EQ(set[0].image->shape().c, 1);
+}

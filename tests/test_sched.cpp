@@ -1,0 +1,190 @@
+// Tests for the scheduler: mapping validation, Eq. 3 end-time semantics,
+// queue exclusivity, communication-node insertion and energy coupling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "hw/profiler.hpp"
+#include "nn/zoo.hpp"
+#include "sched/mapping.hpp"
+#include "sched/scheduler.hpp"
+
+namespace eh = evedge::hw;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace ss = evedge::sched;
+
+namespace {
+
+struct Fixture {
+  eh::Platform platform = eh::xavier_agx();
+  std::vector<en::NetworkSpec> specs;
+  std::vector<eh::TaskProfile> profiles;
+
+  explicit Fixture(std::vector<en::NetworkId> ids) {
+    for (const auto id : ids) {
+      specs.push_back(en::build_network(id, en::ZooConfig::test_scale()));
+    }
+    profiles = eh::profile_tasks(specs, platform);
+  }
+};
+
+}  // namespace
+
+TEST(Mapping, UniformCandidateValidates) {
+  Fixture f({en::NetworkId::kEvFlowNet});
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  EXPECT_NO_THROW(ss::validate_candidate(candidate, f.profiles, f.platform));
+}
+
+TEST(Mapping, RejectsUnsupportedPrecision) {
+  Fixture f({en::NetworkId::kEvFlowNet});
+  // All layers on DLA at FP32 — unsupported.
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kDla), eq::Precision::kFp32);
+  EXPECT_THROW(ss::validate_candidate(candidate, f.profiles, f.platform),
+               std::invalid_argument);
+}
+
+TEST(Mapping, RejectsWrongShape) {
+  Fixture f({en::NetworkId::kEvFlowNet});
+  ss::MappingCandidate bad;  // empty
+  EXPECT_THROW(ss::validate_candidate(bad, f.profiles, f.platform),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, SingleTaskAllGpuHasNoCommOps) {
+  Fixture f({en::NetworkId::kSpikeFlowNet});
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  const auto result =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  for (const auto& op : result.ops) {
+    EXPECT_FALSE(op.is_comm);
+  }
+  EXPECT_GT(result.makespan_us, 0.0);
+  EXPECT_DOUBLE_EQ(result.max_task_latency_us, result.makespan_us);
+}
+
+TEST(Scheduler, CrossPeEdgesInsertCommOps) {
+  Fixture f({en::NetworkId::kEvFlowNet});
+  // Alternate mappable layers between CPU and GPU.
+  auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  int flip = 0;
+  for (auto& node : candidate.tasks[0].nodes) {
+    if (node.pe >= 0 && (flip++ % 2 == 0)) {
+      node.pe = f.platform.first_pe(eh::PeKind::kCpu);
+    }
+  }
+  const auto result =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  int comm = 0;
+  for (const auto& op : result.ops) {
+    if (op.is_comm) {
+      ++comm;
+      EXPECT_EQ(op.queue, f.platform.pe_count());  // memory queue
+    }
+  }
+  EXPECT_GT(comm, 0);
+}
+
+TEST(Scheduler, EndTimesRespectDependenciesAndQueues) {
+  Fixture f({en::NetworkId::kSpikeFlowNet, en::NetworkId::kDotie});
+  auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  const auto result =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+
+  // Queue exclusivity: ops in the same queue never overlap.
+  std::map<int, std::vector<std::pair<double, double>>> by_queue;
+  for (const auto& op : result.ops) {
+    by_queue[op.queue].push_back({op.start_us, op.end_us});
+  }
+  for (auto& [queue, spans] : by_queue) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9)
+          << "overlap in queue " << queue;
+    }
+  }
+}
+
+TEST(Scheduler, TwoTasksOnDistinctPesOverlap) {
+  Fixture f({en::NetworkId::kDotie, en::NetworkId::kDotie});
+  auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  // Serial: both tasks on the GPU.
+  const auto serial =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  // Parallel: task 1 moves to the CPU.
+  for (auto& node : candidate.tasks[1].nodes) {
+    if (node.pe >= 0) node.pe = f.platform.first_pe(eh::PeKind::kCpu);
+  }
+  const auto parallel =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  // The makespan with parallel execution must beat fully serial GPU.
+  EXPECT_LT(parallel.makespan_us, serial.makespan_us);
+}
+
+TEST(Scheduler, MakespanIsMaxOpEnd) {
+  Fixture f({en::NetworkId::kHidalgoDepth});
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.profiles.size() == 1
+                   ? f.platform.first_pe(eh::PeKind::kGpu)
+                   : 0,
+      eq::Precision::kFp32);
+  const auto result =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  double max_end = 0.0;
+  for (const auto& op : result.ops) max_end = std::max(max_end, op.end_us);
+  EXPECT_DOUBLE_EQ(result.makespan_us, max_end);
+}
+
+TEST(Scheduler, Int8FasterThanFp32OnGpu) {
+  Fixture f({en::NetworkId::kEvFlowNet});
+  const int gpu = f.platform.first_pe(eh::PeKind::kGpu);
+  const auto fp32 =
+      ss::uniform_candidate(f.specs, gpu, eq::Precision::kFp32);
+  const auto int8 =
+      ss::uniform_candidate(f.specs, gpu, eq::Precision::kInt8);
+  const auto r32 = ss::schedule(f.specs, f.profiles, fp32, f.platform);
+  const auto r8 = ss::schedule(f.specs, f.profiles, int8, f.platform);
+  EXPECT_LT(r8.max_task_latency_us, r32.max_task_latency_us);
+  EXPECT_LT(r8.energy_mj, r32.energy_mj);
+}
+
+TEST(Scheduler, EnergyPositiveAndIncludesIdle) {
+  Fixture f({en::NetworkId::kDotie});
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  const auto result =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  EXPECT_GT(result.energy_mj, 0.0);
+}
+
+TEST(Scheduler, GanttOutputsRenderAllQueues) {
+  Fixture f({en::NetworkId::kDotie});
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  const auto result =
+      ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  const auto gantt = ss::format_gantt(result, f.platform, 60);
+  // One row per PE plus the memory queue.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'),
+            f.platform.pe_count() + 1);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  Fixture f({en::NetworkId::kFusionFlowNet, en::NetworkId::kDotie});
+  const auto candidate = ss::uniform_candidate(
+      f.specs, f.platform.first_pe(eh::PeKind::kGpu), eq::Precision::kFp32);
+  const auto a = ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  const auto b = ss::schedule(f.specs, f.profiles, candidate, f.platform);
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_DOUBLE_EQ(a.energy_mj, b.energy_mj);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+}

@@ -1,0 +1,346 @@
+// Unit and property tests for the sparse substrate: dense tensors, COO
+// channels, sparse frames and the sparse convolution kernels (validated
+// against the dense reference in evedge::nn via test_nn.cpp; here we pin
+// the algebraic invariants).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "sparse/coo.hpp"
+#include "sparse/sparse_frame.hpp"
+#include "sparse/sparse_ops.hpp"
+#include "sparse/tensor.hpp"
+
+namespace es = evedge::sparse;
+
+// ----------------------------------------------------------- DenseTensor
+
+TEST(DenseTensor, ShapeAndIndexing) {
+  es::DenseTensor t(es::TensorShape{2, 3, 4, 5}, 1.5f);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 1.5f);
+  t.at(1, 2, 3, 4) = -2.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), -2.0f);
+  EXPECT_THROW((void)t.at(2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, 3, 0, 0), std::out_of_range);
+}
+
+TEST(DenseTensor, RejectsBadShape) {
+  EXPECT_THROW(es::DenseTensor(es::TensorShape{0, 1, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(es::DenseTensor(es::TensorShape{1, -2, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(DenseTensor, DensityCountsNonzeros) {
+  es::DenseTensor t(es::TensorShape{1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(t.density(), 0.0);
+  t.at(0, 0, 0, 0) = 3.0f;
+  t.at(0, 0, 1, 1) = -1.0f;
+  EXPECT_DOUBLE_EQ(t.density(), 0.5);
+}
+
+TEST(DenseTensor, RandomFillDeterministic) {
+  es::DenseTensor a(es::TensorShape{1, 2, 3, 3});
+  es::DenseTensor b(es::TensorShape{1, 2, 3, 3});
+  a.fill_random(99);
+  b.fill_random(99);
+  EXPECT_FLOAT_EQ(es::max_abs_diff(a, b), 0.0f);
+  b.fill_random(100);
+  EXPECT_GT(es::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(DenseTensor, ErrorMetrics) {
+  es::DenseTensor a(es::TensorShape{1, 1, 1, 4});
+  es::DenseTensor b(es::TensorShape{1, 1, 1, 4});
+  for (int i = 0; i < 4; ++i) {
+    a.at(0, 0, 0, i) = static_cast<float>(i);
+    b.at(0, 0, 0, i) = static_cast<float>(i) + 1.0f;
+  }
+  EXPECT_FLOAT_EQ(es::max_abs_diff(a, b), 1.0f);
+  EXPECT_DOUBLE_EQ(es::mean_abs_diff(a, b), 1.0);
+}
+
+// ------------------------------------------------------------ CooChannel
+
+TEST(CooChannel, FromEntriesSortsAndAccumulates) {
+  auto ch = es::CooChannel::from_entries(
+      4, 4,
+      {{3, 3, 1.0f}, {0, 1, 2.0f}, {3, 3, 2.0f}, {1, 0, -1.0f}});
+  EXPECT_EQ(ch.nnz(), 3u);
+  EXPECT_FLOAT_EQ(ch.at(3, 3), 3.0f);
+  EXPECT_FLOAT_EQ(ch.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(ch.at(1, 0), -1.0f);
+  EXPECT_FLOAT_EQ(ch.at(2, 2), 0.0f);
+  EXPECT_NO_THROW(ch.validate());
+}
+
+TEST(CooChannel, CancellingEntriesVanish) {
+  auto ch = es::CooChannel::from_entries(2, 2,
+                                         {{0, 0, 1.0f}, {0, 0, -1.0f}});
+  EXPECT_EQ(ch.nnz(), 0u);
+}
+
+TEST(CooChannel, AccumulateInsertsAndErases) {
+  es::CooChannel ch(4, 4);
+  ch.accumulate(1, 1, 2.0f);
+  ch.accumulate(1, 1, 3.0f);
+  EXPECT_FLOAT_EQ(ch.at(1, 1), 5.0f);
+  ch.accumulate(1, 1, -5.0f);
+  EXPECT_EQ(ch.nnz(), 0u);
+  EXPECT_THROW(ch.accumulate(4, 0, 1.0f), std::out_of_range);
+}
+
+TEST(CooChannel, AddIsUnionWithSum) {
+  auto a = es::CooChannel::from_entries(3, 3, {{0, 0, 1.0f}, {1, 1, 2.0f}});
+  auto b = es::CooChannel::from_entries(3, 3, {{1, 1, 3.0f}, {2, 2, 4.0f}});
+  auto c = es::add(a, b);
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(2, 2), 4.0f);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CooChannel, AddValueSumIsLinear) {
+  std::mt19937_64 rng(4);
+  std::uniform_int_distribution<int> coord(0, 15);
+  std::uniform_real_distribution<float> val(-2.0f, 2.0f);
+  std::vector<es::CooEntry> ea, eb;
+  for (int i = 0; i < 60; ++i) {
+    ea.push_back({coord(rng), coord(rng), val(rng)});
+    eb.push_back({coord(rng), coord(rng), val(rng)});
+  }
+  auto a = es::CooChannel::from_entries(16, 16, ea);
+  auto b = es::CooChannel::from_entries(16, 16, eb);
+  auto c = es::add(a, b, 2.0f);
+  EXPECT_NEAR(c.value_sum(), a.value_sum() + 2.0 * b.value_sum(), 1e-4);
+}
+
+TEST(CooChannel, ScaleMultipliesValues) {
+  auto a = es::CooChannel::from_entries(2, 2, {{0, 0, 2.0f}, {1, 1, -4.0f}});
+  auto s = es::scale(a, 0.5f);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), -2.0f);
+  auto z = es::scale(a, 0.0f);
+  EXPECT_EQ(z.nnz(), 0u);
+}
+
+// ----------------------------------------------------------- SparseFrame
+
+namespace {
+
+es::SparseFrame make_frame(int h, int w, std::uint64_t seed, int nnz) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> row(0, h - 1);
+  std::uniform_int_distribution<int> col(0, w - 1);
+  es::SparseFrame f(h, w);
+  for (int i = 0; i < nnz; ++i) {
+    if (i % 2 == 0) {
+      f.positive().accumulate(row(rng), col(rng), 1.0f);
+    } else {
+      f.negative().accumulate(row(rng), col(rng), 1.0f);
+    }
+  }
+  f.t_start = 0;
+  f.t_end = 1000;
+  f.source_events = nnz;
+  return f;
+}
+
+}  // namespace
+
+TEST(SparseFrame, DenseRoundTrip) {
+  const auto f = make_frame(12, 10, 3, 40);
+  const auto dense = f.to_dense();
+  const auto back = es::SparseFrame::from_dense(dense);
+  EXPECT_EQ(back.nnz(), f.nnz());
+  EXPECT_FLOAT_EQ(es::max_abs_diff(back.to_dense(), dense), 0.0f);
+}
+
+TEST(SparseFrame, MergeAddConservesEventMass) {
+  const auto a = make_frame(8, 8, 1, 20);
+  const auto b = make_frame(8, 8, 2, 30);
+  const auto merged = es::merge_frames({a, b}, es::MergeMode::kAdd);
+  EXPECT_NEAR(merged.event_mass(), a.event_mass() + b.event_mass(), 1e-5);
+  EXPECT_EQ(merged.source_events, a.source_events + b.source_events);
+}
+
+TEST(SparseFrame, MergeAverageHalvesTwoEqualFrames) {
+  const auto a = make_frame(8, 8, 5, 24);
+  const auto merged = es::merge_frames({a, a}, es::MergeMode::kAverage);
+  EXPECT_NEAR(merged.event_mass(), a.event_mass(), 1e-5);
+  EXPECT_EQ(merged.nnz(), a.nnz());
+}
+
+TEST(SparseFrame, MergeSpansUnionOfTimeRanges) {
+  auto a = make_frame(8, 8, 1, 10);
+  a.t_start = 100;
+  a.t_end = 200;
+  auto b = make_frame(8, 8, 2, 10);
+  b.t_start = 250;
+  b.t_end = 300;
+  const auto merged = es::merge_frames({a, b}, es::MergeMode::kAdd);
+  EXPECT_EQ(merged.t_start, 100);
+  EXPECT_EQ(merged.t_end, 300);
+}
+
+TEST(SparseFrame, MergeRejectsBatchModeAndEmpty) {
+  EXPECT_THROW((void)es::merge_frames({}, es::MergeMode::kAdd),
+               std::invalid_argument);
+  const auto a = make_frame(4, 4, 1, 4);
+  EXPECT_THROW((void)es::merge_frames({a}, es::MergeMode::kBatch),
+               std::invalid_argument);
+}
+
+TEST(SparseFrame, BatchToDenseStacksFrames) {
+  const auto a = make_frame(6, 6, 1, 12);
+  const auto b = make_frame(6, 6, 2, 15);
+  const auto batch = es::batch_to_dense({a, b});
+  EXPECT_EQ(batch.shape().n, 2);
+  EXPECT_EQ(batch.shape().c, 2);
+  // slice 0 equals a, slice 1 equals b
+  const auto da = a.to_dense();
+  const auto db = b.to_dense();
+  float diff = 0.0f;
+  for (int c = 0; c < 2; ++c) {
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 6; ++x) {
+        diff = std::max(diff,
+                        std::abs(batch.at(0, c, y, x) - da.at(0, c, y, x)));
+        diff = std::max(diff,
+                        std::abs(batch.at(1, c, y, x) - db.at(0, c, y, x)));
+      }
+    }
+  }
+  EXPECT_FLOAT_EQ(diff, 0.0f);
+}
+
+TEST(SparseFrame, DensityChangeIsRelative) {
+  const auto a = make_frame(10, 10, 1, 10);
+  auto b = make_frame(10, 10, 2, 10);
+  EXPECT_NEAR(es::density_change(a, a), 0.0, 1e-12);
+  EXPECT_GE(es::density_change(b, a), 0.0);
+}
+
+// ------------------------------------------------------------ sparse ops
+
+TEST(SparseOps, ConvOutExtent) {
+  EXPECT_EQ(es::conv_out_extent(346, 3, 2, 1), 173);
+  EXPECT_EQ(es::conv_out_extent(8, 3, 1, 1), 8);
+  EXPECT_THROW((void)es::conv_out_extent(2, 5, 1, 0), std::invalid_argument);
+}
+
+TEST(SparseOps, SparseConvCostProportionalToNnz) {
+  const es::Conv2dSpec spec{2, 8, 3, 1, 1};
+  es::DenseTensor w(es::TensorShape{8, 2, 3, 3});
+  w.fill_random(7);
+  const auto sparse_in = make_frame(16, 16, 9, 8);
+  const auto denser_in = make_frame(16, 16, 10, 64);
+
+  es::ConvWork work_sparse, work_dense;
+  std::vector<es::CooChannel> ch1{sparse_in.positive(), sparse_in.negative()};
+  std::vector<es::CooChannel> ch2{denser_in.positive(),
+                                  denser_in.negative()};
+  (void)es::sparse_conv2d(ch1, w, {}, spec, &work_sparse);
+  (void)es::sparse_conv2d(ch2, w, {}, spec, &work_dense);
+  EXPECT_LT(work_sparse.sparse_macs, work_dense.sparse_macs);
+  EXPECT_EQ(work_sparse.dense_macs, work_dense.dense_macs);
+  // Sparse cost bounded by nnz * Cout * k * k.
+  EXPECT_LE(work_sparse.sparse_macs, work_sparse.nnz_in * 8u * 9u);
+}
+
+TEST(SparseOps, EmptyInputGivesBiasOnlyOutput) {
+  const es::Conv2dSpec spec{2, 4, 3, 1, 1};
+  es::DenseTensor w(es::TensorShape{4, 2, 3, 3});
+  w.fill_random(3);
+  const std::vector<float> bias{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<es::CooChannel> empty{es::CooChannel(8, 8),
+                                    es::CooChannel(8, 8)};
+  const auto out = es::sparse_conv2d(empty, w, bias, spec);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(out.at(0, c, 4, 4), bias[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(SparseOps, SubmanifoldOutputConfinedToActiveSites) {
+  const es::Conv2dSpec spec{2, 4, 3, 1, 1};
+  es::DenseTensor w(es::TensorShape{4, 2, 3, 3});
+  w.fill_random(11);
+  const auto frame = make_frame(12, 12, 13, 10);
+  std::vector<es::CooChannel> in{frame.positive(), frame.negative()};
+  const auto out = es::submanifold_conv2d(in, w, {}, spec);
+  ASSERT_EQ(out.size(), 4u);
+
+  // Union of input active sites.
+  std::set<std::pair<int, int>> active;
+  for (const auto& ch : in) {
+    for (const auto& e : ch.entries()) active.insert({e.row, e.col});
+  }
+  for (const auto& ch : out) {
+    for (const auto& e : ch.entries()) {
+      EXPECT_TRUE(active.contains({e.row, e.col}))
+          << "output at inactive site (" << e.row << "," << e.col << ")";
+    }
+  }
+}
+
+TEST(SparseOps, SubmanifoldRejectsStride2) {
+  const es::Conv2dSpec spec{2, 4, 3, 2, 1};
+  es::DenseTensor w(es::TensorShape{4, 2, 3, 3});
+  std::vector<es::CooChannel> in{es::CooChannel(8, 8), es::CooChannel(8, 8)};
+  EXPECT_THROW((void)es::submanifold_conv2d(in, w, {}, spec),
+               std::invalid_argument);
+}
+
+TEST(SparseOps, DenseChannelRoundTrip) {
+  es::DenseTensor t(es::TensorShape{1, 3, 6, 5});
+  t.fill_random(21);
+  // Sparsify: zero out most entries.
+  int k = 0;
+  for (float& v : t.data()) {
+    if (k++ % 4 != 0) v = 0.0f;
+  }
+  std::size_t scanned = 0;
+  const auto channels = es::dense_to_channels(t, &scanned);
+  EXPECT_EQ(scanned, t.size());
+  const auto back = es::channels_to_dense(channels);
+  EXPECT_FLOAT_EQ(es::max_abs_diff(back, t), 0.0f);
+}
+
+// Property sweep: sparse conv linearity in the input (conv(a+b) =
+// conv(a) + conv(b) for bias-free convs) across kernel/stride configs.
+class SparseConvProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SparseConvProperty, LinearInInput) {
+  const auto [kernel, stride, padding] = GetParam();
+  const es::Conv2dSpec spec{2, 3, kernel, stride, padding};
+  es::DenseTensor w(es::TensorShape{3, 2, kernel, kernel});
+  w.fill_random(31);
+  const auto fa = make_frame(14, 14, 41, 12);
+  const auto fb = make_frame(14, 14, 42, 18);
+  std::vector<es::CooChannel> a{fa.positive(), fa.negative()};
+  std::vector<es::CooChannel> b{fb.positive(), fb.negative()};
+  std::vector<es::CooChannel> sum{es::add(fa.positive(), fb.positive()),
+                                  es::add(fa.negative(), fb.negative())};
+  const auto ya = es::sparse_conv2d(a, w, {}, spec);
+  const auto yb = es::sparse_conv2d(b, w, {}, spec);
+  const auto ysum = es::sparse_conv2d(sum, w, {}, spec);
+  es::DenseTensor yab = ya;
+  for (std::size_t i = 0; i < yab.size(); ++i) {
+    yab.data()[i] += yb.data()[i];
+  }
+  EXPECT_LT(es::max_abs_diff(ysum, yab), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, SparseConvProperty,
+    ::testing::Values(std::make_tuple(1, 1, 0), std::make_tuple(3, 1, 1),
+                      std::make_tuple(3, 2, 1), std::make_tuple(5, 1, 2),
+                      std::make_tuple(5, 2, 2), std::make_tuple(7, 4, 3)));
