@@ -30,21 +30,36 @@ std::vector<SparseFrame> Event2SparseFrame::convert(
   const double bin_span =
       static_cast<double>(t_end - t_start) / n_bins;  // biS of Eq. 1
 
-  // Per-bin per-polarity accumulation buffers.
+  // Per-bin per-polarity accumulation buffers. Two passes: count first so
+  // every per-bin vector is allocated exactly once (the windows here can
+  // carry hundreds of thousands of events per interval).
   std::vector<std::vector<CooEntry>> pos(static_cast<std::size_t>(n_bins));
   std::vector<std::vector<CooEntry>> neg(static_cast<std::size_t>(n_bins));
   std::vector<std::int64_t> counts(static_cast<std::size_t>(n_bins), 0);
+  std::vector<std::size_t> pos_count(static_cast<std::size_t>(n_bins), 0);
+  std::vector<std::size_t> neg_count(static_cast<std::size_t>(n_bins), 0);
+
+  // EBk = floor((tk - Tstart) / biS); clamp the t == Tend-epsilon edge.
+  const auto bin_of = [&](const Event& e) {
+    const auto bin = static_cast<int>(
+        std::floor(static_cast<double>(e.t - t_start) / bin_span));
+    return static_cast<std::size_t>(std::clamp(bin, 0, n_bins - 1));
+  };
 
   for (const Event& e : window) {
     if (e.t < t_start || e.t >= t_end) {
       throw std::invalid_argument(
           "E2SF: event outside the frame interval (slice the stream first)");
     }
-    // EBk = floor((tk - Tstart) / biS); clamp the t == Tend-epsilon edge.
-    auto bin = static_cast<int>(
-        std::floor(static_cast<double>(e.t - t_start) / bin_span));
-    bin = std::clamp(bin, 0, n_bins - 1);
-    const auto bi = static_cast<std::size_t>(bin);
+    ++(e.p == Polarity::kPositive ? pos_count : neg_count)[bin_of(e)];
+  }
+  for (int b = 0; b < n_bins; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    pos[bi].reserve(pos_count[bi]);
+    neg[bi].reserve(neg_count[bi]);
+  }
+  for (const Event& e : window) {
+    const auto bi = bin_of(e);
     auto& channel = e.p == Polarity::kPositive ? pos[bi] : neg[bi];
     channel.push_back(CooEntry{e.y, e.x, 1.0f});
     ++counts[bi];

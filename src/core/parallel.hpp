@@ -1,0 +1,71 @@
+#pragma once
+
+// Minimal std::thread fork-join helper for the compute kernels. The
+// kernels split their outermost independent loop (output channels, active
+// sites) into contiguous chunks, one per worker, so every index is
+// processed exactly once and each worker writes a disjoint output slice —
+// results are bitwise identical for any thread count.
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evedge::core {
+
+/// Worker count: EVEDGE_THREADS env override when set and positive,
+/// otherwise std::thread::hardware_concurrency() (min 1).
+[[nodiscard]] inline int parallel_thread_count() noexcept {
+  if (const char* env = std::getenv("EVEDGE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Runs body(i) for every i in [begin, end), split into at most
+/// `max_threads` contiguous chunks (one std::thread each, the first chunk
+/// on the caller). `body` must be safe to invoke concurrently for
+/// distinct indices. Falls back to a serial loop for small ranges or a
+/// single worker.
+template <typename Body>
+void parallel_for(int begin, int end, const Body& body,
+                  int max_threads = parallel_thread_count()) {
+  const int count = end - begin;
+  if (count <= 0) return;
+  const int workers = std::max(1, std::min(max_threads, count));
+  if (workers == 1) {
+    for (int i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const int chunk = (count + workers - 1) / workers;
+  // First exception from any chunk wins and is rethrown on the caller
+  // after every thread has joined (a throw must never leave joinable
+  // threads behind or abort the process from a worker).
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto run_chunk = [&](int lo, int hi) noexcept {
+    try {
+      for (int i = lo; i < hi; ++i) body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    const int lo = begin + w * chunk;
+    const int hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&run_chunk, lo, hi] { run_chunk(lo, hi); });
+  }
+  run_chunk(begin, std::min(end, begin + chunk));
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace evedge::core

@@ -21,6 +21,16 @@ namespace {
   return static_cast<float>(std::min(0.6, std::max(0.02, r)));
 }
 
+/// Shared validity check for weight-node access (const and non-const).
+void require_weight_node(const std::vector<DenseTensor>& weights,
+                         int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(weights.size()) ||
+      weights[static_cast<std::size_t>(node_id)].size() == 0) {
+    throw std::invalid_argument("node " + std::to_string(node_id) +
+                                " has no weights");
+  }
+}
+
 }  // namespace
 
 DenseTensor center_crop(const DenseTensor& t, int h, int w) {
@@ -108,16 +118,13 @@ FunctionalNetwork::FunctionalNetwork(NetworkSpec spec, std::uint64_t seed)
 }
 
 DenseTensor& FunctionalNetwork::weights(int node_id) {
-  if (node_id < 0 || node_id >= static_cast<int>(weights_.size()) ||
-      weights_[static_cast<std::size_t>(node_id)].size() == 0) {
-    throw std::invalid_argument("node " + std::to_string(node_id) +
-                                " has no weights");
-  }
+  require_weight_node(weights_, node_id);
   return weights_[static_cast<std::size_t>(node_id)];
 }
 
 const DenseTensor& FunctionalNetwork::weights(int node_id) const {
-  return const_cast<FunctionalNetwork*>(this)->weights(node_id);
+  require_weight_node(weights_, node_id);
+  return weights_[static_cast<std::size_t>(node_id)];
 }
 
 std::vector<float>& FunctionalNetwork::bias(int node_id) {

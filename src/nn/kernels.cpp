@@ -1,58 +1,263 @@
 #include "nn/kernels.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
 
 namespace evedge::nn {
 
 using sparse::conv_out_extent;
 using sparse::validate_conv_spec;
 
-DenseTensor conv2d(const DenseTensor& input, const DenseTensor& weights,
-                   std::span<const float> bias, const Conv2dSpec& spec) {
+namespace {
+
+void validate_conv_inputs(const DenseTensor& input, const DenseTensor& weights,
+                          std::span<const float> bias, const Conv2dSpec& spec,
+                          const char* who) {
   validate_conv_spec(spec);
-  const TensorShape& is = input.shape();
-  const TensorShape& ws = weights.shape();
-  if (is.c != spec.in_channels) {
-    throw std::invalid_argument("conv2d: input channel mismatch");
+  if (input.shape().c != spec.in_channels) {
+    throw std::invalid_argument(std::string(who) +
+                                ": input channel mismatch");
   }
+  const TensorShape& ws = weights.shape();
   if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
       ws.h != spec.kernel || ws.w != spec.kernel) {
-    throw std::invalid_argument("conv2d: weight shape mismatch");
+    throw std::invalid_argument(std::string(who) + ": weight shape mismatch");
   }
   if (!bias.empty() && static_cast<int>(bias.size()) != spec.out_channels) {
-    throw std::invalid_argument("conv2d: bias size mismatch");
+    throw std::invalid_argument(std::string(who) + ": bias size mismatch");
   }
-  const int out_h = conv_out_extent(is.h, spec.kernel, spec.stride,
-                                    spec.padding);
-  const int out_w = conv_out_extent(is.w, spec.kernel, spec.stride,
-                                    spec.padding);
+}
+
+/// First output index whose tap lands inside the input:
+/// o * stride + k - padding >= 0.
+[[nodiscard]] int first_valid_out(int k, int stride, int padding) noexcept {
+  return padding > k ? (padding - k + stride - 1) / stride : 0;
+}
+
+/// Last output index whose tap lands inside an extent of `in`:
+/// o * stride + k - padding <= in - 1 (may be < 0 when no tap fits).
+[[nodiscard]] int last_valid_out(int in, int k, int stride,
+                                 int padding) noexcept {
+  const int num = in - 1 + padding - k;
+  return num < 0 ? -1 : num / stride;
+}
+
+}  // namespace
+
+bool conv2d_uses_gemm(const TensorShape& input,
+                      const Conv2dSpec& spec) noexcept {
+  if (spec.in_channels <= 0 || spec.out_channels <= 0 || spec.kernel <= 0 ||
+      spec.stride <= 0 || spec.padding < 0) {
+    return false;  // conv2d itself rejects the spec with a real error
+  }
+  const int out_h =
+      (input.h + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+  const int out_w =
+      (input.w + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+  if (out_h <= 0 || out_w <= 0) return false;
+  const auto k2 = static_cast<std::size_t>(spec.kernel) *
+                  static_cast<std::size_t>(spec.kernel);
+  const std::size_t patch = static_cast<std::size_t>(spec.in_channels) * k2;
+  const std::size_t pixels =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  const std::size_t macs =
+      patch * pixels * static_cast<std::size_t>(spec.out_channels);
+  // Below ~256K MACs the im2col materialization dominates; above ~512MB
+  // the column matrix would thrash, so fall back to the direct path.
+  return macs >= (std::size_t{1} << 18) &&
+         patch * pixels <= (std::size_t{1} << 27);
+}
+
+DenseTensor conv2d_direct(const DenseTensor& input, const DenseTensor& weights,
+                          std::span<const float> bias,
+                          const Conv2dSpec& spec) {
+  validate_conv_inputs(input, weights, bias, spec, "conv2d");
+  const TensorShape& is = input.shape();
+  const int out_h =
+      conv_out_extent(is.h, spec.kernel, spec.stride, spec.padding);
+  const int out_w =
+      conv_out_extent(is.w, spec.kernel, spec.stride, spec.padding);
   DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
+
+  const float* in = input.raw();
+  const float* w = weights.raw();
+  float* o = out.raw();
+  const std::size_t in_plane = input.stride_c();
+  const std::size_t in_batch = input.stride_n();
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  const std::size_t out_batch =
+      static_cast<std::size_t>(spec.out_channels) * out_plane;
+  const std::size_t w_oc = weights.stride_n();
+
   for (int n = 0; n < is.n; ++n) {
-    for (int oc = 0; oc < spec.out_channels; ++oc) {
-      const float b =
-          bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+    const float* in_n = in + static_cast<std::size_t>(n) * in_batch;
+    float* out_n = o + static_cast<std::size_t>(n) * out_batch;
+    core::parallel_for(0, spec.out_channels, [&](int oc) {
+      const float b = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+      const float* w_base = w + static_cast<std::size_t>(oc) * w_oc;
+      float* out_row = out_n + static_cast<std::size_t>(oc) * out_plane;
       for (int oy = 0; oy < out_h; ++oy) {
+        const int iy0 = oy * spec.stride - spec.padding;
         for (int ox = 0; ox < out_w; ++ox) {
+          const int ix0 = ox * spec.stride - spec.padding;
           float acc = b;
+          const float* wp = w_base;
           for (int ic = 0; ic < spec.in_channels; ++ic) {
+            const float* in_c = in_n + static_cast<std::size_t>(ic) * in_plane;
             for (int ky = 0; ky < spec.kernel; ++ky) {
-              const int iy = oy * spec.stride + ky - spec.padding;
-              if (iy < 0 || iy >= is.h) continue;
-              for (int kx = 0; kx < spec.kernel; ++kx) {
-                const int ix = ox * spec.stride + kx - spec.padding;
-                if (ix < 0 || ix >= is.w) continue;
-                acc += input.at(n, ic, iy, ix) * weights.at(oc, ic, ky, kx);
+              const int iy = iy0 + ky;
+              if (iy < 0 || iy >= is.h) {
+                wp += spec.kernel;
+                continue;
               }
+              const float* in_row =
+                  in_c + static_cast<std::size_t>(iy) *
+                             static_cast<std::size_t>(is.w);
+              for (int kx = 0; kx < spec.kernel; ++kx) {
+                const int ix = ix0 + kx;
+                if (ix < 0 || ix >= is.w) continue;
+                acc += in_row[ix] * wp[kx];
+              }
+              wp += spec.kernel;
             }
           }
-          out.at(n, oc, oy, ox) = acc;
+          out_row[static_cast<std::size_t>(oy) *
+                      static_cast<std::size_t>(out_w) +
+                  static_cast<std::size_t>(ox)] = acc;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+namespace {
+
+/// Unrolls one input image into the [patch x pixels] column matrix:
+/// row (ic*k + ky)*k + kx holds the input value each output pixel sees
+/// through that kernel tap (0 where the tap falls outside the input).
+void im2col(const float* in_n, const TensorShape& is, const Conv2dSpec& spec,
+            int out_h, int out_w, float* col) {
+  const std::size_t pixels =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  const std::size_t in_plane = static_cast<std::size_t>(is.h) *
+                               static_cast<std::size_t>(is.w);
+  std::size_t r = 0;
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    const float* in_c = in_n + static_cast<std::size_t>(ic) * in_plane;
+    for (int ky = 0; ky < spec.kernel; ++ky) {
+      const int oy_lo = first_valid_out(ky, spec.stride, spec.padding);
+      const int oy_hi = std::min(
+          out_h - 1, last_valid_out(is.h, ky, spec.stride, spec.padding));
+      for (int kx = 0; kx < spec.kernel; ++kx, ++r) {
+        float* dst = col + r * pixels;
+        const int ox_lo = first_valid_out(kx, spec.stride, spec.padding);
+        const int ox_hi = std::min(
+            out_w - 1, last_valid_out(is.w, kx, spec.stride, spec.padding));
+        for (int oy = 0; oy < out_h; ++oy) {
+          float* dst_row = dst + static_cast<std::size_t>(oy) *
+                                     static_cast<std::size_t>(out_w);
+          if (oy < oy_lo || oy > oy_hi || ox_lo > ox_hi) {
+            std::fill(dst_row, dst_row + out_w, 0.0f);
+            continue;
+          }
+          const int iy = oy * spec.stride + ky - spec.padding;
+          const float* src_row = in_c + static_cast<std::size_t>(iy) *
+                                            static_cast<std::size_t>(is.w);
+          std::fill(dst_row, dst_row + ox_lo, 0.0f);
+          if (spec.stride == 1) {
+            std::memcpy(dst_row + ox_lo, src_row + ox_lo + kx - spec.padding,
+                        static_cast<std::size_t>(ox_hi - ox_lo + 1) *
+                            sizeof(float));
+          } else {
+            for (int ox = ox_lo; ox <= ox_hi; ++ox) {
+              dst_row[ox] = src_row[ox * spec.stride + kx - spec.padding];
+            }
+          }
+          std::fill(dst_row + ox_hi + 1, dst_row + out_w, 0.0f);
         }
       }
     }
   }
+}
+
+}  // namespace
+
+DenseTensor conv2d_gemm(const DenseTensor& input, const DenseTensor& weights,
+                        std::span<const float> bias, const Conv2dSpec& spec) {
+  validate_conv_inputs(input, weights, bias, spec, "conv2d");
+  const TensorShape& is = input.shape();
+  const int out_h =
+      conv_out_extent(is.h, spec.kernel, spec.stride, spec.padding);
+  const int out_w =
+      conv_out_extent(is.w, spec.kernel, spec.stride, spec.padding);
+  DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
+
+  const std::size_t patch = static_cast<std::size_t>(spec.in_channels) *
+                            static_cast<std::size_t>(spec.kernel) *
+                            static_cast<std::size_t>(spec.kernel);
+  const std::size_t pixels =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  std::vector<float> col(patch * pixels);
+
+  const float* w = weights.raw();  // [Cout x patch], rows contiguous
+  float* o = out.raw();
+  const std::size_t out_batch =
+      static_cast<std::size_t>(spec.out_channels) * pixels;
+
+  // Register/L1 blocking: kOcBlock output rows share each column-matrix
+  // read; kPixBlock keeps the accumulator tile resident.
+  constexpr int kOcBlock = 4;
+  constexpr std::size_t kPixBlock = 1024;
+
+  for (int n = 0; n < is.n; ++n) {
+    im2col(input.raw() + static_cast<std::size_t>(n) * input.stride_n(), is,
+           spec, out_h, out_w, col.data());
+    float* out_n = o + static_cast<std::size_t>(n) * out_batch;
+    const int oc_blocks =
+        (spec.out_channels + kOcBlock - 1) / kOcBlock;
+    core::parallel_for(0, oc_blocks, [&](int blk) {
+      const int oc0 = blk * kOcBlock;
+      const int oc1 = std::min(spec.out_channels, oc0 + kOcBlock);
+      float acc[kOcBlock][kPixBlock];
+      for (std::size_t p0 = 0; p0 < pixels; p0 += kPixBlock) {
+        const std::size_t plen = std::min(kPixBlock, pixels - p0);
+        for (int oc = oc0; oc < oc1; ++oc) {
+          const float b =
+              bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+          std::fill(acc[oc - oc0], acc[oc - oc0] + plen, b);
+        }
+        for (std::size_t r = 0; r < patch; ++r) {
+          const float* col_row = col.data() + r * pixels + p0;
+          for (int oc = oc0; oc < oc1; ++oc) {
+            const float wv = w[static_cast<std::size_t>(oc) * patch + r];
+            float* a = acc[oc - oc0];
+            for (std::size_t p = 0; p < plen; ++p) a[p] += wv * col_row[p];
+          }
+        }
+        for (int oc = oc0; oc < oc1; ++oc) {
+          std::memcpy(out_n + static_cast<std::size_t>(oc) * pixels + p0,
+                      acc[oc - oc0], plen * sizeof(float));
+        }
+      }
+    });
+  }
   return out;
+}
+
+DenseTensor conv2d(const DenseTensor& input, const DenseTensor& weights,
+                   std::span<const float> bias, const Conv2dSpec& spec) {
+  // Both paths validate on entry; no need to validate twice here.
+  return conv2d_uses_gemm(input.shape(), spec)
+             ? conv2d_gemm(input, weights, bias, spec)
+             : conv2d_direct(input, weights, bias, spec);
 }
 
 int transposed_conv_out_extent(int in_extent, int kernel, int stride,
@@ -68,57 +273,63 @@ DenseTensor transposed_conv2d(const DenseTensor& input,
                               const DenseTensor& weights,
                               std::span<const float> bias,
                               const Conv2dSpec& spec) {
-  validate_conv_spec(spec);
+  validate_conv_inputs(input, weights, bias, spec, "tconv2d");
   const TensorShape& is = input.shape();
-  const TensorShape& ws = weights.shape();
-  if (is.c != spec.in_channels) {
-    throw std::invalid_argument("tconv2d: input channel mismatch");
-  }
-  if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
-      ws.h != spec.kernel || ws.w != spec.kernel) {
-    throw std::invalid_argument("tconv2d: weight shape mismatch");
-  }
   const int out_h = transposed_conv_out_extent(is.h, spec.kernel, spec.stride,
                                                spec.padding);
   const int out_w = transposed_conv_out_extent(is.w, spec.kernel, spec.stride,
                                                spec.padding);
   DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
-  if (!bias.empty()) {
-    if (static_cast<int>(bias.size()) != spec.out_channels) {
-      throw std::invalid_argument("tconv2d: bias size mismatch");
-    }
-    for (int n = 0; n < is.n; ++n) {
-      for (int oc = 0; oc < spec.out_channels; ++oc) {
-        for (int y = 0; y < out_h; ++y) {
-          for (int x = 0; x < out_w; ++x) {
-            out.at(n, oc, y, x) = bias[static_cast<std::size_t>(oc)];
-          }
-        }
-      }
-    }
-  }
-  // Scatter formulation: each input pixel contributes a kernel-sized
-  // patch into the (stride-spaced) output.
+
+  const float* in = input.raw();
+  const float* w = weights.raw();
+  float* o = out.raw();
+  const std::size_t in_plane = input.stride_c();
+  const std::size_t in_batch = input.stride_n();
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  const std::size_t out_batch =
+      static_cast<std::size_t>(spec.out_channels) * out_plane;
+  const std::size_t w_oc = weights.stride_n();
+  const std::size_t w_ic = weights.stride_c();
+
   for (int n = 0; n < is.n; ++n) {
-    for (int ic = 0; ic < spec.in_channels; ++ic) {
-      for (int iy = 0; iy < is.h; ++iy) {
-        for (int ix = 0; ix < is.w; ++ix) {
-          const float v = input.at(n, ic, iy, ix);
-          if (v == 0.0f) continue;
-          for (int ky = 0; ky < spec.kernel; ++ky) {
-            const int oy = iy * spec.stride + ky - spec.padding;
-            if (oy < 0 || oy >= out_h) continue;
-            for (int kx = 0; kx < spec.kernel; ++kx) {
-              const int ox = ix * spec.stride + kx - spec.padding;
-              if (ox < 0 || ox >= out_w) continue;
-              for (int oc = 0; oc < spec.out_channels; ++oc) {
-                out.at(n, oc, oy, ox) += v * weights.at(oc, ic, ky, kx);
+    const float* in_n = in + static_cast<std::size_t>(n) * in_batch;
+    float* out_n = o + static_cast<std::size_t>(n) * out_batch;
+    // Each worker owns a slice of output channels, so the scatter into
+    // out_plane rows never races across threads.
+    core::parallel_for(0, spec.out_channels, [&](int oc) {
+      float* out_c = out_n + static_cast<std::size_t>(oc) * out_plane;
+      const float b = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+      std::fill(out_c, out_c + out_plane, b);
+      const float* w_base = w + static_cast<std::size_t>(oc) * w_oc;
+      for (int ic = 0; ic < spec.in_channels; ++ic) {
+        const float* in_c = in_n + static_cast<std::size_t>(ic) * in_plane;
+        const float* w_k = w_base + static_cast<std::size_t>(ic) * w_ic;
+        for (int iy = 0; iy < is.h; ++iy) {
+          const float* in_row = in_c + static_cast<std::size_t>(iy) *
+                                           static_cast<std::size_t>(is.w);
+          for (int ix = 0; ix < is.w; ++ix) {
+            const float v = in_row[ix];
+            if (v == 0.0f) continue;
+            for (int ky = 0; ky < spec.kernel; ++ky) {
+              const int oy = iy * spec.stride + ky - spec.padding;
+              if (oy < 0 || oy >= out_h) continue;
+              float* out_row = out_c + static_cast<std::size_t>(oy) *
+                                           static_cast<std::size_t>(out_w);
+              const float* w_row =
+                  w_k + static_cast<std::size_t>(ky) *
+                            static_cast<std::size_t>(spec.kernel);
+              for (int kx = 0; kx < spec.kernel; ++kx) {
+                const int ox = ix * spec.stride + kx - spec.padding;
+                if (ox < 0 || ox >= out_w) continue;
+                out_row[ox] += v * w_row[kx];
               }
             }
           }
         }
       }
-    }
+    });
   }
   return out;
 }
@@ -139,17 +350,21 @@ DenseTensor fully_connected(const DenseTensor& input,
     throw std::invalid_argument("fully_connected: bias size mismatch");
   }
   DenseTensor out(TensorShape{is.n, ws.n, 1, 1});
+  const float* in = input.raw();
+  const float* w = weights.raw();
+  float* o = out.raw();
   for (int n = 0; n < is.n; ++n) {
-    const std::size_t base = static_cast<std::size_t>(n) * in_features;
-    for (int o = 0; o < ws.n; ++o) {
-      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(o)];
-      const std::size_t wbase =
-          static_cast<std::size_t>(o) * in_features;
+    const float* in_n = in + static_cast<std::size_t>(n) * in_features;
+    float* out_n = o + static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(ws.n);
+    core::parallel_for(0, ws.n, [&](int oc) {
+      const float* w_row = w + static_cast<std::size_t>(oc) * in_features;
+      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
       for (std::size_t i = 0; i < in_features; ++i) {
-        acc += input.data()[base + i] * weights.data()[wbase + i];
+        acc += in_n[i] * w_row[i];
       }
-      out.at(n, o, 0, 0) = acc;
-    }
+      out_n[oc] = acc;
+    });
   }
   return out;
 }
@@ -167,22 +382,31 @@ DenseTensor pool_impl(const DenseTensor& input, int kernel, float init,
   const int out_h = is.h / kernel;
   const int out_w = is.w / kernel;
   DenseTensor out(TensorShape{is.n, is.c, out_h, out_w});
-  for (int n = 0; n < is.n; ++n) {
-    for (int c = 0; c < is.c; ++c) {
-      for (int oy = 0; oy < out_h; ++oy) {
-        for (int ox = 0; ox < out_w; ++ox) {
-          float acc = init;
-          for (int ky = 0; ky < kernel; ++ky) {
-            for (int kx = 0; kx < kernel; ++kx) {
-              acc = reduce(acc,
-                           input.at(n, c, oy * kernel + ky, ox * kernel + kx));
-            }
+  const float* in = input.raw();
+  float* o = out.raw();
+  const std::size_t in_plane = input.stride_c();
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  const int planes = is.n * is.c;
+  for (int p = 0; p < planes; ++p) {
+    const float* in_p = in + static_cast<std::size_t>(p) * in_plane;
+    float* out_p = o + static_cast<std::size_t>(p) * out_plane;
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float acc = init;
+        for (int ky = 0; ky < kernel; ++ky) {
+          const float* in_row =
+              in_p + static_cast<std::size_t>(oy * kernel + ky) *
+                         static_cast<std::size_t>(is.w) +
+              static_cast<std::size_t>(ox * kernel);
+          for (int kx = 0; kx < kernel; ++kx) {
+            acc = reduce(acc, in_row[kx]);
           }
-          if (average) {
-            acc /= static_cast<float>(kernel * kernel);
-          }
-          out.at(n, c, oy, ox) = acc;
         }
+        if (average) acc *= inv;
+        out_p[static_cast<std::size_t>(oy) * static_cast<std::size_t>(out_w) +
+              static_cast<std::size_t>(ox)] = acc;
       }
     }
   }
@@ -214,16 +438,21 @@ DenseTensor channel_affine(const DenseTensor& input,
       static_cast<int>(beta.size()) != is.c) {
     throw std::invalid_argument("channel_affine: parameter size mismatch");
   }
-  DenseTensor out = input;
+  DenseTensor out(is);
+  const float* in = input.raw();
+  float* o = out.raw();
+  const std::size_t plane = input.stride_c();
   for (int n = 0; n < is.n; ++n) {
     for (int c = 0; c < is.c; ++c) {
       const float g = gamma[static_cast<std::size_t>(c)];
       const float b = beta[static_cast<std::size_t>(c)];
-      for (int y = 0; y < is.h; ++y) {
-        for (int x = 0; x < is.w; ++x) {
-          out.at(n, c, y, x) = input.at(n, c, y, x) * g + b;
-        }
-      }
+      const std::size_t base =
+          (static_cast<std::size_t>(n) * static_cast<std::size_t>(is.c) +
+           static_cast<std::size_t>(c)) *
+          plane;
+      const float* src = in + base;
+      float* dst = o + base;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = src[i] * g + b;
     }
   }
   return out;
@@ -236,21 +465,15 @@ DenseTensor concat_channels(const DenseTensor& a, const DenseTensor& b) {
     throw std::invalid_argument("concat_channels: N/H/W mismatch");
   }
   DenseTensor out(TensorShape{as.n, as.c + bs.c, as.h, as.w});
+  const std::size_t a_block = a.stride_n();
+  const std::size_t b_block = b.stride_n();
+  float* o = out.raw();
   for (int n = 0; n < as.n; ++n) {
-    for (int c = 0; c < as.c; ++c) {
-      for (int y = 0; y < as.h; ++y) {
-        for (int x = 0; x < as.w; ++x) {
-          out.at(n, c, y, x) = a.at(n, c, y, x);
-        }
-      }
-    }
-    for (int c = 0; c < bs.c; ++c) {
-      for (int y = 0; y < as.h; ++y) {
-        for (int x = 0; x < as.w; ++x) {
-          out.at(n, as.c + c, y, x) = b.at(n, c, y, x);
-        }
-      }
-    }
+    float* dst = o + static_cast<std::size_t>(n) * (a_block + b_block);
+    std::memcpy(dst, a.raw() + static_cast<std::size_t>(n) * a_block,
+                a_block * sizeof(float));
+    std::memcpy(dst + a_block, b.raw() + static_cast<std::size_t>(n) * b_block,
+                b_block * sizeof(float));
   }
   return out;
 }
@@ -260,9 +483,10 @@ DenseTensor add(const DenseTensor& a, const DenseTensor& b) {
     throw std::invalid_argument("add: shape mismatch");
   }
   DenseTensor out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] += b.data()[i];
-  }
+  float* o = out.raw();
+  const float* rb = b.raw();
+  const std::size_t size = out.size();
+  for (std::size_t i = 0; i < size; ++i) o[i] += rb[i];
   return out;
 }
 
@@ -270,12 +494,32 @@ DenseTensor upsample_nearest(const DenseTensor& input, int factor) {
   if (factor <= 0) throw std::invalid_argument("upsample factor must be > 0");
   const TensorShape& is = input.shape();
   DenseTensor out(TensorShape{is.n, is.c, is.h * factor, is.w * factor});
-  for (int n = 0; n < is.n; ++n) {
-    for (int c = 0; c < is.c; ++c) {
-      for (int y = 0; y < is.h * factor; ++y) {
-        for (int x = 0; x < is.w * factor; ++x) {
-          out.at(n, c, y, x) = input.at(n, c, y / factor, x / factor);
-        }
+  const float* in = input.raw();
+  float* o = out.raw();
+  const std::size_t in_plane = input.stride_c();
+  const std::size_t out_w = static_cast<std::size_t>(is.w) *
+                            static_cast<std::size_t>(factor);
+  const std::size_t out_plane = static_cast<std::size_t>(is.h) *
+                                static_cast<std::size_t>(factor) * out_w;
+  const int planes = is.n * is.c;
+  for (int p = 0; p < planes; ++p) {
+    const float* in_p = in + static_cast<std::size_t>(p) * in_plane;
+    float* out_p = o + static_cast<std::size_t>(p) * out_plane;
+    for (int y = 0; y < is.h; ++y) {
+      const float* src = in_p + static_cast<std::size_t>(y) *
+                                    static_cast<std::size_t>(is.w);
+      // Expand one input row, then replicate it `factor` times.
+      float* first = out_p + static_cast<std::size_t>(y) *
+                                 static_cast<std::size_t>(factor) * out_w;
+      for (int x = 0; x < is.w; ++x) {
+        const float v = src[x];
+        float* dst = first + static_cast<std::size_t>(x) *
+                                 static_cast<std::size_t>(factor);
+        for (int f = 0; f < factor; ++f) dst[f] = v;
+      }
+      for (int f = 1; f < factor; ++f) {
+        std::memcpy(first + static_cast<std::size_t>(f) * out_w, first,
+                    out_w * sizeof(float));
       }
     }
   }

@@ -16,12 +16,32 @@ using sparse::Conv2dSpec;
 using sparse::DenseTensor;
 using sparse::TensorShape;
 
-/// Direct dense 2-D convolution. input [N, Cin, H, W], weights
+/// Dense 2-D convolution. input [N, Cin, H, W], weights
 /// [Cout, Cin, k, k], bias per out channel (empty = none).
+/// Dispatches between a flat-index direct path and an im2col + blocked
+/// GEMM path (large shapes); both are numerically equivalent to the seed
+/// reference loop nest (sparse::reference::conv2d) and threaded over
+/// output channels via core::parallel_for.
 [[nodiscard]] DenseTensor conv2d(const DenseTensor& input,
                                  const DenseTensor& weights,
                                  std::span<const float> bias,
                                  const Conv2dSpec& spec);
+
+/// Forces the flat-index direct path (exposed for parity tests/bench).
+[[nodiscard]] DenseTensor conv2d_direct(const DenseTensor& input,
+                                        const DenseTensor& weights,
+                                        std::span<const float> bias,
+                                        const Conv2dSpec& spec);
+
+/// Forces the im2col + blocked-GEMM path (exposed for parity tests/bench).
+[[nodiscard]] DenseTensor conv2d_gemm(const DenseTensor& input,
+                                      const DenseTensor& weights,
+                                      std::span<const float> bias,
+                                      const Conv2dSpec& spec);
+
+/// True when conv2d would take the GEMM path for this input/spec.
+[[nodiscard]] bool conv2d_uses_gemm(const TensorShape& input,
+                                    const Conv2dSpec& spec) noexcept;
 
 /// Transposed convolution (a.k.a. deconvolution) used by decoder stages.
 /// Output extent: (in - 1) * stride - 2 * padding + kernel.

@@ -32,6 +32,7 @@ CooChannel CooChannel::from_entries(int height, int width,
                                     std::vector<CooEntry> entries) {
   CooChannel ch(height, width);
   std::sort(entries.begin(), entries.end(), coord_less);
+  ch.entries_.reserve(entries.size());
   for (const CooEntry& e : entries) {
     if (e.row < 0 || e.row >= height || e.col < 0 || e.col >= width) {
       throw std::invalid_argument("COO entry outside channel extents");
@@ -48,6 +49,13 @@ CooChannel CooChannel::from_entries(int height, int width,
   return ch;
 }
 
+CooChannel CooChannel::from_sorted_entries(int height, int width,
+                                           std::vector<CooEntry> entries) {
+  CooChannel ch(height, width);
+  ch.entries_ = std::move(entries);
+  return ch;
+}
+
 double CooChannel::density() const noexcept {
   const auto total = static_cast<double>(height_) * width_;
   return total > 0.0 ? static_cast<double>(entries_.size()) / total : 0.0;
@@ -58,6 +66,7 @@ void CooChannel::accumulate(std::int32_t row, std::int32_t col, float value) {
     throw std::out_of_range("CooChannel::accumulate outside extents");
   }
   if (value == 0.0f) return;
+  row_ptr_valid_ = false;
   const CooEntry probe{row, col, 0.0f};
   auto it = std::lower_bound(entries_.begin(), entries_.end(), probe,
                              coord_less);
@@ -77,6 +86,31 @@ float CooChannel::at(std::int32_t row, std::int32_t col) const noexcept {
     return it->value;
   }
   return 0.0f;
+}
+
+const std::vector<std::int32_t>& CooChannel::row_ptr() const {
+  if (!row_ptr_valid_) {
+    row_ptr_.assign(static_cast<std::size_t>(height_) + 1, 0);
+    for (const CooEntry& e : entries_) {
+      ++row_ptr_[static_cast<std::size_t>(e.row) + 1];
+    }
+    for (std::size_t r = 1; r < row_ptr_.size(); ++r) {
+      row_ptr_[r] += row_ptr_[r - 1];
+    }
+    row_ptr_valid_ = true;
+  }
+  return row_ptr_;
+}
+
+std::span<const CooEntry> CooChannel::row_span(std::int32_t row) const {
+  if (row < 0 || row >= height_) {
+    throw std::out_of_range("CooChannel::row_span outside extents");
+  }
+  const auto& ptr = row_ptr();
+  const auto lo = static_cast<std::size_t>(ptr[static_cast<std::size_t>(row)]);
+  const auto hi =
+      static_cast<std::size_t>(ptr[static_cast<std::size_t>(row) + 1]);
+  return std::span<const CooEntry>(entries_.data() + lo, hi - lo);
 }
 
 double CooChannel::value_sum() const noexcept {

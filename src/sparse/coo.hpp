@@ -7,6 +7,7 @@
 // polarities as separate channels, similar to the sparse COO format").
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace evedge::sparse {
@@ -34,6 +35,13 @@ class CooChannel {
   [[nodiscard]] static CooChannel from_entries(int height, int width,
                                                std::vector<CooEntry> entries);
 
+  /// Adopts entries the caller guarantees to already satisfy the class
+  /// invariants (sorted by (row, col), unique, in-range, non-zero) — the
+  /// contract kernel outputs meet by construction. O(1): no sort, no
+  /// checks; violations surface via validate().
+  [[nodiscard]] static CooChannel from_sorted_entries(
+      int height, int width, std::vector<CooEntry> entries);
+
   [[nodiscard]] int height() const noexcept { return height_; }
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] const std::vector<CooEntry>& entries() const noexcept {
@@ -50,6 +58,16 @@ class CooChannel {
   /// Value at (row, col); 0 when absent. O(log n).
   [[nodiscard]] float at(std::int32_t row, std::int32_t col) const noexcept;
 
+  /// CSR-style row index: row_ptr()[r] .. row_ptr()[r+1] delimit the
+  /// entries of row r inside entries(); size is height()+1 and
+  /// row_ptr()[height()] == nnz(). Built lazily on first access (O(h+nnz))
+  /// and cached until the next mutation; not safe to build concurrently —
+  /// call once before handing the channel to parallel workers.
+  [[nodiscard]] const std::vector<std::int32_t>& row_ptr() const;
+
+  /// O(1) slice of the entries in row `row` (requires 0 <= row < height).
+  [[nodiscard]] std::span<const CooEntry> row_span(std::int32_t row) const;
+
   /// Sum of all stored values.
   [[nodiscard]] double value_sum() const noexcept;
 
@@ -60,6 +78,9 @@ class CooChannel {
   int height_ = 0;
   int width_ = 0;
   std::vector<CooEntry> entries_;
+  // Lazy CSR row index cache; row_ptr_valid_ is reset by any mutation.
+  mutable std::vector<std::int32_t> row_ptr_;
+  mutable bool row_ptr_valid_ = false;
 };
 
 /// c = a + scale_b * b (merge-union). Extents must match.

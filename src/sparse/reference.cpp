@@ -1,0 +1,216 @@
+#include "sparse/reference.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace evedge::sparse::reference {
+
+namespace {
+
+void validate_sparse_conv_inputs(std::span<const CooChannel> input,
+                                 const DenseTensor& weights,
+                                 std::span<const float> bias,
+                                 const Conv2dSpec& spec) {
+  validate_conv_spec(spec);
+  if (static_cast<int>(input.size()) != spec.in_channels) {
+    throw std::invalid_argument("reference sparse conv: channel mismatch");
+  }
+  const TensorShape& ws = weights.shape();
+  if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
+      ws.h != spec.kernel || ws.w != spec.kernel) {
+    throw std::invalid_argument("reference sparse conv: weight mismatch");
+  }
+  if (!bias.empty() && static_cast<int>(bias.size()) != spec.out_channels) {
+    throw std::invalid_argument("reference sparse conv: bias mismatch");
+  }
+  for (std::size_t c = 1; c < input.size(); ++c) {
+    if (input[c].height() != input[0].height() ||
+        input[c].width() != input[0].width()) {
+      throw std::invalid_argument("reference sparse conv: extents differ");
+    }
+  }
+}
+
+[[nodiscard]] std::size_t dense_mac_count(const Conv2dSpec& spec, int out_h,
+                                          int out_w) {
+  return static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w) *
+         static_cast<std::size_t>(spec.out_channels) *
+         static_cast<std::size_t>(spec.in_channels) *
+         static_cast<std::size_t>(spec.kernel) *
+         static_cast<std::size_t>(spec.kernel);
+}
+
+}  // namespace
+
+DenseTensor conv2d(const DenseTensor& input, const DenseTensor& weights,
+                   std::span<const float> bias, const Conv2dSpec& spec) {
+  validate_conv_spec(spec);
+  const TensorShape& is = input.shape();
+  const TensorShape& ws = weights.shape();
+  if (is.c != spec.in_channels) {
+    throw std::invalid_argument("reference conv2d: input channel mismatch");
+  }
+  if (ws.n != spec.out_channels || ws.c != spec.in_channels ||
+      ws.h != spec.kernel || ws.w != spec.kernel) {
+    throw std::invalid_argument("reference conv2d: weight shape mismatch");
+  }
+  if (!bias.empty() && static_cast<int>(bias.size()) != spec.out_channels) {
+    throw std::invalid_argument("reference conv2d: bias size mismatch");
+  }
+  const int out_h =
+      conv_out_extent(is.h, spec.kernel, spec.stride, spec.padding);
+  const int out_w =
+      conv_out_extent(is.w, spec.kernel, spec.stride, spec.padding);
+  DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
+  for (int n = 0; n < is.n; ++n) {
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      const float b = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          float acc = b;
+          for (int ic = 0; ic < spec.in_channels; ++ic) {
+            for (int ky = 0; ky < spec.kernel; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= is.h) continue;
+              for (int kx = 0; kx < spec.kernel; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= is.w) continue;
+                acc += input.at(n, ic, iy, ix) * weights.at(oc, ic, ky, kx);
+              }
+            }
+          }
+          out.at(n, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseTensor sparse_conv2d(std::span<const CooChannel> input,
+                          const DenseTensor& weights,
+                          std::span<const float> bias, const Conv2dSpec& spec,
+                          ConvWork* work) {
+  validate_sparse_conv_inputs(input, weights, bias, spec);
+  const int in_h = input[0].height();
+  const int in_w = input[0].width();
+  const int out_h =
+      conv_out_extent(in_h, spec.kernel, spec.stride, spec.padding);
+  const int out_w =
+      conv_out_extent(in_w, spec.kernel, spec.stride, spec.padding);
+
+  DenseTensor out(TensorShape{1, spec.out_channels, out_h, out_w});
+  if (!bias.empty()) {
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      for (int y = 0; y < out_h; ++y) {
+        for (int x = 0; x < out_w; ++x) {
+          out.at(0, oc, y, x) = bias[static_cast<std::size_t>(oc)];
+        }
+      }
+    }
+  }
+
+  std::size_t sparse_macs = 0;
+  std::size_t nnz_in = 0;
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    const CooChannel& ch = input[static_cast<std::size_t>(ic)];
+    nnz_in += ch.nnz();
+    for (const CooEntry& e : ch.entries()) {
+      for (int ky = 0; ky < spec.kernel; ++ky) {
+        const int oy_num = e.row + spec.padding - ky;
+        if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+        const int oy = oy_num / spec.stride;
+        if (oy >= out_h) continue;
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ox_num = e.col + spec.padding - kx;
+          if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+          const int ox = ox_num / spec.stride;
+          if (ox >= out_w) continue;
+          for (int oc = 0; oc < spec.out_channels; ++oc) {
+            out.at(0, oc, oy, ox) += weights.at(oc, ic, ky, kx) * e.value;
+          }
+          sparse_macs += static_cast<std::size_t>(spec.out_channels);
+        }
+      }
+    }
+  }
+
+  if (work != nullptr) {
+    work->dense_macs += dense_mac_count(spec, out_h, out_w);
+    work->sparse_macs += sparse_macs;
+    work->nnz_in += nnz_in;
+  }
+  return out;
+}
+
+std::vector<CooChannel> submanifold_conv2d(std::span<const CooChannel> input,
+                                           const DenseTensor& weights,
+                                           std::span<const float> bias,
+                                           const Conv2dSpec& spec,
+                                           ConvWork* work) {
+  validate_sparse_conv_inputs(input, weights, bias, spec);
+  if (spec.stride != 1) {
+    throw std::invalid_argument("submanifold conv requires stride 1");
+  }
+  if (conv_out_extent(input[0].height(), spec.kernel, 1, spec.padding) !=
+          input[0].height() ||
+      conv_out_extent(input[0].width(), spec.kernel, 1, spec.padding) !=
+          input[0].width()) {
+    throw std::invalid_argument(
+        "submanifold conv requires same-extent output (kernel = 2*padding+1)");
+  }
+  const int h = input[0].height();
+  const int w = input[0].width();
+
+  std::set<std::pair<std::int32_t, std::int32_t>> active;
+  for (const CooChannel& ch : input) {
+    for (const CooEntry& e : ch.entries()) active.insert({e.row, e.col});
+  }
+
+  std::size_t sparse_macs = 0;
+  std::size_t nnz_in = 0;
+  for (const CooChannel& ch : input) nnz_in += ch.nnz();
+
+  std::vector<std::vector<CooEntry>> out_entries(
+      static_cast<std::size_t>(spec.out_channels));
+  for (const auto& [row, col] : active) {
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
+      for (int ic = 0; ic < spec.in_channels; ++ic) {
+        const CooChannel& ch = input[static_cast<std::size_t>(ic)];
+        for (int ky = 0; ky < spec.kernel; ++ky) {
+          const int iy = row - spec.padding + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < spec.kernel; ++kx) {
+            const int ix = col - spec.padding + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float v = ch.at(iy, ix);
+            if (v != 0.0f) {
+              acc += weights.at(oc, ic, ky, kx) * v;
+              ++sparse_macs;
+            }
+          }
+        }
+      }
+      if (acc != 0.0f) {
+        out_entries[static_cast<std::size_t>(oc)].push_back(
+            CooEntry{row, col, acc});
+      }
+    }
+  }
+
+  std::vector<CooChannel> out;
+  out.reserve(static_cast<std::size_t>(spec.out_channels));
+  for (auto& entries : out_entries) {
+    out.push_back(CooChannel::from_entries(h, w, std::move(entries)));
+  }
+  if (work != nullptr) {
+    work->dense_macs += dense_mac_count(spec, h, w);
+    work->sparse_macs += sparse_macs;
+    work->nnz_in += nnz_in;
+  }
+  return out;
+}
+
+}  // namespace evedge::sparse::reference

@@ -1,0 +1,42 @@
+#pragma once
+
+// Seed reference kernels, preserved verbatim from the original naive
+// implementations. They are deliberately slow (checked at() per element,
+// per-tap binary searches, std::set active-site union) and exist for two
+// reasons only:
+//  - the randomized parity suite pins the fast kernels in nn/kernels.cpp
+//    and sparse/sparse_ops.cpp against them, and
+//  - bench_kernels times old-vs-new on identical inputs so the perf
+//    trajectory is tracked in BENCH_kernels.json from PR 1 onward.
+// Do not optimize these.
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/sparse_ops.hpp"
+#include "sparse/tensor.hpp"
+
+namespace evedge::sparse::reference {
+
+/// Direct dense convolution: the seed nn::conv2d 7-deep loop nest.
+[[nodiscard]] DenseTensor conv2d(const DenseTensor& input,
+                                 const DenseTensor& weights,
+                                 std::span<const float> bias,
+                                 const Conv2dSpec& spec);
+
+/// The seed scatter sparse convolution (checked at() accumulation).
+[[nodiscard]] DenseTensor sparse_conv2d(std::span<const CooChannel> input,
+                                        const DenseTensor& weights,
+                                        std::span<const float> bias,
+                                        const Conv2dSpec& spec,
+                                        ConvWork* work = nullptr);
+
+/// The seed submanifold convolution (std::set active union, O(log n)
+/// CooChannel::at per kernel tap per channel).
+[[nodiscard]] std::vector<CooChannel> submanifold_conv2d(
+    std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec,
+    ConvWork* work = nullptr);
+
+}  // namespace evedge::sparse::reference

@@ -1,8 +1,11 @@
 #include "sparse/sparse_ops.hpp"
 
-#include <set>
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
 
 namespace evedge::sparse {
 
@@ -76,20 +79,29 @@ DenseTensor sparse_conv2d(std::span<const CooChannel> input,
                                     spec.padding);
 
   DenseTensor out(TensorShape{1, spec.out_channels, out_h, out_w});
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  float* o = out.raw();
   if (!bias.empty()) {
     for (int oc = 0; oc < spec.out_channels; ++oc) {
-      for (int y = 0; y < out_h; ++y) {
-        for (int x = 0; x < out_w; ++x) out.at(0, oc, y, x) = bias[
-            static_cast<std::size_t>(oc)];
-      }
+      float* row = o + static_cast<std::size_t>(oc) * out_plane;
+      std::fill(row, row + out_plane, bias[static_cast<std::size_t>(oc)]);
     }
   }
+
+  const float* w = weights.raw();
+  // weights are [oc][ic][ky][kx]: fixing (ic, ky, kx) leaves a constant
+  // oc-stride walk of Cin*k*k elements.
+  const std::size_t w_oc_stride = weights.stride_n();
 
   std::size_t sparse_macs = 0;
   std::size_t nnz_in = 0;
   for (int ic = 0; ic < spec.in_channels; ++ic) {
     const CooChannel& ch = input[static_cast<std::size_t>(ic)];
     nnz_in += ch.nnz();
+    const std::size_t w_ic_base = static_cast<std::size_t>(ic) *
+                                  static_cast<std::size_t>(spec.kernel) *
+                                  static_cast<std::size_t>(spec.kernel);
     for (const CooEntry& e : ch.entries()) {
       // Scatter: output (oy, ox) sees input (r, c) through kernel tap
       // (ky, kx) iff oy*stride + ky - padding == r (same for x).
@@ -103,8 +115,19 @@ DenseTensor sparse_conv2d(std::span<const CooChannel> input,
           if (ox_num < 0 || ox_num % spec.stride != 0) continue;
           const int ox = ox_num / spec.stride;
           if (ox >= out_w) continue;
+          const std::size_t out_idx =
+              static_cast<std::size_t>(oy) * static_cast<std::size_t>(out_w) +
+              static_cast<std::size_t>(ox);
+          const float* wp = w + w_ic_base +
+                            static_cast<std::size_t>(ky) *
+                                static_cast<std::size_t>(spec.kernel) +
+                            static_cast<std::size_t>(kx);
+          float* op = o + out_idx;
+          const float v = e.value;
           for (int oc = 0; oc < spec.out_channels; ++oc) {
-            out.at(0, oc, oy, ox) += weights.at(oc, ic, ky, kx) * e.value;
+            *op += *wp * v;
+            op += out_plane;
+            wp += w_oc_stride;
           }
           sparse_macs += static_cast<std::size_t>(spec.out_channels);
         }
@@ -138,49 +161,137 @@ std::vector<CooChannel> submanifold_conv2d(std::span<const CooChannel> input,
   }
   const int h = input[0].height();
   const int w = input[0].width();
+  const std::size_t plane =
+      static_cast<std::size_t>(h) * static_cast<std::size_t>(w);
 
-  // Active set = union of input active sites across channels.
-  std::set<std::pair<std::int32_t, std::int32_t>> active;
-  for (const CooChannel& ch : input) {
-    for (const CooEntry& e : ch.entries()) active.insert({e.row, e.col});
-  }
+  // Active set as a flat bitmap plus per-channel dense gather rows:
+  // replaces the seed's std::set union and the O(log n) CooChannel::at
+  // binary search per kernel tap per channel with O(1) loads. The scratch
+  // buffers are thread-local and cleaned by touched index on every call,
+  // so the per-call cost scales with nnz, not with the plane extent.
+  thread_local std::vector<std::uint8_t> active;
+  thread_local std::vector<float> gathered;
+  if (active.size() < plane) active.resize(plane, 0);
+  const std::size_t gather_size =
+      static_cast<std::size_t>(spec.in_channels) * plane;
+  if (gathered.size() < gather_size) gathered.resize(gather_size, 0.0f);
 
-  std::size_t sparse_macs = 0;
   std::size_t nnz_in = 0;
-  for (const CooChannel& ch : input) nnz_in += ch.nnz();
-
-  std::vector<std::vector<CooEntry>> out_entries(
-      static_cast<std::size_t>(spec.out_channels));
-  for (const auto& [row, col] : active) {
-    for (int oc = 0; oc < spec.out_channels; ++oc) {
-      float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc)];
-      for (int ic = 0; ic < spec.in_channels; ++ic) {
-        const CooChannel& ch = input[static_cast<std::size_t>(ic)];
-        for (int ky = 0; ky < spec.kernel; ++ky) {
-          const int iy = row - spec.padding + ky;
-          if (iy < 0 || iy >= h) continue;
-          for (int kx = 0; kx < spec.kernel; ++kx) {
-            const int ix = col - spec.padding + kx;
-            if (ix < 0 || ix >= w) continue;
-            const float v = ch.at(iy, ix);
-            if (v != 0.0f) {
-              acc += weights.at(oc, ic, ky, kx) * v;
-              ++sparse_macs;
-            }
-          }
-        }
-      }
-      if (acc != 0.0f) {
-        out_entries[static_cast<std::size_t>(oc)].push_back(
-            CooEntry{row, col, acc});
+  std::vector<std::int32_t> sites;
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    const CooChannel& ch = input[static_cast<std::size_t>(ic)];
+    nnz_in += ch.nnz();
+    float* g = gathered.data() + static_cast<std::size_t>(ic) * plane;
+    for (const CooEntry& e : ch.entries()) {
+      const std::size_t idx =
+          static_cast<std::size_t>(e.row) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(e.col);
+      g[idx] = e.value;
+      if (active[idx] == 0) {
+        active[idx] = 1;
+        sites.push_back(static_cast<std::int32_t>(idx));
       }
     }
   }
+  // Row-major order keeps the output entries sorted.
+  std::sort(sites.begin(), sites.end());
+
+  // Per-site gather lists: the non-zero input taps each active site sees,
+  // as (weight offset within one output channel's [Cin, k, k] block,
+  // input value). Built once, then reused by every output channel.
+  struct Tap {
+    std::int32_t w_offset;
+    float value;
+  };
+  std::vector<Tap> taps;
+  taps.reserve(sites.size() * static_cast<std::size_t>(spec.in_channels) *
+               static_cast<std::size_t>(spec.kernel) *
+               static_cast<std::size_t>(spec.kernel));
+  std::vector<std::size_t> site_ptr(sites.size() + 1, 0);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const int row = sites[s] / w;
+    const int col = sites[s] % w;
+    // Tap order (ic, ky, kx) matches the seed accumulation order exactly.
+    for (int ic = 0; ic < spec.in_channels; ++ic) {
+      const float* g = gathered.data() + static_cast<std::size_t>(ic) * plane;
+      const std::int32_t w_ic_base = ic * spec.kernel * spec.kernel;
+      for (int ky = 0; ky < spec.kernel; ++ky) {
+        const int iy = row - spec.padding + ky;
+        if (iy < 0 || iy >= h) continue;
+        const float* g_row =
+            g + static_cast<std::size_t>(iy) * static_cast<std::size_t>(w);
+        const std::int32_t w_ky_base = w_ic_base + ky * spec.kernel;
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ix = col - spec.padding + kx;
+          if (ix < 0 || ix >= w) continue;
+          const float v = g_row[ix];
+          if (v != 0.0f) taps.push_back(Tap{w_ky_base + kx, v});
+        }
+      }
+    }
+    site_ptr[s + 1] = taps.size();
+  }
+
+  // Restore the scratch buffers to all-zero for the next call, touching
+  // only the indices this call wrote.
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    float* g = gathered.data() + static_cast<std::size_t>(ic) * plane;
+    for (const CooEntry& e : input[static_cast<std::size_t>(ic)].entries()) {
+      g[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(w) +
+        static_cast<std::size_t>(e.col)] = 0.0f;
+    }
+  }
+  for (const std::int32_t idx : sites) {
+    active[static_cast<std::size_t>(idx)] = 0;
+  }
+
+  const std::size_t sparse_macs =
+      taps.size() * static_cast<std::size_t>(spec.out_channels);
+
+  // Each output channel reduces the shared tap lists against its own
+  // weight block — independent work, threaded via parallel_for. Channels
+  // are processed in blocks of 4 so each tap is loaded once per block.
+  std::vector<std::vector<CooEntry>> out_entries(
+      static_cast<std::size_t>(spec.out_channels));
+  const float* wraw = weights.raw();
+  const std::size_t w_oc_stride = weights.stride_n();
+  constexpr int kOcBlock = 4;
+  const int oc_blocks = (spec.out_channels + kOcBlock - 1) / kOcBlock;
+  core::parallel_for(0, oc_blocks, [&](int blk) {
+    const int oc0 = blk * kOcBlock;
+    const int oc1 = std::min(spec.out_channels, oc0 + kOcBlock);
+    const int lanes = oc1 - oc0;
+    const float* w_base[kOcBlock] = {};
+    float b[kOcBlock] = {};
+    for (int j = 0; j < lanes; ++j) {
+      w_base[j] = wraw + static_cast<std::size_t>(oc0 + j) * w_oc_stride;
+      b[j] = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc0 + j)];
+      out_entries[static_cast<std::size_t>(oc0 + j)].reserve(sites.size());
+    }
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      float acc[kOcBlock] = {b[0], b[1], b[2], b[3]};
+      for (std::size_t t = site_ptr[s]; t < site_ptr[s + 1]; ++t) {
+        const std::int32_t off = taps[t].w_offset;
+        const float v = taps[t].value;
+        for (int j = 0; j < lanes; ++j) acc[j] += w_base[j][off] * v;
+      }
+      const std::int32_t row = sites[s] / w;
+      const std::int32_t col = sites[s] % w;
+      for (int j = 0; j < lanes; ++j) {
+        if (acc[j] != 0.0f) {
+          out_entries[static_cast<std::size_t>(oc0 + j)].push_back(
+              CooEntry{row, col, acc[j]});
+        }
+      }
+    }
+  });
 
   std::vector<CooChannel> out;
   out.reserve(static_cast<std::size_t>(spec.out_channels));
   for (auto& entries : out_entries) {
-    out.push_back(CooChannel::from_entries(h, w, std::move(entries)));
+    // Entries were produced in site (row-major) order, unique and
+    // non-zero — adopt them without the from_entries sort/dedup pass.
+    out.push_back(CooChannel::from_sorted_entries(h, w, std::move(entries)));
   }
   if (work != nullptr) {
     work->dense_macs += dense_mac_count(spec, h, w);
@@ -196,14 +307,24 @@ std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,
   if (s.n != 1) {
     throw std::invalid_argument("dense_to_channels expects batch 1");
   }
+  const std::size_t plane = dense.stride_c();
+  const float* raw = dense.raw();
   std::vector<CooChannel> channels;
   channels.reserve(static_cast<std::size_t>(s.c));
   for (int c = 0; c < s.c; ++c) {
+    const float* p = raw + static_cast<std::size_t>(c) * plane;
+    // Count first so the entry vector is allocated exactly once.
+    std::size_t nnz = 0;
+    for (std::size_t i = 0; i < plane; ++i) {
+      if (p[i] != 0.0f) ++nnz;
+    }
     std::vector<CooEntry> entries;
+    entries.reserve(nnz);
     for (int y = 0; y < s.h; ++y) {
+      const float* row = p + static_cast<std::size_t>(y) *
+                                 static_cast<std::size_t>(s.w);
       for (int x = 0; x < s.w; ++x) {
-        const float v = dense.at(0, c, y, x);
-        if (v != 0.0f) entries.push_back(CooEntry{y, x, v});
+        if (row[x] != 0.0f) entries.push_back(CooEntry{y, x, row[x]});
       }
     }
     channels.push_back(CooChannel::from_entries(s.h, s.w,
@@ -227,8 +348,10 @@ DenseTensor channels_to_dense(std::span<const CooChannel> channels) {
     if (channels[c].height() != h || channels[c].width() != w) {
       throw std::invalid_argument("channels_to_dense: extent mismatch");
     }
+    float* plane = out.raw() + c * out.stride_c();
     for (const CooEntry& e : channels[c].entries()) {
-      out.at(0, static_cast<int>(c), e.row, e.col) = e.value;
+      plane[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(e.col)] = e.value;
     }
   }
   return out;

@@ -43,6 +43,31 @@ class DenseTensor {
   [[nodiscard]] std::span<float> data() noexcept { return data_; }
   [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
 
+  /// Unchecked raw storage pointer (hot-path kernels; callers own the
+  /// bounds reasoning — tests should keep using the checked at()).
+  [[nodiscard]] float* raw() noexcept { return data_.data(); }
+  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+  /// Row-major NCHW strides, in elements.
+  [[nodiscard]] std::size_t stride_y() const noexcept {
+    return static_cast<std::size_t>(shape_.w);
+  }
+  [[nodiscard]] std::size_t stride_c() const noexcept {
+    return static_cast<std::size_t>(shape_.h) *
+           static_cast<std::size_t>(shape_.w);
+  }
+  [[nodiscard]] std::size_t stride_n() const noexcept {
+    return static_cast<std::size_t>(shape_.c) * stride_c();
+  }
+
+  /// Unchecked flat offset of (n, c, y, x).
+  [[nodiscard]] std::size_t offset(int n, int c, int y, int x) const noexcept {
+    return static_cast<std::size_t>(n) * stride_n() +
+           static_cast<std::size_t>(c) * stride_c() +
+           static_cast<std::size_t>(y) * stride_y() +
+           static_cast<std::size_t>(x);
+  }
+
   /// Deterministic uniform [-range, range) fill from `seed`.
   void fill_random(std::uint64_t seed, float range = 1.0f);
 

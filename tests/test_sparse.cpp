@@ -6,12 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <random>
 #include <set>
+#include <string>
 #include <tuple>
 #include <utility>
 
+#include "core/parallel.hpp"
+#include "nn/kernels.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/reference.hpp"
 #include "sparse/sparse_frame.hpp"
 #include "sparse/sparse_ops.hpp"
 #include "sparse/tensor.hpp"
@@ -344,3 +349,280 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 0), std::make_tuple(3, 1, 1),
                       std::make_tuple(3, 2, 1), std::make_tuple(5, 1, 2),
                       std::make_tuple(5, 2, 2), std::make_tuple(7, 4, 3)));
+
+// ---------------------------------------------------- CSR row index
+
+TEST(CooChannel, RowPtrDelimitsRows) {
+  auto ch = es::CooChannel::from_entries(
+      5, 6, {{0, 2, 1.0f}, {0, 4, 2.0f}, {2, 1, 3.0f}, {4, 5, 4.0f}});
+  const auto& ptr = ch.row_ptr();
+  ASSERT_EQ(ptr.size(), 6u);
+  EXPECT_EQ(ptr[0], 0);
+  EXPECT_EQ(ptr[1], 2);  // row 0 holds two entries
+  EXPECT_EQ(ptr[2], 2);  // row 1 empty
+  EXPECT_EQ(ptr[3], 3);  // row 2 holds one
+  EXPECT_EQ(ptr[5], 4);  // total nnz
+  const auto row0 = ch.row_span(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].col, 2);
+  EXPECT_EQ(row0[1].col, 4);
+  EXPECT_TRUE(ch.row_span(1).empty());
+  EXPECT_THROW((void)ch.row_span(5), std::out_of_range);
+}
+
+TEST(CooChannel, RowPtrInvalidatedByMutation) {
+  auto ch = es::CooChannel::from_entries(4, 4, {{1, 1, 1.0f}});
+  EXPECT_EQ(ch.row_span(2).size(), 0u);
+  ch.accumulate(2, 3, 5.0f);
+  const auto row2 = ch.row_span(2);
+  ASSERT_EQ(row2.size(), 1u);
+  EXPECT_FLOAT_EQ(row2[0].value, 5.0f);
+}
+
+TEST(CooChannel, FromSortedEntriesAdoptsVerbatim) {
+  std::vector<es::CooEntry> entries{{0, 1, 1.0f}, {2, 0, -2.0f}};
+  auto ch = es::CooChannel::from_sorted_entries(4, 4, entries);
+  EXPECT_EQ(ch.nnz(), 2u);
+  EXPECT_FLOAT_EQ(ch.at(2, 0), -2.0f);
+  EXPECT_NO_THROW(ch.validate());
+}
+
+// ------------------------------------------- randomized parity suite
+
+namespace {
+
+// Random sparse channels at roughly `density` over an h x w extent.
+std::vector<es::CooChannel> random_parity_channels(int channels, int h, int w,
+                                                   double density,
+                                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> val(-2.0f, 2.0f);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<es::CooChannel> out;
+  for (int c = 0; c < channels; ++c) {
+    std::vector<es::CooEntry> entries;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (coin(rng) < density) entries.push_back({y, x, val(rng)});
+      }
+    }
+    out.push_back(es::CooChannel::from_entries(h, w, std::move(entries)));
+  }
+  return out;
+}
+
+}  // namespace
+
+// (kernel, stride, padding, density-mille) sweeps pinning the fast
+// kernels against the seed reference implementations.
+class KernelParity
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(KernelParity, SparseConvMatchesReference) {
+  const auto [kernel, stride, padding, dmille] = GetParam();
+  const double density = dmille / 1000.0;
+  const es::Conv2dSpec spec{3, 5, kernel, stride, padding};
+  if (18 + 2 * padding < kernel) GTEST_SKIP();
+  const auto input = random_parity_channels(3, 18, 22, density, 1234);
+  es::DenseTensor w(es::TensorShape{5, 3, kernel, kernel});
+  w.fill_random(7, 0.5f);
+  const std::vector<float> bias{0.1f, -0.2f, 0.3f, -0.4f, 0.5f};
+
+  es::ConvWork work_fast, work_ref;
+  const auto fast = es::sparse_conv2d(input, w, bias, spec, &work_fast);
+  const auto ref =
+      es::reference::sparse_conv2d(input, w, bias, spec, &work_ref);
+  EXPECT_LT(es::max_abs_diff(fast, ref), 1e-4f);
+  EXPECT_EQ(work_fast.sparse_macs, work_ref.sparse_macs);
+  EXPECT_EQ(work_fast.dense_macs, work_ref.dense_macs);
+  EXPECT_EQ(work_fast.nnz_in, work_ref.nnz_in);
+}
+
+TEST_P(KernelParity, DenseConvBothPathsMatchReference) {
+  const auto [kernel, stride, padding, dmille] = GetParam();
+  const double density = dmille / 1000.0;
+  const es::Conv2dSpec spec{3, 4, kernel, stride, padding};
+  if (18 + 2 * padding < kernel) GTEST_SKIP();
+  es::DenseTensor input(es::TensorShape{2, 3, 18, 22});
+  input.fill_random(55);
+  // Sparsify to the requested density so zero-skip paths are exercised.
+  std::mt19937_64 rng(56);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (float& v : input.data()) {
+    if (coin(rng) >= density) v = 0.0f;
+  }
+  es::DenseTensor w(es::TensorShape{4, 3, kernel, kernel});
+  w.fill_random(57, 0.5f);
+  const std::vector<float> bias{0.5f, -0.5f, 0.25f, -0.25f};
+
+  const auto ref = es::reference::conv2d(input, w, bias, spec);
+  EXPECT_LT(es::max_abs_diff(evedge::nn::conv2d_direct(input, w, bias, spec),
+                             ref),
+            1e-4f);
+  EXPECT_LT(es::max_abs_diff(evedge::nn::conv2d_gemm(input, w, bias, spec),
+                             ref),
+            1e-4f);
+  EXPECT_LT(es::max_abs_diff(evedge::nn::conv2d(input, w, bias, spec), ref),
+            1e-4f);
+}
+
+TEST_P(KernelParity, SubmanifoldMatchesReference) {
+  const auto [kernel, stride, padding, dmille] = GetParam();
+  // Submanifold geometry: stride 1, same-extent output.
+  if (stride != 1 || kernel != 2 * padding + 1) GTEST_SKIP();
+  const double density = dmille / 1000.0;
+  const es::Conv2dSpec spec{2, 6, kernel, 1, padding};
+  const auto input = random_parity_channels(2, 20, 24, density, 777);
+  es::DenseTensor w(es::TensorShape{6, 2, kernel, kernel});
+  w.fill_random(17, 0.5f);
+  const std::vector<float> bias{0.1f, 0.0f, -0.1f, 0.2f, 0.0f, -0.2f};
+
+  es::ConvWork work_fast, work_ref;
+  const auto fast = es::submanifold_conv2d(input, w, bias, spec, &work_fast);
+  const auto ref =
+      es::reference::submanifold_conv2d(input, w, bias, spec, &work_ref);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t c = 0; c < fast.size(); ++c) {
+    EXPECT_NO_THROW(fast[c].validate());
+  }
+  EXPECT_LT(es::max_abs_diff(es::channels_to_dense(fast),
+                             es::channels_to_dense(ref)),
+            1e-4f);
+  EXPECT_EQ(work_fast.sparse_macs, work_ref.sparse_macs);
+  EXPECT_EQ(work_fast.dense_macs, work_ref.dense_macs);
+  EXPECT_EQ(work_fast.nnz_in, work_ref.nnz_in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelParity,
+    ::testing::Values(std::make_tuple(1, 1, 0, 50),
+                      std::make_tuple(3, 1, 1, 10),
+                      std::make_tuple(3, 1, 1, 200),
+                      std::make_tuple(3, 2, 1, 50),
+                      std::make_tuple(5, 1, 2, 50),
+                      std::make_tuple(5, 2, 2, 100),
+                      std::make_tuple(7, 1, 3, 30),
+                      std::make_tuple(7, 4, 3, 50)));
+
+// ------------------------------------------ ConvWork MAC accounting
+
+TEST(ConvWork, SubmanifoldMacInvariants) {
+  const es::Conv2dSpec spec{2, 8, 3, 1, 1};
+  const auto input = random_parity_channels(2, 16, 16, 0.1, 99);
+  es::DenseTensor w(es::TensorShape{8, 2, 3, 3});
+  w.fill_random(98, 0.5f);
+  es::ConvWork work;
+  (void)es::submanifold_conv2d(input, w, {}, spec, &work);
+  std::size_t nnz = 0;
+  for (const auto& ch : input) nnz += ch.nnz();
+  EXPECT_EQ(work.nnz_in, nnz);
+  // Every stored non-zero is visible through at most k*k active sites,
+  // each MAC replicated across the 8 output channels.
+  EXPECT_LE(work.sparse_macs, nnz * 9u * 8u);
+  // dense_macs is the full H*W*Cout*Cin*k*k loop nest.
+  EXPECT_EQ(work.dense_macs, 16u * 16u * 8u * 2u * 9u);
+  EXPECT_LE(work.sparse_macs, work.dense_macs);
+  // sparse_macs must count at least the self-tap of every non-zero.
+  EXPECT_GE(work.sparse_macs, nnz * 8u);
+}
+
+TEST(ConvWork, SparseConvMacInvariants) {
+  const es::Conv2dSpec spec{2, 4, 3, 2, 1};
+  const auto input = random_parity_channels(2, 16, 16, 0.1, 101);
+  es::DenseTensor w(es::TensorShape{4, 2, 3, 3});
+  w.fill_random(102, 0.5f);
+  es::ConvWork work;
+  (void)es::sparse_conv2d(input, w, {}, spec, &work);
+  std::size_t nnz = 0;
+  for (const auto& ch : input) nnz += ch.nnz();
+  EXPECT_EQ(work.nnz_in, nnz);
+  EXPECT_LE(work.sparse_macs, nnz * 9u * 4u);
+  EXPECT_GT(work.sparse_macs, 0u);
+  // Accumulating across calls adds, never resets.
+  es::ConvWork twice = work;
+  (void)es::sparse_conv2d(input, w, {}, spec, &twice);
+  EXPECT_EQ(twice.sparse_macs, 2 * work.sparse_macs);
+  EXPECT_EQ(twice.dense_macs, 2 * work.dense_macs);
+}
+
+// ------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    std::vector<int> hits(257, 0);
+    evedge::core::parallel_for(
+        0, 257, [&](int i) { ++hits[static_cast<std::size_t>(i)]; }, threads);
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, DeterministicAcrossThreadCounts) {
+  // Kernels parallelize over disjoint output slices; emulate that shape
+  // and require bitwise-identical results for any worker count.
+  const int n = 1000;
+  std::vector<double> serial(static_cast<std::size_t>(n));
+  evedge::core::parallel_for(
+      0, n,
+      [&](int i) {
+        serial[static_cast<std::size_t>(i)] = std::sqrt(i * 1.000001);
+      },
+      1);
+  for (const int threads : {2, 5, 16}) {
+    std::vector<double> parallel(static_cast<std::size_t>(n));
+    evedge::core::parallel_for(
+        0, n,
+        [&](int i) {
+          parallel[static_cast<std::size_t>(i)] = std::sqrt(i * 1.000001);
+        },
+        threads);
+    EXPECT_EQ(parallel, serial);
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int count = 0;
+  evedge::core::parallel_for(3, 3, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+  evedge::core::parallel_for(5, 6, [&](int i) { count += i; });
+  EXPECT_EQ(count, 5);
+}
+
+// Threaded conv must equal single-threaded conv bit-for-bit.
+// parallel_thread_count() re-reads EVEDGE_THREADS on every call, so the
+// worker count genuinely varies between these runs.
+TEST(ParallelFor, ConvResultsThreadCountInvariant) {
+  const es::Conv2dSpec spec{3, 8, 3, 1, 1};
+  es::DenseTensor input(es::TensorShape{1, 3, 32, 32});
+  input.fill_random(5);
+  es::DenseTensor w(es::TensorShape{8, 3, 3, 3});
+  w.fill_random(6, 0.4f);
+  const char* saved = std::getenv("EVEDGE_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ASSERT_EQ(setenv("EVEDGE_THREADS", "1", 1), 0);
+  const auto serial = evedge::nn::conv2d_gemm(input, w, {}, spec);
+  for (const char* threads : {"2", "3", "7"}) {
+    ASSERT_EQ(setenv("EVEDGE_THREADS", threads, 1), 0);
+    EXPECT_EQ(evedge::core::parallel_thread_count(), std::atoi(threads));
+    const auto parallel = evedge::nn::conv2d_gemm(input, w, {}, spec);
+    EXPECT_FLOAT_EQ(es::max_abs_diff(parallel, serial), 0.0f)
+        << "conv2d_gemm diverged at EVEDGE_THREADS=" << threads;
+  }
+  if (saved != nullptr) {
+    setenv("EVEDGE_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("EVEDGE_THREADS");
+  }
+}
+
+// A throw inside a parallel_for body must propagate to the caller (not
+// std::terminate) and every thread must be joined first.
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  EXPECT_THROW(
+      evedge::core::parallel_for(
+          0, 64,
+          [](int i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
