@@ -1,0 +1,269 @@
+// End-to-end sparse-network execution benchmark: times three execution
+// strategies for a 3-sparse-layer network (submanifold -> strided sparse
+// conv -> submanifold) at DAVIS346 scale across event densities, on a
+// DSFA-style merge batch of frames:
+//
+//   batch1      per-frame calls with the legacy densify/sparsify chain
+//               (sparse_conv2d emits dense, dense_to_channels re-encodes)
+//   batched     batched kernels, still paying the densify/sparsify
+//               round-trip between the strided and submanifold layers
+//   csr_chain   batched kernels chained through sparse_conv2d_csr_batch —
+//               sparse end to end, no dense round-trip, shared Workspace
+//
+// The batched/CSR outputs are checked bitwise against the per-sample CSR
+// chain (batched == batch-1 by construction) and against the legacy chain
+// to 1e-4. Results go to BENCH_e2e.json (CI artifact); the bench exits
+// non-zero on any parity failure.
+//
+// Usage: bench_e2e [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "nn/kernels.hpp"
+#include "sparse/sparse_ops.hpp"
+#include "sparse/tensor.hpp"
+#include "sparse/workspace.hpp"
+
+namespace es = evedge::sparse;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-N wall time in milliseconds.
+double time_ms(const std::function<void()>& fn, int reps) {
+  fn();  // warm-up
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+es::SparseSample random_sample(int channels, int h, int w, double density,
+                               std::uint64_t seed) {
+  es::DenseTensor dense(es::TensorShape{1, channels, h, w});
+  dense.fill_random(seed);
+  const auto keep_every =
+      density > 0.0 ? static_cast<std::size_t>(1.0 / density) : dense.size();
+  std::size_t i = 0;
+  for (float& v : dense.data()) {
+    if (i++ % keep_every != 0) v = 0.0f;
+  }
+  return es::dense_to_channels(dense);
+}
+
+/// Re-encodes every sample slice of a batched dense output back into COO
+/// channels (the per-layer cost CSR chaining removes from the legacy
+/// strided path).
+[[nodiscard]] std::vector<es::SparseSample> sparsify_batch(
+    const es::DenseTensor& d) {
+  std::vector<es::SparseSample> out(static_cast<std::size_t>(d.shape().n));
+  const std::size_t plane = d.stride_c();
+  for (int n = 0; n < d.shape().n; ++n) {
+    es::SparseSample channels;
+    channels.reserve(static_cast<std::size_t>(d.shape().c));
+    for (int c = 0; c < d.shape().c; ++c) {
+      const float* p = d.raw() + static_cast<std::size_t>(n) * d.stride_n() +
+                       static_cast<std::size_t>(c) * plane;
+      std::vector<es::CooEntry> entries;
+      for (int y = 0; y < d.shape().h; ++y) {
+        for (int x = 0; x < d.shape().w; ++x) {
+          const float v = p[static_cast<std::size_t>(y) *
+                                static_cast<std::size_t>(d.shape().w) +
+                            static_cast<std::size_t>(x)];
+          if (v != 0.0f) entries.push_back(es::CooEntry{y, x, v});
+        }
+      }
+      channels.push_back(es::CooChannel::from_sorted_entries(
+          d.shape().h, d.shape().w, std::move(entries)));
+    }
+    out[static_cast<std::size_t>(n)] = std::move(channels);
+  }
+  return out;
+}
+
+/// The 3-sparse-layer encoder under test (the regime where activations
+/// stay sparse — chaining pays off before the active set densifies).
+/// DAVIS346 event input: 2 channels at 260x346;
+///   L1 submanifold 2->16 k3     @260x346
+///   L2 sparse conv 16->32 k3s2  @130x173 (strided)
+///   L3 submanifold 32->32 k3    @130x173
+struct Net {
+  es::Conv2dSpec l1{2, 16, 3, 1, 1};
+  es::Conv2dSpec l2{16, 32, 3, 2, 1};
+  es::Conv2dSpec l3{32, 32, 3, 1, 1};
+  es::DenseTensor w1, w2, w3;
+
+  Net() {
+    w1 = es::DenseTensor(es::TensorShape{16, 2, 3, 3});
+    w2 = es::DenseTensor(es::TensorShape{32, 16, 3, 3});
+    w3 = es::DenseTensor(es::TensorShape{32, 32, 3, 3});
+    w1.fill_random(41, 0.2f);
+    w2.fill_random(42, 0.1f);
+    w3.fill_random(43, 0.1f);
+  }
+
+  /// Legacy chain, one sample: dense round-trip after the strided layer.
+  [[nodiscard]] es::SparseSample run_legacy(const es::SparseSample& in) const {
+    const auto a1 = es::submanifold_conv2d(in, w1, {}, l1);
+    const auto a2 = es::dense_to_channels(es::sparse_conv2d(a1, w2, {}, l2));
+    return es::submanifold_conv2d(a2, w3, {}, l3);
+  }
+
+  /// CSR chain, one sample (the batch-1 reference for bit-matching).
+  [[nodiscard]] es::SparseSample run_csr1(const es::SparseSample& in,
+                                          es::Workspace* ws) const {
+    const auto a1 = es::submanifold_conv2d(in, w1, {}, l1, nullptr, ws);
+    const auto a2 = es::sparse_conv2d_csr(a1, w2, {}, l2, nullptr, ws);
+    return es::submanifold_conv2d(a2, w3, {}, l3, nullptr, ws);
+  }
+
+  /// Batched kernels with the legacy densify/sparsify round-trip.
+  [[nodiscard]] std::vector<es::SparseSample> run_batched_legacy(
+      std::span<const es::SparseSample> in, es::Workspace* ws) const {
+    const auto a1 = es::submanifold_conv2d_batch(in, w1, {}, l1, nullptr, ws);
+    const auto a2 = sparsify_batch(es::sparse_conv2d_batch(a1, w2, {}, l2));
+    return es::submanifold_conv2d_batch(a2, w3, {}, l3, nullptr, ws);
+  }
+
+  /// CSR-chained batched execution: sparse end to end.
+  [[nodiscard]] std::vector<es::SparseSample> run_csr_batched(
+      std::span<const es::SparseSample> in, es::Workspace* ws) const {
+    const auto a1 = es::submanifold_conv2d_batch(in, w1, {}, l1, nullptr, ws);
+    const auto a2 = es::sparse_conv2d_csr_batch(a1, w2, {}, l2, nullptr, ws);
+    return es::submanifold_conv2d_batch(a2, w3, {}, l3, nullptr, ws);
+  }
+};
+
+struct Result {
+  double density = 0.0;
+  int batch = 0;
+  double batch1_ms = 0.0;
+  double batched_ms = 0.0;
+  double csr_ms = 0.0;
+  double bit_diff = 0.0;     ///< batched CSR vs per-sample CSR (must be 0)
+  double legacy_diff = 0.0;  ///< CSR chain vs legacy chain (<= 1e-4)
+
+  [[nodiscard]] double speedup_batched() const {
+    return batched_ms > 0.0 ? batch1_ms / batched_ms : 0.0;
+  }
+  [[nodiscard]] double speedup_csr() const {
+    return csr_ms > 0.0 ? batch1_ms / csr_ms : 0.0;
+  }
+};
+
+[[nodiscard]] bool write_json(const std::vector<Result>& results,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"threads\": %d,\n  \"network\": "
+               "\"subm2x16k3 -> sparse16x32k3s2 -> subm32x32k3 @260x346\",\n"
+               "  \"results\": [\n",
+               evedge::core::parallel_thread_count());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"density\": %.4f, \"batch\": %d, \"batch1_ms\": %.4f, "
+        "\"batched_ms\": %.4f, \"csr_ms\": %.4f, \"speedup_batched\": %.2f, "
+        "\"speedup_csr\": %.2f, \"bit_diff\": %.3g, \"legacy_diff\": "
+        "%.3g}%s\n",
+        r.density, r.batch, r.batch1_ms, r.batched_ms, r.csr_ms,
+        r.speedup_batched(), r.speedup_csr(), r.bit_diff, r.legacy_diff,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+[[nodiscard]] double sample_diff(const es::SparseSample& a,
+                                 const es::SparseSample& b) {
+  return es::max_abs_diff(es::channels_to_dense(a), es::channels_to_dense(b));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_e2e.json";
+  constexpr int kBatch = 4;
+  constexpr int kH = 260;
+  constexpr int kW = 346;
+
+  Net net;
+  std::vector<Result> results;
+
+  std::printf("e2e batched/CSR benchmark (threads=%d, batch=%d)\n",
+              evedge::core::parallel_thread_count(), kBatch);
+  std::printf("%8s %10s %10s %10s %9s %9s %10s %10s\n", "density",
+              "batch1_ms", "batched_ms", "csr_ms", "b_speed", "c_speed",
+              "bit_diff", "leg_diff");
+
+  bool parity_ok = true;
+  for (const double density : {0.005, 0.01, 0.02, 0.05}) {
+    std::vector<es::SparseSample> batch;
+    for (int n = 0; n < kBatch; ++n) {
+      batch.push_back(random_sample(
+          2, kH, kW, density, 100 + static_cast<std::uint64_t>(n)));
+    }
+
+    es::Workspace ws;
+    Result r;
+    r.density = density;
+    r.batch = kBatch;
+    r.batch1_ms = time_ms(
+        [&] {
+          for (const es::SparseSample& s : batch) (void)net.run_legacy(s);
+        },
+        5);
+    r.batched_ms =
+        time_ms([&] { (void)net.run_batched_legacy(batch, &ws); }, 5);
+    r.csr_ms = time_ms([&] { (void)net.run_csr_batched(batch, &ws); }, 5);
+
+    // Parity: batched CSR chain must bit-match the per-sample CSR chain,
+    // and stay within 1e-4 of the legacy densify/sparsify chain.
+    const auto csr_batched = net.run_csr_batched(batch, &ws);
+    for (int n = 0; n < kBatch; ++n) {
+      const auto one =
+          net.run_csr1(batch[static_cast<std::size_t>(n)], &ws);
+      r.bit_diff = std::max(
+          r.bit_diff, sample_diff(csr_batched[static_cast<std::size_t>(n)],
+                                  one));
+      const auto legacy = net.run_legacy(batch[static_cast<std::size_t>(n)]);
+      r.legacy_diff = std::max(
+          r.legacy_diff,
+          sample_diff(csr_batched[static_cast<std::size_t>(n)], legacy));
+    }
+    if (r.bit_diff != 0.0 || r.legacy_diff > 1e-4) parity_ok = false;
+
+    std::printf("%8.4f %10.3f %10.3f %10.3f %8.2fx %8.2fx %10.3g %10.3g\n",
+                r.density, r.batch1_ms, r.batched_ms, r.csr_ms,
+                r.speedup_batched(), r.speedup_csr(), r.bit_diff,
+                r.legacy_diff);
+    std::fflush(stdout);
+    results.push_back(r);
+  }
+
+  const bool wrote = write_json(results, out_path);
+  if (!parity_ok) {
+    std::fprintf(stderr,
+                 "parity failure: batched CSR chain diverged (see table)\n");
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

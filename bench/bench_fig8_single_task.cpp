@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/batch_executor.hpp"
 #include "core/pipeline.hpp"
 #include "core/runtime.hpp"
 #include "events/density_profile.hpp"
@@ -55,9 +56,10 @@ int main() {
       "Figure 8: single-task speedup and energy gain vs all-GPU dense "
       "baseline (indoor_flying-like stream)");
 
-  std::printf("%-20s %-9s %-9s %-9s %-9s %-10s\n", "network", "+E2SF",
-              "+DSFA", "EvEdge", "energy", "merge");
-  eb::print_rule(72);
+  std::printf("%-20s %-9s %-9s %-9s %-9s %-10s %-8s %-9s\n", "network",
+              "+E2SF", "+DSFA", "EvEdge", "energy", "merge", "fbatch",
+              "ms/batch");
+  eb::print_rule(88);
 
   const auto stream = eb::make_davis_stream(
       ee::DensityProfile::indoor_flying2(), 4'000'000, 21);
@@ -115,11 +117,18 @@ int main() {
     const auto dsfa = ec::simulate_pipeline(stream, spec, gpu_mapping,
                                             platform, densities, dsfa_cfg);
 
+    // The full Ev-Edge run additionally executes every dispatched batch
+    // on the real batched kernels (reduced accuracy-scale functional
+    // twin, DAVIS frames downsampled to its input extent).
+    en::FunctionalNetwork fnet(
+        en::build_network(id, options.accuracy_scale), options.seed);
+    ec::BatchExecutor executor(fnet);
     ec::PipelineConfig full_cfg;
     full_cfg.use_e2sf = true;
     full_cfg.use_dsfa = true;
     full_cfg.dsfa = options.dsfa;
     full_cfg.frame_rate_hz = frame_rate_hz;
+    full_cfg.executor = &executor;
     const auto full = ec::simulate_pipeline(
         stream, spec, runtime.mapping(), platform, densities, full_cfg);
 
@@ -141,11 +150,12 @@ int main() {
     min_speed = std::min(min_speed, s_full);
     max_speed = std::max(max_speed, s_full);
 
-    std::printf("%-20s %-9.2f %-9.2f %-9.2f %-9.2f %-10.2f\n",
+    std::printf("%-20s %-9.2f %-9.2f %-9.2f %-9.2f %-10.2f %-8.2f %-9.3f\n",
                 spec.name.c_str(), s_e2sf, s_dsfa, s_full, e_full,
-                dsfa.dsfa.mean_merge_factor());
+                dsfa.dsfa.mean_merge_factor(), executor.stats().mean_batch(),
+                executor.stats().mean_ms_per_batch());
   }
-  eb::print_rule(72);
+  eb::print_rule(88);
   std::printf(
       "combined speedup spread: %.2fx - %.2fx (paper: 1.28x - 2.05x "
       "latency, 1.23x - 2.15x energy)\n",

@@ -151,6 +151,79 @@ Result bench_submanifold(const std::string& label, int h, int w,
   return r;
 }
 
+/// Forces one threading axis of the submanifold reduction (the kAuto
+/// heuristic picks per shape; CI's multi-core runs show the axis split).
+Result bench_submanifold_axis(const std::string& label, int h, int w,
+                              int in_channels, int out_channels, int kernel,
+                              double density, es::SubmanifoldThreading mode,
+                              int ref_reps, int fast_reps) {
+  const es::Conv2dSpec spec{in_channels, out_channels, kernel, 1,
+                            (kernel - 1) / 2};
+  const auto input = random_channels(in_channels, h, w, density, 31);
+  es::DenseTensor weights(
+      es::TensorShape{out_channels, in_channels, kernel, kernel});
+  weights.fill_random(32, 0.2f);
+  es::Workspace ws;
+
+  Result r;
+  r.kernel = mode == es::SubmanifoldThreading::kActiveSites
+                 ? "submanifold_sites"
+                 : "submanifold_oc";
+  r.shape = label;
+  r.density = density;
+  r.ref_ms = time_ms(
+      [&] { (void)es::reference::submanifold_conv2d(input, weights, {}, spec); },
+      ref_reps);
+  r.fast_ms = time_ms(
+      [&] {
+        (void)es::submanifold_conv2d(input, weights, {}, spec, nullptr, &ws,
+                                     mode);
+      },
+      fast_reps);
+  r.max_abs_diff = es::max_abs_diff(
+      es::channels_to_dense(es::submanifold_conv2d(input, weights, {}, spec,
+                                                   nullptr, &ws, mode)),
+      es::channels_to_dense(
+          es::reference::submanifold_conv2d(input, weights, {}, spec)));
+  return r;
+}
+
+/// CSR-output strided sparse conv vs the seed path a sparse consumer
+/// needs: dense-output scatter followed by the dense_to_channels
+/// re-encode (the round-trip CSR chaining removes).
+Result bench_sparse_csr(const std::string& label, int h, int w,
+                        int in_channels, int out_channels, int kernel,
+                        int stride, int padding, double density, int ref_reps,
+                        int fast_reps) {
+  const es::Conv2dSpec spec{in_channels, out_channels, kernel, stride,
+                            padding};
+  const auto input = random_channels(in_channels, h, w, density, 21);
+  es::DenseTensor weights(
+      es::TensorShape{out_channels, in_channels, kernel, kernel});
+  weights.fill_random(22, 0.2f);
+  es::Workspace ws;
+
+  Result r;
+  r.kernel = "sparse_conv2d_csr";
+  r.shape = label;
+  r.density = density;
+  r.ref_ms = time_ms(
+      [&] {
+        (void)es::dense_to_channels(
+            es::reference::sparse_conv2d(input, weights, {}, spec));
+      },
+      ref_reps);
+  r.fast_ms = time_ms(
+      [&] { (void)es::sparse_conv2d_csr(input, weights, {}, spec, nullptr,
+                                        &ws); },
+      fast_reps);
+  r.max_abs_diff = es::max_abs_diff(
+      es::channels_to_dense(
+          es::sparse_conv2d_csr(input, weights, {}, spec, nullptr, &ws)),
+      es::reference::sparse_conv2d(input, weights, {}, spec));
+  return r;
+}
+
 [[nodiscard]] bool write_json(const std::vector<Result>& results,
                               const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -216,6 +289,20 @@ int main(int argc, char** argv) {
   for (const double d : {0.005, 0.01, 0.02, 0.05}) {
     report(bench_submanifold("2x260x346 -> 16 k3", 260, 346, 2, 16, 3, d, 3,
                              9));
+  }
+
+  // --- CSR-output strided sparse conv (the densify-free chain link).
+  for (const double d : {0.005, 0.02, 0.05}) {
+    report(bench_sparse_csr("2x260x346 -> 16 k3s2", 260, 346, 2, 16, 3, 2, 1,
+                            d, 3, 9));
+  }
+
+  // --- Submanifold threading axes on a wide-channel mid-pyramid shape
+  // (the per-shape kAuto choice; identical results, different split).
+  for (const auto mode : {es::SubmanifoldThreading::kOutputChannels,
+                          es::SubmanifoldThreading::kActiveSites}) {
+    report(bench_submanifold_axis("16x130x173 -> 32 k3", 130, 173, 16, 32, 3,
+                                  0.02, mode, 3, 9));
   }
 
   const bool wrote = write_json(results, out_path);

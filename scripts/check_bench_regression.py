@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Kernel-bench perf regression gate.
+
+Compares a freshly produced BENCH_kernels.json against the checked-in
+baseline and fails (exit 1) when any kernel's speedup dropped by more
+than the threshold. Speedup (ref_ms / fast_ms) is measured against the
+seed reference kernels on the same machine in the same run, so the
+ratio is largely machine-speed invariant — a drop means the fast path
+itself regressed relative to the reference work.
+
+Records are keyed by (kernel, shape, density). Keys present only in the
+fresh run (newly added benches) are reported but do not gate; keys
+missing from the fresh run fail the gate (a silently dropped bench must
+not pass as "no regression").
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for r in data["results"]:
+        key = (r["kernel"], r["shape"], round(float(r["density"]), 6))
+        out[key] = float(r["speedup"])
+    return out, int(data.get("threads", 0))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional speedup drop")
+    args = parser.parse_args()
+
+    base, base_threads = load(args.baseline)
+    fresh, fresh_threads = load(args.fresh)
+    if base_threads != fresh_threads:
+        # Extra fast-path threads would mask real regressions (the seed
+        # reference is single-threaded either way).
+        print(f"thread-count mismatch: baseline ran with {base_threads} "
+              f"threads, fresh run with {fresh_threads} — regenerate one "
+              f"side (EVEDGE_THREADS pins the worker count)",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'kernel':<24} {'shape':<28} {'density':>8} "
+          f"{'base':>8} {'fresh':>8} {'ratio':>7}")
+    for key in sorted(base):
+        kernel, shape, density = key
+        if key not in fresh:
+            failures.append(f"missing from fresh run: {key}")
+            continue
+        b, f = base[key], fresh[key]
+        ratio = f / b if b > 0 else float("inf")
+        flag = "  FAIL" if ratio < 1.0 - args.threshold else ""
+        print(f"{kernel:<24} {shape:<28} {density:>8.4f} "
+              f"{b:>7.2f}x {f:>7.2f}x {ratio:>7.2f}{flag}")
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{kernel} {shape} density={density}: speedup "
+                f"{b:.2f}x -> {f:.2f}x ({(1.0 - ratio) * 100:.0f}% drop)")
+    for key in sorted(set(fresh) - set(base)):
+        print(f"{key[0]:<24} {key[1]:<28} {key[2]:>8.4f} "
+              f"{'new':>8} {fresh[key]:>7.2f}x")
+
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED "
+              f"(>{args.threshold * 100:.0f}% speedup drop):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate OK: no kernel dropped more than "
+          f"{args.threshold * 100:.0f}% vs baseline "
+          f"({len(base)} gated, {len(set(fresh) - set(base))} new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

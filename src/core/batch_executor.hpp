@@ -1,0 +1,68 @@
+#pragma once
+
+// BatchExecutor: routes DSFA-dispatched merge batches through the REAL
+// batched functional path (FunctionalNetwork::run_batched) instead of
+// only the analytic cost model. The pipeline simulation stays the timing
+// authority; attaching an executor (PipelineConfig::executor) makes every
+// dispatched batch additionally execute on live kernels, so the fig8/fig9
+// harnesses exercise the batched engine end to end and report measured
+// wall time per batch alongside the modeled latency.
+//
+// Input adaptation: merged frames arrive at sensor geometry while the
+// functional network usually runs at a reduced accuracy scale. Each
+// frame's COO entries are integer-downsampled (coordinate division, value
+// accumulation) and center-aligned to the network's event-input extent;
+// the merged frame then fills every event bin slot of the input
+// representation (bin-level reconstruction is e2e_accuracy's job — here
+// the goal is driving the batched compute path with live merged data).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dsfa.hpp"
+#include "nn/engine.hpp"
+
+namespace evedge::core {
+
+struct BatchExecutorStats {
+  std::size_t batches = 0;
+  std::size_t samples = 0;
+  double wall_ms = 0.0;
+
+  [[nodiscard]] double mean_batch() const noexcept {
+    return batches > 0 ? static_cast<double>(samples) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+  [[nodiscard]] double mean_ms_per_batch() const noexcept {
+    return batches > 0 ? wall_ms / static_cast<double>(batches) : 0.0;
+  }
+};
+
+class BatchExecutor {
+ public:
+  /// The network must outlive the executor. Two-input networks get a
+  /// fixed deterministic grayscale image (seeded like e2e_accuracy's).
+  explicit BatchExecutor(nn::FunctionalNetwork& net);
+
+  /// Executes one dispatched batch (one sample per merged frame) through
+  /// run_batched. Returns the [N, ...] output (valid until the next
+  /// call).
+  const sparse::DenseTensor& execute(
+      const std::vector<sparse::SparseFrame>& frames);
+
+  [[nodiscard]] const BatchExecutorStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  nn::FunctionalNetwork& net_;
+  sparse::TensorShape event_shape_;  ///< per-timestep event input (n = 1)
+  bool needs_image_ = false;
+  sparse::DenseTensor image_;
+  sparse::DenseTensor last_output_;
+  std::vector<sparse::DenseTensor> steps_;  ///< reused staging tensors
+  BatchExecutorStats stats_;
+};
+
+}  // namespace evedge::core

@@ -5,6 +5,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "core/batch_executor.hpp"
+
 namespace evedge::core {
 
 namespace {
@@ -82,6 +84,17 @@ PipelineStats simulate_frame_pipeline(
 
   const auto run_batch = [&](std::vector<sparse::SparseFrame>&& frames) {
     if (frames.empty()) return;
+    if (config.executor != nullptr) {
+      // Real batched execution of the dispatched merge batch; the
+      // executor owns the bookkeeping (one wall-time definition:
+      // run_batched only) and the pipeline accumulates its deltas.
+      const BatchExecutorStats before = config.executor->stats();
+      (void)config.executor->execute(frames);
+      const BatchExecutorStats& after = config.executor->stats();
+      stats.functional_batches += after.batches - before.batches;
+      stats.functional_samples += after.samples - before.samples;
+      stats.functional_wall_ms += after.wall_ms - before.wall_ms;
+    }
     double density = 0.0;
     double newest_arrival = 0.0;
     for (const sparse::SparseFrame& f : frames) {

@@ -22,6 +22,8 @@
 
 namespace evedge::core {
 
+class BatchExecutor;
+
 struct PipelineConfig {
   E2sfConfig e2sf{};
   DsfaConfig dsfa{};
@@ -33,6 +35,11 @@ struct PipelineConfig {
   /// false in spirit; exposed for the ablation bench.
   bool charge_encode_overhead = false;
   double frame_rate_hz = 30.0;  ///< grayscale (APS) frame clock
+  /// When non-null, every dispatched batch is additionally executed on
+  /// the real batched functional path (FunctionalNetwork::run_batched via
+  /// BatchExecutor); measured wall time lands in the functional_* stats.
+  /// The analytic cost model remains the simulation's timing authority.
+  BatchExecutor* executor = nullptr;
 };
 
 struct PipelineStats {
@@ -56,6 +63,10 @@ struct PipelineStats {
   double total_energy_mj = 0.0;  ///< including idle power over the run
   double sim_span_us = 0.0;
   DsfaStats dsfa;
+  /// Real batched execution (only when PipelineConfig::executor is set).
+  std::size_t functional_batches = 0;
+  std::size_t functional_samples = 0;
+  double functional_wall_ms = 0.0;
 
   [[nodiscard]] double energy_per_inference_mj() const noexcept {
     return inferences > 0

@@ -1,5 +1,6 @@
 #include "nn/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -140,8 +141,52 @@ void FunctionalNetwork::reset_spiking_state() {
   }
 }
 
+void FunctionalNetwork::ensure_lif_batch(int batch) {
+  for (const LayerNode& node : spec_.graph.nodes()) {
+    const auto idx = static_cast<std::size_t>(node.id);
+    if (!is_spiking_[idx] || lif_[idx].shape().n == batch) continue;
+    const LayerSpec& ls = node.spec;
+    // Independent per-sample membranes: the LIF update is elementwise,
+    // so batching the state shape is all per-sample isolation needs.
+    lif_[idx] = LifState(
+        TensorShape{batch, ls.out_shape.c, ls.out_shape.h, ls.out_shape.w},
+        ls.lif, channel_leak_[idx], channel_threshold_[idx]);
+  }
+}
+
 DenseTensor FunctionalNetwork::run(std::span<const DenseTensor> event_steps,
                                    const DenseTensor* image) {
+  return run_impl(event_steps, image, 1);
+}
+
+DenseTensor FunctionalNetwork::run_batched(
+    std::span<const DenseTensor> event_steps, const DenseTensor* image) {
+  if (event_steps.empty()) {
+    throw std::invalid_argument("run_batched: no event steps");
+  }
+  const int batch = event_steps[0].shape().n;
+  for (const DenseTensor& step : event_steps) {
+    if (step.shape().n != batch) {
+      throw std::invalid_argument("run_batched: inconsistent batch sizes");
+    }
+  }
+  if (image != nullptr && image->shape().n == 1 && batch > 1) {
+    // Tile the (batch-invariant) image across the batch once.
+    const TensorShape& is = image->shape();
+    image_batch_.reset(TensorShape{batch, is.c, is.h, is.w});
+    const std::size_t block = image->stride_n();
+    for (int n = 0; n < batch; ++n) {
+      std::copy(image->raw(), image->raw() + block,
+                image_batch_.raw() + static_cast<std::size_t>(n) * block);
+    }
+    image = &image_batch_;
+  }
+  return run_impl(event_steps, image, batch);
+}
+
+DenseTensor FunctionalNetwork::run_impl(
+    std::span<const DenseTensor> event_steps, const DenseTensor* image,
+    int batch) {
   const std::vector<int> inputs = spec_.graph.input_ids();
   const std::vector<int> outputs = spec_.graph.output_ids();
   if (static_cast<int>(event_steps.size()) != spec_.timesteps) {
@@ -152,22 +197,28 @@ DenseTensor FunctionalNetwork::run(std::span<const DenseTensor> event_steps,
   if (inputs.size() > 1 && image == nullptr) {
     throw std::invalid_argument("run: network requires an image input");
   }
+  ensure_lif_batch(batch);
   reset_spiking_state();
 
   DenseTensor accumulated;
-  std::vector<DenseTensor> values(spec_.graph.size());
+  values_.resize(spec_.graph.size());
+  std::vector<DenseTensor>& values = values_;
 
   for (int t = 0; t < spec_.timesteps; ++t) {
     const DenseTensor& step = event_steps[static_cast<std::size_t>(t)];
     for (const LayerNode& node : spec_.graph.nodes()) {
       const LayerSpec& ls = node.spec;
       const auto idx = static_cast<std::size_t>(node.id);
-      DenseTensor out;
+      // Node outputs land in the persistent per-node buffer, so steady
+      // state reuses the previous call's allocations.
+      DenseTensor& out = values[idx];
       switch (ls.kind) {
         case LayerKind::kInput: {
           const bool is_event_input = node.id == inputs.front();
           const DenseTensor& src = is_event_input ? step : *image;
-          if (!(src.shape() == ls.out_shape)) {
+          const TensorShape& ss = src.shape();
+          if (ss.n != batch || ss.c != ls.out_shape.c ||
+              ss.h != ls.out_shape.h || ss.w != ls.out_shape.w) {
             throw std::invalid_argument("run: input shape mismatch at '" +
                                         ls.name + "'");
           }
@@ -175,8 +226,8 @@ DenseTensor FunctionalNetwork::run(std::span<const DenseTensor> event_steps,
           break;
         }
         case LayerKind::kConv: {
-          out = conv2d(values[static_cast<std::size_t>(node.parents[0])],
-                       weights_[idx], biases_[idx], ls.conv);
+          conv2d_into(values[static_cast<std::size_t>(node.parents[0])],
+                      weights_[idx], biases_[idx], ls.conv, out, &workspace_);
           if (ls.relu_after) relu_inplace(out);
           break;
         }
@@ -189,10 +240,10 @@ DenseTensor FunctionalNetwork::run(std::span<const DenseTensor> event_steps,
         }
         case LayerKind::kSpikingConv:
         case LayerKind::kAdaptiveSpikingConv: {
-          DenseTensor current =
-              conv2d(values[static_cast<std::size_t>(node.parents[0])],
-                     weights_[idx], biases_[idx], ls.conv);
-          out = lif_[idx].step(current);
+          conv2d_into(values[static_cast<std::size_t>(node.parents[0])],
+                      weights_[idx], biases_[idx], ls.conv, conv_scratch_,
+                      &workspace_);
+          out = lif_[idx].step(conv_scratch_);
           break;
         }
         case LayerKind::kFullyConnected:
@@ -241,7 +292,6 @@ DenseTensor FunctionalNetwork::run(std::span<const DenseTensor> event_steps,
           ls.kind != LayerKind::kOutput) {
         activation_hook_(node.id, out);
       }
-      values[idx] = std::move(out);
     }
 
     const DenseTensor& step_out =

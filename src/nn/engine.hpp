@@ -19,6 +19,7 @@
 
 #include "nn/graph.hpp"
 #include "nn/lif.hpp"
+#include "sparse/workspace.hpp"
 
 namespace evedge::nn {
 
@@ -33,6 +34,17 @@ class FunctionalNetwork {
   /// has a second input, must match its shape. Returns the output-node
   /// tensor averaged over timesteps.
   [[nodiscard]] sparse::DenseTensor run(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image = nullptr);
+
+  /// Batched inference over a DSFA merge batch: every tensor in
+  /// `event_steps` is [N, C, H, W] (all with the same N) and the result
+  /// is the [N, ...] output tensor whose sample n is bitwise identical
+  /// to run() over sample n alone — the batch dimension threads through
+  /// every kernel without changing per-sample arithmetic. Spiking layers
+  /// keep independent per-sample membrane state. `image`, when required,
+  /// may be [1, ...] (tiled across the batch) or [N, ...].
+  [[nodiscard]] sparse::DenseTensor run_batched(
       std::span<const sparse::DenseTensor> event_steps,
       const sparse::DenseTensor* image = nullptr);
 
@@ -58,8 +70,21 @@ class FunctionalNetwork {
   /// Mean firing rate across all spiking nodes over the last run().
   [[nodiscard]] double network_firing_rate() const;
 
+  /// The scratch arena threaded through every kernel this network runs
+  /// (im2col columns, gather rows, ...). Exposed for observability —
+  /// tests assert it stops growing once warm.
+  [[nodiscard]] const sparse::Workspace& workspace() const noexcept {
+    return workspace_;
+  }
+
  private:
   void reset_spiking_state();
+  /// Rebuilds spiking state at the requested batch size (no-op when it
+  /// already matches).
+  void ensure_lif_batch(int batch);
+  [[nodiscard]] sparse::DenseTensor run_impl(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image, int batch);
 
   NetworkSpec spec_;
   std::vector<sparse::DenseTensor> weights_;   // per node (empty if none)
@@ -69,6 +94,13 @@ class FunctionalNetwork {
   std::vector<LifState> lif_;                  // per node (spiking only)
   std::vector<bool> is_spiking_;
   ActivationHook activation_hook_;
+  // Steady-state buffers: per-node activations, the spiking-conv synaptic
+  // current staging tensor and the kernel scratch arena are all reused
+  // across run() calls (and across the samples of a batched run).
+  sparse::Workspace workspace_;
+  std::vector<sparse::DenseTensor> values_;
+  sparse::DenseTensor conv_scratch_;
+  sparse::DenseTensor image_batch_;
 };
 
 /// Center-crops `t` spatially to (h, w); h/w must not exceed the extents.

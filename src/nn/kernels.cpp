@@ -74,16 +74,30 @@ bool conv2d_uses_gemm(const TensorShape& input,
          patch * pixels <= (std::size_t{1} << 27);
 }
 
-DenseTensor conv2d_direct(const DenseTensor& input, const DenseTensor& weights,
-                          std::span<const float> bias,
-                          const Conv2dSpec& spec) {
+namespace {
+
+/// Shared entry bookkeeping for the _into paths: validates, shapes `out`
+/// (reusing its buffer) and rejects aliasing.
+void prepare_out(const DenseTensor& input, const DenseTensor& weights,
+                 std::span<const float> bias, const Conv2dSpec& spec,
+                 DenseTensor& out, int& out_h, int& out_w) {
   validate_conv_inputs(input, weights, bias, spec, "conv2d");
+  if (&out == &input || &out == &weights) {
+    throw std::invalid_argument("conv2d_into: out must not alias an input");
+  }
   const TensorShape& is = input.shape();
-  const int out_h =
-      conv_out_extent(is.h, spec.kernel, spec.stride, spec.padding);
-  const int out_w =
-      conv_out_extent(is.w, spec.kernel, spec.stride, spec.padding);
-  DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
+  out_h = conv_out_extent(is.h, spec.kernel, spec.stride, spec.padding);
+  out_w = conv_out_extent(is.w, spec.kernel, spec.stride, spec.padding);
+  out.reset(TensorShape{is.n, spec.out_channels, out_h, out_w});
+}
+
+void conv2d_direct_into(const DenseTensor& input, const DenseTensor& weights,
+                        std::span<const float> bias, const Conv2dSpec& spec,
+                        DenseTensor& out) {
+  int out_h = 0;
+  int out_w = 0;
+  prepare_out(input, weights, bias, spec, out, out_h, out_w);
+  const TensorShape& is = input.shape();
 
   const float* in = input.raw();
   const float* w = weights.raw();
@@ -135,10 +149,7 @@ DenseTensor conv2d_direct(const DenseTensor& input, const DenseTensor& weights,
       }
     });
   }
-  return out;
 }
-
-namespace {
 
 /// Unrolls one input image into the [patch x pixels] column matrix:
 /// row (ic*k + ky)*k + kx holds the input value each output pixel sees
@@ -188,24 +199,31 @@ void im2col(const float* in_n, const TensorShape& is, const Conv2dSpec& spec,
   }
 }
 
-}  // namespace
-
-DenseTensor conv2d_gemm(const DenseTensor& input, const DenseTensor& weights,
-                        std::span<const float> bias, const Conv2dSpec& spec) {
-  validate_conv_inputs(input, weights, bias, spec, "conv2d");
+void conv2d_gemm_into(const DenseTensor& input, const DenseTensor& weights,
+                      std::span<const float> bias, const Conv2dSpec& spec,
+                      DenseTensor& out, sparse::Workspace* workspace) {
+  int out_h = 0;
+  int out_w = 0;
+  prepare_out(input, weights, bias, spec, out, out_h, out_w);
   const TensorShape& is = input.shape();
-  const int out_h =
-      conv_out_extent(is.h, spec.kernel, spec.stride, spec.padding);
-  const int out_w =
-      conv_out_extent(is.w, spec.kernel, spec.stride, spec.padding);
-  DenseTensor out(TensorShape{is.n, spec.out_channels, out_h, out_w});
 
   const std::size_t patch = static_cast<std::size_t>(spec.in_channels) *
                             static_cast<std::size_t>(spec.kernel) *
                             static_cast<std::size_t>(spec.kernel);
   const std::size_t pixels =
       static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
-  std::vector<float> col(patch * pixels);
+  // With a workspace the column matrix is arena-owned and reused across
+  // calls; without one it stays a per-call allocation (the column matrix
+  // can reach hundreds of MB for large shapes — retaining it behind a
+  // hidden thread_local would pin that for the thread's lifetime).
+  std::vector<float> local_col;
+  float* col_data;
+  if (workspace != nullptr) {
+    col_data = workspace->scratch(0).col_buffer(patch * pixels);
+  } else {
+    local_col.resize(patch * pixels);
+    col_data = local_col.data();
+  }
 
   const float* w = weights.raw();  // [Cout x patch], rows contiguous
   float* o = out.raw();
@@ -219,7 +237,7 @@ DenseTensor conv2d_gemm(const DenseTensor& input, const DenseTensor& weights,
 
   for (int n = 0; n < is.n; ++n) {
     im2col(input.raw() + static_cast<std::size_t>(n) * input.stride_n(), is,
-           spec, out_h, out_w, col.data());
+           spec, out_h, out_w, col_data);
     float* out_n = o + static_cast<std::size_t>(n) * out_batch;
     const int oc_blocks =
         (spec.out_channels + kOcBlock - 1) / kOcBlock;
@@ -235,7 +253,7 @@ DenseTensor conv2d_gemm(const DenseTensor& input, const DenseTensor& weights,
           std::fill(acc[oc - oc0], acc[oc - oc0] + plen, b);
         }
         for (std::size_t r = 0; r < patch; ++r) {
-          const float* col_row = col.data() + r * pixels + p0;
+          const float* col_row = col_data + r * pixels + p0;
           for (int oc = oc0; oc < oc1; ++oc) {
             const float wv = w[static_cast<std::size_t>(oc) * patch + r];
             float* a = acc[oc - oc0];
@@ -249,15 +267,43 @@ DenseTensor conv2d_gemm(const DenseTensor& input, const DenseTensor& weights,
       }
     });
   }
+}
+
+}  // namespace
+
+DenseTensor conv2d_direct(const DenseTensor& input, const DenseTensor& weights,
+                          std::span<const float> bias,
+                          const Conv2dSpec& spec) {
+  DenseTensor out;
+  conv2d_direct_into(input, weights, bias, spec, out);
   return out;
 }
 
-DenseTensor conv2d(const DenseTensor& input, const DenseTensor& weights,
-                   std::span<const float> bias, const Conv2dSpec& spec) {
+DenseTensor conv2d_gemm(const DenseTensor& input, const DenseTensor& weights,
+                        std::span<const float> bias, const Conv2dSpec& spec,
+                        sparse::Workspace* workspace) {
+  DenseTensor out;
+  conv2d_gemm_into(input, weights, bias, spec, out, workspace);
+  return out;
+}
+
+void conv2d_into(const DenseTensor& input, const DenseTensor& weights,
+                 std::span<const float> bias, const Conv2dSpec& spec,
+                 DenseTensor& out, sparse::Workspace* workspace) {
   // Both paths validate on entry; no need to validate twice here.
-  return conv2d_uses_gemm(input.shape(), spec)
-             ? conv2d_gemm(input, weights, bias, spec)
-             : conv2d_direct(input, weights, bias, spec);
+  if (conv2d_uses_gemm(input.shape(), spec)) {
+    conv2d_gemm_into(input, weights, bias, spec, out, workspace);
+  } else {
+    conv2d_direct_into(input, weights, bias, spec, out);
+  }
+}
+
+DenseTensor conv2d(const DenseTensor& input, const DenseTensor& weights,
+                   std::span<const float> bias, const Conv2dSpec& spec,
+                   sparse::Workspace* workspace) {
+  DenseTensor out;
+  conv2d_into(input, weights, bias, spec, out, workspace);
+  return out;
 }
 
 int transposed_conv_out_extent(int in_extent, int kernel, int stride,

@@ -9,6 +9,7 @@
 
 #include "sparse/sparse_ops.hpp"
 #include "sparse/tensor.hpp"
+#include "sparse/workspace.hpp"
 
 namespace evedge::nn {
 
@@ -21,11 +22,21 @@ using sparse::TensorShape;
 /// Dispatches between a flat-index direct path and an im2col + blocked
 /// GEMM path (large shapes); both are numerically equivalent to the seed
 /// reference loop nest (sparse::reference::conv2d) and threaded over
-/// output channels via core::parallel_for.
+/// output channels via core::parallel_for. `workspace`, when non-null,
+/// supplies the im2col scratch (slot 0, reused across calls); without
+/// one the column matrix is a per-call allocation — it can reach
+/// hundreds of MB for large shapes, so it is never silently retained.
 [[nodiscard]] DenseTensor conv2d(const DenseTensor& input,
                                  const DenseTensor& weights,
                                  std::span<const float> bias,
-                                 const Conv2dSpec& spec);
+                                 const Conv2dSpec& spec,
+                                 Workspace* workspace = nullptr);
+
+/// Allocation-free steady-state variant: writes the result into `out`,
+/// reusing its buffer when capacity allows (out must not alias input).
+void conv2d_into(const DenseTensor& input, const DenseTensor& weights,
+                 std::span<const float> bias, const Conv2dSpec& spec,
+                 DenseTensor& out, Workspace* workspace = nullptr);
 
 /// Forces the flat-index direct path (exposed for parity tests/bench).
 [[nodiscard]] DenseTensor conv2d_direct(const DenseTensor& input,
@@ -37,7 +48,8 @@ using sparse::TensorShape;
 [[nodiscard]] DenseTensor conv2d_gemm(const DenseTensor& input,
                                       const DenseTensor& weights,
                                       std::span<const float> bias,
-                                      const Conv2dSpec& spec);
+                                      const Conv2dSpec& spec,
+                                      Workspace* workspace = nullptr);
 
 /// True when conv2d would take the GEMM path for this input/spec.
 [[nodiscard]] bool conv2d_uses_gemm(const TensorShape& input,

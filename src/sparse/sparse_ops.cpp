@@ -55,6 +55,21 @@ void validate_conv_inputs(std::span<const CooChannel> input,
   }
 }
 
+/// Batched variants: every sample must individually validate and all
+/// samples must share extents (one geometry per merge batch).
+void validate_batch_inputs(std::span<const SparseSample> inputs,
+                           const DenseTensor& weights,
+                           std::span<const float> bias,
+                           const Conv2dSpec& spec) {
+  for (const SparseSample& sample : inputs) {
+    validate_conv_inputs(sample, weights, bias, spec);
+    if (sample[0].height() != inputs[0][0].height() ||
+        sample[0].width() != inputs[0][0].width()) {
+      throw std::invalid_argument("sparse conv batch: sample extents differ");
+    }
+  }
+}
+
 [[nodiscard]] std::size_t dense_mac_count(const Conv2dSpec& spec, int out_h,
                                           int out_w) {
   return static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w) *
@@ -64,41 +79,45 @@ void validate_conv_inputs(std::span<const CooChannel> input,
          static_cast<std::size_t>(spec.kernel);
 }
 
-}  // namespace
+/// Default arena for callers that do not pass a Workspace: one per
+/// thread, so the legacy call signatures stay allocation-free in steady
+/// state without sharing mutable scratch across threads (the seed's
+/// thread_local scratch design). Retention is bounded by the largest
+/// activation served — Cin * plane floats plus bitmap/taps, a few MB at
+/// DAVIS346 scale — unlike the dense im2col column matrix, which can
+/// reach hundreds of MB and is therefore NOT retained without an
+/// explicit workspace (see conv2d_gemm_into). Callers needing a release
+/// path own a Workspace and call clear().
+[[nodiscard]] Workspace& fallback_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
 
-DenseTensor sparse_conv2d(std::span<const CooChannel> input,
-                          const DenseTensor& weights,
-                          std::span<const float> bias, const Conv2dSpec& spec,
-                          ConvWork* work) {
-  validate_conv_inputs(input, weights, bias, spec);
-  const int in_h = input[0].height();
-  const int in_w = input[0].width();
-  const int out_h = conv_out_extent(in_h, spec.kernel, spec.stride,
-                                    spec.padding);
-  const int out_w = conv_out_extent(in_w, spec.kernel, spec.stride,
-                                    spec.padding);
+void require_submanifold_geometry(std::span<const CooChannel> input,
+                                  const Conv2dSpec& spec) {
+  if (spec.stride != 1) {
+    throw std::invalid_argument("submanifold conv requires stride 1");
+  }
+  if (conv_out_extent(input[0].height(), spec.kernel, 1, spec.padding) !=
+          input[0].height() ||
+      conv_out_extent(input[0].width(), spec.kernel, 1, spec.padding) !=
+          input[0].width()) {
+    throw std::invalid_argument(
+        "submanifold conv requires same-extent output (kernel = 2*padding+1)");
+  }
+}
 
-  DenseTensor out(TensorShape{1, spec.out_channels, out_h, out_w});
+/// Scatters one sample through the kernel into dense output plane(s) at
+/// `o` (size out_channels * out_h * out_w, bias already applied by the
+/// caller). Returns the sparse MAC count.
+std::size_t scatter_sample(std::span<const CooChannel> input, const float* w,
+                           std::size_t w_oc_stride, const Conv2dSpec& spec,
+                           int out_h, int out_w, float* o) {
   const std::size_t out_plane =
       static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
-  float* o = out.raw();
-  if (!bias.empty()) {
-    for (int oc = 0; oc < spec.out_channels; ++oc) {
-      float* row = o + static_cast<std::size_t>(oc) * out_plane;
-      std::fill(row, row + out_plane, bias[static_cast<std::size_t>(oc)]);
-    }
-  }
-
-  const float* w = weights.raw();
-  // weights are [oc][ic][ky][kx]: fixing (ic, ky, kx) leaves a constant
-  // oc-stride walk of Cin*k*k elements.
-  const std::size_t w_oc_stride = weights.stride_n();
-
   std::size_t sparse_macs = 0;
-  std::size_t nnz_in = 0;
   for (int ic = 0; ic < spec.in_channels; ++ic) {
     const CooChannel& ch = input[static_cast<std::size_t>(ic)];
-    nnz_in += ch.nnz();
     const std::size_t w_ic_base = static_cast<std::size_t>(ic) *
                                   static_cast<std::size_t>(spec.kernel) *
                                   static_cast<std::size_t>(spec.kernel);
@@ -134,7 +153,338 @@ DenseTensor sparse_conv2d(std::span<const CooChannel> input,
       }
     }
   }
+  return sparse_macs;
+}
 
+void fill_bias_planes(float* o, std::span<const float> bias, int out_channels,
+                      std::size_t out_plane) {
+  if (bias.empty()) return;
+  for (int oc = 0; oc < out_channels; ++oc) {
+    float* row = o + static_cast<std::size_t>(oc) * out_plane;
+    std::fill(row, row + out_plane, bias[static_cast<std::size_t>(oc)]);
+  }
+}
+
+/// Packs [oc][ic][ky][kx] weights into [tap offset][oc] layout so the
+/// per-tap lane loads in the reduction are contiguous (vectorizable).
+/// Shared across every sample of a batched call.
+void pack_weights(const DenseTensor& weights, std::vector<float>& packed) {
+  const std::size_t oc_count = static_cast<std::size_t>(weights.shape().n);
+  const std::size_t patch = weights.stride_n();
+  packed.resize(oc_count * patch);
+  const float* w = weights.raw();
+  for (std::size_t oc = 0; oc < oc_count; ++oc) {
+    const float* src = w + oc * patch;
+    for (std::size_t off = 0; off < patch; ++off) {
+      packed[off * oc_count + oc] = src[off];
+    }
+  }
+}
+
+/// Reduces the per-site tap lists in `s` against every output channel,
+/// producing per-channel entry vectors in site (row-major) order. Both
+/// threading axes execute the identical per-site accumulation and emit
+/// entries in the same order, so the result is bitwise independent of
+/// the axis and the thread count. Channels are processed in blocks of 8
+/// so each tap load is amortized across 8 accumulators reading one
+/// contiguous packed-weight row.
+constexpr int kOcBlock = 8;
+constexpr std::size_t kSiteChunk = 2048;
+
+/// Channel counts above this fall back to the channel-blocked walk (the
+/// per-site accumulator array lives on the stack).
+constexpr int kMaxAccum = 256;
+
+void reduce_sites(const ConvScratch& s, const float* packed_w,
+                  std::span<const float> bias, int out_channels, int out_w,
+                  SubmanifoldThreading threading, int max_threads,
+                  std::vector<std::vector<CooEntry>>& out_entries) {
+  const std::size_t n_sites = s.sites.size();
+  const int oc_blocks = (out_channels + kOcBlock - 1) / kOcBlock;
+  const int site_chunks =
+      static_cast<int>((n_sites + kSiteChunk - 1) / kSiteChunk);
+
+  bool over_sites = false;
+  switch (threading) {
+    case SubmanifoldThreading::kOutputChannels:
+      break;
+    case SubmanifoldThreading::kActiveSites:
+      over_sites = true;
+      break;
+    case SubmanifoldThreading::kAuto:
+      // The site axis walks the tap stream once for ALL channels (the
+      // channel axis re-walks it once per block), so prefer it whenever
+      // it offers at least as many work units — or whenever the channel
+      // blocks alone cannot fill the worker pool.
+      over_sites =
+          site_chunks >= oc_blocks || oc_blocks < max_threads;
+      break;
+  }
+  if (out_channels > kMaxAccum) over_sites = false;
+
+  // One output-channel block over one contiguous site range.
+  const std::size_t oc_count = static_cast<std::size_t>(out_channels);
+  const auto reduce_block = [&](int oc0, std::size_t s0, std::size_t s1,
+                                std::vector<CooEntry>* block_out) {
+    const int oc1 = std::min(out_channels, oc0 + kOcBlock);
+    const int lanes = oc1 - oc0;
+    float b[kOcBlock] = {};
+    for (int j = 0; j < lanes; ++j) {
+      b[j] = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc0 + j)];
+    }
+    const float* w_block = packed_w + static_cast<std::size_t>(oc0);
+    for (std::size_t si = s0; si < s1; ++si) {
+      float acc[kOcBlock];
+      for (int j = 0; j < kOcBlock; ++j) acc[j] = b[j];
+      const std::size_t t0 = s.site_ptr[si];
+      const std::size_t t1 = s.site_ptr[si + 1];
+      if (lanes == kOcBlock) {
+        // Full block: fixed trip count over one contiguous packed-weight
+        // row — vectorizes to one 8-wide FMA per tap.
+        for (std::size_t t = t0; t < t1; ++t) {
+          const float* w_row =
+              w_block +
+              static_cast<std::size_t>(s.taps[t].w_offset) * oc_count;
+          const float v = s.taps[t].value;
+          for (int j = 0; j < kOcBlock; ++j) acc[j] += w_row[j] * v;
+        }
+      } else {
+        for (std::size_t t = t0; t < t1; ++t) {
+          const float* w_row =
+              w_block +
+              static_cast<std::size_t>(s.taps[t].w_offset) * oc_count;
+          const float v = s.taps[t].value;
+          for (int j = 0; j < lanes; ++j) acc[j] += w_row[j] * v;
+        }
+      }
+      const std::int32_t row = s.sites[si] / out_w;
+      const std::int32_t col = s.sites[si] % out_w;
+      for (int j = 0; j < lanes; ++j) {
+        if (acc[j] != 0.0f) {
+          block_out[j].push_back(CooEntry{row, col, acc[j]});
+        }
+      }
+    }
+  };
+
+  if (!over_sites) {
+    core::parallel_for(
+        0, oc_blocks,
+        [&](int blk) {
+          const int oc0 = blk * kOcBlock;
+          for (int j = oc0; j < std::min(out_channels, oc0 + kOcBlock); ++j) {
+            out_entries[static_cast<std::size_t>(j)].reserve(n_sites);
+          }
+          reduce_block(oc0, 0, n_sites,
+                       out_entries.data() + static_cast<std::size_t>(oc0));
+        },
+        max_threads);
+    return;
+  }
+
+  // Active-site axis: fixed-size chunks (deterministic partitioning that
+  // does not depend on the worker count) reduced independently, then
+  // concatenated per channel in chunk order. Each chunk walks the tap
+  // stream ONCE, accumulating every output channel against the packed
+  // (L1-resident) weight rows — per-(site, channel) arithmetic and entry
+  // order are identical to the channel-blocked walk.
+  std::vector<std::vector<std::vector<CooEntry>>> chunk_entries(
+      static_cast<std::size_t>(site_chunks));
+  const std::size_t oc_n = static_cast<std::size_t>(out_channels);
+  core::parallel_for(
+      0, site_chunks,
+      [&](int ck) {
+        auto& per_oc = chunk_entries[static_cast<std::size_t>(ck)];
+        per_oc.resize(oc_n);
+        const std::size_t s0 = static_cast<std::size_t>(ck) * kSiteChunk;
+        const std::size_t s1 = std::min(n_sites, s0 + kSiteChunk);
+        for (auto& entries : per_oc) entries.reserve(s1 - s0);
+        float init[kMaxAccum];
+        for (std::size_t j = 0; j < oc_n; ++j) {
+          init[j] = bias.empty() ? 0.0f : bias[j];
+        }
+        float acc[kMaxAccum];
+        for (std::size_t si = s0; si < s1; ++si) {
+          for (std::size_t j = 0; j < oc_n; ++j) acc[j] = init[j];
+          const std::size_t t0 = s.site_ptr[si];
+          const std::size_t t1 = s.site_ptr[si + 1];
+          for (std::size_t t = t0; t < t1; ++t) {
+            const float* w_row =
+                packed_w +
+                static_cast<std::size_t>(s.taps[t].w_offset) * oc_n;
+            const float v = s.taps[t].value;
+            std::size_t j = 0;
+            for (; j + kOcBlock <= oc_n; j += kOcBlock) {
+              for (int jj = 0; jj < kOcBlock; ++jj) {
+                acc[j + jj] += w_row[j + jj] * v;
+              }
+            }
+            for (; j < oc_n; ++j) acc[j] += w_row[j] * v;
+          }
+          const std::int32_t row = s.sites[si] / out_w;
+          const std::int32_t col = s.sites[si] % out_w;
+          for (std::size_t j = 0; j < oc_n; ++j) {
+            if (acc[j] != 0.0f) {
+              per_oc[j].push_back(CooEntry{row, col, acc[j]});
+            }
+          }
+        }
+      },
+      max_threads);
+  for (int oc = 0; oc < out_channels; ++oc) {
+    std::size_t total = 0;
+    for (const auto& per_oc : chunk_entries) {
+      total += per_oc[static_cast<std::size_t>(oc)].size();
+    }
+    auto& dst = out_entries[static_cast<std::size_t>(oc)];
+    dst.reserve(total);
+    for (const auto& per_oc : chunk_entries) {
+      const auto& src = per_oc[static_cast<std::size_t>(oc)];
+      dst.insert(dst.end(), src.begin(), src.end());
+    }
+  }
+}
+
+/// Gather-kernel core shared by submanifold_conv2d (stride-1, output
+/// sites = input active sites) and sparse_conv2d_csr (strided, output
+/// sites = scatter targets of the input non-zeros). Stages:
+///   1. gather the input into dense per-channel rows + collect the
+///      sorted active output-site list (bitmap dedup),
+///   2. build one shared (weight offset, value) tap list per site,
+///   3. reduce the tap lists against every output channel,
+///   4. restore the scratch buffers to all-zero by touched index.
+std::vector<CooChannel> gather_conv_sample(
+    std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
+    ConvScratch& s, SubmanifoldThreading threading, int max_threads,
+    ConvWork* work, const float* shared_packed_w = nullptr) {
+  const int in_h = input[0].height();
+  const int in_w = input[0].width();
+  const int out_h = submanifold ? in_h
+                                : conv_out_extent(in_h, spec.kernel,
+                                                  spec.stride, spec.padding);
+  const int out_w = submanifold ? in_w
+                                : conv_out_extent(in_w, spec.kernel,
+                                                  spec.stride, spec.padding);
+  const std::size_t in_plane =
+      static_cast<std::size_t>(in_h) * static_cast<std::size_t>(in_w);
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+
+  float* g = s.gather_buffer(static_cast<std::size_t>(spec.in_channels) *
+                             in_plane);
+  std::uint8_t* act =
+      s.active_buffer(submanifold ? in_plane : out_plane);
+  s.sites.clear();
+
+  std::size_t nnz_in = 0;
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    const CooChannel& ch = input[static_cast<std::size_t>(ic)];
+    nnz_in += ch.nnz();
+    float* g_c = g + static_cast<std::size_t>(ic) * in_plane;
+    for (const CooEntry& e : ch.entries()) {
+      const std::size_t idx =
+          static_cast<std::size_t>(e.row) * static_cast<std::size_t>(in_w) +
+          static_cast<std::size_t>(e.col);
+      g_c[idx] = e.value;
+      if (submanifold) {
+        if (act[idx] == 0) {
+          act[idx] = 1;
+          s.sites.push_back(static_cast<std::int32_t>(idx));
+        }
+        continue;
+      }
+      // Strided: mark every output site this non-zero scatters to.
+      for (int ky = 0; ky < spec.kernel; ++ky) {
+        const int oy_num = e.row + spec.padding - ky;
+        if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+        const int oy = oy_num / spec.stride;
+        if (oy >= out_h) continue;
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ox_num = e.col + spec.padding - kx;
+          if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+          const int ox = ox_num / spec.stride;
+          if (ox >= out_w) continue;
+          const std::size_t out_idx =
+              static_cast<std::size_t>(oy) * static_cast<std::size_t>(out_w) +
+              static_cast<std::size_t>(ox);
+          if (act[out_idx] == 0) {
+            act[out_idx] = 1;
+            s.sites.push_back(static_cast<std::int32_t>(out_idx));
+          }
+        }
+      }
+    }
+  }
+  // Row-major order keeps the output entries sorted.
+  std::sort(s.sites.begin(), s.sites.end());
+
+  // Per-site tap lists in (ic, ky, kx) order — for a fixed site and
+  // channel this visits contributing input positions row-major, the same
+  // order the scatter kernel's entry loop reaches them, so the per-site
+  // accumulation below is bitwise identical to the scatter result.
+  s.taps.clear();
+  s.site_ptr.resize(s.sites.size() + 1);
+  s.site_ptr[0] = 0;
+  for (std::size_t si = 0; si < s.sites.size(); ++si) {
+    const int row = s.sites[si] / out_w;
+    const int col = s.sites[si] % out_w;
+    const int iy0 = row * spec.stride - spec.padding;
+    const int ix0 = col * spec.stride - spec.padding;
+    for (int ic = 0; ic < spec.in_channels; ++ic) {
+      const float* g_c = g + static_cast<std::size_t>(ic) * in_plane;
+      const std::int32_t w_ic_base = ic * spec.kernel * spec.kernel;
+      for (int ky = 0; ky < spec.kernel; ++ky) {
+        const int iy = iy0 + ky;
+        if (iy < 0 || iy >= in_h) continue;
+        const float* g_row =
+            g_c + static_cast<std::size_t>(iy) * static_cast<std::size_t>(in_w);
+        const std::int32_t w_ky_base = w_ic_base + ky * spec.kernel;
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ix = ix0 + kx;
+          if (ix < 0 || ix >= in_w) continue;
+          const float v = g_row[ix];
+          if (v != 0.0f) s.taps.push_back(GatherTap{w_ky_base + kx, v});
+        }
+      }
+    }
+    s.site_ptr[si + 1] = s.taps.size();
+  }
+
+  const std::size_t sparse_macs =
+      s.taps.size() * static_cast<std::size_t>(spec.out_channels);
+
+  const float* packed_w = shared_packed_w;
+  if (packed_w == nullptr) {
+    pack_weights(weights, s.packed_w);
+    packed_w = s.packed_w.data();
+  }
+  std::vector<std::vector<CooEntry>> out_entries(
+      static_cast<std::size_t>(spec.out_channels));
+  reduce_sites(s, packed_w, bias, spec.out_channels, out_w, threading,
+               max_threads, out_entries);
+
+  // Restore the scratch buffers to all-zero for the next call, touching
+  // only the indices this call wrote.
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    float* g_c = g + static_cast<std::size_t>(ic) * in_plane;
+    for (const CooEntry& e : input[static_cast<std::size_t>(ic)].entries()) {
+      g_c[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(in_w) +
+          static_cast<std::size_t>(e.col)] = 0.0f;
+    }
+  }
+  for (const std::int32_t idx : s.sites) {
+    act[static_cast<std::size_t>(idx)] = 0;
+  }
+
+  std::vector<CooChannel> out;
+  out.reserve(static_cast<std::size_t>(spec.out_channels));
+  for (auto& entries : out_entries) {
+    // Entries were produced in site (row-major) order, unique and
+    // non-zero — adopt them without the from_entries sort/dedup pass.
+    out.push_back(
+        CooChannel::from_sorted_entries(out_h, out_w, std::move(entries)));
+  }
   if (work != nullptr) {
     work->dense_macs += dense_mac_count(spec, out_h, out_w);
     work->sparse_macs += sparse_macs;
@@ -143,162 +493,191 @@ DenseTensor sparse_conv2d(std::span<const CooChannel> input,
   return out;
 }
 
+/// Worker layout for a batched call: samples split into contiguous
+/// chunks, one Workspace scratch slot per worker; the inner reduction
+/// gets the leftover thread budget.
+struct BatchPlan {
+  int workers = 1;
+  int chunk = 1;
+  int inner_threads = 1;
+};
+
+[[nodiscard]] BatchPlan plan_batch(int samples) {
+  BatchPlan plan;
+  const int threads = core::parallel_thread_count();
+  plan.workers = std::max(1, std::min(threads, samples));
+  plan.chunk = (samples + plan.workers - 1) / plan.workers;
+  plan.inner_threads = std::max(1, threads / plan.workers);
+  return plan;
+}
+
+void accumulate_work(ConvWork* work, std::span<const ConvWork> per_sample) {
+  if (work == nullptr) return;
+  for (const ConvWork& w : per_sample) {
+    work->dense_macs += w.dense_macs;
+    work->sparse_macs += w.sparse_macs;
+    work->nnz_in += w.nnz_in;
+  }
+}
+
+/// Shared driver for the two sparse-output batched kernels.
+std::vector<SparseSample> gather_conv_batch(
+    std::span<const SparseSample> inputs, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
+    ConvWork* work, Workspace* workspace, SubmanifoldThreading threading) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("sparse conv batch: empty batch");
+  }
+  validate_batch_inputs(inputs, weights, bias, spec);
+  if (submanifold) require_submanifold_geometry(inputs[0], spec);
+
+  Workspace& arena = workspace != nullptr ? *workspace : fallback_workspace();
+  const int n = static_cast<int>(inputs.size());
+  const BatchPlan plan = plan_batch(n);
+  arena.reserve_slots(static_cast<std::size_t>(plan.workers));
+  // Weights are packed once and shared read-only across all samples.
+  pack_weights(weights, arena.scratch(0).packed_w);
+  const float* packed_w = arena.scratch(0).packed_w.data();
+
+  // Parallelize over WORKER indices, each owning one scratch slot and a
+  // contiguous sample range — slot exclusivity holds by construction,
+  // independent of how parallel_for schedules indices onto threads.
+  std::vector<SparseSample> out(inputs.size());
+  std::vector<ConvWork> per_sample(inputs.size());
+  core::parallel_for(
+      0, plan.workers,
+      [&](int worker) {
+        ConvScratch& scratch = arena.scratch(static_cast<std::size_t>(worker));
+        const int lo = worker * plan.chunk;
+        const int hi = std::min(n, lo + plan.chunk);
+        for (int i = lo; i < hi; ++i) {
+          out[static_cast<std::size_t>(i)] = gather_conv_sample(
+              inputs[static_cast<std::size_t>(i)], weights, bias, spec,
+              submanifold, scratch, threading, plan.inner_threads,
+              &per_sample[static_cast<std::size_t>(i)], packed_w);
+        }
+      },
+      plan.workers);
+  accumulate_work(work, per_sample);
+  return out;
+}
+
+}  // namespace
+
+DenseTensor sparse_conv2d(std::span<const CooChannel> input,
+                          const DenseTensor& weights,
+                          std::span<const float> bias, const Conv2dSpec& spec,
+                          ConvWork* work) {
+  validate_conv_inputs(input, weights, bias, spec);
+  const int in_h = input[0].height();
+  const int in_w = input[0].width();
+  const int out_h = conv_out_extent(in_h, spec.kernel, spec.stride,
+                                    spec.padding);
+  const int out_w = conv_out_extent(in_w, spec.kernel, spec.stride,
+                                    spec.padding);
+
+  DenseTensor out(TensorShape{1, spec.out_channels, out_h, out_w});
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  float* o = out.raw();
+  fill_bias_planes(o, bias, spec.out_channels, out_plane);
+
+  // weights are [oc][ic][ky][kx]: fixing (ic, ky, kx) leaves a constant
+  // oc-stride walk of Cin*k*k elements.
+  const std::size_t sparse_macs = scatter_sample(
+      input, weights.raw(), weights.stride_n(), spec, out_h, out_w, o);
+
+  if (work != nullptr) {
+    work->dense_macs += dense_mac_count(spec, out_h, out_w);
+    work->sparse_macs += sparse_macs;
+    std::size_t nnz_in = 0;
+    for (const CooChannel& ch : input) nnz_in += ch.nnz();
+    work->nnz_in += nnz_in;
+  }
+  return out;
+}
+
+DenseTensor sparse_conv2d_batch(std::span<const SparseSample> inputs,
+                                const DenseTensor& weights,
+                                std::span<const float> bias,
+                                const Conv2dSpec& spec, ConvWork* work) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("sparse_conv2d_batch: empty batch");
+  }
+  validate_batch_inputs(inputs, weights, bias, spec);
+  const int in_h = inputs[0][0].height();
+  const int in_w = inputs[0][0].width();
+  const int out_h = conv_out_extent(in_h, spec.kernel, spec.stride,
+                                    spec.padding);
+  const int out_w = conv_out_extent(in_w, spec.kernel, spec.stride,
+                                    spec.padding);
+  const int n = static_cast<int>(inputs.size());
+
+  DenseTensor out(TensorShape{n, spec.out_channels, out_h, out_w});
+  const std::size_t out_plane =
+      static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
+  const std::size_t out_batch = out.stride_n();
+  float* o = out.raw();
+  const float* w = weights.raw();
+  const std::size_t w_oc_stride = weights.stride_n();
+
+  // Each sample owns a disjoint output slice — parallel over samples.
+  std::vector<ConvWork> per_sample(inputs.size());
+  core::parallel_for(0, n, [&](int i) {
+    const SparseSample& sample = inputs[static_cast<std::size_t>(i)];
+    float* o_n = o + static_cast<std::size_t>(i) * out_batch;
+    fill_bias_planes(o_n, bias, spec.out_channels, out_plane);
+    ConvWork& cw = per_sample[static_cast<std::size_t>(i)];
+    cw.dense_macs = dense_mac_count(spec, out_h, out_w);
+    cw.sparse_macs =
+        scatter_sample(sample, w, w_oc_stride, spec, out_h, out_w, o_n);
+    for (const CooChannel& ch : sample) cw.nnz_in += ch.nnz();
+  });
+  accumulate_work(work, per_sample);
+  return out;
+}
+
 std::vector<CooChannel> submanifold_conv2d(std::span<const CooChannel> input,
                                            const DenseTensor& weights,
                                            std::span<const float> bias,
                                            const Conv2dSpec& spec,
-                                           ConvWork* work) {
+                                           ConvWork* work, Workspace* workspace,
+                                           SubmanifoldThreading threading) {
   validate_conv_inputs(input, weights, bias, spec);
-  if (spec.stride != 1) {
-    throw std::invalid_argument("submanifold conv requires stride 1");
-  }
-  if (conv_out_extent(input[0].height(), spec.kernel, 1, spec.padding) !=
-          input[0].height() ||
-      conv_out_extent(input[0].width(), spec.kernel, 1, spec.padding) !=
-          input[0].width()) {
-    throw std::invalid_argument(
-        "submanifold conv requires same-extent output (kernel = 2*padding+1)");
-  }
-  const int h = input[0].height();
-  const int w = input[0].width();
-  const std::size_t plane =
-      static_cast<std::size_t>(h) * static_cast<std::size_t>(w);
+  require_submanifold_geometry(input, spec);
+  Workspace& arena = workspace != nullptr ? *workspace : fallback_workspace();
+  return gather_conv_sample(input, weights, bias, spec, /*submanifold=*/true,
+                            arena.scratch(0), threading,
+                            core::parallel_thread_count(), work);
+}
 
-  // Active set as a flat bitmap plus per-channel dense gather rows:
-  // replaces the seed's std::set union and the O(log n) CooChannel::at
-  // binary search per kernel tap per channel with O(1) loads. The scratch
-  // buffers are thread-local and cleaned by touched index on every call,
-  // so the per-call cost scales with nnz, not with the plane extent.
-  thread_local std::vector<std::uint8_t> active;
-  thread_local std::vector<float> gathered;
-  if (active.size() < plane) active.resize(plane, 0);
-  const std::size_t gather_size =
-      static_cast<std::size_t>(spec.in_channels) * plane;
-  if (gathered.size() < gather_size) gathered.resize(gather_size, 0.0f);
+std::vector<CooChannel> sparse_conv2d_csr(std::span<const CooChannel> input,
+                                          const DenseTensor& weights,
+                                          std::span<const float> bias,
+                                          const Conv2dSpec& spec,
+                                          ConvWork* work, Workspace* workspace,
+                                          SubmanifoldThreading threading) {
+  validate_conv_inputs(input, weights, bias, spec);
+  Workspace& arena = workspace != nullptr ? *workspace : fallback_workspace();
+  return gather_conv_sample(input, weights, bias, spec, /*submanifold=*/false,
+                            arena.scratch(0), threading,
+                            core::parallel_thread_count(), work);
+}
 
-  std::size_t nnz_in = 0;
-  std::vector<std::int32_t> sites;
-  for (int ic = 0; ic < spec.in_channels; ++ic) {
-    const CooChannel& ch = input[static_cast<std::size_t>(ic)];
-    nnz_in += ch.nnz();
-    float* g = gathered.data() + static_cast<std::size_t>(ic) * plane;
-    for (const CooEntry& e : ch.entries()) {
-      const std::size_t idx =
-          static_cast<std::size_t>(e.row) * static_cast<std::size_t>(w) +
-          static_cast<std::size_t>(e.col);
-      g[idx] = e.value;
-      if (active[idx] == 0) {
-        active[idx] = 1;
-        sites.push_back(static_cast<std::int32_t>(idx));
-      }
-    }
-  }
-  // Row-major order keeps the output entries sorted.
-  std::sort(sites.begin(), sites.end());
+std::vector<SparseSample> submanifold_conv2d_batch(
+    std::span<const SparseSample> inputs, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec, ConvWork* work,
+    Workspace* workspace, SubmanifoldThreading threading) {
+  return gather_conv_batch(inputs, weights, bias, spec, /*submanifold=*/true,
+                           work, workspace, threading);
+}
 
-  // Per-site gather lists: the non-zero input taps each active site sees,
-  // as (weight offset within one output channel's [Cin, k, k] block,
-  // input value). Built once, then reused by every output channel.
-  struct Tap {
-    std::int32_t w_offset;
-    float value;
-  };
-  std::vector<Tap> taps;
-  taps.reserve(sites.size() * static_cast<std::size_t>(spec.in_channels) *
-               static_cast<std::size_t>(spec.kernel) *
-               static_cast<std::size_t>(spec.kernel));
-  std::vector<std::size_t> site_ptr(sites.size() + 1, 0);
-  for (std::size_t s = 0; s < sites.size(); ++s) {
-    const int row = sites[s] / w;
-    const int col = sites[s] % w;
-    // Tap order (ic, ky, kx) matches the seed accumulation order exactly.
-    for (int ic = 0; ic < spec.in_channels; ++ic) {
-      const float* g = gathered.data() + static_cast<std::size_t>(ic) * plane;
-      const std::int32_t w_ic_base = ic * spec.kernel * spec.kernel;
-      for (int ky = 0; ky < spec.kernel; ++ky) {
-        const int iy = row - spec.padding + ky;
-        if (iy < 0 || iy >= h) continue;
-        const float* g_row =
-            g + static_cast<std::size_t>(iy) * static_cast<std::size_t>(w);
-        const std::int32_t w_ky_base = w_ic_base + ky * spec.kernel;
-        for (int kx = 0; kx < spec.kernel; ++kx) {
-          const int ix = col - spec.padding + kx;
-          if (ix < 0 || ix >= w) continue;
-          const float v = g_row[ix];
-          if (v != 0.0f) taps.push_back(Tap{w_ky_base + kx, v});
-        }
-      }
-    }
-    site_ptr[s + 1] = taps.size();
-  }
-
-  // Restore the scratch buffers to all-zero for the next call, touching
-  // only the indices this call wrote.
-  for (int ic = 0; ic < spec.in_channels; ++ic) {
-    float* g = gathered.data() + static_cast<std::size_t>(ic) * plane;
-    for (const CooEntry& e : input[static_cast<std::size_t>(ic)].entries()) {
-      g[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(w) +
-        static_cast<std::size_t>(e.col)] = 0.0f;
-    }
-  }
-  for (const std::int32_t idx : sites) {
-    active[static_cast<std::size_t>(idx)] = 0;
-  }
-
-  const std::size_t sparse_macs =
-      taps.size() * static_cast<std::size_t>(spec.out_channels);
-
-  // Each output channel reduces the shared tap lists against its own
-  // weight block — independent work, threaded via parallel_for. Channels
-  // are processed in blocks of 4 so each tap is loaded once per block.
-  std::vector<std::vector<CooEntry>> out_entries(
-      static_cast<std::size_t>(spec.out_channels));
-  const float* wraw = weights.raw();
-  const std::size_t w_oc_stride = weights.stride_n();
-  constexpr int kOcBlock = 4;
-  const int oc_blocks = (spec.out_channels + kOcBlock - 1) / kOcBlock;
-  core::parallel_for(0, oc_blocks, [&](int blk) {
-    const int oc0 = blk * kOcBlock;
-    const int oc1 = std::min(spec.out_channels, oc0 + kOcBlock);
-    const int lanes = oc1 - oc0;
-    const float* w_base[kOcBlock] = {};
-    float b[kOcBlock] = {};
-    for (int j = 0; j < lanes; ++j) {
-      w_base[j] = wraw + static_cast<std::size_t>(oc0 + j) * w_oc_stride;
-      b[j] = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(oc0 + j)];
-      out_entries[static_cast<std::size_t>(oc0 + j)].reserve(sites.size());
-    }
-    for (std::size_t s = 0; s < sites.size(); ++s) {
-      float acc[kOcBlock] = {b[0], b[1], b[2], b[3]};
-      for (std::size_t t = site_ptr[s]; t < site_ptr[s + 1]; ++t) {
-        const std::int32_t off = taps[t].w_offset;
-        const float v = taps[t].value;
-        for (int j = 0; j < lanes; ++j) acc[j] += w_base[j][off] * v;
-      }
-      const std::int32_t row = sites[s] / w;
-      const std::int32_t col = sites[s] % w;
-      for (int j = 0; j < lanes; ++j) {
-        if (acc[j] != 0.0f) {
-          out_entries[static_cast<std::size_t>(oc0 + j)].push_back(
-              CooEntry{row, col, acc[j]});
-        }
-      }
-    }
-  });
-
-  std::vector<CooChannel> out;
-  out.reserve(static_cast<std::size_t>(spec.out_channels));
-  for (auto& entries : out_entries) {
-    // Entries were produced in site (row-major) order, unique and
-    // non-zero — adopt them without the from_entries sort/dedup pass.
-    out.push_back(CooChannel::from_sorted_entries(h, w, std::move(entries)));
-  }
-  if (work != nullptr) {
-    work->dense_macs += dense_mac_count(spec, h, w);
-    work->sparse_macs += sparse_macs;
-    work->nnz_in += nnz_in;
-  }
-  return out;
+std::vector<SparseSample> sparse_conv2d_csr_batch(
+    std::span<const SparseSample> inputs, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec, ConvWork* work,
+    Workspace* workspace, SubmanifoldThreading threading) {
+  return gather_conv_batch(inputs, weights, bias, spec, /*submanifold=*/false,
+                           work, workspace, threading);
 }
 
 std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,

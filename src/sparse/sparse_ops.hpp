@@ -10,8 +10,25 @@
 
 #include "sparse/coo.hpp"
 #include "sparse/tensor.hpp"
+#include "sparse/workspace.hpp"
 
 namespace evedge::sparse {
+
+/// One sample of a sparse batch: in_channels COO channels sharing extents.
+using SparseSample = std::vector<CooChannel>;
+
+/// Threading axis for the per-site reduction of the gather kernels.
+/// Both axes produce bitwise-identical outputs for any thread count;
+/// kAuto prefers active-site chunks (one tap-stream pass for all
+/// channels) and falls back to channel blocks when the site chunks
+/// cannot fill the worker pool. Above 256 output channels the site axis
+/// is unavailable (its accumulator is stack-allocated) and every mode
+/// runs the channel-blocked walk.
+enum class SubmanifoldThreading : std::uint8_t {
+  kAuto,
+  kOutputChannels,
+  kActiveSites,
+};
 
 /// Geometry of a 2-D convolution (square kernel).
 struct Conv2dSpec {
@@ -48,8 +65,57 @@ struct ConvWork {
 /// Submanifold sparse convolution (stride 1 only): output non-zeros are
 /// restricted to the union of input active sites, preventing dilation of
 /// the active set across layers. Returns out_channels sparse channels.
+/// `workspace`, when non-null, supplies the scratch arena (slot 0);
+/// otherwise a thread-local fallback arena is used.
 [[nodiscard]] std::vector<CooChannel> submanifold_conv2d(
     std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec,
+    ConvWork* work = nullptr, Workspace* workspace = nullptr,
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+
+/// CSR-output sparse convolution: the same strided scatter arithmetic as
+/// sparse_conv2d, routed to sorted CooChannels (via from_sorted_entries)
+/// instead of a dense tensor, so strided sparse layers chain without a
+/// densify/sparsify round-trip. Entries exist only at output sites
+/// reached by at least one input tap; `bias` (when non-empty) is added at
+/// those active sites only — inactive sites stay implicit zeros, unlike
+/// the dense variant which fills them with the bias value. At active
+/// sites the result is bitwise identical to sparse_conv2d's.
+[[nodiscard]] std::vector<CooChannel> sparse_conv2d_csr(
+    std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec,
+    ConvWork* work = nullptr, Workspace* workspace = nullptr,
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+
+// --- Batched entry points ------------------------------------------------
+// Process all samples of a DSFA merge batch in one call: weights are
+// validated and packed once, each sample keeps its own active-site list,
+// and samples are distributed over the worker pool (one Workspace scratch
+// slot per worker, inner reduction threading budget split accordingly).
+// Per-sample outputs are bitwise identical to the corresponding batch-1
+// call. All samples must share channel count and extents; an empty
+// batch throws.
+
+/// Batched submanifold convolution; result[i] is the output of sample i.
+[[nodiscard]] std::vector<SparseSample> submanifold_conv2d_batch(
+    std::span<const SparseSample> inputs, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec,
+    ConvWork* work = nullptr, Workspace* workspace = nullptr,
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+
+/// Batched CSR-output strided convolution; result[i] matches
+/// sparse_conv2d_csr(inputs[i], ...).
+[[nodiscard]] std::vector<SparseSample> sparse_conv2d_csr_batch(
+    std::span<const SparseSample> inputs, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec,
+    ConvWork* work = nullptr, Workspace* workspace = nullptr,
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+
+/// Batched dense-output scatter convolution: one [N, out_channels, out_h,
+/// out_w] tensor (a single allocation) whose slice n equals
+/// sparse_conv2d(inputs[n], ...).
+[[nodiscard]] DenseTensor sparse_conv2d_batch(
+    std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr);
 

@@ -47,6 +47,12 @@ float DenseTensor::at(int n, int c, int y, int x) const {
   return data_[flat_index(shape_, n, c, y, x)];
 }
 
+void DenseTensor::reset(TensorShape shape) {
+  validate_shape(shape);
+  shape_ = shape;
+  data_.resize(shape_.element_count());
+}
+
 void DenseTensor::fill_random(std::uint64_t seed, float range) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<float> dist(-range, range);

@@ -68,6 +68,11 @@ class DenseTensor {
            static_cast<std::size_t>(x);
   }
 
+  /// Re-shapes in place, reusing the existing allocation when capacity
+  /// allows (the engine's output-buffer recycling hook). Element values
+  /// are unspecified afterwards — callers must write every element.
+  void reset(TensorShape shape);
+
   /// Deterministic uniform [-range, range) fill from `seed`.
   void fill_random(std::uint64_t seed, float range = 1.0f);
 

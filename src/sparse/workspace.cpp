@@ -1,0 +1,47 @@
+#include "sparse/workspace.hpp"
+
+namespace evedge::sparse {
+
+float* ConvScratch::col_buffer(std::size_t size) {
+  if (col.size() < size) col.resize(size);
+  return col.data();
+}
+
+float* ConvScratch::gather_buffer(std::size_t size) {
+  if (gather.size() < size) gather.resize(size, 0.0f);
+  return gather.data();
+}
+
+std::uint8_t* ConvScratch::active_buffer(std::size_t size) {
+  if (active.size() < size) active.resize(size, 0);
+  return active.data();
+}
+
+ConvScratch& Workspace::scratch(std::size_t slot) {
+  reserve_slots(slot + 1);
+  return pool_[slot];
+}
+
+void Workspace::reserve_slots(std::size_t count) {
+  while (pool_.size() < count) pool_.emplace_back();
+}
+
+std::size_t Workspace::retained_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const ConvScratch& s : pool_) {
+    bytes += s.col.capacity() * sizeof(float);
+    bytes += s.gather.capacity() * sizeof(float);
+    bytes += s.active.capacity() * sizeof(std::uint8_t);
+    bytes += s.sites.capacity() * sizeof(std::int32_t);
+    bytes += s.taps.capacity() * sizeof(GatherTap);
+    bytes += s.site_ptr.capacity() * sizeof(std::size_t);
+    bytes += s.packed_w.capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+void Workspace::clear() noexcept {
+  pool_.clear();
+}
+
+}  // namespace evedge::sparse

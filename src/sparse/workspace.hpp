@@ -1,0 +1,86 @@
+#pragma once
+
+// Workspace: a reusable scratch arena for the compute kernels. Every
+// per-call std::vector the hot paths used to allocate (im2col column
+// matrices, submanifold gather rows, active-site bitmaps, tap lists) is
+// owned here instead, so steady-state inference performs no scratch
+// allocations: buffers grow monotonically to the high-water mark of the
+// shapes they have served and are reused across layers, samples and
+// run() calls. FunctionalNetwork owns one Workspace (nn::Workspace is an
+// alias); batched kernels draw one ConvScratch slot per concurrent
+// sample so workers never share mutable scratch.
+//
+// Thread-safety contract: a Workspace (and each ConvScratch slot) may be
+// used by one thread at a time. Batched kernels that parallelize over
+// samples must reserve slots up front via scratch(slot) — growing the
+// pool is not concurrency-safe — and hand each worker its own slot.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace evedge::sparse {
+
+/// One non-zero input tap seen by an active output site: the offset into
+/// one output channel's [Cin, k, k] weight block plus the input value.
+/// Built once per sample, then reduced against every output channel.
+struct GatherTap {
+  std::int32_t w_offset = 0;
+  float value = 0.0f;
+};
+
+/// Scratch for one kernel invocation on one sample. The `active` bitmap
+/// is kept all-zero between uses (kernels restore the indices they
+/// touched), so reuse costs nothing when the active set is sparse.
+struct ConvScratch {
+  std::vector<float> col;              ///< im2col column matrix
+  std::vector<float> gather;           ///< per-channel dense gather rows
+  std::vector<std::uint8_t> active;    ///< active-site bitmap
+  std::vector<std::int32_t> sites;     ///< sorted active flat indices
+  std::vector<GatherTap> taps;         ///< per-site tap lists
+  std::vector<std::size_t> site_ptr;   ///< CSR-style index into taps
+  std::vector<float> packed_w;         ///< weights transposed [tap][oc]
+
+  /// Grows `col` to at least `size` elements and returns its data.
+  [[nodiscard]] float* col_buffer(std::size_t size);
+  /// Grows `gather` to at least `size` zero-initialized elements.
+  [[nodiscard]] float* gather_buffer(std::size_t size);
+  /// Grows `active` to at least `size` zeroed flags.
+  [[nodiscard]] std::uint8_t* active_buffer(std::size_t size);
+};
+
+/// Arena of ConvScratch slots shared across layers and inference calls.
+class Workspace {
+ public:
+  /// Scratch slot `i` (slot 0 is the single-sample default). References
+  /// are stable across later growth. Growing the pool mutates the
+  /// workspace — reserve all needed slots before spawning workers.
+  [[nodiscard]] ConvScratch& scratch(std::size_t slot = 0);
+
+  /// Ensures slots [0, count) exist (pre-sizing hook for batched calls).
+  void reserve_slots(std::size_t count);
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return pool_.size();
+  }
+
+  /// Total bytes currently retained across all slots (observability /
+  /// tests; the arena never shrinks on its own).
+  [[nodiscard]] std::size_t retained_bytes() const noexcept;
+
+  /// Releases every buffer (memory-pressure hook; the next calls regrow).
+  void clear() noexcept;
+
+ private:
+  // deque: slot references must survive pool growth.
+  std::deque<ConvScratch> pool_;
+};
+
+}  // namespace evedge::sparse
+
+namespace evedge::nn {
+/// The engine-facing name: FunctionalNetwork owns an nn::Workspace and
+/// threads it through every kernel it invokes.
+using Workspace = sparse::Workspace;
+using sparse::ConvScratch;
+}  // namespace evedge::nn

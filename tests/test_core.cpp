@@ -8,6 +8,7 @@
 #include <numeric>
 #include <random>
 
+#include "core/batch_executor.hpp"
 #include "core/dsfa.hpp"
 #include "core/e2e_accuracy.hpp"
 #include "core/e2sf.hpp"
@@ -649,4 +650,61 @@ TEST(E2eAccuracy, CBatchReslotIsIdentity) {
     EXPECT_FLOAT_EQ(
         es::max_abs_diff(slots[i].to_dense(), bins[i].to_dense()), 0.0f);
   }
+}
+
+// --------------------------------------------------------- batch executor
+
+TEST(BatchExecutor, RunsDispatchedBatchesOnTheBatchedEngine) {
+  CostFixture f;
+  en::FunctionalNetwork net(f.spec, 7);
+  ec::BatchExecutor executor(net);
+
+  // Frames at a larger sensor geometry than the network input: the
+  // executor downsamples and center-aligns them.
+  const auto stream = make_stream(ee::SensorGeometry{88, 64}, 600'000, 3);
+  const ec::Event2SparseFrame e2sf(stream.geometry(), ec::E2sfConfig{});
+  const auto clock = ee::FrameClock::uniform(stream.t_begin(), 100'000, 6);
+  const auto intervals = e2sf.convert_stream(stream, clock);
+  std::vector<es::SparseFrame> frames;
+  for (const auto& interval : intervals) {
+    for (const auto& frame : interval) frames.push_back(frame);
+  }
+  ASSERT_GE(frames.size(), 3u);
+
+  const std::vector<es::SparseFrame> batch(frames.begin(),
+                                           frames.begin() + 3);
+  const auto& out = executor.execute(batch);
+  EXPECT_EQ(out.shape().n, 3);
+  for (float v : out.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(executor.stats().batches, 1u);
+  EXPECT_EQ(executor.stats().samples, 3u);
+  EXPECT_GT(executor.stats().wall_ms, 0.0);
+  EXPECT_THROW((void)executor.execute({}), std::invalid_argument);
+}
+
+TEST(Pipeline, ExecutorRoutesEveryDispatchedBatch) {
+  CostFixture f;
+  en::FunctionalNetwork net(f.spec, 7);
+  ec::BatchExecutor executor(net);
+  const auto stream = make_stream(ee::SensorGeometry{44, 32}, 1'000'000, 3);
+
+  auto cfg = baseline_config();
+  cfg.use_e2sf = true;
+  cfg.use_dsfa = true;
+  cfg.executor = &executor;
+  const auto stats = ec::simulate_pipeline(stream, f.spec, f.gpu_mapping,
+                                           f.platform, f.densities, cfg);
+  EXPECT_EQ(stats.functional_batches, stats.inferences);
+  EXPECT_EQ(stats.functional_samples, stats.buckets_completed);
+  EXPECT_EQ(executor.stats().batches, stats.functional_batches);
+  EXPECT_GT(stats.functional_wall_ms, 0.0);
+
+  // Without an executor the functional counters stay zero.
+  cfg.executor = nullptr;
+  const auto plain = ec::simulate_pipeline(stream, f.spec, f.gpu_mapping,
+                                           f.platform, f.densities, cfg);
+  EXPECT_EQ(plain.functional_batches, 0u);
+  EXPECT_EQ(plain.functional_wall_ms, 0.0);
 }

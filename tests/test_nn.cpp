@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <set>
+#include <stdexcept>
 #include <tuple>
 
 #include "nn/engine.hpp"
@@ -571,4 +573,107 @@ TEST(Engine, WrongTimestepCountThrows) {
   en::FunctionalNetwork net(net_spec, 7);
   std::vector<es::DenseTensor> too_few;
   EXPECT_THROW((void)net.run(too_few), std::invalid_argument);
+}
+
+// ------------------------------------------ batched engine + workspace
+
+namespace {
+
+/// Stacks per-sample timestep tensors [1, C, H, W] into batched steps
+/// [N, C, H, W].
+std::vector<es::DenseTensor> stack_steps(
+    const std::vector<std::vector<es::DenseTensor>>& per_sample) {
+  const auto& first = per_sample.front();
+  std::vector<es::DenseTensor> batched;
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    const auto& s = first[t].shape();
+    es::DenseTensor step(es::TensorShape{
+        static_cast<int>(per_sample.size()), s.c, s.h, s.w});
+    for (std::size_t n = 0; n < per_sample.size(); ++n) {
+      const auto& src = per_sample[n][t];
+      std::copy(src.data().begin(), src.data().end(),
+                step.raw() + n * step.stride_n());
+    }
+    batched.push_back(std::move(step));
+  }
+  return batched;
+}
+
+}  // namespace
+
+// run_batched over a stacked batch must be bitwise identical to run()
+// over each sample alone — for every zoo network, spiking state included.
+TEST_P(EngineRuns, BatchedRunBitMatchesPerSample) {
+  const auto net_spec =
+      en::build_network(GetParam(), en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  const bool needs_image = net_spec.graph.input_ids().size() > 1;
+  const auto image = synthetic_image(net_spec);
+
+  constexpr int kBatch = 3;
+  std::vector<std::vector<es::DenseTensor>> per_sample;
+  std::vector<es::DenseTensor> expected;
+  for (int n = 0; n < kBatch; ++n) {
+    per_sample.push_back(
+        synthetic_steps(net_spec, 11 + static_cast<std::uint64_t>(n)));
+    expected.push_back(net.run(per_sample.back(),
+                               needs_image ? &image : nullptr));
+  }
+
+  const auto batched_steps = stack_steps(per_sample);
+  const auto out =
+      net.run_batched(batched_steps, needs_image ? &image : nullptr);
+  ASSERT_EQ(out.shape().n, kBatch);
+  for (int n = 0; n < kBatch; ++n) {
+    const auto& ref = expected[static_cast<std::size_t>(n)];
+    ASSERT_EQ(out.stride_n(), ref.stride_n());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(out.data()[n * out.stride_n() + i], ref.data()[i])
+          << "sample " << n << " element " << i;
+    }
+  }
+
+  // Batch-1 still works after a batched run (LIF state re-shapes back).
+  const auto again = net.run(per_sample.front(),
+                             needs_image ? &image : nullptr);
+  EXPECT_FLOAT_EQ(es::max_abs_diff(again, expected.front()), 0.0f);
+}
+
+// Repeated run() calls on one network reuse the workspace and value
+// buffers and keep producing identical results; the arena stops growing
+// once warm.
+TEST(Engine, WorkspaceReuseAcrossRepeatedRuns) {
+  const auto net_spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                          en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(net_spec, 7);
+  const auto steps = synthetic_steps(net_spec, 11);
+  const auto first = net.run(steps);
+  const std::size_t warm_bytes = net.workspace().retained_bytes();
+  for (int i = 0; i < 3; ++i) {
+    const auto again = net.run(steps);
+    EXPECT_FLOAT_EQ(es::max_abs_diff(again, first), 0.0f);
+  }
+  EXPECT_EQ(net.workspace().retained_bytes(), warm_bytes);
+}
+
+TEST(Kernels, Conv2dIntoMatchesConv2dAndReusesBuffer) {
+  const es::Conv2dSpec spec{3, 8, 3, 1, 1};
+  es::DenseTensor in(es::TensorShape{2, 3, 16, 20});
+  in.fill_random(61);
+  es::DenseTensor w(es::TensorShape{8, 3, 3, 3});
+  w.fill_random(62, 0.3f);
+  const std::vector<float> bias{0.1f, -0.1f, 0.2f, -0.2f,
+                                0.3f, -0.3f, 0.4f, -0.4f};
+
+  const auto expected = en::conv2d(in, w, bias, spec);
+  es::Workspace ws;
+  es::DenseTensor out;
+  en::conv2d_into(in, w, bias, spec, out, &ws);
+  EXPECT_FLOAT_EQ(es::max_abs_diff(out, expected), 0.0f);
+  const float* buffer = out.raw();
+  en::conv2d_into(in, w, bias, spec, out, &ws);  // same shape: no realloc
+  EXPECT_EQ(out.raw(), buffer);
+  EXPECT_FLOAT_EQ(es::max_abs_diff(out, expected), 0.0f);
+  EXPECT_THROW(en::conv2d_into(in, w, bias, spec, in, &ws),
+               std::invalid_argument);
 }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <random>
@@ -625,4 +626,243 @@ TEST(ParallelFor, PropagatesBodyExceptions) {
           },
           4),
       std::runtime_error);
+}
+
+// ----------------------------- CSR-output and batched kernel parity
+
+namespace {
+
+// Channel-wise bitwise equality of two sparse samples.
+void expect_samples_bitwise_equal(const es::SparseSample& a,
+                                  const es::SparseSample& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].entries(), b[c].entries()) << "channel " << c;
+  }
+}
+
+}  // namespace
+
+// (kernel, stride, padding, density-mille) sweep: the CSR-output strided
+// conv must match the seed reference scatter (<= 1e-4) and be bitwise
+// identical to the fast dense scatter at every stored site.
+class CsrParity
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(CsrParity, CsrMatchesReferenceAndScatter) {
+  const auto [kernel, stride, padding, dmille] = GetParam();
+  const double density = dmille / 1000.0;
+  const es::Conv2dSpec spec{3, 5, kernel, stride, padding};
+  if (18 + 2 * padding < kernel) GTEST_SKIP();
+  const auto input = random_parity_channels(3, 18, 22, density, 4321);
+  es::DenseTensor w(es::TensorShape{5, 3, kernel, kernel});
+  w.fill_random(9, 0.5f);
+
+  es::ConvWork work_csr, work_ref;
+  const auto csr = es::sparse_conv2d_csr(input, w, {}, spec, &work_csr);
+  for (const es::CooChannel& ch : csr) {
+    EXPECT_NO_THROW(ch.validate());
+  }
+  const auto csr_dense = es::channels_to_dense(csr);
+  EXPECT_LT(es::max_abs_diff(
+                csr_dense, es::reference::sparse_conv2d(input, w, {}, spec,
+                                                        &work_ref)),
+            1e-4f);
+  // Same tap visit order as the fast scatter: bitwise equal, not just
+  // close.
+  EXPECT_EQ(es::max_abs_diff(csr_dense,
+                             es::sparse_conv2d(input, w, {}, spec)),
+            0.0f);
+  EXPECT_EQ(work_csr.dense_macs, work_ref.dense_macs);
+  EXPECT_EQ(work_csr.nnz_in, work_ref.nnz_in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CsrParity,
+    ::testing::Values(std::make_tuple(1, 1, 0, 50),
+                      std::make_tuple(3, 1, 1, 10),
+                      std::make_tuple(3, 2, 1, 50),
+                      std::make_tuple(3, 2, 0, 200),
+                      std::make_tuple(3, 3, 1, 100),
+                      std::make_tuple(5, 2, 2, 100),
+                      std::make_tuple(7, 4, 3, 50)));
+
+// Bias semantics: the CSR variant adds bias at active sites only, and
+// matches the dense scatter exactly there; sites it leaves implicit hold
+// exactly the bias value in the dense output.
+TEST(SparseCsr, BiasAppliesAtActiveSitesOnly) {
+  const es::Conv2dSpec spec{2, 3, 3, 2, 1};
+  const auto input = random_parity_channels(2, 18, 22, 0.05, 99);
+  es::DenseTensor w(es::TensorShape{3, 2, 3, 3});
+  w.fill_random(11, 0.5f);
+  const std::vector<float> bias{0.25f, -0.5f, 1.0f};
+
+  const auto csr = es::sparse_conv2d_csr(input, w, bias, spec);
+  const auto dense = es::sparse_conv2d(input, w, bias, spec);
+  const auto no_bias = es::sparse_conv2d_csr(input, w, {}, spec);
+  for (std::size_t c = 0; c < csr.size(); ++c) {
+    for (const es::CooEntry& e : csr[c].entries()) {
+      EXPECT_EQ(e.value, dense.at(0, static_cast<int>(c), e.row, e.col));
+    }
+    // Every reached site appears in the no-bias active set, so anything
+    // absent from it must carry the pure bias value in the dense output.
+    for (int y = 0; y < no_bias[c].height(); ++y) {
+      for (int x = 0; x < no_bias[c].width(); ++x) {
+        const bool reached =
+            std::any_of(no_bias[c].entries().begin(),
+                        no_bias[c].entries().end(),
+                        [&](const es::CooEntry& e) {
+                          return e.row == y && e.col == x;
+                        });
+        if (!reached && csr[c].at(y, x) == 0.0f) {
+          EXPECT_EQ(dense.at(0, static_cast<int>(c), y, x), bias[c]);
+        }
+      }
+    }
+  }
+}
+
+// Batched kernels must be bitwise identical to per-sample batch-1 calls,
+// across batch sizes and densities.
+TEST(SparseBatched, GatherKernelsBitMatchPerSample) {
+  const es::Conv2dSpec subm{2, 6, 3, 1, 1};
+  const es::Conv2dSpec strided{2, 6, 3, 2, 1};
+  es::DenseTensor w(es::TensorShape{6, 2, 3, 3});
+  w.fill_random(21, 0.5f);
+  const std::vector<float> bias{0.1f, 0.0f, -0.1f, 0.2f, 0.0f, -0.2f};
+
+  for (const int batch : {1, 2, 5}) {
+    std::vector<es::SparseSample> inputs;
+    for (int n = 0; n < batch; ++n) {
+      inputs.push_back(random_parity_channels(
+          2, 20, 24, 0.01 + 0.03 * n, 500 + static_cast<std::uint64_t>(n)));
+    }
+    es::Workspace ws;
+    es::ConvWork batch_work;
+    const auto subm_batch = es::submanifold_conv2d_batch(
+        inputs, w, bias, subm, &batch_work, &ws);
+    const auto csr_batch =
+        es::sparse_conv2d_csr_batch(inputs, w, bias, strided, nullptr, &ws);
+    ASSERT_EQ(subm_batch.size(), inputs.size());
+    ASSERT_EQ(csr_batch.size(), inputs.size());
+
+    es::ConvWork single_work;
+    for (int n = 0; n < batch; ++n) {
+      const auto& sample = inputs[static_cast<std::size_t>(n)];
+      expect_samples_bitwise_equal(
+          subm_batch[static_cast<std::size_t>(n)],
+          es::submanifold_conv2d(sample, w, bias, subm, &single_work));
+      expect_samples_bitwise_equal(
+          csr_batch[static_cast<std::size_t>(n)],
+          es::sparse_conv2d_csr(sample, w, bias, strided));
+    }
+    // Work counters accumulate over the whole batch.
+    EXPECT_EQ(batch_work.sparse_macs, single_work.sparse_macs);
+    EXPECT_EQ(batch_work.nnz_in, single_work.nnz_in);
+  }
+  // Empty batches throw, consistently with sparse_conv2d_batch.
+  EXPECT_THROW((void)es::submanifold_conv2d_batch({}, w, bias, subm),
+               std::invalid_argument);
+  EXPECT_THROW((void)es::sparse_conv2d_csr_batch({}, w, bias, strided),
+               std::invalid_argument);
+}
+
+TEST(SparseBatched, DenseScatterBatchMatchesSlices) {
+  const es::Conv2dSpec spec{3, 4, 3, 2, 1};
+  es::DenseTensor w(es::TensorShape{4, 3, 3, 3});
+  w.fill_random(31, 0.5f);
+  const std::vector<float> bias{0.5f, -0.5f, 0.25f, -0.25f};
+  std::vector<es::SparseSample> inputs;
+  for (int n = 0; n < 3; ++n) {
+    inputs.push_back(random_parity_channels(
+        3, 18, 22, 0.02 * (n + 1), 900 + static_cast<std::uint64_t>(n)));
+  }
+
+  const auto batched = es::sparse_conv2d_batch(inputs, w, bias, spec);
+  ASSERT_EQ(batched.shape().n, 3);
+  for (int n = 0; n < 3; ++n) {
+    const auto single =
+        es::sparse_conv2d(inputs[static_cast<std::size_t>(n)], w, bias, spec);
+    for (int c = 0; c < batched.shape().c; ++c) {
+      for (int y = 0; y < batched.shape().h; ++y) {
+        for (int x = 0; x < batched.shape().w; ++x) {
+          EXPECT_EQ(batched.at(n, c, y, x), single.at(0, c, y, x));
+        }
+      }
+    }
+  }
+  EXPECT_THROW((void)es::sparse_conv2d_batch({}, w, bias, spec),
+               std::invalid_argument);
+}
+
+// Both threading axes of the gather reduction produce bitwise-identical
+// channels (the per-(site, channel) accumulation order is the same).
+TEST(SubmanifoldThreading, AxesAreBitwiseIdentical) {
+  const es::Conv2dSpec spec{4, 12, 3, 1, 1};
+  const auto input = random_parity_channels(4, 40, 44, 0.08, 2024);
+  es::DenseTensor w(es::TensorShape{12, 4, 3, 3});
+  w.fill_random(41, 0.5f);
+
+  es::Workspace ws;
+  const auto oc = es::submanifold_conv2d(
+      input, w, {}, spec, nullptr, &ws,
+      es::SubmanifoldThreading::kOutputChannels);
+  const auto sites = es::submanifold_conv2d(
+      input, w, {}, spec, nullptr, &ws,
+      es::SubmanifoldThreading::kActiveSites);
+  const auto autop = es::submanifold_conv2d(input, w, {}, spec, nullptr, &ws,
+                                            es::SubmanifoldThreading::kAuto);
+  expect_samples_bitwise_equal(oc, sites);
+  expect_samples_bitwise_equal(oc, autop);
+
+  const auto csr_oc = es::sparse_conv2d_csr(
+      input, w, {}, es::Conv2dSpec{4, 12, 3, 2, 1}, nullptr, &ws,
+      es::SubmanifoldThreading::kOutputChannels);
+  const auto csr_sites = es::sparse_conv2d_csr(
+      input, w, {}, es::Conv2dSpec{4, 12, 3, 2, 1}, nullptr, &ws,
+      es::SubmanifoldThreading::kActiveSites);
+  expect_samples_bitwise_equal(csr_oc, csr_sites);
+}
+
+// ----------------------------------------------------- Workspace arena
+
+TEST(Workspace, ReuseIsStableAndStopsGrowing) {
+  const es::Conv2dSpec spec{2, 8, 3, 1, 1};
+  const auto input = random_parity_channels(2, 30, 34, 0.05, 777);
+  es::DenseTensor w(es::TensorShape{8, 2, 3, 3});
+  w.fill_random(51, 0.5f);
+
+  es::Workspace ws;
+  const auto first = es::submanifold_conv2d(input, w, {}, spec, nullptr, &ws);
+  const std::size_t warm_bytes = ws.retained_bytes();
+  EXPECT_GT(warm_bytes, 0u);
+  for (int i = 0; i < 3; ++i) {
+    const auto again =
+        es::submanifold_conv2d(input, w, {}, spec, nullptr, &ws);
+    expect_samples_bitwise_equal(first, again);
+  }
+  // Steady state: repeated identical calls allocate no new scratch.
+  EXPECT_EQ(ws.retained_bytes(), warm_bytes);
+
+  ws.clear();
+  EXPECT_EQ(ws.retained_bytes(), 0u);
+  const auto after_clear =
+      es::submanifold_conv2d(input, w, {}, spec, nullptr, &ws);
+  expect_samples_bitwise_equal(first, after_clear);
+}
+
+TEST(Workspace, SlotsAreIndependentAndStable) {
+  es::Workspace ws;
+  es::ConvScratch& a = ws.scratch(0);
+  es::ConvScratch& b = ws.scratch(3);  // grows the pool past slot 3
+  EXPECT_EQ(ws.slot_count(), 4u);
+  a.sites.push_back(1);
+  b.sites.push_back(2);
+  EXPECT_NE(&ws.scratch(0), &ws.scratch(3));
+  EXPECT_EQ(ws.scratch(0).sites.size(), 1u);
+  EXPECT_EQ(ws.scratch(3).sites.size(), 1u);
+  // References stay valid across further growth (deque-backed pool).
+  ws.reserve_slots(16);
+  EXPECT_EQ(a.sites[0], 1);
+  EXPECT_EQ(b.sites[0], 2);
 }
