@@ -5,6 +5,8 @@
 // the network/scale conventions used across experiments (see DESIGN.md
 // section 5 for the experiment index).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -15,6 +17,23 @@
 #include "nn/zoo.hpp"
 
 namespace evedge::bench {
+
+/// Best-of-N wall time of `fn` in milliseconds (one warm-up call) —
+/// the shared timing primitive of the perf harnesses.
+template <typename Fn>
+[[nodiscard]] double time_best_ms(Fn&& fn, int reps) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
 
 /// Mid-resolution functional scale used for activation-density and
 /// accuracy probes in benches (full-scale functional runs are too slow

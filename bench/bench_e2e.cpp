@@ -17,12 +17,11 @@
 //
 // Usage: bench_e2e [output.json]
 
-#include <chrono>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/parallel.hpp"
 #include "nn/kernels.hpp"
 #include "sparse/sparse_ops.hpp"
@@ -30,24 +29,9 @@
 #include "sparse/workspace.hpp"
 
 namespace es = evedge::sparse;
+using evedge::bench::time_best_ms;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Best-of-N wall time in milliseconds.
-double time_ms(const std::function<void()>& fn, int reps) {
-  fn();  // warm-up
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = Clock::now();
-    fn();
-    const auto t1 = Clock::now();
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
-}
 
 es::SparseSample random_sample(int channels, int h, int w, double density,
                                std::uint64_t seed) {
@@ -226,14 +210,14 @@ int main(int argc, char** argv) {
     Result r;
     r.density = density;
     r.batch = kBatch;
-    r.batch1_ms = time_ms(
+    r.batch1_ms = time_best_ms(
         [&] {
           for (const es::SparseSample& s : batch) (void)net.run_legacy(s);
         },
         5);
     r.batched_ms =
-        time_ms([&] { (void)net.run_batched_legacy(batch, &ws); }, 5);
-    r.csr_ms = time_ms([&] { (void)net.run_csr_batched(batch, &ws); }, 5);
+        time_best_ms([&] { (void)net.run_batched_legacy(batch, &ws); }, 5);
+    r.csr_ms = time_best_ms([&] { (void)net.run_csr_batched(batch, &ws); }, 5);
 
     // Parity: batched CSR chain must bit-match the per-sample CSR chain,
     // and stay within 1e-4 of the legacy densify/sparsify chain.

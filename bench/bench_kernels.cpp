@@ -8,12 +8,11 @@
 //
 // Usage: bench_kernels [output.json]
 
-#include <chrono>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/parallel.hpp"
 #include "nn/kernels.hpp"
 #include "sparse/reference.hpp"
@@ -22,24 +21,9 @@
 
 namespace es = evedge::sparse;
 namespace en = evedge::nn;
+using evedge::bench::time_best_ms;
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Best-of-N wall time in milliseconds.
-double time_ms(const std::function<void()>& fn, int reps) {
-  fn();  // warm-up
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = Clock::now();
-    fn();
-    const auto t1 = Clock::now();
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
-}
 
 struct Result {
   std::string kernel;
@@ -84,10 +68,10 @@ Result bench_dense_conv(const std::string& label, const es::TensorShape& in,
   r.kernel = std::string("conv2d_") +
              (en::conv2d_uses_gemm(in, spec) ? "gemm" : "direct");
   r.shape = label;
-  r.ref_ms = time_ms(
+  r.ref_ms = time_best_ms(
       [&] { (void)es::reference::conv2d(input, weights, bias, spec); },
       ref_reps);
-  r.fast_ms = time_ms([&] { (void)en::conv2d(input, weights, bias, spec); },
+  r.fast_ms = time_best_ms([&] { (void)en::conv2d(input, weights, bias, spec); },
                       fast_reps);
   r.max_abs_diff = es::max_abs_diff(
       en::conv2d(input, weights, bias, spec),
@@ -111,10 +95,10 @@ Result bench_sparse_conv(const std::string& label, int h, int w,
   r.kernel = "sparse_conv2d";
   r.shape = label;
   r.density = density;
-  r.ref_ms = time_ms(
+  r.ref_ms = time_best_ms(
       [&] { (void)es::reference::sparse_conv2d(input, weights, bias, spec); },
       ref_reps);
-  r.fast_ms = time_ms(
+  r.fast_ms = time_best_ms(
       [&] { (void)es::sparse_conv2d(input, weights, bias, spec); },
       fast_reps);
   r.max_abs_diff =
@@ -138,10 +122,10 @@ Result bench_submanifold(const std::string& label, int h, int w,
   r.kernel = "submanifold_conv2d";
   r.shape = label;
   r.density = density;
-  r.ref_ms = time_ms(
+  r.ref_ms = time_best_ms(
       [&] { (void)es::reference::submanifold_conv2d(input, weights, {}, spec); },
       ref_reps);
-  r.fast_ms = time_ms(
+  r.fast_ms = time_best_ms(
       [&] { (void)es::submanifold_conv2d(input, weights, {}, spec); },
       fast_reps);
   r.max_abs_diff = es::max_abs_diff(
@@ -171,10 +155,10 @@ Result bench_submanifold_axis(const std::string& label, int h, int w,
                  : "submanifold_oc";
   r.shape = label;
   r.density = density;
-  r.ref_ms = time_ms(
+  r.ref_ms = time_best_ms(
       [&] { (void)es::reference::submanifold_conv2d(input, weights, {}, spec); },
       ref_reps);
-  r.fast_ms = time_ms(
+  r.fast_ms = time_best_ms(
       [&] {
         (void)es::submanifold_conv2d(input, weights, {}, spec, nullptr, &ws,
                                      mode);
@@ -207,13 +191,13 @@ Result bench_sparse_csr(const std::string& label, int h, int w,
   r.kernel = "sparse_conv2d_csr";
   r.shape = label;
   r.density = density;
-  r.ref_ms = time_ms(
+  r.ref_ms = time_best_ms(
       [&] {
         (void)es::dense_to_channels(
             es::reference::sparse_conv2d(input, weights, {}, spec));
       },
       ref_reps);
-  r.fast_ms = time_ms(
+  r.fast_ms = time_best_ms(
       [&] { (void)es::sparse_conv2d_csr(input, weights, {}, spec, nullptr,
                                         &ws); },
       fast_reps);

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Kernel-bench perf regression gate.
+"""Benchmark perf regression gate.
 
-Compares a freshly produced BENCH_kernels.json against the checked-in
-baseline and fails (exit 1) when any kernel's speedup dropped by more
-than the threshold. Speedup (ref_ms / fast_ms) is measured against the
-seed reference kernels on the same machine in the same run, so the
-ratio is largely machine-speed invariant — a drop means the fast path
-itself regressed relative to the reference work.
+Compares a freshly produced benchmark JSON against the checked-in
+baseline and fails (exit 1) when any record's speedup dropped by more
+than the threshold. Speedup is a same-machine same-run ratio (reference
+work / fast-path work), so it is largely machine-speed invariant — a
+drop means the fast path itself regressed relative to the reference
+work.
 
-Records are keyed by (kernel, shape, density). Keys present only in the
-fresh run (newly added benches) are reported but do not gate; keys
-missing from the fresh run fail the gate (a silently dropped bench must
-not pass as "no regression").
+Three benchmark schemas are understood, auto-detected per record:
+
+  BENCH_kernels.json / BENCH_quant.json
+      records with kernel/shape/density and a single "speedup" metric
+  BENCH_e2e.json
+      records with density/batch and two metrics, "speedup_batched"
+      and "speedup_csr"
+
+Records are keyed by (kernel, shape, density); every metric of a record
+gates independently. Keys present only in the fresh run (newly added
+benches) are reported but do not gate; keys missing from the fresh run
+fail the gate (a silently dropped bench must not pass as "no
+regression"). Thread counts must match between baseline and fresh run —
+extra fast-path threads would mask real regressions.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.20]
 """
@@ -26,8 +36,17 @@ def load(path):
         data = json.load(f)
     out = {}
     for r in data["results"]:
-        key = (r["kernel"], r["shape"], round(float(r["density"]), 6))
-        out[key] = float(r["speedup"])
+        if "kernel" in r:
+            key = (r["kernel"], r["shape"], round(float(r["density"]), 6))
+            metrics = {"speedup": float(r["speedup"])}
+        else:  # e2e schema
+            key = ("e2e", "batch=%d" % int(r["batch"]),
+                   round(float(r["density"]), 6))
+            metrics = {
+                "speedup_batched": float(r["speedup_batched"]),
+                "speedup_csr": float(r["speedup_csr"]),
+            }
+        out[key] = metrics
     return out, int(data.get("threads", 0))
 
 
@@ -42,8 +61,6 @@ def main():
     base, base_threads = load(args.baseline)
     fresh, fresh_threads = load(args.fresh)
     if base_threads != fresh_threads:
-        # Extra fast-path threads would mask real regressions (the seed
-        # reference is single-threaded either way).
         print(f"thread-count mismatch: baseline ran with {base_threads} "
               f"threads, fresh run with {fresh_threads} — regenerate one "
               f"side (EVEDGE_THREADS pins the worker count)",
@@ -52,24 +69,33 @@ def main():
 
     failures = []
     print(f"{'kernel':<24} {'shape':<28} {'density':>8} "
-          f"{'base':>8} {'fresh':>8} {'ratio':>7}")
+          f"{'metric':<16} {'base':>8} {'fresh':>8} {'ratio':>7}")
     for key in sorted(base):
         kernel, shape, density = key
         if key not in fresh:
             failures.append(f"missing from fresh run: {key}")
             continue
-        b, f = base[key], fresh[key]
-        ratio = f / b if b > 0 else float("inf")
-        flag = "  FAIL" if ratio < 1.0 - args.threshold else ""
-        print(f"{kernel:<24} {shape:<28} {density:>8.4f} "
-              f"{b:>7.2f}x {f:>7.2f}x {ratio:>7.2f}{flag}")
-        if ratio < 1.0 - args.threshold:
-            failures.append(
-                f"{kernel} {shape} density={density}: speedup "
-                f"{b:.2f}x -> {f:.2f}x ({(1.0 - ratio) * 100:.0f}% drop)")
-    for key in sorted(set(fresh) - set(base)):
-        print(f"{key[0]:<24} {key[1]:<28} {key[2]:>8.4f} "
-              f"{'new':>8} {fresh[key]:>7.2f}x")
+        for metric in sorted(base[key]):
+            b = base[key][metric]
+            if metric not in fresh[key]:
+                failures.append(f"missing metric {metric} for {key}")
+                continue
+            f = fresh[key][metric]
+            ratio = f / b if b > 0 else float("inf")
+            flag = "  FAIL" if ratio < 1.0 - args.threshold else ""
+            print(f"{kernel:<24} {shape:<28} {density:>8.4f} "
+                  f"{metric:<16} {b:>7.2f}x {f:>7.2f}x {ratio:>7.2f}{flag}")
+            if ratio < 1.0 - args.threshold:
+                failures.append(
+                    f"{kernel} {shape} density={density} {metric}: "
+                    f"{b:.2f}x -> {f:.2f}x "
+                    f"({(1.0 - ratio) * 100:.0f}% drop)")
+    gated = sum(len(m) for m in base.values())
+    new = sorted(set(fresh) - set(base))
+    for key in new:
+        for metric in sorted(fresh[key]):
+            print(f"{key[0]:<24} {key[1]:<28} {key[2]:>8.4f} "
+                  f"{metric:<16} {'new':>8} {fresh[key][metric]:>7.2f}x")
 
     if failures:
         print("\nPERF REGRESSION GATE FAILED "
@@ -77,9 +103,9 @@ def main():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"\nperf gate OK: no kernel dropped more than "
+    print(f"\nperf gate OK: no metric dropped more than "
           f"{args.threshold * 100:.0f}% vs baseline "
-          f"({len(base)} gated, {len(set(fresh) - set(base))} new)")
+          f"({gated} gated, {len(new)} new record(s))")
     return 0
 
 

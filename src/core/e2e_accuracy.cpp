@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/kernels.hpp"
+#include "quant/calibrate.hpp"
 #include "quant/quantizer.hpp"
 
 namespace evedge::core {
@@ -179,16 +180,65 @@ E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
     if (denom <= 1e-12) return 0.0;
     return std::max(0.0, 1.0 - dot / denom);
   };
-  for (const auto& bins : intervals) {
+  const auto deviation = [&](const DenseTensor& out, const DenseTensor& ref) {
+    switch (spec.task) {
+      case nn::TaskKind::kOpticalFlow:
+      case nn::TaskKind::kDepth:
+        // Dense regression maps: scale-free deviation (per-pixel
+        // relative error explodes on the near-zero reference values a
+        // random-weight net emits).
+        return cosine_dissimilarity(out, ref);
+      default:
+        return quant::metric_degradation(spec.task, out, ref);
+    }
+  };
+
+  // Real-engine cross-check: calibrate activation scales and prepare
+  // the int8 plan for the kInt8 layers of the precision map before the
+  // evaluation loop (the fake-quant path below stays authoritative for
+  // the headline metric). Calibration runs on the DSFA-merged inputs —
+  // the inputs the int8 engine actually executes: cAdd merging sums
+  // bins into slots whose magnitudes exceed the unmerged maxima, and a
+  // scale calibrated on unmerged inputs would saturate exactly the
+  // busiest slots.
+  quant::QuantPlan int8_plan;
+  // Converted merged inputs, kept (cross-check only) for reuse as the
+  // evaluation loop's merged steps.
+  std::vector<quant::ValidationSample> samples;
+  if (config.int8_engine_cross_check) {
+    for (const auto& bins : intervals) {
+      const auto merged_bins =
+          config.apply_dsfa ? reslot_merged_frames(bins, config.dsfa) : bins;
+      quant::ValidationSample s;
+      s.event_steps = to_network_input(spec, merged_bins);
+      if (needs_image) s.image = image;
+      samples.push_back(std::move(s));
+    }
+    const quant::CalibrationTable table =
+        quant::calibrate_activations(net, samples);
+    int8_plan = quant::build_quant_plan(net, config.precisions, table);
+  }
+
+  double degradation_int8_sum = 0.0;
+  for (std::size_t iv = 0; iv < intervals.size(); ++iv) {
+    const auto& bins = intervals[iv];
     // Reference: unmerged, FP32.
     const auto ref_steps = to_network_input(spec, bins);
     const DenseTensor ref =
         net.run(ref_steps, needs_image ? &image : nullptr);
 
-    // Ev-Edge: DSFA-merged slots, quantized per the precision map.
-    const auto merged_bins =
-        config.apply_dsfa ? reslot_merged_frames(bins, config.dsfa) : bins;
-    const auto merged_steps = to_network_input(spec, merged_bins);
+    // Ev-Edge: DSFA-merged slots, quantized per the precision map. The
+    // cross-check path already converted them for calibration — reuse
+    // instead of re-running the reslot + conversion.
+    std::vector<DenseTensor> merged_local;
+    if (!config.int8_engine_cross_check) {
+      const auto merged_bins =
+          config.apply_dsfa ? reslot_merged_frames(bins, config.dsfa) : bins;
+      merged_local = to_network_input(spec, merged_bins);
+    }
+    const std::vector<DenseTensor>& merged_steps =
+        config.int8_engine_cross_check ? samples[iv].event_steps
+                                       : merged_local;
 
     for (std::size_t i = 0; i < weight_nodes.size(); ++i) {
       const auto it = config.precisions.find(weight_nodes[i]);
@@ -211,23 +261,17 @@ E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
     for (std::size_t i = 0; i < weight_nodes.size(); ++i) {
       net.weights(weight_nodes[i]) = pristine[i];
     }
+    degradation_sum += deviation(out, ref);
 
-    double degradation = 0.0;
-    switch (spec.task) {
-      case nn::TaskKind::kOpticalFlow:
-        degradation = cosine_dissimilarity(out, ref);
-        break;
-      case nn::TaskKind::kDepth:
-        // Depth is a dense regression map like flow: use the same
-        // scale-free deviation (per-pixel relative error explodes on the
-        // near-zero reference depths a random-weight net emits).
-        degradation = cosine_dissimilarity(out, ref);
-        break;
-      default:
-        degradation = quant::metric_degradation(spec.task, out, ref);
-        break;
+    if (config.int8_engine_cross_check) {
+      // Same merged inputs through the real int8 kernels (weights stay
+      // pristine — the plan snapshots its own quantized copies).
+      net.set_quant_plan(&int8_plan);
+      const DenseTensor out_int8 =
+          net.run(merged_steps, needs_image ? &image : nullptr);
+      net.set_quant_plan(nullptr);
+      degradation_int8_sum += deviation(out_int8, ref);
     }
-    degradation_sum += degradation;
   }
   const double degradation =
       degradation_sum / static_cast<double>(intervals.size());
@@ -247,6 +291,15 @@ E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
   } else {
     // Quality metrics (mIoU): degradation is a fraction lost.
     result.evedge_metric = anchor.value * (1.0 - degradation);
+  }
+  if (config.int8_engine_cross_check) {
+    result.has_int8_cross_check = true;
+    const double d8 =
+        degradation_int8_sum / static_cast<double>(intervals.size());
+    result.measured_degradation_int8 = d8;
+    result.evedge_metric_int8 = anchor.lower_is_better
+                                    ? anchor.value * (1.0 + d8)
+                                    : anchor.value * (1.0 - d8);
   }
   return result;
 }

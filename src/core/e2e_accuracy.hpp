@@ -26,6 +26,13 @@ struct E2eAccuracyResult {
   double measured_degradation = 0.0;  ///< metric_degradation units
   const char* metric_name = "";
   bool lower_is_better = true;
+  /// Real INT8-engine cross-check (config.int8_engine_cross_check): the
+  /// same pipeline executed through the calibrated int8 kernels instead
+  /// of fake-quantization — the accuracy experiment running on the
+  /// substrate it models.
+  bool has_int8_cross_check = false;
+  double evedge_metric_int8 = 0.0;
+  double measured_degradation_int8 = 0.0;
 };
 
 struct E2eAccuracyConfig {
@@ -36,6 +43,11 @@ struct E2eAccuracyConfig {
   double frame_rate_hz = 30.0;
   int max_intervals = 6;  ///< evaluation windows (validation subset)
   std::uint64_t weight_seed = 7;
+  /// Additionally evaluate the kInt8 layers of `precisions` through the
+  /// real INT8 engine (activation scales calibrated on the reference
+  /// inputs) and report the resulting metric alongside the fake-quant
+  /// one.
+  bool int8_engine_cross_check = false;
 };
 
 /// Runs the functional network on E2SF frames from `stream`, unmerged

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "nn/kernels.hpp"
+#include "quant/int8_kernels.hpp"
 
 namespace evedge::nn {
 
@@ -135,6 +136,74 @@ std::vector<float>& FunctionalNetwork::bias(int node_id) {
   return biases_[static_cast<std::size_t>(node_id)];
 }
 
+const quant::QuantPlan* FunctionalNetwork::set_quant_plan(
+    const quant::QuantPlan* plan) {
+  // Validate the whole plan before mutating any state: a rejected plan
+  // must leave the previous execution mode fully intact.
+  if (plan != nullptr) {
+    for (const quant::NodeQuantPlan& nq : plan->nodes) {
+      if (nq.node_id < 0 ||
+          nq.node_id >= static_cast<int>(spec_.graph.size()) ||
+          !is_weight_layer(spec_.graph.node(nq.node_id).spec.kind)) {
+        throw std::invalid_argument("set_quant_plan: node " +
+                                    std::to_string(nq.node_id) +
+                                    " is not a weight layer of this graph");
+      }
+    }
+  }
+  const quant::QuantPlan* previous = quant_plan_;
+  quant_plan_ = plan;
+  node_quant_.assign(spec_.graph.size(), nullptr);
+  if (plan != nullptr) {
+    for (const quant::NodeQuantPlan& nq : plan->nodes) {
+      node_quant_[static_cast<std::size_t>(nq.node_id)] = &nq;
+    }
+  }
+  return previous;
+}
+
+void FunctionalNetwork::run_quant_conv(const quant::NodeQuantPlan& nq,
+                                       const DenseTensor& input,
+                                       std::span<const float> bias,
+                                       DenseTensor& out) {
+  if (quant_plan_->simulate) {
+    quant::quantize_activations_reference(input, nq.input_scale,
+                                          quant_staging_);
+    conv2d_into(quant_staging_, nq.weights.fake, bias, nq.weights.spec, out,
+                &workspace_);
+    return;
+  }
+  quant::int8_conv2d_into(input, nq.weights, bias, nq.input_scale, out,
+                          &workspace_);
+}
+
+void FunctionalNetwork::run_quant_tconv(const quant::NodeQuantPlan& nq,
+                                        const DenseTensor& input,
+                                        std::span<const float> bias,
+                                        DenseTensor& out) {
+  if (quant_plan_->simulate) {
+    quant::quantize_activations_reference(input, nq.input_scale,
+                                          quant_staging_);
+    out = transposed_conv2d(quant_staging_, nq.weights.fake, bias,
+                            nq.weights.spec);
+    return;
+  }
+  quant::int8_transposed_conv2d_into(input, nq.weights, bias, nq.input_scale,
+                                     out, &workspace_);
+}
+
+DenseTensor FunctionalNetwork::run_quant_fc(const quant::NodeQuantPlan& nq,
+                                            const DenseTensor& input,
+                                            std::span<const float> bias) {
+  if (quant_plan_->simulate) {
+    quant::quantize_activations_reference(input, nq.input_scale,
+                                          quant_staging_);
+    return fully_connected(quant_staging_, nq.weights.fake, bias);
+  }
+  return quant::int8_fully_connected(input, nq.weights, bias, nq.input_scale,
+                                     &workspace_);
+}
+
 void FunctionalNetwork::reset_spiking_state() {
   for (std::size_t i = 0; i < lif_.size(); ++i) {
     if (is_spiking_[i]) lif_[i].reset();
@@ -226,31 +295,54 @@ DenseTensor FunctionalNetwork::run_impl(
           break;
         }
         case LayerKind::kConv: {
-          conv2d_into(values[static_cast<std::size_t>(node.parents[0])],
-                      weights_[idx], biases_[idx], ls.conv, out, &workspace_);
+          const DenseTensor& src =
+              values[static_cast<std::size_t>(node.parents[0])];
+          if (const auto* nq = node_quant(idx)) {
+            run_quant_conv(*nq, src, biases_[idx], out);
+          } else {
+            conv2d_into(src, weights_[idx], biases_[idx], ls.conv, out,
+                        &workspace_);
+          }
           if (ls.relu_after) relu_inplace(out);
           break;
         }
         case LayerKind::kTransposedConv: {
-          out = transposed_conv2d(
-              values[static_cast<std::size_t>(node.parents[0])],
-              weights_[idx], biases_[idx], ls.conv);
+          const DenseTensor& src =
+              values[static_cast<std::size_t>(node.parents[0])];
+          if (const auto* nq = node_quant(idx)) {
+            run_quant_tconv(*nq, src, biases_[idx], out);
+          } else {
+            out = transposed_conv2d(src, weights_[idx], biases_[idx],
+                                    ls.conv);
+          }
           if (ls.relu_after) relu_inplace(out);
           break;
         }
         case LayerKind::kSpikingConv:
         case LayerKind::kAdaptiveSpikingConv: {
-          conv2d_into(values[static_cast<std::size_t>(node.parents[0])],
-                      weights_[idx], biases_[idx], ls.conv, conv_scratch_,
-                      &workspace_);
+          const DenseTensor& src =
+              values[static_cast<std::size_t>(node.parents[0])];
+          // The synaptic-current conv quantizes; the LIF update stays
+          // float (spikes are exactly representable either way).
+          if (const auto* nq = node_quant(idx)) {
+            run_quant_conv(*nq, src, biases_[idx], conv_scratch_);
+          } else {
+            conv2d_into(src, weights_[idx], biases_[idx], ls.conv,
+                        conv_scratch_, &workspace_);
+          }
           out = lif_[idx].step(conv_scratch_);
           break;
         }
-        case LayerKind::kFullyConnected:
-          out = fully_connected(
-              values[static_cast<std::size_t>(node.parents[0])],
-              weights_[idx], biases_[idx]);
+        case LayerKind::kFullyConnected: {
+          const DenseTensor& src =
+              values[static_cast<std::size_t>(node.parents[0])];
+          if (const auto* nq = node_quant(idx)) {
+            out = run_quant_fc(*nq, src, biases_[idx]);
+          } else {
+            out = fully_connected(src, weights_[idx], biases_[idx]);
+          }
           break;
+        }
         case LayerKind::kMaxPool:
           out = max_pool(values[static_cast<std::size_t>(node.parents[0])],
                          ls.pool_kernel);

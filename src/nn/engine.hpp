@@ -21,6 +21,13 @@
 #include "nn/lif.hpp"
 #include "sparse/workspace.hpp"
 
+namespace evedge::quant {
+// Engine-side precision plan (quant/int8_kernels.hpp); held by pointer
+// only, so the int8 backend headers stay out of every nn consumer.
+struct QuantPlan;
+struct NodeQuantPlan;
+}  // namespace evedge::quant
+
 namespace evedge::nn {
 
 class FunctionalNetwork {
@@ -57,11 +64,28 @@ class FunctionalNetwork {
 
   /// Hook applied to each node's activations right after it executes
   /// (used by the quantization module for fake-quant inference).
+  /// Returns the previously installed hook so scoped users (e.g. the
+  /// calibration pass) can restore rather than clobber it.
   using ActivationHook =
       std::function<void(int node_id, sparse::DenseTensor& activation)>;
-  void set_activation_hook(ActivationHook hook) {
+  ActivationHook set_activation_hook(ActivationHook hook) {
+    ActivationHook previous = std::move(activation_hook_);
     activation_hook_ = std::move(hook);
+    return previous;
   }
+
+  /// Per-layer precision mode: nodes named in `plan` execute through the
+  /// INT8 kernels (or their float fake-quant twin when plan->simulate),
+  /// every other node runs FP32 — mixed-precision networks are the
+  /// normal case, since the mapper assigns precision per layer. The plan
+  /// is non-owning and must outlive its installation; it snapshots
+  /// weights at build time (quant::build_quant_plan), so mutating
+  /// weights() afterwards requires rebuilding it. nullptr restores pure
+  /// FP32 execution. Applies to run() and run_batched() alike; per-node
+  /// plan entries must reference weight nodes of this graph (the whole
+  /// plan is validated before any state changes). Returns the
+  /// previously installed plan for scoped save/restore.
+  const quant::QuantPlan* set_quant_plan(const quant::QuantPlan* plan);
 
   /// Mean firing rate of a spiking node measured over the last run()
   /// (0 for non-spiking nodes or before any run).
@@ -85,6 +109,25 @@ class FunctionalNetwork {
   [[nodiscard]] sparse::DenseTensor run_impl(
       std::span<const sparse::DenseTensor> event_steps,
       const sparse::DenseTensor* image, int batch);
+  /// The active plan entry for a node (nullptr when the node runs FP32).
+  [[nodiscard]] const quant::NodeQuantPlan* node_quant(
+      std::size_t idx) const noexcept {
+    return idx < node_quant_.size() ? node_quant_[idx] : nullptr;
+  }
+  /// Executes one conv-shaped node through the plan entry: the int8
+  /// kernel, or — in simulate mode — the float kernel over the
+  /// fake-quantized operands (identical quantization decisions).
+  void run_quant_conv(const quant::NodeQuantPlan& nq,
+                      const sparse::DenseTensor& input,
+                      std::span<const float> bias,
+                      sparse::DenseTensor& out);
+  void run_quant_tconv(const quant::NodeQuantPlan& nq,
+                       const sparse::DenseTensor& input,
+                       std::span<const float> bias,
+                       sparse::DenseTensor& out);
+  [[nodiscard]] sparse::DenseTensor run_quant_fc(
+      const quant::NodeQuantPlan& nq, const sparse::DenseTensor& input,
+      std::span<const float> bias);
 
   NetworkSpec spec_;
   std::vector<sparse::DenseTensor> weights_;   // per node (empty if none)
@@ -101,6 +144,11 @@ class FunctionalNetwork {
   std::vector<sparse::DenseTensor> values_;
   sparse::DenseTensor conv_scratch_;
   sparse::DenseTensor image_batch_;
+  // Per-layer precision plan: non-owning pointer plus a per-node index,
+  // and a staging tensor for the simulate path's quantized input copies.
+  const quant::QuantPlan* quant_plan_ = nullptr;
+  std::vector<const quant::NodeQuantPlan*> node_quant_;
+  sparse::DenseTensor quant_staging_;
 };
 
 /// Center-crops `t` spatially to (h, w); h/w must not exceed the extents.

@@ -1,0 +1,105 @@
+#include "quant/calibrate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "quant/quantizer.hpp"
+
+namespace evedge::quant {
+
+using sparse::DenseTensor;
+
+namespace {
+
+/// Installs an activation hook for one scope and always restores the
+/// caller's previous hook — the calibration hook captures stack
+/// locals, so it must not outlive a throw, and a caller's own hook
+/// must not be clobbered.
+class HookGuard {
+ public:
+  HookGuard(nn::FunctionalNetwork& net,
+            nn::FunctionalNetwork::ActivationHook hook)
+      : net_(net), previous_(net.set_activation_hook(std::move(hook))) {}
+  ~HookGuard() { net_.set_activation_hook(std::move(previous_)); }
+  HookGuard(const HookGuard&) = delete;
+  HookGuard& operator=(const HookGuard&) = delete;
+
+ private:
+  nn::FunctionalNetwork& net_;
+  nn::FunctionalNetwork::ActivationHook previous_;
+};
+
+}  // namespace
+
+CalibrationTable calibrate_activations(
+    nn::FunctionalNetwork& net, std::span<const ValidationSample> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("calibrate_activations: no samples");
+  }
+  CalibrationTable table;
+
+  // Input-node ranges come straight from the calibration tensors (the
+  // activation hook only fires for compute nodes).
+  const auto input_ids = net.spec().graph.input_ids();
+  for (const ValidationSample& s : samples) {
+    float& event_range = table.output_max_abs[input_ids.front()];
+    for (const DenseTensor& step : s.event_steps) {
+      event_range = std::max(event_range, max_abs(step.data()));
+    }
+    if (input_ids.size() > 1 && s.image.has_value()) {
+      float& image_range = table.output_max_abs[input_ids.back()];
+      image_range = std::max(image_range, max_abs(s.image->data()));
+    }
+  }
+
+  const HookGuard guard(
+      net, [&table](int node_id, DenseTensor& activation) {
+        float& range = table.output_max_abs[node_id];
+        range = std::max(range, max_abs(activation.data()));
+      });
+  for (const ValidationSample& s : samples) {
+    (void)net.run(s.event_steps,
+                  s.image.has_value() ? &s.image.value() : nullptr);
+  }
+  return table;
+}
+
+QuantPlan build_quant_plan(const nn::FunctionalNetwork& net,
+                           const PrecisionMap& precisions,
+                           const CalibrationTable& calibration, bool simulate,
+                           WeightGranularity granularity) {
+  QuantPlan plan;
+  plan.simulate = simulate;
+  for (const nn::LayerNode& node : net.spec().graph.nodes()) {
+    const auto it = precisions.find(node.id);
+    if (it == precisions.end() || it->second != Precision::kInt8) continue;
+    if (!nn::is_weight_layer(node.spec.kind)) continue;
+
+    NodeQuantPlan nq;
+    nq.node_id = node.id;
+    // An input range the calibration never observed is a usage error
+    // (stale/foreign table) — scale 1.0 would silently crush typical
+    // [-1, 1] activations to {-1, 0, 1}. A recorded range of zero is
+    // fine: an all-zero input quantizes exactly under any scale.
+    const int parent = node.parents.front();
+    if (!calibration.output_max_abs.contains(parent)) {
+      throw std::invalid_argument(
+          "build_quant_plan: no calibrated activation range for the input "
+          "of node " +
+          std::to_string(node.id) +
+          " — run calibrate_activations on this network first");
+    }
+    nq.input_scale = Int8Scale::for_range(calibration.range_of(parent));
+    Conv2dSpec spec = node.spec.conv;
+    if (node.spec.kind == nn::LayerKind::kFullyConnected) {
+      spec = Conv2dSpec{static_cast<int>(node.spec.input_elements()),
+                        node.spec.fc_out, 1, 1, 0};
+    }
+    nq.weights = quantize_conv_weights(net.weights(node.id), spec,
+                                       granularity);
+    plan.nodes.push_back(std::move(nq));
+  }
+  return plan;
+}
+
+}  // namespace evedge::quant

@@ -1,0 +1,54 @@
+#pragma once
+
+// Post-training calibration for the INT8 engine (paper §4.3 context:
+// TensorRT-style deployment quantizes activations with static scales
+// derived from representative data). calibrate_activations runs the
+// network in FP32 over a calibration set and records each node's
+// output range; build_quant_plan turns a mapper PrecisionMap plus those
+// ranges into the prepared QuantPlan FunctionalNetwork executes.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "nn/engine.hpp"
+#include "quant/accuracy.hpp"
+#include "quant/int8_kernels.hpp"
+#include "quant/precision.hpp"
+
+namespace evedge::quant {
+
+/// Per-node activation ranges observed on FP32 runs. Keys are node ids;
+/// values are the max finite |v| of that node's output over the
+/// calibration set (input nodes included — their range is measured from
+/// the calibration tensors themselves).
+struct CalibrationTable {
+  std::unordered_map<int, float> output_max_abs;
+
+  /// Recorded range of a node's output (0 when never observed).
+  [[nodiscard]] float range_of(int node_id) const noexcept {
+    const auto it = output_max_abs.find(node_id);
+    return it != output_max_abs.end() ? it->second : 0.0f;
+  }
+};
+
+/// Runs `net` in FP32 over `samples` (which must match the network's
+/// input representation, e.g. from make_validation_set) and records
+/// every node's output range. Temporarily replaces the activation hook.
+[[nodiscard]] CalibrationTable calibrate_activations(
+    nn::FunctionalNetwork& net, std::span<const ValidationSample> samples);
+
+/// Prepares a QuantPlan from a per-node precision assignment: every
+/// weight node mapped to kInt8 gets per-output-channel quantized weights
+/// (snapshotted from the network's current weights) and an input
+/// activation scale derived from its parent's calibrated range. Throws
+/// when a needed input range was never observed (stale or foreign
+/// calibration table). kFp32 and kFp16 assignments are ignored (fp16 is
+/// storage-only modelling — see quantizer.hpp; a real fp16 path is a
+/// roadmap follow-on).
+[[nodiscard]] QuantPlan build_quant_plan(
+    const nn::FunctionalNetwork& net, const PrecisionMap& precisions,
+    const CalibrationTable& calibration, bool simulate = false,
+    WeightGranularity granularity = WeightGranularity::kPerChannel);
+
+}  // namespace evedge::quant

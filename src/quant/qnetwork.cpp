@@ -1,0 +1,68 @@
+#include "quant/qnetwork.hpp"
+
+#include "quant/quantizer.hpp"
+
+namespace evedge::quant {
+
+using sparse::DenseTensor;
+
+double output_quant_step(const DenseTensor& reference) {
+  return static_cast<double>(max_abs(reference.data())) / 127.0;
+}
+
+QuantizedNetwork::QuantizedNetwork(
+    nn::NetworkSpec spec, std::uint64_t seed, PrecisionMap precisions,
+    std::span<const ValidationSample> calibration,
+    WeightGranularity granularity)
+    : net_(std::move(spec), seed), precisions_(std::move(precisions)) {
+  calibration_ = calibrate_activations(net_, calibration);
+  real_ = build_quant_plan(net_, precisions_, calibration_,
+                           /*simulate=*/false, granularity);
+  simulated_ = build_quant_plan(net_, precisions_, calibration_,
+                                /*simulate=*/true, granularity);
+}
+
+namespace {
+
+/// Installs a plan for the duration of one call and restores whatever
+/// plan the caller had active (always, including on throw).
+class PlanGuard {
+ public:
+  PlanGuard(nn::FunctionalNetwork& net, const QuantPlan* plan)
+      : net_(net), previous_(net.set_quant_plan(plan)) {}
+  ~PlanGuard() { net_.set_quant_plan(previous_); }
+  PlanGuard(const PlanGuard&) = delete;
+  PlanGuard& operator=(const PlanGuard&) = delete;
+
+ private:
+  nn::FunctionalNetwork& net_;
+  const QuantPlan* previous_;
+};
+
+}  // namespace
+
+DenseTensor QuantizedNetwork::run(std::span<const DenseTensor> event_steps,
+                                  const DenseTensor* image) {
+  const PlanGuard guard(net_, &real_);
+  return net_.run(event_steps, image);
+}
+
+DenseTensor QuantizedNetwork::run_batched(
+    std::span<const DenseTensor> event_steps, const DenseTensor* image) {
+  const PlanGuard guard(net_, &real_);
+  return net_.run_batched(event_steps, image);
+}
+
+DenseTensor QuantizedNetwork::run_reference(
+    std::span<const DenseTensor> event_steps, const DenseTensor* image) {
+  const PlanGuard guard(net_, &simulated_);
+  return net_.run(event_steps, image);
+}
+
+DenseTensor QuantizedNetwork::run_fp32(
+    std::span<const DenseTensor> event_steps, const DenseTensor* image) {
+  const PlanGuard guard(net_, nullptr);
+  return net_.run(event_steps, image);
+}
+
+}  // namespace evedge::quant

@@ -1,0 +1,74 @@
+#pragma once
+
+// QuantizedNetwork: the turn-key mixed-precision inference surface.
+// Owns a FunctionalNetwork plus the calibrated INT8 plan for a mapper
+// precision assignment and exposes three numerically related runs:
+//
+//   run()            real INT8 kernels (int32 accumulate, float requant)
+//   run_reference()  the fake-quant float twin: identical quantization
+//                    decisions (same scales, same rounding), float
+//                    arithmetic — the validation oracle
+//   run_fp32()       the unquantized baseline
+//
+// Contract: run() matches run_reference() within one quantization step
+// of the output (output_quant_step), because integer accumulation is
+// exact and the two paths share every rounding decision; they differ
+// only in float-vs-int accumulation order.
+
+#include <cstdint>
+#include <span>
+
+#include "nn/engine.hpp"
+#include "quant/calibrate.hpp"
+
+namespace evedge::quant {
+
+/// One quantization step of the int8 grid covering `reference`: the
+/// elementwise tolerance for comparing real-engine output against the
+/// fake-quant reference.
+[[nodiscard]] double output_quant_step(const sparse::DenseTensor& reference);
+
+class QuantizedNetwork {
+ public:
+  /// Builds the functional network (weights from `seed`), calibrates
+  /// activation scales over `calibration` FP32 runs and prepares the
+  /// real + simulate plans for `precisions` (kInt8 entries execute
+  /// int8; everything else stays FP32).
+  QuantizedNetwork(nn::NetworkSpec spec, std::uint64_t seed,
+                   PrecisionMap precisions,
+                   std::span<const ValidationSample> calibration,
+                   WeightGranularity granularity =
+                       WeightGranularity::kPerChannel);
+
+  /// Mixed-precision inference through the real INT8 kernels.
+  [[nodiscard]] sparse::DenseTensor run(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image = nullptr);
+  /// Batched variant (per-sample results bitwise match run()).
+  [[nodiscard]] sparse::DenseTensor run_batched(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image = nullptr);
+  /// The float fake-quant twin of run().
+  [[nodiscard]] sparse::DenseTensor run_reference(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image = nullptr);
+  /// The FP32 baseline (no plan installed).
+  [[nodiscard]] sparse::DenseTensor run_fp32(
+      std::span<const sparse::DenseTensor> event_steps,
+      const sparse::DenseTensor* image = nullptr);
+
+  [[nodiscard]] nn::FunctionalNetwork& network() noexcept { return net_; }
+  [[nodiscard]] const CalibrationTable& calibration() const noexcept {
+    return calibration_;
+  }
+  [[nodiscard]] const QuantPlan& plan() const noexcept { return real_; }
+
+ private:
+  nn::FunctionalNetwork net_;
+  PrecisionMap precisions_;
+  CalibrationTable calibration_;
+  QuantPlan real_;
+  QuantPlan simulated_;
+};
+
+}  // namespace evedge::quant

@@ -37,15 +37,21 @@ float round_to_fp16(float v) noexcept {
   return std::bit_cast<float>(truncated);
 }
 
+Int8Scale Int8Scale::for_range(float max_abs) noexcept {
+  if (!std::isfinite(max_abs) || max_abs <= 0.0f) return Int8Scale{1.0f};
+  return Int8Scale{max_abs / 127.0f};
+}
+
 float Int8Scale::apply(float v) const noexcept {
-  const float q = std::round(v / scale);
-  const float clamped = std::clamp(q, -127.0f, 127.0f);
-  return clamped * scale;
+  return static_cast<float>(quantize(v)) * scale;
 }
 
 float max_abs(std::span<const float> values) noexcept {
   float m = 0.0f;
-  for (float v : values) m = std::max(m, std::abs(v));
+  for (float v : values) {
+    const float a = std::abs(v);
+    if (std::isfinite(a)) m = std::max(m, a);
+  }
   return m;
 }
 

@@ -23,13 +23,30 @@ namespace evedge::quant {
 struct Int8Scale {
   float scale = 1.0f;
 
-  [[nodiscard]] static Int8Scale for_range(float max_abs) noexcept {
-    return Int8Scale{max_abs > 0.0f ? max_abs / 127.0f : 1.0f};
-  }
+  /// Non-finite or non-positive ranges fall back to the unit grid
+  /// (scale 1): a NaN/Inf range must not poison every quantized value.
+  [[nodiscard]] static Int8Scale for_range(float max_abs) noexcept;
+  /// Quantize-dequantize one value. Non-finite inputs are handled
+  /// explicitly: +-Inf saturates to the grid edge, NaN maps to 0.
   [[nodiscard]] float apply(float v) const noexcept;
+  /// The integer grid index of `v`: round half away from zero via the
+  /// reciprocal multiply + biased truncation, saturated to +-127 (+-Inf
+  /// saturates, NaN maps to 0). This IS the grid definition — the INT8
+  /// kernels and the fake-quant reference both call it, so their
+  /// rounding agrees bit for bit. Inline select-shaped branches: the
+  /// kernels' quantization loops must vectorize.
+  [[nodiscard]] int quantize(float v) const noexcept {
+    float q = v * (1.0f / scale);
+    q = q > 127.0f ? 127.0f : q;
+    q = q < -127.0f ? -127.0f : q;
+    q = q != q ? 0.0f : q;  // NaN (the only value failing q == q)
+    return static_cast<int>(q + (q >= 0.0f ? 0.5f : -0.5f));
+  }
 };
 
-/// Largest |v| in the span (0 for empty).
+/// Largest finite |v| in the span (0 for empty). Non-finite elements are
+/// skipped: a NaN/Inf outlier must not silently poison the scale — the
+/// resulting grid still covers every finite value.
 [[nodiscard]] float max_abs(std::span<const float> values) noexcept;
 
 /// Fake-quantizes every element of `values` in place to `precision`

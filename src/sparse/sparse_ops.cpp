@@ -345,19 +345,15 @@ void reduce_sites(const ConvScratch& s, const float* packed_w,
   }
 }
 
-/// Gather-kernel core shared by submanifold_conv2d (stride-1, output
-/// sites = input active sites) and sparse_conv2d_csr (strided, output
-/// sites = scatter targets of the input non-zeros). Stages:
-///   1. gather the input into dense per-channel rows + collect the
-///      sorted active output-site list (bitmap dedup),
-///   2. build one shared (weight offset, value) tap list per site,
-///   3. reduce the tap lists against every output channel,
-///   4. restore the scratch buffers to all-zero by touched index.
-std::vector<CooChannel> gather_conv_sample(
-    std::span<const CooChannel> input, const DenseTensor& weights,
-    std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
-    ConvScratch& s, SubmanifoldThreading threading, int max_threads,
-    ConvWork* work, const float* shared_packed_w = nullptr) {
+/// Gather front half shared by the float gather kernels and the public
+/// build_gather_taps entry point (no validation — callers validated).
+/// Stages 1-2 of the gather kernel: gather the input into dense
+/// per-channel rows + collect the sorted active output-site list (bitmap
+/// dedup), then build one shared (weight offset, value) tap list per
+/// site.
+GatherGeometry build_taps_impl(std::span<const CooChannel> input,
+                               const Conv2dSpec& spec, bool submanifold,
+                               ConvScratch& s) {
   const int in_h = input[0].height();
   const int in_w = input[0].width();
   const int out_h = submanifold ? in_h
@@ -450,6 +446,37 @@ std::vector<CooChannel> gather_conv_sample(
     }
     s.site_ptr[si + 1] = s.taps.size();
   }
+  return GatherGeometry{out_h, out_w, nnz_in};
+}
+
+/// Stage 4: restore the gather rows and active bitmap to all-zero,
+/// touching only the indices build_taps_impl wrote for `input`.
+void clear_scratch_impl(std::span<const CooChannel> input, ConvScratch& s) {
+  const int in_w = input[0].width();
+  const std::size_t in_plane = static_cast<std::size_t>(input[0].height()) *
+                               static_cast<std::size_t>(in_w);
+  for (std::size_t ic = 0; ic < input.size(); ++ic) {
+    float* g_c = s.gather.data() + ic * in_plane;
+    for (const CooEntry& e : input[ic].entries()) {
+      g_c[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(in_w) +
+          static_cast<std::size_t>(e.col)] = 0.0f;
+    }
+  }
+  for (const std::int32_t idx : s.sites) {
+    s.active[static_cast<std::size_t>(idx)] = 0;
+  }
+}
+
+/// Gather-kernel core shared by submanifold_conv2d (stride-1, output
+/// sites = input active sites) and sparse_conv2d_csr (strided, output
+/// sites = scatter targets of the input non-zeros): build the site/tap
+/// lists, reduce them against every output channel, restore the scratch.
+std::vector<CooChannel> gather_conv_sample(
+    std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
+    ConvScratch& s, SubmanifoldThreading threading, int max_threads,
+    ConvWork* work, const float* shared_packed_w = nullptr) {
+  const GatherGeometry geo = build_taps_impl(input, spec, submanifold, s);
 
   const std::size_t sparse_macs =
       s.taps.size() * static_cast<std::size_t>(spec.out_channels);
@@ -461,34 +488,23 @@ std::vector<CooChannel> gather_conv_sample(
   }
   std::vector<std::vector<CooEntry>> out_entries(
       static_cast<std::size_t>(spec.out_channels));
-  reduce_sites(s, packed_w, bias, spec.out_channels, out_w, threading,
+  reduce_sites(s, packed_w, bias, spec.out_channels, geo.out_w, threading,
                max_threads, out_entries);
 
-  // Restore the scratch buffers to all-zero for the next call, touching
-  // only the indices this call wrote.
-  for (int ic = 0; ic < spec.in_channels; ++ic) {
-    float* g_c = g + static_cast<std::size_t>(ic) * in_plane;
-    for (const CooEntry& e : input[static_cast<std::size_t>(ic)].entries()) {
-      g_c[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(in_w) +
-          static_cast<std::size_t>(e.col)] = 0.0f;
-    }
-  }
-  for (const std::int32_t idx : s.sites) {
-    act[static_cast<std::size_t>(idx)] = 0;
-  }
+  clear_scratch_impl(input, s);
 
   std::vector<CooChannel> out;
   out.reserve(static_cast<std::size_t>(spec.out_channels));
   for (auto& entries : out_entries) {
     // Entries were produced in site (row-major) order, unique and
     // non-zero — adopt them without the from_entries sort/dedup pass.
-    out.push_back(
-        CooChannel::from_sorted_entries(out_h, out_w, std::move(entries)));
+    out.push_back(CooChannel::from_sorted_entries(geo.out_h, geo.out_w,
+                                                  std::move(entries)));
   }
   if (work != nullptr) {
-    work->dense_macs += dense_mac_count(spec, out_h, out_w);
+    work->dense_macs += dense_mac_count(spec, geo.out_h, geo.out_w);
     work->sparse_macs += sparse_macs;
-    work->nnz_in += nnz_in;
+    work->nnz_in += geo.nnz_in;
   }
   return out;
 }
@@ -678,6 +694,21 @@ std::vector<SparseSample> sparse_conv2d_csr_batch(
     Workspace* workspace, SubmanifoldThreading threading) {
   return gather_conv_batch(inputs, weights, bias, spec, /*submanifold=*/false,
                            work, workspace, threading);
+}
+
+GatherGeometry build_gather_taps(std::span<const CooChannel> input,
+                                 const DenseTensor& weights,
+                                 std::span<const float> bias,
+                                 const Conv2dSpec& spec, bool submanifold,
+                                 ConvScratch& scratch) {
+  validate_conv_inputs(input, weights, bias, spec);
+  if (submanifold) require_submanifold_geometry(input, spec);
+  return build_taps_impl(input, spec, submanifold, scratch);
+}
+
+void clear_gather_scratch(std::span<const CooChannel> input,
+                          ConvScratch& scratch) {
+  clear_scratch_impl(input, scratch);
 }
 
 std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,

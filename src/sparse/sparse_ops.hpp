@@ -119,6 +119,34 @@ struct ConvWork {
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr);
 
+// --- Gather front-end (shared with alternative compute backends) ---------
+
+/// Output geometry of one gather-kernel invocation.
+struct GatherGeometry {
+  int out_h = 0;
+  int out_w = 0;
+  std::size_t nnz_in = 0;  ///< input non-zeros seen while gathering
+};
+
+/// Builds the gather-kernel front half for one sample into `scratch`:
+/// dense per-channel gather rows, the sorted active output-site list and
+/// the shared per-site (weight offset, value) tap lists (sites / taps /
+/// site_ptr). This is the geometry stage the float reduction in
+/// submanifold_conv2d / sparse_conv2d_csr consumes; it is exposed so
+/// alternative backends (the INT8 engine) can run their own reduction
+/// over the identical tap stream. `weights` is only used for shape
+/// validation. Callers MUST call clear_gather_scratch with the same
+/// input before reusing `scratch` for another sample.
+[[nodiscard]] GatherGeometry build_gather_taps(
+    std::span<const CooChannel> input, const DenseTensor& weights,
+    std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
+    ConvScratch& scratch);
+
+/// Restores the gather rows and active bitmap of `scratch` to all-zero,
+/// touching only the indices build_gather_taps wrote for `input`.
+void clear_gather_scratch(std::span<const CooChannel> input,
+                          ConvScratch& scratch);
+
 /// Dense [1, C, H, W] tensor -> C sparse channels (the encode step whose
 /// cost E2SF eliminates). `scanned_elements`, when non-null, receives the
 /// number of dense elements visited (the encode cost driver).

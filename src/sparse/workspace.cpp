@@ -17,6 +17,21 @@ std::uint8_t* ConvScratch::active_buffer(std::size_t size) {
   return active.data();
 }
 
+std::int16_t* ConvScratch::qin_buffer(std::size_t size) {
+  if (qin.size() < size) qin.resize(size);
+  return qin.data();
+}
+
+std::int16_t* ConvScratch::qcol_buffer(std::size_t size) {
+  if (qcol.size() < size) qcol.resize(size);
+  return qcol.data();
+}
+
+std::int32_t* ConvScratch::iacc_buffer(std::size_t size) {
+  if (iacc.size() < size) iacc.resize(size);
+  return iacc.data();
+}
+
 ConvScratch& Workspace::scratch(std::size_t slot) {
   reserve_slots(slot + 1);
   return pool_[slot];
@@ -36,6 +51,10 @@ std::size_t Workspace::retained_bytes() const noexcept {
     bytes += s.taps.capacity() * sizeof(GatherTap);
     bytes += s.site_ptr.capacity() * sizeof(std::size_t);
     bytes += s.packed_w.capacity() * sizeof(float);
+    bytes += s.qin.capacity() * sizeof(std::int16_t);
+    bytes += s.qcol.capacity() * sizeof(std::int16_t);
+    bytes += s.qtaps.capacity() * sizeof(std::int16_t);
+    bytes += s.iacc.capacity() * sizeof(std::int32_t);
   }
   return bytes;
 }

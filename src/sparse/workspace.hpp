@@ -41,12 +41,26 @@ struct ConvScratch {
   std::vector<std::size_t> site_ptr;   ///< CSR-style index into taps
   std::vector<float> packed_w;         ///< weights transposed [tap][oc]
 
+  // INT8 engine scratch: quantized values live in the int8 grid
+  // [-127, 127] but are stored widened to int16 so the reduction loops
+  // vectorize to widening multiply-adds on commodity SIMD.
+  std::vector<std::int16_t> qin;       ///< quantized input activations
+  std::vector<std::int16_t> qcol;      ///< transposed int8 column matrix
+  std::vector<std::int16_t> qtaps;     ///< quantized per-site tap values
+  std::vector<std::int32_t> iacc;      ///< int32 accumulation planes
+
   /// Grows `col` to at least `size` elements and returns its data.
   [[nodiscard]] float* col_buffer(std::size_t size);
   /// Grows `gather` to at least `size` zero-initialized elements.
   [[nodiscard]] float* gather_buffer(std::size_t size);
   /// Grows `active` to at least `size` zeroed flags.
   [[nodiscard]] std::uint8_t* active_buffer(std::size_t size);
+  /// Grows `qin` to at least `size` elements and returns its data.
+  [[nodiscard]] std::int16_t* qin_buffer(std::size_t size);
+  /// Grows `qcol` to at least `size` elements and returns its data.
+  [[nodiscard]] std::int16_t* qcol_buffer(std::size_t size);
+  /// Grows `iacc` to at least `size` elements and returns its data.
+  [[nodiscard]] std::int32_t* iacc_buffer(std::size_t size);
 };
 
 /// Arena of ConvScratch slots shared across layers and inference calls.

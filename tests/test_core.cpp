@@ -619,6 +619,33 @@ TEST(E2eAccuracy, DsfaMergingDegradesSlightly) {
   EXPECT_LT(result.measured_degradation, 1.0);
 }
 
+TEST(E2eAccuracy, Int8EngineCrossCheckTracksFakeQuant) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  const auto stream = make_stream(
+      ee::SensorGeometry{spec.graph.node(0).spec.out_shape.w,
+                         spec.graph.node(0).spec.out_shape.h},
+      400'000, 21);
+  ec::E2eAccuracyConfig cfg;
+  cfg.apply_dsfa = false;  // isolate the quantization effect
+  cfg.max_intervals = 2;
+  cfg.precisions =
+      evedge::quant::uniform_assignment(spec, evedge::quant::Precision::kInt8);
+  cfg.int8_engine_cross_check = true;
+  const auto result = ec::evaluate_e2e_accuracy(spec, stream, cfg);
+  ASSERT_TRUE(result.has_int8_cross_check);
+  // Both substrates degrade (quantization is real) by a modest amount,
+  // and the real engine's story matches the modelled one to first order.
+  EXPECT_GT(result.measured_degradation, 0.0);
+  EXPECT_GT(result.measured_degradation_int8, 0.0);
+  EXPECT_LT(result.measured_degradation_int8, 1.0);
+  EXPECT_LT(std::abs(result.measured_degradation_int8 -
+                     result.measured_degradation),
+            0.25);
+  // Direction of the anchored metric shift agrees.
+  EXPECT_GT(result.evedge_metric_int8, result.baseline_metric);
+}
+
 TEST(E2eAccuracy, ReslotPreservesMassUnderCAdd) {
   const ee::SensorGeometry g{24, 18};
   const auto stream = make_stream(g, 400'000, 19);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "nn/zoo.hpp"
@@ -72,6 +73,49 @@ TEST(Int8, GridHas255Levels) {
     const float q = v / step;
     EXPECT_NEAR(q, std::round(q), 1e-3f);
   }
+}
+
+TEST(Int8, MaxAbsIgnoresNonFiniteValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> values{0.5f, -2.0f, inf, -inf, nan, 1.5f};
+  // Non-finite outliers must not poison the range: the grid still
+  // covers every finite value.
+  EXPECT_FLOAT_EQ(eq::max_abs(values), 2.0f);
+  EXPECT_FLOAT_EQ(eq::max_abs(std::vector<float>{nan, inf}), 0.0f);
+}
+
+TEST(Int8, ForRangeGuardsNonFiniteAndNonPositive) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FLOAT_EQ(eq::Int8Scale::for_range(nan).scale, 1.0f);
+  EXPECT_FLOAT_EQ(eq::Int8Scale::for_range(inf).scale, 1.0f);
+  EXPECT_FLOAT_EQ(eq::Int8Scale::for_range(-3.0f).scale, 1.0f);
+  EXPECT_FLOAT_EQ(eq::Int8Scale::for_range(0.0f).scale, 1.0f);
+  EXPECT_FLOAT_EQ(eq::Int8Scale::for_range(254.0f).scale, 2.0f);
+}
+
+TEST(Int8, ApplyHandlesNonFiniteInputs) {
+  const eq::Int8Scale s{0.5f};
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FLOAT_EQ(s.apply(inf), 127.0f * 0.5f);    // saturates
+  EXPECT_FLOAT_EQ(s.apply(-inf), -127.0f * 0.5f);  // saturates
+  EXPECT_FLOAT_EQ(s.apply(nan), 0.0f);             // maps to zero
+  EXPECT_EQ(s.quantize(inf), 127);
+  EXPECT_EQ(s.quantize(-inf), -127);
+  EXPECT_EQ(s.quantize(nan), 0);
+}
+
+TEST(Int8, FakeQuantizeSurvivesNonFiniteElements) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> values{1.0f, -0.5f, nan, 0.25f};
+  eq::fake_quantize(values, eq::Precision::kInt8);
+  // Scale came from the finite values (max abs 1.0); NaN went to 0 and
+  // everything else landed on the usual grid.
+  EXPECT_FLOAT_EQ(values[0], 1.0f);
+  EXPECT_FLOAT_EQ(values[2], 0.0f);
+  for (float v : values) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Quantizer, Fp32IsIdentity) {
