@@ -123,6 +123,9 @@ int main() {
     en::FunctionalNetwork fnet(
         en::build_network(id, options.accuracy_scale), options.seed);
     ec::BatchExecutor executor(fnet);
+    // Density-adaptive routing: the first dispatched batch calibrates the
+    // per-layer dense/CSR plan (bitwise-neutral, see exec_plan.hpp).
+    executor.enable_execution_planner();
     ec::PipelineConfig full_cfg;
     full_cfg.use_e2sf = true;
     full_cfg.use_dsfa = true;

@@ -134,6 +134,9 @@ int main() {
     const auto spec = en::build_network(id, en::ZooConfig::test_scale());
     en::FunctionalNetwork fnet(spec, 7);
     ec::BatchExecutor executor(fnet);
+    // Dispatched batches route density-adaptively (plan calibrated on
+    // the first batch; outputs stay bitwise identical to dense).
+    executor.enable_execution_planner();
     const auto stream = eb::make_matched_stream(
         spec, ee::DensityProfile::indoor_flying2(), 1'000'000, 5);
     const auto densities = ec::measure_activation_densities(spec, 7);

@@ -77,6 +77,10 @@ int main() {
     cfg.precisions = precisions;
     cfg.max_intervals = 4;
     cfg.int8_engine_cross_check = true;
+    // Route the FP32 reference and the int8 cross-check through the
+    // density-adaptive engine (metric-neutral; exercises the planner on
+    // the Table-2 substrate).
+    cfg.use_execution_planner = true;
     const auto result = ec::evaluate_e2e_accuracy(spec, stream, cfg);
 
     std::printf("%-20s %-12s %-10.2f %-10.2f %-12.2f %-12.2f %s\n",

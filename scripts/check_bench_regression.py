@@ -8,13 +8,16 @@ work / fast-path work), so it is largely machine-speed invariant — a
 drop means the fast path itself regressed relative to the reference
 work.
 
-Three benchmark schemas are understood, auto-detected per record:
+Four benchmark schemas are understood, auto-detected per record:
 
   BENCH_kernels.json / BENCH_quant.json
       records with kernel/shape/density and a single "speedup" metric
   BENCH_e2e.json
       records with density/batch and two metrics, "speedup_batched"
       and "speedup_csr"
+  BENCH_sparse_engine.json
+      records with network/density and a "speedup_planner" metric
+      (planner-routed engine vs all-dense, same machine same run)
 
 Records are keyed by (kernel, shape, density); every metric of a record
 gates independently. Keys present only in the fresh run (newly added
@@ -39,6 +42,10 @@ def load(path):
         if "kernel" in r:
             key = (r["kernel"], r["shape"], round(float(r["density"]), 6))
             metrics = {"speedup": float(r["speedup"])}
+        elif "speedup_planner" in r:  # sparse engine schema
+            key = ("sparse_engine", r["network"],
+                   round(float(r["density"]), 6))
+            metrics = {"speedup_planner": float(r["speedup_planner"])}
         else:  # e2e schema
             key = ("e2e", "batch=%d" % int(r["batch"]),
                    round(float(r["density"]), 6))

@@ -52,6 +52,22 @@ BatchExecutor::BatchExecutor(nn::FunctionalNetwork& net) : net_(net) {
   }
 }
 
+BatchExecutor::~BatchExecutor() {
+  // The network outlives the executor (constructor contract), but the
+  // plan dies with us — never leave a dangling plan installed. Only
+  // uninstall if ours is still the active plan (a caller may have
+  // installed its own since).
+  if (plan_ready_ && net_.execution_plan() == &plan_) {
+    net_.set_execution_plan(nullptr);
+  }
+}
+
+void BatchExecutor::enable_execution_planner(
+    const nn::PlannerOptions& options) {
+  planner_enabled_ = true;
+  planner_options_ = options;
+}
+
 const DenseTensor& BatchExecutor::execute(
     const std::vector<SparseFrame>& frames) {
   if (frames.empty()) {
@@ -87,6 +103,29 @@ const DenseTensor& BatchExecutor::execute(
   }
   // Identical event evidence at every timestep.
   for (std::size_t t = 1; t < steps_.size(); ++t) steps_[t] = step0;
+
+  if (planner_enabled_ && !plan_ready_) {
+    // First dispatched batch = warmup probe. calibrate() runs batch-1
+    // inputs, so probe on sample 0's slice; DSFA merges within a density
+    // band, so one sample's densities represent the batch.
+    if (batch == 1) {
+      plan_ = nn::ExecutionPlanner::calibrate(
+          net_, steps_, needs_image_ ? &image_ : nullptr, planner_options_);
+    } else {
+      std::vector<DenseTensor> probe;
+      probe.reserve(steps_.size());
+      for (const DenseTensor& step : steps_) {
+        DenseTensor one(TensorShape{1, step.shape().c, step.shape().h,
+                                    step.shape().w});
+        std::copy(step.raw(), step.raw() + one.size(), one.raw());
+        probe.push_back(std::move(one));
+      }
+      plan_ = nn::ExecutionPlanner::calibrate(
+          net_, probe, needs_image_ ? &image_ : nullptr, planner_options_);
+    }
+    net_.set_execution_plan(&plan_);
+    plan_ready_ = true;
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   last_output_ =

@@ -44,6 +44,21 @@ class BatchExecutor {
   /// The network must outlive the executor. Two-input networks get a
   /// fixed deterministic grayscale image (seeded like e2e_accuracy's).
   explicit BatchExecutor(nn::FunctionalNetwork& net);
+  ~BatchExecutor();
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Density-adaptive routing: the first dispatched batch doubles as the
+  /// planner's warmup probe — its measured activation densities pick the
+  /// per-layer dense/CSR routes (nn::ExecutionPlanner::calibrate) and
+  /// the resulting plan, owned here, is installed on the network for
+  /// every subsequent batch. Bitwise-neutral (see exec_plan.hpp); call
+  /// before the first execute().
+  void enable_execution_planner(const nn::PlannerOptions& options = {});
+  /// The installed plan (nullptr before the first planned batch).
+  [[nodiscard]] const nn::ExecutionPlan* execution_plan() const noexcept {
+    return plan_ready_ ? &plan_ : nullptr;
+  }
 
   /// Executes one dispatched batch (one sample per merged frame) through
   /// run_batched. Returns the [N, ...] output (valid until the next
@@ -63,6 +78,11 @@ class BatchExecutor {
   sparse::DenseTensor last_output_;
   std::vector<sparse::DenseTensor> steps_;  ///< reused staging tensors
   BatchExecutorStats stats_;
+  // Lazily calibrated execution plan (installed on net_ while alive).
+  bool planner_enabled_ = false;
+  bool plan_ready_ = false;
+  nn::PlannerOptions planner_options_;
+  nn::ExecutionPlan plan_;
 };
 
 }  // namespace evedge::core

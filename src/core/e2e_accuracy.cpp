@@ -138,6 +138,9 @@ E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
       stream.t_begin(), period_us, n_intervals + 1);
   const auto intervals = e2sf.convert_stream(stream, clock);
 
+  // Declared before the network so an installed pointer never dangles
+  // inside this scope.
+  nn::ExecutionPlan exec_plan;
   nn::FunctionalNetwork net(spec, config.weight_seed);
   const bool needs_image = spec.graph.input_ids().size() > 1;
   DenseTensor image;
@@ -156,6 +159,18 @@ E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
       weight_nodes.push_back(node.id);
       pristine.push_back(net.weights(node.id));
     }
+  }
+
+  if (config.use_execution_planner) {
+    // Warmup-calibrate the density-adaptive routes on the first
+    // interval's unmerged frames (the FP32 reference inputs) and leave
+    // the plan installed: the reference and int8 runs below route
+    // through the sparse kernels, while the fake-quant run's activation
+    // hook keeps itself dense.
+    const auto probe_steps = to_network_input(spec, intervals.front());
+    exec_plan = nn::ExecutionPlanner::calibrate(
+        net, probe_steps, needs_image ? &image : nullptr);
+    net.set_execution_plan(&exec_plan);
   }
 
   double degradation_sum = 0.0;
@@ -216,7 +231,14 @@ E2eAccuracyResult evaluate_e2e_accuracy(const nn::NetworkSpec& spec,
     }
     const quant::CalibrationTable table =
         quant::calibrate_activations(net, samples);
-    int8_plan = quant::build_quant_plan(net, config.precisions, table);
+    // The cross-check compares substrates on the SAME precision
+    // assignment as the fake-quant path, which has no input-layer
+    // guard — so opt out of it here (the guard is an engine speed
+    // policy, not an accuracy statement).
+    int8_plan = quant::build_quant_plan(
+        net, config.precisions, table, /*simulate=*/false,
+        quant::WeightGranularity::kPerChannel,
+        quant::QuantPlanOptions{.quantize_input_layer = true});
   }
 
   double degradation_int8_sum = 0.0;

@@ -48,6 +48,14 @@ struct E2eAccuracyConfig {
   /// inputs) and report the resulting metric alongside the fake-quant
   /// one.
   bool int8_engine_cross_check = false;
+  /// Run the FP32 reference and the int8 cross-check through a density-
+  /// adaptive nn::ExecutionPlan calibrated on the first interval (the
+  /// engine's deployment configuration). Bitwise-neutral for the FP32
+  /// path and one-step-neutral for int8, so the reported metrics are
+  /// unchanged — this exercises the planner-routed engine in the Table-2
+  /// harness. The fake-quant path keeps its activation hook and
+  /// therefore always runs dense.
+  bool use_execution_planner = false;
 };
 
 /// Runs the functional network on E2SF frames from `stream`, unmerged

@@ -66,6 +66,7 @@ FunctionalNetwork::FunctionalNetwork(NetworkSpec spec, std::uint64_t seed)
   channel_threshold_.resize(n);
   lif_.resize(n);
   is_spiking_.assign(n, false);
+  time_invariant_.assign(n, 0);
 
   std::mt19937_64 rng(seed);
   for (const LayerNode& node : spec_.graph.nodes()) {
@@ -98,6 +99,21 @@ FunctionalNetwork::FunctionalNetwork(NetworkSpec spec, std::uint64_t seed)
       }
       default:
         break;
+    }
+    if (ls.kind == LayerKind::kInput) {
+      // The event input changes every timestep; any further inputs (the
+      // grayscale image) are constant across the presentation.
+      time_invariant_[idx] = node.id != spec_.graph.input_ids().front();
+    } else {
+      // Stateless nodes fed only by constant inputs compute the same
+      // value at every timestep — run_impl caches them after t == 0.
+      bool invariant = !node.parents.empty();
+      for (const int parent : node.parents) {
+        invariant = invariant &&
+                    time_invariant_[static_cast<std::size_t>(parent)] != 0;
+      }
+      time_invariant_[idx] =
+          invariant && domain_of(ls.kind) == Domain::kAnn;
     }
     if (ls.kind == LayerKind::kSpikingConv ||
         ls.kind == LayerKind::kAdaptiveSpikingConv) {
@@ -136,6 +152,13 @@ std::vector<float>& FunctionalNetwork::bias(int node_id) {
   return biases_[static_cast<std::size_t>(node_id)];
 }
 
+const std::vector<float>& FunctionalNetwork::bias(int node_id) const {
+  if (node_id < 0 || node_id >= static_cast<int>(biases_.size())) {
+    throw std::invalid_argument("bad node id");
+  }
+  return biases_[static_cast<std::size_t>(node_id)];
+}
+
 const quant::QuantPlan* FunctionalNetwork::set_quant_plan(
     const quant::QuantPlan* plan) {
   // Validate the whole plan before mutating any state: a rejected plan
@@ -160,6 +183,170 @@ const quant::QuantPlan* FunctionalNetwork::set_quant_plan(
     }
   }
   return previous;
+}
+
+const ExecutionPlan* FunctionalNetwork::set_execution_plan(
+    const ExecutionPlan* plan) {
+  // Validate the whole plan before mutating any state (atomic install,
+  // mirroring set_quant_plan).
+  if (plan != nullptr && !plan->route.empty()) {
+    if (plan->route.size() != spec_.graph.size()) {
+      throw std::invalid_argument(
+          "set_execution_plan: route table size mismatch");
+    }
+    for (std::size_t i = 0; i < plan->route.size(); ++i) {
+      const Route r = plan->route[i];
+      if (r == Route::kDense) continue;
+      const LayerNode& node = spec_.graph.node(static_cast<int>(i));
+      const LayerSpec& ls = node.spec;
+      if ((ls.kind != LayerKind::kConv && ls.kind != LayerKind::kSpikingConv &&
+           ls.kind != LayerKind::kAdaptiveSpikingConv) ||
+          node.parents.size() != 1) {
+        throw std::invalid_argument("set_execution_plan: node " +
+                                    std::to_string(i) +
+                                    " cannot take a sparse route");
+      }
+      // The sparse kernels add bias at active sites only; a non-zero
+      // bias would diverge from dense execution at inactive sites.
+      for (const float b : biases_[i]) {
+        if (b != 0.0f) {
+          throw std::invalid_argument(
+              "set_execution_plan: sparse route on node " +
+              std::to_string(i) + " requires zero bias");
+        }
+      }
+      if (r == Route::kSubmanifold &&
+          (ls.conv.stride != 1 || ls.out_shape.h != ls.in_shape.h ||
+           ls.out_shape.w != ls.in_shape.w)) {
+        throw std::invalid_argument(
+            "set_execution_plan: submanifold route on node " +
+            std::to_string(i) + " needs stride-1 same-extent geometry");
+      }
+    }
+  }
+  const ExecutionPlan* previous = exec_plan_;
+  exec_plan_ = plan;
+  node_route_.assign(spec_.graph.size(), Route::kDense);
+  if (plan != nullptr) {
+    for (std::size_t i = 0;
+         i < std::min(plan->route.size(), node_route_.size()); ++i) {
+      node_route_[i] = plan->route[i];
+    }
+  }
+  return previous;
+}
+
+Route FunctionalNetwork::effective_route(std::size_t idx) const noexcept {
+  // Hooks observe (and may mutate) dense activations of every node, so
+  // any installed hook forces dense execution for the whole run.
+  if (exec_plan_ == nullptr || activation_hook_) return Route::kDense;
+  const Route r =
+      idx < node_route_.size() ? node_route_[idx] : Route::kDense;
+  if (r == Route::kDense) return r;
+  // Simulate-mode quant nodes run the float fake-quant oracle, which is
+  // defined over dense tensors.
+  const quant::NodeQuantPlan* nq = node_quant(idx);
+  if (nq != nullptr && quant_plan_->simulate) return Route::kDense;
+  return r;
+}
+
+void FunctionalNetwork::prepare_packed_weights() {
+  if (exec_plan_ == nullptr || activation_hook_) return;
+  for (std::size_t i = 0; i < node_route_.size(); ++i) {
+    if (effective_route(i) == Route::kDense) continue;
+    // Quantized nodes reduce against the plan's own packed int8 rows;
+    // narrow FP32 spiking kCsr nodes scatter against the raw weight
+    // layout.
+    if (node_quant(i) != nullptr) continue;
+    if (is_spiking_[i] && node_route_[i] == Route::kCsr &&
+        scatter_current_route(
+            spec_.graph.node(static_cast<int>(i)).spec.conv)) {
+      continue;
+    }
+    sparse::pack_conv_weights(weights_[i],
+                              workspace_.packed_slot(static_cast<int>(i)));
+  }
+}
+
+void FunctionalNetwork::densify_samples(
+    const std::vector<sparse::SparseSample>& samples,
+    sparse::DenseTensor& out) {
+  const sparse::SparseSample& first = samples.front();
+  out.reset(TensorShape{static_cast<int>(samples.size()),
+                        static_cast<int>(first.size()), first[0].height(),
+                        first[0].width()});
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    sparse::channels_into_slice(samples[n], out, static_cast<int>(n));
+  }
+}
+
+const DenseTensor& FunctionalNetwork::dense_value(int node_id) {
+  const auto idx = static_cast<std::size_t>(node_id);
+  if (!dense_valid_[idx]) {
+    if (!sparse_valid_[idx]) {
+      throw std::logic_error("dense_value: node " + std::to_string(node_id) +
+                             " has no value this timestep");
+    }
+    densify_samples(sparse_values_[idx], values_[idx]);
+    dense_valid_[idx] = 1;
+    ++exec_stats_.densify_boundaries;
+  }
+  return values_[idx];
+}
+
+const std::vector<sparse::SparseSample>& FunctionalNetwork::sparse_value(
+    int node_id) {
+  const auto idx = static_cast<std::size_t>(node_id);
+  if (!sparse_valid_[idx]) {
+    const DenseTensor& dense = dense_value(node_id);
+    auto& samples = sparse_values_[idx];
+    samples.resize(static_cast<std::size_t>(dense.shape().n));
+    for (int n = 0; n < dense.shape().n; ++n) {
+      samples[static_cast<std::size_t>(n)] =
+          sparse::slice_to_channels(dense, n);
+    }
+    sparse_valid_[idx] = 1;
+    ++exec_stats_.sparsify_boundaries;
+  }
+  return sparse_values_[idx];
+}
+
+void FunctionalNetwork::run_sparse_conv(const LayerNode& node,
+                                        std::size_t idx, Route route) {
+  const LayerSpec& ls = node.spec;
+  const std::vector<sparse::SparseSample>& input =
+      sparse_value(node.parents.front());
+  auto& out = sparse_values_[idx];
+  sparse::ConvWork work;
+  if (const quant::NodeQuantPlan* nq = node_quant(idx)) {
+    // Real int8 gather kernels, sample by sample (the inner reduction
+    // threads itself); the quant plan carries the packed int8 rows.
+    out.resize(input.size());
+    for (std::size_t n = 0; n < input.size(); ++n) {
+      out[n] = route == Route::kSubmanifold
+                   ? quant::int8_submanifold_conv2d(
+                         input[n], nq->weights, biases_[idx],
+                         nq->input_scale, &work, &workspace_)
+                   : quant::int8_sparse_conv2d_csr(
+                         input[n], nq->weights, biases_[idx],
+                         nq->input_scale, &work, &workspace_);
+    }
+  } else {
+    const std::vector<float>& packed =
+        workspace_.packed_slot(static_cast<int>(idx));
+    out = route == Route::kSubmanifold
+              ? sparse::submanifold_conv2d_batch(
+                    input, weights_[idx], biases_[idx], ls.conv, &work,
+                    &workspace_, sparse::SubmanifoldThreading::kAuto, packed)
+              : sparse::sparse_conv2d_csr_batch(
+                    input, weights_[idx], biases_[idx], ls.conv, &work,
+                    &workspace_, sparse::SubmanifoldThreading::kAuto, packed);
+  }
+  sparse_valid_[idx] = 1;
+  dense_valid_[idx] = 0;
+  ++exec_stats_.sparse_node_runs;
+  exec_stats_.sparse_macs += work.sparse_macs;
+  exec_stats_.dense_macs_avoided += work.dense_macs;
 }
 
 void FunctionalNetwork::run_quant_conv(const quant::NodeQuantPlan& nq,
@@ -270,16 +457,49 @@ DenseTensor FunctionalNetwork::run_impl(
   reset_spiking_state();
 
   DenseTensor accumulated;
-  values_.resize(spec_.graph.size());
+  const std::size_t n_nodes = spec_.graph.size();
+  values_.resize(n_nodes);
+  sparse_values_.resize(n_nodes);
   std::vector<DenseTensor>& values = values_;
+  exec_stats_ = ExecStats{};
+  prepare_packed_weights();
+
+  // Timestep-invariant caching: stateless nodes fed only by the constant
+  // image input compute identical values every timestep (e.g. the whole
+  // Fusion-FlowNet / HALSIE image encoder), so after t == 0 they are
+  // skipped and their cached value reused — bitwise identical to
+  // recomputation. Hooks observe (and may mutate) every node at every
+  // timestep, so an installed hook disables the cache.
+  const bool cache_invariant = !activation_hook_;
 
   for (int t = 0; t < spec_.timesteps; ++t) {
     const DenseTensor& step = event_steps[static_cast<std::size_t>(t)];
+    // Every non-cached node recomputes this timestep; neither
+    // representation of the previous step's activations is valid any
+    // more.
+    if (t == 0 || !cache_invariant) {
+      dense_valid_.assign(n_nodes, 0);
+      sparse_valid_.assign(n_nodes, 0);
+    } else {
+      for (std::size_t i = 0; i < n_nodes; ++i) {
+        if (!time_invariant_[i]) {
+          dense_valid_[i] = 0;
+          sparse_valid_[i] = 0;
+        }
+      }
+    }
     for (const LayerNode& node : spec_.graph.nodes()) {
       const LayerSpec& ls = node.spec;
       const auto idx = static_cast<std::size_t>(node.id);
-      // Node outputs land in the persistent per-node buffer, so steady
-      // state reuses the previous call's allocations.
+      if (t > 0 && cache_invariant && time_invariant_[idx] &&
+          (dense_valid_[idx] || sparse_valid_[idx])) {
+        continue;  // cached from t == 0
+      }
+      ++exec_stats_.node_executions;
+      // Dense node outputs land in the persistent per-node buffer, so
+      // steady state reuses the previous call's allocations; sparse
+      // routes fill the per-node COO carrier instead and densify lazily
+      // at route boundaries (dense_value).
       DenseTensor& out = values[idx];
       switch (ls.kind) {
         case LayerKind::kInput: {
@@ -292,11 +512,23 @@ DenseTensor FunctionalNetwork::run_impl(
                                         ls.name + "'");
           }
           out = src;
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kConv: {
-          const DenseTensor& src =
-              values[static_cast<std::size_t>(node.parents[0])];
+          const Route route = effective_route(idx);
+          if (route != Route::kDense) {
+            run_sparse_conv(node, idx, route);
+            if (ls.relu_after) {
+              // Sparse ReLU: dropping negative entries leaves exactly
+              // relu() of the dense image (implicit zeros are fixpoints).
+              for (sparse::SparseSample& sample : sparse_values_[idx]) {
+                sparse::relu_sample_inplace(sample);
+              }
+            }
+            break;
+          }
+          const DenseTensor& src = dense_value(node.parents[0]);
           if (const auto* nq = node_quant(idx)) {
             run_quant_conv(*nq, src, biases_[idx], out);
           } else {
@@ -304,11 +536,11 @@ DenseTensor FunctionalNetwork::run_impl(
                         &workspace_);
           }
           if (ls.relu_after) relu_inplace(out);
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kTransposedConv: {
-          const DenseTensor& src =
-              values[static_cast<std::size_t>(node.parents[0])];
+          const DenseTensor& src = dense_value(node.parents[0]);
           if (const auto* nq = node_quant(idx)) {
             run_quant_tconv(*nq, src, biases_[idx], out);
           } else {
@@ -316,68 +548,92 @@ DenseTensor FunctionalNetwork::run_impl(
                                     ls.conv);
           }
           if (ls.relu_after) relu_inplace(out);
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kSpikingConv:
         case LayerKind::kAdaptiveSpikingConv: {
-          const DenseTensor& src =
-              values[static_cast<std::size_t>(node.parents[0])];
-          // The synaptic-current conv quantizes; the LIF update stays
-          // float (spikes are exactly representable either way).
-          if (const auto* nq = node_quant(idx)) {
-            run_quant_conv(*nq, src, biases_[idx], conv_scratch_);
+          // The synaptic-current conv routes dense or sparse; the LIF
+          // update stays float over the dense current (membrane state is
+          // dense by nature), so the spike output is always dense.
+          const Route route = effective_route(idx);
+          if (route == Route::kCsr && node_quant(idx) == nullptr &&
+              scatter_current_route(ls.conv)) {
+            // The LIF consumer needs dense current, so narrow layers
+            // scatter straight into the staging tensor — same arithmetic
+            // as CSR + densify (bitwise, incl. the implicit zero-bias
+            // fill), minus the COO materialization and the per-site
+            // bookkeeping. Wide layers keep the vectorized gather
+            // reduction below.
+            sparse::ConvWork work;
+            sparse::sparse_conv2d_batch_into(
+                sparse_value(node.parents.front()), weights_[idx],
+                biases_[idx], ls.conv, conv_scratch_, &work);
+            ++exec_stats_.sparse_node_runs;
+            exec_stats_.sparse_macs += work.sparse_macs;
+            exec_stats_.dense_macs_avoided += work.dense_macs;
+          } else if (route != Route::kDense) {
+            run_sparse_conv(node, idx, route);
+            densify_samples(sparse_values_[idx], conv_scratch_);
+            ++exec_stats_.densify_boundaries;
+            // The carrier held the pre-LIF current, not this node's
+            // output — invalidate it before the spikes land in `out`.
+            sparse_valid_[idx] = 0;
+          } else if (const auto* nq = node_quant(idx)) {
+            run_quant_conv(*nq, dense_value(node.parents[0]), biases_[idx],
+                           conv_scratch_);
           } else {
-            conv2d_into(src, weights_[idx], biases_[idx], ls.conv,
-                        conv_scratch_, &workspace_);
+            conv2d_into(dense_value(node.parents[0]), weights_[idx],
+                        biases_[idx], ls.conv, conv_scratch_, &workspace_);
           }
           out = lif_[idx].step(conv_scratch_);
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kFullyConnected: {
-          const DenseTensor& src =
-              values[static_cast<std::size_t>(node.parents[0])];
+          const DenseTensor& src = dense_value(node.parents[0]);
           if (const auto* nq = node_quant(idx)) {
             out = run_quant_fc(*nq, src, biases_[idx]);
           } else {
             out = fully_connected(src, weights_[idx], biases_[idx]);
           }
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kMaxPool:
-          out = max_pool(values[static_cast<std::size_t>(node.parents[0])],
-                         ls.pool_kernel);
+          out = max_pool(dense_value(node.parents[0]), ls.pool_kernel);
+          dense_valid_[idx] = 1;
           break;
         case LayerKind::kAvgPool:
-          out = avg_pool(values[static_cast<std::size_t>(node.parents[0])],
-                         ls.pool_kernel);
+          out = avg_pool(dense_value(node.parents[0]), ls.pool_kernel);
+          dense_valid_[idx] = 1;
           break;
         case LayerKind::kUpsample:
-          out = upsample_nearest(
-              values[static_cast<std::size_t>(node.parents[0])],
-              ls.upsample_factor);
+          out = upsample_nearest(dense_value(node.parents[0]),
+                                 ls.upsample_factor);
+          dense_valid_[idx] = 1;
           break;
         case LayerKind::kConcat: {
-          const DenseTensor& a =
-              values[static_cast<std::size_t>(node.parents[0])];
-          const DenseTensor& b =
-              values[static_cast<std::size_t>(node.parents[1])];
+          const DenseTensor& a = dense_value(node.parents[0]);
+          const DenseTensor& b = dense_value(node.parents[1]);
           const int h = std::min(a.shape().h, b.shape().h);
           const int w = std::min(a.shape().w, b.shape().w);
           out = concat_channels(center_crop(a, h, w), center_crop(b, h, w));
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kAdd: {
-          const DenseTensor& a =
-              values[static_cast<std::size_t>(node.parents[0])];
-          const DenseTensor& b =
-              values[static_cast<std::size_t>(node.parents[1])];
+          const DenseTensor& a = dense_value(node.parents[0]);
+          const DenseTensor& b = dense_value(node.parents[1]);
           const int h = std::min(a.shape().h, b.shape().h);
           const int w = std::min(a.shape().w, b.shape().w);
           out = add(center_crop(a, h, w), center_crop(b, h, w));
+          dense_valid_[idx] = 1;
           break;
         }
         case LayerKind::kOutput:
-          out = values[static_cast<std::size_t>(node.parents[0])];
+          out = dense_value(node.parents[0]);
+          dense_valid_[idx] = 1;
           break;
       }
       if (activation_hook_ && ls.kind != LayerKind::kInput &&

@@ -12,13 +12,23 @@
 //  - pure ANN nets: timesteps == 1 and all bins are stacked as channels.
 //  - two-input nets (Fusion-FlowNet, HALSIE) additionally take a
 //    grayscale image, constant across timesteps.
+//
+// Execution routes (exec_plan.hpp): with an ExecutionPlan installed, each
+// conv-shaped node executes kDense, kCsr or kSubmanifold. Sparse-routed
+// nodes consume and produce a COO activation carrier, so consecutive
+// sparse layers chain in sparse form end to end; the engine crosses
+// representations (sparsify/densify) only at route boundaries. kCsr
+// results are bitwise identical to dense execution (zero-bias layers);
+// kSubmanifold is stored-site exact (see exec_plan.hpp).
 
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "nn/exec_plan.hpp"
 #include "nn/graph.hpp"
 #include "nn/lif.hpp"
+#include "sparse/sparse_ops.hpp"
 #include "sparse/workspace.hpp"
 
 namespace evedge::quant {
@@ -29,6 +39,19 @@ struct NodeQuantPlan;
 }  // namespace evedge::quant
 
 namespace evedge::nn {
+
+/// Per-run telemetry of the route-dispatched executor (reset by every
+/// run()/run_batched(); counters accumulate over timesteps).
+struct ExecStats {
+  std::size_t node_executions = 0;     ///< nodes actually executed (the
+                                       ///< timestep-invariant cache skips
+                                       ///< constant-image subgraphs)
+  std::size_t sparse_node_runs = 0;    ///< node executions on sparse routes
+  std::size_t sparsify_boundaries = 0; ///< dense -> COO carrier conversions
+  std::size_t densify_boundaries = 0;  ///< COO carrier -> dense conversions
+  std::size_t sparse_macs = 0;         ///< MACs the sparse kernels executed
+  std::size_t dense_macs_avoided = 0;  ///< dense MACs the routes replaced
+};
 
 class FunctionalNetwork {
  public:
@@ -61,6 +84,7 @@ class FunctionalNetwork {
   [[nodiscard]] sparse::DenseTensor& weights(int node_id);
   [[nodiscard]] const sparse::DenseTensor& weights(int node_id) const;
   [[nodiscard]] std::vector<float>& bias(int node_id);
+  [[nodiscard]] const std::vector<float>& bias(int node_id) const;
 
   /// Hook applied to each node's activations right after it executes
   /// (used by the quantization module for fake-quant inference).
@@ -86,6 +110,27 @@ class FunctionalNetwork {
   /// plan is validated before any state changes). Returns the
   /// previously installed plan for scoped save/restore.
   const quant::QuantPlan* set_quant_plan(const quant::QuantPlan* plan);
+
+  /// Per-node execution routes (exec_plan.hpp): nodes routed kCsr or
+  /// kSubmanifold execute the gather sparse kernels on a COO activation
+  /// carrier (the int8 sparse kernels when the node is also in the quant
+  /// plan), every other node runs the dense path. The plan is non-owning
+  /// and must outlive its installation; the whole plan is validated
+  /// before any state changes (routes only on conv-shaped zero-bias
+  /// nodes; kSubmanifold additionally requires stride-1 same-extent
+  /// geometry). nullptr restores all-dense execution. While an
+  /// activation hook is installed, every node runs dense (hooks observe
+  /// and may mutate dense activations). Returns the previously installed
+  /// plan for scoped save/restore.
+  const ExecutionPlan* set_execution_plan(const ExecutionPlan* plan);
+  [[nodiscard]] const ExecutionPlan* execution_plan() const noexcept {
+    return exec_plan_;
+  }
+
+  /// Route/boundary telemetry of the last run() / run_batched().
+  [[nodiscard]] const ExecStats& last_exec_stats() const noexcept {
+    return exec_stats_;
+  }
 
   /// Mean firing rate of a spiking node measured over the last run()
   /// (0 for non-spiking nodes or before any run).
@@ -129,6 +174,28 @@ class FunctionalNetwork {
       const quant::NodeQuantPlan& nq, const sparse::DenseTensor& input,
       std::span<const float> bias);
 
+  // --- Route-dispatched execution (exec_plan.hpp) -----------------------
+  /// The route a node actually takes this run: the plan's route, demoted
+  /// to kDense while an activation hook is installed or for quant
+  /// simulate-mode nodes (the fake-quant twin is a dense oracle).
+  [[nodiscard]] Route effective_route(std::size_t idx) const noexcept;
+  /// Packs [tap][oc] weight rows for every sparse-routed FP32 node into
+  /// the workspace's per-node slots (once per run).
+  void prepare_packed_weights();
+  /// Dense view of a node's output, densifying the COO carrier on first
+  /// access (cached for the rest of the timestep).
+  [[nodiscard]] const sparse::DenseTensor& dense_value(int node_id);
+  /// COO carrier view of a node's output, sparsifying the dense tensor
+  /// on first access (cached for the rest of the timestep).
+  [[nodiscard]] const std::vector<sparse::SparseSample>& sparse_value(
+      int node_id);
+  /// Executes one conv-shaped node on a sparse route into its COO
+  /// carrier (float gather kernels, or the int8 ones when planned).
+  void run_sparse_conv(const LayerNode& node, std::size_t idx, Route route);
+  /// Densifies per-sample channels into `out` ([N, C, H, W]).
+  void densify_samples(const std::vector<sparse::SparseSample>& samples,
+                       sparse::DenseTensor& out);
+
   NetworkSpec spec_;
   std::vector<sparse::DenseTensor> weights_;   // per node (empty if none)
   std::vector<std::vector<float>> biases_;     // per node
@@ -136,6 +203,10 @@ class FunctionalNetwork {
   std::vector<std::vector<float>> channel_threshold_;  // adaptive LIF
   std::vector<LifState> lif_;                  // per node (spiking only)
   std::vector<bool> is_spiking_;
+  // Nodes whose value cannot change across timesteps (the constant
+  // image input and every stateless node fed only by such nodes);
+  // run_impl computes them once per run instead of once per timestep.
+  std::vector<std::uint8_t> time_invariant_;
   ActivationHook activation_hook_;
   // Steady-state buffers: per-node activations, the spiking-conv synaptic
   // current staging tensor and the kernel scratch arena are all reused
@@ -149,6 +220,15 @@ class FunctionalNetwork {
   const quant::QuantPlan* quant_plan_ = nullptr;
   std::vector<const quant::NodeQuantPlan*> node_quant_;
   sparse::DenseTensor quant_staging_;
+  // Execution routes: non-owning plan pointer, flattened per-node route
+  // table, per-node COO activation carriers (persistent across runs, like
+  // values_) and the per-timestep representation-validity flags.
+  const ExecutionPlan* exec_plan_ = nullptr;
+  std::vector<Route> node_route_;
+  std::vector<std::vector<sparse::SparseSample>> sparse_values_;
+  std::vector<std::uint8_t> dense_valid_;
+  std::vector<std::uint8_t> sparse_valid_;
+  ExecStats exec_stats_;
 };
 
 /// Center-crops `t` spatially to (h, w); h/w must not exceed the extents.

@@ -16,19 +16,19 @@ namespace {
   return spec;
 }
 
-[[nodiscard]] LayerSpec sconv(const std::string& name, int in, int out, int k,
-                              int s, int p) {
+[[nodiscard]] LayerSpec sconv(const ZooConfig& cfg, const std::string& name,
+                              int in, int out, int k, int s, int p) {
   LayerSpec spec;
   spec.name = name;
   spec.kind = LayerKind::kSpikingConv;
   spec.conv = Conv2dSpec{in, out, k, s, p};
-  spec.lif = LifParams{0.85f, 0.22f, true};
+  spec.lif = LifParams{0.85f, 0.22f * cfg.lif_threshold_scale, true};
   return spec;
 }
 
-[[nodiscard]] LayerSpec asconv(const std::string& name, int in, int out,
-                               int k, int s, int p) {
-  LayerSpec spec = sconv(name, in, out, k, s, p);
+[[nodiscard]] LayerSpec asconv(const ZooConfig& cfg, const std::string& name,
+                               int in, int out, int k, int s, int p) {
+  LayerSpec spec = sconv(cfg, name, in, out, k, s, p);
   spec.kind = LayerKind::kAdaptiveSpikingConv;
   return spec;
 }
@@ -58,6 +58,9 @@ void validate_zoo_config(const ZooConfig& cfg) {
   }
   if (cfg.n_bins <= 0) {
     throw std::invalid_argument("zoo: n_bins must be > 0");
+  }
+  if (!(cfg.lif_threshold_scale > 0.0f)) {
+    throw std::invalid_argument("zoo: lif_threshold_scale must be > 0");
   }
 }
 
@@ -89,10 +92,10 @@ NetworkSpec build_spikeflownet(const ZooConfig& cfg) {
   const int in = g.add_input("events", TensorShape{1, 2, cfg.height,
                                                    cfg.width});
   // Spiking encoder (4 SNN layers).
-  const int e1 = g.add_layer(sconv("enc1", 2, B, 3, 2, 1), {in});
-  const int e2 = g.add_layer(sconv("enc2", B, 2 * B, 3, 2, 1), {e1});
-  const int e3 = g.add_layer(sconv("enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
-  const int e4 = g.add_layer(sconv("enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
+  const int e1 = g.add_layer(sconv(cfg, "enc1", 2, B, 3, 2, 1), {in});
+  const int e2 = g.add_layer(sconv(cfg, "enc2", B, 2 * B, 3, 2, 1), {e1});
+  const int e3 = g.add_layer(sconv(cfg, "enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
+  const int e4 = g.add_layer(sconv(cfg, "enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
   // ANN residual bottleneck (2).
   const int r1 = g.add_layer(conv("res1", 8 * B, 8 * B, 3, 1, 1), {e4});
   const int r2 = g.add_layer(conv("res2", 8 * B, 8 * B, 3, 1, 1), {r1});
@@ -164,16 +167,16 @@ NetworkSpec build_adaptive_spikenet(const ZooConfig& cfg) {
 
   const int in = g.add_input("events", TensorShape{1, 2, cfg.height,
                                                    cfg.width});
-  const int e1 = g.add_layer(asconv("enc1", 2, B, 3, 2, 1), {in});
-  const int e2 = g.add_layer(asconv("enc2", B, 2 * B, 3, 2, 1), {e1});
-  const int e3 = g.add_layer(asconv("enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
-  const int e4 = g.add_layer(asconv("enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
-  const int r1 = g.add_layer(asconv("res1", 8 * B, 8 * B, 3, 1, 1), {e4});
-  const int r2 = g.add_layer(asconv("res2", 8 * B, 8 * B, 3, 1, 1), {r1});
+  const int e1 = g.add_layer(asconv(cfg, "enc1", 2, B, 3, 2, 1), {in});
+  const int e2 = g.add_layer(asconv(cfg, "enc2", B, 2 * B, 3, 2, 1), {e1});
+  const int e3 = g.add_layer(asconv(cfg, "enc3", 2 * B, 4 * B, 3, 2, 1), {e2});
+  const int e4 = g.add_layer(asconv(cfg, "enc4", 4 * B, 8 * B, 3, 2, 1), {e3});
+  const int r1 = g.add_layer(asconv(cfg, "res1", 8 * B, 8 * B, 3, 1, 1), {e4});
+  const int r2 = g.add_layer(asconv(cfg, "res2", 8 * B, 8 * B, 3, 1, 1), {r1});
   const int u1 = g.add_layer(helper("up1", LayerKind::kUpsample), {r2});
-  const int d1 = g.add_layer(asconv("dec1", 8 * B, B, 3, 1, 1), {u1});
+  const int d1 = g.add_layer(asconv(cfg, "dec1", 8 * B, B, 3, 1, 1), {u1});
   const int u2 = g.add_layer(helper("up2", LayerKind::kUpsample), {d1});
-  const int d2 = g.add_layer(asconv("dec2", B, 2, 3, 1, 1), {u2});
+  const int d2 = g.add_layer(asconv(cfg, "dec2", B, 2, 3, 1, 1), {u2});
   // Flow is decoded from spike rates at quarter resolution, then
   // upsampled to full resolution (non-weight helper).
   LayerSpec up = helper("up4x", LayerKind::kUpsample);
@@ -199,16 +202,16 @@ NetworkSpec build_fusionflownet(const ZooConfig& cfg) {
   const int im = g.add_input("image", TensorShape{1, 1, cfg.height,
                                                   cfg.width});
   // Spiking event encoder: 4 levels x 2 convs + 2 bottleneck = 10 SNN.
-  const int s1a = g.add_layer(sconv("ev1a", 2, B, 3, 1, 1), {ev});
-  const int s1b = g.add_layer(sconv("ev1b", B, B, 3, 2, 1), {s1a});
-  const int s2a = g.add_layer(sconv("ev2a", B, 2 * B, 3, 1, 1), {s1b});
-  const int s2b = g.add_layer(sconv("ev2b", 2 * B, 2 * B, 3, 2, 1), {s2a});
-  const int s3a = g.add_layer(sconv("ev3a", 2 * B, 4 * B, 3, 1, 1), {s2b});
-  const int s3b = g.add_layer(sconv("ev3b", 4 * B, 4 * B, 3, 2, 1), {s3a});
-  const int s4a = g.add_layer(sconv("ev4a", 4 * B, 8 * B, 3, 1, 1), {s3b});
-  const int s4b = g.add_layer(sconv("ev4b", 8 * B, 8 * B, 3, 2, 1), {s4a});
-  const int sb1 = g.add_layer(sconv("evb1", 8 * B, 8 * B, 3, 1, 1), {s4b});
-  const int sb2 = g.add_layer(sconv("evb2", 8 * B, 8 * B, 3, 1, 1), {sb1});
+  const int s1a = g.add_layer(sconv(cfg, "ev1a", 2, B, 3, 1, 1), {ev});
+  const int s1b = g.add_layer(sconv(cfg, "ev1b", B, B, 3, 2, 1), {s1a});
+  const int s2a = g.add_layer(sconv(cfg, "ev2a", B, 2 * B, 3, 1, 1), {s1b});
+  const int s2b = g.add_layer(sconv(cfg, "ev2b", 2 * B, 2 * B, 3, 2, 1), {s2a});
+  const int s3a = g.add_layer(sconv(cfg, "ev3a", 2 * B, 4 * B, 3, 1, 1), {s2b});
+  const int s3b = g.add_layer(sconv(cfg, "ev3b", 4 * B, 4 * B, 3, 2, 1), {s3a});
+  const int s4a = g.add_layer(sconv(cfg, "ev4a", 4 * B, 8 * B, 3, 1, 1), {s3b});
+  const int s4b = g.add_layer(sconv(cfg, "ev4b", 8 * B, 8 * B, 3, 2, 1), {s4a});
+  const int sb1 = g.add_layer(sconv(cfg, "evb1", 8 * B, 8 * B, 3, 1, 1), {s4b});
+  const int sb2 = g.add_layer(sconv(cfg, "evb2", 8 * B, 8 * B, 3, 1, 1), {sb1});
   // ANN image encoder: 9 convs.
   const int i1 = g.add_layer(conv("im1", 1, B, 3, 2, 1), {im});
   const int i2 = g.add_layer(conv("im2", B, 2 * B, 3, 2, 1), {i1});
@@ -256,9 +259,9 @@ NetworkSpec build_halsie(const ZooConfig& cfg) {
   const int im = g.add_input("image", TensorShape{1, 1, cfg.height,
                                                   cfg.width});
   // Spiking event branch: 3 SNN convs.
-  const int s1 = g.add_layer(sconv("ev1", 2, B, 3, 2, 1), {ev});
-  const int s2 = g.add_layer(sconv("ev2", B, 2 * B, 3, 2, 1), {s1});
-  const int s3 = g.add_layer(sconv("ev3", 2 * B, 4 * B, 3, 2, 1), {s2});
+  const int s1 = g.add_layer(sconv(cfg, "ev1", 2, B, 3, 2, 1), {ev});
+  const int s2 = g.add_layer(sconv(cfg, "ev2", B, 2 * B, 3, 2, 1), {s1});
+  const int s3 = g.add_layer(sconv(cfg, "ev3", 2 * B, 4 * B, 3, 2, 1), {s2});
   // ANN image branch: 5 convs.
   const int i1 = g.add_layer(conv("im1", 1, B, 3, 2, 1), {im});
   const int i2 = g.add_layer(conv("im2", B, 2 * B, 3, 2, 1), {i1});
@@ -329,7 +332,7 @@ NetworkSpec build_dotie(const ZooConfig& cfg) {
                                                    cfg.width});
   // Single spiking layer acting as a temporal-isolation filter: slow
   // objects fail to integrate to threshold, fast objects spike.
-  const int s1 = g.add_layer(sconv("isolate", 2, 1, 5, 1, 2), {in});
+  const int s1 = g.add_layer(sconv(cfg, "isolate", 2, 1, 5, 1, 2), {in});
   g.add_layer(helper("objectness", LayerKind::kOutput), {s1});
   g.validate();
   return net;

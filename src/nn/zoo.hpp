@@ -29,6 +29,13 @@ struct ZooConfig {
   int base_channels = 32;
   /// Event bins per frame interval (input representation, Background §2).
   int n_bins = 5;
+  /// Multiplier on every spiking layer's firing threshold. The default
+  /// random-weight stand-ins fire at 7-40% — far hotter than the 0.5-5%
+  /// activation density the paper reports for trained event networks
+  /// (the regime the sparse routes target). Raising the threshold puts
+  /// the functional zoo into that documented operating band without
+  /// touching architecture or weights (bench_sparse_engine uses this).
+  float lif_threshold_scale = 1.0f;
 
   [[nodiscard]] static ZooConfig full_scale() { return ZooConfig{}; }
   /// Small config for fast functional tests (extents /8, channels /4).

@@ -64,16 +64,40 @@ CalibrationTable calibrate_activations(
   return table;
 }
 
+namespace {
+
+/// The sensor-facing layers the default plan keeps FP32: conv-shaped
+/// nodes reading a narrow (<= 2 channel) input node — the DAVIS 2-channel
+/// event layer and the 1-channel grayscale image layer, whose int8 cost
+/// is dominated by the im2col transform rather than the dot kernel.
+[[nodiscard]] bool is_narrow_input_layer(const nn::NetworkGraph& graph,
+                                         const nn::LayerNode& node) {
+  if (node.spec.kind == nn::LayerKind::kFullyConnected ||
+      node.parents.empty()) {
+    return false;
+  }
+  const nn::LayerNode& parent = graph.node(node.parents.front());
+  return parent.spec.kind == nn::LayerKind::kInput &&
+         node.spec.conv.in_channels <= 2;
+}
+
+}  // namespace
+
 QuantPlan build_quant_plan(const nn::FunctionalNetwork& net,
                            const PrecisionMap& precisions,
                            const CalibrationTable& calibration, bool simulate,
-                           WeightGranularity granularity) {
+                           WeightGranularity granularity,
+                           const QuantPlanOptions& options) {
   QuantPlan plan;
   plan.simulate = simulate;
   for (const nn::LayerNode& node : net.spec().graph.nodes()) {
     const auto it = precisions.find(node.id);
     if (it == precisions.end() || it->second != Precision::kInt8) continue;
     if (!nn::is_weight_layer(node.spec.kind)) continue;
+    if (!options.quantize_input_layer &&
+        is_narrow_input_layer(net.spec().graph, node)) {
+      continue;
+    }
 
     NodeQuantPlan nq;
     nq.node_id = node.id;

@@ -38,6 +38,17 @@ struct CalibrationTable {
 [[nodiscard]] CalibrationTable calibrate_activations(
     nn::FunctionalNetwork& net, std::span<const ValidationSample> samples);
 
+/// Plan-construction policy knobs.
+struct QuantPlanOptions {
+  /// Opt-out of the sensor-facing guard below: when true, input layers
+  /// quantize like any other layer (accuracy studies, kernel parity
+  /// tests). The default keeps them FP32 — the 2-channel DAVIS input
+  /// conv is im2col-transform-bound in int8 (~0.6x of FP32,
+  /// BENCH_quant.json / ROADMAP), so quantizing it costs speed for
+  /// nothing.
+  bool quantize_input_layer = false;
+};
+
 /// Prepares a QuantPlan from a per-node precision assignment: every
 /// weight node mapped to kInt8 gets per-output-channel quantized weights
 /// (snapshotted from the network's current weights) and an input
@@ -45,10 +56,13 @@ struct CalibrationTable {
 /// when a needed input range was never observed (stale or foreign
 /// calibration table). kFp32 and kFp16 assignments are ignored (fp16 is
 /// storage-only modelling — see quantizer.hpp; a real fp16 path is a
-/// roadmap follow-on).
+/// roadmap follow-on). Conv layers fed directly by a narrow (<= 2
+/// channel) input node stay FP32 unless options.quantize_input_layer is
+/// set (see QuantPlanOptions).
 [[nodiscard]] QuantPlan build_quant_plan(
     const nn::FunctionalNetwork& net, const PrecisionMap& precisions,
     const CalibrationTable& calibration, bool simulate = false,
-    WeightGranularity granularity = WeightGranularity::kPerChannel);
+    WeightGranularity granularity = WeightGranularity::kPerChannel,
+    const QuantPlanOptions& options = {});
 
 }  // namespace evedge::quant

@@ -13,13 +13,30 @@ double output_quant_step(const DenseTensor& reference) {
 QuantizedNetwork::QuantizedNetwork(
     nn::NetworkSpec spec, std::uint64_t seed, PrecisionMap precisions,
     std::span<const ValidationSample> calibration,
-    WeightGranularity granularity)
+    WeightGranularity granularity, const QuantPlanOptions& plan_options)
     : net_(std::move(spec), seed), precisions_(std::move(precisions)) {
   calibration_ = calibrate_activations(net_, calibration);
   real_ = build_quant_plan(net_, precisions_, calibration_,
-                           /*simulate=*/false, granularity);
+                           /*simulate=*/false, granularity, plan_options);
   simulated_ = build_quant_plan(net_, precisions_, calibration_,
-                                /*simulate=*/true, granularity);
+                                /*simulate=*/true, granularity, plan_options);
+}
+
+const nn::ExecutionPlan& QuantizedNetwork::plan_execution(
+    std::span<const sparse::DenseTensor> probe_steps,
+    const sparse::DenseTensor* probe_image,
+    const nn::PlannerOptions& options) {
+  net_.set_execution_plan(nullptr);
+  exec_plan_ =
+      nn::ExecutionPlanner::calibrate(net_, probe_steps, probe_image, options);
+  net_.set_execution_plan(&exec_plan_);
+  exec_plan_active_ = true;
+  return exec_plan_;
+}
+
+void QuantizedNetwork::clear_execution_plan() {
+  net_.set_execution_plan(nullptr);
+  exec_plan_active_ = false;
 }
 
 namespace {

@@ -33,12 +33,33 @@ class QuantizedNetwork {
   /// Builds the functional network (weights from `seed`), calibrates
   /// activation scales over `calibration` FP32 runs and prepares the
   /// real + simulate plans for `precisions` (kInt8 entries execute
-  /// int8; everything else stays FP32).
+  /// int8; everything else stays FP32). `plan_options` controls plan
+  /// construction policy (by default narrow input layers stay FP32 —
+  /// see QuantPlanOptions).
   QuantizedNetwork(nn::NetworkSpec spec, std::uint64_t seed,
                    PrecisionMap precisions,
                    std::span<const ValidationSample> calibration,
                    WeightGranularity granularity =
-                       WeightGranularity::kPerChannel);
+                       WeightGranularity::kPerChannel,
+                   const QuantPlanOptions& plan_options = {});
+  // net_ holds non-owning pointers into real_/simulated_/exec_plan_
+  // while plans are installed — moving or copying would dangle them.
+  QuantizedNetwork(const QuantizedNetwork&) = delete;
+  QuantizedNetwork& operator=(const QuantizedNetwork&) = delete;
+
+  /// Calibrates a density-adaptive nn::ExecutionPlan on the given probe
+  /// (FP32 warmup run) and installs it, composing sparse routes with the
+  /// quant plan: sparse-routed int8 layers execute the int8 gather
+  /// kernels inside run()/run_batched(). The plan stays owned here and
+  /// applies until replaced or clear_execution_plan().
+  const nn::ExecutionPlan& plan_execution(
+      std::span<const sparse::DenseTensor> probe_steps,
+      const sparse::DenseTensor* probe_image = nullptr,
+      const nn::PlannerOptions& options = {});
+  void clear_execution_plan();
+  [[nodiscard]] bool has_execution_plan() const noexcept {
+    return exec_plan_active_;
+  }
 
   /// Mixed-precision inference through the real INT8 kernels.
   [[nodiscard]] sparse::DenseTensor run(
@@ -69,6 +90,8 @@ class QuantizedNetwork {
   CalibrationTable calibration_;
   QuantPlan real_;
   QuantPlan simulated_;
+  nn::ExecutionPlan exec_plan_;
+  bool exec_plan_active_ = false;
 };
 
 }  // namespace evedge::quant

@@ -61,6 +61,11 @@ double CooChannel::density() const noexcept {
   return total > 0.0 ? static_cast<double>(entries_.size()) / total : 0.0;
 }
 
+void CooChannel::prune_negative() noexcept {
+  row_ptr_valid_ = false;
+  std::erase_if(entries_, [](const CooEntry& e) { return e.value < 0.0f; });
+}
+
 void CooChannel::accumulate(std::int32_t row, std::int32_t col, float value) {
   if (row < 0 || row >= height_ || col < 0 || col >= width_) {
     throw std::out_of_range("CooChannel::accumulate outside extents");

@@ -58,6 +58,12 @@ class CooChannel {
   /// Value at (row, col); 0 when absent. O(log n).
   [[nodiscard]] float at(std::int32_t row, std::int32_t col) const noexcept;
 
+  /// Sparse ReLU: removes all negative entries. Implicit zeros already
+  /// satisfy relu(0) == 0, so afterwards the channel densifies to exactly
+  /// relu() of its previous dense image. Keeps ordering; invalidates the
+  /// cached row index.
+  void prune_negative() noexcept;
+
   /// CSR-style row index: row_ptr()[r] .. row_ptr()[r+1] delimit the
   /// entries of row r inside entries(); size is height()+1 and
   /// row_ptr()[height()] == nnz(). Built lazily on first access (O(h+nnz))

@@ -347,10 +347,19 @@ void reduce_sites(const ConvScratch& s, const float* packed_w,
 
 /// Gather front half shared by the float gather kernels and the public
 /// build_gather_taps entry point (no validation — callers validated).
-/// Stages 1-2 of the gather kernel: gather the input into dense
-/// per-channel rows + collect the sorted active output-site list (bitmap
-/// dedup), then build one shared (weight offset, value) tap list per
-/// site.
+/// Collects the sorted active output-site list (bitmap dedup), then
+/// scatter-builds one shared (weight offset, value) tap list per site by
+/// a count/prefix/fill pass over the input non-zeros. Work is
+/// proportional to nnz_in * k^2 (the tap count), NOT to
+/// sites * Cin * k^2 like a per-site gather probe — the difference is
+/// what keeps multi-channel mid-density layers (deep spiking stages)
+/// ahead of the dense kernels.
+///
+/// Tap order per site is (ic, ky, kx) ascending: the fill pass iterates
+/// channels outer and each channel's entries row-major, and for a fixed
+/// site ascending input positions map to ascending (ky, kx) — exactly
+/// the order the scatter kernel's entry loop reaches that site, so the
+/// per-site reduction stays bitwise identical to the scatter result.
 GatherGeometry build_taps_impl(std::span<const CooChannel> input,
                                const Conv2dSpec& spec, bool submanifold,
                                ConvScratch& s) {
@@ -362,106 +371,135 @@ GatherGeometry build_taps_impl(std::span<const CooChannel> input,
   const int out_w = submanifold ? in_w
                                 : conv_out_extent(in_w, spec.kernel,
                                                   spec.stride, spec.padding);
-  const std::size_t in_plane =
-      static_cast<std::size_t>(in_h) * static_cast<std::size_t>(in_w);
   const std::size_t out_plane =
       static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
 
-  float* g = s.gather_buffer(static_cast<std::size_t>(spec.in_channels) *
-                             in_plane);
-  std::uint8_t* act =
-      s.active_buffer(submanifold ? in_plane : out_plane);
+  std::uint8_t* act = s.active_buffer(out_plane);
   s.sites.clear();
 
+  // Submanifold output sites are the union of input active sites — mark
+  // them up front so the enumeration below can restrict its targets.
+  // Strided (CSR) sites are exactly the enumeration's scatter targets,
+  // so marking happens inside the single enumeration pass instead.
   std::size_t nnz_in = 0;
   for (int ic = 0; ic < spec.in_channels; ++ic) {
     const CooChannel& ch = input[static_cast<std::size_t>(ic)];
     nnz_in += ch.nnz();
-    float* g_c = g + static_cast<std::size_t>(ic) * in_plane;
+    if (!submanifold) continue;
     for (const CooEntry& e : ch.entries()) {
       const std::size_t idx =
           static_cast<std::size_t>(e.row) * static_cast<std::size_t>(in_w) +
           static_cast<std::size_t>(e.col);
-      g_c[idx] = e.value;
-      if (submanifold) {
-        if (act[idx] == 0) {
-          act[idx] = 1;
-          s.sites.push_back(static_cast<std::int32_t>(idx));
-        }
-        continue;
+      if (act[idx] == 0) {
+        act[idx] = 1;
+        s.sites.push_back(static_cast<std::int32_t>(idx));
       }
-      // Strided: mark every output site this non-zero scatters to.
+    }
+  }
+  // Row-major order keeps the output entries sorted; the rank map is the
+  // inverse (flat output index -> position in the sorted site list).
+  const auto sort_and_rank = [&] {
+    std::sort(s.sites.begin(), s.sites.end());
+    if (s.rank.size() < out_plane) s.rank.resize(out_plane);
+    for (std::size_t si = 0; si < s.sites.size(); ++si) {
+      s.rank[static_cast<std::size_t>(s.sites[si])] =
+          static_cast<std::int32_t>(si);
+    }
+  };
+  if (submanifold) sort_and_rank();
+
+  // Single enumeration in (channel, entry, ky, kx) order into the
+  // staging arrays; taps are then redistributed per site by a stable
+  // counting scatter, whose passes are division-free linear walks.
+  // Column targets are hoisted out of the ky loop so target arithmetic
+  // runs once per (entry, axis offset), not per (ky, kx). tap_site
+  // carries the site rank (submanifold, where ranks pre-exist) or the
+  // flat output index (CSR, rank-translated after the site sort).
+  s.tap_stage.clear();
+  s.tap_site.clear();
+  constexpr int kMaxHoist = 32;
+  std::int32_t col_target[kMaxHoist];
+  const bool hoist_cols = spec.kernel <= kMaxHoist;
+  for (int ic = 0; ic < spec.in_channels; ++ic) {
+    const std::int32_t w_ic_base = ic * spec.kernel * spec.kernel;
+    for (const CooEntry& e : input[static_cast<std::size_t>(ic)].entries()) {
+      if (hoist_cols) {
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ox_num = e.col + spec.padding - kx;
+          col_target[kx] =
+              (ox_num < 0 || ox_num % spec.stride != 0 ||
+               ox_num / spec.stride >= out_w)
+                  ? -1
+                  : ox_num / spec.stride;
+        }
+      }
       for (int ky = 0; ky < spec.kernel; ++ky) {
         const int oy_num = e.row + spec.padding - ky;
         if (oy_num < 0 || oy_num % spec.stride != 0) continue;
         const int oy = oy_num / spec.stride;
         if (oy >= out_h) continue;
+        const std::size_t row_base =
+            static_cast<std::size_t>(oy) * static_cast<std::size_t>(out_w);
+        const std::int32_t w_ky_base = w_ic_base + ky * spec.kernel;
         for (int kx = 0; kx < spec.kernel; ++kx) {
-          const int ox_num = e.col + spec.padding - kx;
-          if (ox_num < 0 || ox_num % spec.stride != 0) continue;
-          const int ox = ox_num / spec.stride;
-          if (ox >= out_w) continue;
-          const std::size_t out_idx =
-              static_cast<std::size_t>(oy) * static_cast<std::size_t>(out_w) +
-              static_cast<std::size_t>(ox);
-          if (act[out_idx] == 0) {
-            act[out_idx] = 1;
-            s.sites.push_back(static_cast<std::int32_t>(out_idx));
+          int ox;
+          if (hoist_cols) {
+            ox = col_target[kx];
+            if (ox < 0) continue;
+          } else {
+            const int ox_num = e.col + spec.padding - kx;
+            if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+            ox = ox_num / spec.stride;
+            if (ox >= out_w) continue;
           }
+          const std::size_t out_idx = row_base + static_cast<std::size_t>(ox);
+          if (submanifold) {
+            if (act[out_idx] == 0) continue;
+            s.tap_site.push_back(s.rank[out_idx]);
+          } else {
+            if (act[out_idx] == 0) {
+              act[out_idx] = 1;
+              s.sites.push_back(static_cast<std::int32_t>(out_idx));
+            }
+            s.tap_site.push_back(static_cast<std::int32_t>(out_idx));
+          }
+          s.tap_stage.push_back(GatherTap{w_ky_base + kx, e.value});
         }
       }
     }
   }
-  // Row-major order keeps the output entries sorted.
-  std::sort(s.sites.begin(), s.sites.end());
-
-  // Per-site tap lists in (ic, ky, kx) order — for a fixed site and
-  // channel this visits contributing input positions row-major, the same
-  // order the scatter kernel's entry loop reaches them, so the per-site
-  // accumulation below is bitwise identical to the scatter result.
-  s.taps.clear();
-  s.site_ptr.resize(s.sites.size() + 1);
-  s.site_ptr[0] = 0;
-  for (std::size_t si = 0; si < s.sites.size(); ++si) {
-    const int row = s.sites[si] / out_w;
-    const int col = s.sites[si] % out_w;
-    const int iy0 = row * spec.stride - spec.padding;
-    const int ix0 = col * spec.stride - spec.padding;
-    for (int ic = 0; ic < spec.in_channels; ++ic) {
-      const float* g_c = g + static_cast<std::size_t>(ic) * in_plane;
-      const std::int32_t w_ic_base = ic * spec.kernel * spec.kernel;
-      for (int ky = 0; ky < spec.kernel; ++ky) {
-        const int iy = iy0 + ky;
-        if (iy < 0 || iy >= in_h) continue;
-        const float* g_row =
-            g_c + static_cast<std::size_t>(iy) * static_cast<std::size_t>(in_w);
-        const std::int32_t w_ky_base = w_ic_base + ky * spec.kernel;
-        for (int kx = 0; kx < spec.kernel; ++kx) {
-          const int ix = ix0 + kx;
-          if (ix < 0 || ix >= in_w) continue;
-          const float v = g_row[ix];
-          if (v != 0.0f) s.taps.push_back(GatherTap{w_ky_base + kx, v});
-        }
-      }
+  if (!submanifold) {
+    sort_and_rank();
+    for (std::int32_t& ts : s.tap_site) {
+      ts = s.rank[static_cast<std::size_t>(ts)];
     }
-    s.site_ptr[si + 1] = s.taps.size();
+  }
+  const std::size_t n_sites = s.sites.size();
+  const std::size_t n_taps = s.tap_stage.size();
+  s.site_ptr.assign(n_sites + 1, 0);
+  for (std::size_t t = 0; t < n_taps; ++t) {
+    ++s.site_ptr[static_cast<std::size_t>(s.tap_site[t]) + 1];
+  }
+  for (std::size_t si = 0; si < n_sites; ++si) {
+    s.site_ptr[si + 1] += s.site_ptr[si];
+  }
+  // Exact size: the int8 backend quantizes taps.size() values.
+  s.taps.resize(n_taps);
+  if (s.cursor.size() < n_sites) s.cursor.resize(n_sites);
+  std::copy(s.site_ptr.begin(), s.site_ptr.begin() + n_sites,
+            s.cursor.begin());
+  for (std::size_t t = 0; t < n_taps; ++t) {
+    s.taps[s.cursor[static_cast<std::size_t>(s.tap_site[t])]++] =
+        s.tap_stage[t];
   }
   return GatherGeometry{out_h, out_w, nnz_in};
 }
 
-/// Stage 4: restore the gather rows and active bitmap to all-zero,
-/// touching only the indices build_taps_impl wrote for `input`.
+/// Stage 4: restore the active bitmap to all-zero, touching only the
+/// sites build_taps_impl marked. (The rank map needs no restore: it is
+/// only read at indices the current call marked active first.)
 void clear_scratch_impl(std::span<const CooChannel> input, ConvScratch& s) {
-  const int in_w = input[0].width();
-  const std::size_t in_plane = static_cast<std::size_t>(input[0].height()) *
-                               static_cast<std::size_t>(in_w);
-  for (std::size_t ic = 0; ic < input.size(); ++ic) {
-    float* g_c = s.gather.data() + ic * in_plane;
-    for (const CooEntry& e : input[ic].entries()) {
-      g_c[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(in_w) +
-          static_cast<std::size_t>(e.col)] = 0.0f;
-    }
-  }
+  (void)input;
   for (const std::int32_t idx : s.sites) {
     s.active[static_cast<std::size_t>(idx)] = 0;
   }
@@ -536,11 +574,28 @@ void accumulate_work(ConvWork* work, std::span<const ConvWork> per_sample) {
   }
 }
 
+/// Validates a caller-provided pre-packed weight span (size must match
+/// the [tap][oc] transposition exactly; empty means "pack here").
+[[nodiscard]] const float* check_prepacked(std::span<const float> packed,
+                                           const DenseTensor& weights) {
+  if (packed.empty()) return nullptr;
+  const std::size_t expected =
+      static_cast<std::size_t>(weights.shape().n) * weights.stride_n();
+  if (packed.size() != expected) {
+    throw std::invalid_argument(
+        "sparse conv: packed_weights size mismatch (got " +
+        std::to_string(packed.size()) + ", expected " +
+        std::to_string(expected) + ")");
+  }
+  return packed.data();
+}
+
 /// Shared driver for the two sparse-output batched kernels.
 std::vector<SparseSample> gather_conv_batch(
     std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
-    ConvWork* work, Workspace* workspace, SubmanifoldThreading threading) {
+    ConvWork* work, Workspace* workspace, SubmanifoldThreading threading,
+    std::span<const float> prepacked) {
   if (inputs.empty()) {
     throw std::invalid_argument("sparse conv batch: empty batch");
   }
@@ -551,9 +606,14 @@ std::vector<SparseSample> gather_conv_batch(
   const int n = static_cast<int>(inputs.size());
   const BatchPlan plan = plan_batch(n);
   arena.reserve_slots(static_cast<std::size_t>(plan.workers));
-  // Weights are packed once and shared read-only across all samples.
-  pack_weights(weights, arena.scratch(0).packed_w);
-  const float* packed_w = arena.scratch(0).packed_w.data();
+  // Weights are packed once and shared read-only across all samples —
+  // or not at all, when the caller pre-packed them (CSR chains pack each
+  // layer once per run instead of once per layer invocation).
+  const float* packed_w = check_prepacked(prepacked, weights);
+  if (packed_w == nullptr) {
+    pack_weights(weights, arena.scratch(0).packed_w);
+    packed_w = arena.scratch(0).packed_w.data();
+  }
 
   // Parallelize over WORKER indices, each owning one scratch slot and a
   // contiguous sample range — slot exclusivity holds by construction,
@@ -613,10 +673,11 @@ DenseTensor sparse_conv2d(std::span<const CooChannel> input,
   return out;
 }
 
-DenseTensor sparse_conv2d_batch(std::span<const SparseSample> inputs,
-                                const DenseTensor& weights,
-                                std::span<const float> bias,
-                                const Conv2dSpec& spec, ConvWork* work) {
+void sparse_conv2d_batch_into(std::span<const SparseSample> inputs,
+                              const DenseTensor& weights,
+                              std::span<const float> bias,
+                              const Conv2dSpec& spec, DenseTensor& out,
+                              ConvWork* work) {
   if (inputs.empty()) {
     throw std::invalid_argument("sparse_conv2d_batch: empty batch");
   }
@@ -629,7 +690,7 @@ DenseTensor sparse_conv2d_batch(std::span<const SparseSample> inputs,
                                     spec.padding);
   const int n = static_cast<int>(inputs.size());
 
-  DenseTensor out(TensorShape{n, spec.out_channels, out_h, out_w});
+  out.reset(TensorShape{n, spec.out_channels, out_h, out_w});
   const std::size_t out_plane =
       static_cast<std::size_t>(out_h) * static_cast<std::size_t>(out_w);
   const std::size_t out_batch = out.stride_n();
@@ -642,7 +703,12 @@ DenseTensor sparse_conv2d_batch(std::span<const SparseSample> inputs,
   core::parallel_for(0, n, [&](int i) {
     const SparseSample& sample = inputs[static_cast<std::size_t>(i)];
     float* o_n = o + static_cast<std::size_t>(i) * out_batch;
-    fill_bias_planes(o_n, bias, spec.out_channels, out_plane);
+    if (bias.empty()) {
+      // reset() leaves the buffer unspecified — scatter needs zeros.
+      std::fill(o_n, o_n + out_batch, 0.0f);
+    } else {
+      fill_bias_planes(o_n, bias, spec.out_channels, out_plane);
+    }
     ConvWork& cw = per_sample[static_cast<std::size_t>(i)];
     cw.dense_macs = dense_mac_count(spec, out_h, out_w);
     cw.sparse_macs =
@@ -650,6 +716,14 @@ DenseTensor sparse_conv2d_batch(std::span<const SparseSample> inputs,
     for (const CooChannel& ch : sample) cw.nnz_in += ch.nnz();
   });
   accumulate_work(work, per_sample);
+}
+
+DenseTensor sparse_conv2d_batch(std::span<const SparseSample> inputs,
+                                const DenseTensor& weights,
+                                std::span<const float> bias,
+                                const Conv2dSpec& spec, ConvWork* work) {
+  DenseTensor out;
+  sparse_conv2d_batch_into(inputs, weights, bias, spec, out, work);
   return out;
 }
 
@@ -658,13 +732,15 @@ std::vector<CooChannel> submanifold_conv2d(std::span<const CooChannel> input,
                                            std::span<const float> bias,
                                            const Conv2dSpec& spec,
                                            ConvWork* work, Workspace* workspace,
-                                           SubmanifoldThreading threading) {
+                                           SubmanifoldThreading threading,
+                                           std::span<const float> packed_weights) {
   validate_conv_inputs(input, weights, bias, spec);
   require_submanifold_geometry(input, spec);
   Workspace& arena = workspace != nullptr ? *workspace : fallback_workspace();
   return gather_conv_sample(input, weights, bias, spec, /*submanifold=*/true,
                             arena.scratch(0), threading,
-                            core::parallel_thread_count(), work);
+                            core::parallel_thread_count(), work,
+                            check_prepacked(packed_weights, weights));
 }
 
 std::vector<CooChannel> sparse_conv2d_csr(std::span<const CooChannel> input,
@@ -672,28 +748,36 @@ std::vector<CooChannel> sparse_conv2d_csr(std::span<const CooChannel> input,
                                           std::span<const float> bias,
                                           const Conv2dSpec& spec,
                                           ConvWork* work, Workspace* workspace,
-                                          SubmanifoldThreading threading) {
+                                          SubmanifoldThreading threading,
+                                          std::span<const float> packed_weights) {
   validate_conv_inputs(input, weights, bias, spec);
   Workspace& arena = workspace != nullptr ? *workspace : fallback_workspace();
   return gather_conv_sample(input, weights, bias, spec, /*submanifold=*/false,
                             arena.scratch(0), threading,
-                            core::parallel_thread_count(), work);
+                            core::parallel_thread_count(), work,
+                            check_prepacked(packed_weights, weights));
 }
 
 std::vector<SparseSample> submanifold_conv2d_batch(
     std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec, ConvWork* work,
-    Workspace* workspace, SubmanifoldThreading threading) {
+    Workspace* workspace, SubmanifoldThreading threading,
+    std::span<const float> packed_weights) {
   return gather_conv_batch(inputs, weights, bias, spec, /*submanifold=*/true,
-                           work, workspace, threading);
+                           work, workspace, threading, packed_weights);
 }
 
 std::vector<SparseSample> sparse_conv2d_csr_batch(
     std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec, ConvWork* work,
-    Workspace* workspace, SubmanifoldThreading threading) {
+    Workspace* workspace, SubmanifoldThreading threading,
+    std::span<const float> packed_weights) {
   return gather_conv_batch(inputs, weights, bias, spec, /*submanifold=*/false,
-                           work, workspace, threading);
+                           work, workspace, threading, packed_weights);
+}
+
+void pack_conv_weights(const DenseTensor& weights, std::vector<float>& packed) {
+  pack_weights(weights, packed);
 }
 
 GatherGeometry build_gather_taps(std::span<const CooChannel> input,
@@ -711,14 +795,20 @@ void clear_gather_scratch(std::span<const CooChannel> input,
   clear_scratch_impl(input, scratch);
 }
 
-std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,
-                                          std::size_t* scanned_elements) {
+namespace {
+
+/// Shared sparsify core: one sample slice of a [N, C, H, W] tensor into C
+/// COO channels. The raw scan emits entries already sorted and unique, so
+/// the channels adopt them without the from_entries sort/dedup pass.
+[[nodiscard]] std::vector<CooChannel> slice_to_channels_impl(
+    const DenseTensor& dense, int n) {
   const TensorShape& s = dense.shape();
-  if (s.n != 1) {
-    throw std::invalid_argument("dense_to_channels expects batch 1");
+  if (n < 0 || n >= s.n) {
+    throw std::invalid_argument("slice_to_channels: sample out of range");
   }
   const std::size_t plane = dense.stride_c();
-  const float* raw = dense.raw();
+  const float* raw = dense.raw() + static_cast<std::size_t>(n) *
+                                       dense.stride_n();
   std::vector<CooChannel> channels;
   channels.reserve(static_cast<std::size_t>(s.c));
   for (int c = 0; c < s.c; ++c) {
@@ -737,13 +827,66 @@ std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,
         if (row[x] != 0.0f) entries.push_back(CooEntry{y, x, row[x]});
       }
     }
-    channels.push_back(CooChannel::from_entries(s.h, s.w,
-                                                std::move(entries)));
-  }
-  if (scanned_elements != nullptr) {
-    *scanned_elements += s.element_count();
+    channels.push_back(CooChannel::from_sorted_entries(s.h, s.w,
+                                                       std::move(entries)));
   }
   return channels;
+}
+
+}  // namespace
+
+std::vector<CooChannel> dense_to_channels(const DenseTensor& dense,
+                                          std::size_t* scanned_elements) {
+  if (dense.shape().n != 1) {
+    throw std::invalid_argument("dense_to_channels expects batch 1");
+  }
+  if (scanned_elements != nullptr) {
+    *scanned_elements += dense.shape().element_count();
+  }
+  return slice_to_channels_impl(dense, 0);
+}
+
+SparseSample slice_to_channels(const DenseTensor& dense, int n) {
+  return slice_to_channels_impl(dense, n);
+}
+
+void channels_into_slice(std::span<const CooChannel> channels,
+                         DenseTensor& dense, int n) {
+  const TensorShape& s = dense.shape();
+  if (n < 0 || n >= s.n) {
+    throw std::invalid_argument("channels_into_slice: sample out of range");
+  }
+  if (channels.empty() || static_cast<int>(channels.size()) != s.c ||
+      channels[0].height() != s.h || channels[0].width() != s.w) {
+    throw std::invalid_argument("channels_into_slice: shape mismatch");
+  }
+  float* slice = dense.raw() + static_cast<std::size_t>(n) * dense.stride_n();
+  std::fill(slice, slice + dense.stride_n(), 0.0f);
+  const std::size_t plane = dense.stride_c();
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    float* p = slice + c * plane;
+    for (const CooEntry& e : channels[c].entries()) {
+      p[static_cast<std::size_t>(e.row) * static_cast<std::size_t>(s.w) +
+        static_cast<std::size_t>(e.col)] = e.value;
+    }
+  }
+}
+
+void relu_sample_inplace(SparseSample& sample) noexcept {
+  for (CooChannel& ch : sample) ch.prune_negative();
+}
+
+double sample_density(const SparseSample& sample) noexcept {
+  if (sample.empty()) return 0.0;
+  std::size_t nnz = 0;
+  std::size_t total = 0;
+  for (const CooChannel& ch : sample) {
+    nnz += ch.nnz();
+    total += static_cast<std::size_t>(ch.height()) *
+             static_cast<std::size_t>(ch.width());
+  }
+  return total > 0 ? static_cast<double>(nnz) / static_cast<double>(total)
+                   : 0.0;
 }
 
 DenseTensor channels_to_dense(std::span<const CooChannel> channels) {

@@ -66,12 +66,16 @@ struct ConvWork {
 /// restricted to the union of input active sites, preventing dilation of
 /// the active set across layers. Returns out_channels sparse channels.
 /// `workspace`, when non-null, supplies the scratch arena (slot 0);
-/// otherwise a thread-local fallback arena is used.
+/// otherwise a thread-local fallback arena is used. `packed_weights`,
+/// when non-empty, must be the [tap offset][oc] transposition of
+/// `weights` (pack_conv_weights) — chain callers pack each layer once
+/// instead of once per invocation.
 [[nodiscard]] std::vector<CooChannel> submanifold_conv2d(
     std::span<const CooChannel> input, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr, Workspace* workspace = nullptr,
-    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto,
+    std::span<const float> packed_weights = {});
 
 /// CSR-output sparse convolution: the same strided scatter arithmetic as
 /// sparse_conv2d, routed to sorted CooChannels (via from_sorted_entries)
@@ -85,7 +89,8 @@ struct ConvWork {
     std::span<const CooChannel> input, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr, Workspace* workspace = nullptr,
-    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto,
+    std::span<const float> packed_weights = {});
 
 // --- Batched entry points ------------------------------------------------
 // Process all samples of a DSFA merge batch in one call: weights are
@@ -101,7 +106,8 @@ struct ConvWork {
     std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr, Workspace* workspace = nullptr,
-    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto,
+    std::span<const float> packed_weights = {});
 
 /// Batched CSR-output strided convolution; result[i] matches
 /// sparse_conv2d_csr(inputs[i], ...).
@@ -109,7 +115,8 @@ struct ConvWork {
     std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr, Workspace* workspace = nullptr,
-    SubmanifoldThreading threading = SubmanifoldThreading::kAuto);
+    SubmanifoldThreading threading = SubmanifoldThreading::kAuto,
+    std::span<const float> packed_weights = {});
 
 /// Batched dense-output scatter convolution: one [N, out_channels, out_h,
 /// out_w] tensor (a single allocation) whose slice n equals
@@ -118,6 +125,16 @@ struct ConvWork {
     std::span<const SparseSample> inputs, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec,
     ConvWork* work = nullptr);
+
+/// Allocation-free steady-state variant of sparse_conv2d_batch: writes
+/// into `out`, reusing its buffer when capacity allows (the engine's
+/// spiking-current staging path — a sparse-routed spiking conv scatters
+/// straight into the dense LIF input, no COO materialization).
+void sparse_conv2d_batch_into(std::span<const SparseSample> inputs,
+                              const DenseTensor& weights,
+                              std::span<const float> bias,
+                              const Conv2dSpec& spec, DenseTensor& out,
+                              ConvWork* work = nullptr);
 
 // --- Gather front-end (shared with alternative compute backends) ---------
 
@@ -129,21 +146,22 @@ struct GatherGeometry {
 };
 
 /// Builds the gather-kernel front half for one sample into `scratch`:
-/// dense per-channel gather rows, the sorted active output-site list and
-/// the shared per-site (weight offset, value) tap lists (sites / taps /
-/// site_ptr). This is the geometry stage the float reduction in
-/// submanifold_conv2d / sparse_conv2d_csr consumes; it is exposed so
-/// alternative backends (the INT8 engine) can run their own reduction
-/// over the identical tap stream. `weights` is only used for shape
-/// validation. Callers MUST call clear_gather_scratch with the same
-/// input before reusing `scratch` for another sample.
+/// the sorted active output-site list and the shared per-site (weight
+/// offset, value) tap lists (sites / taps / site_ptr), scatter-built in
+/// O(nnz * k^2) by a count/prefix/fill pass over the input non-zeros.
+/// This is the geometry stage the float reduction in submanifold_conv2d
+/// / sparse_conv2d_csr consumes; it is exposed so alternative backends
+/// (the INT8 engine) can run their own reduction over the identical tap
+/// stream. `weights` is only used for shape validation. Callers MUST
+/// call clear_gather_scratch with the same input before reusing
+/// `scratch` for another sample.
 [[nodiscard]] GatherGeometry build_gather_taps(
     std::span<const CooChannel> input, const DenseTensor& weights,
     std::span<const float> bias, const Conv2dSpec& spec, bool submanifold,
     ConvScratch& scratch);
 
-/// Restores the gather rows and active bitmap of `scratch` to all-zero,
-/// touching only the indices build_gather_taps wrote for `input`.
+/// Restores the active bitmap of `scratch` to all-zero, touching only
+/// the sites build_gather_taps marked for `input`.
 void clear_gather_scratch(std::span<const CooChannel> input,
                           ConvScratch& scratch);
 
@@ -156,5 +174,33 @@ void clear_gather_scratch(std::span<const CooChannel> input,
 /// C sparse channels -> dense [1, C, H, W].
 [[nodiscard]] DenseTensor channels_to_dense(
     std::span<const CooChannel> channels);
+
+// --- Chain boundaries (engine sparse-carrier entry points) ----------------
+// The density-adaptive engine keeps activations in COO form between
+// consecutive sparse-routed layers and crosses representations only at
+// route boundaries. These are those boundary crossings, batch-slice
+// aware (the engine's tensors are [N, C, H, W]).
+
+/// Packs [oc][ic][ky][kx] conv weights into the [tap offset][oc] layout
+/// the gather reduction consumes. Chains pack each layer once (e.g. per
+/// run) and pass the result to the kernels above via `packed_weights`.
+void pack_conv_weights(const DenseTensor& weights, std::vector<float>& packed);
+
+/// Sparsifies sample `n` of a [N, C, H, W] tensor into COO channels
+/// (chain-head boundary). Extents and channel count come from `dense`.
+[[nodiscard]] SparseSample slice_to_channels(const DenseTensor& dense, int n);
+
+/// Densifies `channels` into sample `n` of `dense` (route-exit boundary):
+/// zero-fills the slice, then scatters the stored entries. `dense` must
+/// already have the matching [N, C, H, W] shape.
+void channels_into_slice(std::span<const CooChannel> channels,
+                         DenseTensor& dense, int n);
+
+/// Sparse ReLU over a whole sample (prune_negative per channel).
+void relu_sample_inplace(SparseSample& sample) noexcept;
+
+/// Mean stored-entry fraction across the sample's channels (density
+/// telemetry for the execution planner).
+[[nodiscard]] double sample_density(const SparseSample& sample) noexcept;
 
 }  // namespace evedge::sparse

@@ -7,11 +7,6 @@ float* ConvScratch::col_buffer(std::size_t size) {
   return col.data();
 }
 
-float* ConvScratch::gather_buffer(std::size_t size) {
-  if (gather.size() < size) gather.resize(size, 0.0f);
-  return gather.data();
-}
-
 std::uint8_t* ConvScratch::active_buffer(std::size_t size) {
   if (active.size() < size) active.resize(size, 0);
   return active.data();
@@ -41,15 +36,25 @@ void Workspace::reserve_slots(std::size_t count) {
   while (pool_.size() < count) pool_.emplace_back();
 }
 
+std::vector<float>& Workspace::packed_slot(int key) {
+  return packed_slots_[key];
+}
+
 std::size_t Workspace::retained_bytes() const noexcept {
   std::size_t bytes = 0;
+  for (const auto& [key, packed] : packed_slots_) {
+    bytes += packed.capacity() * sizeof(float);
+  }
   for (const ConvScratch& s : pool_) {
     bytes += s.col.capacity() * sizeof(float);
-    bytes += s.gather.capacity() * sizeof(float);
     bytes += s.active.capacity() * sizeof(std::uint8_t);
     bytes += s.sites.capacity() * sizeof(std::int32_t);
     bytes += s.taps.capacity() * sizeof(GatherTap);
     bytes += s.site_ptr.capacity() * sizeof(std::size_t);
+    bytes += s.rank.capacity() * sizeof(std::int32_t);
+    bytes += s.cursor.capacity() * sizeof(std::size_t);
+    bytes += s.tap_stage.capacity() * sizeof(GatherTap);
+    bytes += s.tap_site.capacity() * sizeof(std::int32_t);
     bytes += s.packed_w.capacity() * sizeof(float);
     bytes += s.qin.capacity() * sizeof(std::int16_t);
     bytes += s.qcol.capacity() * sizeof(std::int16_t);
@@ -61,6 +66,7 @@ std::size_t Workspace::retained_bytes() const noexcept {
 
 void Workspace::clear() noexcept {
   pool_.clear();
+  packed_slots_.clear();
 }
 
 }  // namespace evedge::sparse

@@ -2,7 +2,7 @@
 
 // Workspace: a reusable scratch arena for the compute kernels. Every
 // per-call std::vector the hot paths used to allocate (im2col column
-// matrices, submanifold gather rows, active-site bitmaps, tap lists) is
+// matrices, active-site bitmaps and rank maps, tap lists) is
 // owned here instead, so steady-state inference performs no scratch
 // allocations: buffers grow monotonically to the high-water mark of the
 // shapes they have served and are reused across layers, samples and
@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 namespace evedge::sparse {
@@ -34,11 +35,20 @@ struct GatherTap {
 /// touched), so reuse costs nothing when the active set is sparse.
 struct ConvScratch {
   std::vector<float> col;              ///< im2col column matrix
-  std::vector<float> gather;           ///< per-channel dense gather rows
   std::vector<std::uint8_t> active;    ///< active-site bitmap
   std::vector<std::int32_t> sites;     ///< sorted active flat indices
   std::vector<GatherTap> taps;         ///< per-site tap lists
   std::vector<std::size_t> site_ptr;   ///< CSR-style index into taps
+  /// Flat output index -> position in `sites` (the scatter-built tap
+  /// construction's inverse map). Only entries for the current call's
+  /// active sites are written, so it needs no clearing between calls.
+  std::vector<std::int32_t> rank;
+  std::vector<std::size_t> cursor;     ///< per-site fill cursor (taps build)
+  // Single-pass tap staging: taps in enumeration order plus their site
+  // rank, redistributed into per-site CSR order by a stable counting
+  // scatter (no second enumeration pass).
+  std::vector<GatherTap> tap_stage;
+  std::vector<std::int32_t> tap_site;
   std::vector<float> packed_w;         ///< weights transposed [tap][oc]
 
   // INT8 engine scratch: quantized values live in the int8 grid
@@ -51,8 +61,6 @@ struct ConvScratch {
 
   /// Grows `col` to at least `size` elements and returns its data.
   [[nodiscard]] float* col_buffer(std::size_t size);
-  /// Grows `gather` to at least `size` zero-initialized elements.
-  [[nodiscard]] float* gather_buffer(std::size_t size);
   /// Grows `active` to at least `size` zeroed flags.
   [[nodiscard]] std::uint8_t* active_buffer(std::size_t size);
   /// Grows `qin` to at least `size` elements and returns its data.
@@ -74,6 +82,14 @@ class Workspace {
   /// Ensures slots [0, count) exist (pre-sizing hook for batched calls).
   void reserve_slots(std::size_t count);
 
+  /// Keyed packed-weight slot for chained sparse execution: the engine
+  /// packs each sparse-routed layer's [tap][oc] weight rows once per run
+  /// under its node id and hands the span to every kernel invocation of
+  /// that layer (timesteps, samples), instead of re-packing per call.
+  /// References are stable until clear(). Same thread-safety contract as
+  /// scratch(): grow all needed keys before spawning workers.
+  [[nodiscard]] std::vector<float>& packed_slot(int key);
+
   [[nodiscard]] std::size_t slot_count() const noexcept {
     return pool_.size();
   }
@@ -88,6 +104,8 @@ class Workspace {
  private:
   // deque: slot references must survive pool growth.
   std::deque<ConvScratch> pool_;
+  // node-keyed packed-weight chains (unordered_map: stable references).
+  std::unordered_map<int, std::vector<float>> packed_slots_;
 };
 
 }  // namespace evedge::sparse

@@ -1,0 +1,678 @@
+// Density-adaptive execution planner + route-dispatched engine tests:
+// zoo-wide bitwise parity of planner-routed run()/run_batched() against
+// dense execution, CSR chain boundary accounting, submanifold stored-site
+// semantics, density telemetry agreement (hook, firing rate, thread
+// counts), plan validation atomicity, int8 composition and the
+// cost-model cold-start bridge.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "core/batch_executor.hpp"
+#include "core/inference_cost.hpp"
+#include "nn/engine.hpp"
+#include "nn/exec_plan.hpp"
+#include "nn/zoo.hpp"
+#include "quant/accuracy.hpp"
+#include "quant/qnetwork.hpp"
+#include "sparse/sparse_frame.hpp"
+#include "sparse/sparse_ops.hpp"
+
+namespace en = evedge::nn;
+namespace es = evedge::sparse;
+namespace eq = evedge::quant;
+namespace ec = evedge::core;
+
+namespace {
+
+struct Probe {
+  std::vector<es::DenseTensor> steps;
+  es::DenseTensor image;
+  bool has_image = false;
+
+  [[nodiscard]] const es::DenseTensor* image_ptr() const {
+    return has_image ? &image : nullptr;
+  }
+};
+
+/// Sparse event-like inputs matching the network's representation.
+[[nodiscard]] Probe make_probe(const en::NetworkSpec& spec,
+                               std::uint64_t seed, double fill = 0.02) {
+  auto samples = eq::make_validation_set(spec, 1, seed, fill);
+  Probe probe;
+  probe.steps = std::move(samples[0].event_steps);
+  if (samples[0].image.has_value()) {
+    probe.image = std::move(*samples[0].image);
+    probe.has_image = true;
+  }
+  return probe;
+}
+
+/// A small all-conv chain: sparse input -> three zero-bias convs (the
+/// middle one strided), the canonical CSR-chain shape.
+[[nodiscard]] en::NetworkSpec chain_spec() {
+  en::NetworkSpec net;
+  net.name = "chain3";
+  net.n_bins = 1;
+  net.timesteps = 1;
+  en::NetworkGraph& g = net.graph;
+  const int in = g.add_input("events", en::TensorShape{1, 2, 32, 44});
+  en::LayerSpec c1;
+  c1.name = "c1";
+  c1.kind = en::LayerKind::kConv;
+  c1.conv = es::Conv2dSpec{2, 8, 3, 1, 1};
+  const int n1 = g.add_layer(c1, {in});
+  en::LayerSpec c2 = c1;
+  c2.name = "c2";
+  c2.conv = es::Conv2dSpec{8, 8, 3, 2, 1};
+  const int n2 = g.add_layer(c2, {n1});
+  en::LayerSpec c3 = c1;
+  c3.name = "c3";
+  c3.conv = es::Conv2dSpec{8, 8, 3, 1, 1};
+  const int n3 = g.add_layer(c3, {n2});
+  en::LayerSpec out;
+  out.name = "out";
+  out.kind = en::LayerKind::kOutput;
+  g.add_layer(out, {n3});
+  g.validate();
+  return net;
+}
+
+[[nodiscard]] en::ExecutionPlan all_csr_plan(const en::NetworkSpec& spec,
+                                             std::vector<int> nodes) {
+  en::ExecutionPlan plan;
+  plan.route.assign(spec.graph.size(), en::Route::kDense);
+  plan.output_density.assign(spec.graph.size(), 1.0);
+  for (const int id : nodes) {
+    plan.route[static_cast<std::size_t>(id)] = en::Route::kCsr;
+  }
+  return plan;
+}
+
+}  // namespace
+
+// ------------------------------------------------- zoo-wide bitwise parity
+
+class PlannerParity : public ::testing::TestWithParam<en::NetworkId> {};
+
+// Planner-routed run() must be bitwise identical to all-dense execution
+// for every zoo network (kCsr preserves dense numerics exactly on the
+// engine's zero-bias layers).
+TEST_P(PlannerParity, RunMatchesDenseBitwise) {
+  const auto spec = en::build_network(GetParam(), en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  const auto probe = make_probe(spec, 11);
+
+  const auto dense_out = net.run(probe.steps, probe.image_ptr());
+  const auto plan =
+      en::ExecutionPlanner::calibrate(net, probe.steps, probe.image_ptr());
+  net.set_execution_plan(&plan);
+  const auto routed_out = net.run(probe.steps, probe.image_ptr());
+
+  ASSERT_EQ(routed_out.shape(), dense_out.shape());
+  EXPECT_EQ(es::max_abs_diff(routed_out, dense_out), 0.0f) << spec.name;
+  net.set_execution_plan(nullptr);
+}
+
+// Batched planner-routed execution matches per-sample dense execution
+// bitwise (the batched sparse kernels are bitwise batch-1 consistent).
+TEST_P(PlannerParity, BatchedRunMatchesDenseBitwise) {
+  const auto spec = en::build_network(GetParam(), en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  constexpr int kBatch = 3;
+
+  // One shared grayscale image across the batch (run_batched tiles it).
+  std::vector<Probe> probes;
+  std::vector<es::DenseTensor> expected;
+  for (int n = 0; n < kBatch; ++n) {
+    probes.push_back(make_probe(spec, 20 + static_cast<std::uint64_t>(n)));
+    expected.push_back(net.run(probes.back().steps, probes[0].image_ptr()));
+  }
+
+  std::vector<es::DenseTensor> batched_steps;
+  for (int t = 0; t < spec.timesteps; ++t) {
+    const auto& s = probes[0].steps[static_cast<std::size_t>(t)].shape();
+    es::DenseTensor step(es::TensorShape{kBatch, s.c, s.h, s.w});
+    for (int n = 0; n < kBatch; ++n) {
+      const auto& src =
+          probes[static_cast<std::size_t>(n)].steps[static_cast<std::size_t>(t)];
+      std::copy(src.raw(), src.raw() + src.size(),
+                step.raw() + static_cast<std::size_t>(n) * step.stride_n());
+    }
+    batched_steps.push_back(std::move(step));
+  }
+
+  const auto plan = en::ExecutionPlanner::calibrate(net, probes[0].steps,
+                                                    probes[0].image_ptr());
+  net.set_execution_plan(&plan);
+  const auto out = net.run_batched(batched_steps, probes[0].image_ptr());
+  ASSERT_EQ(out.shape().n, kBatch);
+  for (int n = 0; n < kBatch; ++n) {
+    const auto& ref = expected[static_cast<std::size_t>(n)];
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(out.data()[static_cast<std::size_t>(n) * out.stride_n() + i],
+                ref.data()[i])
+          << spec.name << " sample " << n << " element " << i;
+    }
+  }
+  net.set_execution_plan(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, PlannerParity,
+    ::testing::Values(en::NetworkId::kSpikeFlowNet,
+                      en::NetworkId::kFusionFlowNet,
+                      en::NetworkId::kAdaptiveSpikeNet, en::NetworkId::kHalsie,
+                      en::NetworkId::kHidalgoDepth, en::NetworkId::kDotie,
+                      en::NetworkId::kEvFlowNet),
+    [](const ::testing::TestParamInfo<en::NetworkId>& param_info) {
+      auto name = en::to_string(param_info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// The planner actually routes layers sparse on the spiking networks (the
+// whole point) and leaves the dense-activation ANN image branches alone.
+TEST(ExecutionPlanner, RoutesSparseLayersOnSpikingNets) {
+  for (const auto id :
+       {en::NetworkId::kDotie, en::NetworkId::kSpikeFlowNet,
+        en::NetworkId::kAdaptiveSpikeNet}) {
+    const auto spec = en::build_network(id, en::ZooConfig::test_scale());
+    en::FunctionalNetwork net(spec, 7);
+    const auto probe = make_probe(spec, 31, 0.01);
+    const auto plan =
+        en::ExecutionPlanner::calibrate(net, probe.steps, probe.image_ptr());
+    EXPECT_GT(plan.sparse_node_count(), 0) << en::to_string(id);
+    // And the engine reports sparse work when running it.
+    net.set_execution_plan(&plan);
+    (void)net.run(probe.steps, probe.image_ptr());
+    EXPECT_GT(net.last_exec_stats().sparse_node_runs, 0u) << en::to_string(id);
+    EXPECT_GT(net.last_exec_stats().dense_macs_avoided,
+              net.last_exec_stats().sparse_macs)
+        << en::to_string(id);
+    net.set_execution_plan(nullptr);
+  }
+}
+
+// ------------------------------------------------------- fused CSR chains
+
+// Consecutive kCsr layers exchange the COO carrier directly: one
+// sparsify at the chain head, one densify at the output boundary, no
+// conversions in between — and the result still bit-matches dense.
+TEST(ExecutionPlan, CsrChainCrossesBoundariesOnlyAtEnds) {
+  const auto spec = chain_spec();
+  en::FunctionalNetwork net(spec, 5);
+  const auto probe = make_probe(spec, 41, 0.02);
+  const auto dense_out = net.run(probe.steps);
+
+  const auto plan = all_csr_plan(spec, {1, 2, 3});
+  net.set_execution_plan(&plan);
+  const auto routed_out = net.run(probe.steps);
+  EXPECT_EQ(es::max_abs_diff(routed_out, dense_out), 0.0f);
+
+  const en::ExecStats& stats = net.last_exec_stats();
+  EXPECT_EQ(stats.sparse_node_runs, 3u);
+  EXPECT_EQ(stats.sparsify_boundaries, 1u);  // event input only
+  EXPECT_EQ(stats.densify_boundaries, 1u);   // output node only
+  net.set_execution_plan(nullptr);
+}
+
+// ------------------------------------------------- submanifold semantics
+
+// kSubmanifold restricts outputs to the input active union: stored sites
+// carry exactly the dense values, halo sites are dropped to zero.
+TEST(ExecutionPlan, SubmanifoldRouteIsStoredSiteExact) {
+  en::NetworkSpec spec;
+  spec.name = "subm1";
+  spec.n_bins = 1;
+  spec.timesteps = 1;
+  en::LayerSpec conv;
+  conv.name = "c";
+  conv.kind = en::LayerKind::kConv;
+  conv.conv = es::Conv2dSpec{2, 6, 3, 1, 1};
+  conv.relu_after = false;
+  const int in = spec.graph.add_input("events", en::TensorShape{1, 2, 24, 30});
+  const int c = spec.graph.add_layer(conv, {in});
+  en::LayerSpec out;
+  out.name = "out";
+  out.kind = en::LayerKind::kOutput;
+  spec.graph.add_layer(out, {c});
+  spec.graph.validate();
+
+  en::FunctionalNetwork net(spec, 3);
+  const auto probe = make_probe(spec, 51, 0.03);
+  const auto dense_out = net.run(probe.steps);
+
+  en::ExecutionPlan plan = all_csr_plan(spec, {});
+  plan.route[static_cast<std::size_t>(c)] = en::Route::kSubmanifold;
+  net.set_execution_plan(&plan);
+  const auto routed_out = net.run(probe.steps);
+  net.set_execution_plan(nullptr);
+
+  // Active union over both input channels.
+  std::set<std::pair<int, int>> active;
+  const auto& step = probe.steps[0];
+  for (int ch = 0; ch < 2; ++ch) {
+    for (int y = 0; y < step.shape().h; ++y) {
+      for (int x = 0; x < step.shape().w; ++x) {
+        if (step.at(0, ch, y, x) != 0.0f) active.insert({y, x});
+      }
+    }
+  }
+  ASSERT_FALSE(active.empty());
+  std::size_t halo_dropped = 0;
+  for (int oc = 0; oc < 6; ++oc) {
+    for (int y = 0; y < routed_out.shape().h; ++y) {
+      for (int x = 0; x < routed_out.shape().w; ++x) {
+        if (active.contains({y, x})) {
+          EXPECT_EQ(routed_out.at(0, oc, y, x), dense_out.at(0, oc, y, x));
+        } else {
+          EXPECT_EQ(routed_out.at(0, oc, y, x), 0.0f);
+          if (dense_out.at(0, oc, y, x) != 0.0f) ++halo_dropped;
+        }
+      }
+    }
+  }
+  // The semantic difference is real: dense populated halo sites.
+  EXPECT_GT(halo_dropped, 0u);
+}
+
+// The planner only emits kSubmanifold when explicitly allowed — and
+// never for narrow spiking convs, whose approval used the scatter-route
+// cost model (they stay kCsr so the engine's scatter dispatch applies).
+TEST(ExecutionPlanner, SubmanifoldRequiresOptIn) {
+  // A stride-1 ANN conv on the sparse event input: submanifold-eligible.
+  en::NetworkSpec spec;
+  spec.name = "subm-opt-in";
+  spec.n_bins = 1;
+  spec.timesteps = 1;
+  en::LayerSpec conv;
+  conv.name = "c";
+  conv.kind = en::LayerKind::kConv;
+  conv.conv = es::Conv2dSpec{2, 8, 3, 1, 1};
+  const int in = spec.graph.add_input("events", en::TensorShape{1, 2, 32, 44});
+  const int c = spec.graph.add_layer(conv, {in});
+  en::LayerSpec out;
+  out.name = "out";
+  out.kind = en::LayerKind::kOutput;
+  spec.graph.add_layer(out, {c});
+  spec.graph.validate();
+
+  en::FunctionalNetwork net(spec, 7);
+  const auto probe = make_probe(spec, 61, 0.01);
+  const auto exact =
+      en::ExecutionPlanner::calibrate(net, probe.steps, nullptr);
+  for (const en::Route r : exact.route) {
+    EXPECT_NE(r, en::Route::kSubmanifold);
+  }
+  EXPECT_EQ(exact.route_of(c), en::Route::kCsr);
+  en::PlannerOptions opts;
+  opts.allow_submanifold = true;
+  const auto lossy =
+      en::ExecutionPlanner::calibrate(net, probe.steps, nullptr, opts);
+  EXPECT_EQ(lossy.route_of(c), en::Route::kSubmanifold);
+
+  // Narrow spiking convs keep kCsr even with the opt-in (DOTIE's
+  // isolate layer is k5 s1 p2, out_channels 1 — scatter-route costed).
+  const auto dotie = en::build_network(en::NetworkId::kDotie,
+                                      en::ZooConfig::test_scale());
+  en::FunctionalNetwork dotie_net(dotie, 7);
+  const auto dotie_probe = make_probe(dotie, 63, 0.01);
+  const auto dotie_plan = en::ExecutionPlanner::calibrate(
+      dotie_net, dotie_probe.steps, nullptr, opts);
+  for (const en::Route r : dotie_plan.route) {
+    EXPECT_NE(r, en::Route::kSubmanifold);
+  }
+  EXPECT_GT(dotie_plan.sparse_node_count(), 0);
+}
+
+// --------------------------------------------------- density telemetry
+
+// Planner density estimates must agree with densities computed directly
+// from the activations, and with the LIF firing rate on spiking nodes —
+// at any thread count.
+TEST(ExecutionPlanner, DensityTelemetryMatchesDirectMeasurement) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  const auto probe = make_probe(spec, 71, 0.02);
+
+  // Direct measurement: mean per-node density over timesteps via a hook.
+  std::vector<double> acc(spec.graph.size(), 0.0);
+  std::vector<int> hits(spec.graph.size(), 0);
+  net.set_activation_hook([&](int id, es::DenseTensor& t) {
+    acc[static_cast<std::size_t>(id)] += t.density();
+    ++hits[static_cast<std::size_t>(id)];
+  });
+  (void)net.run(probe.steps);
+  net.set_activation_hook(nullptr);
+
+  const auto plan = en::ExecutionPlanner::calibrate(net, probe.steps);
+  ASSERT_EQ(plan.output_density.size(), spec.graph.size());
+  for (const auto& node : spec.graph.nodes()) {
+    const auto idx = static_cast<std::size_t>(node.id);
+    if (hits[idx] > 0) {
+      EXPECT_NEAR(plan.output_density[idx], acc[idx] / hits[idx], 1e-12)
+          << node.spec.name;
+    }
+    if (node.spec.kind == en::LayerKind::kSpikingConv) {
+      // calibrate()'s last probe run left the firing counters in place.
+      EXPECT_NEAR(plan.output_density[idx], net.mean_firing_rate(node.id),
+                  1e-9)
+          << node.spec.name;
+    }
+  }
+  // The event-input density is the probe's own fill.
+  double input_acc = 0.0;
+  for (const auto& step : probe.steps) input_acc += step.density();
+  EXPECT_NEAR(plan.probe_input_density,
+              input_acc / static_cast<double>(probe.steps.size()), 1e-12);
+
+  // Thread-count invariance: the engine is bitwise thread-invariant, so
+  // the telemetry must be too.
+  const char* saved = std::getenv("EVEDGE_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ASSERT_EQ(setenv("EVEDGE_THREADS", "1", 1), 0);
+  const auto plan1 = en::ExecutionPlanner::calibrate(net, probe.steps);
+  ASSERT_EQ(setenv("EVEDGE_THREADS", "3", 1), 0);
+  const auto plan3 = en::ExecutionPlanner::calibrate(net, probe.steps);
+  if (saved != nullptr) {
+    setenv("EVEDGE_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("EVEDGE_THREADS");
+  }
+  EXPECT_EQ(plan1.output_density, plan3.output_density);
+  EXPECT_EQ(plan1.route, plan3.route);
+}
+
+// ---------------------------------------------------- plan validation
+
+TEST(ExecutionPlan, SetPlanValidatesAtomically) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  const auto probe = make_probe(spec, 81);
+  const auto before = net.run(probe.steps);
+
+  // Route on a non-conv node (the output) is rejected.
+  en::ExecutionPlan bad = all_csr_plan(spec, {});
+  bad.route.back() = en::Route::kCsr;
+  EXPECT_THROW(net.set_execution_plan(&bad), std::invalid_argument);
+
+  // Submanifold on a strided encoder layer is rejected.
+  en::ExecutionPlan strided = all_csr_plan(spec, {});
+  strided.route[1] = en::Route::kSubmanifold;  // enc1: stride 2
+  EXPECT_THROW(net.set_execution_plan(&strided), std::invalid_argument);
+
+  // Sparse route on a node with non-zero bias is rejected.
+  en::ExecutionPlan biased = all_csr_plan(spec, {1});
+  net.bias(1).assign(net.bias(1).size(), 0.25f);
+  EXPECT_THROW(net.set_execution_plan(&biased), std::invalid_argument);
+  net.bias(1).assign(net.bias(1).size(), 0.0f);
+
+  // Size mismatch is rejected.
+  en::ExecutionPlan short_plan;
+  short_plan.route.assign(2, en::Route::kDense);
+  EXPECT_THROW(net.set_execution_plan(&short_plan), std::invalid_argument);
+
+  // All rejections left dense execution fully intact.
+  const auto after = net.run(probe.steps);
+  EXPECT_EQ(es::max_abs_diff(before, after), 0.0f);
+  EXPECT_EQ(net.execution_plan(), nullptr);
+}
+
+// An installed activation hook forces dense execution (hooks observe and
+// mutate dense activations), without uninstalling the plan.
+TEST(ExecutionPlan, ActivationHookForcesDenseExecution) {
+  const auto spec = chain_spec();
+  en::FunctionalNetwork net(spec, 5);
+  const auto probe = make_probe(spec, 91, 0.02);
+  const auto plan = all_csr_plan(spec, {1, 2, 3});
+  net.set_execution_plan(&plan);
+
+  int hook_calls = 0;
+  net.set_activation_hook(
+      [&hook_calls](int, es::DenseTensor&) { ++hook_calls; });
+  (void)net.run(probe.steps);
+  EXPECT_GT(hook_calls, 0);
+  EXPECT_EQ(net.last_exec_stats().sparse_node_runs, 0u);
+  net.set_activation_hook(nullptr);
+
+  (void)net.run(probe.steps);
+  EXPECT_EQ(net.last_exec_stats().sparse_node_runs, 3u);
+  net.set_execution_plan(nullptr);
+}
+
+// ----------------------------------------------------- int8 composition
+
+// Sparse routes compose with the quant plan: planner-routed int8
+// execution bit-matches dense int8 execution and stays within one
+// quantization step of the fake-quant reference.
+TEST(ExecutionPlan, ComposesWithQuantPlan) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  const auto calib = eq::make_validation_set(spec, 2, 9, 0.02);
+  const auto eval = eq::make_validation_set(spec, 1, 99, 0.02);
+  eq::QuantizedNetwork qnet(
+      spec, 7, eq::uniform_assignment(spec, eq::Precision::kInt8), calib);
+
+  const auto dense_int8 = qnet.run(eval[0].event_steps);
+  const auto reference = qnet.run_reference(eval[0].event_steps);
+
+  const auto& plan = qnet.plan_execution(eval[0].event_steps);
+  EXPECT_GT(plan.sparse_node_count(), 0);
+  EXPECT_TRUE(qnet.has_execution_plan());
+  const auto routed_int8 = qnet.run(eval[0].event_steps);
+
+  ASSERT_EQ(routed_int8.shape(), dense_int8.shape());
+  EXPECT_EQ(es::max_abs_diff(routed_int8, dense_int8), 0.0f);
+  const double step = eq::output_quant_step(reference);
+  EXPECT_LE(es::max_abs_diff(routed_int8, reference), step + 1e-6);
+  // Sparse int8 kernels genuinely executed.
+  (void)qnet.run(eval[0].event_steps);
+  EXPECT_GT(qnet.network().last_exec_stats().sparse_node_runs, 0u);
+  qnet.clear_execution_plan();
+  EXPECT_FALSE(qnet.has_execution_plan());
+}
+
+// -------------------------------------------------- cold start + bridge
+
+TEST(ExecutionPlanner, ColdStartRoutesOnlyEventInputLayers) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  const auto plan = en::ExecutionPlanner::cold_start(net);
+  const int event_input = spec.graph.input_ids().front();
+  int routed = 0;
+  for (const auto& node : spec.graph.nodes()) {
+    const auto idx = static_cast<std::size_t>(node.id);
+    if (plan.route[idx] == en::Route::kDense) continue;
+    ++routed;
+    ASSERT_EQ(node.parents.size(), 1u);
+    EXPECT_EQ(node.parents.front(), event_input) << node.spec.name;
+  }
+  EXPECT_GT(routed, 0);
+  // Installable and bitwise neutral.
+  const auto probe = make_probe(spec, 13, 0.02);
+  const auto dense_out = net.run(probe.steps);
+  net.set_execution_plan(&plan);
+  EXPECT_EQ(es::max_abs_diff(net.run(probe.steps), dense_out), 0.0f);
+  net.set_execution_plan(nullptr);
+}
+
+TEST(ExecutionPlanner, CostModelSeedBridgesToPlan) {
+  const auto spec = en::build_network(en::NetworkId::kAdaptiveSpikeNet,
+                                      en::ZooConfig::test_scale());
+  const auto profile = ec::measure_activation_densities(spec, 7, 0.02);
+  en::FunctionalNetwork net(spec, 7);
+  const auto plan = ec::seed_execution_plan(net, profile);
+  EXPECT_GT(plan.sparse_node_count(), 0);
+  const auto probe = make_probe(spec, 17, 0.02);
+  const auto dense_out = net.run(probe.steps);
+  net.set_execution_plan(&plan);
+  EXPECT_EQ(es::max_abs_diff(net.run(probe.steps), dense_out), 0.0f);
+  net.set_execution_plan(nullptr);
+}
+
+// ----------------------------------------------- batch executor planner
+
+TEST(BatchExecutor, PlannerPathMatchesDenseExecution) {
+  const auto spec = en::build_network(en::NetworkId::kDotie,
+                                      en::ZooConfig::test_scale());
+  const auto& shape = spec.graph.node(0).spec.out_shape;
+
+  // Two merged frames with a few events each.
+  std::vector<es::SparseFrame> frames;
+  for (int n = 0; n < 2; ++n) {
+    es::SparseFrame frame(shape.h, shape.w);
+    for (int i = 0; i < 40; ++i) {
+      es::CooChannel& ch = i % 2 == 0 ? frame.positive() : frame.negative();
+      ch.accumulate((i * 7 + n) % shape.h, (i * 13 + 3 * n) % shape.w, 1.0f);
+    }
+    frames.push_back(std::move(frame));
+  }
+
+  en::FunctionalNetwork dense_net(spec, 7);
+  ec::BatchExecutor dense_exec(dense_net);
+  const auto dense_out = dense_exec.execute(frames);
+
+  en::FunctionalNetwork planned_net(spec, 7);
+  es::DenseTensor planned_out;
+  {
+    ec::BatchExecutor planned_exec(planned_net);
+    planned_exec.enable_execution_planner();
+    planned_out = planned_exec.execute(frames);
+    EXPECT_NE(planned_exec.execution_plan(), nullptr);
+    EXPECT_GT(planned_exec.execution_plan()->sparse_node_count(), 0);
+    // Plan uninstalls with the executor.
+  }
+  EXPECT_EQ(planned_net.execution_plan(), nullptr);
+  EXPECT_EQ(es::max_abs_diff(planned_out, dense_out), 0.0f);
+}
+
+// ------------------------------------- timestep-invariant caching
+
+// The constant-image subgraph (e.g. HALSIE's image encoder) computes the
+// same values every timestep: the engine runs it once per inference and
+// reuses the cached activations, bitwise identically — and an installed
+// hook (which must observe every node at every timestep) disables the
+// cache.
+TEST(Engine, TimeInvariantImageBranchIsCachedAcrossTimesteps) {
+  const auto spec =
+      en::build_network(en::NetworkId::kHalsie, en::ZooConfig::test_scale());
+  ASSERT_GT(spec.timesteps, 1);
+  en::FunctionalNetwork net(spec, 7);
+  const auto probe = make_probe(spec, 101);
+
+  const auto cached = net.run(probe.steps, probe.image_ptr());
+  const std::size_t cached_execs = net.last_exec_stats().node_executions;
+
+  // A no-op hook forces the uncached schedule: every node, every step.
+  net.set_activation_hook([](int, es::DenseTensor&) {});
+  const auto uncached = net.run(probe.steps, probe.image_ptr());
+  const std::size_t full_execs = net.last_exec_stats().node_executions;
+  net.set_activation_hook(nullptr);
+
+  EXPECT_EQ(full_execs,
+            spec.graph.size() * static_cast<std::size_t>(spec.timesteps));
+  EXPECT_LT(cached_execs, full_execs);
+  EXPECT_EQ(es::max_abs_diff(cached, uncached), 0.0f);
+}
+
+// Event-driven single-input networks have nothing to cache.
+TEST(Engine, NoInvariantCachingWithoutConstantInputs) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 7);
+  const auto probe = make_probe(spec, 103);
+  (void)net.run(probe.steps);
+  EXPECT_EQ(net.last_exec_stats().node_executions,
+            spec.graph.size() * static_cast<std::size_t>(spec.timesteps));
+}
+
+// ------------------------------------------- chain boundary primitives
+
+TEST(SparseBoundaries, SliceRoundTripAndReluAndDensity) {
+  es::DenseTensor batch(es::TensorShape{2, 3, 6, 7});
+  batch.fill_random(23);
+  std::size_t i = 0;
+  for (float& v : batch.data()) {
+    if (i++ % 5 != 0) v = 0.0f;
+  }
+  for (int n = 0; n < 2; ++n) {
+    auto sample = es::slice_to_channels(batch, n);
+    ASSERT_EQ(sample.size(), 3u);
+    // Density telemetry agrees with the dense slice.
+    double slice_density = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      for (int y = 0; y < 6; ++y) {
+        for (int x = 0; x < 7; ++x) {
+          if (batch.at(n, c, y, x) != 0.0f) slice_density += 1.0;
+        }
+      }
+    }
+    slice_density /= 3.0 * 6.0 * 7.0;
+    EXPECT_NEAR(es::sample_density(sample), slice_density, 1e-12);
+    // Round trip into a fresh tensor slice reproduces the original.
+    es::DenseTensor back(es::TensorShape{2, 3, 6, 7}, 42.0f);
+    es::channels_into_slice(sample, back, n);
+    for (int c = 0; c < 3; ++c) {
+      for (int y = 0; y < 6; ++y) {
+        for (int x = 0; x < 7; ++x) {
+          EXPECT_EQ(back.at(n, c, y, x), batch.at(n, c, y, x));
+        }
+      }
+    }
+    // Sparse ReLU == dense ReLU.
+    es::relu_sample_inplace(sample);
+    for (const auto& ch : sample) {
+      for (const auto& e : ch.entries()) {
+        EXPECT_GT(e.value, 0.0f);
+      }
+      EXPECT_NO_THROW(ch.validate());
+    }
+  }
+  EXPECT_THROW((void)es::slice_to_channels(batch, 2), std::invalid_argument);
+  const auto sample = es::slice_to_channels(batch, 0);
+  es::DenseTensor wrong(es::TensorShape{2, 3, 5, 7});
+  EXPECT_THROW(es::channels_into_slice(sample, wrong, 0),
+               std::invalid_argument);
+}
+
+// Pre-packed weights produce bitwise-identical kernel output and reject
+// mismatched packings.
+TEST(SparseBoundaries, PrePackedWeightsMatchAndValidate) {
+  const es::Conv2dSpec spec{3, 10, 3, 1, 1};
+  es::DenseTensor in(es::TensorShape{1, 3, 20, 24});
+  in.fill_random(29);
+  std::size_t i = 0;
+  for (float& v : in.data()) {
+    if (i++ % 20 != 0) v = 0.0f;
+  }
+  es::DenseTensor w(es::TensorShape{10, 3, 3, 3});
+  w.fill_random(31, 0.4f);
+  const auto channels = es::dense_to_channels(in);
+
+  std::vector<float> packed;
+  es::pack_conv_weights(w, packed);
+  es::Workspace ws;
+  const auto plain = es::submanifold_conv2d(channels, w, {}, spec, nullptr,
+                                            &ws);
+  const auto prepacked = es::submanifold_conv2d(
+      channels, w, {}, spec, nullptr, &ws,
+      es::SubmanifoldThreading::kAuto, packed);
+  ASSERT_EQ(plain.size(), prepacked.size());
+  for (std::size_t c = 0; c < plain.size(); ++c) {
+    EXPECT_EQ(plain[c].entries(), prepacked[c].entries());
+  }
+  std::vector<float> wrong(packed.begin(), packed.end() - 1);
+  EXPECT_THROW((void)es::submanifold_conv2d(
+                   channels, w, {}, spec, nullptr, &ws,
+                   es::SubmanifoldThreading::kAuto, wrong),
+               std::invalid_argument);
+}

@@ -301,8 +301,13 @@ TEST(Int8Engine, RealMatchesReferenceWithinOneStepAcrossZoo) {
     const auto spec = en::build_network(id, en::ZooConfig::test_scale());
     const auto calib = eq::make_validation_set(spec, 2, 9);
     const auto eval = eq::make_validation_set(spec, 1, 99);
+    // Opt out of the input-layer FP32 guard: this is a kernel-parity
+    // contract over EVERY layer, not a deployment-policy test (and
+    // DOTIE's only layer is the guarded one).
     eq::QuantizedNetwork qnet(
-        spec, 7, eq::uniform_assignment(spec, eq::Precision::kInt8), calib);
+        spec, 7, eq::uniform_assignment(spec, eq::Precision::kInt8), calib,
+        eq::WeightGranularity::kPerChannel,
+        eq::QuantPlanOptions{.quantize_input_layer = true});
 
     const auto* image =
         eval[0].image.has_value() ? &eval[0].image.value() : nullptr;
@@ -403,9 +408,13 @@ TEST(Int8Engine, RejectedPlanLeavesExecutionModeIntact) {
   const auto before = net.run(eval[0].event_steps);
 
   // A plan whose first entry is valid but whose second is not must be
-  // rejected atomically — no half-installed int8 routing.
+  // rejected atomically — no half-installed int8 routing. (DOTIE's only
+  // layer reads the 2-channel input, so opt out of the FP32 guard to
+  // get a non-empty plan.)
   eq::QuantPlan plan = eq::build_quant_plan(
-      net, eq::uniform_assignment(spec, eq::Precision::kInt8), table);
+      net, eq::uniform_assignment(spec, eq::Precision::kInt8), table,
+      /*simulate=*/false, eq::WeightGranularity::kPerChannel,
+      eq::QuantPlanOptions{.quantize_input_layer = true});
   ASSERT_FALSE(plan.nodes.empty());
   eq::NodeQuantPlan bad;
   bad.node_id = spec.graph.input_ids().front();
@@ -423,8 +432,49 @@ TEST(Int8Engine, BuildQuantPlanRejectsUncalibratedTable) {
   const eq::CalibrationTable empty;
   EXPECT_THROW(
       (void)eq::build_quant_plan(
-          net, eq::uniform_assignment(spec, eq::Precision::kInt8), empty),
+          net, eq::uniform_assignment(spec, eq::Precision::kInt8), empty,
+          /*simulate=*/false, eq::WeightGranularity::kPerChannel,
+          eq::QuantPlanOptions{.quantize_input_layer = true}),
       std::invalid_argument);
+}
+
+// The default plan keeps sensor-facing narrow input layers FP32 (the
+// 2-channel DAVIS conv is im2col-bound in int8 — ROADMAP); the opt-out
+// flag restores unguarded behavior.
+TEST(Int8Engine, BuildQuantPlanKeepsNarrowInputLayerFp32ByDefault) {
+  const auto spec = en::build_network(en::NetworkId::kSpikeFlowNet,
+                                      en::ZooConfig::test_scale());
+  en::FunctionalNetwork net(spec, 1);
+  const auto calib = eq::make_validation_set(spec, 2, 23);
+  const auto table = eq::calibrate_activations(net, calib);
+  const auto precisions =
+      eq::uniform_assignment(spec, eq::Precision::kInt8);
+
+  // The first weight layer (enc1) reads the 2-channel event input.
+  int first_layer = -1;
+  for (const auto& node : spec.graph.nodes()) {
+    if (en::is_weight_layer(node.spec.kind)) {
+      first_layer = node.id;
+      break;
+    }
+  }
+  ASSERT_GE(first_layer, 0);
+
+  const auto guarded = eq::build_quant_plan(net, precisions, table);
+  const auto unguarded = eq::build_quant_plan(
+      net, precisions, table, /*simulate=*/false,
+      eq::WeightGranularity::kPerChannel,
+      eq::QuantPlanOptions{.quantize_input_layer = true});
+  const auto has_node = [](const eq::QuantPlan& plan, int id) {
+    for (const auto& nq : plan.nodes) {
+      if (nq.node_id == id) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_node(guarded, first_layer));
+  EXPECT_TRUE(has_node(unguarded, first_layer));
+  // Everything deeper quantizes either way.
+  EXPECT_EQ(guarded.nodes.size() + 1, unguarded.nodes.size());
 }
 
 TEST(Int8Engine, SetQuantPlanRejectsNonWeightNodes) {
