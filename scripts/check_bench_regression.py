@@ -8,7 +8,7 @@ work / fast-path work), so it is largely machine-speed invariant — a
 drop means the fast path itself regressed relative to the reference
 work.
 
-Four benchmark schemas are understood, auto-detected per record:
+Five benchmark schemas are understood, auto-detected per record:
 
   BENCH_kernels.json / BENCH_quant.json
       records with kernel/shape/density and a single "speedup" metric
@@ -18,6 +18,10 @@ Four benchmark schemas are understood, auto-detected per record:
   BENCH_sparse_engine.json
       records with network/density and a "speedup_planner" metric
       (planner-routed engine vs all-dense, same machine same run)
+  BENCH_serve.json
+      records with network/streams and a "speedup_serve" metric
+      (concurrent serving runtime vs per-stream serial dense execution
+      at the same worker budget, same machine same run)
 
 Records are keyed by (kernel, shape, density); every metric of a record
 gates independently. Keys present only in the fresh run (newly added
@@ -46,6 +50,9 @@ def load(path):
             key = ("sparse_engine", r["network"],
                    round(float(r["density"]), 6))
             metrics = {"speedup_planner": float(r["speedup_planner"])}
+        elif "speedup_serve" in r:  # serving schema (keyed by streams)
+            key = ("serve", r["network"], float(int(r["streams"])))
+            metrics = {"speedup_serve": float(r["speedup_serve"])}
         else:  # e2e schema
             key = ("e2e", "batch=%d" % int(r["batch"]),
                    round(float(r["density"]), 6))

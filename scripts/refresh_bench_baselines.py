@@ -23,6 +23,9 @@ Baselines and their recording configuration:
     e2e_mt         bench_e2e            EVEDGE_THREADS=4
     quant          bench_quant          EVEDGE_THREADS=1
     sparse_engine  bench_sparse_engine  EVEDGE_THREADS=1
+    serve          bench_serve          EVEDGE_THREADS=2 (worker budget
+                   is pinned inside the bench; the env value only has to
+                   match the recorded "threads" field)
 
 Every bench doubles as a parity smoke test and exits non-zero on
 numerical failure, in which case the baseline is left untouched.
@@ -43,6 +46,7 @@ BASELINES = {
     "e2e_mt": ("bench_e2e", "BENCH_e2e_mt.json", 4),
     "quant": ("bench_quant", "BENCH_quant.json", 1),
     "sparse_engine": ("bench_sparse_engine", "BENCH_sparse_engine.json", 1),
+    "serve": ("bench_serve", "BENCH_serve.json", 2),
 }
 
 

@@ -1,5 +1,6 @@
 #include "core/batch_executor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -40,16 +41,58 @@ void scatter_adapted(const CooChannel& ch, int factor, int off_y, int off_x,
 
 }  // namespace
 
+void frames_to_event_steps(const std::vector<SparseFrame>& frames,
+                           const TensorShape& event_shape, int timesteps,
+                           std::vector<DenseTensor>& steps) {
+  if (frames.empty()) {
+    throw std::invalid_argument("frames_to_event_steps: empty batch");
+  }
+  const int batch = static_cast<int>(frames.size());
+  const int h = event_shape.h;
+  const int w = event_shape.w;
+  // SNN/hybrid nets take a 2-channel tensor per timestep; pure ANN nets
+  // stack all bins as channels. Either way the event input has 2 channels
+  // per bin slot, and the merged frame fills every slot.
+  const int bins = std::max(1, event_shape.c / 2);
+  const TensorShape step_shape{batch, event_shape.c, h, w};
+
+  steps.resize(static_cast<std::size_t>(timesteps));
+  DenseTensor& step0 = steps.front();
+  step0.reset(step_shape);
+  std::fill(step0.data().begin(), step0.data().end(), 0.0f);
+  for (int n = 0; n < batch; ++n) {
+    const SparseFrame& frame = frames[static_cast<std::size_t>(n)];
+    const int factor = downsample_factor(frame.height(), frame.width(), h, w);
+    const int off_y = (h - (frame.height() + factor - 1) / factor) / 2;
+    const int off_x = (w - (frame.width() + factor - 1) / factor) / 2;
+    for (int b = 0; b < bins; ++b) {
+      float* pos = step0.raw() + step0.offset(n, 2 * b, 0, 0);
+      scatter_adapted(frame.positive(), factor, off_y, off_x, h, w, pos);
+      if (2 * b + 1 < event_shape.c) {
+        float* neg = step0.raw() + step0.offset(n, 2 * b + 1, 0, 0);
+        scatter_adapted(frame.negative(), factor, off_y, off_x, h, w, neg);
+      }
+    }
+  }
+  // Identical event evidence at every timestep.
+  for (std::size_t t = 1; t < steps.size(); ++t) steps[t] = step0;
+}
+
+DenseTensor make_reference_image(const nn::NetworkSpec& spec) {
+  const auto input_ids = spec.graph.input_ids();
+  if (input_ids.size() < 2) return DenseTensor{};
+  DenseTensor image(spec.graph.node(input_ids.back()).spec.out_shape);
+  image.fill_random(1234, 0.5f);
+  for (float& v : image.data()) v = std::abs(v);
+  return image;
+}
+
 BatchExecutor::BatchExecutor(nn::FunctionalNetwork& net) : net_(net) {
   const nn::NetworkSpec& spec = net_.spec();
   const auto input_ids = spec.graph.input_ids();
   event_shape_ = spec.graph.node(input_ids.front()).spec.out_shape;
   needs_image_ = input_ids.size() > 1;
-  if (needs_image_) {
-    image_ = DenseTensor(spec.graph.node(input_ids.back()).spec.out_shape);
-    image_.fill_random(1234, 0.5f);
-    for (float& v : image_.data()) v = std::abs(v);
-  }
+  if (needs_image_) image_ = make_reference_image(spec);
 }
 
 BatchExecutor::~BatchExecutor() {
@@ -75,34 +118,7 @@ const DenseTensor& BatchExecutor::execute(
   }
   const nn::NetworkSpec& spec = net_.spec();
   const int batch = static_cast<int>(frames.size());
-  const int h = event_shape_.h;
-  const int w = event_shape_.w;
-  // SNN/hybrid nets take a 2-channel tensor per timestep; pure ANN nets
-  // stack all bins as channels. Either way the event input has 2 channels
-  // per bin slot, and the merged frame fills every slot.
-  const int bins = std::max(1, event_shape_.c / 2);
-  const TensorShape step_shape{batch, event_shape_.c, h, w};
-
-  steps_.resize(static_cast<std::size_t>(spec.timesteps));
-  DenseTensor& step0 = steps_.front();
-  step0.reset(step_shape);
-  std::fill(step0.data().begin(), step0.data().end(), 0.0f);
-  for (int n = 0; n < batch; ++n) {
-    const SparseFrame& frame = frames[static_cast<std::size_t>(n)];
-    const int factor = downsample_factor(frame.height(), frame.width(), h, w);
-    const int off_y = (h - (frame.height() + factor - 1) / factor) / 2;
-    const int off_x = (w - (frame.width() + factor - 1) / factor) / 2;
-    for (int b = 0; b < bins; ++b) {
-      float* pos = step0.raw() + step0.offset(n, 2 * b, 0, 0);
-      scatter_adapted(frame.positive(), factor, off_y, off_x, h, w, pos);
-      if (2 * b + 1 < event_shape_.c) {
-        float* neg = step0.raw() + step0.offset(n, 2 * b + 1, 0, 0);
-        scatter_adapted(frame.negative(), factor, off_y, off_x, h, w, neg);
-      }
-    }
-  }
-  // Identical event evidence at every timestep.
-  for (std::size_t t = 1; t < steps_.size(); ++t) steps_[t] = step0;
+  frames_to_event_steps(frames, event_shape_, spec.timesteps, steps_);
 
   if (planner_enabled_ && !plan_ready_) {
     // First dispatched batch = warmup probe. calibrate() runs batch-1
@@ -112,13 +128,9 @@ const DenseTensor& BatchExecutor::execute(
       plan_ = nn::ExecutionPlanner::calibrate(
           net_, steps_, needs_image_ ? &image_ : nullptr, planner_options_);
     } else {
-      std::vector<DenseTensor> probe;
-      probe.reserve(steps_.size());
-      for (const DenseTensor& step : steps_) {
-        DenseTensor one(TensorShape{1, step.shape().c, step.shape().h,
-                                    step.shape().w});
-        std::copy(step.raw(), step.raw() + one.size(), one.raw());
-        probe.push_back(std::move(one));
+      std::vector<DenseTensor> probe(steps_.size());
+      for (std::size_t t = 0; t < steps_.size(); ++t) {
+        sparse::copy_sample(steps_[t], 0, probe[t]);
       }
       plan_ = nn::ExecutionPlanner::calibrate(
           net_, probe, needs_image_ ? &image_ : nullptr, planner_options_);

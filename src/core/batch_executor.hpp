@@ -24,6 +24,27 @@
 
 namespace evedge::core {
 
+/// Renders a DSFA merge batch into per-timestep network input tensors:
+/// each frame becomes one batch lane, its COO entries integer-downsampled
+/// and center-aligned to `event_shape` (the network's per-timestep event
+/// input, n == 1), the merged frame filling every event-bin channel slot
+/// and every timestep (identical event evidence per step — bin-level
+/// reconstruction is e2e_accuracy's job). `steps` is resized to
+/// `timesteps` tensors of [N, C, H, W] and reused across calls. Shared
+/// between BatchExecutor and the serving runtime's workers so concurrent
+/// serving consumes bitwise-identical inputs to the serial path.
+void frames_to_event_steps(const std::vector<sparse::SparseFrame>& frames,
+                           const sparse::TensorShape& event_shape,
+                           int timesteps,
+                           std::vector<sparse::DenseTensor>& steps);
+
+/// Deterministic grayscale image for two-input networks (Fusion-FlowNet,
+/// HALSIE): fixed-seed absolute-value noise at the image input's shape,
+/// the same image BatchExecutor has always fed the fig8/fig9 harnesses.
+/// Returns an empty tensor for single-input networks.
+[[nodiscard]] sparse::DenseTensor make_reference_image(
+    const nn::NetworkSpec& spec);
+
 struct BatchExecutorStats {
   std::size_t batches = 0;
   std::size_t samples = 0;

@@ -7,6 +7,8 @@
 // results are bitwise identical for any thread count.
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -15,11 +17,53 @@
 
 namespace evedge::core {
 
-/// Worker count: EVEDGE_THREADS env override when set and positive,
-/// otherwise std::thread::hardware_concurrency() (min 1).
+/// Upper bound accepted from EVEDGE_THREADS / set_parallel_threads —
+/// generous for any real machine while rejecting garbage like "1e9".
+inline constexpr int kMaxParallelThreads = 1024;
+
+/// Strictly parses a thread-count override string: the whole string must
+/// be a decimal integer in [1, kMaxParallelThreads]. Returns 0 for
+/// anything else (empty, non-numeric, trailing junk, zero, negative,
+/// out of range) so callers fall back to hardware_concurrency() instead
+/// of inheriting atoi's silent-garbage/UB behavior on malformed input.
+[[nodiscard]] inline int parse_thread_override(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return 0;
+  if (n < 1 || n > kMaxParallelThreads) return 0;
+  return static_cast<int>(n);
+}
+
+/// Process-wide programmatic thread override (0 = none). Checked before
+/// the EVEDGE_THREADS env var, and thread-safe unlike setenv(): the
+/// serving runtime pins per-worker kernel threading through this.
+[[nodiscard]] inline std::atomic<int>& parallel_thread_override() noexcept {
+  static std::atomic<int> override_count{0};
+  return override_count;
+}
+
+/// Installs a process-wide worker-count override (clamped into
+/// [1, kMaxParallelThreads]; pass 0 to remove). Returns the previous
+/// value so scoped users can restore it.
+inline int set_parallel_threads(int count) noexcept {
+  const int clamped =
+      count <= 0 ? 0 : std::min(count, kMaxParallelThreads);
+  return parallel_thread_override().exchange(clamped,
+                                             std::memory_order_relaxed);
+}
+
+/// Worker count resolution order: set_parallel_threads() override, then
+/// a valid EVEDGE_THREADS env value, then hardware_concurrency() (min 1).
+/// Malformed env values (non-numeric, zero, negative, out of range) are
+/// ignored rather than producing a garbage thread count.
 [[nodiscard]] inline int parallel_thread_count() noexcept {
+  const int forced =
+      parallel_thread_override().load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
   if (const char* env = std::getenv("EVEDGE_THREADS")) {
-    const int n = std::atoi(env);
+    const int n = parse_thread_override(env);
     if (n > 0) return n;
   }
   const unsigned hw = std::thread::hardware_concurrency();

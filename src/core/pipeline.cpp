@@ -38,13 +38,10 @@ PipelineStats simulate_pipeline(const events::EventStream& stream,
     throw std::invalid_argument("simulate_pipeline: bad frame rate");
   }
 
-  // Grayscale frame clock spanning the stream.
-  const auto period_us = static_cast<events::TimeUs>(
-      std::llround(1e6 / config.frame_rate_hz));
-  const auto n_frames = static_cast<std::size_t>(
-      (stream.t_end() - stream.t_begin()) / period_us) + 2;
+  // Grayscale frame clock spanning the stream (shared with the serving
+  // ingress, so process() and serving frame identically).
   const events::FrameClock clock =
-      events::FrameClock::uniform(stream.t_begin(), period_us, n_frames);
+      events::FrameClock::spanning(stream, config.frame_rate_hz);
 
   const Event2SparseFrame e2sf(stream.geometry(), config.e2sf);
   const auto intervals = e2sf.convert_stream(stream, clock);

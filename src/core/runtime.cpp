@@ -8,6 +8,7 @@ namespace evedge::core {
 EvEdgeRuntime::EvEdgeRuntime(nn::NetworkId network, hw::Platform platform,
                              EvEdgeOptions options)
     : options_(std::move(options)),
+      network_(network),
       platform_(std::move(platform)),
       spec_(nn::build_network(network, options_.perf_scale)) {
   platform_.validate();
@@ -60,6 +61,16 @@ PipelineStats EvEdgeRuntime::process(
   config.frame_rate_hz = options_.frame_rate_hz;
   return simulate_pipeline(stream, spec_, mapping_, platform_, densities_,
                            config);
+}
+
+serve::ServingRuntime EvEdgeRuntime::make_server(
+    serve::ServeConfig config) const {
+  config.ingress.e2sf = options_.e2sf;
+  config.ingress.dsfa = options_.dsfa;
+  config.ingress.frame_rate_hz = options_.frame_rate_hz;
+  return serve::ServingRuntime(
+      nn::build_network(network_, options_.accuracy_scale), options_.seed,
+      std::move(config));
 }
 
 PipelineStats EvEdgeRuntime::process_all_gpu_baseline(

@@ -16,6 +16,7 @@
 #include "mapper/baselines.hpp"
 #include "mapper/nmp.hpp"
 #include "nn/zoo.hpp"
+#include "serve/serving_runtime.hpp"
 
 namespace evedge::core {
 
@@ -48,6 +49,14 @@ class EvEdgeRuntime {
   [[nodiscard]] PipelineStats process_all_gpu_baseline(
       const events::EventStream& stream) const;
 
+  /// Concurrent multi-stream serving runtime over this task's network at
+  /// the functional (accuracy) scale, preconfigured with the runtime's
+  /// E2SF/DSFA/frame-clock settings — `config`'s ingress block is
+  /// overwritten with them so serving and process() agree on framing.
+  /// Call run() on the result with any number of live streams.
+  [[nodiscard]] serve::ServingRuntime make_server(
+      serve::ServeConfig config = {}) const;
+
   [[nodiscard]] const nn::NetworkSpec& spec() const noexcept {
     return spec_;
   }
@@ -70,6 +79,7 @@ class EvEdgeRuntime {
 
  private:
   EvEdgeOptions options_;
+  nn::NetworkId network_;
   hw::Platform platform_;
   nn::NetworkSpec spec_;           ///< perf-scale descriptors
   ActivationDensityProfile densities_;

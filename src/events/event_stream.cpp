@@ -1,6 +1,7 @@
 #include "events/event_stream.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -100,6 +101,21 @@ FrameClock FrameClock::uniform(TimeUs t0, TimeUs period_us,
                                static_cast<TimeUs>(i) * period_us);
   }
   return clock;
+}
+
+FrameClock FrameClock::spanning(const EventStream& stream,
+                                double frame_rate_hz) {
+  if (stream.empty()) {
+    throw std::invalid_argument("FrameClock::spanning: empty event stream");
+  }
+  if (frame_rate_hz <= 0.0) {
+    throw std::invalid_argument("FrameClock::spanning: bad frame rate");
+  }
+  const auto period_us =
+      static_cast<TimeUs>(std::llround(1e6 / frame_rate_hz));
+  const auto n_frames = static_cast<std::size_t>(
+      (stream.t_end() - stream.t_begin()) / period_us) + 2;
+  return uniform(stream.t_begin(), period_us, n_frames);
 }
 
 }  // namespace evedge::events

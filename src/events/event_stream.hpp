@@ -71,6 +71,16 @@ struct FrameClock {
   [[nodiscard]] static FrameClock uniform(TimeUs t0, TimeUs period_us,
                                           std::size_t n_frames);
 
+  /// Uniform clock spanning the whole stream at `frame_rate_hz`
+  /// (period = round(1e6 / rate), padded by one interval so the last
+  /// event falls inside a closed interval). This is THE grayscale
+  /// camera model shared by the pipeline simulation and the serving
+  /// ingress — one construction, so both frame identically by design.
+  /// Throws std::invalid_argument for an empty stream or a
+  /// non-positive rate.
+  [[nodiscard]] static FrameClock spanning(const EventStream& stream,
+                                           double frame_rate_hz);
+
   /// Number of (Tstart, Tend) intervals, i.e. timestamps.size() - 1.
   [[nodiscard]] std::size_t interval_count() const noexcept {
     return timestamps.empty() ? 0 : timestamps.size() - 1;

@@ -135,6 +135,19 @@ FunctionalNetwork::FunctionalNetwork(NetworkSpec spec, std::uint64_t seed)
   }
 }
 
+FunctionalNetwork FunctionalNetwork::clone() const {
+  // Rebuild from the spec (cheapest way to get every derived table
+  // right), then overwrite the learned state with the live values so
+  // post-construction weight edits travel with the clone.
+  FunctionalNetwork copy(spec_, 0);
+  copy.weights_ = weights_;
+  copy.biases_ = biases_;
+  copy.channel_leak_ = channel_leak_;
+  copy.channel_threshold_ = channel_threshold_;
+  copy.lif_ = lif_;
+  return copy;
+}
+
 DenseTensor& FunctionalNetwork::weights(int node_id) {
   require_weight_node(weights_, node_id);
   return weights_[static_cast<std::size_t>(node_id)];

@@ -59,6 +59,16 @@ class FunctionalNetwork {
   /// per-channel LIF parameters for adaptive spiking layers.
   FunctionalNetwork(NetworkSpec spec, std::uint64_t seed);
 
+  /// Deep copy for concurrent workers: identical spec, weights, biases
+  /// and LIF parameters (including any post-construction weight edits),
+  /// with a fresh workspace and value buffers, and with NO activation
+  /// hook, quant plan or execution plan carried over — plans are
+  /// non-owning pointers into caller state, so every clone installs its
+  /// own. Clones share no mutable state with the original: running them
+  /// on separate threads is safe and bitwise reproduces the original
+  /// (the serve worker-pool contract; see test_serve).
+  [[nodiscard]] FunctionalNetwork clone() const;
+
   /// Runs one inference. `event_steps` must contain spec.timesteps
   /// tensors shaped like the event input node; `image`, when the graph
   /// has a second input, must match its shape. Returns the output-node

@@ -27,6 +27,13 @@ int ExecutionPlan::sparse_node_count() const noexcept {
   return count;
 }
 
+bool ExecutionPlan::density_in_band(double live_density,
+                                    double band) const noexcept {
+  if (probe_input_density <= 0.0 || band < 1.0) return false;
+  return live_density >= probe_input_density / band &&
+         live_density <= probe_input_density * band;
+}
+
 std::string ExecutionPlan::describe(const NetworkSpec& spec) const {
   std::string out = spec.name + " execution plan (probe input density " +
                     std::to_string(probe_input_density) + "):\n";

@@ -58,6 +58,17 @@ struct ExecutionPlan {
   double probe_input_density = 0.0;
 
   [[nodiscard]] int sparse_node_count() const noexcept;
+
+  /// True when `live_density` lies inside this plan's calibration band
+  /// [probe/band, probe*band] around probe_input_density (band >= 1).
+  /// The serving runtime re-calibrates a worker's plan when the live
+  /// input density leaves the band (DSFA tracks the drift signal): the
+  /// routes were chosen for the probe's density regime and go stale when
+  /// the scene changes. A plan with no recorded probe density is always
+  /// out of band.
+  [[nodiscard]] bool density_in_band(double live_density,
+                                     double band) const noexcept;
+
   [[nodiscard]] Route route_of(int node_id) const noexcept {
     const auto idx = static_cast<std::size_t>(node_id);
     return node_id >= 0 && idx < route.size() ? route[idx] : Route::kDense;

@@ -19,8 +19,12 @@ using sparse::validate_conv_spec;
 // clone and the baseline — with glibc ifunc dispatch picking at load
 // time. The int16 widening multiply-adds double their lane count under
 // AVX2; every other platform transparently gets the default clone.
+// Sanitizer builds drop the clones: ifunc resolvers run before the
+// TSan/ASan runtimes initialize, so an instrumented resolver segfaults
+// the process at load (the CI ThreadSanitizer job builds this way).
 #if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
-    !defined(__clang__)
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&         \
+    !defined(__SANITIZE_ADDRESS__)
 #define EVEDGE_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
 #else
 #define EVEDGE_SIMD_CLONES

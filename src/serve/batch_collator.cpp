@@ -1,0 +1,36 @@
+#include "serve/batch_collator.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace evedge::serve {
+
+BatchCollator::BatchCollator(CollatorConfig config) : config_(config) {
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("BatchCollator: max_batch must be >= 1");
+  }
+  if (config_.max_wait_us < 0.0) {
+    throw std::invalid_argument("BatchCollator: max_wait_us must be >= 0");
+  }
+}
+
+bool BatchCollator::collect(FrameQueue& queue,
+                            std::vector<ReadyFrame>& out) {
+  out.clear();
+  std::optional<ReadyFrame> first = queue.pop();
+  if (!first.has_value()) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<long long>(config_.max_wait_us));
+  out.push_back(std::move(*first));
+  while (static_cast<int>(out.size()) < config_.max_batch) {
+    std::optional<ReadyFrame> next = queue.pop_until(deadline);
+    if (!next.has_value()) break;  // deadline, or closed and drained
+    out.push_back(std::move(*next));
+  }
+  return true;
+}
+
+}  // namespace evedge::serve

@@ -1,0 +1,41 @@
+#pragma once
+
+// BatchCollator: deadline- and size-triggered cross-stream micro-batching
+// over the shared FrameQueue. Each worker drives its own collator: the
+// first frame of a batch is awaited indefinitely (no busy wait), then the
+// batch keeps filling until either max_batch frames are collated or
+// max_wait_us has elapsed since the first frame landed — the classic
+// serving trade of a bounded latency tax for batched-kernel throughput.
+// Frames from different streams coalesce freely: run_batched gives every
+// batch lane its own LIF state and per-sample arithmetic, so cross-stream
+// batches are bitwise identical to per-stream serial execution.
+
+#include <vector>
+
+#include "serve/frame_queue.hpp"
+
+namespace evedge::serve {
+
+struct CollatorConfig {
+  int max_batch = 8;         ///< size trigger (>= 1)
+  double max_wait_us = 2000; ///< deadline trigger, from the first frame
+};
+
+class BatchCollator {
+ public:
+  explicit BatchCollator(CollatorConfig config);
+
+  /// Collates the next batch into `out` (cleared first). Blocks for the
+  /// first frame; returns false when the queue is closed and drained
+  /// (worker shutdown), true otherwise with 1..max_batch frames.
+  [[nodiscard]] bool collect(FrameQueue& queue, std::vector<ReadyFrame>& out);
+
+  [[nodiscard]] const CollatorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CollatorConfig config_;
+};
+
+}  // namespace evedge::serve

@@ -1,0 +1,101 @@
+#include "serve/frame_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace evedge::serve {
+
+FrameQueue::FrameQueue(std::size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("FrameQueue: capacity must be > 0");
+  }
+}
+
+std::optional<ReadyFrame> FrameQueue::push(ReadyFrame frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy_ == OverflowPolicy::kBlock) {
+    not_full_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return frame;  // never accepted; caller owns it
+  }
+  std::optional<ReadyFrame> displaced;
+  if (queue_.size() >= capacity_) {  // kDropOldest
+    displaced = std::move(queue_.front());
+    queue_.pop_front();
+    ++dropped_;
+  }
+  frame.enqueue_tp = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(frame));
+  peak_depth_ = std::max(peak_depth_, queue_.size());
+  depth_sum_ += queue_.size();
+  ++depth_samples_;
+  lock.unlock();
+  not_empty_.notify_one();
+  return displaced;
+}
+
+std::optional<ReadyFrame> FrameQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  ReadyFrame frame = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return frame;
+}
+
+std::optional<ReadyFrame> FrameQueue::pop_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!not_empty_.wait_until(lock, deadline, [&] {
+        return !queue_.empty() || closed_;
+      })) {
+    return std::nullopt;  // deadline hit
+  }
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  ReadyFrame frame = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return frame;
+}
+
+void FrameQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t FrameQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool FrameQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t FrameQueue::peak_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_depth_;
+}
+
+double FrameQueue::mean_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return depth_samples_ > 0 ? static_cast<double>(depth_sum_) /
+                                  static_cast<double>(depth_samples_)
+                            : 0.0;
+}
+
+std::size_t FrameQueue::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace evedge::serve

@@ -1,0 +1,93 @@
+#pragma once
+
+// FrameQueue: the bounded, lock-guarded hand-off between per-stream
+// ingress stages and the inference worker pool. Multi-producer (one
+// ingress thread per stream), multi-consumer (each worker collates from
+// it). Two overflow policies:
+//
+//   kBlock      push() blocks until a slot frees — lossless backpressure
+//               that throttles ingress to inference speed (the parity
+//               configuration: every frame is served, serving output is
+//               bitwise identical to per-stream serial execution).
+//   kDropOldest push() displaces the oldest queued frame and returns it
+//               so the producer can account the drop per stream — the
+//               latency-bounded configuration (the freshest data wins,
+//               mirroring DSFA's own inference-queue discard rule).
+//
+// close() wakes every blocked producer and consumer; consumers drain the
+// remaining frames and then observe end-of-stream.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "sparse/sparse_frame.hpp"
+
+namespace evedge::serve {
+
+/// One merged frame ready for inference, with its provenance and the
+/// timing/telemetry the collator and stats need.
+struct ReadyFrame {
+  int stream_id = -1;
+  std::int64_t seq = -1;  ///< per-stream dispatch index (0, 1, ...)
+  sparse::SparseFrame frame;
+  /// DSFA's recent-density EMA at dispatch time (the drift signal).
+  double ingress_density = 0.0;
+  std::chrono::steady_clock::time_point enqueue_tp{};
+};
+
+enum class OverflowPolicy : std::uint8_t { kBlock, kDropOldest };
+
+class FrameQueue {
+ public:
+  FrameQueue(std::size_t capacity, OverflowPolicy policy);
+
+  /// Enqueues one frame (stamps enqueue_tp). Under kBlock, blocks while
+  /// the queue is full (returns std::nullopt once pushed, or the frame
+  /// itself if the queue closed while waiting — the caller owns frames
+  /// the queue never accepted). Under kDropOldest, never blocks and
+  /// returns the displaced oldest frame when the queue was full.
+  [[nodiscard]] std::optional<ReadyFrame> push(ReadyFrame frame);
+
+  /// Blocks until a frame is available or the queue is closed and
+  /// drained (std::nullopt = end of stream).
+  [[nodiscard]] std::optional<ReadyFrame> pop();
+
+  /// Like pop(), but gives up at `deadline` (std::nullopt = no frame by
+  /// then, or closed and drained). The collator's follow-up pops.
+  [[nodiscard]] std::optional<ReadyFrame> pop_until(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Marks end of input: blocked producers return their frames, blocked
+  /// consumers drain what is queued and then see end-of-stream.
+  void close();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool closed() const;
+
+  /// Depth telemetry, sampled at every push: high-water mark and mean.
+  [[nodiscard]] std::size_t peak_depth() const;
+  [[nodiscard]] double mean_depth() const;
+  /// Total frames displaced by kDropOldest.
+  [[nodiscard]] std::size_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<ReadyFrame> queue_;
+  bool closed_ = false;
+  std::size_t peak_depth_ = 0;
+  std::size_t depth_samples_ = 0;
+  std::size_t depth_sum_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace evedge::serve

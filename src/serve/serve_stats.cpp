@@ -1,0 +1,96 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace evedge::serve {
+
+void LatencyReservoir::merge(const LatencyReservoir& other) {
+  samples_us_.insert(samples_us_.end(), other.samples_us_.begin(),
+                     other.samples_us_.end());
+}
+
+double LatencyReservoir::mean_us() const noexcept {
+  if (samples_us_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples_us_) sum += s;
+  return sum / static_cast<double>(samples_us_.size());
+}
+
+double LatencyReservoir::max_us() const noexcept {
+  double best = 0.0;
+  for (const double s : samples_us_) best = std::max(best, s);
+  return best;
+}
+
+double LatencyReservoir::percentile_us(double q) const {
+  if (samples_us_.empty()) return 0.0;
+  std::vector<double> sorted = samples_us_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double ServeReport::percentile_us(double q) const {
+  LatencyReservoir pooled;
+  for (const StreamServeStats& s : streams) pooled.merge(s.latency);
+  return pooled.percentile_us(q);
+}
+
+std::size_t ServeReport::total_batches() const noexcept {
+  std::size_t n = 0;
+  for (const WorkerServeStats& w : workers) n += w.batches;
+  return n;
+}
+
+double ServeReport::mean_batch() const noexcept {
+  std::size_t batches = 0;
+  std::size_t samples = 0;
+  for (const WorkerServeStats& w : workers) {
+    batches += w.batches;
+    samples += w.samples;
+  }
+  return batches > 0
+             ? static_cast<double>(samples) / static_cast<double>(batches)
+             : 0.0;
+}
+
+std::string ServeReport::describe() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "serve: %zu frames in %.1f ms (%.1f frames/s), "
+                "%zu dropped, %zu batches (mean %.2f), queue peak %zu\n",
+                frames_completed, wall_ms, frames_per_second(),
+                frames_dropped, total_batches(), mean_batch(),
+                queue_peak_depth);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency pooled: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+                percentile_us(0.50) / 1e3, percentile_us(0.95) / 1e3,
+                percentile_us(0.99) / 1e3);
+  out += line;
+  for (const StreamServeStats& s : streams) {
+    std::snprintf(line, sizeof(line),
+                  "  stream %d: %zu enq, %zu done, %zu drop, "
+                  "p95 %.2f ms, density %.4f\n",
+                  s.stream_id, s.enqueued, s.completed, s.dropped,
+                  s.latency.percentile_us(0.95) / 1e3,
+                  s.mean_frame_density);
+    out += line;
+  }
+  for (const WorkerServeStats& w : workers) {
+    std::snprintf(line, sizeof(line),
+                  "  worker %d: %zu batches, %zu samples (mean %.2f), "
+                  "busy %.1f ms, %zu recal, %d sparse routes\n",
+                  w.worker_id, w.batches, w.samples, w.mean_batch(),
+                  w.busy_ms, w.recalibrations, w.plan_sparse_nodes);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace evedge::serve

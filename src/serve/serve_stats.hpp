@@ -1,0 +1,92 @@
+#pragma once
+
+// Serving telemetry: per-stream latency/throughput/drop accounting and
+// the aggregate report the ServingRuntime hands back after a run. The
+// quantities mirror what a production inference server exports — tail
+// latency percentiles per stream, aggregate frames/s, queue depth and
+// drop counters — so the bench harness and tests read one structure.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evedge::serve {
+
+/// Latency sample reservoir (microseconds). Percentiles are computed on
+/// demand over a sorted copy; serving runs are bounded (thousands of
+/// frames), so keeping every sample exact beats a sketch here.
+class LatencyReservoir {
+ public:
+  void add(double latency_us) { samples_us_.push_back(latency_us); }
+  void merge(const LatencyReservoir& other);
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return samples_us_.size();
+  }
+  [[nodiscard]] double mean_us() const noexcept;
+  [[nodiscard]] double max_us() const noexcept;
+  /// Interpolation-free percentile (nearest-rank on the sorted samples);
+  /// q in [0, 1]. 0 when empty.
+  [[nodiscard]] double percentile_us(double q) const;
+
+ private:
+  std::vector<double> samples_us_;
+};
+
+/// Per-stream serving statistics.
+struct StreamServeStats {
+  int stream_id = -1;
+  std::size_t raw_frames = 0;   ///< E2SF bins pushed into DSFA
+  std::size_t enqueued = 0;     ///< merged frames offered to the queue
+  std::size_t dropped = 0;      ///< frames displaced by drop-oldest
+  std::size_t completed = 0;    ///< frames through inference
+  double mean_frame_density = 0.0;  ///< mean merged-frame spatial density
+  double last_ingress_density = 0.0;  ///< DSFA recent_density() at stream end
+  LatencyReservoir latency;     ///< enqueue -> inference completion
+};
+
+/// Per-worker serving statistics.
+struct WorkerServeStats {
+  int worker_id = -1;
+  std::size_t batches = 0;
+  std::size_t samples = 0;
+  double busy_ms = 0.0;          ///< wall time inside run_batched
+  std::size_t calibrations = 0;  ///< planner warmup calibrations (0 or 1)
+  std::size_t recalibrations = 0;  ///< density-drift plan refreshes
+  int plan_sparse_nodes = 0;     ///< sparse-routed nodes of the live plan
+  double plan_probe_density = 0.0;  ///< live plan's calibration density
+
+  [[nodiscard]] double mean_batch() const noexcept {
+    return batches > 0
+               ? static_cast<double>(samples) / static_cast<double>(batches)
+               : 0.0;
+  }
+};
+
+/// Aggregate report of one ServingRuntime::run().
+struct ServeReport {
+  double wall_ms = 0.0;          ///< ingress start -> last worker exit
+  std::size_t frames_completed = 0;
+  std::size_t frames_dropped = 0;
+  std::size_t queue_peak_depth = 0;
+  double queue_mean_depth = 0.0;
+  std::vector<StreamServeStats> streams;
+  std::vector<WorkerServeStats> workers;
+
+  /// Aggregate throughput in completed frames per second.
+  [[nodiscard]] double frames_per_second() const noexcept {
+    return wall_ms > 0.0
+               ? static_cast<double>(frames_completed) / (wall_ms / 1e3)
+               : 0.0;
+  }
+  /// Latency percentile pooled over every stream's reservoir.
+  [[nodiscard]] double percentile_us(double q) const;
+  [[nodiscard]] std::size_t total_batches() const noexcept;
+  [[nodiscard]] double mean_batch() const noexcept;
+
+  /// Human-readable multi-line summary (bench/debug output).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace evedge::serve

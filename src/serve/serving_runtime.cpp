@@ -1,0 +1,221 @@
+#include "serve/serving_runtime.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/batch_executor.hpp"
+#include "core/parallel.hpp"
+
+namespace evedge::serve {
+
+using sparse::DenseTensor;
+
+namespace {
+
+[[nodiscard]] std::uint64_t capture_key(int stream_id,
+                                        std::int64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(stream_id))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq));
+}
+
+/// Restores the previous process-wide kernel-thread override on exit.
+class ScopedKernelThreads {
+ public:
+  explicit ScopedKernelThreads(int count)
+      : active_(count > 0),
+        previous_(active_ ? core::set_parallel_threads(count) : 0) {}
+  ~ScopedKernelThreads() {
+    if (active_) core::set_parallel_threads(previous_);
+  }
+  ScopedKernelThreads(const ScopedKernelThreads&) = delete;
+  ScopedKernelThreads& operator=(const ScopedKernelThreads&) = delete;
+
+ private:
+  bool active_;
+  int previous_;
+};
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(nn::NetworkSpec spec, std::uint64_t seed,
+                               ServeConfig config)
+    : spec_(spec), prototype_(std::move(spec), seed),
+      config_(std::move(config)) {
+  if (config_.n_workers < 1) {
+    throw std::invalid_argument("ServingRuntime: need >= 1 worker");
+  }
+}
+
+ServeReport ServingRuntime::run(
+    std::span<const events::EventStream> streams) {
+  if (streams.empty()) {
+    throw std::invalid_argument("ServingRuntime: no streams");
+  }
+  // Surface per-stream problems here, not as a thread-side abort.
+  for (const events::EventStream& stream : streams) {
+    if (stream.empty()) {
+      throw std::invalid_argument("ServingRuntime: empty event stream");
+    }
+  }
+  report_ = ServeReport{};
+  captured_.clear();
+
+  FrameQueue queue(config_.queue_capacity, config_.overflow);
+  std::vector<StreamIngress> ingresses;
+  ingresses.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    ingresses.emplace_back(static_cast<int>(i), streams[i],
+                           config_.ingress, queue);
+  }
+
+  // Completion-side accounting, shared by every worker thread.
+  std::mutex sink_mutex;
+  std::vector<StreamServeStats> completion(streams.size());
+  const bool capture = config_.capture_outputs;
+  const ResultSink sink = [&](const ReadyFrame& frame,
+                              const DenseTensor& batch_output, int lane,
+                              double latency_us) {
+    // The output copy happens outside the lock (each (stream, seq) key
+    // is produced exactly once, so only the shared accounting and the
+    // map mutation need the mutex).
+    DenseTensor output;
+    if (capture) sparse::copy_sample(batch_output, lane, output);
+    const std::lock_guard<std::mutex> lock(sink_mutex);
+    StreamServeStats& s =
+        completion[static_cast<std::size_t>(frame.stream_id)];
+    ++s.completed;
+    s.latency.add(latency_us);
+    if (capture) {
+      captured_[capture_key(frame.stream_id, frame.seq)] =
+          std::move(output);
+    }
+  };
+
+  ServeWorkerPool pool(prototype_, config_.n_workers, config_.worker);
+  const ScopedKernelThreads kernel_guard(config_.kernel_threads);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  // An exception on any serving thread must not std::terminate the
+  // process: the first one is captured, the queue is closed so every
+  // other thread drains out, and it is rethrown here after all joins.
+  std::exception_ptr ingress_error;
+  std::mutex ingress_error_mutex;
+  std::vector<std::thread> ingress_threads;
+  ingress_threads.reserve(ingresses.size());
+  for (StreamIngress& ingress : ingresses) {
+    ingress_threads.emplace_back(
+        [&ingress, &ingress_error, &ingress_error_mutex] {
+          try {
+            ingress.run();
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(ingress_error_mutex);
+            if (!ingress_error) ingress_error = std::current_exception();
+          }
+        });
+  }
+  // Close the queue once every producer finished; the workers drain the
+  // remainder and exit. (A dead worker pool closes the queue itself,
+  // which releases any producer blocked on push.)
+  std::thread closer([&] {
+    for (std::thread& t : ingress_threads) t.join();
+    queue.close();
+  });
+  std::exception_ptr pool_error;
+  try {
+    pool.run(queue, sink);
+  } catch (...) {
+    pool_error = std::current_exception();
+  }
+  closer.join();
+  if (pool_error) std::rethrow_exception(pool_error);
+  if (ingress_error) std::rethrow_exception(ingress_error);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // --- Assemble the report.
+  report_.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  report_.queue_peak_depth = queue.peak_depth();
+  report_.queue_mean_depth = queue.mean_depth();
+  report_.streams.reserve(ingresses.size());
+  for (std::size_t i = 0; i < ingresses.size(); ++i) {
+    StreamServeStats s = ingresses[i].stats();
+    const StreamServeStats& done = completion[i];
+    s.completed = done.completed;
+    s.latency = done.latency;
+    // Per-stream drops reconcile exactly once the queue drained: every
+    // enqueued frame was either served or displaced by drop-oldest.
+    s.dropped = s.enqueued - done.completed;
+    report_.frames_completed += s.completed;
+    report_.frames_dropped += s.dropped;
+    report_.streams.push_back(std::move(s));
+  }
+  report_.workers.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    report_.workers.push_back(pool.worker(i).stats());
+  }
+  return report_;
+}
+
+const DenseTensor* ServingRuntime::output(int stream_id,
+                                          std::int64_t seq) const {
+  const auto it = captured_.find(capture_key(stream_id, seq));
+  return it != captured_.end() ? &it->second : nullptr;
+}
+
+ServingRuntime::SerialResult ServingRuntime::run_serial(
+    std::span<const std::vector<sparse::SparseFrame>> frames_per_stream,
+    bool use_planner) const {
+  const nn::NetworkSpec& spec = prototype_.spec();
+  nn::FunctionalNetwork net = prototype_.clone();
+  const sparse::TensorShape event_shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  const bool needs_image = spec.graph.input_ids().size() > 1;
+  const DenseTensor image =
+      needs_image ? core::make_reference_image(spec) : DenseTensor{};
+
+  SerialResult result;
+  result.outputs.resize(frames_per_stream.size());
+  nn::ExecutionPlan plan;
+  bool plan_ready = false;
+  std::vector<DenseTensor> steps;
+  std::vector<sparse::SparseFrame> one(1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < frames_per_stream.size(); ++s) {
+    result.outputs[s].reserve(frames_per_stream[s].size());
+    for (const sparse::SparseFrame& frame : frames_per_stream[s]) {
+      one.front() = frame;
+      core::frames_to_event_steps(one, event_shape, spec.timesteps, steps);
+      if (use_planner) {
+        const bool stale =
+            plan_ready &&
+            config_.worker.recalibrate_on_drift &&
+            !plan.density_in_band(steps.front().density(),
+                                  config_.worker.recalibration_band);
+        if (!plan_ready || stale) {
+          net.set_execution_plan(nullptr);
+          plan = nn::ExecutionPlanner::calibrate(
+              net, steps, needs_image ? &image : nullptr,
+              config_.worker.planner);
+          net.set_execution_plan(&plan);
+          plan_ready = true;
+        }
+      }
+      result.outputs[s].push_back(
+          net.run_batched(steps, needs_image ? &image : nullptr));
+      ++result.frames;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace evedge::serve

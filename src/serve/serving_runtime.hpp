@@ -1,0 +1,116 @@
+#pragma once
+
+// ServingRuntime: the concurrent multi-stream serving subsystem — N
+// independent event streams (cameras) flow through per-stream E2SF/DSFA
+// ingress stages into a bounded FrameQueue, and a pool of inference
+// workers coalesces ready frames ACROSS streams into batched,
+// planner-routed FunctionalNetwork::run_batched calls:
+//
+//   stream 0 --> StreamIngress ---.
+//   stream 1 --> StreamIngress ---+--> FrameQueue --> ServeWorkerPool
+//   stream N --> StreamIngress ---'     (bounded,      (BatchCollator +
+//                                        block/drop)    net clone each)
+//
+// Determinism contract: with the drop policy disabled (kBlock), every
+// (stream, seq) output is bitwise identical to per-stream serial batch-1
+// execution of the same frames (run_serial) — cross-stream batches give
+// each lane private LIF state and per-sample arithmetic, and the planner
+// routes are bitwise-neutral. Batch composition, worker count and thread
+// interleaving affect only latency, never values.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "events/event_stream.hpp"
+#include "nn/engine.hpp"
+#include "serve/serve_stats.hpp"
+#include "serve/stream_ingress.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace evedge::serve {
+
+struct ServeConfig {
+  IngressConfig ingress{};
+  WorkerConfig worker{};
+  std::size_t queue_capacity = 32;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  int n_workers = 2;
+  /// Kernel-level threads per worker, installed process-wide for the
+  /// duration of run() via core::set_parallel_threads (0 = leave the
+  /// ambient setting). Default 1: under concurrent serving the thread
+  /// budget is spent on stream-level parallelism (workers), not on
+  /// per-kernel fork-join whose spawn/join tax recurs every layer.
+  int kernel_threads = 1;
+  /// Record every (stream, seq) output for parity checks / consumers
+  /// (costs one output-tensor copy per frame).
+  bool capture_outputs = false;
+};
+
+class ServingRuntime {
+ public:
+  /// Builds the prototype network (weights deterministic in `seed`);
+  /// workers clone it at run() time.
+  ServingRuntime(nn::NetworkSpec spec, std::uint64_t seed,
+                 ServeConfig config);
+
+  /// Serves every stream to completion: one ingress thread per stream,
+  /// config.n_workers inference workers. Returns the aggregate report
+  /// (also retrievable via last_report()). Captured outputs, when
+  /// enabled, are valid until the next run().
+  ServeReport run(std::span<const events::EventStream> streams);
+
+  /// Captured output of (stream, seq); nullptr when not captured.
+  [[nodiscard]] const sparse::DenseTensor* output(int stream_id,
+                                                  std::int64_t seq) const;
+
+  [[nodiscard]] const ServeReport& last_report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const ServeConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const nn::NetworkSpec& spec() const noexcept {
+    return spec_;
+  }
+
+  /// Per-stream serial reference: the same frames executed batch-1 in
+  /// dispatch order, stream after stream, on a single network clone —
+  /// the baseline concurrent serving is measured (and bit-checked)
+  /// against. Runs with the ambient kernel-thread setting (callers pin
+  /// core::set_parallel_threads to compare at equal budgets).
+  struct SerialResult {
+    /// outputs[stream][seq], matching StreamIngress::collect_frames.
+    std::vector<std::vector<sparse::DenseTensor>> outputs;
+    std::size_t frames = 0;
+    double wall_ms = 0.0;
+
+    [[nodiscard]] double frames_per_second() const noexcept {
+      return wall_ms > 0.0
+                 ? static_cast<double>(frames) / (wall_ms / 1e3)
+                 : 0.0;
+    }
+  };
+  /// `use_planner` mirrors WorkerConfig::use_planner (lazy warmup
+  /// calibration on the first frame, drift re-calibration per frame).
+  [[nodiscard]] SerialResult run_serial(
+      std::span<const std::vector<sparse::SparseFrame>> frames_per_stream,
+      bool use_planner) const;
+
+  /// Offline ingest of one stream (see StreamIngress::collect_frames).
+  [[nodiscard]] static std::vector<sparse::SparseFrame> ingest(
+      const events::EventStream& stream, const IngressConfig& config) {
+    return StreamIngress::collect_frames(stream, config);
+  }
+
+ private:
+  nn::NetworkSpec spec_;
+  nn::FunctionalNetwork prototype_;
+  ServeConfig config_;
+  ServeReport report_;
+  std::unordered_map<std::uint64_t, sparse::DenseTensor> captured_;
+};
+
+}  // namespace evedge::serve

@@ -1,0 +1,115 @@
+#include "serve/stream_ingress.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace evedge::serve {
+
+namespace {
+
+/// Drives one stream through E2SF + DSFA, invoking `sink(frame)` for
+/// every dispatched merged frame in dispatch order. `raw_frames` counts
+/// the E2SF bins pushed into DSFA.
+template <typename Sink>
+void ingest(const events::EventStream& stream, const IngressConfig& config,
+            core::DynamicSparseFrameAggregator& dsfa,
+            std::size_t& raw_frames, const Sink& sink) {
+  // One shared clock construction with simulate_pipeline: serving and
+  // the simulation frame identically by design, not by copy.
+  const events::FrameClock clock =
+      events::FrameClock::spanning(stream, config.frame_rate_hz);
+  const core::Event2SparseFrame e2sf(stream.geometry(), config.e2sf);
+  const auto drain = [&] {
+    while (auto batch = dsfa.take_ready_batch()) {
+      for (sparse::SparseFrame& frame : batch->frames) {
+        if (!sink(std::move(frame))) return false;
+      }
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < clock.interval_count(); ++i) {
+    const events::TimeUs t0 = clock.timestamps[i];
+    const events::TimeUs t1 = clock.timestamps[i + 1];
+    for (sparse::SparseFrame& frame :
+         e2sf.convert(stream.slice(t0, t1), t0, t1)) {
+      ++raw_frames;
+      dsfa.push(std::move(frame));
+    }
+    if (!drain()) return;
+  }
+  dsfa.dispatch_available();
+  (void)drain();
+}
+
+}  // namespace
+
+StreamIngress::StreamIngress(int stream_id,
+                             const events::EventStream& stream,
+                             IngressConfig config, FrameQueue& queue)
+    : stream_id_(stream_id),
+      stream_(stream),
+      config_(std::move(config)),
+      queue_(queue) {
+  stats_.stream_id = stream_id;
+}
+
+void StreamIngress::run() {
+  core::DynamicSparseFrameAggregator dsfa(config_.dsfa);
+  const auto wall_start = std::chrono::steady_clock::now();
+  double density_sum = 0.0;
+  std::int64_t seq = 0;
+
+  ingest(stream_, config_, dsfa, stats_.raw_frames,
+         [&](sparse::SparseFrame frame) {
+           if (config_.pace_speedup > 0.0) {
+             // Sensor-faithful arrival: the merged frame exists once its
+             // last bin closes (t_end), replayed at pace_speedup x.
+             const auto arrival =
+                 wall_start + std::chrono::microseconds(static_cast<long long>(
+                                  static_cast<double>(frame.t_end -
+                                                      stream_.t_begin()) /
+                                  config_.pace_speedup));
+             std::this_thread::sleep_until(arrival);
+           }
+           density_sum += frame.density();
+           ReadyFrame ready;
+           ready.stream_id = stream_id_;
+           ready.seq = seq;
+           ready.frame = std::move(frame);
+           ready.ingress_density = dsfa.recent_density();
+           std::optional<ReadyFrame> rejected = queue_.push(std::move(ready));
+           if (rejected.has_value() &&
+               queue_.policy() == OverflowPolicy::kBlock) {
+             // Closed while blocked: the queue never accepted it.
+             return false;
+           }
+           // Under kDropOldest a displaced frame may belong to any
+           // stream; the runtime reconciles per-stream drops as
+           // enqueued - completed once the queue drains.
+           ++seq;
+           ++stats_.enqueued;
+           return true;
+         });
+
+  stats_.completed = 0;  // filled in by the runtime from worker results
+  if (stats_.enqueued > 0) {
+    stats_.mean_frame_density =
+        density_sum / static_cast<double>(stats_.enqueued);
+  }
+  stats_.last_ingress_density = dsfa.recent_density();
+}
+
+std::vector<sparse::SparseFrame> StreamIngress::collect_frames(
+    const events::EventStream& stream, const IngressConfig& config) {
+  core::DynamicSparseFrameAggregator dsfa(config.dsfa);
+  std::vector<sparse::SparseFrame> frames;
+  std::size_t raw = 0;
+  ingest(stream, config, dsfa, raw, [&](sparse::SparseFrame frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  return frames;
+}
+
+}  // namespace evedge::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+// StreamIngress: the per-stream front half of the online pipeline
+// (Fig. 4), run concurrently for N cameras. Each instance walks one
+// EventStream on its own thread: grayscale-clock intervals are sliced
+// and E2SF-binned, the resulting sparse frames staged through a
+// per-stream DSFA, and every dispatched merged frame enqueued into the
+// shared FrameQueue as a ReadyFrame carrying the stream id, per-stream
+// dispatch index, and DSFA's live density signal (the planner-drift
+// input downstream).
+//
+// Ingest order is deterministic per stream — collect_frames() runs the
+// identical E2SF+DSFA pipeline without a queue, and the serial baseline
+// and parity tests consume its output, so (stream_id, seq) keys line up
+// exactly between concurrent serving and per-stream serial execution.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dsfa.hpp"
+#include "core/e2sf.hpp"
+#include "events/event_stream.hpp"
+#include "serve/frame_queue.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace evedge::serve {
+
+struct IngressConfig {
+  core::E2sfConfig e2sf{};
+  core::DsfaConfig dsfa{};
+  double frame_rate_hz = 30.0;  ///< grayscale (APS) frame clock
+  /// Real-time pacing: 0 = open loop (push as fast as produced —
+  /// saturation benchmarking); otherwise the stream is replayed at
+  /// `pace_speedup` x real time (1 = sensor-faithful arrival times).
+  double pace_speedup = 0.0;
+};
+
+class StreamIngress {
+ public:
+  /// The stream and queue must outlive the ingress. `stream_id` tags
+  /// every enqueued frame.
+  StreamIngress(int stream_id, const events::EventStream& stream,
+                IngressConfig config, FrameQueue& queue);
+
+  /// Runs the stream to completion (call on a dedicated thread): E2SF ->
+  /// DSFA -> queue. Returns when every dispatched frame was enqueued (or
+  /// the queue closed early). Single-shot.
+  void run();
+
+  /// Per-stream accounting, valid after run() returns.
+  [[nodiscard]] const StreamServeStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// The merged frames this stream dispatches, in dispatch order — the
+  /// same E2SF+DSFA pipeline run offline (no queue, no threads). Serial
+  /// baselines and parity checks consume this; element i corresponds to
+  /// ReadyFrame seq i.
+  [[nodiscard]] static std::vector<sparse::SparseFrame> collect_frames(
+      const events::EventStream& stream, const IngressConfig& config);
+
+ private:
+  int stream_id_;
+  const events::EventStream& stream_;
+  IngressConfig config_;
+  FrameQueue& queue_;
+  StreamServeStats stats_;
+};
+
+}  // namespace evedge::serve

@@ -1,0 +1,154 @@
+#include "serve/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/batch_executor.hpp"
+
+namespace evedge::serve {
+
+using sparse::DenseTensor;
+using sparse::TensorShape;
+
+namespace {
+
+/// Batch-1 probe copies of sample 0 (the planner calibrates on batch-1
+/// inputs; DSFA merges within a density band, so one sample's densities
+/// represent the batch — the BatchExecutor warmup convention).
+[[nodiscard]] std::vector<DenseTensor> probe_of_sample0(
+    const std::vector<DenseTensor>& steps) {
+  std::vector<DenseTensor> probe(steps.size());
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    sparse::copy_sample(steps[t], 0, probe[t]);
+  }
+  return probe;
+}
+
+}  // namespace
+
+ServeWorker::ServeWorker(int worker_id,
+                         const nn::FunctionalNetwork& prototype,
+                         WorkerConfig config)
+    : config_(std::move(config)), net_(prototype.clone()) {
+  if (config_.recalibration_band < 1.0) {
+    throw std::invalid_argument(
+        "ServeWorker: recalibration band must be >= 1");
+  }
+  const nn::NetworkSpec& spec = net_.spec();
+  const auto input_ids = spec.graph.input_ids();
+  event_shape_ = spec.graph.node(input_ids.front()).spec.out_shape;
+  needs_image_ = input_ids.size() > 1;
+  if (needs_image_) image_ = core::make_reference_image(spec);
+  stats_.worker_id = worker_id;
+}
+
+void ServeWorker::calibrate_from(const std::vector<DenseTensor>& steps) {
+  const std::vector<DenseTensor> probe = probe_of_sample0(steps);
+  // Calibration runs dense warmup probes through a hook; uninstall the
+  // live plan first so the swap is atomic from the engine's view.
+  net_.set_execution_plan(nullptr);
+  plan_ = nn::ExecutionPlanner::calibrate(
+      net_, probe, needs_image_ ? &image_ : nullptr, config_.planner);
+  net_.set_execution_plan(&plan_);
+  plan_ready_ = true;
+  stats_.plan_sparse_nodes = plan_.sparse_node_count();
+  stats_.plan_probe_density = plan_.probe_input_density;
+}
+
+void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
+                                const ResultSink& sink) {
+  if (batch.empty()) {
+    throw std::invalid_argument("ServeWorker: empty batch");
+  }
+  const nn::NetworkSpec& spec = net_.spec();
+  frames_.clear();
+  frames_.reserve(batch.size());
+  for (const ReadyFrame& ready : batch) frames_.push_back(ready.frame);
+  core::frames_to_event_steps(frames_, event_shape_, spec.timesteps, steps_);
+
+  if (config_.use_planner) {
+    if (!plan_ready_) {
+      calibrate_from(steps_);
+      ++stats_.calibrations;
+    } else if (config_.recalibrate_on_drift) {
+      // The live density signal: nonzero fraction of the adapted event
+      // tensor, the same post-E2SF quantity calibrate() recorded as
+      // probe_input_density (DSFA's recent_density() EMA rides along in
+      // ReadyFrame::ingress_density for sensor-scale telemetry).
+      const double live_density = steps_.front().density();
+      if (!plan_.density_in_band(live_density,
+                                 config_.recalibration_band)) {
+        calibrate_from(steps_);
+        ++stats_.recalibrations;
+      }
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const DenseTensor out =
+      net_.run_batched(steps_, needs_image_ ? &image_ : nullptr);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.busy_ms +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  ++stats_.batches;
+  stats_.samples += batch.size();
+
+  for (std::size_t n = 0; n < batch.size(); ++n) {
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            t1 - batch[n].enqueue_tp).count();
+    sink(batch[n], out, static_cast<int>(n), latency_us);
+  }
+}
+
+void ServeWorker::serve(FrameQueue& queue, const ResultSink& sink) {
+  BatchCollator collator(config_.collator);
+  std::vector<ReadyFrame> batch;
+  while (collator.collect(queue, batch)) {
+    process_batch(batch, sink);
+  }
+}
+
+ServeWorkerPool::ServeWorkerPool(const nn::FunctionalNetwork& prototype,
+                                 int n_workers,
+                                 const WorkerConfig& config) {
+  const int count = std::max(1, n_workers);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<ServeWorker>(i, prototype, config));
+  }
+}
+
+void ServeWorkerPool::run(FrameQueue& queue, const ResultSink& sink) {
+  // A throw on a worker thread must not std::terminate the process:
+  // the first exception wins, the queue is closed so every sibling
+  // drains out, and the error is rethrown on the joining thread
+  // (mirroring core::parallel_for's contract).
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (const std::unique_ptr<ServeWorker>& worker : workers_) {
+    threads.emplace_back([&queue, &sink, &error, &error_mutex,
+                          w = worker.get()] {
+      try {
+        w->serve(queue, sink);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        queue.close();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace evedge::serve

@@ -1,0 +1,118 @@
+#pragma once
+
+// ServeWorkerPool: the inference back half of the serving runtime. Each
+// worker owns a full FunctionalNetwork clone (identical weights, private
+// Workspace — the one-Workspace-per-worker contract that makes workers
+// mutually invisible), its own BatchCollator and, when planning is on,
+// its own density-adaptive ExecutionPlan:
+//
+//  - lazy warmup calibration: the worker's first collated batch doubles
+//    as the planner probe (sample 0), mirroring BatchExecutor;
+//  - drift re-calibration: every batch's live input density (nonzero
+//    fraction of the adapted event tensor, the post-E2SF quantity the
+//    planner calibrated on) is checked against the plan's calibration
+//    band; when the scene density drifts outside it, the worker re-runs
+//    calibration on the current batch and swaps routes in place.
+//
+// Per-stream state isolation: the engine resets LIF state at the start
+// of every inference and gives each batch lane its own membrane tensor,
+// so coalescing frames from different streams into one run_batched call
+// is bitwise identical to per-stream serial execution (run_batched's
+// per-sample contract; verified zoo-wide in test_serve).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/engine.hpp"
+#include "nn/exec_plan.hpp"
+#include "serve/batch_collator.hpp"
+#include "serve/frame_queue.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace evedge::serve {
+
+struct WorkerConfig {
+  /// Density-adaptive routing (bitwise-neutral, exec_plan.hpp). Off =
+  /// all-dense execution.
+  bool use_planner = true;
+  nn::PlannerOptions planner{};
+  /// Re-calibrate a worker's plan when the live input density leaves
+  /// [probe/band, probe*band] (ExecutionPlan::density_in_band).
+  bool recalibrate_on_drift = true;
+  double recalibration_band = 4.0;
+  CollatorConfig collator{};
+};
+
+/// Called once per completed frame, potentially from several worker
+/// threads at once — implementations must be thread-safe. The frame's
+/// result is batch lane `lane` of `batch_output` (the run_batched
+/// tensor, valid only for the duration of the call — slice it out via
+/// sparse::copy_sample if it must outlive the sink); `latency_us` spans
+/// queue admission to inference completion.
+using ResultSink = std::function<void(
+    const ReadyFrame& frame, const sparse::DenseTensor& batch_output,
+    int lane, double latency_us)>;
+
+/// One serving worker. Public so tests (and single-threaded embeddings)
+/// can drive process_batch directly; the pool wraps it in a thread.
+class ServeWorker {
+ public:
+  /// Clones the prototype network (weights shared by value, state by
+  /// nobody). The prototype is only read during construction.
+  ServeWorker(int worker_id, const nn::FunctionalNetwork& prototype,
+              WorkerConfig config);
+
+  /// Runs one collated batch through run_batched and emits every frame's
+  /// result to `sink`. Handles planner warmup/drift calibration.
+  void process_batch(const std::vector<ReadyFrame>& batch,
+                     const ResultSink& sink);
+
+  /// Collation + inference loop until `queue` closes and drains.
+  void serve(FrameQueue& queue, const ResultSink& sink);
+
+  [[nodiscard]] const WorkerServeStats& stats() const noexcept {
+    return stats_;
+  }
+  /// The worker's live plan (nullptr before warmup or with planning off).
+  [[nodiscard]] const nn::ExecutionPlan* plan() const noexcept {
+    return plan_ready_ ? &plan_ : nullptr;
+  }
+
+ private:
+  void calibrate_from(const std::vector<sparse::DenseTensor>& steps);
+
+  WorkerConfig config_;
+  nn::FunctionalNetwork net_;
+  sparse::TensorShape event_shape_;  ///< per-timestep event input (n = 1)
+  bool needs_image_ = false;
+  sparse::DenseTensor image_;
+  std::vector<sparse::DenseTensor> steps_;  ///< reused staging tensors
+  std::vector<sparse::SparseFrame> frames_;  ///< reused adaptation view
+  bool plan_ready_ = false;
+  nn::ExecutionPlan plan_;
+  WorkerServeStats stats_;
+};
+
+class ServeWorkerPool {
+ public:
+  /// Builds `n_workers` clones of `prototype` (must stay alive through
+  /// construction only).
+  ServeWorkerPool(const nn::FunctionalNetwork& prototype, int n_workers,
+                  const WorkerConfig& config);
+
+  /// Serves `queue` on one thread per worker until it closes and drains;
+  /// blocks until every worker exits. `sink` must be thread-safe.
+  void run(FrameQueue& queue, const ResultSink& sink);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  [[nodiscard]] const ServeWorker& worker(std::size_t i) const {
+    return *workers_.at(i);
+  }
+
+ private:
+  std::vector<std::unique_ptr<ServeWorker>> workers_;
+};
+
+}  // namespace evedge::serve

@@ -1,5 +1,6 @@
 #include "sparse/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -82,6 +83,17 @@ void require_same_shape(const DenseTensor& a, const DenseTensor& b) {
 }
 
 }  // namespace
+
+void copy_sample(const DenseTensor& src, int n, DenseTensor& out) {
+  const TensorShape& s = src.shape();
+  if (n < 0 || n >= s.n) {
+    throw std::invalid_argument("copy_sample: lane out of range");
+  }
+  out.reset(TensorShape{1, s.c, s.h, s.w});
+  const std::size_t block = src.stride_n();
+  const float* from = src.raw() + static_cast<std::size_t>(n) * block;
+  std::copy(from, from + block, out.raw());
+}
 
 float max_abs_diff(const DenseTensor& a, const DenseTensor& b) {
   require_same_shape(a, b);

@@ -87,6 +87,10 @@ class DenseTensor {
   std::vector<float> data_;
 };
 
+/// Copies batch lane `n` of `src` into `out` as a [1, C, H, W] tensor
+/// (reusing `out`'s allocation when possible).
+void copy_sample(const DenseTensor& src, int n, DenseTensor& out);
+
 /// Largest absolute elementwise difference; shapes must match.
 [[nodiscard]] float max_abs_diff(const DenseTensor& a, const DenseTensor& b);
 

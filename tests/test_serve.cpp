@@ -1,0 +1,526 @@
+// Serving-runtime test suite: FrameQueue policies, collator triggers,
+// ingress determinism, the concurrent-vs-serial bitwise parity contract
+// (drop policy disabled), drop accounting, the FunctionalNetwork clone
+// contract under true thread concurrency (zoo-wide), planner drift
+// re-calibration, and the hardened EVEDGE_THREADS handling.
+//
+// This suite is also the ThreadSanitizer CI target: every lock-guarded
+// hand-off (queue, result sink, pool shutdown) is exercised under real
+// producer/consumer threading here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/batch_executor.hpp"
+#include "core/dsfa.hpp"
+#include "core/parallel.hpp"
+#include "events/density_profile.hpp"
+#include "events/event_synth.hpp"
+#include "nn/engine.hpp"
+#include "nn/zoo.hpp"
+#include "quant/accuracy.hpp"
+#include "serve/serving_runtime.hpp"
+#include "sparse/tensor.hpp"
+
+namespace ec = evedge::core;
+namespace ee = evedge::events;
+namespace en = evedge::nn;
+namespace eq = evedge::quant;
+namespace es = evedge::sparse;
+namespace ev = evedge::serve;
+
+namespace {
+
+/// Event stream matched to a network-input geometry (serving tests run
+/// the functional nets at test scale, so the sensor matches the input).
+ee::EventStream matched_stream(int h, int w, double rate_scale,
+                               ee::TimeUs duration, std::uint64_t seed) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{w, h};
+  cfg.seed = seed;
+  cfg.blob_count = 3;
+  ee::DensityProfile profile("test", 40.0 * rate_scale, {}, 10.0 * rate_scale,
+                             0.4);
+  return ee::PoissonEventSynthesizer(profile, cfg).generate(0, duration);
+}
+
+/// A ReadyFrame wrapping a synthetic sparse frame of roughly `fill`
+/// site density at the given geometry.
+ev::ReadyFrame synthetic_ready(int stream_id, std::int64_t seq, int h,
+                               int w, double fill, std::uint64_t seed) {
+  es::DenseTensor dense(es::TensorShape{1, 2, h, w});
+  dense.fill_random(seed);
+  const auto keep_every = fill > 0.0
+                              ? static_cast<std::size_t>(1.0 / fill)
+                              : dense.size();
+  std::size_t i = 0;
+  for (float& v : dense.data()) {
+    if (i++ % keep_every != 0) v = 0.0f;
+    v = v < 0.0f ? -v : v;  // event counts are non-negative
+  }
+  ev::ReadyFrame ready;
+  ready.stream_id = stream_id;
+  ready.seq = seq;
+  ready.frame = es::SparseFrame::from_dense(dense);
+  ready.enqueue_tp = std::chrono::steady_clock::now();
+  return ready;
+}
+
+ev::IngressConfig test_ingress() {
+  ev::IngressConfig config;
+  config.frame_rate_hz = 30.0;
+  config.dsfa.event_buffer_size = 6;
+  config.dsfa.merge_bucket_capacity = 3;
+  return config;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- EVEDGE_THREADS
+
+TEST(ParallelThreads, ParseRejectsGarbage) {
+  EXPECT_EQ(ec::parse_thread_override(nullptr), 0);
+  EXPECT_EQ(ec::parse_thread_override(""), 0);
+  EXPECT_EQ(ec::parse_thread_override("abc"), 0);
+  EXPECT_EQ(ec::parse_thread_override("4abc"), 0);
+  EXPECT_EQ(ec::parse_thread_override("0"), 0);
+  EXPECT_EQ(ec::parse_thread_override("-3"), 0);
+  EXPECT_EQ(ec::parse_thread_override("1e9"), 0);
+  EXPECT_EQ(ec::parse_thread_override("99999999999999999999"), 0);
+  EXPECT_EQ(ec::parse_thread_override("4.5"), 0);
+  EXPECT_EQ(ec::parse_thread_override(" 4"), 4);  // strtol skips blanks
+  EXPECT_EQ(ec::parse_thread_override("4"), 4);
+  EXPECT_EQ(ec::parse_thread_override("1024"), 1024);
+  EXPECT_EQ(ec::parse_thread_override("1025"), 0);  // above the cap
+}
+
+TEST(ParallelThreads, MalformedEnvFallsBackToHardware) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+  for (const char* bad : {"junk", "0", "-2", "2x", ""}) {
+    ASSERT_EQ(setenv("EVEDGE_THREADS", bad, 1), 0);
+    EXPECT_EQ(ec::parallel_thread_count(), fallback) << "value: " << bad;
+  }
+  ASSERT_EQ(setenv("EVEDGE_THREADS", "3", 1), 0);
+  EXPECT_EQ(ec::parallel_thread_count(), 3);
+  ASSERT_EQ(unsetenv("EVEDGE_THREADS"), 0);
+  EXPECT_EQ(ec::parallel_thread_count(), fallback);
+}
+
+TEST(ParallelThreads, ProgrammaticOverrideWinsOverEnv) {
+  ASSERT_EQ(setenv("EVEDGE_THREADS", "3", 1), 0);
+  const int previous = ec::set_parallel_threads(2);
+  EXPECT_EQ(ec::parallel_thread_count(), 2);
+  ec::set_parallel_threads(previous);
+  EXPECT_EQ(ec::parallel_thread_count(), 3);
+  ASSERT_EQ(unsetenv("EVEDGE_THREADS"), 0);
+}
+
+// ------------------------------------------------------ DSFA density signal
+
+TEST(DsfaDensity, RecentDensityTracksPushedFrames) {
+  ec::DsfaConfig config;
+  config.density_ema_alpha = 0.5;
+  config.event_buffer_size = 100;  // no dispatch interference
+  ec::DynamicSparseFrameAggregator dsfa(config);
+  EXPECT_EQ(dsfa.recent_density(), 0.0);
+  EXPECT_EQ(dsfa.density_drift(0.5), 0.0);  // no signal yet
+
+  const auto frame_of = [](double fill, std::uint64_t seed) {
+    return synthetic_ready(0, 0, 24, 32, fill, seed).frame;
+  };
+  const es::SparseFrame sparse = frame_of(0.02, 1);
+  dsfa.push(sparse);
+  EXPECT_DOUBLE_EQ(dsfa.recent_density(), sparse.density());
+
+  // A run of much denser frames pulls the EMA toward their density.
+  const es::SparseFrame dense_frame = frame_of(0.5, 2);
+  for (int i = 0; i < 8; ++i) dsfa.push(dense_frame);
+  EXPECT_GT(dsfa.recent_density(), 0.9 * dense_frame.density());
+  EXPECT_GT(dsfa.density_drift(sparse.density()), 2.0);
+}
+
+TEST(DsfaDensity, RejectsBadAlpha) {
+  ec::DsfaConfig config;
+  config.density_ema_alpha = 0.0;
+  EXPECT_THROW(ec::DynamicSparseFrameAggregator{config},
+               std::invalid_argument);
+  config.density_ema_alpha = 1.5;
+  EXPECT_THROW(ec::DynamicSparseFrameAggregator{config},
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- FrameQueue
+
+TEST(FrameQueue, FifoOrderAndDrainAfterClose) {
+  ev::FrameQueue queue(8, ev::OverflowPolicy::kBlock);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(
+        queue.push(synthetic_ready(0, i, 8, 8, 0.1, 7)).has_value());
+  }
+  queue.close();
+  for (int i = 0; i < 5; ++i) {
+    const auto frame = queue.pop();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->seq, i);
+  }
+  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+  EXPECT_EQ(queue.peak_depth(), 5u);
+}
+
+TEST(FrameQueue, DropOldestDisplacesAndCounts) {
+  ev::FrameQueue queue(2, ev::OverflowPolicy::kDropOldest);
+  EXPECT_FALSE(queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7)).has_value());
+  EXPECT_FALSE(queue.push(synthetic_ready(0, 1, 8, 8, 0.1, 7)).has_value());
+  const auto displaced = queue.push(synthetic_ready(0, 2, 8, 8, 0.1, 7));
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->seq, 0);  // oldest out
+  EXPECT_EQ(queue.dropped(), 1u);
+  const auto next = queue.pop();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->seq, 1);
+}
+
+TEST(FrameQueue, BlockPolicyExertsBackpressure) {
+  ev::FrameQueue queue(1, ev::OverflowPolicy::kBlock);
+  EXPECT_FALSE(queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7)).has_value());
+
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    (void)queue.push(synthetic_ready(0, 1, 8, 8, 0.1, 7));
+    second_pushed.store(true);
+  });
+  // The producer must be blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_pushed.load());
+
+  EXPECT_TRUE(queue.pop().has_value());  // frees the slot
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.dropped(), 0u);
+}
+
+TEST(FrameQueue, CloseReleasesBlockedProducer) {
+  ev::FrameQueue queue(1, ev::OverflowPolicy::kBlock);
+  EXPECT_FALSE(queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7)).has_value());
+  std::optional<ev::ReadyFrame> rejected;
+  std::thread producer([&] {
+    rejected = queue.push(synthetic_ready(0, 1, 8, 8, 0.1, 7));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  ASSERT_TRUE(rejected.has_value());  // returned unaccepted
+  EXPECT_EQ(rejected->seq, 1);
+}
+
+// ----------------------------------------------------------- BatchCollator
+
+TEST(BatchCollator, SizeTriggerFillsToMaxBatch) {
+  ev::FrameQueue queue(16, ev::OverflowPolicy::kBlock);
+  for (int i = 0; i < 7; ++i) {
+    (void)queue.push(synthetic_ready(i % 3, i, 8, 8, 0.1, 7));
+  }
+  ev::BatchCollator collator({.max_batch = 4, .max_wait_us = 1e6});
+  std::vector<ev::ReadyFrame> batch;
+  ASSERT_TRUE(collator.collect(queue, batch));
+  EXPECT_EQ(batch.size(), 4u);  // size-triggered, no deadline wait
+  queue.close();
+  ASSERT_TRUE(collator.collect(queue, batch));
+  EXPECT_EQ(batch.size(), 3u);  // drains the remainder after close
+  EXPECT_FALSE(collator.collect(queue, batch));
+}
+
+TEST(BatchCollator, DeadlineTriggerReturnsPartialBatch) {
+  ev::FrameQueue queue(16, ev::OverflowPolicy::kBlock);
+  (void)queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7));
+  ev::BatchCollator collator({.max_batch = 8, .max_wait_us = 5e3});
+  std::vector<ev::ReadyFrame> batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(collator.collect(queue, batch));
+  const double waited_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_GE(waited_us, 4e3);  // held for the deadline before giving up
+  queue.close();
+}
+
+// ----------------------------------------------------------- StreamIngress
+
+TEST(StreamIngress, OfflineCollectIsDeterministicAndMatchesLiveRun) {
+  const auto stream = matched_stream(32, 44, 1.0, 400'000, 11);
+  const ev::IngressConfig config = test_ingress();
+  const auto frames_a = ev::StreamIngress::collect_frames(stream, config);
+  const auto frames_b = ev::StreamIngress::collect_frames(stream, config);
+  ASSERT_FALSE(frames_a.empty());
+  ASSERT_EQ(frames_a.size(), frames_b.size());
+  for (std::size_t i = 0; i < frames_a.size(); ++i) {
+    EXPECT_EQ(frames_a[i].nnz(), frames_b[i].nnz());
+    EXPECT_EQ(frames_a[i].t_start, frames_b[i].t_start);
+  }
+
+  ev::FrameQueue queue(1024, ev::OverflowPolicy::kBlock);
+  ev::StreamIngress ingress(0, stream, config, queue);
+  ingress.run();
+  EXPECT_EQ(ingress.stats().enqueued, frames_a.size());
+  EXPECT_GT(ingress.stats().raw_frames, frames_a.size());  // DSFA merges
+  EXPECT_GT(ingress.stats().last_ingress_density, 0.0);
+  std::size_t drained = 0;
+  queue.close();
+  while (auto frame = queue.pop()) {
+    EXPECT_EQ(frame->seq, static_cast<std::int64_t>(drained));
+    EXPECT_EQ(frame->frame.nnz(), frames_a[drained].nnz());
+    EXPECT_GT(frame->ingress_density, 0.0);
+    ++drained;
+  }
+  EXPECT_EQ(drained, frames_a.size());
+}
+
+// ------------------------------------------- concurrent-vs-serial parity
+
+namespace {
+
+/// Runs the full parity contract on one network: concurrent serving
+/// (block policy, capture on) must produce bitwise-identical outputs to
+/// per-stream serial batch-1 execution, for every (stream, seq).
+void expect_serving_parity(en::NetworkId id, bool planner) {
+  const en::NetworkSpec spec =
+      en::build_network(id, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    streams.push_back(matched_stream(shape.h, shape.w, 1.0 + 0.5 * s,
+                                     300'000, 21 + s));
+  }
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 2;
+  config.capture_outputs = true;
+  config.worker.use_planner = planner;
+  config.worker.collator.max_batch = 4;
+  ev::ServingRuntime runtime(spec, 7, config);
+
+  const ev::ServeReport report = runtime.run(streams);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  ASSERT_EQ(report.streams.size(), streams.size());
+
+  std::vector<std::vector<es::SparseFrame>> frames;
+  for (const ee::EventStream& stream : streams) {
+    frames.push_back(ev::ServingRuntime::ingest(stream, config.ingress));
+  }
+  const auto serial = runtime.run_serial(frames, planner);
+
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    ASSERT_EQ(report.streams[s].completed, frames[s].size());
+    for (std::size_t i = 0; i < frames[s].size(); ++i) {
+      const es::DenseTensor* served =
+          runtime.output(static_cast<int>(s), static_cast<std::int64_t>(i));
+      ASSERT_NE(served, nullptr) << "stream " << s << " seq " << i;
+      EXPECT_EQ(es::max_abs_diff(*served, serial.outputs[s][i]), 0.0f)
+          << spec.name << " stream " << s << " seq " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 6u);  // the run must have actually served frames
+}
+
+}  // namespace
+
+TEST(ServingParity, SpikingNetworkPlannerOn) {
+  expect_serving_parity(en::NetworkId::kDotie, true);
+}
+
+TEST(ServingParity, SpikingNetworkPlannerOff) {
+  expect_serving_parity(en::NetworkId::kDotie, false);
+}
+
+TEST(ServingParity, HybridNetwork) {
+  expect_serving_parity(en::NetworkId::kSpikeFlowNet, true);
+}
+
+TEST(ServingParity, TwoInputNetwork) {
+  expect_serving_parity(en::NetworkId::kFusionFlowNet, true);
+}
+
+TEST(ServingRuntime, RejectsEmptyStreamUpFront) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  ev::ServingRuntime runtime(spec, 7, config);
+  // An empty stream must be rejected on the calling thread, not abort
+  // the process from an ingress thread.
+  std::vector<ee::EventStream> streams;
+  streams.emplace_back(ee::SensorGeometry{44, 32});
+  EXPECT_THROW((void)runtime.run(streams), std::invalid_argument);
+  EXPECT_THROW((void)runtime.run({}), std::invalid_argument);
+}
+
+TEST(ServingRuntime, DropPolicyAccountsEveryFrame) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    streams.push_back(matched_stream(shape.h, shape.w, 2.0, 400'000, 31 + s));
+  }
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 1;
+  config.queue_capacity = 2;  // tiny: ingress outruns the single worker
+  config.overflow = ev::OverflowPolicy::kDropOldest;
+  config.worker.use_planner = false;
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);
+
+  std::size_t enqueued = 0;
+  for (const ev::StreamServeStats& s : report.streams) {
+    EXPECT_EQ(s.enqueued, s.completed + s.dropped);
+    enqueued += s.enqueued;
+  }
+  EXPECT_EQ(report.frames_completed + report.frames_dropped, enqueued);
+  EXPECT_GT(report.frames_completed, 0u);
+  EXPECT_GT(report.queue_peak_depth, 0u);
+}
+
+// ----------------------------------------------------- clone concurrency
+
+TEST(CloneContract, CloneMatchesOriginalAndIsIndependent) {
+  const en::NetworkSpec spec = en::build_network(
+      en::NetworkId::kAdaptiveSpikeNet, en::ZooConfig::test_scale());
+  en::FunctionalNetwork original(spec, 7);
+  const auto samples = eq::make_validation_set(spec, 1, 99);
+  const auto& steps = samples[0].event_steps;
+
+  en::FunctionalNetwork copy = original.clone();
+  const es::DenseTensor expected = original.run(steps);
+  EXPECT_EQ(es::max_abs_diff(copy.run(steps), expected), 0.0f);
+
+  // Mutating the original's weights must not leak into the clone.
+  int node = -1;
+  for (const en::LayerNode& n : original.spec().graph.nodes()) {
+    if (en::is_weight_layer(n.spec.kind)) {
+      node = n.id;
+      break;
+    }
+  }
+  ASSERT_GE(node, 0);
+  for (float& w : original.weights(node).data()) w += 1.0f;
+  EXPECT_NE(es::max_abs_diff(original.run(steps), expected), 0.0f);
+  EXPECT_EQ(es::max_abs_diff(copy.run(steps), expected), 0.0f);
+}
+
+TEST(CloneContract, ConcurrentClonesBitMatchSerialAcrossZoo) {
+  // The one-Workspace-per-worker contract the serve pool relies on: two
+  // clones running the same net on separate threads produce bitwise the
+  // serial batch-1 outputs, for every zoo network.
+  for (const en::NetworkId id : en::table1_networks()) {
+    const en::NetworkSpec spec =
+        en::build_network(id, en::ZooConfig::test_scale());
+    en::FunctionalNetwork prototype(spec, 7);
+    const auto samples = eq::make_validation_set(spec, 2, 123);
+    const auto image_of = [&](std::size_t i) {
+      return samples[i].image.has_value() ? &samples[i].image.value()
+                                          : nullptr;
+    };
+
+    std::vector<es::DenseTensor> serial;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      serial.push_back(
+          prototype.run(samples[i].event_steps, image_of(i)));
+    }
+
+    en::FunctionalNetwork worker_a = prototype.clone();
+    en::FunctionalNetwork worker_b = prototype.clone();
+    es::DenseTensor out_a;
+    es::DenseTensor out_b;
+    std::thread ta(
+        [&] { out_a = worker_a.run(samples[0].event_steps, image_of(0)); });
+    std::thread tb(
+        [&] { out_b = worker_b.run(samples[1].event_steps, image_of(1)); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(es::max_abs_diff(out_a, serial[0]), 0.0f) << spec.name;
+    EXPECT_EQ(es::max_abs_diff(out_b, serial[1]), 0.0f) << spec.name;
+  }
+}
+
+// ------------------------------------------------- planner drift refresh
+
+TEST(DriftRecalibration, DensityShiftUpdatesWorkerRoutes) {
+  // Mid scale with paper-band thresholds: the event-input layer routes
+  // sparse at ~1% fill and must fall back to dense when the live density
+  // jumps far out of the calibration band.
+  const en::NetworkSpec spec = en::build_network(
+      en::NetworkId::kDotie, en::ZooConfig{64, 88, 16, 5, 2.0f});
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  en::FunctionalNetwork prototype(spec, 7);
+
+  ev::WorkerConfig config;
+  config.recalibration_band = 4.0;
+  ev::ServeWorker worker(0, prototype, config);
+  std::size_t sunk = 0;
+  const ev::ResultSink sink =
+      [&](const ev::ReadyFrame&, const es::DenseTensor&, int, double) {
+        ++sunk;
+      };
+
+  // Warmup at ~1% fill: lazy calibration, no recalibration.
+  std::vector<ev::ReadyFrame> sparse_batch;
+  for (int i = 0; i < 2; ++i) {
+    sparse_batch.push_back(
+        synthetic_ready(0, i, shape.h, shape.w, 0.01, 41 + i));
+  }
+  worker.process_batch(sparse_batch, sink);
+  ASSERT_NE(worker.plan(), nullptr);
+  EXPECT_EQ(worker.stats().calibrations, 1u);
+  EXPECT_EQ(worker.stats().recalibrations, 0u);
+  const double sparse_probe = worker.stats().plan_probe_density;
+  const int sparse_routes = worker.plan()->sparse_node_count();
+  EXPECT_GT(sparse_routes, 0);  // the event layer routes sparse at 1%
+
+  // Same regime again: still in band, no refresh.
+  worker.process_batch(sparse_batch, sink);
+  EXPECT_EQ(worker.stats().recalibrations, 0u);
+
+  // Scene shift to ~60% fill: far outside the 4x band -> recalibrate,
+  // and the dense regime must drop the sparse routes.
+  std::vector<ev::ReadyFrame> dense_batch;
+  for (int i = 0; i < 2; ++i) {
+    dense_batch.push_back(
+        synthetic_ready(0, 10 + i, shape.h, shape.w, 0.6, 51 + i));
+  }
+  worker.process_batch(dense_batch, sink);
+  EXPECT_EQ(worker.stats().recalibrations, 1u);
+  EXPECT_GT(worker.stats().plan_probe_density, 4.0 * sparse_probe);
+  EXPECT_LT(worker.plan()->sparse_node_count(), sparse_routes);
+  EXPECT_EQ(sunk, 6u);
+}
+
+// ------------------------------------------------------------ serve stats
+
+TEST(ServeStats, ReservoirPercentiles) {
+  ev::LatencyReservoir reservoir;
+  EXPECT_EQ(reservoir.percentile_us(0.95), 0.0);
+  for (int i = 1; i <= 100; ++i) reservoir.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(reservoir.percentile_us(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(reservoir.percentile_us(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(reservoir.percentile_us(1.0), 100.0);
+  EXPECT_NEAR(reservoir.percentile_us(0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(reservoir.mean_us(), 50.5);
+  EXPECT_DOUBLE_EQ(reservoir.max_us(), 100.0);
+}
