@@ -1,0 +1,224 @@
+// Fault-injection soak for the serving runtime: a seeded FaultPlan with
+// EVERY fault type enabled (worker exceptions, latency spikes, corrupt
+// frames, stream stalls, stream disconnects) is run against multi-stream
+// serving with the SLO deadline and the graceful-degradation ladder on.
+// The process exits non-zero unless
+//
+//   - ServingRuntime::run completes without throwing,
+//   - the per-stream frame-accounting invariant holds exactly
+//     (enqueued == completed + dropped + shed + failed, cross-checked
+//     against the queue's displacement counter: ServeReport::
+//     accounting_ok),
+//   - the same fault seed reproduces the same per-stream accounting and
+//     fired-fault totals on a second run.
+//
+// This is the robustness gate CI runs (build-and-test and the
+// ASan+UBSan job both execute it); it measures nothing — bench_serve
+// owns the fault-free throughput numbers. Results go to
+// BENCH_serve_soak.json for inspection.
+//
+// Usage: bench_serve_soak [output.json] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "events/density_profile.hpp"
+#include "events/event_synth.hpp"
+#include "nn/zoo.hpp"
+#include "serve/serving_runtime.hpp"
+
+namespace ee = evedge::events;
+namespace en = evedge::nn;
+namespace ev = evedge::serve;
+
+namespace {
+
+constexpr int kStreams = 4;
+constexpr int kWorkers = 2;
+constexpr ee::TimeUs kDuration = 300'000;
+
+[[nodiscard]] ee::EventStream make_stream(int h, int w, std::uint64_t seed) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{w, h};
+  cfg.seed = seed;
+  cfg.blob_count = 4;
+  cfg.background_weight = 0.3;
+  const ee::DensityProfile profile("soak", 3.2, {}, 1.2, 0.5);
+  return ee::PoissonEventSynthesizer(profile, cfg).generate(0, kDuration);
+}
+
+// The deterministic per-stream quantities: ingress dispatch and
+// quarantine counts depend only on the stream content and the fault
+// plan's (stream, seq) sites. completed/dropped/shed are NOT compared —
+// under the live degradation ladder the drop-oldest displacement is
+// timing-dependent by design (the invariant still ties them together).
+struct StreamAccount {
+  std::size_t enqueued = 0;
+  std::size_t failed = 0;
+
+  friend bool operator==(const StreamAccount&,
+                         const StreamAccount&) = default;
+};
+
+[[nodiscard]] std::vector<StreamAccount> accounts_of(
+    const ev::ServeReport& report) {
+  std::vector<StreamAccount> accounts;
+  accounts.reserve(report.streams.size());
+  for (const ev::StreamServeStats& s : report.streams) {
+    accounts.push_back(StreamAccount{s.enqueued, s.failed});
+  }
+  return accounts;
+}
+
+[[nodiscard]] bool write_json(const ev::ServeReport& report,
+                              std::uint64_t seed, bool reproduced,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"seed\": %llu,\n  \"streams\": %d,\n  \"workers\": %d,\n"
+      "  \"accounting_ok\": %s,\n  \"reproduced\": %s,\n"
+      "  \"frames_completed\": %zu,\n  \"frames_dropped\": %zu,\n"
+      "  \"frames_shed\": %zu,\n  \"frames_failed\": %zu,\n"
+      "  \"quarantined\": %zu,\n  \"max_degrade_level\": %d,\n"
+      "  \"faults\": {\"worker_exceptions\": %zu, \"latency_spikes\": %zu, "
+      "\"corrupt_frames\": %zu, \"stream_stalls\": %zu, "
+      "\"stream_disconnects\": %zu}\n}\n",
+      static_cast<unsigned long long>(seed), kStreams, kWorkers,
+      report.accounting_ok() ? "true" : "false",
+      reproduced ? "true" : "false", report.frames_completed,
+      report.frames_dropped, report.frames_shed, report.frames_failed,
+      report.quarantined.size(), report.max_degrade_level,
+      report.faults.worker_exceptions, report.faults.latency_spikes,
+      report.faults.corrupt_frames, report.faults.stream_stalls,
+      report.faults.stream_disconnects);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_serve_soak.json";
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20240207ull;
+
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+
+  std::vector<ee::EventStream> streams;
+  streams.reserve(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    streams.push_back(make_stream(shape.h, shape.w,
+                                  seed + static_cast<std::uint64_t>(s)));
+  }
+
+  ev::ServeConfig config;
+  config.n_workers = kWorkers;
+  config.kernel_threads = 1;
+  config.queue_capacity = 16;
+  config.overflow = ev::OverflowPolicy::kBlock;
+  config.worker.collator.max_batch = 4;
+  config.worker.max_retries = 3;
+  config.worker.retry_backoff_ms = 0.5;
+  // SLO + the full ladder, generous enough that well-behaved frames
+  // still complete (this gates correctness, not timing).
+  config.slo.deadline_ms = 5000.0;
+  config.slo.degrade = true;
+  config.slo.eval_interval_ms = 1.0;
+  config.slo.allow_int8 = true;
+  // Every fault type, scattered deterministically from the seed.
+  ev::FaultPlanOptions faults;
+  faults.streams = kStreams;
+  faults.workers = kWorkers;
+  faults.frames_per_stream_hint = 8;
+  faults.batches_per_worker_hint = 4;
+  faults.worker_exceptions = 3;
+  faults.latency_spikes = 2;
+  faults.corrupt_frames = 3;
+  faults.stalls = 2;
+  faults.disconnects = 1;
+  faults.spike_ms = 2.0;
+  faults.stall_ms = 2.0;
+  config.faults = ev::FaultPlan::seeded(seed, faults);
+
+  ev::ServingRuntime runtime(spec, 7, config);
+  std::printf("fault-injection soak: %d streams, %d workers, seed %llu, "
+              "%zu scheduled faults\n",
+              kStreams, kWorkers, static_cast<unsigned long long>(seed),
+              config.faults.specs.size());
+
+  bool ok = true;
+  ev::ServeReport first;
+  try {
+    first = runtime.run(streams);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SOAK FAILED: run threw: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s\n", first.describe().c_str());
+
+  if (!first.accounting_ok()) {
+    std::fprintf(stderr,
+                 "SOAK FAILED: frame accounting invariant violated "
+                 "(enqueued != completed + dropped + shed + failed)\n");
+    ok = false;
+  }
+  if (first.faults.total() == 0) {
+    std::fprintf(stderr,
+                 "SOAK FAILED: no scheduled fault fired — the plan's "
+                 "site hints miss the real dispatch space\n");
+    ok = false;
+  }
+  if (first.frames_completed == 0) {
+    std::fprintf(stderr, "SOAK FAILED: nothing completed\n");
+    ok = false;
+  }
+
+  // Same seed, same streams: the per-stream accounting must reproduce.
+  bool reproduced = true;
+  try {
+    const ev::ServeReport second = runtime.run(streams);
+    if (!second.accounting_ok()) {
+      std::fprintf(stderr,
+                   "SOAK FAILED: second run broke the accounting "
+                   "invariant\n");
+      ok = false;
+    }
+    reproduced = accounts_of(first) == accounts_of(second) &&
+                 first.faults.corrupt_frames ==
+                     second.faults.corrupt_frames &&
+                 first.faults.stream_stalls == second.faults.stream_stalls &&
+                 first.faults.stream_disconnects ==
+                     second.faults.stream_disconnects;
+    if (!reproduced) {
+      std::fprintf(stderr,
+                   "SOAK FAILED: same seed did not reproduce the same "
+                   "per-stream accounting / stream-site fault counts\n");
+      ok = false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SOAK FAILED: second run threw: %s\n", e.what());
+    return 1;
+  }
+
+  const bool wrote = write_json(first, seed, reproduced, out_path);
+  if (ok && wrote) {
+    std::printf("soak OK: %zu faults fired, accounting exact, "
+                "reproducible from seed %llu\n",
+                first.faults.total(),
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  return 1;
+}

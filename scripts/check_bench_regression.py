@@ -30,6 +30,10 @@ fail the gate (a silently dropped bench must not pass as "no
 regression"). Thread counts must match between baseline and fresh run —
 extra fast-path threads would mask real regressions.
 
+Malformed inputs (truncated/invalid JSON, a missing required key, a
+non-numeric metric) are rejected with a message naming the file, record
+index and key, and exit code 2 — never a raw traceback.
+
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.20]
 """
 
@@ -38,30 +42,78 @@ import json
 import sys
 
 
+class BenchFormatError(Exception):
+    """A benchmark JSON is malformed or missing a required key."""
+
+
+def _require(record, key, path, index):
+    """Fetches record[key], naming the file/record/key on failure."""
+    try:
+        return record[key]
+    except (KeyError, TypeError):
+        raise BenchFormatError(
+            f"{path}: results[{index}] is missing required key "
+            f"'{key}' (record: {json.dumps(record)[:200]})") from None
+
+
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise BenchFormatError(f"{path}: cannot read file: {e}") from None
+    except json.JSONDecodeError as e:
+        raise BenchFormatError(
+            f"{path}: malformed JSON at line {e.lineno} column {e.colno}: "
+            f"{e.msg}") from None
+    if not isinstance(data, dict):
+        raise BenchFormatError(
+            f"{path}: top level must be a JSON object, got "
+            f"{type(data).__name__}")
+    results = data.get("results")
+    if not isinstance(results, list):
+        raise BenchFormatError(
+            f"{path}: missing required key 'results' (or it is not a "
+            f"list) — not a benchmark output file?")
     out = {}
-    for r in data["results"]:
-        if "kernel" in r:
-            key = (r["kernel"], r["shape"], round(float(r["density"]), 6))
-            metrics = {"speedup": float(r["speedup"])}
-        elif "speedup_planner" in r:  # sparse engine schema
-            key = ("sparse_engine", r["network"],
-                   round(float(r["density"]), 6))
-            metrics = {"speedup_planner": float(r["speedup_planner"])}
-        elif "speedup_serve" in r:  # serving schema (keyed by streams)
-            key = ("serve", r["network"], float(int(r["streams"])))
-            metrics = {"speedup_serve": float(r["speedup_serve"])}
-        else:  # e2e schema
-            key = ("e2e", "batch=%d" % int(r["batch"]),
-                   round(float(r["density"]), 6))
-            metrics = {
-                "speedup_batched": float(r["speedup_batched"]),
-                "speedup_csr": float(r["speedup_csr"]),
-            }
+    for i, r in enumerate(results):
+        try:
+            if not isinstance(r, dict):
+                raise BenchFormatError(
+                    f"{path}: results[{i}] must be an object, got "
+                    f"{type(r).__name__}")
+            if "kernel" in r:
+                key = (r["kernel"], _require(r, "shape", path, i),
+                       round(float(_require(r, "density", path, i)), 6))
+                metrics = {"speedup": float(_require(r, "speedup", path, i))}
+            elif "speedup_planner" in r:  # sparse engine schema
+                key = ("sparse_engine", _require(r, "network", path, i),
+                       round(float(_require(r, "density", path, i)), 6))
+                metrics = {"speedup_planner": float(r["speedup_planner"])}
+            elif "speedup_serve" in r:  # serving schema (keyed by streams)
+                key = ("serve", _require(r, "network", path, i),
+                       float(int(_require(r, "streams", path, i))))
+                metrics = {"speedup_serve": float(r["speedup_serve"])}
+            else:  # e2e schema
+                key = ("e2e", "batch=%d" % int(_require(r, "batch", path, i)),
+                       round(float(_require(r, "density", path, i)), 6))
+                metrics = {
+                    "speedup_batched":
+                        float(_require(r, "speedup_batched", path, i)),
+                    "speedup_csr": float(_require(r, "speedup_csr", path, i)),
+                }
+        except (ValueError, TypeError) as e:
+            raise BenchFormatError(
+                f"{path}: results[{i}] has a non-numeric value where a "
+                f"number is required: {e}") from None
         out[key] = metrics
-    return out, int(data.get("threads", 0))
+    try:
+        threads = int(data.get("threads", 0))
+    except (ValueError, TypeError):
+        raise BenchFormatError(
+            f"{path}: top-level key 'threads' must be an integer, got "
+            f"{data.get('threads')!r}") from None
+    return out, threads
 
 
 def main():
@@ -72,8 +124,12 @@ def main():
                         help="maximum tolerated fractional speedup drop")
     args = parser.parse_args()
 
-    base, base_threads = load(args.baseline)
-    fresh, fresh_threads = load(args.fresh)
+    try:
+        base, base_threads = load(args.baseline)
+        fresh, fresh_threads = load(args.fresh)
+    except BenchFormatError as e:
+        print(f"bench gate input error: {e}", file=sys.stderr)
+        return 2
     if base_threads != fresh_threads:
         print(f"thread-count mismatch: baseline ran with {base_threads} "
               f"threads, fresh run with {fresh_threads} — regenerate one "

@@ -46,10 +46,35 @@ std::vector<SparseFrame> Event2SparseFrame::convert(
     return static_cast<std::size_t>(std::clamp(bin, 0, n_bins - 1));
   };
 
-  for (const Event& e : window) {
+  // Validation rides the counting pass (no extra sweep): raw windows
+  // from live drivers can carry malformed events, and the COO channels
+  // below adopt coordinates unchecked.
+  TimeUs prev_t = t_start;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const Event& e = window[i];
+    if (!geometry_.contains(e.x, e.y)) {
+      throw MalformedEventError(
+          MalformedEventError::Kind::kOutOfBounds, i,
+          "E2SF: event " + std::to_string(i) + " at (x=" +
+              std::to_string(e.x) + ", y=" + std::to_string(e.y) +
+              ") is outside the " + std::to_string(geometry_.width) + "x" +
+              std::to_string(geometry_.height) + " sensor geometry");
+    }
+    if (e.t < prev_t) {
+      throw MalformedEventError(
+          MalformedEventError::Kind::kNonMonotonicTimestamp, i,
+          "E2SF: event " + std::to_string(i) +
+              " timestamp runs backwards (" + std::to_string(e.t) +
+              " after " + std::to_string(prev_t) + ")");
+    }
+    prev_t = e.t;
     if (e.t < t_start || e.t >= t_end) {
-      throw std::invalid_argument(
-          "E2SF: event outside the frame interval (slice the stream first)");
+      throw MalformedEventError(
+          MalformedEventError::Kind::kOutsideInterval, i,
+          "E2SF: event " + std::to_string(i) + " at t=" +
+              std::to_string(e.t) + " is outside the frame interval [" +
+              std::to_string(t_start) + ", " + std::to_string(t_end) +
+              ") — slice the stream first");
     }
     ++(e.p == Polarity::kPositive ? pos_count : neg_count)[bin_of(e)];
   }

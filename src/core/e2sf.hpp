@@ -14,7 +14,10 @@
 // time interval, as in [7, 8]) and the dense-frame construction the paper
 // measures against live here too.
 
+#include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "events/event_stream.hpp"
@@ -25,6 +28,37 @@ namespace evedge::core {
 
 struct E2sfConfig {
   int n_bins = 5;  ///< event bins per (Tstart, Tend) frame interval
+};
+
+/// Typed rejection of a malformed event in a conversion window — an
+/// out-of-geometry coordinate, a timestamp running backwards, or an
+/// event outside the declared [t_start, t_end) interval. EventStream
+/// enforces these invariants at construction, but convert() also
+/// accepts raw spans (live drivers, replay files), so the converter
+/// validates rather than indexing out of range downstream. Carries
+/// which event offended so callers can attribute the fault.
+class MalformedEventError : public std::invalid_argument {
+ public:
+  enum class Kind {
+    kOutOfBounds,             ///< (x, y) outside the sensor geometry
+    kNonMonotonicTimestamp,   ///< t decreased relative to the previous event
+    kOutsideInterval,         ///< t outside [t_start, t_end)
+  };
+
+  MalformedEventError(Kind kind, std::size_t event_index,
+                      const std::string& what)
+      : std::invalid_argument(what), kind_(kind),
+        event_index_(event_index) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// Offset of the offending event within the convert() window.
+  [[nodiscard]] std::size_t event_index() const noexcept {
+    return event_index_;
+  }
+
+ private:
+  Kind kind_;
+  std::size_t event_index_;
 };
 
 /// Converts raw events to sparse frames per Eq. 1.

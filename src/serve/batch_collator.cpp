@@ -16,8 +16,11 @@ BatchCollator::BatchCollator(CollatorConfig config) : config_(config) {
 }
 
 bool BatchCollator::collect(FrameQueue& queue,
-                            std::vector<ReadyFrame>& out) {
+                            std::vector<ReadyFrame>& out,
+                            int max_batch_override) {
   out.clear();
+  const int max_batch =
+      max_batch_override > 0 ? max_batch_override : config_.max_batch;
   std::optional<ReadyFrame> first = queue.pop();
   if (!first.has_value()) return false;
   const auto deadline =
@@ -25,7 +28,7 @@ bool BatchCollator::collect(FrameQueue& queue,
       std::chrono::microseconds(
           static_cast<long long>(config_.max_wait_us));
   out.push_back(std::move(*first));
-  while (static_cast<int>(out.size()) < config_.max_batch) {
+  while (static_cast<int>(out.size()) < max_batch) {
     std::optional<ReadyFrame> next = queue.pop_until(deadline);
     if (!next.has_value()) break;  // deadline, or closed and drained
     out.push_back(std::move(*next));

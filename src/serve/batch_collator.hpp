@@ -27,8 +27,11 @@ class BatchCollator {
 
   /// Collates the next batch into `out` (cleared first). Blocks for the
   /// first frame; returns false when the queue is closed and drained
-  /// (worker shutdown), true otherwise with 1..max_batch frames.
-  [[nodiscard]] bool collect(FrameQueue& queue, std::vector<ReadyFrame>& out);
+  /// (worker shutdown), true otherwise with 1..max frames, where max is
+  /// `max_batch_override` when > 0 (the degradation ladder's widened
+  /// batches) and config().max_batch otherwise.
+  [[nodiscard]] bool collect(FrameQueue& queue, std::vector<ReadyFrame>& out,
+                             int max_batch_override = 0);
 
   [[nodiscard]] const CollatorConfig& config() const noexcept {
     return config_;

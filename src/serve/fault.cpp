@@ -1,0 +1,190 @@
+#include "serve/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <utility>
+
+namespace evedge::serve {
+
+namespace {
+
+[[nodiscard]] std::uint64_t site_key(int id, std::int64_t index) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(index));
+}
+
+}  // namespace
+
+const char* to_string(FaultType type) noexcept {
+  switch (type) {
+    case FaultType::kWorkerException: return "worker-exception";
+    case FaultType::kLatencySpike: return "latency-spike";
+    case FaultType::kCorruptFrame: return "corrupt-frame";
+    case FaultType::kStreamStall: return "stream-stall";
+    case FaultType::kStreamDisconnect: return "stream-disconnect";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::seeded(std::uint64_t seed,
+                            const FaultPlanOptions& options) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // mt19937_64 + explicit modular draws: identical sequences on every
+  // platform (std::uniform_int_distribution is not portable across
+  // standard libraries).
+  std::mt19937_64 rng(seed);
+  const auto draw = [&rng](std::int64_t bound) {
+    return bound > 0 ? static_cast<std::int64_t>(
+                           rng() % static_cast<std::uint64_t>(bound))
+                     : 0;
+  };
+  const std::int64_t seqs = std::max<std::int64_t>(
+      std::int64_t{1}, options.frames_per_stream_hint);
+  const std::int64_t batches = std::max<std::int64_t>(
+      std::int64_t{1}, options.batches_per_worker_hint);
+
+  for (int i = 0; i < options.corrupt_frames; ++i) {
+    FaultSpec spec;
+    spec.type = FaultType::kCorruptFrame;
+    spec.stream_id = static_cast<int>(draw(options.streams));
+    spec.seq = draw(seqs);
+    spec.corrupt = static_cast<CorruptKind>(rng() % 3);
+    plan.add(spec);
+  }
+  for (int i = 0; i < options.stalls; ++i) {
+    FaultSpec spec;
+    spec.type = FaultType::kStreamStall;
+    spec.stream_id = static_cast<int>(draw(options.streams));
+    spec.seq = draw(seqs);
+    spec.delay_ms = options.stall_ms;
+    plan.add(spec);
+  }
+  // Disconnects: one per stream at most, in the upper half of the seq
+  // space so the stream serves some frames before dying.
+  std::vector<int> stream_ids(static_cast<std::size_t>(
+      std::max(1, options.streams)));
+  for (std::size_t s = 0; s < stream_ids.size(); ++s) {
+    stream_ids[s] = static_cast<int>(s);
+  }
+  for (std::size_t s = stream_ids.size(); s > 1; --s) {  // Fisher-Yates
+    std::swap(stream_ids[s - 1],
+              stream_ids[static_cast<std::size_t>(draw(
+                  static_cast<std::int64_t>(s)))]);
+  }
+  const int disconnects = std::min(
+      options.disconnects, static_cast<int>(stream_ids.size()));
+  for (int i = 0; i < disconnects; ++i) {
+    FaultSpec spec;
+    spec.type = FaultType::kStreamDisconnect;
+    spec.stream_id = stream_ids[static_cast<std::size_t>(i)];
+    spec.seq = seqs / 2 + draw(std::max<std::int64_t>(1, seqs / 2));
+    plan.add(spec);
+  }
+  for (int i = 0; i < options.worker_exceptions; ++i) {
+    FaultSpec spec;
+    spec.type = FaultType::kWorkerException;
+    spec.worker_id = static_cast<int>(draw(options.workers));
+    spec.batch = draw(batches);
+    plan.add(spec);
+  }
+  for (int i = 0; i < options.latency_spikes; ++i) {
+    FaultSpec spec;
+    spec.type = FaultType::kLatencySpike;
+    spec.worker_id = static_cast<int>(draw(options.workers));
+    spec.batch = draw(batches);
+    spec.delay_ms = options.spike_ms;
+    plan.add(spec);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.specs) {
+    switch (spec.type) {
+      case FaultType::kCorruptFrame:
+      case FaultType::kStreamStall:
+      case FaultType::kStreamDisconnect:
+        stream_sites_[site_key(spec.stream_id, spec.seq)].push_back(spec);
+        break;
+      case FaultType::kWorkerException:
+      case FaultType::kLatencySpike:
+        worker_sites_[site_key(spec.worker_id, spec.batch)].push_back(spec);
+        break;
+    }
+  }
+}
+
+std::span<const FaultSpec> FaultInjector::at_stream(
+    int stream_id, std::int64_t seq) const {
+  const auto it = stream_sites_.find(site_key(stream_id, seq));
+  return it != stream_sites_.end() ? std::span<const FaultSpec>(it->second)
+                                   : std::span<const FaultSpec>{};
+}
+
+std::span<const FaultSpec> FaultInjector::at_worker(
+    int worker_id, std::int64_t batch) const {
+  const auto it = worker_sites_.find(site_key(worker_id, batch));
+  return it != worker_sites_.end() ? std::span<const FaultSpec>(it->second)
+                                   : std::span<const FaultSpec>{};
+}
+
+void FaultInjector::record(FaultType type) noexcept {
+  switch (type) {
+    case FaultType::kWorkerException:
+      worker_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultType::kLatencySpike:
+      latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultType::kCorruptFrame:
+      corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultType::kStreamStall:
+      stream_stalls_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultType::kStreamDisconnect:
+      stream_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+FaultInjectionCounts FaultInjector::counts() const noexcept {
+  FaultInjectionCounts c;
+  c.worker_exceptions = worker_exceptions_.load(std::memory_order_relaxed);
+  c.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  c.corrupt_frames = corrupt_frames_.load(std::memory_order_relaxed);
+  c.stream_stalls = stream_stalls_.load(std::memory_order_relaxed);
+  c.stream_disconnects =
+      stream_disconnects_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultInjector::corrupt(const FaultSpec& spec,
+                            sparse::SparseFrame& frame) {
+  // from_sorted_entries adopts entries unchecked — exactly how a buggy
+  // driver hands over garbage without tripping constructor validation.
+  const int h = frame.height();
+  const int w = frame.width();
+  switch (spec.corrupt) {
+    case CorruptKind::kOutOfBoundsCoordinate:
+      frame.positive() = sparse::CooChannel::from_sorted_entries(
+          h, w,
+          {sparse::CooEntry{static_cast<std::int32_t>(h) + 7,
+                            static_cast<std::int32_t>(w) + 3, 1.0f}});
+      break;
+    case CorruptKind::kBadTiming:
+      frame.t_end = frame.t_start - 1;
+      break;
+    case CorruptKind::kNonFiniteValue:
+      frame.negative() = sparse::CooChannel::from_sorted_entries(
+          h, w,
+          {sparse::CooEntry{0, 0,
+                            std::numeric_limits<float>::quiet_NaN()}});
+      break;
+  }
+}
+
+}  // namespace evedge::serve

@@ -1,0 +1,150 @@
+#pragma once
+
+// Deterministic fault injection for the serving runtime. A FaultPlan is
+// a list of (site, fault) pairs — sites are either per-stream dispatch
+// points (stream_id, seq) or per-worker batch points (worker_id, batch)
+// — plus the seed that generated it, so every run of the same plan
+// exercises the same recovery paths. The FaultInjector indexes the plan
+// immutably before any serving thread starts (thread-safe lookups with
+// no locking) and counts what actually fired in atomics.
+//
+// Fault taxonomy (what each one exercises):
+//   kWorkerException   worker supervision: restart on a fresh clone,
+//                      re-enqueue with retry budget + backoff
+//   kLatencySpike      SLO shedding / degradation ladder under stall
+//   kCorruptFrame      ingress validation + quarantine accounting
+//   kStreamStall       cross-stream isolation under a slow producer
+//   kStreamDisconnect  per-stream failure without killing the run
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/serve_stats.hpp"
+#include "sparse/sparse_frame.hpp"
+
+namespace evedge::serve {
+
+enum class FaultType : std::uint8_t {
+  kWorkerException,   ///< throw inside the worker's batch loop
+  kLatencySpike,      ///< sleep before inference (worker site)
+  kCorruptFrame,      ///< mangle the frame before ingress validation
+  kStreamStall,       ///< sleep inside the ingress dispatch (stream site)
+  kStreamDisconnect,  ///< stop the ingress mid-stream (stream site)
+};
+
+[[nodiscard]] const char* to_string(FaultType type) noexcept;
+
+/// How kCorruptFrame mangles the frame (each maps to one FrameFault the
+/// ingress validator must catch).
+enum class CorruptKind : std::uint8_t {
+  kOutOfBoundsCoordinate,
+  kBadTiming,
+  kNonFiniteValue,
+};
+
+/// One fault at one site. Stream-site faults (corrupt / stall /
+/// disconnect) key on (stream_id, seq); worker-site faults (exception /
+/// spike) key on (worker_id, batch) where `batch` is the worker's
+/// local attempt index (0, 1, ...). Unused site fields stay -1.
+struct FaultSpec {
+  FaultType type = FaultType::kWorkerException;
+  int stream_id = -1;
+  std::int64_t seq = -1;
+  int worker_id = -1;
+  std::int64_t batch = -1;
+  double delay_ms = 0.0;  ///< spike / stall duration
+  CorruptKind corrupt = CorruptKind::kOutOfBoundsCoordinate;
+};
+
+/// Knobs for FaultPlan::seeded — how many of each fault to scatter over
+/// how large a site space.
+struct FaultPlanOptions {
+  int streams = 1;
+  int workers = 1;
+  /// Upper bound (exclusive) for drawn per-stream seq sites; keep it at
+  /// or below the real dispatch count so every drawn fault can fire.
+  std::int64_t frames_per_stream_hint = 16;
+  /// Upper bound (exclusive) for drawn per-worker batch sites.
+  std::int64_t batches_per_worker_hint = 4;
+  int worker_exceptions = 0;
+  int latency_spikes = 0;
+  int corrupt_frames = 0;
+  int stalls = 0;
+  int disconnects = 0;
+  double spike_ms = 5.0;
+  double stall_ms = 5.0;
+};
+
+/// A reproducible fault schedule. Build explicitly via add() for
+/// pin-point tests, or draw one from a seed for soak runs.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  std::uint64_t seed = 0;
+
+  FaultPlan& add(FaultSpec spec) {
+    specs.push_back(spec);
+    return *this;
+  }
+  [[nodiscard]] bool empty() const noexcept { return specs.empty(); }
+
+  /// Deterministically scatters the requested fault counts over the
+  /// site space: same (seed, options) -> identical plan, bit for bit.
+  /// Disconnects target distinct streams (at most one each — a stream
+  /// cannot disconnect twice) at seq sites in the upper half of the
+  /// hint so some frames flow first.
+  [[nodiscard]] static FaultPlan seeded(std::uint64_t seed,
+                                        const FaultPlanOptions& options);
+};
+
+/// Thrown by injected worker exceptions (and by nothing else), so tests
+/// can tell an injected crash from a real defect escaping supervision.
+class FaultInjectionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable site index over a FaultPlan plus fired-fault counters. The
+/// index is built once on the coordinating thread; lookups from ingress
+/// and worker threads touch only const data, and record() is atomic —
+/// no locks anywhere (TSan-clean by construction).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Faults scheduled at stream site (stream_id, seq); empty span when
+  /// none.
+  [[nodiscard]] std::span<const FaultSpec> at_stream(
+      int stream_id, std::int64_t seq) const;
+
+  /// Faults scheduled at worker site (worker_id, batch).
+  [[nodiscard]] std::span<const FaultSpec> at_worker(
+      int worker_id, std::int64_t batch) const;
+
+  /// Counts a fired fault (called by the thread that fired it).
+  void record(FaultType type) noexcept;
+
+  /// Snapshot of the fired-fault counters.
+  [[nodiscard]] FaultInjectionCounts counts() const noexcept;
+
+  /// Applies `spec` (type kCorruptFrame) to the frame: fabricates the
+  /// requested malformation via the unchecked COO constructor, exactly
+  /// the damage a buggy sensor driver would deliver.
+  static void corrupt(const FaultSpec& spec, sparse::SparseFrame& frame);
+
+ private:
+  // Sites keyed by (id << 32 | index); built in the ctor, const after.
+  std::unordered_map<std::uint64_t, std::vector<FaultSpec>> stream_sites_;
+  std::unordered_map<std::uint64_t, std::vector<FaultSpec>> worker_sites_;
+  std::atomic<std::size_t> worker_exceptions_{0};
+  std::atomic<std::size_t> latency_spikes_{0};
+  std::atomic<std::size_t> corrupt_frames_{0};
+  std::atomic<std::size_t> stream_stalls_{0};
+  std::atomic<std::size_t> stream_disconnects_{0};
+};
+
+}  // namespace evedge::serve

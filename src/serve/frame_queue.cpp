@@ -14,18 +14,22 @@ FrameQueue::FrameQueue(std::size_t capacity, OverflowPolicy policy)
 
 std::optional<ReadyFrame> FrameQueue::push(ReadyFrame frame) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (policy_ == OverflowPolicy::kBlock) {
-    not_full_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || closed_; });
-    if (closed_) return frame;  // never accepted; caller owns it
-  }
+  // Wake when a slot frees, the queue closes, or the policy stops being
+  // kBlock (a mid-run switch to kDropOldest releases backpressure).
+  not_full_.wait(lock, [&] {
+    return policy_ != OverflowPolicy::kBlock ||
+           queue_.size() < capacity_ || closed_;
+  });
+  if (closed_) return frame;  // never accepted; caller owns it
   std::optional<ReadyFrame> displaced;
   if (queue_.size() >= capacity_) {  // kDropOldest
     displaced = std::move(queue_.front());
     queue_.pop_front();
     ++dropped_;
   }
-  frame.enqueue_tp = std::chrono::steady_clock::now();
+  if (frame.enqueue_tp == std::chrono::steady_clock::time_point{}) {
+    frame.enqueue_tp = std::chrono::steady_clock::now();
+  }
   queue_.push_back(std::move(frame));
   peak_depth_ = std::max(peak_depth_, queue_.size());
   depth_sum_ += queue_.size();
@@ -33,6 +37,19 @@ std::optional<ReadyFrame> FrameQueue::push(ReadyFrame frame) {
   lock.unlock();
   not_empty_.notify_one();
   return displaced;
+}
+
+void FrameQueue::requeue(ReadyFrame frame) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Deliberately no capacity or closed check: retry frames are the
+    // oldest in-flight work and the requeuing worker keeps consuming,
+    // so admission is always safe and loss-free.
+    queue_.push_front(std::move(frame));
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+    ++requeued_;
+  }
+  not_empty_.notify_one();
 }
 
 std::optional<ReadyFrame> FrameQueue::pop() {
@@ -71,6 +88,20 @@ void FrameQueue::close() {
   not_full_.notify_all();
 }
 
+OverflowPolicy FrameQueue::policy() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return policy_;
+}
+
+void FrameQueue::set_policy(OverflowPolicy policy) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    policy_ = policy;
+  }
+  // Producers blocked under kBlock re-evaluate against the new policy.
+  not_full_.notify_all();
+}
+
 std::size_t FrameQueue::depth() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
@@ -96,6 +127,11 @@ double FrameQueue::mean_depth() const {
 std::size_t FrameQueue::dropped() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return dropped_;
+}
+
+std::size_t FrameQueue::requeued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return requeued_;
 }
 
 }  // namespace evedge::serve

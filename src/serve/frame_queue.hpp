@@ -14,8 +14,15 @@
 //               latency-bounded configuration (the freshest data wins,
 //               mirroring DSFA's own inference-queue discard rule).
 //
-// close() wakes every blocked producer and consumer; consumers drain the
-// remaining frames and then observe end-of-stream.
+// The policy can be switched mid-run (set_policy — the degradation
+// ladder's rung 1); switching to kDropOldest wakes producers blocked
+// under kBlock. close() wakes every blocked producer and consumer;
+// consumers drain the remaining frames and then observe end-of-stream.
+// requeue() is the supervision path: a worker returning the unprocessed
+// frames of a failed batch pushes them to the FRONT (they are the
+// oldest in-flight work), bypassing both the capacity bound and the
+// closed flag — the requeuing worker itself is still draining, so the
+// frames cannot strand.
 
 #include <chrono>
 #include <condition_variable>
@@ -36,7 +43,10 @@ struct ReadyFrame {
   sparse::SparseFrame frame;
   /// DSFA's recent-density EMA at dispatch time (the drift signal).
   double ingress_density = 0.0;
+  /// First queue admission; preserved across requeues so SLO age and
+  /// reported latency span the frame's whole time in the system.
   std::chrono::steady_clock::time_point enqueue_tp{};
+  int attempts = 0;  ///< failed inference attempts so far (retry budget)
 };
 
 enum class OverflowPolicy : std::uint8_t { kBlock, kDropOldest };
@@ -45,12 +55,18 @@ class FrameQueue {
  public:
   FrameQueue(std::size_t capacity, OverflowPolicy policy);
 
-  /// Enqueues one frame (stamps enqueue_tp). Under kBlock, blocks while
-  /// the queue is full (returns std::nullopt once pushed, or the frame
-  /// itself if the queue closed while waiting — the caller owns frames
-  /// the queue never accepted). Under kDropOldest, never blocks and
-  /// returns the displaced oldest frame when the queue was full.
+  /// Enqueues one frame (stamps enqueue_tp unless already set). Under
+  /// kBlock, blocks while the queue is full. Returns std::nullopt once
+  /// pushed; the frame itself if the queue closed first (the caller
+  /// owns frames the queue never accepted — compare (stream_id, seq) to
+  /// tell a rejection from a kDropOldest displacement); or the
+  /// displaced oldest frame when a full queue ran kDropOldest.
   [[nodiscard]] std::optional<ReadyFrame> push(ReadyFrame frame);
+
+  /// Returns a failed batch's frame to the FRONT of the queue for
+  /// retry. Never blocks, never displaces, ignores the capacity bound
+  /// and the closed flag (see the class comment for why that is safe).
+  void requeue(ReadyFrame frame);
 
   /// Blocks until a frame is available or the queue is closed and
   /// drained (std::nullopt = end of stream).
@@ -66,7 +82,11 @@ class FrameQueue {
   void close();
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] OverflowPolicy policy() const;
+  /// Switches the overflow policy mid-run; kBlock -> kDropOldest wakes
+  /// every producer blocked on a full queue (their frames are admitted
+  /// under the new policy).
+  void set_policy(OverflowPolicy policy);
   [[nodiscard]] std::size_t depth() const;
   [[nodiscard]] bool closed() const;
 
@@ -75,19 +95,22 @@ class FrameQueue {
   [[nodiscard]] double mean_depth() const;
   /// Total frames displaced by kDropOldest.
   [[nodiscard]] std::size_t dropped() const;
+  /// Total frames returned for retry via requeue().
+  [[nodiscard]] std::size_t requeued() const;
 
  private:
   const std::size_t capacity_;
-  const OverflowPolicy policy_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<ReadyFrame> queue_;
+  OverflowPolicy policy_;  ///< guarded by mutex_ (set_policy)
   bool closed_ = false;
   std::size_t peak_depth_ = 0;
   std::size_t depth_samples_ = 0;
   std::size_t depth_sum_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t requeued_ = 0;
 };
 
 }  // namespace evedge::serve

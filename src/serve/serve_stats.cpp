@@ -6,6 +6,19 @@
 
 namespace evedge::serve {
 
+const char* to_string(FrameFault fault) noexcept {
+  switch (fault) {
+    case FrameFault::kNone: return "none";
+    case FrameFault::kGeometryMismatch: return "geometry-mismatch";
+    case FrameFault::kOutOfBoundsCoordinate: return "out-of-bounds-coordinate";
+    case FrameFault::kNonFiniteValue: return "non-finite-value";
+    case FrameFault::kBadTiming: return "bad-timing";
+    case FrameFault::kDeadlineExceeded: return "deadline-exceeded";
+    case FrameFault::kRetriesExhausted: return "retries-exhausted";
+  }
+  return "unknown";
+}
+
 void LatencyReservoir::merge(const LatencyReservoir& other) {
   samples_us_.insert(samples_us_.end(), other.samples_us_.begin(),
                      other.samples_us_.end());
@@ -63,21 +76,42 @@ std::string ServeReport::describe() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "serve: %zu frames in %.1f ms (%.1f frames/s), "
-                "%zu dropped, %zu batches (mean %.2f), queue peak %zu\n",
+                "%zu dropped, %zu shed, %zu failed, %zu batches "
+                "(mean %.2f), queue peak %zu, accounting %s\n",
                 frames_completed, wall_ms, frames_per_second(),
-                frames_dropped, total_batches(), mean_batch(),
-                queue_peak_depth);
+                frames_dropped, frames_shed, frames_failed, total_batches(),
+                mean_batch(), queue_peak_depth,
+                accounting_ok() ? "ok" : "BROKEN");
   out += line;
   std::snprintf(line, sizeof(line),
                 "latency pooled: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
                 percentile_us(0.50) / 1e3, percentile_us(0.95) / 1e3,
                 percentile_us(0.99) / 1e3);
   out += line;
+  if (faults.total() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "faults injected: %zu worker-exc, %zu spikes, "
+                  "%zu corrupt, %zu stalls, %zu disconnects\n",
+                  faults.worker_exceptions, faults.latency_spikes,
+                  faults.corrupt_frames, faults.stream_stalls,
+                  faults.stream_disconnects);
+    out += line;
+  }
+  if (!degradation.empty() || max_degrade_level > 0) {
+    std::snprintf(line, sizeof(line),
+                  "degradation: %zu transitions, max level %d, "
+                  "ms/level [%.1f %.1f %.1f %.1f]\n",
+                  degradation.size(), max_degrade_level,
+                  ms_at_degrade_level[0], ms_at_degrade_level[1],
+                  ms_at_degrade_level[2], ms_at_degrade_level[3]);
+    out += line;
+  }
   for (const StreamServeStats& s : streams) {
     std::snprintf(line, sizeof(line),
-                  "  stream %d: %zu enq, %zu done, %zu drop, "
-                  "p95 %.2f ms, density %.4f\n",
-                  s.stream_id, s.enqueued, s.completed, s.dropped,
+                  "  stream %d: %zu enq, %zu done, %zu drop, %zu shed, "
+                  "%zu failed%s, p95 %.2f ms, density %.4f\n",
+                  s.stream_id, s.enqueued, s.completed, s.dropped, s.shed,
+                  s.failed, s.ingress_failed ? " [ingress failed]" : "",
                   s.latency.percentile_us(0.95) / 1e3,
                   s.mean_frame_density);
     out += line;
@@ -85,9 +119,11 @@ std::string ServeReport::describe() const {
   for (const WorkerServeStats& w : workers) {
     std::snprintf(line, sizeof(line),
                   "  worker %d: %zu batches, %zu samples (mean %.2f), "
-                  "busy %.1f ms, %zu recal, %d sparse routes\n",
+                  "busy %.1f ms, %zu recal, %d sparse routes, "
+                  "%zu failures, %zu restarts, %zu retried, %zu int8\n",
                   w.worker_id, w.batches, w.samples, w.mean_batch(),
-                  w.busy_ms, w.recalibrations, w.plan_sparse_nodes);
+                  w.busy_ms, w.recalibrations, w.plan_sparse_nodes,
+                  w.failures, w.restarts, w.frames_retried, w.int8_batches);
     out += line;
   }
   return out;

@@ -3,15 +3,83 @@
 // Serving telemetry: per-stream latency/throughput/drop accounting and
 // the aggregate report the ServingRuntime hands back after a run. The
 // quantities mirror what a production inference server exports — tail
-// latency percentiles per stream, aggregate frames/s, queue depth and
-// drop counters — so the bench harness and tests read one structure.
+// latency percentiles per stream, aggregate frames/s, queue depth, drop
+// and failure counters, degradation transitions — so the bench harness
+// and tests read one structure.
+//
+// Frame accounting is a hard contract: for every stream,
+//
+//   enqueued == completed + dropped + shed + failed
+//
+// where `enqueued` counts every merged frame the ingress dispatched,
+// `dropped` the frames displaced by the drop-oldest policy, `shed` the
+// frames discarded because their SLO deadline had already passed before
+// inference, and `failed` the frames quarantined (corrupt at ingress or
+// worker retry budget exhausted). ServeReport::accounting_ok() verifies
+// it, and the fault-injection soak (bench_serve_soak, test_serve) gates
+// on it.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace evedge::serve {
+
+/// Why a frame left the pipeline without producing a result. The first
+/// group is detected by ingress validation (frame_fault_of), the second
+/// by the serving back half.
+enum class FrameFault : std::uint8_t {
+  kNone = 0,
+  kGeometryMismatch,       ///< frame extents differ from the stream sensor
+  kOutOfBoundsCoordinate,  ///< COO entry outside [0,H) x [0,W)
+  kNonFiniteValue,         ///< NaN/Inf stored value
+  kBadTiming,              ///< t_end < t_start (non-monotonic bin clock)
+  kDeadlineExceeded,       ///< SLO-stale: shed before inference
+  kRetriesExhausted,       ///< worker retry budget spent
+};
+
+[[nodiscard]] const char* to_string(FrameFault fault) noexcept;
+
+/// Shed faults count in the `shed` bucket; every other non-kNone fault
+/// counts in `failed` (quarantine).
+[[nodiscard]] constexpr bool is_shed_fault(FrameFault fault) noexcept {
+  return fault == FrameFault::kDeadlineExceeded;
+}
+
+/// One quarantined frame: it was dispatched (counted in `enqueued`) but
+/// never produced a result, and the reason is recorded instead of
+/// killing the run.
+struct QuarantinedFrame {
+  int stream_id = -1;
+  std::int64_t seq = -1;
+  FrameFault fault = FrameFault::kNone;
+  int attempts = 0;  ///< inference attempts consumed before quarantine
+};
+
+/// One step of the graceful-degradation ladder (see degrade.hpp).
+struct DegradationTransition {
+  double t_ms = 0.0;  ///< since run start
+  int from = 0;
+  int to = 0;
+  std::size_t queue_depth = 0;  ///< depth sample that drove the step
+};
+
+/// Injected-fault counters (fault.hpp); all zero when no FaultPlan is
+/// installed.
+struct FaultInjectionCounts {
+  std::size_t worker_exceptions = 0;
+  std::size_t latency_spikes = 0;
+  std::size_t corrupt_frames = 0;
+  std::size_t stream_stalls = 0;
+  std::size_t stream_disconnects = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return worker_exceptions + latency_spikes + corrupt_frames +
+           stream_stalls + stream_disconnects;
+  }
+};
 
 /// Latency sample reservoir (microseconds). Percentiles are computed on
 /// demand over a sorted copy; serving runs are bounded (thousands of
@@ -38,22 +106,37 @@ class LatencyReservoir {
 struct StreamServeStats {
   int stream_id = -1;
   std::size_t raw_frames = 0;   ///< E2SF bins pushed into DSFA
-  std::size_t enqueued = 0;     ///< merged frames offered to the queue
+  std::size_t enqueued = 0;     ///< merged frames dispatched by ingress
   std::size_t dropped = 0;      ///< frames displaced by drop-oldest
+  std::size_t shed = 0;         ///< SLO-stale frames shed before inference
+  std::size_t failed = 0;       ///< quarantined (corrupt / retries spent)
   std::size_t completed = 0;    ///< frames through inference
+  bool ingress_failed = false;  ///< the ingress thread died mid-stream
+  std::string failure_reason;   ///< first ingress failure (empty otherwise)
   double mean_frame_density = 0.0;  ///< mean merged-frame spatial density
   double last_ingress_density = 0.0;  ///< DSFA recent_density() at stream end
   LatencyReservoir latency;     ///< enqueue -> inference completion
+
+  /// The per-stream frame-accounting invariant.
+  [[nodiscard]] bool accounting_ok() const noexcept {
+    return enqueued == completed + dropped + shed + failed;
+  }
 };
 
 /// Per-worker serving statistics.
 struct WorkerServeStats {
   int worker_id = -1;
-  std::size_t batches = 0;
+  std::size_t batches = 0;         ///< batches completed
+  std::size_t batch_attempts = 0;  ///< batches started (incl. failed ones)
   std::size_t samples = 0;
   double busy_ms = 0.0;          ///< wall time inside run_batched
   std::size_t calibrations = 0;  ///< planner warmup calibrations (0 or 1)
   std::size_t recalibrations = 0;  ///< density-drift plan refreshes
+  std::size_t failures = 0;        ///< batches aborted by an exception
+  std::size_t restarts = 0;        ///< fresh-clone restarts after a failure
+  std::size_t frames_retried = 0;  ///< frames re-enqueued after a failure
+  std::size_t frames_shed = 0;     ///< SLO-stale frames this worker shed
+  std::size_t int8_batches = 0;    ///< batches served at the int8 rung
   int plan_sparse_nodes = 0;     ///< sparse-routed nodes of the live plan
   double plan_probe_density = 0.0;  ///< live plan's calibration density
 
@@ -69,10 +152,33 @@ struct ServeReport {
   double wall_ms = 0.0;          ///< ingress start -> last worker exit
   std::size_t frames_completed = 0;
   std::size_t frames_dropped = 0;
+  std::size_t frames_shed = 0;
+  std::size_t frames_failed = 0;
   std::size_t queue_peak_depth = 0;
   double queue_mean_depth = 0.0;
   std::vector<StreamServeStats> streams;
   std::vector<WorkerServeStats> workers;
+  /// Every quarantined frame, in discovery order (ingress first, then
+  /// worker-side, interleaved by completion time).
+  std::vector<QuarantinedFrame> quarantined;
+  /// Degradation-ladder activity (empty when SLO degradation is off).
+  std::vector<DegradationTransition> degradation;
+  std::array<double, 4> ms_at_degrade_level{};  ///< wall ms per level 0-3
+  int max_degrade_level = 0;
+  FaultInjectionCounts faults;
+  /// Set during report assembly: false if any stream's residual went
+  /// negative or the per-stream drop residuals disagree with the
+  /// queue-level displacement counter (an accounting bug, not a fault).
+  bool accounting_valid = true;
+
+  /// The frame-accounting contract, over every stream.
+  [[nodiscard]] bool accounting_ok() const noexcept {
+    if (!accounting_valid) return false;
+    for (const StreamServeStats& s : streams) {
+      if (!s.accounting_ok()) return false;
+    }
+    return true;
+  }
 
   /// Aggregate throughput in completed frames per second.
   [[nodiscard]] double frames_per_second() const noexcept {

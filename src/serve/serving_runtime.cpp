@@ -1,6 +1,8 @@
 #include "serve/serving_runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -66,16 +68,20 @@ ServeReport ServingRuntime::run(
   captured_.clear();
 
   FrameQueue queue(config_.queue_capacity, config_.overflow);
+  const bool inject = !config_.faults.empty();
+  FaultInjector injector(config_.faults);
   std::vector<StreamIngress> ingresses;
   ingresses.reserve(streams.size());
   for (std::size_t i = 0; i < streams.size(); ++i) {
     ingresses.emplace_back(static_cast<int>(i), streams[i],
                            config_.ingress, queue);
+    if (inject) ingresses.back().attach_faults(&injector);
   }
 
   // Completion-side accounting, shared by every worker thread.
   std::mutex sink_mutex;
   std::vector<StreamServeStats> completion(streams.size());
+  std::vector<QuarantinedFrame> worker_quarantine;
   const bool capture = config_.capture_outputs;
   const ResultSink sink = [&](const ReadyFrame& frame,
                               const DenseTensor& batch_output, int lane,
@@ -95,28 +101,78 @@ ServeReport ServingRuntime::run(
           std::move(output);
     }
   };
+  const FailureSink failure = [&](const QuarantinedFrame& q) {
+    const std::lock_guard<std::mutex> lock(sink_mutex);
+    StreamServeStats& s =
+        completion[static_cast<std::size_t>(q.stream_id)];
+    if (is_shed_fault(q.fault)) {
+      ++s.shed;
+    } else {
+      ++s.failed;
+    }
+    worker_quarantine.push_back(q);
+  };
 
   ServeWorkerPool pool(prototype_, config_.n_workers, config_.worker);
   const ScopedKernelThreads kernel_guard(config_.kernel_threads);
 
+  ServeHooks hooks;
+  hooks.result = sink;
+  hooks.failure = failure;
+  hooks.faults = inject ? &injector : nullptr;
+  hooks.slo = config_.slo;
+  DegradationState degrade_state;
+  std::optional<DegradationController> controller;
+  if (config_.slo.degrade) {
+    controller.emplace(config_.slo, queue, degrade_state);
+    hooks.degrade = &degrade_state;
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
-  // An exception on any serving thread must not std::terminate the
-  // process: the first one is captured, the queue is closed so every
-  // other thread drains out, and it is rethrown here after all joins.
-  std::exception_ptr ingress_error;
-  std::mutex ingress_error_mutex;
+  const auto since_start_ms = [&wall_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - wall_start)
+        .count();
+  };
+
+  // Overload monitor: samples queue fill on its own thread and walks
+  // the degradation ladder (hysteresis in the controller).
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  std::thread monitor;
+  if (controller.has_value()) {
+    monitor = std::thread([&] {
+      const auto interval = std::chrono::duration<double, std::milli>(
+          std::max(0.1, config_.slo.eval_interval_ms));
+      std::unique_lock<std::mutex> lock(monitor_mutex);
+      while (!monitor_stop) {
+        if (monitor_cv.wait_for(lock, interval,
+                                [&] { return monitor_stop; })) {
+          break;
+        }
+        lock.unlock();
+        controller->sample(since_start_ms());
+        lock.lock();
+      }
+    });
+  }
+
+  // Ingress threads: a thrown exception fails ONLY that stream — the
+  // ingress is marked failed, its already-enqueued frames still serve,
+  // and every other stream runs to completion.
   std::vector<std::thread> ingress_threads;
   ingress_threads.reserve(ingresses.size());
   for (StreamIngress& ingress : ingresses) {
-    ingress_threads.emplace_back(
-        [&ingress, &ingress_error, &ingress_error_mutex] {
-          try {
-            ingress.run();
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(ingress_error_mutex);
-            if (!ingress_error) ingress_error = std::current_exception();
-          }
-        });
+    ingress_threads.emplace_back([&ingress] {
+      try {
+        ingress.run();
+      } catch (const std::exception& e) {
+        ingress.mark_failed(e.what());
+      } catch (...) {
+        ingress.mark_failed("unknown ingress failure");
+      }
+    });
   }
   // Close the queue once every producer finished; the workers drain the
   // remainder and exit. (A dead worker pool closes the queue itself,
@@ -125,16 +181,30 @@ ServeReport ServingRuntime::run(
     for (std::thread& t : ingress_threads) t.join();
     queue.close();
   });
+  // Supervision absorbs batch failures inside the workers; anything
+  // escaping the pool is unrecoverable and is rethrown after all joins.
   std::exception_ptr pool_error;
   try {
-    pool.run(queue, sink);
+    pool.run(queue, hooks);
   } catch (...) {
     pool_error = std::current_exception();
   }
   closer.join();
+  if (monitor.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(monitor_mutex);
+      monitor_stop = true;
+    }
+    monitor_cv.notify_all();
+    monitor.join();
+  }
   if (pool_error) std::rethrow_exception(pool_error);
-  if (ingress_error) std::rethrow_exception(ingress_error);
   const auto wall_end = std::chrono::steady_clock::now();
+  if (controller.has_value()) {
+    controller->finish(std::chrono::duration<double, std::milli>(
+                           wall_end - wall_start)
+                           .count());
+  }
 
   // --- Assemble the report.
   report_.wall_ms =
@@ -143,22 +213,53 @@ ServeReport ServingRuntime::run(
   report_.queue_peak_depth = queue.peak_depth();
   report_.queue_mean_depth = queue.mean_depth();
   report_.streams.reserve(ingresses.size());
+  std::size_t residual_drops = 0;
   for (std::size_t i = 0; i < ingresses.size(); ++i) {
     StreamServeStats s = ingresses[i].stats();
     const StreamServeStats& done = completion[i];
     s.completed = done.completed;
+    s.shed = done.shed;
+    s.failed += done.failed;  // ingress quarantine + worker quarantine
     s.latency = done.latency;
-    // Per-stream drops reconcile exactly once the queue drained: every
-    // enqueued frame was either served or displaced by drop-oldest.
-    s.dropped = s.enqueued - done.completed;
+    // Per-stream drops reconcile as the residual once the queue drained:
+    // every enqueued frame was served, shed, quarantined, or displaced
+    // by drop-oldest. A negative residual is an accounting bug (frames
+    // appearing from nowhere) and is flagged, never wrapped.
+    const std::size_t accounted = s.completed + s.shed + s.failed;
+    if (s.enqueued >= accounted) {
+      s.dropped = s.enqueued - accounted;
+    } else {
+      s.dropped = 0;
+      report_.accounting_valid = false;
+    }
+    residual_drops += s.dropped;
     report_.frames_completed += s.completed;
     report_.frames_dropped += s.dropped;
+    report_.frames_shed += s.shed;
+    report_.frames_failed += s.failed;
+    for (const QuarantinedFrame& q : ingresses[i].quarantined()) {
+      report_.quarantined.push_back(q);
+    }
     report_.streams.push_back(std::move(s));
   }
+  // Cross-check the residual against the queue's own displacement
+  // counter: they must agree exactly, or the invariant is vacuous.
+  if (residual_drops != queue.dropped()) {
+    report_.accounting_valid = false;
+  }
+  report_.quarantined.insert(report_.quarantined.end(),
+                             worker_quarantine.begin(),
+                             worker_quarantine.end());
   report_.workers.reserve(pool.size());
   for (std::size_t i = 0; i < pool.size(); ++i) {
     report_.workers.push_back(pool.worker(i).stats());
   }
+  if (controller.has_value()) {
+    report_.degradation = controller->transitions();
+    report_.ms_at_degrade_level = controller->ms_at_level();
+    report_.max_degrade_level = controller->max_level_reached();
+  }
+  report_.faults = injector.counts();
   return report_;
 }
 

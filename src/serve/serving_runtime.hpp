@@ -16,7 +16,19 @@
 // execution of the same frames (run_serial) — cross-stream batches give
 // each lane private LIF state and per-sample arithmetic, and the planner
 // routes are bitwise-neutral. Batch composition, worker count and thread
-// interleaving affect only latency, never values.
+// interleaving affect only latency, never values. Under fault injection
+// the contract narrows to the unaffected frames: a corrupt / stalled /
+// crashed (stream, seq) is quarantined, retried, or dropped, but every
+// frame that does complete is still bitwise identical to run_serial.
+//
+// Fault tolerance (this layer's contract): run() does not throw for
+// worker-batch failures (supervised restart + retry + quarantine),
+// ingress-thread failures (only that stream is marked failed; the rest
+// run to completion), malformed frames (ingress validation quarantines
+// them), or SLO-stale frames (shed). Per stream the report satisfies
+//   enqueued == completed + dropped + shed + failed
+// and ServeReport::accounting_ok() checks it — the hard invariant the
+// fault-injection soak gates on.
 
 #include <cstdint>
 #include <optional>
@@ -26,6 +38,8 @@
 
 #include "events/event_stream.hpp"
 #include "nn/engine.hpp"
+#include "serve/degrade.hpp"
+#include "serve/fault.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/stream_ingress.hpp"
 #include "serve/worker_pool.hpp"
@@ -38,6 +52,12 @@ struct ServeConfig {
   std::size_t queue_capacity = 32;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   int n_workers = 2;
+  /// Per-frame deadline + graceful-degradation ladder (degrade.hpp).
+  /// Defaults: no deadline, ladder off — serving behaves exactly like
+  /// the fault-free PR 5 runtime.
+  SloConfig slo{};
+  /// Deterministic fault schedule (fault.hpp); empty = no injection.
+  FaultPlan faults{};
   /// Kernel-level threads per worker, installed process-wide for the
   /// duration of run() via core::set_parallel_threads (0 = leave the
   /// ambient setting). Default 1: under concurrent serving the thread

@@ -1,6 +1,7 @@
 #include "serve/stream_ingress.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -42,7 +43,31 @@ void ingest(const events::EventStream& stream, const IngressConfig& config,
   (void)drain();
 }
 
+[[nodiscard]] FrameFault channel_fault(const sparse::CooChannel& channel,
+                                       int height, int width) noexcept {
+  for (const sparse::CooEntry& e : channel.entries()) {
+    if (e.row < 0 || e.row >= height || e.col < 0 || e.col >= width) {
+      return FrameFault::kOutOfBoundsCoordinate;
+    }
+    if (!std::isfinite(e.value)) return FrameFault::kNonFiniteValue;
+  }
+  return FrameFault::kNone;
+}
+
 }  // namespace
+
+FrameFault frame_fault_of(const sparse::SparseFrame& frame, int height,
+                          int width) noexcept {
+  if (frame.height() != height || frame.width() != width) {
+    return FrameFault::kGeometryMismatch;
+  }
+  if (frame.t_end < frame.t_start) return FrameFault::kBadTiming;
+  if (const FrameFault f = channel_fault(frame.positive(), height, width);
+      f != FrameFault::kNone) {
+    return f;
+  }
+  return channel_fault(frame.negative(), height, width);
+}
 
 StreamIngress::StreamIngress(int stream_id,
                              const events::EventStream& stream,
@@ -54,9 +79,18 @@ StreamIngress::StreamIngress(int stream_id,
   stats_.stream_id = stream_id;
 }
 
+void StreamIngress::mark_failed(std::string reason) {
+  stats_.ingress_failed = true;
+  if (stats_.failure_reason.empty()) {
+    stats_.failure_reason = std::move(reason);
+  }
+}
+
 void StreamIngress::run() {
   core::DynamicSparseFrameAggregator dsfa(config_.dsfa);
   const auto wall_start = std::chrono::steady_clock::now();
+  const int height = stream_.geometry().height;
+  const int width = stream_.geometry().width;
   double density_sum = 0.0;
   std::int64_t seq = 0;
 
@@ -72,21 +106,61 @@ void StreamIngress::run() {
                                   config_.pace_speedup));
              std::this_thread::sleep_until(arrival);
            }
+           // Injected stream-site faults at this exact (stream, seq).
+           if (faults_ != nullptr) {
+             for (const FaultSpec& spec :
+                  faults_->at_stream(stream_id_, seq)) {
+               switch (spec.type) {
+                 case FaultType::kStreamStall:
+                   faults_->record(FaultType::kStreamStall);
+                   std::this_thread::sleep_for(
+                       std::chrono::duration<double, std::milli>(
+                           spec.delay_ms));
+                   break;
+                 case FaultType::kStreamDisconnect:
+                   faults_->record(FaultType::kStreamDisconnect);
+                   mark_failed("injected stream disconnect");
+                   return false;  // stop ingesting; stream dies here
+                 case FaultType::kCorruptFrame:
+                   faults_->record(FaultType::kCorruptFrame);
+                   FaultInjector::corrupt(spec, frame);
+                   break;
+                 default:
+                   break;  // worker-site faults never land here
+               }
+             }
+           }
            density_sum += frame.density();
+           // Admission gate: quarantine malformed frames here, where
+           // the defect can still be attributed to its (stream, seq).
+           if (config_.validate_frames) {
+             const FrameFault fault = frame_fault_of(frame, height, width);
+             if (fault != FrameFault::kNone) {
+               quarantined_.push_back(
+                   QuarantinedFrame{stream_id_, seq, fault, 0});
+               ++stats_.enqueued;
+               ++stats_.failed;
+               ++seq;  // the seq is consumed: downstream keys stay aligned
+               return true;
+             }
+           }
            ReadyFrame ready;
            ready.stream_id = stream_id_;
            ready.seq = seq;
            ready.frame = std::move(frame);
            ready.ingress_density = dsfa.recent_density();
            std::optional<ReadyFrame> rejected = queue_.push(std::move(ready));
-           if (rejected.has_value() &&
-               queue_.policy() == OverflowPolicy::kBlock) {
-             // Closed while blocked: the queue never accepted it.
+           if (rejected.has_value() && rejected->stream_id == stream_id_ &&
+               rejected->seq == seq) {
+             // Identity match = the queue closed and never accepted this
+             // frame (a kDropOldest displacement would return an OLDER
+             // frame — possibly ours, but with a smaller seq).
              return false;
            }
            // Under kDropOldest a displaced frame may belong to any
-           // stream; the runtime reconciles per-stream drops as
-           // enqueued - completed once the queue drains.
+           // stream; the runtime reconciles per-stream drops as the
+           // enqueued - completed - shed - failed residual once the
+           // queue drains.
            ++seq;
            ++stats_.enqueued;
            return true;

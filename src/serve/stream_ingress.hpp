@@ -9,17 +9,30 @@
 // dispatch index, and DSFA's live density signal (the planner-drift
 // input downstream).
 //
+// Robustness: each dispatched frame is validated before admission
+// (frame_fault_of) — malformed frames (out-of-range COO coordinates,
+// non-finite values, inverted bin timing, geometry mismatch) are
+// quarantined with a typed FrameFault instead of flowing downstream to
+// index kernels out of range. A quarantined frame still consumes its
+// seq and counts as enqueued + failed, so (stream, seq) keys and the
+// accounting invariant survive. An attached FaultInjector can corrupt,
+// stall, or disconnect the stream at exact (stream, seq) sites; a
+// disconnect (injected or a real ingress-thread exception, which the
+// runtime routes to mark_failed) fails only this stream.
+//
 // Ingest order is deterministic per stream — collect_frames() runs the
-// identical E2SF+DSFA pipeline without a queue, and the serial baseline
-// and parity tests consume its output, so (stream_id, seq) keys line up
-// exactly between concurrent serving and per-stream serial execution.
+// identical E2SF+DSFA pipeline without a queue, faults, or validation,
+// so (stream_id, seq) keys line up exactly between concurrent serving
+// and per-stream serial execution.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dsfa.hpp"
 #include "core/e2sf.hpp"
 #include "events/event_stream.hpp"
+#include "serve/fault.hpp"
 #include "serve/frame_queue.hpp"
 #include "serve/serve_stats.hpp"
 
@@ -33,7 +46,18 @@ struct IngressConfig {
   /// saturation benchmarking); otherwise the stream is replayed at
   /// `pace_speedup` x real time (1 = sensor-faithful arrival times).
   double pace_speedup = 0.0;
+  /// Validate every dispatched frame (frame_fault_of) and quarantine
+  /// malformed ones. Costs one pass over the frame's entries.
+  bool validate_frames = true;
 };
+
+/// Structural validity check for one frame against the stream geometry:
+/// kNone when well-formed, otherwise the first defect found (geometry
+/// mismatch, out-of-range coordinate, non-finite value, t_end <
+/// t_start). This is the ingress admission gate; downstream kernels
+/// index COO coordinates unchecked and rely on it.
+[[nodiscard]] FrameFault frame_fault_of(const sparse::SparseFrame& frame,
+                                        int height, int width) noexcept;
 
 class StreamIngress {
  public:
@@ -42,20 +66,38 @@ class StreamIngress {
   StreamIngress(int stream_id, const events::EventStream& stream,
                 IngressConfig config, FrameQueue& queue);
 
+  /// Attaches a fault injector (nullptr detaches); must be called
+  /// before run(). The injector must outlive the ingress.
+  void attach_faults(FaultInjector* injector) noexcept {
+    faults_ = injector;
+  }
+
   /// Runs the stream to completion (call on a dedicated thread): E2SF ->
   /// DSFA -> queue. Returns when every dispatched frame was enqueued (or
-  /// the queue closed early). Single-shot.
+  /// the queue closed early, or an injected disconnect fired).
+  /// Single-shot.
   void run();
+
+  /// Marks this stream failed (stats().ingress_failed + reason). The
+  /// runtime calls this when the ingress thread dies on an exception;
+  /// injected disconnects call it from inside run().
+  void mark_failed(std::string reason);
 
   /// Per-stream accounting, valid after run() returns.
   [[nodiscard]] const StreamServeStats& stats() const noexcept {
     return stats_;
   }
+  /// Frames this ingress quarantined (validation failures), in seq
+  /// order; valid after run() returns.
+  [[nodiscard]] const std::vector<QuarantinedFrame>& quarantined()
+      const noexcept {
+    return quarantined_;
+  }
 
   /// The merged frames this stream dispatches, in dispatch order — the
-  /// same E2SF+DSFA pipeline run offline (no queue, no threads). Serial
-  /// baselines and parity checks consume this; element i corresponds to
-  /// ReadyFrame seq i.
+  /// same E2SF+DSFA pipeline run offline (no queue, no threads, no
+  /// faults). Serial baselines and parity checks consume this; element
+  /// i corresponds to ReadyFrame seq i.
   [[nodiscard]] static std::vector<sparse::SparseFrame> collect_frames(
       const events::EventStream& stream, const IngressConfig& config);
 
@@ -64,7 +106,9 @@ class StreamIngress {
   const events::EventStream& stream_;
   IngressConfig config_;
   FrameQueue& queue_;
+  FaultInjector* faults_ = nullptr;
   StreamServeStats stats_;
+  std::vector<QuarantinedFrame> quarantined_;
 };
 
 }  // namespace evedge::serve

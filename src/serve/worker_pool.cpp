@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -34,10 +36,15 @@ namespace {
 ServeWorker::ServeWorker(int worker_id,
                          const nn::FunctionalNetwork& prototype,
                          WorkerConfig config)
-    : config_(std::move(config)), net_(prototype.clone()) {
+    : config_(std::move(config)),
+      prototype_(&prototype),
+      net_(prototype.clone()) {
   if (config_.recalibration_band < 1.0) {
     throw std::invalid_argument(
         "ServeWorker: recalibration band must be >= 1");
+  }
+  if (config_.max_retries < 0) {
+    throw std::invalid_argument("ServeWorker: max_retries must be >= 0");
   }
   const nn::NetworkSpec& spec = net_.spec();
   const auto input_ids = spec.graph.input_ids();
@@ -60,11 +67,41 @@ void ServeWorker::calibrate_from(const std::vector<DenseTensor>& steps) {
   stats_.plan_probe_density = plan_.probe_input_density;
 }
 
+void ServeWorker::apply_precision_rung(bool want_int8) {
+  if (want_int8 && !quant_installed_) {
+    if (!quant_ready_) {
+      // Lazy rung-3 calibration: the current batch's sample 0 is the
+      // calibration set — the same "the live traffic is the probe"
+      // convention the planner warmup uses.
+      quant::ValidationSample sample;
+      sample.event_steps = probe_of_sample0(steps_);
+      if (needs_image_) sample.image = image_;
+      const nn::ExecutionPlan* prev = net_.set_execution_plan(nullptr);
+      const quant::CalibrationTable table = quant::calibrate_activations(
+          net_, std::span<const quant::ValidationSample>(&sample, 1));
+      quant_plan_ = quant::build_quant_plan(
+          net_, quant::uniform_assignment(net_.spec(),
+                                          quant::Precision::kInt8),
+          table);
+      net_.set_execution_plan(prev);
+      quant_ready_ = true;
+    }
+    net_.set_quant_plan(&quant_plan_);
+    quant_installed_ = true;
+  } else if (!want_int8 && quant_installed_) {
+    // Stepping off rung 3 restores FP32 exactly — the cached plan stays
+    // for the next escalation.
+    net_.set_quant_plan(nullptr);
+    quant_installed_ = false;
+  }
+}
+
 void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
                                 const ResultSink& sink) {
   if (batch.empty()) {
     throw std::invalid_argument("ServeWorker: empty batch");
   }
+  emit_progress_ = 0;
   const nn::NetworkSpec& spec = net_.spec();
   frames_.clear();
   frames_.reserve(batch.size());
@@ -88,6 +125,7 @@ void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
       }
     }
   }
+  apply_precision_rung(want_int8_);
 
   const auto t0 = std::chrono::steady_clock::now();
   const DenseTensor out =
@@ -97,12 +135,14 @@ void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   ++stats_.batches;
   stats_.samples += batch.size();
+  if (quant_installed_) ++stats_.int8_batches;
 
   for (std::size_t n = 0; n < batch.size(); ++n) {
     const double latency_us =
         std::chrono::duration<double, std::micro>(
             t1 - batch[n].enqueue_tp).count();
     sink(batch[n], out, static_cast<int>(n), latency_us);
+    ++emit_progress_;
   }
 }
 
@@ -111,6 +151,125 @@ void ServeWorker::serve(FrameQueue& queue, const ResultSink& sink) {
   std::vector<ReadyFrame> batch;
   while (collator.collect(queue, batch)) {
     process_batch(batch, sink);
+  }
+}
+
+std::size_t ServeWorker::shed_stale(std::vector<ReadyFrame>& batch,
+                                    const ServeHooks& hooks) {
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t keep = 0;
+  std::size_t shed = 0;
+  for (std::size_t n = 0; n < batch.size(); ++n) {
+    const double age_ms = std::chrono::duration<double, std::milli>(
+                              now - batch[n].enqueue_tp)
+                              .count();
+    if (age_ms > hooks.slo.deadline_ms) {
+      ++shed;
+      if (hooks.failure) {
+        hooks.failure(QuarantinedFrame{batch[n].stream_id, batch[n].seq,
+                                       FrameFault::kDeadlineExceeded,
+                                       batch[n].attempts});
+      }
+    } else {
+      if (keep != n) batch[keep] = std::move(batch[n]);
+      ++keep;
+    }
+  }
+  batch.resize(keep);
+  return shed;
+}
+
+void ServeWorker::restart() {
+  net_ = prototype_->clone();
+  plan_ready_ = false;
+  quant_ready_ = false;
+  quant_installed_ = false;
+  ++stats_.restarts;
+}
+
+void ServeWorker::recover_from_failure(FrameQueue& queue,
+                                       std::vector<ReadyFrame>& batch,
+                                       const ServeHooks& hooks) {
+  // Frames before emit_progress_ already reached the result sink; only
+  // the unemitted tail is in flight. Requeue in reverse index order so
+  // push_front reconstructs the original order at the queue head.
+  for (std::size_t n = batch.size(); n > emit_progress_; --n) {
+    ReadyFrame& frame = batch[n - 1];
+    ++frame.attempts;
+    if (frame.attempts > config_.max_retries) {
+      if (hooks.failure) {
+        hooks.failure(QuarantinedFrame{frame.stream_id, frame.seq,
+                                       FrameFault::kRetriesExhausted,
+                                       frame.attempts});
+      }
+    } else {
+      ++stats_.frames_retried;
+      queue.requeue(std::move(frame));
+    }
+  }
+  restart();
+  ++consecutive_failures_;
+  if (config_.retry_backoff_ms > 0.0) {
+    const double doublings =
+        std::min(static_cast<double>(consecutive_failures_ - 1), 20.0);
+    const double backoff_ms =
+        std::min(config_.retry_backoff_ms * std::pow(2.0, doublings),
+                 config_.retry_backoff_max_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+}
+
+void ServeWorker::serve(FrameQueue& queue, const ServeHooks& hooks) {
+  BatchCollator collator(config_.collator);
+  std::vector<ReadyFrame> batch;
+  for (;;) {
+    const int level =
+        hooks.degrade != nullptr ? hooks.degrade->level() : kDegradeNormal;
+    // Rung 2: widen the collation window to amortize more kernel work
+    // per launch while the queue is backed up.
+    const int widen =
+        level >= kDegradeWideBatch
+            ? config_.collator.max_batch *
+                  std::max(1, hooks.slo.batch_widen_factor)
+            : 0;
+    if (!collator.collect(queue, batch, widen)) break;
+
+    if (hooks.slo.deadline_ms > 0.0) {
+      stats_.frames_shed += shed_stale(batch, hooks);
+      if (batch.empty()) continue;  // entire batch was stale
+    }
+
+    const std::int64_t this_batch = batch_seq_++;
+    ++stats_.batch_attempts;
+    want_int8_ = level >= kDegradeInt8 && hooks.slo.allow_int8;
+    emit_progress_ = 0;
+    try {
+      if (hooks.faults != nullptr) {
+        for (const FaultSpec& spec :
+             hooks.faults->at_worker(stats_.worker_id, this_batch)) {
+          if (spec.type == FaultType::kLatencySpike) {
+            hooks.faults->record(FaultType::kLatencySpike);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(spec.delay_ms));
+          } else if (spec.type == FaultType::kWorkerException) {
+            hooks.faults->record(FaultType::kWorkerException);
+            throw FaultInjectionError(
+                "injected worker exception (worker " +
+                std::to_string(stats_.worker_id) + ", batch " +
+                std::to_string(this_batch) + ")");
+          }
+        }
+      }
+      process_batch(batch, hooks.result);
+      consecutive_failures_ = 0;
+    } catch (...) {
+      // Anything a batch throws — injected or real — is survivable:
+      // the frames go back (or to quarantine), the network is rebuilt
+      // from the prototype, and the loop continues.
+      ++stats_.failures;
+      recover_from_failure(queue, batch, hooks);
+    }
   }
 }
 
@@ -124,20 +283,23 @@ ServeWorkerPool::ServeWorkerPool(const nn::FunctionalNetwork& prototype,
   }
 }
 
-void ServeWorkerPool::run(FrameQueue& queue, const ResultSink& sink) {
+template <typename ServeFn>
+void ServeWorkerPool::run_threads(FrameQueue& queue,
+                                  const ServeFn& serve_one) {
   // A throw on a worker thread must not std::terminate the process:
   // the first exception wins, the queue is closed so every sibling
   // drains out, and the error is rethrown on the joining thread
-  // (mirroring core::parallel_for's contract).
+  // (mirroring core::parallel_for's contract). Under supervision only
+  // unrecoverable errors reach this layer.
   std::exception_ptr error;
   std::mutex error_mutex;
   std::vector<std::thread> threads;
   threads.reserve(workers_.size());
   for (const std::unique_ptr<ServeWorker>& worker : workers_) {
-    threads.emplace_back([&queue, &sink, &error, &error_mutex,
+    threads.emplace_back([&queue, &serve_one, &error, &error_mutex,
                           w = worker.get()] {
       try {
-        w->serve(queue, sink);
+        serve_one(*w);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -149,6 +311,18 @@ void ServeWorkerPool::run(FrameQueue& queue, const ResultSink& sink) {
   }
   for (std::thread& t : threads) t.join();
   if (error) std::rethrow_exception(error);
+}
+
+void ServeWorkerPool::run(FrameQueue& queue, const ResultSink& sink) {
+  run_threads(queue, [&queue, &sink](ServeWorker& w) {
+    w.serve(queue, sink);
+  });
+}
+
+void ServeWorkerPool::run(FrameQueue& queue, const ServeHooks& hooks) {
+  run_threads(queue, [&queue, &hooks](ServeWorker& w) {
+    w.serve(queue, hooks);
+  });
 }
 
 }  // namespace evedge::serve

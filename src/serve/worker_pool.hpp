@@ -14,6 +14,17 @@
 //    band; when the scene density drifts outside it, the worker re-runs
 //    calibration on the current batch and swaps routes in place.
 //
+// Supervision (the hooks-based serve path): a batch that throws does
+// not kill the worker thread. The worker restarts itself on a fresh
+// prototype clone, returns the batch's unemitted frames to the queue
+// front with an incremented attempt count, and sleeps an exponential
+// backoff before collating again. Frames whose attempt count exceeds
+// the retry budget are quarantined through the failure hook instead of
+// retried, so a deterministic poison frame cannot live-lock the pool.
+// The degradation ladder (degrade.hpp) is read per batch: rung 2 widens
+// collated batches, rung 3 serves on a lazily calibrated uniform-int8
+// QuantPlan; stepping back down restores FP32 bitwise.
+//
 // Per-stream state isolation: the engine resets LIF state at the start
 // of every inference and gives each batch lane its own membrane tensor,
 // so coalescing frames from different streams into one run_batched call
@@ -27,7 +38,10 @@
 
 #include "nn/engine.hpp"
 #include "nn/exec_plan.hpp"
+#include "quant/calibrate.hpp"
 #include "serve/batch_collator.hpp"
+#include "serve/degrade.hpp"
+#include "serve/fault.hpp"
 #include "serve/frame_queue.hpp"
 #include "serve/serve_stats.hpp"
 
@@ -43,6 +57,14 @@ struct WorkerConfig {
   bool recalibrate_on_drift = true;
   double recalibration_band = 4.0;
   CollatorConfig collator{};
+  /// Supervision retry budget: a frame whose batch failed is retried at
+  /// most this many times before quarantine (attempts > max_retries).
+  int max_retries = 2;
+  /// Exponential backoff after a batch failure: base * 2^(consecutive
+  /// failures - 1), capped at the max. Keeps a crash-looping worker
+  /// from burning its core while siblings drain the queue.
+  double retry_backoff_ms = 1.0;
+  double retry_backoff_max_ms = 50.0;
 };
 
 /// Called once per completed frame, potentially from several worker
@@ -55,22 +77,51 @@ using ResultSink = std::function<void(
     const ReadyFrame& frame, const sparse::DenseTensor& batch_output,
     int lane, double latency_us)>;
 
+/// Called once per frame that leaves the pipeline without a result
+/// (shed past its deadline, or retries exhausted). Thread-safe like
+/// ResultSink.
+using FailureSink = std::function<void(const QuarantinedFrame&)>;
+
+/// Everything the supervised serve loop plugs into. `result` is
+/// required; the rest are optional (nullptr / empty = feature off).
+struct ServeHooks {
+  ResultSink result;
+  FailureSink failure;
+  FaultInjector* faults = nullptr;       ///< worker-site fault injection
+  DegradationState* degrade = nullptr;   ///< live ladder level (read-only)
+  SloConfig slo{};                       ///< deadline + ladder knobs
+};
+
 /// One serving worker. Public so tests (and single-threaded embeddings)
 /// can drive process_batch directly; the pool wraps it in a thread.
 class ServeWorker {
  public:
-  /// Clones the prototype network (weights shared by value, state by
-  /// nobody). The prototype is only read during construction.
+  /// Clones the prototype network. The prototype must outlive the
+  /// worker's serving (restarts clone it again after a batch failure).
   ServeWorker(int worker_id, const nn::FunctionalNetwork& prototype,
               WorkerConfig config);
 
   /// Runs one collated batch through run_batched and emits every frame's
-  /// result to `sink`. Handles planner warmup/drift calibration.
+  /// result to `sink`. Handles planner warmup/drift calibration. Throws
+  /// propagate to the caller (the supervised serve loop catches them).
   void process_batch(const std::vector<ReadyFrame>& batch,
                      const ResultSink& sink);
 
-  /// Collation + inference loop until `queue` closes and drains.
+  /// Unsupervised collation + inference loop until `queue` closes and
+  /// drains; the first exception aborts the worker (legacy path, kept
+  /// for direct embedding and tests).
   void serve(FrameQueue& queue, const ResultSink& sink);
+
+  /// Supervised loop: SLO shedding, fault injection, per-batch failure
+  /// recovery with restart/retry/backoff, degradation-ladder response.
+  /// Never throws for a batch failure; only unrecoverable errors (e.g.
+  /// failing to clone a fresh network) escape.
+  void serve(FrameQueue& queue, const ServeHooks& hooks);
+
+  /// Replaces the network with a fresh prototype clone and forgets the
+  /// execution plan and the installed quant plan (both are rebuilt
+  /// lazily). The supervision path after a batch failure.
+  void restart();
 
   [[nodiscard]] const WorkerServeStats& stats() const noexcept {
     return stats_;
@@ -79,11 +130,26 @@ class ServeWorker {
   [[nodiscard]] const nn::ExecutionPlan* plan() const noexcept {
     return plan_ready_ ? &plan_ : nullptr;
   }
+  /// Whether the int8 degradation rung is currently installed.
+  [[nodiscard]] bool int8_active() const noexcept {
+    return quant_installed_;
+  }
 
  private:
   void calibrate_from(const std::vector<sparse::DenseTensor>& steps);
+  void apply_precision_rung(bool want_int8);
+  /// Shed frames older than the deadline out of `batch` via the failure
+  /// hook; returns the number shed.
+  std::size_t shed_stale(std::vector<ReadyFrame>& batch,
+                         const ServeHooks& hooks);
+  /// Failure path: requeue or quarantine every unemitted frame of the
+  /// failed batch, restart, back off.
+  void recover_from_failure(FrameQueue& queue,
+                            std::vector<ReadyFrame>& batch,
+                            const ServeHooks& hooks);
 
   WorkerConfig config_;
+  const nn::FunctionalNetwork* prototype_;
   nn::FunctionalNetwork net_;
   sparse::TensorShape event_shape_;  ///< per-timestep event input (n = 1)
   bool needs_image_ = false;
@@ -92,19 +158,34 @@ class ServeWorker {
   std::vector<sparse::SparseFrame> frames_;  ///< reused adaptation view
   bool plan_ready_ = false;
   nn::ExecutionPlan plan_;
+  // Int8 rung state: the plan is calibrated lazily from the first batch
+  // served at rung 3 and cached; install/uninstall tracks the ladder.
+  bool quant_ready_ = false;
+  bool quant_installed_ = false;
+  bool want_int8_ = false;  ///< ladder rung requested for the next batch
+  quant::QuantPlan quant_plan_;
+  std::int64_t batch_seq_ = 0;     ///< local batch attempt index
+  std::size_t emit_progress_ = 0;  ///< lanes emitted of the current batch
+  int consecutive_failures_ = 0;
   WorkerServeStats stats_;
 };
 
 class ServeWorkerPool {
  public:
-  /// Builds `n_workers` clones of `prototype` (must stay alive through
-  /// construction only).
+  /// Builds `n_workers` clones of `prototype`. The prototype must stay
+  /// alive through run() — supervised workers re-clone it on restart.
   ServeWorkerPool(const nn::FunctionalNetwork& prototype, int n_workers,
                   const WorkerConfig& config);
 
   /// Serves `queue` on one thread per worker until it closes and drains;
   /// blocks until every worker exits. `sink` must be thread-safe.
+  /// Unsupervised: a worker exception closes the queue and rethrows.
   void run(FrameQueue& queue, const ResultSink& sink);
+
+  /// Supervised serving (ServeWorker::serve(queue, hooks) per thread).
+  /// Batch failures are absorbed by the workers; only unrecoverable
+  /// errors close the queue and rethrow after all joins.
+  void run(FrameQueue& queue, const ServeHooks& hooks);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
   [[nodiscard]] const ServeWorker& worker(std::size_t i) const {
@@ -112,6 +193,9 @@ class ServeWorkerPool {
   }
 
  private:
+  template <typename ServeFn>
+  void run_threads(FrameQueue& queue, const ServeFn& serve_one);
+
   std::vector<std::unique_ptr<ServeWorker>> workers_;
 };
 

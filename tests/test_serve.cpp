@@ -2,22 +2,32 @@
 // ingress determinism, the concurrent-vs-serial bitwise parity contract
 // (drop policy disabled), drop accounting, the FunctionalNetwork clone
 // contract under true thread concurrency (zoo-wide), planner drift
-// re-calibration, and the hardened EVEDGE_THREADS handling.
+// re-calibration, and the hardened EVEDGE_THREADS handling — plus the
+// fault-tolerance layer: deterministic fault injection, E2SF/ingress
+// malformed-input validation, worker supervision (restart / retry /
+// quarantine), SLO shedding, the graceful-degradation ladder, and the
+// per-stream frame-accounting invariant
+// (enqueued == completed + dropped + shed + failed).
 //
 // This suite is also the ThreadSanitizer CI target: every lock-guarded
-// hand-off (queue, result sink, pool shutdown) is exercised under real
-// producer/consumer threading here.
+// hand-off (queue, result sink, pool shutdown, requeue, mid-run policy
+// switch, degradation monitor) is exercised under real producer/consumer
+// threading here.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "core/batch_executor.hpp"
 #include "core/dsfa.hpp"
+#include "core/e2sf.hpp"
 #include "core/parallel.hpp"
 #include "events/density_profile.hpp"
 #include "events/event_synth.hpp"
@@ -523,4 +533,857 @@ TEST(ServeStats, ReservoirPercentiles) {
   EXPECT_NEAR(reservoir.percentile_us(0.95), 95.0, 1.0);
   EXPECT_DOUBLE_EQ(reservoir.mean_us(), 50.5);
   EXPECT_DOUBLE_EQ(reservoir.max_us(), 100.0);
+}
+
+// ----------------------------------------------- FrameQueue edge cases
+
+TEST(FrameQueue, PopUntilExpiredDeadlineIsNonBlocking) {
+  ev::FrameQueue queue(4, ev::OverflowPolicy::kBlock);
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  // Empty queue + already-expired deadline: give up immediately.
+  EXPECT_FALSE(queue.pop_until(past).has_value());
+  // A queued frame must still be delivered, expired deadline or not.
+  (void)queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7));
+  const auto frame = queue.pop_until(past);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->seq, 0);
+  queue.close();
+}
+
+TEST(FrameQueue, RequeueBypassesCapacityAndClosedFlag) {
+  ev::FrameQueue queue(1, ev::OverflowPolicy::kBlock);
+  EXPECT_FALSE(queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7)).has_value());
+  queue.close();
+  // The supervision path: a failed batch's frame goes back to the FRONT
+  // even though the queue is full AND closed.
+  ev::ReadyFrame retry = synthetic_ready(0, 5, 8, 8, 0.1, 7);
+  retry.attempts = 1;
+  queue.requeue(std::move(retry));
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.requeued(), 1u);
+  const auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 5);  // requeued frame is at the head
+  EXPECT_EQ(first->attempts, 1);
+  const auto second = queue.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 0);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(FrameQueue, SwitchToDropOldestReleasesBlockedProducer) {
+  ev::FrameQueue queue(1, ev::OverflowPolicy::kBlock);
+  EXPECT_FALSE(queue.push(synthetic_ready(0, 0, 8, 8, 0.1, 7)).has_value());
+  std::optional<ev::ReadyFrame> displaced;
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    displaced = queue.push(synthetic_ready(0, 1, 8, 8, 0.1, 7));
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());  // blocked under kBlock
+  // The degradation ladder's rung-1 side effect: the switch must wake
+  // the blocked producer, which then displaces the oldest frame.
+  queue.set_policy(ev::OverflowPolicy::kDropOldest);
+  producer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(queue.policy(), ev::OverflowPolicy::kDropOldest);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->seq, 0);
+  EXPECT_EQ(queue.dropped(), 1u);
+  const auto frame = queue.pop();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->seq, 1);
+  queue.close();
+}
+
+TEST(FrameQueue, CloseRacingManyBlockedProducersReturnsEveryFrame) {
+  ev::FrameQueue queue(1, ev::OverflowPolicy::kBlock);
+  EXPECT_FALSE(
+      queue.push(synthetic_ready(9, 100, 8, 8, 0.1, 7)).has_value());
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&queue, &rejected, i] {
+      // Whether this thread blocks first or observes the closed flag
+      // straight away, the frame must come back to its producer.
+      if (queue.push(synthetic_ready(i, 1, 8, 8, 0.1, 7)).has_value()) {
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  queue.close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+  EXPECT_EQ(queue.dropped(), 0u);
+  EXPECT_TRUE(queue.pop().has_value());   // the one admitted frame
+  EXPECT_FALSE(queue.pop().has_value());  // nothing leaked in
+}
+
+TEST(FrameQueue, DropAccountingBalancesUnderConcurrentProducers) {
+  ev::FrameQueue queue(4, ev::OverflowPolicy::kDropOldest);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::atomic<std::size_t> displaced{0};
+  std::atomic<std::size_t> popped{0};
+  std::thread consumer([&] {
+    while (queue.pop().has_value()) popped.fetch_add(1);
+  });
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &displaced, p] {
+      for (int j = 0; j < kPerProducer; ++j) {
+        if (queue.push(synthetic_ready(p, j, 8, 8, 0.1, 7)).has_value()) {
+          displaced.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  consumer.join();
+  // Conservation: every pushed frame was either served or handed back
+  // to a producer as a displacement — and the queue's own counter must
+  // agree with what the producers saw.
+  EXPECT_EQ(popped.load() + displaced.load(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(queue.dropped(), displaced.load());
+}
+
+// ------------------------------------------------- fault plan / injector
+
+namespace {
+
+bool specs_equal(const ev::FaultSpec& a, const ev::FaultSpec& b) {
+  return a.type == b.type && a.stream_id == b.stream_id && a.seq == b.seq &&
+         a.worker_id == b.worker_id && a.batch == b.batch &&
+         a.delay_ms == b.delay_ms && a.corrupt == b.corrupt;
+}
+
+}  // namespace
+
+TEST(FaultPlan, SeededIsReproducibleAndWellShaped) {
+  ev::FaultPlanOptions opt;
+  opt.streams = 4;
+  opt.workers = 3;
+  opt.frames_per_stream_hint = 20;
+  opt.batches_per_worker_hint = 6;
+  opt.worker_exceptions = 3;
+  opt.latency_spikes = 2;
+  opt.corrupt_frames = 4;
+  opt.stalls = 2;
+  opt.disconnects = 2;
+
+  const ev::FaultPlan a = ev::FaultPlan::seeded(99, opt);
+  const ev::FaultPlan b = ev::FaultPlan::seeded(99, opt);
+  ASSERT_EQ(a.specs.size(), 13u);
+  ASSERT_EQ(b.specs.size(), a.specs.size());
+  for (std::size_t i = 0; i < a.specs.size(); ++i) {
+    EXPECT_TRUE(specs_equal(a.specs[i], b.specs[i])) << "spec " << i;
+  }
+
+  std::set<int> disconnect_streams;
+  for (const ev::FaultSpec& spec : a.specs) {
+    switch (spec.type) {
+      case ev::FaultType::kCorruptFrame:
+      case ev::FaultType::kStreamStall:
+        EXPECT_GE(spec.stream_id, 0);
+        EXPECT_LT(spec.stream_id, opt.streams);
+        EXPECT_GE(spec.seq, 0);
+        EXPECT_LT(spec.seq, opt.frames_per_stream_hint);
+        break;
+      case ev::FaultType::kStreamDisconnect:
+        disconnect_streams.insert(spec.stream_id);
+        // Upper half of the seq space: frames flow before the cut.
+        EXPECT_GE(spec.seq, opt.frames_per_stream_hint / 2);
+        EXPECT_LT(spec.seq, opt.frames_per_stream_hint);
+        break;
+      case ev::FaultType::kWorkerException:
+      case ev::FaultType::kLatencySpike:
+        EXPECT_GE(spec.worker_id, 0);
+        EXPECT_LT(spec.worker_id, opt.workers);
+        EXPECT_GE(spec.batch, 0);
+        EXPECT_LT(spec.batch, opt.batches_per_worker_hint);
+        break;
+    }
+  }
+  EXPECT_EQ(disconnect_streams.size(), 2u);  // distinct streams
+
+  // A different seed draws a different schedule.
+  const ev::FaultPlan c = ev::FaultPlan::seeded(100, opt);
+  bool all_equal = c.specs.size() == a.specs.size();
+  for (std::size_t i = 0; all_equal && i < a.specs.size(); ++i) {
+    all_equal = specs_equal(a.specs[i], c.specs[i]);
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+// ------------------------------------------- malformed-input validation
+
+TEST(E2sfValidation, RejectsOutOfBoundsCoordinate) {
+  const ee::SensorGeometry geom{16, 12};
+  const ec::Event2SparseFrame converter(geom, ec::E2sfConfig{2});
+  std::vector<ee::Event> events;
+  events.push_back(ee::Event{3, 4, 100, ee::Polarity::kPositive});
+  events.push_back(ee::Event{16, 0, 150, ee::Polarity::kNegative});  // x==W
+  try {
+    (void)converter.convert(events, 0, 1000);
+    FAIL() << "expected MalformedEventError";
+  } catch (const ec::MalformedEventError& e) {
+    EXPECT_EQ(e.kind(), ec::MalformedEventError::Kind::kOutOfBounds);
+    EXPECT_EQ(e.event_index(), 1u);
+  }
+}
+
+TEST(E2sfValidation, RejectsNonMonotonicTimestamp) {
+  const ee::SensorGeometry geom{16, 12};
+  const ec::Event2SparseFrame converter(geom, ec::E2sfConfig{2});
+  std::vector<ee::Event> events;
+  events.push_back(ee::Event{1, 1, 400, ee::Polarity::kPositive});
+  events.push_back(ee::Event{2, 2, 300, ee::Polarity::kPositive});  // back
+  try {
+    (void)converter.convert(events, 0, 1000);
+    FAIL() << "expected MalformedEventError";
+  } catch (const ec::MalformedEventError& e) {
+    EXPECT_EQ(e.kind(),
+              ec::MalformedEventError::Kind::kNonMonotonicTimestamp);
+    EXPECT_EQ(e.event_index(), 1u);
+  }
+}
+
+TEST(E2sfValidation, RejectsEventOutsideInterval) {
+  const ee::SensorGeometry geom{16, 12};
+  const ec::Event2SparseFrame converter(geom, ec::E2sfConfig{2});
+  std::vector<ee::Event> events;
+  events.push_back(ee::Event{1, 1, 100, ee::Polarity::kPositive});
+  events.push_back(ee::Event{2, 2, 1000, ee::Polarity::kPositive});  // ==Tend
+  try {
+    (void)converter.convert(events, 0, 1000);
+    FAIL() << "expected MalformedEventError";
+  } catch (const ec::MalformedEventError& e) {
+    EXPECT_EQ(e.kind(), ec::MalformedEventError::Kind::kOutsideInterval);
+    EXPECT_EQ(e.event_index(), 1u);
+  }
+}
+
+TEST(E2sfValidation, WellFormedWindowStillConverts) {
+  const ee::SensorGeometry geom{16, 12};
+  const ec::Event2SparseFrame converter(geom, ec::E2sfConfig{2});
+  std::vector<ee::Event> events;
+  events.push_back(ee::Event{3, 4, 100, ee::Polarity::kPositive});
+  events.push_back(ee::Event{15, 11, 900, ee::Polarity::kNegative});
+  const auto frames = converter.convert(events, 0, 1000);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].nnz() + frames[1].nnz(), 2);
+}
+
+TEST(IngressValidation, FrameFaultDetectionMatrix) {
+  const auto base = [] { return synthetic_ready(0, 0, 8, 10, 0.2, 7).frame; };
+  es::SparseFrame ok = base();
+  EXPECT_EQ(ev::frame_fault_of(ok, 8, 10), ev::FrameFault::kNone);
+  EXPECT_EQ(ev::frame_fault_of(ok, 16, 20),
+            ev::FrameFault::kGeometryMismatch);
+
+  ev::FaultSpec spec;
+  spec.type = ev::FaultType::kCorruptFrame;
+
+  es::SparseFrame oob = base();
+  spec.corrupt = ev::CorruptKind::kOutOfBoundsCoordinate;
+  ev::FaultInjector::corrupt(spec, oob);
+  EXPECT_EQ(ev::frame_fault_of(oob, 8, 10),
+            ev::FrameFault::kOutOfBoundsCoordinate);
+
+  es::SparseFrame non_finite = base();
+  spec.corrupt = ev::CorruptKind::kNonFiniteValue;
+  ev::FaultInjector::corrupt(spec, non_finite);
+  EXPECT_EQ(ev::frame_fault_of(non_finite, 8, 10),
+            ev::FrameFault::kNonFiniteValue);
+
+  es::SparseFrame bad_timing = base();
+  bad_timing.t_start = 100;
+  spec.corrupt = ev::CorruptKind::kBadTiming;
+  ev::FaultInjector::corrupt(spec, bad_timing);
+  EXPECT_EQ(ev::frame_fault_of(bad_timing, 8, 10),
+            ev::FrameFault::kBadTiming);
+}
+
+// -------------------------------------------- fault-tolerant serving
+
+TEST(FaultTolerance, CorruptFrameIsQuarantinedOthersServe) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    streams.push_back(
+        matched_stream(shape.h, shape.w, 1.0 + 0.5 * s, 400'000, 81 + s));
+  }
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 2;
+  config.capture_outputs = true;
+  config.worker.use_planner = false;
+  config.worker.collator.max_batch = 4;
+  ev::FaultSpec corrupt;
+  corrupt.type = ev::FaultType::kCorruptFrame;
+  corrupt.stream_id = 0;
+  corrupt.seq = 1;
+  corrupt.corrupt = ev::CorruptKind::kOutOfBoundsCoordinate;
+  config.faults.add(corrupt);
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);
+
+  EXPECT_TRUE(report.accounting_ok());
+  EXPECT_EQ(report.faults.corrupt_frames, 1u);
+  EXPECT_EQ(report.frames_failed, 1u);
+  ASSERT_EQ(report.streams.size(), 2u);
+  EXPECT_EQ(report.streams[0].failed, 1u);
+  EXPECT_EQ(report.streams[1].failed, 0u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].stream_id, 0);
+  EXPECT_EQ(report.quarantined[0].seq, 1);
+  EXPECT_EQ(report.quarantined[0].fault,
+            ev::FrameFault::kOutOfBoundsCoordinate);
+  EXPECT_EQ(runtime.output(0, 1), nullptr);
+
+  // Every unaffected (stream, seq) is still bitwise the serial result.
+  std::vector<std::vector<es::SparseFrame>> frames;
+  for (const ee::EventStream& stream : streams) {
+    frames.push_back(ev::ServingRuntime::ingest(stream, config.ingress));
+  }
+  const auto serial = runtime.run_serial(frames, false);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    const std::size_t expect_completed =
+        frames[s].size() - (s == 0 ? 1 : 0);
+    EXPECT_EQ(report.streams[s].completed, expect_completed);
+    for (std::size_t i = 0; i < frames[s].size(); ++i) {
+      if (s == 0 && i == 1) continue;  // the quarantined site
+      const es::DenseTensor* served =
+          runtime.output(static_cast<int>(s), static_cast<std::int64_t>(i));
+      ASSERT_NE(served, nullptr) << "stream " << s << " seq " << i;
+      EXPECT_EQ(es::max_abs_diff(*served, serial.outputs[s][i]), 0.0f)
+          << "stream " << s << " seq " << i;
+    }
+  }
+}
+
+TEST(FaultTolerance, WorkerCrashRetriesToFullParity) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    streams.push_back(
+        matched_stream(shape.h, shape.w, 1.0 + 0.5 * s, 400'000, 91 + s));
+  }
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 1;  // deterministic worker-site batch indices
+  config.capture_outputs = true;
+  config.worker.collator.max_batch = 4;
+  config.worker.max_retries = 5;
+  config.worker.retry_backoff_ms = 0.1;
+  for (const std::int64_t batch : {std::int64_t{0}, std::int64_t{2}}) {
+    ev::FaultSpec crash;
+    crash.type = ev::FaultType::kWorkerException;
+    crash.worker_id = 0;
+    crash.batch = batch;
+    config.faults.add(crash);
+  }
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);  // must not throw
+
+  EXPECT_TRUE(report.accounting_ok());
+  EXPECT_EQ(report.faults.worker_exceptions, 2u);
+  EXPECT_EQ(report.frames_failed, 0u);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_EQ(report.workers[0].failures, 2u);
+  EXPECT_EQ(report.workers[0].restarts, 2u);
+  EXPECT_GE(report.workers[0].frames_retried, 1u);
+
+  // Every frame completed — and despite two restarts mid-run, every
+  // output is still bitwise the serial result (restart clones carry
+  // identical weights; planner routes are bitwise-neutral).
+  std::vector<std::vector<es::SparseFrame>> frames;
+  for (const ee::EventStream& stream : streams) {
+    frames.push_back(ev::ServingRuntime::ingest(stream, config.ingress));
+  }
+  const auto serial = runtime.run_serial(frames, true);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    ASSERT_EQ(report.streams[s].completed, frames[s].size());
+    for (std::size_t i = 0; i < frames[s].size(); ++i) {
+      const es::DenseTensor* served =
+          runtime.output(static_cast<int>(s), static_cast<std::int64_t>(i));
+      ASSERT_NE(served, nullptr) << "stream " << s << " seq " << i;
+      EXPECT_EQ(es::max_abs_diff(*served, serial.outputs[s][i]), 0.0f)
+          << "stream " << s << " seq " << i;
+    }
+  }
+}
+
+TEST(FaultTolerance, RetryBudgetExhaustionQuarantines) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  streams.push_back(matched_stream(shape.h, shape.w, 1.5, 400'000, 101));
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 1;
+  config.worker.use_planner = false;
+  config.worker.collator.max_batch = 4;
+  config.worker.max_retries = 0;  // first failure quarantines
+  config.worker.retry_backoff_ms = 0.1;
+  ev::FaultSpec crash;
+  crash.type = ev::FaultType::kWorkerException;
+  crash.worker_id = 0;
+  crash.batch = 0;
+  config.faults.add(crash);
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);
+
+  EXPECT_TRUE(report.accounting_ok());
+  ASSERT_EQ(report.streams.size(), 1u);
+  EXPECT_GE(report.streams[0].failed, 1u);
+  EXPECT_EQ(report.streams[0].completed + report.streams[0].failed,
+            report.streams[0].enqueued);
+  EXPECT_GT(report.streams[0].completed, 0u);  // later batches survive
+  ASSERT_GE(report.quarantined.size(), 1u);
+  for (const ev::QuarantinedFrame& q : report.quarantined) {
+    EXPECT_EQ(q.fault, ev::FrameFault::kRetriesExhausted);
+    EXPECT_EQ(q.attempts, 1);
+  }
+  EXPECT_EQ(report.workers[0].restarts, 1u);
+}
+
+TEST(FaultTolerance, StreamDisconnectFailsOnlyThatStream) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    streams.push_back(
+        matched_stream(shape.h, shape.w, 1.0 + 0.5 * s, 400'000, 111 + s));
+  }
+  std::vector<std::vector<es::SparseFrame>> frames;
+  const ev::IngressConfig ingress = test_ingress();
+  for (const ee::EventStream& stream : streams) {
+    frames.push_back(ev::ServingRuntime::ingest(stream, ingress));
+  }
+  ASSERT_GE(frames[0].size(), 4u);  // the disconnect site must exist
+
+  ev::ServeConfig config;
+  config.ingress = ingress;
+  config.n_workers = 2;
+  config.capture_outputs = true;
+  config.worker.use_planner = false;
+  ev::FaultSpec disconnect;
+  disconnect.type = ev::FaultType::kStreamDisconnect;
+  disconnect.stream_id = 0;
+  disconnect.seq = 2;
+  config.faults.add(disconnect);
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);
+
+  EXPECT_TRUE(report.accounting_ok());
+  EXPECT_EQ(report.faults.stream_disconnects, 1u);
+  ASSERT_EQ(report.streams.size(), 2u);
+  EXPECT_TRUE(report.streams[0].ingress_failed);
+  EXPECT_FALSE(report.streams[0].failure_reason.empty());
+  EXPECT_EQ(report.streams[0].enqueued, 2u);  // seqs 0, 1 got through
+  EXPECT_EQ(report.streams[0].completed, 2u);
+  // The sibling stream is untouched and runs to completion.
+  EXPECT_FALSE(report.streams[1].ingress_failed);
+  EXPECT_EQ(report.streams[1].completed, frames[1].size());
+
+  const auto serial = runtime.run_serial(frames, false);
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    const std::size_t served_count = report.streams[s].completed;
+    for (std::size_t i = 0; i < served_count; ++i) {
+      const es::DenseTensor* served =
+          runtime.output(static_cast<int>(s), static_cast<std::int64_t>(i));
+      ASSERT_NE(served, nullptr) << "stream " << s << " seq " << i;
+      EXPECT_EQ(es::max_abs_diff(*served, serial.outputs[s][i]), 0.0f)
+          << "stream " << s << " seq " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- SLO shedding
+
+TEST(SloShedding, ExpiredDeadlineShedsBeforeInference) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    streams.push_back(
+        matched_stream(shape.h, shape.w, 1.0, 300'000, 121 + s));
+  }
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 1;
+  config.worker.use_planner = false;
+  // A deadline far below any real queue-to-collation latency: every
+  // frame is stale by the time a worker picks it up, so everything is
+  // shed and nothing reaches inference.
+  config.slo.deadline_ms = 1e-4;
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);
+
+  EXPECT_TRUE(report.accounting_ok());
+  EXPECT_EQ(report.frames_completed, 0u);
+  EXPECT_GT(report.frames_shed, 0u);
+  std::size_t enqueued = 0;
+  for (const ev::StreamServeStats& s : report.streams) {
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.shed, s.enqueued);
+    enqueued += s.enqueued;
+  }
+  EXPECT_EQ(report.frames_shed, enqueued);
+  std::size_t worker_shed = 0;
+  for (const ev::WorkerServeStats& w : report.workers) {
+    worker_shed += w.frames_shed;
+  }
+  EXPECT_EQ(worker_shed, report.frames_shed);
+  EXPECT_EQ(report.quarantined.size(), report.frames_shed);
+  for (const ev::QuarantinedFrame& q : report.quarantined) {
+    EXPECT_EQ(q.fault, ev::FrameFault::kDeadlineExceeded);
+  }
+}
+
+// ------------------------------------------------- degradation ladder
+
+TEST(Degradation, HysteresisWalksLadderOneRungAtATime) {
+  ev::FrameQueue queue(4, ev::OverflowPolicy::kBlock);
+  ev::SloConfig slo;
+  slo.degrade = true;
+  slo.enter_intervals = 2;
+  slo.exit_intervals = 2;
+  slo.allow_int8 = true;
+  ev::DegradationState state;
+  ev::DegradationController controller(slo, queue, state);
+
+  for (int i = 0; i < 4; ++i) {
+    (void)queue.push(synthetic_ready(0, i, 8, 8, 0.1, 7));
+  }
+  controller.sample(1.0);  // 1 high sample: hysteresis holds
+  EXPECT_EQ(state.level(), ev::kDegradeNormal);
+  controller.sample(2.0);  // 2nd consecutive: escalate
+  EXPECT_EQ(state.level(), ev::kDegradeDropOldest);
+  EXPECT_EQ(queue.policy(), ev::OverflowPolicy::kDropOldest);
+  controller.sample(3.0);
+  controller.sample(4.0);
+  EXPECT_EQ(state.level(), ev::kDegradeWideBatch);
+  controller.sample(5.0);
+  controller.sample(6.0);
+  EXPECT_EQ(state.level(), ev::kDegradeInt8);
+  controller.sample(7.0);
+  controller.sample(8.0);
+  EXPECT_EQ(state.level(), ev::kDegradeInt8);  // already at the top
+
+  while (queue.pop_until(std::chrono::steady_clock::now()).has_value()) {
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+  controller.sample(9.0);
+  controller.sample(10.0);
+  EXPECT_EQ(state.level(), ev::kDegradeWideBatch);
+  controller.sample(11.0);
+  controller.sample(12.0);
+  EXPECT_EQ(state.level(), ev::kDegradeDropOldest);
+  controller.sample(13.0);
+  controller.sample(14.0);
+  EXPECT_EQ(state.level(), ev::kDegradeNormal);
+  EXPECT_EQ(queue.policy(), ev::OverflowPolicy::kBlock);  // restored
+  controller.finish(15.0);
+
+  EXPECT_EQ(controller.transitions().size(), 6u);
+  EXPECT_EQ(controller.max_level_reached(), ev::kDegradeInt8);
+  const auto& ms = controller.ms_at_level();
+  EXPECT_DOUBLE_EQ(ms[0] + ms[1] + ms[2] + ms[3], 15.0);
+  EXPECT_DOUBLE_EQ(ms[3], 4.0);  // t=6 .. t=10 at the int8 rung
+  queue.close();
+}
+
+TEST(Degradation, WideBatchRungWidensCollation) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  en::FunctionalNetwork prototype(spec, 7);
+
+  ev::WorkerConfig config;
+  config.use_planner = false;
+  config.collator.max_batch = 2;
+  config.collator.max_wait_us = 1e5;
+  ev::ServeWorker worker(0, prototype, config);
+
+  ev::FrameQueue queue(16, ev::OverflowPolicy::kBlock);
+  for (int i = 0; i < 4; ++i) {
+    (void)queue.push(synthetic_ready(0, i, shape.h, shape.w, 0.05, 60 + i));
+  }
+  queue.close();
+
+  ev::DegradationState state;
+  state.set_level(ev::kDegradeWideBatch);
+  std::size_t sunk = 0;
+  ev::ServeHooks hooks;
+  hooks.result = [&](const ev::ReadyFrame&, const es::DenseTensor&, int,
+                     double) { ++sunk; };
+  hooks.degrade = &state;
+  hooks.slo.batch_widen_factor = 2;
+  worker.serve(queue, hooks);
+
+  EXPECT_EQ(sunk, 4u);
+  // At rung 2 the 2-frame window widens 2x: one 4-frame batch instead
+  // of two.
+  EXPECT_EQ(worker.stats().batches, 1u);
+  EXPECT_EQ(worker.stats().samples, 4u);
+}
+
+TEST(Degradation, Int8RungInstallsAndStepsBackBitwise) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  en::FunctionalNetwork prototype(spec, 7);
+
+  ev::WorkerConfig config;
+  config.use_planner = false;
+  config.collator.max_batch = 4;
+  config.collator.max_wait_us = 1e5;
+  const auto frames_of = [&] {
+    std::vector<ev::ReadyFrame> frames;
+    for (int i = 0; i < 3; ++i) {
+      frames.push_back(
+          synthetic_ready(0, i, shape.h, shape.w, 0.05, 70 + i));
+    }
+    return frames;
+  };
+
+  // FP32 reference outputs for the same 3-frame batch.
+  ev::ServeWorker reference(1, prototype, config);
+  std::vector<es::DenseTensor> want(3);
+  reference.process_batch(
+      frames_of(), [&](const ev::ReadyFrame& f, const es::DenseTensor& out,
+                       int lane, double) {
+        es::copy_sample(out, lane, want[static_cast<std::size_t>(f.seq)]);
+      });
+
+  ev::ServeWorker worker(0, prototype, config);
+  ev::DegradationState state;
+  std::vector<es::DenseTensor> got(3);
+  ev::ServeHooks hooks;
+  hooks.degrade = &state;
+  hooks.slo.allow_int8 = true;
+  hooks.result = [&](const ev::ReadyFrame& f, const es::DenseTensor& out,
+                     int lane, double) {
+    es::copy_sample(out, lane, got[static_cast<std::size_t>(f.seq)]);
+  };
+
+  // Rung 3: the worker lazily calibrates and installs the int8 plan.
+  state.set_level(ev::kDegradeInt8);
+  {
+    ev::FrameQueue queue(8, ev::OverflowPolicy::kBlock);
+    for (ev::ReadyFrame& f : frames_of()) (void)queue.push(std::move(f));
+    queue.close();
+    worker.serve(queue, hooks);
+  }
+  EXPECT_EQ(worker.stats().int8_batches, 1u);
+  EXPECT_TRUE(worker.int8_active());
+
+  // Back at level 0 the quant plan uninstalls and the SAME frames
+  // produce bitwise the FP32 outputs again.
+  state.set_level(ev::kDegradeNormal);
+  {
+    ev::FrameQueue queue(8, ev::OverflowPolicy::kBlock);
+    for (ev::ReadyFrame& f : frames_of()) (void)queue.push(std::move(f));
+    queue.close();
+    worker.serve(queue, hooks);
+  }
+  EXPECT_FALSE(worker.int8_active());
+  EXPECT_EQ(worker.stats().int8_batches, 1u);  // did not grow
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(es::max_abs_diff(got[i], want[i]), 0.0f) << "seq " << i;
+  }
+}
+
+TEST(Degradation, RuntimeLadderAccountsTimePerLevel) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    streams.push_back(
+        matched_stream(shape.h, shape.w, 2.0, 400'000, 131 + s));
+  }
+
+  ev::ServeConfig config;
+  config.ingress = test_ingress();
+  config.n_workers = 1;
+  config.queue_capacity = 4;  // small: the single worker backs it up
+  config.worker.use_planner = false;
+  config.slo.degrade = true;
+  config.slo.eval_interval_ms = 0.5;
+  config.slo.enter_intervals = 1;
+  config.slo.exit_intervals = 2;
+  config.slo.high_watermark = 0.5;
+  config.slo.low_watermark = 0.25;
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport report = runtime.run(streams);
+
+  EXPECT_TRUE(report.accounting_ok());
+  const auto& ms = report.ms_at_degrade_level;
+  // The ladder's time accounting must tile the whole run.
+  EXPECT_NEAR(ms[0] + ms[1] + ms[2] + ms[3], report.wall_ms, 1e-3);
+  if (!report.degradation.empty()) {
+    EXPECT_GE(report.max_degrade_level, ev::kDegradeDropOldest);
+    EXPECT_EQ(report.degradation.front().from, ev::kDegradeNormal);
+    EXPECT_EQ(report.degradation.front().to, ev::kDegradeDropOldest);
+  }
+}
+
+// --------------------------------------- all-fault soak + reproducibility
+
+TEST(FaultTolerance, SoakAllFaultTypesIsReproducible) {
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    streams.push_back(
+        matched_stream(shape.h, shape.w, 1.0 + 0.5 * s, 400'000, 141 + s));
+  }
+  std::vector<std::vector<es::SparseFrame>> frames;
+  const ev::IngressConfig ingress = test_ingress();
+  for (const ee::EventStream& stream : streams) {
+    frames.push_back(ev::ServingRuntime::ingest(stream, ingress));
+  }
+  ASSERT_GE(frames[2].size(), 4u);  // the disconnect site must exist
+
+  ev::ServeConfig config;
+  config.ingress = ingress;
+  config.n_workers = 1;  // deterministic worker-site batch indices
+  config.capture_outputs = true;
+  config.worker.collator.max_batch = 4;
+  config.worker.max_retries = 5;  // above the crash count: no quarantine
+  config.worker.retry_backoff_ms = 0.1;
+  // Every fault type at pinned sites (the seeded-plan soak lives in
+  // bench_serve_soak; here the sites are exact so the expectations are).
+  auto& plan = config.faults;
+  {
+    ev::FaultSpec f;
+    f.type = ev::FaultType::kCorruptFrame;
+    f.stream_id = 0;
+    f.seq = 1;
+    f.corrupt = ev::CorruptKind::kOutOfBoundsCoordinate;
+    plan.add(f);
+    f.stream_id = 1;
+    f.seq = 2;
+    f.corrupt = ev::CorruptKind::kNonFiniteValue;
+    plan.add(f);
+  }
+  {
+    ev::FaultSpec f;
+    f.type = ev::FaultType::kStreamStall;
+    f.stream_id = 2;
+    f.seq = 0;
+    f.delay_ms = 2.0;
+    plan.add(f);
+  }
+  {
+    ev::FaultSpec f;
+    f.type = ev::FaultType::kStreamDisconnect;
+    f.stream_id = 2;
+    f.seq = 3;
+    plan.add(f);
+  }
+  {
+    ev::FaultSpec f;
+    f.type = ev::FaultType::kLatencySpike;
+    f.worker_id = 0;
+    f.batch = 0;
+    f.delay_ms = 1.0;
+    plan.add(f);
+  }
+  {
+    ev::FaultSpec f;
+    f.type = ev::FaultType::kWorkerException;
+    f.worker_id = 0;
+    f.batch = 1;
+    plan.add(f);
+    f.batch = 3;
+    plan.add(f);
+  }
+
+  ev::ServingRuntime runtime(spec, 7, config);
+  const ev::ServeReport first = runtime.run(streams);  // must not throw
+
+  EXPECT_TRUE(first.accounting_ok());
+  EXPECT_EQ(first.faults.corrupt_frames, 2u);
+  EXPECT_EQ(first.faults.stream_stalls, 1u);
+  EXPECT_EQ(first.faults.stream_disconnects, 1u);
+  EXPECT_EQ(first.faults.latency_spikes, 1u);
+  EXPECT_EQ(first.faults.worker_exceptions, 2u);
+  ASSERT_EQ(first.streams.size(), 3u);
+  EXPECT_EQ(first.streams[0].failed, 1u);
+  EXPECT_EQ(first.streams[1].failed, 1u);
+  EXPECT_TRUE(first.streams[2].ingress_failed);
+  EXPECT_EQ(first.streams[2].enqueued, 3u);
+  EXPECT_EQ(first.frames_dropped, 0u);  // kBlock, no SLO
+
+  // Every unaffected (stream, seq) output is bitwise the serial result.
+  const auto serial = runtime.run_serial(frames, true);
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s < frames.size(); ++s) {
+    for (std::size_t i = 0; i < frames[s].size(); ++i) {
+      const es::DenseTensor* served =
+          runtime.output(static_cast<int>(s), static_cast<std::int64_t>(i));
+      if (served == nullptr) continue;  // quarantined / after disconnect
+      EXPECT_EQ(es::max_abs_diff(*served, serial.outputs[s][i]), 0.0f)
+          << "stream " << s << " seq " << i;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, first.frames_completed);
+
+  // Same plan, same streams: the second run reproduces the per-stream
+  // accounting, the fault counters, and the quarantine set exactly.
+  const ev::ServeReport second = runtime.run(streams);
+  EXPECT_TRUE(second.accounting_ok());
+  for (std::size_t s = 0; s < first.streams.size(); ++s) {
+    EXPECT_EQ(second.streams[s].enqueued, first.streams[s].enqueued);
+    EXPECT_EQ(second.streams[s].completed, first.streams[s].completed);
+    EXPECT_EQ(second.streams[s].failed, first.streams[s].failed);
+    EXPECT_EQ(second.streams[s].shed, first.streams[s].shed);
+    EXPECT_EQ(second.streams[s].dropped, first.streams[s].dropped);
+  }
+  EXPECT_EQ(second.faults.total(), first.faults.total());
+  ASSERT_EQ(second.quarantined.size(), first.quarantined.size());
+  const auto sorted_sites = [](const ev::ServeReport& r) {
+    std::vector<std::pair<int, std::int64_t>> sites;
+    for (const ev::QuarantinedFrame& q : r.quarantined) {
+      sites.emplace_back(q.stream_id, q.seq);
+    }
+    std::sort(sites.begin(), sites.end());
+    return sites;
+  };
+  EXPECT_EQ(sorted_sites(second), sorted_sites(first));
 }
