@@ -1,0 +1,391 @@
+// Hostile-network soak for the wire ingress path: each stream is
+// recorded to disk, decoded back through the replay harness (recorder
+// round-trip in the loop), then served over a real loopback TCP session
+// through a NetFaultProxy whose seeded plan enables EVERY network fault
+// type — drops, corruption, truncation, reordering, delays, and a
+// mid-stream disconnect with reconnect-resume. The process exits
+// non-zero unless
+//
+//   - every sender completes (end-of-stream acked despite the faults),
+//   - the extended accounting invariant holds exactly: the frame ledger
+//     (enqueued == completed + dropped + shed + failed) AND the packet
+//     partition (seen == accepted + rejected + duplicates) per stream,
+//   - every scheduled fault type actually fired,
+//   - reconnect-resume lost zero acked frames: every (stream, seq)
+//     output is bitwise identical to serial in-process execution of the
+//     same frames (run_serial),
+//   - the same fault seed reproduces the same per-stream frame ledger
+//     and fired-fault totals on a second run.
+//
+// This is the wire-hardening gate CI runs (build-and-test and the
+// ASan+UBSan job both execute it); bench_serve owns the fault-free
+// throughput numbers. Results go to BENCH_wire_soak.json.
+//
+// Usage: bench_wire_soak [output.json] [seed]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "events/density_profile.hpp"
+#include "events/event_synth.hpp"
+#include "nn/zoo.hpp"
+#include "serve/serving_runtime.hpp"
+#include "sparse/tensor.hpp"
+#include "wire/net_fault_proxy.hpp"
+#include "wire/recorder.hpp"
+#include "wire/session.hpp"
+#include "wire/transport.hpp"
+
+namespace ee = evedge::events;
+namespace en = evedge::nn;
+namespace es = evedge::sparse;
+namespace ev = evedge::serve;
+namespace ew = evedge::wire;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr int kStreams = 2;
+constexpr int kWorkers = 2;
+constexpr ee::TimeUs kDuration = 300'000;
+
+[[nodiscard]] ee::EventStream make_stream(int h, int w, std::uint64_t seed) {
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{w, h};
+  cfg.seed = seed;
+  cfg.blob_count = 4;
+  cfg.background_weight = 0.3;
+  const ee::DensityProfile profile("wire-soak", 3.2, {}, 1.2, 0.5);
+  return ee::PoissonEventSynthesizer(profile, cfg).generate(0, kDuration);
+}
+
+/// The deterministic per-stream ledger: the fault plan only delays or
+/// retransmits — ARQ means nothing is lost — so the dispatch and
+/// completion counts must be identical run to run. Rejected/duplicate
+/// packet counts are NOT compared: how many bytes a truncation mangles
+/// before the rewind depends on heartbeat interleaving on the byte
+/// stream (the partition invariant still ties them together).
+struct StreamAccount {
+  std::size_t enqueued = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+
+  friend bool operator==(const StreamAccount&,
+                         const StreamAccount&) = default;
+};
+
+struct SoakRun {
+  ev::ServeReport report;
+  std::vector<ew::WireSendStats> senders;
+  ew::NetFaultCounts faults;
+};
+
+[[nodiscard]] std::vector<StreamAccount> accounts_of(
+    const ev::ServeReport& report) {
+  std::vector<StreamAccount> accounts;
+  accounts.reserve(report.streams.size());
+  for (const ev::StreamServeStats& s : report.streams) {
+    accounts.push_back(StreamAccount{s.enqueued, s.completed, s.failed});
+  }
+  return accounts;
+}
+
+/// One full soak pass: every stream gets its own listener, fault
+/// injector (all six types, seeded from `seed` + stream id), and ARQ
+/// sender thread serving the decoded recording.
+[[nodiscard]] SoakRun run_soak(
+    ev::ServingRuntime& runtime,
+    const std::vector<ee::EventStream>& streams, std::uint64_t seed) {
+  std::vector<std::unique_ptr<ew::TcpListener>> listeners;
+  std::vector<ev::TransportAcceptor> acceptors;
+  for (int s = 0; s < kStreams; ++s) {
+    listeners.push_back(std::make_unique<ew::TcpListener>());
+    ew::TcpListener* l = listeners.back().get();
+    acceptors.push_back([l](std::chrono::milliseconds timeout) {
+      return l->accept(timeout);
+    });
+  }
+
+  std::vector<std::shared_ptr<ew::NetFaultInjector>> injectors;
+  std::vector<std::thread> senders;
+  std::vector<ew::WireSendStats> send_stats(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    const auto& stream = streams[static_cast<std::size_t>(s)];
+    // Pack ~32 data packets regardless of the synthesized event count
+    // so every seeded fault site (seq < 16) is guaranteed to exist.
+    const std::size_t per_packet = std::min(
+        ew::kMaxEventsPerPacket,
+        std::max<std::size_t>(1, stream.events().size() / 32));
+
+    ew::NetFaultPlanOptions opts;
+    opts.session_id = static_cast<std::uint32_t>(s + 1);
+    opts.packets_hint = 16;
+    opts.drops = 2;
+    opts.corrupts = 2;
+    opts.truncates = 2;
+    opts.reorders = 2;
+    opts.delays = 2;
+    opts.delay_ms = 5.0;
+    opts.disconnects = 1;
+    injectors.push_back(std::make_shared<ew::NetFaultInjector>(
+        ew::NetFaultPlan::seeded(seed + static_cast<std::uint64_t>(s),
+                                 opts)));
+
+    const std::uint16_t port = listeners[static_cast<std::size_t>(s)]->port();
+    const auto injector = injectors.back();
+    senders.emplace_back([&stream, &send_stats, s, port, per_packet,
+                          injector] {
+      ew::WireSenderConfig cfg;
+      cfg.session_id = static_cast<std::uint32_t>(s + 1);
+      cfg.events_per_packet = per_packet;
+      ew::WireSender sender(
+          stream, cfg, [port, injector]() -> std::unique_ptr<ew::Transport> {
+            auto inner = ew::TcpTransport::connect(port, 2000ms);
+            if (!inner) return nullptr;
+            return std::make_unique<ew::NetFaultProxy>(std::move(inner),
+                                                       injector);
+          });
+      send_stats[static_cast<std::size_t>(s)] = sender.run();
+    });
+  }
+
+  SoakRun run;
+  run.report = runtime.run_wire(acceptors);
+  for (std::thread& t : senders) t.join();
+  run.senders = std::move(send_stats);
+  for (const auto& injector : injectors) {
+    const ew::NetFaultCounts c = injector->counts();
+    run.faults.drops += c.drops;
+    run.faults.corrupts += c.corrupts;
+    run.faults.truncates += c.truncates;
+    run.faults.reorders += c.reorders;
+    run.faults.delays += c.delays;
+    run.faults.disconnects += c.disconnects;
+  }
+  return run;
+}
+
+[[nodiscard]] bool write_json(const SoakRun& run, std::uint64_t seed,
+                              bool reproduced, bool parity_ok,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::size_t reconnects = 0;
+  std::size_t retransmits = 0;
+  for (const ew::WireSendStats& s : run.senders) {
+    reconnects += s.reconnects;
+    retransmits += s.retransmits;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"seed\": %llu,\n  \"streams\": %d,\n  \"workers\": %d,\n"
+      "  \"accounting_ok\": %s,\n  \"parity_ok\": %s,\n"
+      "  \"reproduced\": %s,\n"
+      "  \"frames_completed\": %zu,\n  \"frames_failed\": %zu,\n"
+      "  \"rejected_packets\": %zu,\n  \"duplicate_packets\": %zu,\n"
+      "  \"wire_resumes\": %zu,\n  \"sender_reconnects\": %zu,\n"
+      "  \"sender_retransmits\": %zu,\n"
+      "  \"faults\": {\"drops\": %zu, \"corrupts\": %zu, "
+      "\"truncates\": %zu, \"reorders\": %zu, \"delays\": %zu, "
+      "\"disconnects\": %zu}\n}\n",
+      static_cast<unsigned long long>(seed), kStreams, kWorkers,
+      run.report.accounting_ok() ? "true" : "false",
+      parity_ok ? "true" : "false", reproduced ? "true" : "false",
+      run.report.frames_completed, run.report.frames_failed,
+      run.report.rejected_packets, run.report.duplicate_packets,
+      run.report.wire_resumes, reconnects, retransmits, run.faults.drops,
+      run.faults.corrupts, run.faults.truncates, run.faults.reorders,
+      run.faults.delays, run.faults.disconnects);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_wire_soak.json";
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20240808ull;
+
+  const en::NetworkSpec spec =
+      en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+
+  // Record each synthesized stream to disk and serve the DECODED
+  // recording, so the recorder/replayer round-trip is inside the gated
+  // loop, not just unit-tested.
+  std::vector<ee::EventStream> streams;
+  streams.reserve(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    const ee::EventStream synth = make_stream(
+        shape.h, shape.w, seed + 100 + static_cast<std::uint64_t>(s));
+    const std::string rec_path =
+        out_path + ".stream" + std::to_string(s) + ".evw";
+    try {
+      ew::record_stream(synth, rec_path);
+      const ew::StreamReplayer replayer(rec_path);
+      streams.push_back(replayer.decode());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "SOAK FAILED: record/replay round trip: %s\n",
+                   e.what());
+      return 1;
+    }
+    std::remove(rec_path.c_str());
+    if (streams.back().events().size() != synth.events().size()) {
+      std::fprintf(stderr,
+                   "SOAK FAILED: recording of stream %d decoded to %zu "
+                   "events, expected %zu\n",
+                   s, streams.back().events().size(),
+                   synth.events().size());
+      return 1;
+    }
+  }
+
+  ev::ServeConfig config;
+  config.n_workers = kWorkers;
+  config.kernel_threads = 1;
+  config.queue_capacity = 64;
+  config.overflow = ev::OverflowPolicy::kBlock;
+  config.worker.collator.max_batch = 4;
+  config.capture_outputs = true;
+  ev::ServingRuntime runtime(spec, 7, config);
+
+  std::printf("wire soak: %d streams over loopback TCP, %d workers, "
+              "seed %llu, all six network fault types per stream\n",
+              kStreams, kWorkers, static_cast<unsigned long long>(seed));
+
+  bool ok = true;
+  SoakRun first;
+  try {
+    first = run_soak(runtime, streams, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SOAK FAILED: run_wire threw: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s", first.report.describe().c_str());
+
+  for (int s = 0; s < kStreams; ++s) {
+    if (!first.senders[static_cast<std::size_t>(s)].completed) {
+      std::fprintf(stderr,
+                   "SOAK FAILED: sender %d did not complete (end-of-"
+                   "stream never acked)\n", s);
+      ok = false;
+    }
+  }
+  if (!first.report.accounting_ok()) {
+    std::fprintf(stderr,
+                 "SOAK FAILED: extended accounting invariant violated "
+                 "(frame ledger or packet partition inexact)\n");
+    ok = false;
+  }
+  if (first.faults.drops == 0 || first.faults.corrupts == 0 ||
+      first.faults.truncates == 0 || first.faults.reorders == 0 ||
+      first.faults.delays == 0 || first.faults.disconnects == 0) {
+    std::fprintf(stderr,
+                 "SOAK FAILED: not every network fault type fired "
+                 "(drops %zu, corrupts %zu, truncates %zu, reorders %zu, "
+                 "delays %zu, disconnects %zu)\n",
+                 first.faults.drops, first.faults.corrupts,
+                 first.faults.truncates, first.faults.reorders,
+                 first.faults.delays, first.faults.disconnects);
+    ok = false;
+  }
+  if (first.report.rejected_packets == 0) {
+    std::fprintf(stderr,
+                 "SOAK FAILED: corruption/truncation fired but nothing "
+                 "landed in the rejected_packets lane\n");
+    ok = false;
+  }
+
+  // Zero acked frames lost, bitwise: ARQ + resume must deliver every
+  // frame, identical to serial in-process execution.
+  bool parity_ok = true;
+  std::vector<std::vector<es::SparseFrame>> frames;
+  std::size_t expected = 0;
+  for (const ee::EventStream& stream : streams) {
+    frames.push_back(ev::ServingRuntime::ingest(stream, config.ingress));
+    expected += frames.back().size();
+  }
+  if (first.report.frames_completed != expected) {
+    std::fprintf(stderr,
+                 "SOAK FAILED: %zu frames completed, expected %zu — "
+                 "frames were lost despite ARQ + resume\n",
+                 first.report.frames_completed, expected);
+    parity_ok = false;
+  } else {
+    const auto serial = runtime.run_serial(frames, true);
+    for (int s = 0; s < kStreams && parity_ok; ++s) {
+      const auto& per_stream = frames[static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < per_stream.size(); ++i) {
+        const es::DenseTensor* served =
+            runtime.output(s, static_cast<std::int64_t>(i));
+        if (served == nullptr ||
+            es::max_abs_diff(
+                *served,
+                serial.outputs[static_cast<std::size_t>(s)][i]) != 0.0f) {
+          std::fprintf(stderr,
+                       "SOAK FAILED: stream %d seq %zu diverges from "
+                       "run_serial%s\n",
+                       s, i, served == nullptr ? " (missing)" : "");
+          parity_ok = false;
+          break;
+        }
+      }
+    }
+  }
+  ok = ok && parity_ok;
+
+  // Same seed, same streams: the frame ledger and the fired-fault
+  // totals must reproduce exactly.
+  bool reproduced = true;
+  try {
+    const SoakRun second = run_soak(runtime, streams, seed);
+    if (!second.report.accounting_ok()) {
+      std::fprintf(stderr,
+                   "SOAK FAILED: second run broke the accounting "
+                   "invariant\n");
+      ok = false;
+    }
+    reproduced =
+        accounts_of(first.report) == accounts_of(second.report) &&
+        first.faults.drops == second.faults.drops &&
+        first.faults.corrupts == second.faults.corrupts &&
+        first.faults.truncates == second.faults.truncates &&
+        first.faults.reorders == second.faults.reorders &&
+        first.faults.delays == second.faults.delays &&
+        first.faults.disconnects == second.faults.disconnects;
+    if (!reproduced) {
+      std::fprintf(stderr,
+                   "SOAK FAILED: same seed did not reproduce the same "
+                   "per-stream ledger / fault totals\n");
+      ok = false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "SOAK FAILED: second run threw: %s\n", e.what());
+    return 1;
+  }
+
+  const bool wrote = write_json(first, seed, reproduced, parity_ok, out_path);
+  if (ok && wrote) {
+    std::printf("wire soak OK: all six fault types fired, accounting "
+                "exact, bitwise parity with run_serial, reproducible "
+                "from seed %llu\n",
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  return 1;
+}

@@ -21,7 +21,11 @@ Five benchmark schemas are understood, auto-detected per record:
   BENCH_serve.json
       records with network/streams and a "speedup_serve" metric
       (concurrent serving runtime vs per-stream serial dense execution
-      at the same worker budget, same machine same run)
+      at the same worker budget, same machine same run); paced
+      closed-loop records carry "ontime_ratio" instead (fraction of
+      frames completed within the wall deadline while ingress replays
+      at IngressConfig::pace_speedup x real time) and gate on it the
+      same way — a lower fresh ratio than baseline is a regression
 
 Records are keyed by (kernel, shape, density); every metric of a record
 gates independently. Keys present only in the fresh run (newly added
@@ -90,6 +94,10 @@ def load(path):
                 key = ("sparse_engine", _require(r, "network", path, i),
                        round(float(_require(r, "density", path, i)), 6))
                 metrics = {"speedup_planner": float(r["speedup_planner"])}
+            elif "ontime_ratio" in r:  # paced closed-loop serving schema
+                key = ("serve_paced", _require(r, "network", path, i),
+                       float(int(_require(r, "streams", path, i))))
+                metrics = {"ontime_ratio": float(r["ontime_ratio"])}
             elif "speedup_serve" in r:  # serving schema (keyed by streams)
                 key = ("serve", _require(r, "network", path, i),
                        float(int(_require(r, "streams", path, i))))

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include "serve/frame_queue.hpp"
@@ -61,6 +62,17 @@ struct SloConfig {
   bool allow_drop_oldest = true;
   int batch_widen_factor = 2;  ///< level-2 multiplier on max_batch
   bool allow_int8 = false;     ///< level 3 reachable at all
+  /// Latency-driven trigger: when latency_high_ms > 0 AND a
+  /// RollingLatency probe is attached, a sustained rolling completion
+  /// p99 >= latency_high_ms escalates exactly like a sustained high
+  /// queue watermark — so a worker stall that inflates tail latency
+  /// WITHOUT queue growth (e.g. every stream paced well below
+  /// capacity) still walks the ladder. Recovery then additionally
+  /// requires p99 <= latency_low_ms: a drained queue with a still-hot
+  /// tail stays degraded.
+  double latency_high_ms = 0.0;  ///< 0 = latency trigger off
+  double latency_low_ms = 0.0;   ///< recovery bound (0 = high/2)
+  std::size_t latency_window = 128;  ///< rolling probe sample window
 
   /// Highest reachable ladder level under these knobs.
   [[nodiscard]] int max_level() const noexcept {
@@ -96,8 +108,23 @@ class DegradationController {
   DegradationController(const SloConfig& slo, FrameQueue& queue,
                         DegradationState& state);
 
-  /// One monitor tick at `t_ms` since run start: samples queue fill,
-  /// updates the hysteresis counters, walks at most one rung.
+  /// Attaches the rolling completion-latency probe feeding the
+  /// latency trigger (nullptr detaches; must outlive the controller).
+  /// Without a probe the trigger is inert regardless of SloConfig.
+  void set_latency_probe(const RollingLatency* probe) noexcept {
+    latency_probe_ = probe;
+  }
+
+  /// Observer invoked (on the monitor thread) for every transition —
+  /// the fault journal hooks in here.
+  void set_transition_hook(
+      std::function<void(const DegradationTransition&)> hook) {
+    on_transition_ = std::move(hook);
+  }
+
+  /// One monitor tick at `t_ms` since run start: samples queue fill
+  /// (and the latency probe when attached), updates the hysteresis
+  /// counters, walks at most one rung.
   void sample(double t_ms);
 
   /// Closes the level-time accounting at end of run.
@@ -115,11 +142,13 @@ class DegradationController {
   }
 
  private:
-  void move_to(double t_ms, int next, std::size_t depth);
+  void move_to(double t_ms, int next, std::size_t depth, double p99_ms);
 
   SloConfig slo_;
   FrameQueue& queue_;
   DegradationState& state_;
+  const RollingLatency* latency_probe_ = nullptr;
+  std::function<void(const DegradationTransition&)> on_transition_;
   OverflowPolicy base_policy_;
   int above_ = 0;  ///< consecutive samples at/above the high watermark
   int below_ = 0;  ///< consecutive samples at/below the low watermark

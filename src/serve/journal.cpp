@@ -1,0 +1,103 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace evedge::serve {
+
+namespace {
+
+void sanitize(std::string& s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+}
+
+}  // namespace
+
+FaultJournal::FaultJournal(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("FaultJournal: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  opened_ = std::chrono::steady_clock::now();
+}
+
+FaultJournal::~FaultJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t FaultJournal::entries_written() const noexcept {
+  return written_;
+}
+
+void FaultJournal::append(const std::string& kind,
+                          const std::string& detail) {
+  std::string k = kind;
+  std::string d = detail;
+  sanitize(k);
+  sanitize(d);
+  const double t_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - opened_)
+                          .count();
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%.3f", t_ms);
+  const std::string line = std::string(stamp) + "\t" + k + "\t" + d + "\n";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // One write(2) per entry: O_APPEND makes the offset update atomic, so
+  // concurrent appends (or another process tailing the file) never see
+  // interleaved halves of two entries.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // journal best-effort once open: do not kill serving
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd_);
+  ++written_;
+}
+
+std::vector<FaultJournal::Entry> FaultJournal::read(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("FaultJournal::read: cannot open " + path);
+  }
+  std::vector<Entry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof()) {
+      // getline hit EOF before a newline: the final line was torn by a
+      // crash mid-append. Every complete entry ends in '\n'; skip it.
+      break;
+    }
+    const std::size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) continue;  // torn / foreign line
+    const std::size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) continue;
+    Entry e;
+    try {
+      e.t_ms = std::stod(line.substr(0, tab1));
+    } catch (...) {
+      continue;
+    }
+    e.kind = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    e.detail = line.substr(tab2 + 1);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace evedge::serve

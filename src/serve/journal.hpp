@@ -1,0 +1,69 @@
+#pragma once
+
+// FaultJournal: crash-consistent, append-only on-disk record of every
+// recovery action the serving runtime takes — (site, fault, action)
+// per line — so a post-mortem can reconstruct what a crashed or killed
+// server was doing without trusting in-memory state.
+//
+// Durability model: one line per incident, written with a single
+// O_APPEND write(2) (atomic at this size on POSIX) and fsync'd before
+// append() returns. A crash can therefore lose at most the incident
+// being written, never corrupt earlier entries; a torn final line
+// (power cut mid-write) is detected and skipped by the reader instead
+// of poisoning the parse.
+//
+// Entry grammar (tab-separated, newline-terminated):
+//
+//   <t_ms>\t<kind>\t<detail>\n
+//
+// where t_ms is milliseconds since the journal was opened (journals are
+// per-run artifacts), kind is a short token (quarantine, degrade,
+// inject, wire-reject, run), and detail is free-form key=value text.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace evedge::serve {
+
+class FaultJournal {
+ public:
+  /// Opens (creating if needed) `path` for appending; throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit FaultJournal(const std::string& path);
+  ~FaultJournal();
+  FaultJournal(const FaultJournal&) = delete;
+  FaultJournal& operator=(const FaultJournal&) = delete;
+
+  /// Appends one fsync'd entry. Thread-safe. Newlines and tabs inside
+  /// `kind`/`detail` are replaced with spaces — one incident is always
+  /// exactly one line.
+  void append(const std::string& kind, const std::string& detail);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Entries appended through this handle.
+  [[nodiscard]] std::size_t entries_written() const noexcept;
+
+  struct Entry {
+    double t_ms = 0.0;
+    std::string kind;
+    std::string detail;
+  };
+
+  /// Reads every complete entry of a journal file. Tolerates a torn
+  /// final line (no trailing newline, or an unparsable tail) by
+  /// skipping it; throws std::runtime_error only when the file cannot
+  /// be opened.
+  [[nodiscard]] static std::vector<Entry> read(const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mutex_;
+  std::size_t written_ = 0;
+  std::chrono::steady_clock::time_point opened_;
+};
+
+}  // namespace evedge::serve

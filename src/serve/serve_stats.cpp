@@ -47,10 +47,41 @@ double LatencyReservoir::percentile_us(double q) const {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+double LatencyReservoir::fraction_below_us(double us) const noexcept {
+  if (samples_us_.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const double s : samples_us_) {
+    if (s <= us) ++below;
+  }
+  return static_cast<double>(below) /
+         static_cast<double>(samples_us_.size());
+}
+
+double RollingLatency::percentile_us(double q) const {
+  std::vector<double> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (size_ == 0) return 0.0;
+    sorted.assign(ring_.begin(),
+                  ring_.begin() + static_cast<std::ptrdiff_t>(size_));
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
 double ServeReport::percentile_us(double q) const {
   LatencyReservoir pooled;
   for (const StreamServeStats& s : streams) pooled.merge(s.latency);
   return pooled.percentile_us(q);
+}
+
+double ServeReport::fraction_below_us(double us) const {
+  LatencyReservoir pooled;
+  for (const StreamServeStats& s : streams) pooled.merge(s.latency);
+  return pooled.fraction_below_us(us);
 }
 
 std::size_t ServeReport::total_batches() const noexcept {
@@ -88,6 +119,13 @@ std::string ServeReport::describe() const {
                 percentile_us(0.50) / 1e3, percentile_us(0.95) / 1e3,
                 percentile_us(0.99) / 1e3);
   out += line;
+  if (rejected_packets + duplicate_packets + wire_resumes > 0) {
+    std::snprintf(line, sizeof(line),
+                  "wire: %zu rejected packets, %zu duplicates, "
+                  "%zu resumes\n",
+                  rejected_packets, duplicate_packets, wire_resumes);
+    out += line;
+  }
   if (faults.total() > 0) {
     std::snprintf(line, sizeof(line),
                   "faults injected: %zu worker-exc, %zu spikes, "

@@ -18,10 +18,23 @@
 // worker retry budget exhausted). ServeReport::accounting_ok() verifies
 // it, and the fault-injection soak (bench_serve_soak, test_serve) gates
 // on it.
+//
+// Streams ingested over the wire (wire_ingress) extend the contract
+// with a packet-level partition feeding the frame ledger from below:
+//
+//   wire_packets_seen == wire_packets_accepted + rejected_packets
+//                        + duplicate_packets
+//
+// where `seen` counts every framed data/end-of-stream packet plus every
+// framing rejection on that stream's byte feed, `rejected_packets` the
+// truncated / CRC-failed / malformed packets quarantined by the
+// receive path, and `duplicate_packets` the retransmission overlap the
+// ARQ layer absorbed. All four lanes are zero for in-process ingress.
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,6 +77,10 @@ struct DegradationTransition {
   int from = 0;
   int to = 0;
   std::size_t queue_depth = 0;  ///< depth sample that drove the step
+  /// Rolling completion p99 at the transition (0 when the latency
+  /// trigger is off) — tells a latency-driven step from a queue-driven
+  /// one.
+  double p99_ms = 0.0;
 };
 
 /// Injected-fault counters (fault.hpp); all zero when no FaultPlan is
@@ -97,9 +114,44 @@ class LatencyReservoir {
   /// Interpolation-free percentile (nearest-rank on the sorted samples);
   /// q in [0, 1]. 0 when empty.
   [[nodiscard]] double percentile_us(double q) const;
+  /// Fraction of samples <= `us` (the SLO on-time ratio); 0 when empty.
+  [[nodiscard]] double fraction_below_us(double us) const noexcept;
 
  private:
   std::vector<double> samples_us_;
+};
+
+/// Thread-safe rolling window over the most recent latency samples —
+/// the live probe behind the latency-driven degradation trigger.
+/// Workers add() from the completion path; the monitor thread reads
+/// percentile_us() each tick. Unlike LatencyReservoir this forgets:
+/// the window holds the last `capacity` samples only, so a recovered
+/// system's p99 actually comes back down.
+class RollingLatency {
+ public:
+  explicit RollingLatency(std::size_t capacity = 256)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  void add(double latency_us) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ring_[next_] = latency_us;
+    next_ = (next_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  /// Nearest-rank percentile over the current window; 0 when empty.
+  [[nodiscard]] double percentile_us(double q) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;
+  std::size_t size_ = 0;
+  std::size_t next_ = 0;
 };
 
 /// Per-stream serving statistics.
@@ -117,9 +169,20 @@ struct StreamServeStats {
   double last_ingress_density = 0.0;  ///< DSFA recent_density() at stream end
   LatencyReservoir latency;     ///< enqueue -> inference completion
 
-  /// The per-stream frame-accounting invariant.
+  // Wire-ingress packet lanes (all zero for in-process ingress; see the
+  // packet-partition contract at the top of this header).
+  std::size_t wire_packets_seen = 0;
+  std::size_t wire_packets_accepted = 0;
+  std::size_t rejected_packets = 0;   ///< truncated / CRC / malformed
+  std::size_t duplicate_packets = 0;  ///< ARQ retransmission overlap
+  std::size_t wire_resumes = 0;       ///< reconnect resume handshakes
+
+  /// The per-stream accounting invariants: the frame ledger, and — for
+  /// wire streams — the packet partition beneath it.
   [[nodiscard]] bool accounting_ok() const noexcept {
-    return enqueued == completed + dropped + shed + failed;
+    return enqueued == completed + dropped + shed + failed &&
+           wire_packets_seen == wire_packets_accepted + rejected_packets +
+                                    duplicate_packets;
   }
 };
 
@@ -156,6 +219,10 @@ struct ServeReport {
   std::size_t frames_failed = 0;
   std::size_t queue_peak_depth = 0;
   double queue_mean_depth = 0.0;
+  /// Aggregate wire-ingress lanes (sums of the per-stream lanes).
+  std::size_t rejected_packets = 0;
+  std::size_t duplicate_packets = 0;
+  std::size_t wire_resumes = 0;
   std::vector<StreamServeStats> streams;
   std::vector<WorkerServeStats> workers;
   /// Every quarantined frame, in discovery order (ingress first, then
@@ -188,6 +255,9 @@ struct ServeReport {
   }
   /// Latency percentile pooled over every stream's reservoir.
   [[nodiscard]] double percentile_us(double q) const;
+  /// Fraction of pooled completion latencies <= `us` (on-time ratio
+  /// against a wall deadline; the paced closed-loop bench gates on it).
+  [[nodiscard]] double fraction_below_us(double us) const;
   [[nodiscard]] std::size_t total_batches() const noexcept;
   [[nodiscard]] double mean_batch() const noexcept;
 

@@ -5,7 +5,9 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -64,8 +66,10 @@ ServeReport ServingRuntime::run(
       throw std::invalid_argument("ServingRuntime: empty event stream");
     }
   }
-  report_ = ServeReport{};
-  captured_.clear();
+  std::optional<FaultJournal> journal;
+  if (!config_.journal_path.empty()) {
+    journal.emplace(config_.journal_path);
+  }
 
   FrameQueue queue(config_.queue_capacity, config_.overflow);
   const bool inject = !config_.faults.empty();
@@ -76,13 +80,61 @@ ServeReport ServingRuntime::run(
     ingresses.emplace_back(static_cast<int>(i), streams[i],
                            config_.ingress, queue);
     if (inject) ingresses.back().attach_faults(&injector);
+    if (journal.has_value()) ingresses.back().attach_journal(&*journal);
   }
+  std::vector<IngressBase*> bases;
+  bases.reserve(ingresses.size());
+  for (StreamIngress& ingress : ingresses) bases.push_back(&ingress);
+  return serve_ingresses(bases, queue, inject ? &injector : nullptr,
+                         journal.has_value() ? &*journal : nullptr);
+}
+
+ServeReport ServingRuntime::run_wire(
+    std::span<const TransportAcceptor> acceptors,
+    const WireIngressConfig& wire_config) {
+  if (acceptors.empty()) {
+    throw std::invalid_argument("ServingRuntime: no wire acceptors");
+  }
+  std::optional<FaultJournal> journal;
+  if (!config_.journal_path.empty()) {
+    journal.emplace(config_.journal_path);
+  }
+
+  FrameQueue queue(config_.queue_capacity, config_.overflow);
+  std::vector<WireStreamIngress> ingresses;
+  ingresses.reserve(acceptors.size());
+  for (std::size_t i = 0; i < acceptors.size(); ++i) {
+    ingresses.emplace_back(static_cast<int>(i), config_.ingress,
+                           wire_config, queue, acceptors[i]);
+    if (journal.has_value()) ingresses.back().attach_journal(&*journal);
+  }
+  std::vector<IngressBase*> bases;
+  bases.reserve(ingresses.size());
+  for (WireStreamIngress& ingress : ingresses) bases.push_back(&ingress);
+  // Network faults are injected at the transport layer (NetFaultProxy),
+  // not through the stream/worker FaultInjector — no injector here.
+  return serve_ingresses(bases, queue, nullptr,
+                         journal.has_value() ? &*journal : nullptr);
+}
+
+ServeReport ServingRuntime::serve_ingresses(
+    std::span<IngressBase* const> ingresses, FrameQueue& queue,
+    FaultInjector* injector, FaultJournal* journal) {
+  report_ = ServeReport{};
+  captured_.clear();
 
   // Completion-side accounting, shared by every worker thread.
   std::mutex sink_mutex;
-  std::vector<StreamServeStats> completion(streams.size());
+  std::vector<StreamServeStats> completion(ingresses.size());
   std::vector<QuarantinedFrame> worker_quarantine;
   const bool capture = config_.capture_outputs;
+  // Rolling completion-latency probe: only materialized when the
+  // latency-driven degradation trigger is armed (it is the only
+  // consumer and costs a mutex op per completion).
+  std::optional<RollingLatency> latency_probe;
+  if (config_.slo.degrade && config_.slo.latency_high_ms > 0.0) {
+    latency_probe.emplace(config_.slo.latency_window);
+  }
   const ResultSink sink = [&](const ReadyFrame& frame,
                               const DenseTensor& batch_output, int lane,
                               double latency_us) {
@@ -91,6 +143,7 @@ ServeReport ServingRuntime::run(
     // map mutation need the mutex).
     DenseTensor output;
     if (capture) sparse::copy_sample(batch_output, lane, output);
+    if (latency_probe.has_value()) latency_probe->add(latency_us);
     const std::lock_guard<std::mutex> lock(sink_mutex);
     StreamServeStats& s =
         completion[static_cast<std::size_t>(frame.stream_id)];
@@ -102,6 +155,14 @@ ServeReport ServingRuntime::run(
     }
   };
   const FailureSink failure = [&](const QuarantinedFrame& q) {
+    if (journal != nullptr) {
+      journal->append("quarantine",
+                      "stream=" + std::to_string(q.stream_id) +
+                          " seq=" + std::to_string(q.seq) +
+                          " fault=" + to_string(q.fault) +
+                          " action=" +
+                          (is_shed_fault(q.fault) ? "shed" : "worker-reject"));
+    }
     const std::lock_guard<std::mutex> lock(sink_mutex);
     StreamServeStats& s =
         completion[static_cast<std::size_t>(q.stream_id)];
@@ -119,13 +180,27 @@ ServeReport ServingRuntime::run(
   ServeHooks hooks;
   hooks.result = sink;
   hooks.failure = failure;
-  hooks.faults = inject ? &injector : nullptr;
+  hooks.faults = injector;
   hooks.slo = config_.slo;
   DegradationState degrade_state;
   std::optional<DegradationController> controller;
   if (config_.slo.degrade) {
     controller.emplace(config_.slo, queue, degrade_state);
     hooks.degrade = &degrade_state;
+    if (latency_probe.has_value()) {
+      controller->set_latency_probe(&*latency_probe);
+    }
+    if (journal != nullptr) {
+      controller->set_transition_hook([journal](
+                                          const DegradationTransition& t) {
+        journal->append("degrade",
+                        "from=" + std::to_string(t.from) +
+                            " to=" + std::to_string(t.to) +
+                            " depth=" + std::to_string(t.queue_depth) +
+                            " p99_ms=" + std::to_string(t.p99_ms) +
+                            " action=level-change");
+      });
+    }
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -163,14 +238,14 @@ ServeReport ServingRuntime::run(
   // and every other stream runs to completion.
   std::vector<std::thread> ingress_threads;
   ingress_threads.reserve(ingresses.size());
-  for (StreamIngress& ingress : ingresses) {
-    ingress_threads.emplace_back([&ingress] {
+  for (IngressBase* ingress : ingresses) {
+    ingress_threads.emplace_back([ingress] {
       try {
-        ingress.run();
+        ingress->run();
       } catch (const std::exception& e) {
-        ingress.mark_failed(e.what());
+        ingress->mark_failed(e.what());
       } catch (...) {
-        ingress.mark_failed("unknown ingress failure");
+        ingress->mark_failed("unknown ingress failure");
       }
     });
   }
@@ -215,7 +290,7 @@ ServeReport ServingRuntime::run(
   report_.streams.reserve(ingresses.size());
   std::size_t residual_drops = 0;
   for (std::size_t i = 0; i < ingresses.size(); ++i) {
-    StreamServeStats s = ingresses[i].stats();
+    StreamServeStats s = ingresses[i]->stats();
     const StreamServeStats& done = completion[i];
     s.completed = done.completed;
     s.shed = done.shed;
@@ -237,7 +312,10 @@ ServeReport ServingRuntime::run(
     report_.frames_dropped += s.dropped;
     report_.frames_shed += s.shed;
     report_.frames_failed += s.failed;
-    for (const QuarantinedFrame& q : ingresses[i].quarantined()) {
+    report_.rejected_packets += s.rejected_packets;
+    report_.duplicate_packets += s.duplicate_packets;
+    report_.wire_resumes += s.wire_resumes;
+    for (const QuarantinedFrame& q : ingresses[i]->quarantined()) {
       report_.quarantined.push_back(q);
     }
     report_.streams.push_back(std::move(s));
@@ -259,7 +337,7 @@ ServeReport ServingRuntime::run(
     report_.ms_at_degrade_level = controller->ms_at_level();
     report_.max_degrade_level = controller->max_level_reached();
   }
-  report_.faults = injector.counts();
+  if (injector != nullptr) report_.faults = injector->counts();
   return report_;
 }
 

@@ -40,8 +40,10 @@
 #include "nn/engine.hpp"
 #include "serve/degrade.hpp"
 #include "serve/fault.hpp"
+#include "serve/journal.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/stream_ingress.hpp"
+#include "serve/wire_ingress.hpp"
 #include "serve/worker_pool.hpp"
 
 namespace evedge::serve {
@@ -67,6 +69,11 @@ struct ServeConfig {
   /// Record every (stream, seq) output for parity checks / consumers
   /// (costs one output-tensor copy per frame).
   bool capture_outputs = false;
+  /// Crash-consistent fault journal: when non-empty, every fired fault,
+  /// quarantine, rejected wire packet, and degradation transition is
+  /// appended (fsync'd per line) to this file during the run. Empty =
+  /// journaling off.
+  std::string journal_path{};
 };
 
 class ServingRuntime {
@@ -81,6 +88,15 @@ class ServingRuntime {
   /// (also retrievable via last_report()). Captured outputs, when
   /// enabled, are valid until the next run().
   ServeReport run(std::span<const events::EventStream> streams);
+
+  /// Serves N wire sessions to completion: one WireStreamIngress per
+  /// acceptor, each accepting (and re-accepting after disconnects) the
+  /// receive side of a hardened wire session, sharing the same queue /
+  /// worker / degradation machinery as run(). The report additionally
+  /// carries the packet-partition lanes (rejected_packets etc.), and
+  /// accounting_ok() checks both invariants.
+  ServeReport run_wire(std::span<const TransportAcceptor> acceptors,
+                       const WireIngressConfig& wire_config = {});
 
   /// Captured output of (stream, seq); nullptr when not captured.
   [[nodiscard]] const sparse::DenseTensor* output(int stream_id,
@@ -126,6 +142,15 @@ class ServingRuntime {
   }
 
  private:
+  /// The shared serving body behind run() and run_wire(): drives the
+  /// given ingresses (one thread each) against the queue and worker
+  /// pool, runs the monitor/degradation machinery, and assembles
+  /// report_. `injector` may be null (no stream/worker fault plan);
+  /// `journal` may be null (journaling off).
+  ServeReport serve_ingresses(std::span<IngressBase* const> ingresses,
+                              FrameQueue& queue, FaultInjector* injector,
+                              FaultJournal* journal);
+
   nn::NetworkSpec spec_;
   nn::FunctionalNetwork prototype_;
   ServeConfig config_;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -108,21 +109,31 @@ void StreamIngress::run() {
            }
            // Injected stream-site faults at this exact (stream, seq).
            if (faults_ != nullptr) {
+             const auto journal_fire = [&](const char* action) {
+               if (journal_ == nullptr) return;
+               journal_->append(
+                   "inject", "stream=" + std::to_string(stream_id_) +
+                                 " seq=" + std::to_string(seq) +
+                                 " action=" + action);
+             };
              for (const FaultSpec& spec :
                   faults_->at_stream(stream_id_, seq)) {
                switch (spec.type) {
                  case FaultType::kStreamStall:
                    faults_->record(FaultType::kStreamStall);
+                   journal_fire("stall");
                    std::this_thread::sleep_for(
                        std::chrono::duration<double, std::milli>(
                            spec.delay_ms));
                    break;
                  case FaultType::kStreamDisconnect:
                    faults_->record(FaultType::kStreamDisconnect);
+                   journal_fire("disconnect");
                    mark_failed("injected stream disconnect");
                    return false;  // stop ingesting; stream dies here
                  case FaultType::kCorruptFrame:
                    faults_->record(FaultType::kCorruptFrame);
+                   journal_fire("corrupt");
                    FaultInjector::corrupt(spec, frame);
                    break;
                  default:
@@ -138,6 +149,14 @@ void StreamIngress::run() {
              if (fault != FrameFault::kNone) {
                quarantined_.push_back(
                    QuarantinedFrame{stream_id_, seq, fault, 0});
+               if (journal_ != nullptr) {
+                 journal_->append(
+                     "quarantine",
+                     "stream=" + std::to_string(stream_id_) +
+                         " seq=" + std::to_string(seq) +
+                         " fault=" + to_string(fault) +
+                         " action=ingress-reject");
+               }
                ++stats_.enqueued;
                ++stats_.failed;
                ++seq;  // the seq is consumed: downstream keys stay aligned

@@ -34,6 +34,7 @@
 #include "events/event_stream.hpp"
 #include "serve/fault.hpp"
 #include "serve/frame_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/serve_stats.hpp"
 
 namespace evedge::serve {
@@ -59,7 +60,32 @@ struct IngressConfig {
 [[nodiscard]] FrameFault frame_fault_of(const sparse::SparseFrame& frame,
                                         int height, int width) noexcept;
 
-class StreamIngress {
+/// The runtime's view of one stream producer: run() on a dedicated
+/// thread until the stream ends, per-stream accounting afterwards.
+/// Implemented by StreamIngress (in-process EventStream walk) and
+/// WireStreamIngress (network receive path) — ServingRuntime drives
+/// both through this interface, so the queue/worker/report machinery
+/// is written once.
+class IngressBase {
+ public:
+  virtual ~IngressBase() = default;
+
+  /// Runs the stream to completion (single-shot, dedicated thread).
+  virtual void run() = 0;
+
+  /// Marks this stream failed; the runtime calls it when the ingress
+  /// thread dies on an exception.
+  virtual void mark_failed(std::string reason) = 0;
+
+  /// Per-stream accounting, valid after run() returns.
+  [[nodiscard]] virtual const StreamServeStats& stats() const noexcept = 0;
+
+  /// Frames this ingress quarantined, in seq order; valid after run().
+  [[nodiscard]] virtual const std::vector<QuarantinedFrame>& quarantined()
+      const noexcept = 0;
+};
+
+class StreamIngress final : public IngressBase {
  public:
   /// The stream and queue must outlive the ingress. `stream_id` tags
   /// every enqueued frame.
@@ -72,25 +98,32 @@ class StreamIngress {
     faults_ = injector;
   }
 
+  /// Attaches the crash-consistent fault journal (nullptr detaches);
+  /// fired faults and quarantines at this ingress are appended as
+  /// (site, fault, action) entries. Must outlive the ingress.
+  void attach_journal(FaultJournal* journal) noexcept {
+    journal_ = journal;
+  }
+
   /// Runs the stream to completion (call on a dedicated thread): E2SF ->
   /// DSFA -> queue. Returns when every dispatched frame was enqueued (or
   /// the queue closed early, or an injected disconnect fired).
   /// Single-shot.
-  void run();
+  void run() override;
 
   /// Marks this stream failed (stats().ingress_failed + reason). The
   /// runtime calls this when the ingress thread dies on an exception;
   /// injected disconnects call it from inside run().
-  void mark_failed(std::string reason);
+  void mark_failed(std::string reason) override;
 
   /// Per-stream accounting, valid after run() returns.
-  [[nodiscard]] const StreamServeStats& stats() const noexcept {
+  [[nodiscard]] const StreamServeStats& stats() const noexcept override {
     return stats_;
   }
   /// Frames this ingress quarantined (validation failures), in seq
   /// order; valid after run() returns.
   [[nodiscard]] const std::vector<QuarantinedFrame>& quarantined()
-      const noexcept {
+      const noexcept override {
     return quarantined_;
   }
 
@@ -107,6 +140,7 @@ class StreamIngress {
   IngressConfig config_;
   FrameQueue& queue_;
   FaultInjector* faults_ = nullptr;
+  FaultJournal* journal_ = nullptr;
   StreamServeStats stats_;
   std::vector<QuarantinedFrame> quarantined_;
 };

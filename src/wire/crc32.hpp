@@ -1,0 +1,18 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-packet
+// integrity check of the wire protocol. Software table implementation;
+// the wire packets are small (<= ~4 KiB) and the serving hot path is
+// inference, not framing, so a slice-by-1 table is plenty.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evedge::wire {
+
+/// CRC-32 of `n` bytes. `seed` chains partial computations:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace evedge::wire

@@ -1,0 +1,181 @@
+#include "wire/net_fault_proxy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+#include "wire/packet.hpp"
+
+namespace evedge::wire {
+
+namespace {
+
+constexpr std::uint64_t site_key(std::uint32_t session_id,
+                                 std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(session_id) << 32) | seq;
+}
+
+}  // namespace
+
+const char* to_string(NetFaultType type) noexcept {
+  switch (type) {
+    case NetFaultType::kDrop: return "drop";
+    case NetFaultType::kCorrupt: return "corrupt";
+    case NetFaultType::kTruncate: return "truncate";
+    case NetFaultType::kReorder: return "reorder";
+    case NetFaultType::kDelay: return "delay";
+    case NetFaultType::kDisconnect: return "disconnect";
+  }
+  return "?";
+}
+
+NetFaultPlan NetFaultPlan::seeded(std::uint64_t seed,
+                                  const NetFaultPlanOptions& options) {
+  const int total = options.drops + options.corrupts + options.truncates +
+                    options.reorders + options.delays + options.disconnects;
+  if (total > static_cast<int>(options.packets_hint)) {
+    throw std::invalid_argument(
+        "NetFaultPlan::seeded: more faults than packet sites");
+  }
+  NetFaultPlan plan;
+  plan.seed = seed;
+  std::mt19937_64 rng(seed);
+  // Draw sites without replacement: shuffle the seq space once and
+  // carve it into per-type slices, so each seq suffers at most one
+  // fault and the plan is a pure function of (seed, options).
+  std::vector<std::uint32_t> seqs(options.packets_hint);
+  std::iota(seqs.begin(), seqs.end(), 0u);
+  std::shuffle(seqs.begin(), seqs.end(), rng);
+  std::size_t cursor = 0;
+  const auto emit = [&](NetFaultType type, int count, double delay_ms) {
+    for (int i = 0; i < count; ++i) {
+      plan.add({type, options.session_id, seqs[cursor++], delay_ms});
+    }
+  };
+  emit(NetFaultType::kDrop, options.drops, 0.0);
+  emit(NetFaultType::kCorrupt, options.corrupts, 0.0);
+  emit(NetFaultType::kTruncate, options.truncates, 0.0);
+  emit(NetFaultType::kReorder, options.reorders, 0.0);
+  emit(NetFaultType::kDelay, options.delays, options.delay_ms);
+  emit(NetFaultType::kDisconnect, options.disconnects, 0.0);
+  return plan;
+}
+
+NetFaultInjector::NetFaultInjector(NetFaultPlan plan)
+    : plan_(std::move(plan)) {
+  for (const NetFaultSpec& spec : plan_.specs) {
+    sites_[site_key(spec.session_id, spec.seq)].specs.push_back(spec);
+  }
+}
+
+std::vector<NetFaultSpec> NetFaultInjector::take(std::uint32_t session_id,
+                                                 std::uint32_t seq) {
+  const auto it = sites_.find(site_key(session_id, seq));
+  if (it == sites_.end()) return {};
+  if (it->second.fired.exchange(true, std::memory_order_acq_rel)) return {};
+  return it->second.specs;
+}
+
+void NetFaultInjector::record(NetFaultType type) noexcept {
+  switch (type) {
+    case NetFaultType::kDrop: drops_.fetch_add(1); break;
+    case NetFaultType::kCorrupt: corrupts_.fetch_add(1); break;
+    case NetFaultType::kTruncate: truncates_.fetch_add(1); break;
+    case NetFaultType::kReorder: reorders_.fetch_add(1); break;
+    case NetFaultType::kDelay: delays_.fetch_add(1); break;
+    case NetFaultType::kDisconnect: disconnects_.fetch_add(1); break;
+  }
+}
+
+NetFaultCounts NetFaultInjector::counts() const noexcept {
+  NetFaultCounts c;
+  c.drops = drops_.load();
+  c.corrupts = corrupts_.load();
+  c.truncates = truncates_.load();
+  c.reorders = reorders_.load();
+  c.delays = delays_.load();
+  c.disconnects = disconnects_.load();
+  return c;
+}
+
+NetFaultProxy::NetFaultProxy(std::unique_ptr<Transport> inner,
+                             std::shared_ptr<NetFaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+bool NetFaultProxy::send(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  // Only whole data / end-of-stream packets are fault sites; anything
+  // else (hello, heartbeats, acks, resume) passes through so the
+  // session control plane stays analyzable.
+  bool at_site = false;
+  std::uint32_t session_id = 0;
+  std::uint32_t seq = 0;
+  if (n >= kHeaderBytes && std::memcmp(bytes, "EVWP", 4) == 0) {
+    const auto type = static_cast<PacketType>(bytes[5]);
+    if (type == PacketType::kData || type == PacketType::kEndOfStream) {
+      std::memcpy(&session_id, bytes + 8, 4);
+      std::memcpy(&seq, bytes + 12, 4);
+      at_site = true;
+    }
+  }
+
+  std::vector<std::uint8_t> held;
+  held.swap(held_);  // a previously reordered packet goes out after this one
+
+  bool forward = true;
+  std::vector<std::uint8_t> mutated;
+  std::size_t send_len = n;
+  if (at_site) {
+    for (const NetFaultSpec& spec : injector_->take(session_id, seq)) {
+      injector_->record(spec.type);
+      switch (spec.type) {
+        case NetFaultType::kDrop:
+          forward = false;
+          break;
+        case NetFaultType::kCorrupt:
+          // Flip one payload byte (or the CRC itself for header-only
+          // packets) — always CRC-detectable, never a valid packet.
+          mutated.assign(bytes, bytes + n);
+          mutated[n > kHeaderBytes ? kHeaderBytes : 20] ^= 0xA5u;
+          break;
+        case NetFaultType::kTruncate:
+          send_len = n / 2;  // partial write mid-packet
+          break;
+        case NetFaultType::kReorder:
+          held_.assign(bytes, bytes + n);
+          forward = false;
+          break;
+        case NetFaultType::kDelay:
+          std::this_thread::sleep_for(std::chrono::duration<double,
+                                                            std::milli>(
+              spec.delay_ms));
+          break;
+        case NetFaultType::kDisconnect:
+          inner_->close();
+          return false;
+      }
+    }
+  }
+
+  bool ok = true;
+  if (forward) {
+    const std::uint8_t* out = mutated.empty() ? bytes : mutated.data();
+    ok = inner_->send(out, mutated.empty() ? send_len : mutated.size());
+  }
+  if (ok && !held.empty()) ok = inner_->send(held.data(), held.size());
+  return ok;
+}
+
+std::ptrdiff_t NetFaultProxy::recv_some(void* data, std::size_t n,
+                                        std::chrono::milliseconds timeout) {
+  return inner_->recv_some(data, n, timeout);
+}
+
+void NetFaultProxy::close() { inner_->close(); }
+
+bool NetFaultProxy::closed() const { return inner_->closed(); }
+
+}  // namespace evedge::wire

@@ -1,0 +1,158 @@
+#pragma once
+
+// Deterministic hostile-network simulation: NetFaultProxy decorates a
+// Transport and applies a seeded NetFaultPlan to the packets flowing
+// through send(). Sites are (session_id, seq) of data / end-of-stream
+// packets — the wire twin of serve::FaultPlan's (stream_id, seq) sites —
+// so the same seed exercises the same byte-level damage run after run.
+//
+// Each site fires AT MOST ONCE: with go-back-N retransmission the same
+// seq crosses the proxy again after a drop, and a fault that re-fired
+// on every pass would deadlock the session instead of testing its
+// recovery. The fired-site claim and the counters live in a shared
+// NetFaultInjector so they survive reconnects (each reconnect wraps the
+// fresh Transport in a new proxy over the same injector).
+//
+// Fault taxonomy (what each one exercises):
+//   kDrop        retransmission after ack gap / timeout
+//   kCorrupt     CRC rejection + rejected_packets accounting
+//   kTruncate    partial write -> framing slip -> resync on magic
+//   kReorder     receiver reorder buffer + immediate gap-ack
+//   kDelay       heartbeat / stall detection without data loss
+//   kDisconnect  mid-stream connection loss -> reconnect + resume
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "wire/transport.hpp"
+
+namespace evedge::wire {
+
+enum class NetFaultType : std::uint8_t {
+  kDrop,        ///< swallow the packet (proxy reports success)
+  kCorrupt,     ///< flip payload bytes before forwarding
+  kTruncate,    ///< forward only a prefix of the packet
+  kReorder,     ///< hold the packet, send it after its successor
+  kDelay,       ///< sleep delay_ms before forwarding
+  kDisconnect,  ///< close the link instead of sending
+};
+
+[[nodiscard]] const char* to_string(NetFaultType type) noexcept;
+
+/// One fault at one (session_id, seq) site.
+struct NetFaultSpec {
+  NetFaultType type = NetFaultType::kDrop;
+  std::uint32_t session_id = 0;
+  std::uint32_t seq = 0;
+  double delay_ms = 0.0;  ///< kDelay only
+};
+
+/// Knobs for NetFaultPlan::seeded.
+struct NetFaultPlanOptions {
+  std::uint32_t session_id = 1;
+  /// Upper bound (exclusive) for drawn seq sites; keep it at or below
+  /// the real data-packet count so every drawn fault can fire.
+  std::uint32_t packets_hint = 64;
+  int drops = 0;
+  int corrupts = 0;
+  int truncates = 0;
+  int reorders = 0;
+  int delays = 0;
+  int disconnects = 0;
+  double delay_ms = 20.0;
+};
+
+/// Fired-fault counters (what the proxy actually did, not the plan).
+struct NetFaultCounts {
+  std::size_t drops = 0;
+  std::size_t corrupts = 0;
+  std::size_t truncates = 0;
+  std::size_t reorders = 0;
+  std::size_t delays = 0;
+  std::size_t disconnects = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return drops + corrupts + truncates + reorders + delays + disconnects;
+  }
+  friend bool operator==(const NetFaultCounts&,
+                         const NetFaultCounts&) = default;
+};
+
+/// A reproducible network-fault schedule. Same (seed, options) ->
+/// identical plan, bit for bit. Sites are drawn without replacement, so
+/// each seq suffers at most one fault type.
+struct NetFaultPlan {
+  std::vector<NetFaultSpec> specs;
+  std::uint64_t seed = 0;
+
+  NetFaultPlan& add(NetFaultSpec spec) {
+    specs.push_back(spec);
+    return *this;
+  }
+  [[nodiscard]] bool empty() const noexcept { return specs.empty(); }
+
+  [[nodiscard]] static NetFaultPlan seeded(std::uint64_t seed,
+                                           const NetFaultPlanOptions& options);
+};
+
+/// Immutable (session, seq) site index plus fire-once claims and fired
+/// counters. Shared across reconnects; lookups are lock-free (const map
+/// + per-site atomic claim flag).
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(NetFaultPlan plan);
+
+  /// Claims the faults at (session_id, seq): the first caller gets the
+  /// specs, every later caller (retransmission) gets an empty list.
+  [[nodiscard]] std::vector<NetFaultSpec> take(std::uint32_t session_id,
+                                               std::uint32_t seq);
+
+  void record(NetFaultType type) noexcept;
+  [[nodiscard]] NetFaultCounts counts() const noexcept;
+  [[nodiscard]] const NetFaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct Site {
+    std::vector<NetFaultSpec> specs;
+    std::atomic<bool> fired{false};
+  };
+
+  NetFaultPlan plan_;
+  std::unordered_map<std::uint64_t, Site> sites_;  // (session << 32 | seq)
+  std::atomic<std::size_t> drops_{0};
+  std::atomic<std::size_t> corrupts_{0};
+  std::atomic<std::size_t> truncates_{0};
+  std::atomic<std::size_t> reorders_{0};
+  std::atomic<std::size_t> delays_{0};
+  std::atomic<std::size_t> disconnects_{0};
+};
+
+/// Transport decorator applying the injector's plan to outgoing
+/// packets. Expects the sender's one-packet-per-send() discipline
+/// (WireSender honors it); non-packet or control traffic passes
+/// through untouched. recv_some()/close() delegate to the inner
+/// transport.
+class NetFaultProxy : public Transport {
+ public:
+  NetFaultProxy(std::unique_ptr<Transport> inner,
+                std::shared_ptr<NetFaultInjector> injector);
+
+  [[nodiscard]] bool send(const void* data, std::size_t n) override;
+  [[nodiscard]] std::ptrdiff_t recv_some(
+      void* data, std::size_t n,
+      std::chrono::milliseconds timeout) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::shared_ptr<NetFaultInjector> injector_;
+  /// kReorder stash: held packet, forwarded after the next send. Dies
+  /// with the connection (ARQ recovers the loss).
+  std::vector<std::uint8_t> held_;
+};
+
+}  // namespace evedge::wire

@@ -1,0 +1,171 @@
+#include "wire/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace evedge::wire {
+
+void record_stream(const events::EventStream& stream,
+                   const std::string& path,
+                   std::size_t events_per_packet,
+                   std::uint32_t session_id) {
+  const std::size_t per_packet =
+      std::min(events_per_packet, kMaxEventsPerPacket);
+  const auto& events = stream.events();
+
+  StreamHeader header;
+  header.width = static_cast<std::uint16_t>(stream.geometry().width);
+  header.height = static_cast<std::uint16_t>(stream.geometry().height);
+  header.epoch_us = events.empty() ? 0 : events.front().t;
+  header.t_end_us = events.empty() ? 0 : events.back().t;
+  header.data_packets = static_cast<std::uint32_t>(
+      (events.size() + per_packet - 1) / per_packet);
+
+  std::vector<std::uint8_t> bytes;
+  encode_hello(session_id, header, bytes);
+  std::uint32_t seq = 0;
+  for (std::size_t i = 0; i < events.size(); i += per_packet) {
+    const std::size_t n = std::min(per_packet, events.size() - i);
+    encode_data(session_id, seq++,
+                std::span<const events::Event>(events.data() + i, n),
+                bytes);
+  }
+  encode_eos(session_id, seq, header.t_end_us, bytes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("record_stream: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("record_stream: short write to " + path);
+  }
+}
+
+StreamReplayer::StreamReplayer(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("StreamReplayer: cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  bytes_.resize(static_cast<std::size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes_.data()), size)) {
+    throw std::runtime_error("StreamReplayer: short read from " + path);
+  }
+
+  PacketFramer framer;
+  framer.feed(bytes_.data(), bytes_.size());
+  std::size_t offset = 0;
+  bool have_hello = false;
+  bool have_eos = false;
+  while (auto framed = framer.next()) {
+    if (framed->error != PacketError::kNone) {
+      throw std::runtime_error(
+          std::string("StreamReplayer: corrupt recording (") +
+          to_string(framed->error) + ") in " + path);
+    }
+    const std::size_t length =
+        kHeaderBytes + framed->payload.size();
+    packets_.push_back({offset, length, framed->header});
+    offset += length;
+    switch (framed->header.type) {
+      case PacketType::kHello:
+        if (!decode_hello(framed->payload, header_)) {
+          throw std::runtime_error(
+              "StreamReplayer: malformed hello in " + path);
+        }
+        have_hello = true;
+        break;
+      case PacketType::kData:
+        ++data_packets_;
+        break;
+      case PacketType::kEndOfStream:
+        have_eos = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!have_hello || !have_eos || framer.buffered() != 0) {
+    throw std::runtime_error(
+        "StreamReplayer: incomplete recording in " + path);
+  }
+}
+
+events::EventStream StreamReplayer::decode() const {
+  std::vector<events::Event> events;
+  TimestampUnwrapper unwrapper(header_.epoch_us);
+  std::int64_t min_t = header_.epoch_us;
+  for (const PacketRef& ref : packets_) {
+    if (ref.header.type != PacketType::kData || ref.header.event_count == 0) {
+      continue;
+    }
+    const std::int64_t base = unwrapper.unwrap(ref.header.t_base);
+    const PacketError err = decode_events(
+        std::span<const std::uint8_t>(bytes_.data() + ref.offset +
+                                          kHeaderBytes,
+                                      ref.length - kHeaderBytes),
+        ref.header.event_count, base, min_t, header_.width,
+        header_.height, events);
+    if (err != PacketError::kNone) {
+      throw std::runtime_error(
+          std::string("StreamReplayer::decode: ") + to_string(err));
+    }
+    min_t = events.back().t;
+    unwrapper.advance(min_t);
+  }
+  return events::EventStream(
+      events::SensorGeometry{header_.width, header_.height},
+      std::move(events));
+}
+
+ReplayStats StreamReplayer::replay(Transport& transport,
+                                   double speedup) const {
+  using Clock = std::chrono::steady_clock;
+  ReplayStats stats;
+  const auto start = Clock::now();
+  TimestampUnwrapper unwrapper(header_.epoch_us);
+  std::uint8_t drain[1024];
+  for (const PacketRef& ref : packets_) {
+    const bool timed = ref.header.type == PacketType::kData &&
+                       ref.header.event_count > 0;
+    if (timed && speedup > 0.0) {
+      const std::int64_t t = unwrapper.unwrap(ref.header.t_base);
+      const double offset_us =
+          static_cast<double>(t - header_.epoch_us) / speedup;
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(
+                      static_cast<std::int64_t>(offset_us)));
+    } else if (timed) {
+      (void)unwrapper.unwrap(ref.header.t_base);
+    }
+    if (!transport.send(bytes_.data() + ref.offset, ref.length)) {
+      throw std::runtime_error("StreamReplayer::replay: transport died");
+    }
+    if (ref.header.type != PacketType::kHello) {
+      ++stats.packets_sent;
+    }
+    stats.bytes_sent += ref.length;
+    // Keep the reverse direction drained so peer acks can't fill a
+    // bounded transport and deadlock a one-way replay.
+    while (transport.recv_some(drain, sizeof drain,
+                               std::chrono::milliseconds(0)) > 0) {
+    }
+  }
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      Clock::now() - start)
+                      .count();
+  stats.target_ms =
+      speedup > 0.0
+          ? static_cast<double>(header_.t_end_us - header_.epoch_us) /
+                (speedup * 1000.0)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace evedge::wire

@@ -1,0 +1,86 @@
+#pragma once
+
+// Record / replay harness for wire-protocol load generation.
+//
+// A recording (.evw file) is simply a valid EVWP byte stream — hello,
+// data packets, end-of-stream — written verbatim. That means a
+// recording can be replayed by blasting its bytes down any Transport,
+// inspected with the same PacketFramer the live path uses, and decoded
+// offline back into an EventStream for parity checks.
+//
+// StreamReplayer paces packets against the event-time axis: with
+// speedup S, the packet whose (unwrapped) t_base lies T microseconds
+// after the stream epoch is sent no earlier than start + T/S — 1x is
+// real time, 1000x compresses an hour of sensor time into seconds,
+// <= 0 blasts flat out. This is the load generator behind bench_serve's
+// paced closed-loop mode.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "events/event_stream.hpp"
+#include "wire/packet.hpp"
+#include "wire/transport.hpp"
+
+namespace evedge::wire {
+
+/// Serializes `stream` to `path` as a raw wire byte stream. Throws
+/// std::runtime_error on I/O failure, std::invalid_argument on
+/// unencodable events.
+void record_stream(const events::EventStream& stream,
+                   const std::string& path,
+                   std::size_t events_per_packet = 256,
+                   std::uint32_t session_id = 1);
+
+struct ReplayStats {
+  std::size_t packets_sent = 0;  ///< data + end-of-stream
+  std::size_t bytes_sent = 0;
+  double wall_ms = 0.0;
+  /// Event-time span of the recording divided by the speedup (the
+  /// pacing target; wall_ms close to it means pacing held).
+  double target_ms = 0.0;
+};
+
+/// Loads a recording, indexes its packets, replays or decodes it.
+class StreamReplayer {
+ public:
+  /// Throws std::runtime_error when the file is missing, unreadable,
+  /// or not a clean packet stream (any framing rejection is fatal — a
+  /// recording is a trusted artifact, unlike the live wire).
+  explicit StreamReplayer(const std::string& path);
+
+  [[nodiscard]] const StreamHeader& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::size_t data_packets() const noexcept {
+    return data_packets_;
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return bytes_.size();
+  }
+
+  /// Decodes the recording back into an EventStream (offline parity /
+  /// inspection path).
+  [[nodiscard]] events::EventStream decode() const;
+
+  /// Sends hello + every packet down `transport`, pacing data packets
+  /// by event time / `speedup` (<= 0 = flat out). One-way: incoming
+  /// bytes (acks from a WireReceiver peer) are drained and discarded.
+  /// Returns stats; throws std::runtime_error if the transport dies.
+  ReplayStats replay(Transport& transport, double speedup) const;
+
+ private:
+  struct PacketRef {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+    PacketHeader header{};
+  };
+
+  std::vector<std::uint8_t> bytes_;
+  std::vector<PacketRef> packets_;  ///< in file order, hello first
+  StreamHeader header_{};
+  std::size_t data_packets_ = 0;
+};
+
+}  // namespace evedge::wire

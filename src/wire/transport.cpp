@@ -1,0 +1,242 @@
+#include "wire/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace evedge::wire {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// poll() one fd for `events`; true when ready, false on timeout/error.
+bool wait_fd(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd pfd{fd, events, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  return rc > 0 && (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TCP
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("TcpListener: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("TcpListener: bind/listen failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Transport> TcpListener::accept(
+    std::chrono::milliseconds timeout) {
+  if (closed_.load(std::memory_order_acquire)) return nullptr;
+  if (!wait_fd(fd_, POLLIN, timeout)) return nullptr;
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return nullptr;
+  return std::make_unique<TcpTransport>(fd);
+}
+
+void TcpListener::close() {
+  if (!closed_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
+    // shutdown (not ::close) so a concurrent accept()'s poll wakes
+    // without racing fd reuse; the fd itself dies in the destructor.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpTransport::~TcpTransport() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(
+    std::uint16_t port, std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr = loopback(port);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+         0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::close(fd);
+      return nullptr;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+bool TcpTransport::send(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    if (closed()) return false;
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent > 0) {
+      p += sent;
+      n -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EINTR || errno == EAGAIN)) {
+      (void)wait_fd(fd_, POLLOUT, std::chrono::milliseconds(50));
+      continue;
+    }
+    return false;  // peer gone / reset
+  }
+  return true;
+}
+
+std::ptrdiff_t TcpTransport::recv_some(void* data, std::size_t n,
+                                       std::chrono::milliseconds timeout) {
+  if (closed()) return -1;
+  if (!wait_fd(fd_, POLLIN, timeout)) return closed() ? -1 : 0;
+  const ssize_t got = ::recv(fd_, data, n, 0);
+  if (got > 0) return got;
+  if (got == 0) return -1;  // orderly EOF
+  if (errno == EINTR || errno == EAGAIN) return 0;
+  return -1;
+}
+
+void TcpTransport::close() {
+  if (!closed_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+// ------------------------------------------------------ shared-memory
+
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShmRing::ShmRing(std::size_t capacity)
+    : buffer_(round_pow2(capacity)), mask_(buffer_.size() - 1) {}
+
+std::size_t ShmRing::write_some(const void* data, std::size_t n) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::size_t free = buffer_.size() - static_cast<std::size_t>(head - tail);
+  const std::size_t take = n < free ? n : free;
+  if (take == 0) return 0;
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  const std::size_t start = static_cast<std::size_t>(head) & mask_;
+  const std::size_t first = std::min(take, buffer_.size() - start);
+  std::memcpy(buffer_.data() + start, src, first);
+  std::memcpy(buffer_.data(), src + first, take - first);
+  head_.store(head + take, std::memory_order_release);
+  return take;
+}
+
+std::size_t ShmRing::read_some(void* data, std::size_t n) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::size_t avail = static_cast<std::size_t>(head - tail);
+  const std::size_t take = n < avail ? n : avail;
+  if (take == 0) return 0;
+  auto* dst = static_cast<std::uint8_t*>(data);
+  const std::size_t start = static_cast<std::size_t>(tail) & mask_;
+  const std::size_t first = std::min(take, buffer_.size() - start);
+  std::memcpy(dst, buffer_.data() + start, first);
+  std::memcpy(dst + first, buffer_.data(), take - first);
+  tail_.store(tail + take, std::memory_order_release);
+  return take;
+}
+
+std::size_t ShmRing::readable() const noexcept {
+  return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                  tail_.load(std::memory_order_acquire));
+}
+
+ShmRingTransport::ShmRingTransport(std::shared_ptr<ShmRing> tx,
+                                   std::shared_ptr<ShmRing> rx)
+    : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+std::pair<std::unique_ptr<ShmRingTransport>,
+          std::unique_ptr<ShmRingTransport>>
+ShmRingTransport::make_pair(std::size_t capacity) {
+  auto a2b = std::make_shared<ShmRing>(capacity);
+  auto b2a = std::make_shared<ShmRing>(capacity);
+  return {std::make_unique<ShmRingTransport>(a2b, b2a),
+          std::make_unique<ShmRingTransport>(b2a, a2b)};
+}
+
+bool ShmRingTransport::send(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    if (tx_->closed() || rx_->closed()) return false;
+    const std::size_t wrote = tx_->write_some(p, n);
+    if (wrote == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      continue;
+    }
+    p += wrote;
+    n -= wrote;
+  }
+  return true;
+}
+
+std::ptrdiff_t ShmRingTransport::recv_some(
+    void* data, std::size_t n, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    // Snapshot closed BEFORE draining: if the peer wrote then closed,
+    // the acquire here orders before the read below, so every byte
+    // written prior to close is drained before EOF is reported.
+    const bool was_closed = rx_->closed() || tx_->closed();
+    const std::size_t got = rx_->read_some(data, n);
+    if (got > 0) return static_cast<std::ptrdiff_t>(got);
+    if (was_closed) return -1;
+    if (std::chrono::steady_clock::now() >= deadline) return 0;
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+void ShmRingTransport::close() {
+  tx_->close();
+  rx_->close();
+}
+
+bool ShmRingTransport::closed() const {
+  return tx_->closed() || rx_->closed();
+}
+
+}  // namespace evedge::wire

@@ -1,0 +1,150 @@
+#pragma once
+
+// Transport: the duplex byte-pipe abstraction under the wire protocol.
+// Two in-tree implementations:
+//
+//   TcpTransport / TcpListener  loopback-or-LAN TCP sockets with
+//       poll()-based read timeouts and shutdown-safe cross-thread
+//       close() — the hostile-network surface the ingress hardening is
+//       tested against (via NetFaultProxy).
+//   ShmRingTransport  a pair of single-producer/single-consumer byte
+//       rings with atomic head/tail cursors. The ring state lives in
+//       one contiguous allocation and is position-independent, so the
+//       same layout drops onto a real shared-memory segment; in-tree it
+//       connects sender and receiver threads allocation-free.
+//
+// Contract: send() delivers all n bytes or reports the link dead;
+// recv_some() returns up to n bytes, 0 on timeout (link still up), -1
+// on EOF/closed. close() may be called from any thread and wakes
+// blocked peers. One thread sends, one thread receives per direction
+// (the sessions in session.hpp obey this).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace evedge::wire {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends all `n` bytes; false = the link is dead (peer gone, closed).
+  [[nodiscard]] virtual bool send(const void* data, std::size_t n) = 0;
+
+  /// Receives up to `n` bytes, waiting at most `timeout`. Returns the
+  /// byte count (> 0), 0 on timeout, -1 on EOF / closed link.
+  [[nodiscard]] virtual std::ptrdiff_t recv_some(
+      void* data, std::size_t n, std::chrono::milliseconds timeout) = 0;
+
+  /// Tears the link down; safe from any thread, wakes blocked calls.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
+// ---------------------------------------------------------------- TCP
+
+/// Listening socket on 127.0.0.1 (port 0 = ephemeral; port() tells).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one connection; nullptr on timeout or closed listener.
+  [[nodiscard]] std::unique_ptr<Transport> accept(
+      std::chrono::milliseconds timeout);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+class TcpTransport : public Transport {
+ public:
+  /// Adopts a connected socket fd.
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+
+  /// Connects to 127.0.0.1:`port`; nullptr on failure within `timeout`.
+  [[nodiscard]] static std::unique_ptr<TcpTransport> connect(
+      std::uint16_t port, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] bool send(const void* data, std::size_t n) override;
+  [[nodiscard]] std::ptrdiff_t recv_some(
+      void* data, std::size_t n,
+      std::chrono::milliseconds timeout) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+// ------------------------------------------------------ shared-memory
+
+/// Lock-free SPSC byte ring (one writer thread, one reader thread).
+/// head_/tail_ are monotone byte counters; the ring is `capacity`
+/// bytes (rounded up to a power of two).
+class ShmRing {
+ public:
+  explicit ShmRing(std::size_t capacity);
+
+  /// Copies up to `n` bytes in; returns bytes accepted (0 = full).
+  std::size_t write_some(const void* data, std::size_t n);
+  /// Copies up to `n` bytes out; returns bytes read (0 = empty).
+  std::size_t read_some(void* data, std::size_t n);
+
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+  /// Bytes currently queued.
+  [[nodiscard]] std::size_t readable() const noexcept;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  ///< total bytes written
+  std::atomic<std::uint64_t> tail_{0};  ///< total bytes read
+  std::atomic<bool> closed_{false};
+};
+
+/// Duplex transport over two SPSC rings. Blocking behavior is polled
+/// (short sleeps), bounded by the caller's timeout.
+class ShmRingTransport : public Transport {
+ public:
+  ShmRingTransport(std::shared_ptr<ShmRing> tx, std::shared_ptr<ShmRing> rx);
+
+  /// A connected pair of endpoints sharing two rings of `capacity`
+  /// bytes each: pair.first's tx is pair.second's rx and vice versa.
+  [[nodiscard]] static std::pair<std::unique_ptr<ShmRingTransport>,
+                                 std::unique_ptr<ShmRingTransport>>
+  make_pair(std::size_t capacity = 1 << 16);
+
+  [[nodiscard]] bool send(const void* data, std::size_t n) override;
+  [[nodiscard]] std::ptrdiff_t recv_some(
+      void* data, std::size_t n,
+      std::chrono::milliseconds timeout) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+
+ private:
+  std::shared_ptr<ShmRing> tx_;
+  std::shared_ptr<ShmRing> rx_;
+};
+
+}  // namespace evedge::wire

@@ -1387,3 +1387,85 @@ TEST(FaultTolerance, SoakAllFaultTypesIsReproducible) {
   };
   EXPECT_EQ(sorted_sites(second), sorted_sites(first));
 }
+
+// ------------------------------------- latency-driven degradation (PR 7)
+
+TEST(Degradation, LatencySpikeEscalatesWithoutQueueGrowth) {
+  // A worker stall that inflates tail latency while the queue stays
+  // EMPTY (paced arrivals well below capacity) must still walk the
+  // ladder: the rolling-p99 trigger fires where the fill watermark
+  // cannot.
+  ev::FrameQueue queue(16, ev::OverflowPolicy::kBlock);
+  ev::DegradationState state;
+  ev::SloConfig slo;
+  slo.degrade = true;
+  slo.enter_intervals = 3;
+  slo.exit_intervals = 4;
+  slo.latency_high_ms = 10.0;  // p99 >= 10 ms escalates
+  ev::DegradationController controller(slo, queue, state);
+  ev::RollingLatency probe(16);
+  controller.set_latency_probe(&probe);
+  std::size_t hook_fires = 0;
+  controller.set_transition_hook(
+      [&](const ev::DegradationTransition&) { ++hook_fires; });
+
+  // Fewer than 4 samples: the trigger is inert no matter how slow.
+  probe.add(500'000.0);
+  probe.add(500'000.0);
+  for (int i = 0; i < 6; ++i) controller.sample(i);
+  EXPECT_EQ(state.level(), ev::kDegradeNormal);
+
+  // A sustained 50 ms p99 with the queue empty escalates one rung per
+  // enter_intervals streak.
+  for (int i = 0; i < 8; ++i) probe.add(50'000.0);
+  for (int i = 0; i < 3; ++i) controller.sample(10 + i);
+  EXPECT_EQ(state.level(), ev::kDegradeDropOldest);
+  ASSERT_EQ(controller.transitions().size(), 1u);
+  EXPECT_EQ(controller.transitions()[0].queue_depth, 0u);  // no growth
+  EXPECT_GE(controller.transitions()[0].p99_ms, slo.latency_high_ms);
+  EXPECT_EQ(hook_fires, 1u);
+
+  for (int i = 0; i < 3; ++i) controller.sample(20 + i);
+  EXPECT_EQ(state.level(), ev::kDegradeWideBatch);
+
+  // Recovery needs p99 back under latency_low (default high/2): refill
+  // the forgetting window with fast completions and the ladder steps
+  // down (queue fill was low the whole time).
+  for (int i = 0; i < 16; ++i) probe.add(1'000.0);
+  for (int i = 0; i < 4; ++i) controller.sample(30 + i);
+  EXPECT_EQ(state.level(), ev::kDegradeDropOldest);
+  for (int i = 0; i < 4; ++i) controller.sample(40 + i);
+  EXPECT_EQ(state.level(), ev::kDegradeNormal);
+  EXPECT_EQ(hook_fires, controller.transitions().size());
+  controller.finish(50.0);
+}
+
+TEST(Degradation, HotTailBlocksRecoveryDespiteDrainedQueue) {
+  // Queue drained but p99 still above latency_low: stay degraded.
+  ev::FrameQueue queue(16, ev::OverflowPolicy::kBlock);
+  ev::DegradationState state;
+  ev::SloConfig slo;
+  slo.degrade = true;
+  slo.enter_intervals = 2;
+  slo.exit_intervals = 2;
+  slo.latency_high_ms = 10.0;
+  slo.latency_low_ms = 4.0;
+  ev::DegradationController controller(slo, queue, state);
+  ev::RollingLatency probe(8);
+  controller.set_latency_probe(&probe);
+
+  for (int i = 0; i < 8; ++i) probe.add(20'000.0);
+  for (int i = 0; i < 2; ++i) controller.sample(i);
+  ASSERT_EQ(state.level(), ev::kDegradeDropOldest);
+
+  // 6 ms p99: below high, above low -> neither streak accumulates.
+  for (int i = 0; i < 8; ++i) probe.add(6'000.0);
+  for (int i = 0; i < 10; ++i) controller.sample(10 + i);
+  EXPECT_EQ(state.level(), ev::kDegradeDropOldest);
+
+  // Under the recovery bound: de-escalates.
+  for (int i = 0; i < 8; ++i) probe.add(2'000.0);
+  for (int i = 0; i < 2; ++i) controller.sample(30 + i);
+  EXPECT_EQ(state.level(), ev::kDegradeNormal);
+  controller.finish(40.0);
+}

@@ -1,0 +1,209 @@
+// evedge_wire: command-line front end for the EVWP recorder/replayer
+// load harness. Four subcommands cover the runbook in README.md:
+//
+//   record  <out.evw>   synthesize an event stream and record it
+//   inspect <file.evw>  print header / packet / event statistics
+//   replay  <file.evw> --port P [--speedup X]
+//                       connect to a receiver and replay, paced by
+//                       event time / X (1 = real time, 1000 compresses
+//                       an hour to seconds, 0 = flat out)
+//   recv    --port P [--out copy.evw]
+//                       listen, accept one session, run the hardened
+//                       receiver, optionally re-record what arrived
+//
+// A loopback round trip (`recv` in one terminal, `replay` in another,
+// then `inspect` both files) demonstrates the lossless wire path; point
+// `replay` at a NetFaultProxy-fronted port to rehearse hostile links.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "events/density_profile.hpp"
+#include "events/event_stream.hpp"
+#include "events/event_synth.hpp"
+#include "wire/recorder.hpp"
+#include "wire/session.hpp"
+#include "wire/transport.hpp"
+
+namespace ee = evedge::events;
+namespace ew = evedge::wire;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  evedge_wire record  <out.evw> [--duration-us N] [--seed S]\n"
+      "                      [--width W] [--height H] [--rate R]\n"
+      "                      [--events-per-packet N]\n"
+      "  evedge_wire inspect <file.evw>\n"
+      "  evedge_wire replay  <file.evw> --port P [--speedup X]\n"
+      "  evedge_wire recv    --port P [--out copy.evw]\n");
+  return 2;
+}
+
+/// Pulls `--flag value` pairs out of argv; returns fallback when absent.
+double flag_of(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* str_flag_of(int argc, char** argv, const char* flag,
+                        const char* fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_record(int argc, char** argv) {
+  if (argc < 1 || argv[0][0] == '-') return usage();
+  const std::string path = argv[0];
+  const auto duration = static_cast<ee::TimeUs>(
+      flag_of(argc, argv, "--duration-us", 1'000'000.0));
+  const auto seed =
+      static_cast<std::uint64_t>(flag_of(argc, argv, "--seed", 42.0));
+  const int width = static_cast<int>(flag_of(argc, argv, "--width", 128.0));
+  const int height =
+      static_cast<int>(flag_of(argc, argv, "--height", 96.0));
+  const double rate = flag_of(argc, argv, "--rate", 3.0);
+  const auto per_packet = static_cast<std::size_t>(
+      flag_of(argc, argv, "--events-per-packet", 256.0));
+
+  ee::SynthConfig cfg;
+  cfg.geometry = ee::SensorGeometry{width, height};
+  cfg.seed = seed;
+  const ee::DensityProfile profile("wire-cli", rate, {}, 1.2, 0.5);
+  const ee::EventStream stream =
+      ee::PoissonEventSynthesizer(profile, cfg).generate(0, duration);
+
+  ew::record_stream(stream, path, per_packet);
+  const ew::StreamReplayer replayer(path);
+  std::printf("recorded %zu events (%dx%d, %lld us) to %s: "
+              "%zu data packets, %zu bytes\n",
+              stream.size(), width, height,
+              static_cast<long long>(duration), path.c_str(),
+              replayer.data_packets(), replayer.total_bytes());
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const ew::StreamReplayer replayer(argv[0]);
+  const ew::StreamHeader& h = replayer.header();
+  const ee::EventStream decoded = replayer.decode();
+  std::printf("%s:\n  geometry   %ux%u\n  epoch      %lld us\n"
+              "  t_end      %lld us\n  span       %.3f s\n"
+              "  packets    %zu data (+ hello, end-of-stream)\n"
+              "  bytes      %zu\n  events     %zu\n",
+              argv[0], h.width, h.height,
+              static_cast<long long>(h.epoch_us),
+              static_cast<long long>(h.t_end_us),
+              static_cast<double>(h.t_end_us - h.epoch_us) / 1e6,
+              replayer.data_packets(), replayer.total_bytes(),
+              decoded.size());
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 1 || argv[0][0] == '-') return usage();
+  const auto port =
+      static_cast<std::uint16_t>(flag_of(argc, argv, "--port", 0.0));
+  const double speedup = flag_of(argc, argv, "--speedup", 1.0);
+  if (port == 0) return usage();
+
+  const ew::StreamReplayer replayer(argv[0]);
+  auto transport = ew::TcpTransport::connect(port, 5000ms);
+  if (!transport) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%u\n", port);
+    return 1;
+  }
+  const ew::ReplayStats stats = replayer.replay(*transport, speedup);
+  transport->close();
+  std::printf("replayed %zu packets (%zu bytes) at %.1fx: "
+              "%.1f ms wall vs %.1f ms target\n",
+              stats.packets_sent, stats.bytes_sent, speedup,
+              stats.wall_ms, stats.target_ms);
+  return 0;
+}
+
+int cmd_recv(int argc, char** argv) {
+  const auto port =
+      static_cast<std::uint16_t>(flag_of(argc, argv, "--port", 0.0));
+  const char* out = str_flag_of(argc, argv, "--out", nullptr);
+  if (port == 0) return usage();
+
+  ee::SensorGeometry geometry{1, 1};
+  std::vector<ee::Event> received;
+  std::size_t rejections = 0;
+  ew::WireSink sink;
+  sink.hello = [&](const ew::StreamHeader& h) {
+    geometry = ee::SensorGeometry{h.width, h.height};
+    std::printf("hello: %ux%u, epoch %lld us\n", h.width, h.height,
+                static_cast<long long>(h.epoch_us));
+  };
+  sink.events = [&](std::span<const ee::Event> batch, std::uint32_t) {
+    received.insert(received.end(), batch.begin(), batch.end());
+  };
+  sink.rejected = [&](ew::PacketError) { ++rejections; };
+
+  ew::WireReceiver receiver({}, std::move(sink));
+  ew::TcpListener listener(port);
+  std::printf("listening on 127.0.0.1:%u\n", listener.port());
+  ew::ServeOutcome outcome = ew::ServeOutcome::kStalled;
+  while (true) {
+    auto transport = listener.accept(30'000ms);
+    if (!transport) break;
+    outcome = receiver.serve(*transport);
+    transport->close();
+    if (outcome == ew::ServeOutcome::kEndOfStream) break;
+    std::printf("session ended (%s), waiting for reconnect...\n",
+                ew::to_string(outcome));
+  }
+  receiver.finish();
+
+  const ew::WireRecvStats& s = receiver.stats();
+  std::printf("outcome %s: %zu events, %zu/%zu packets accepted, "
+              "%zu rejected, %zu duplicates, %zu resumes, "
+              "accounting %s\n",
+              ew::to_string(outcome), received.size(),
+              s.packets_accepted, s.packets_seen, s.rejected_packets,
+              s.duplicate_packets, s.resumes_served,
+              s.accounting_ok() ? "ok" : "BROKEN");
+  if (rejections != s.rejected_packets) {
+    std::fprintf(stderr, "rejection sink disagrees with stats\n");
+    return 1;
+  }
+  if (out != nullptr && outcome == ew::ServeOutcome::kEndOfStream) {
+    ew::record_stream(ee::EventStream(geometry, std::move(received)), out);
+    std::printf("re-recorded received stream to %s\n", out);
+  }
+  return outcome == ew::ServeOutcome::kEndOfStream ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+    if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+    if (cmd == "recv") return cmd_recv(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "evedge_wire %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
