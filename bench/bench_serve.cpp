@@ -20,7 +20,11 @@
 // serial per-stream result (drop policy disabled) — exits non-zero
 // otherwise. Results go to BENCH_serve.json.
 //
-// Usage: bench_serve [output.json]
+// Usage: bench_serve [output.json] [--json]
+//
+// --json: machine-readable mode — the JSON document is ALSO written to
+// stdout (exactly one document, parse with any JSON reader) and the
+// human tables move to stderr. The output file is still written.
 
 #include <cstdio>
 #include <string>
@@ -44,6 +48,10 @@ namespace {
 /// Worker budget both sides spend (recorded as "threads" in the JSON;
 /// constant so the regression gate compares like with like anywhere).
 constexpr int kWorkers = 2;
+
+/// Human tables land here: stdout normally, stderr under --json (stdout
+/// then carries exactly one JSON document).
+std::FILE* g_table = stdout;
 
 struct Result {
   std::string network;
@@ -103,14 +111,8 @@ struct PacedResult {
   return ee::PoissonEventSynthesizer(profile, cfg).generate(0, duration);
 }
 
-[[nodiscard]] bool write_json(const std::vector<Result>& results,
-                              const std::vector<PacedResult>& paced,
-                              const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return false;
-  }
+void write_json_to(std::FILE* f, const std::vector<Result>& results,
+                   const std::vector<PacedResult>& paced) {
   std::fprintf(f,
                "{\n  \"threads\": %d,\n  \"scale\": "
                "\"96x128 base16, lif_threshold_scale=2, worker budget %d, "
@@ -146,15 +148,36 @@ struct PacedResult {
         r.wall_ms, r.target_ms, i + 1 < paced.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
+}
+
+[[nodiscard]] bool write_json(const std::vector<Result>& results,
+                              const std::vector<PacedResult>& paced,
+                              const std::string& path, bool echo_stdout) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  write_json_to(f, results, paced);
   std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
+  std::fprintf(g_table, "\nwrote %s\n", path.c_str());
+  if (echo_stdout) write_json_to(stdout, results, paced);
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::string out_path = "BENCH_serve.json";
+  bool json_stdout = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json_stdout = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (json_stdout) g_table = stderr;
   // Mid scale in the paper's spiking band (see bench_sparse_engine):
   // large enough that the planner's sparse routes engage, small enough
   // for a bounded CI run at 16 streams.
@@ -164,8 +187,8 @@ int main(int argc, char** argv) {
   const int stream_counts[] = {1, 4, 8, 16};
   constexpr ee::TimeUs kDuration = 250'000;  // ~7 merged frames per stream
 
-  std::printf("serving runtime benchmark (worker budget %d)\n", kWorkers);
-  std::printf("%-18s %7s %7s %8s %9s %9s %9s %8s %8s %7s %7s %12s\n",
+  std::fprintf(g_table, "serving runtime benchmark (worker budget %d)\n", kWorkers);
+  std::fprintf(g_table, "%-18s %7s %7s %8s %9s %9s %9s %8s %8s %7s %7s %12s\n",
               "network", "streams", "frames", "density", "dense_fps",
               "plan_fps", "serve_fps", "speedup", "vs_plan", "p95_ms",
               "batch", "max_abs_diff");
@@ -248,14 +271,14 @@ int main(int argc, char** argv) {
         parity_ok = false;
       }
 
-      std::printf(
+      std::fprintf(g_table, 
           "%-18s %7d %7zu %8.4f %9.1f %9.1f %9.1f %7.2fx %7.2fx %7.1f "
           "%7.2f %12.3g\n",
           r.network.c_str(), r.streams, r.frames, r.density,
           r.serial_dense_fps, r.serial_planned_fps, r.serve_fps,
           r.speedup_serve(), r.speedup_planned(), r.p95_ms, r.mean_batch,
           r.max_abs_diff);
-      std::fflush(stdout);
+      std::fflush(g_table);
       results.push_back(std::move(r));
     }
   }
@@ -266,9 +289,9 @@ int main(int argc, char** argv) {
   // "does every frame complete within the wall deadline", not "how
   // fast can the pipeline drain". Gated via ontime_ratio.
   std::vector<PacedResult> paced;
-  std::printf("\npaced closed-loop (pace %.0fx, deadline %.0f ms)\n",
+  std::fprintf(g_table, "\npaced closed-loop (pace %.0fx, deadline %.0f ms)\n",
               kPaceSpeedup, kPacedDeadlineMs);
-  std::printf("%-18s %7s %7s %9s %7s %7s %8s %8s %9s\n", "network",
+  std::fprintf(g_table, "%-18s %7s %7s %9s %7s %7s %8s %8s %9s\n", "network",
               "streams", "frames", "serve_fps", "p50_ms", "p99_ms",
               "ontime", "wall_ms", "target_ms");
   // Only the fast network: a net whose single-frame service time
@@ -311,16 +334,16 @@ int main(int argc, char** argv) {
       r.target_ms =
           static_cast<double>(kDuration) / 1e3 / kPaceSpeedup;
       if (!report.accounting_ok()) parity_ok = false;
-      std::printf("%-18s %7d %7zu %9.1f %7.2f %7.2f %8.4f %8.1f %9.1f\n",
+      std::fprintf(g_table, "%-18s %7d %7zu %9.1f %7.2f %7.2f %8.4f %8.1f %9.1f\n",
                   r.network.c_str(), r.streams, r.frames, r.serve_fps,
                   r.p50_ms, r.p99_ms, r.ontime_ratio, r.wall_ms,
                   r.target_ms);
-      std::fflush(stdout);
+      std::fflush(g_table);
       paced.push_back(std::move(r));
     }
   }
 
-  const bool wrote = write_json(results, paced, out_path);
+  const bool wrote = write_json(results, paced, out_path, json_stdout);
   if (!parity_ok) {
     std::fprintf(stderr,
                  "parity failure: serving output diverged from per-stream "

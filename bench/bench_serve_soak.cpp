@@ -17,7 +17,11 @@
 // owns the fault-free throughput numbers. Results go to
 // BENCH_serve_soak.json for inspection.
 //
-// Usage: bench_serve_soak [output.json] [seed]
+// Usage: bench_serve_soak [output.json] [seed] [--json]
+//
+// --json: machine-readable mode — the JSON document is ALSO written to
+// stdout (exactly one document) and the human report moves to stderr.
+// The output file is still written.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +42,10 @@ namespace {
 constexpr int kStreams = 4;
 constexpr int kWorkers = 2;
 constexpr ee::TimeUs kDuration = 300'000;
+
+/// Human report lands here: stdout normally, stderr under --json
+/// (stdout then carries exactly one JSON document).
+std::FILE* g_table = stdout;
 
 [[nodiscard]] ee::EventStream make_stream(int h, int w, std::uint64_t seed) {
   ee::SynthConfig cfg;
@@ -72,14 +80,8 @@ struct StreamAccount {
   return accounts;
 }
 
-[[nodiscard]] bool write_json(const ev::ServeReport& report,
-                              std::uint64_t seed, bool reproduced,
-                              const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return false;
-  }
+void write_json_to(std::FILE* f, const ev::ServeReport& report,
+                   std::uint64_t seed, bool reproduced) {
   std::fprintf(
       f,
       "{\n  \"seed\": %llu,\n  \"streams\": %d,\n  \"workers\": %d,\n"
@@ -98,18 +100,41 @@ struct StreamAccount {
       report.faults.worker_exceptions, report.faults.latency_spikes,
       report.faults.corrupt_frames, report.faults.stream_stalls,
       report.faults.stream_disconnects);
+}
+
+[[nodiscard]] bool write_json(const ev::ServeReport& report,
+                              std::uint64_t seed, bool reproduced,
+                              const std::string& path, bool echo_stdout) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  write_json_to(f, report, seed, reproduced);
   std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  std::fprintf(g_table, "wrote %s\n", path.c_str());
+  if (echo_stdout) write_json_to(stdout, report, seed, reproduced);
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : "BENCH_serve_soak.json";
-  const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20240207ull;
+  std::string out_path = "BENCH_serve_soak.json";
+  std::uint64_t seed = 20240207ull;
+  bool json_stdout = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_stdout = true;
+    } else if (positional++ == 0) {
+      out_path = arg;
+    } else {
+      seed = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+  }
+  if (json_stdout) g_table = stderr;
 
   const en::NetworkSpec spec =
       en::build_network(en::NetworkId::kDotie, en::ZooConfig::test_scale());
@@ -153,7 +178,7 @@ int main(int argc, char** argv) {
   config.faults = ev::FaultPlan::seeded(seed, faults);
 
   ev::ServingRuntime runtime(spec, 7, config);
-  std::printf("fault-injection soak: %d streams, %d workers, seed %llu, "
+  std::fprintf(g_table, "fault-injection soak: %d streams, %d workers, seed %llu, "
               "%zu scheduled faults\n",
               kStreams, kWorkers, static_cast<unsigned long long>(seed),
               config.faults.specs.size());
@@ -166,7 +191,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "SOAK FAILED: run threw: %s\n", e.what());
     return 1;
   }
-  std::printf("%s\n", first.describe().c_str());
+  std::fprintf(g_table, "%s\n", first.describe().c_str());
 
   if (!first.accounting_ok()) {
     std::fprintf(stderr,
@@ -212,9 +237,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const bool wrote = write_json(first, seed, reproduced, out_path);
+  const bool wrote = write_json(first, seed, reproduced, out_path, json_stdout);
   if (ok && wrote) {
-    std::printf("soak OK: %zu faults fired, accounting exact, "
+    std::fprintf(g_table, "soak OK: %zu faults fired, accounting exact, "
                 "reproducible from seed %llu\n",
                 first.faults.total(),
                 static_cast<unsigned long long>(seed));

@@ -8,7 +8,7 @@ work / fast-path work), so it is largely machine-speed invariant — a
 drop means the fast path itself regressed relative to the reference
 work.
 
-Five benchmark schemas are understood, auto-detected per record:
+Six benchmark schemas are understood, auto-detected per record:
 
   BENCH_kernels.json / BENCH_quant.json
       records with kernel/shape/density and a single "speedup" metric
@@ -26,6 +26,11 @@ Five benchmark schemas are understood, auto-detected per record:
       frames completed within the wall deadline while ingress replays
       at IngressConfig::pace_speedup x real time) and gate on it the
       same way — a lower fresh ratio than baseline is a regression
+  BENCH_obs.json
+      records with an "obs" probe name and a single "ratio" metric —
+      same-run observability-overhead ratios (e.g. serve fps with
+      tracing on / off, disabled-site cost vs a clock read), gated so
+      the always-on instrumentation stays effectively free
 
 Records are keyed by (kernel, shape, density); every metric of a record
 gates independently. Keys present only in the fresh run (newly added
@@ -102,6 +107,10 @@ def load(path):
                 key = ("serve", _require(r, "network", path, i),
                        float(int(_require(r, "streams", path, i))))
                 metrics = {"speedup_serve": float(r["speedup_serve"])}
+            elif "obs" in r:  # observability-overhead schema
+                key = ("obs", r["obs"],
+                       float(int(r.get("streams", 0))))
+                metrics = {"ratio": float(_require(r, "ratio", path, i))}
             else:  # e2e schema
                 key = ("e2e", "batch=%d" % int(_require(r, "batch", path, i)),
                        round(float(_require(r, "density", path, i)), 6))

@@ -26,6 +26,8 @@ Baselines and their recording configuration:
     serve          bench_serve          EVEDGE_THREADS=2 (worker budget
                    is pinned inside the bench; the env value only has to
                    match the recorded "threads" field)
+    obs            bench_obs            EVEDGE_THREADS=2 (same: the
+                   bench pins its own worker budget)
 
 Every bench doubles as a parity smoke test and exits non-zero on
 numerical failure, in which case the baseline is left untouched.
@@ -47,6 +49,7 @@ BASELINES = {
     "quant": ("bench_quant", "BENCH_quant.json", 1),
     "sparse_engine": ("bench_sparse_engine", "BENCH_sparse_engine.json", 1),
     "serve": ("bench_serve", "BENCH_serve.json", 2),
+    "obs": ("bench_obs", "BENCH_obs.json", 2),
 }
 
 

@@ -1,6 +1,7 @@
 #include "nn/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -21,6 +22,15 @@ namespace {
   const double r = std::sqrt(
       2.0 / static_cast<double>(std::max<std::size_t>(fan_in, 1)));
   return static_cast<float>(std::min(0.6, std::max(0.02, r)));
+}
+
+/// Raw steady_clock nanoseconds for ExecObserver stamps (the obs layer
+/// rebases them onto its trace epoch).
+[[nodiscard]] std::uint64_t exec_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Shared validity check for weight-node access (const and non-const).
@@ -509,6 +519,8 @@ DenseTensor FunctionalNetwork::run_impl(
         continue;  // cached from t == 0
       }
       ++exec_stats_.node_executions;
+      std::uint64_t obs_t0 = 0;
+      if (exec_observer_ != nullptr) obs_t0 = exec_now_ns();
       // Dense node outputs land in the persistent per-node buffer, so
       // steady state reuses the previous call's allocations; sparse
       // routes fill the per-node COO carrier instead and densify lazily
@@ -652,6 +664,10 @@ DenseTensor FunctionalNetwork::run_impl(
       if (activation_hook_ && ls.kind != LayerKind::kInput &&
           ls.kind != LayerKind::kOutput) {
         activation_hook_(node.id, out);
+      }
+      if (exec_observer_ != nullptr) {
+        exec_observer_->on_node(node.id, effective_route(idx), t, obs_t0,
+                                exec_now_ns());
       }
     }
 

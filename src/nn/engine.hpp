@@ -21,6 +21,7 @@
 // results are bitwise identical to dense execution (zero-bias layers);
 // kSubmanifold is stored-site exact (see exec_plan.hpp).
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -53,6 +54,22 @@ struct ExecStats {
   std::size_t dense_macs_avoided = 0;  ///< dense MACs the routes replaced
 };
 
+/// Per-node execution observer: on_node fires after every node the
+/// engine actually executes (cache-skipped nodes never fire), with the
+/// route the node took, the timestep, and raw steady_clock nanosecond
+/// stamps bracketing the node's kernel (+ activation hook). The engine
+/// holds the observer as a non-owning pointer and calls it from the run
+/// thread only; implementations must be noexcept and cheap — this sits
+/// inside the per-node loop. The obs layer's LayerProfiler builds
+/// per-layer execution profiles on top of this hook.
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+  virtual void on_node(int node_id, Route route, int timestep,
+                       std::uint64_t t0_ns,
+                       std::uint64_t t1_ns) noexcept = 0;
+};
+
 class FunctionalNetwork {
  public:
   /// Materializes weights (He-scaled uniform, deterministic in `seed`) and
@@ -62,7 +79,8 @@ class FunctionalNetwork {
   /// Deep copy for concurrent workers: identical spec, weights, biases
   /// and LIF parameters (including any post-construction weight edits),
   /// with a fresh workspace and value buffers, and with NO activation
-  /// hook, quant plan or execution plan carried over — plans are
+  /// hook, exec observer, quant plan or execution plan carried over —
+  /// plans are
   /// non-owning pointers into caller state, so every clone installs its
   /// own. Clones share no mutable state with the original: running them
   /// on separate threads is safe and bitwise reproduces the original
@@ -140,6 +158,21 @@ class FunctionalNetwork {
   /// Route/boundary telemetry of the last run() / run_batched().
   [[nodiscard]] const ExecStats& last_exec_stats() const noexcept {
     return exec_stats_;
+  }
+
+  /// Installs a per-node timing observer (nullptr uninstalls). The
+  /// pointer is non-owning and must outlive its installation; when no
+  /// observer is installed the per-node cost is a single null check —
+  /// no clocks are read. Not carried by clone() (observers are
+  /// per-thread state, like plans and hooks). Returns the previously
+  /// installed observer for scoped save/restore.
+  ExecObserver* set_exec_observer(ExecObserver* observer) noexcept {
+    ExecObserver* previous = exec_observer_;
+    exec_observer_ = observer;
+    return previous;
+  }
+  [[nodiscard]] ExecObserver* exec_observer() const noexcept {
+    return exec_observer_;
   }
 
   /// Mean firing rate of a spiking node measured over the last run()
@@ -239,6 +272,7 @@ class FunctionalNetwork {
   std::vector<std::uint8_t> dense_valid_;
   std::vector<std::uint8_t> sparse_valid_;
   ExecStats exec_stats_;
+  ExecObserver* exec_observer_ = nullptr;
 };
 
 /// Center-crops `t` spatially to (h, w); h/w must not exceed the extents.

@@ -1,0 +1,284 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace evedge::obs {
+
+namespace {
+
+[[nodiscard]] std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Write-to-temp + rename: a reader never sees a torn snapshot.
+bool write_atomically(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- Histogram
+
+Histogram::Histogram(Options options) : options_(options) {
+  if (options_.min <= 0.0) {
+    throw std::invalid_argument("Histogram: min bound must be > 0");
+  }
+  if (options_.growth <= 1.0) {
+    throw std::invalid_argument("Histogram: growth must be > 1");
+  }
+  if (options_.buckets < 2) {
+    throw std::invalid_argument("Histogram: need >= 2 buckets");
+  }
+  // std::deque of atomics: constructed in place, never moved after.
+  buckets_.resize(static_cast<std::size_t>(options_.buckets));
+}
+
+int Histogram::bucket_index(double v) const noexcept {
+  if (!(v > options_.min)) return 0;  // also catches NaN -> bucket 0
+  // bucket i covers (min * growth^(i-1), min * growth^i]
+  const int idx = static_cast<int>(
+      std::ceil(std::log(v / options_.min) / std::log(options_.growth)));
+  if (idx < 0) return 0;
+  if (idx >= options_.buckets) return options_.buckets - 1;
+  return idx;
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper(int i) const noexcept {
+  if (i >= options_.buckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options_.min * std::pow(options_.growth, i);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank over the bucket counts.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < options_.buckets; ++i) {
+    seen += bucket_value(i);
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(options_.buckets - 1);
+}
+
+// ----------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* e = find(name)) {
+    if (e->kind != Entry::Kind::kCounter) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another type");
+    }
+    return *e->counter;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Entry::Kind::kCounter;
+  entry.counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(entry));
+  return *entries_.back().counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* e = find(name)) {
+    if (e->kind != Entry::Kind::kGauge) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another type");
+    }
+    return *e->gauge;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Entry::Kind::kGauge;
+  entry.gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(entry));
+  return *entries_.back().gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      Histogram::Options options,
+                                      const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* e = find(name)) {
+    if (e->kind != Entry::Kind::kHistogram) {
+      throw std::invalid_argument("metric '" + name +
+                                  "' already registered with another type");
+    }
+    return *e->histogram;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Entry::Kind::kHistogram;
+  entry.histogram = std::make_unique<Histogram>(options);
+  entries_.push_back(std::move(entry));
+  return *entries_.back().histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + e.name + " " + e.help + "\n";
+    }
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + e.name + " counter\n";
+        out += e.name + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += "# TYPE " + e.name + " gauge\n";
+        out += e.name + " " + format_double(e.gauge->value()) + "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out += "# TYPE " + e.name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < h.bucket_count(); ++i) {
+          cumulative += h.bucket_value(i);
+          out += e.name + "_bucket{le=\"" + format_double(h.bucket_upper(i)) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += e.name + "_sum " + format_double(h.sum()) + "\n";
+        out += e.name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + e.name + "\": ";
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += std::to_string(e.counter->value());
+        break;
+      case Entry::Kind::kGauge:
+        out += format_double(e.gauge->value());
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out += "{\"count\": " + std::to_string(h.count()) +
+               ", \"sum\": " + format_double(h.sum()) + ", \"buckets\": [";
+        for (int i = 0; i < h.bucket_count(); ++i) {
+          if (i > 0) out += ", ";
+          out += std::to_string(h.bucket_value(i));
+        }
+        out += "], \"p50\": " + format_double(h.percentile(0.50)) +
+               ", \"p99\": " + format_double(h.percentile(0.99)) + "}";
+        break;
+      }
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------- Snapshotter
+
+Snapshotter::Snapshotter(MetricsRegistry& registry, double interval_ms,
+                         std::string prometheus_path, std::string json_path)
+    : registry_(registry),
+      interval_ms_(interval_ms > 0.0 ? interval_ms : 100.0),
+      prometheus_path_(std::move(prometheus_path)),
+      json_path_(std::move(json_path)) {}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::snapshot_now() {
+  if (sample_hook_) sample_hook_();
+  if (!prometheus_path_.empty()) {
+    (void)write_atomically(prometheus_path_, registry_.prometheus_text());
+  }
+  if (!json_path_.empty()) {
+    (void)write_atomically(json_path_, registry_.json_text());
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Snapshotter::start() {
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] {
+    const auto interval =
+        std::chrono::duration<double, std::milli>(interval_ms_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      lock.unlock();
+      snapshot_now();
+      lock.lock();
+    }
+  });
+}
+
+void Snapshotter::stop() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  snapshot_now();  // final state on disk after the run
+}
+
+}  // namespace evedge::obs

@@ -1,0 +1,180 @@
+#pragma once
+
+// Live metrics: atomic counters, gauges and fixed-bucket log-scale
+// histograms behind a named registry, with Prometheus text-exposition
+// and JSON snapshots — the mid-run view of the quantities ServeReport
+// only hands back after a run. Updates are lock-free (one atomic RMW
+// per observation); registration and snapshotting take the registry
+// mutex, so callers cache the returned references and keep the hot path
+// name-lookup-free.
+//
+// Histogram buckets are logarithmic with a fixed count: bucket i spans
+// (min * growth^(i-1), min * growth^i], bucket 0 additionally absorbs
+// everything below min and the last bucket everything above the top
+// bound. percentile() answers with the upper bound of the bucket
+// holding the requested rank, so it agrees with an exact reservoir
+// percentile to within one bucket width (test_obs pins that contract
+// against serve's LatencyReservoir).
+//
+// Prometheus exposition follows the text format: counters as
+// `name_total`, gauges verbatim, histograms as cumulative `name_bucket`
+// series with `le` labels plus `_sum`/`_count`.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace evedge::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  struct Options {
+    double min = 100.0;    ///< upper bound of bucket 0
+    double growth = 2.0;   ///< per-bucket bound multiplier (> 1)
+    int buckets = 24;      ///< fixed bucket count (>= 2)
+  };
+
+  explicit Histogram(Options options);
+
+  /// Lock-free: one fetch_add on the bucket, plus count/sum updates.
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int bucket_count() const noexcept {
+    return static_cast<int>(buckets_.size());
+  }
+  /// Upper bound of bucket i (+inf for the last).
+  [[nodiscard]] double bucket_upper(int i) const noexcept;
+  [[nodiscard]] std::uint64_t bucket_value(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing the q-th rank (nearest-rank
+  /// over bucket counts); 0 when empty. Within one bucket width of an
+  /// exact percentile by construction.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] int bucket_index(double v) const noexcept;
+
+  Options options_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric registry. References returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime (entries are
+/// never removed); re-registering a name returns the existing metric.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry serving instrumentation publishes to.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, Histogram::Options options,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition (HELP/TYPE + samples).
+  [[nodiscard]] std::string prometheus_text() const;
+  /// The same snapshot as a JSON object keyed by metric name.
+  [[nodiscard]] std::string json_text() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram } kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  [[nodiscard]] Entry* find(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
+/// Periodic snapshot thread: every `interval_ms`, runs the (optional)
+/// sample hook — the place to refresh gauges from live state — then
+/// writes the registry's Prometheus text (and, when a JSON path is
+/// given, the JSON snapshot) via write-to-temp + rename, so a scraper
+/// never reads a torn file. start()/stop() bracket the thread; the
+/// destructor stops it.
+class Snapshotter {
+ public:
+  Snapshotter(MetricsRegistry& registry, double interval_ms,
+              std::string prometheus_path, std::string json_path = {});
+  ~Snapshotter();
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  void set_sample_hook(std::function<void()> hook) {
+    sample_hook_ = std::move(hook);
+  }
+  void start();
+  void stop();
+  [[nodiscard]] std::size_t snapshots_written() const noexcept {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+  /// Takes one snapshot immediately (also called per tick).
+  void snapshot_now();
+
+ private:
+  MetricsRegistry& registry_;
+  double interval_ms_;
+  std::string prometheus_path_;
+  std::string json_path_;
+  std::function<void()> sample_hook_;
+  std::atomic<std::size_t> snapshots_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace evedge::obs

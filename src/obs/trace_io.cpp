@@ -1,0 +1,234 @@
+#include "obs/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace evedge::obs {
+
+namespace {
+
+void append_number_us(std::string& out, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  out += buf;
+}
+
+void write_common(std::string& line, const char* ph, const TraceEvent& e) {
+  line += "{\"ph\":\"";
+  line += ph;
+  line += "\",\"pid\":1,\"tid\":";
+  line += std::to_string(e.tid);
+  line += ",\"ts\":";
+  append_number_us(line, static_cast<double>(e.t_ns) / 1e3);
+  line += ",\"cat\":\"";
+  line += json_escape(e.cat);
+  line += "\",\"name\":\"";
+  line += json_escape(e.name);
+  line += "\"";
+}
+
+void write_args(std::string& line, const TraceEvent& e) {
+  if (e.arg0_key == nullptr && e.arg1_key == nullptr) return;
+  line += ",\"args\":{";
+  bool first = true;
+  if (e.arg0_key != nullptr) {
+    line += "\"";
+    line += json_escape(e.arg0_key);
+    line += "\":";
+    line += std::to_string(e.arg0);
+    first = false;
+  }
+  if (e.arg1_key != nullptr) {
+    if (!first) line += ",";
+    line += "\"";
+    line += json_escape(e.arg1_key);
+    line += "\":";
+    line += std::to_string(e.arg1);
+  }
+  line += "}";
+}
+
+/// Extracts the raw text of `"key":<value>` from a JSON line; empty
+/// when absent. Good enough for the exporter's own one-line events.
+[[nodiscard]] std::string raw_field(const std::string& line,
+                                    const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return {};
+  if (line[i] == '"') {
+    // String value: scan to the closing unescaped quote.
+    std::string out;
+    for (++i; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        const char c = line[++i];
+        if (c == 'n') out += '\n';
+        else if (c == 't') out += '\t';
+        else out += c;
+        continue;
+      }
+      if (line[i] == '"') break;
+      out += line[i];
+    }
+    return out;
+  }
+  if (line[i] == '{') {
+    // Object value: balance braces (args objects are flat, but stay
+    // safe against nesting).
+    int depth = 0;
+    const std::size_t start = i;
+    for (; i < line.size(); ++i) {
+      if (line[i] == '{') ++depth;
+      if (line[i] == '}' && --depth == 0) {
+        return line.substr(start, i - start + 1);
+      }
+    }
+    return {};
+  }
+  const std::size_t start = i;
+  while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+  return line.substr(start, i - start);
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceEvent> events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  std::string line;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    line.clear();
+    switch (e.phase) {
+      case Phase::kSpan:
+        write_common(line, "X", e);
+        line += ",\"dur\":";
+        append_number_us(line, static_cast<double>(e.dur_ns) / 1e3);
+        write_args(line, e);
+        break;
+      case Phase::kInstant:
+        write_common(line, "i", e);
+        line += ",\"s\":\"t\"";
+        write_args(line, e);
+        break;
+      case Phase::kCounter:
+        write_common(line, "C", e);
+        line += ",\"args\":{\"value\":" + std::to_string(e.arg0) + "}";
+        break;
+    }
+    line += "}";
+    if (i + 1 < events.size()) line += ",";
+    line += "\n";
+    os << line;
+  }
+  os << "]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const TraceEvent> events,
+                             std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  write_chrome_trace(out, events);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+std::vector<ParsedEvent> read_chrome_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_chrome_trace: cannot open " + path);
+  }
+  std::vector<ParsedEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string ph = raw_field(line, "ph");
+    if (ph.empty()) continue;  // array brackets / document framing
+    ParsedEvent e;
+    e.ph = ph.front();
+    e.cat = raw_field(line, "cat");
+    e.name = raw_field(line, "name");
+    e.args_json = raw_field(line, "args");
+    try {
+      const std::string ts = raw_field(line, "ts");
+      if (!ts.empty()) e.ts_us = std::stod(ts);
+      const std::string dur = raw_field(line, "dur");
+      if (!dur.empty()) e.dur_us = std::stod(dur);
+      const std::string tid = raw_field(line, "tid");
+      if (!tid.empty()) e.tid = std::stoi(tid);
+    } catch (...) {
+      continue;  // malformed line: skip, never throw mid-file
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void write_parsed_trace(std::ostream& os,
+                        std::span<const ParsedEvent> events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  std::string line;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ParsedEvent& e = events[i];
+    line.clear();
+    line += "{\"ph\":\"";
+    line += e.ph;
+    line += "\",\"pid\":1,\"tid\":";
+    line += std::to_string(e.tid);
+    line += ",\"ts\":";
+    append_number_us(line, e.ts_us);
+    line += ",\"cat\":\"";
+    line += json_escape(e.cat);
+    line += "\",\"name\":\"";
+    line += json_escape(e.name);
+    line += "\"";
+    if (e.ph == 'X') {
+      line += ",\"dur\":";
+      append_number_us(line, e.dur_us);
+    }
+    if (e.ph == 'i') line += ",\"s\":\"t\"";
+    if (!e.args_json.empty()) {
+      line += ",\"args\":";
+      line += e.args_json;
+    }
+    line += "}";
+    if (i + 1 < events.size()) line += ",";
+    line += "\n";
+    os << line;
+  }
+  os << "]}\n";
+}
+
+}  // namespace evedge::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+// Chrome trace_event ("catapult") JSON I/O for the obs tracer: the
+// exporter writes the format chrome://tracing and Perfetto open
+// directly, one event object per line inside the traceEvents array —
+// which is also what keeps the importer honest: read_chrome_trace is a
+// line-oriented parser of exactly the shape this exporter (and the
+// evedge_trace CLI) produce, not a general JSON parser.
+//
+// Mapping: spans -> "ph":"X" complete events (ts/dur in microseconds,
+// fractional — nanosecond resolution survives), instants -> "ph":"i"
+// with thread scope, counters -> "ph":"C". Thread ids are the tracer's
+// ring indices; pid is fixed (single process).
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace evedge::obs {
+
+/// Writes `events` as a complete Chrome trace JSON document.
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceEvent> events);
+
+/// File convenience; returns false (and fills *error) on I/O failure.
+bool write_chrome_trace_file(const std::string& path,
+                             std::span<const TraceEvent> events,
+                             std::string* error = nullptr);
+
+/// One event as re-read from an exported trace. `args_json` is the raw
+/// args object text ("{...}") when present, empty otherwise.
+struct ParsedEvent {
+  char ph = 'X';  ///< 'X' span, 'i' instant, 'C' counter
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  std::string cat;
+  std::string name;
+  std::string args_json;
+};
+
+/// Reads a trace produced by write_chrome_trace (or the evedge_trace
+/// CLI). Unrecognized lines are skipped; throws std::runtime_error only
+/// when the file cannot be opened.
+[[nodiscard]] std::vector<ParsedEvent> read_chrome_trace(
+    const std::string& path);
+
+/// Writes parsed events back out as a Chrome trace document (the CLI's
+/// export / overlay path). args_json is emitted verbatim.
+void write_parsed_trace(std::ostream& os,
+                        std::span<const ParsedEvent> events);
+
+/// JSON string escaping for names/details embedded in trace documents.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace evedge::obs

@@ -4,7 +4,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace evedge::serve {
+
+namespace {
+
+/// One "queue.wait" span per popped frame: enqueue_tp -> now, the
+/// queue-residency lane of the trace timeline.
+void trace_queue_wait(const ReadyFrame& frame) {
+  if (!obs::Tracer::enabled()) return;
+  obs::Tracer::span("queue", "queue.wait",
+                    obs::to_trace_ns(frame.enqueue_tp), obs::now_ns(),
+                    "stream", frame.stream_id, "seq", frame.seq);
+}
+
+}  // namespace
 
 BatchCollator::BatchCollator(CollatorConfig config) : config_(config) {
   if (config_.max_batch < 1) {
@@ -27,10 +42,12 @@ bool BatchCollator::collect(FrameQueue& queue,
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(
           static_cast<long long>(config_.max_wait_us));
+  trace_queue_wait(*first);
   out.push_back(std::move(*first));
   while (static_cast<int>(out.size()) < max_batch) {
     std::optional<ReadyFrame> next = queue.pop_until(deadline);
     if (!next.has_value()) break;  // deadline, or closed and drained
+    trace_queue_wait(*next);
     out.push_back(std::move(*next));
   }
   return true;

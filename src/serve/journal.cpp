@@ -9,6 +9,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace evedge::serve {
 
 namespace {
@@ -28,7 +30,10 @@ FaultJournal::FaultJournal(const std::string& path) : path_(path) {
     throw std::runtime_error("FaultJournal: cannot open " + path + ": " +
                              std::strerror(errno));
   }
-  opened_ = std::chrono::steady_clock::now();
+  // Journal timestamps share the trace epoch, so journal t_ms and trace
+  // ts line up on one timeline (evedge_trace export --journal overlays
+  // journal entries onto the trace without any clock translation).
+  opened_ = obs::trace_epoch();
 }
 
 FaultJournal::~FaultJournal() {

@@ -16,9 +16,12 @@
 //
 //   <t_ms>\t<kind>\t<detail>\n
 //
-// where t_ms is milliseconds since the journal was opened (journals are
-// per-run artifacts), kind is a short token (quarantine, degrade,
-// inject, wire-reject, run), and detail is free-form key=value text.
+// where t_ms is milliseconds since the process-wide trace epoch
+// (obs::trace_epoch()) — the SAME zero point the tracer stamps events
+// against, so journal entries overlay directly onto a trace timeline
+// (evedge_trace export --journal) — kind is a short token (quarantine,
+// degrade, inject, wire-reject, run), and detail is free-form key=value
+// text.
 
 #include <chrono>
 #include <cstdint>

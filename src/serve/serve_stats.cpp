@@ -126,6 +126,15 @@ std::string ServeReport::describe() const {
                   rejected_packets, duplicate_packets, wire_resumes);
     out += line;
   }
+  if (wire_heartbeats + wire_rewinds + wire_resyncs + wire_reconnects >
+      0) {
+    std::snprintf(line, sizeof(line),
+                  "wire health: %zu heartbeats, %zu rewinds seen, "
+                  "%zu resyncs, %zu reconnects\n",
+                  wire_heartbeats, wire_rewinds, wire_resyncs,
+                  wire_reconnects);
+    out += line;
+  }
   if (faults.total() > 0) {
     std::snprintf(line, sizeof(line),
                   "faults injected: %zu worker-exc, %zu spikes, "

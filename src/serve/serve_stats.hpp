@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
+
 namespace evedge::serve {
 
 /// Why a frame left the pipeline without producing a result. The first
@@ -176,6 +178,15 @@ struct StreamServeStats {
   std::size_t rejected_packets = 0;   ///< truncated / CRC / malformed
   std::size_t duplicate_packets = 0;  ///< ARQ retransmission overlap
   std::size_t wire_resumes = 0;       ///< reconnect resume handshakes
+  // Wire session-health lanes (observability only — deliberately NOT
+  // part of accounting_ok(): they describe link quality, not frame
+  // conservation). Retransmission pressure shows up receiver-side as
+  // duplicate_packets (the overlap) and wire_rewinds (distinct go-back-N
+  // rewinds observed as the data seq jumping backwards).
+  std::size_t wire_heartbeats = 0;  ///< keepalives seen while peer idles
+  std::size_t wire_rewinds = 0;     ///< sender rewinds observed (ARQ)
+  std::size_t wire_resyncs = 0;     ///< framing resyncs (kBadMagic skips)
+  std::size_t wire_reconnects = 0;  ///< transports re-accepted mid-stream
 
   /// The per-stream accounting invariants: the frame ledger, and — for
   /// wire streams — the packet partition beneath it.
@@ -210,6 +221,13 @@ struct WorkerServeStats {
   }
 };
 
+/// Per-layer execution profile of one worker (ObsConfig::layer_profiles):
+/// the LayerProfiler snapshot taken after the worker's thread joined.
+struct WorkerLayerProfile {
+  int worker_id = -1;
+  std::vector<obs::NodeRouteProfile> nodes;
+};
+
 /// Aggregate report of one ServingRuntime::run().
 struct ServeReport {
   double wall_ms = 0.0;          ///< ingress start -> last worker exit
@@ -223,8 +241,15 @@ struct ServeReport {
   std::size_t rejected_packets = 0;
   std::size_t duplicate_packets = 0;
   std::size_t wire_resumes = 0;
+  std::size_t wire_heartbeats = 0;
+  std::size_t wire_rewinds = 0;
+  std::size_t wire_resyncs = 0;
+  std::size_t wire_reconnects = 0;
   std::vector<StreamServeStats> streams;
   std::vector<WorkerServeStats> workers;
+  /// Per-worker per-layer execution profiles (empty unless
+  /// ObsConfig::layer_profiles was on for the run).
+  std::vector<WorkerLayerProfile> layer_profiles;
   /// Every quarantined frame, in discovery order (ingress first, then
   /// worker-side, interleaved by completion time).
   std::vector<QuarantinedFrame> quarantined;

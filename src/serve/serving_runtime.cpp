@@ -1,6 +1,7 @@
 #include "serve/serving_runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -13,6 +14,9 @@
 
 #include "core/batch_executor.hpp"
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 
 namespace evedge::serve {
 
@@ -26,6 +30,38 @@ namespace {
           << 32) |
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq));
 }
+
+/// Brackets one run's tracing: installs the ring capacity, clears stale
+/// events, enables on construction; disables and (optionally) exports
+/// the Chrome trace on destruction — exception-safe, so a failing run
+/// still leaves the tracer off and the partial trace on disk.
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(const ObsConfig& obs_config)
+      : active_(obs_config.trace || obs_config.trace_nodes),
+        trace_path_(obs_config.trace_path) {
+    if (!active_) return;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.set_ring_capacity(obs_config.trace_ring_capacity);
+    tracer.clear();
+    obs::Tracer::set_enabled(true);
+  }
+  ~ScopedTracing() {
+    if (!active_) return;
+    obs::Tracer::set_enabled(false);
+    if (!trace_path_.empty()) {
+      const std::vector<obs::TraceEvent> events =
+          obs::Tracer::instance().collect();
+      (void)obs::write_chrome_trace_file(trace_path_, events);
+    }
+  }
+  ScopedTracing(const ScopedTracing&) = delete;
+  ScopedTracing& operator=(const ScopedTracing&) = delete;
+
+ private:
+  bool active_;
+  std::string trace_path_;
+};
 
 /// Restores the previous process-wide kernel-thread override on exit.
 class ScopedKernelThreads {
@@ -53,6 +89,11 @@ ServingRuntime::ServingRuntime(nn::NetworkSpec spec, std::uint64_t seed,
   if (config_.n_workers < 1) {
     throw std::invalid_argument("ServingRuntime: need >= 1 worker");
   }
+  // The obs switches that live inside the workers propagate into the
+  // worker config here, so every pool built from config_.worker (and
+  // every restart clone) carries them.
+  if (config_.obs.layer_profiles) config_.worker.profile_layers = true;
+  if (config_.obs.trace_nodes) config_.worker.trace_nodes = true;
 }
 
 ServeReport ServingRuntime::run(
@@ -123,6 +164,39 @@ ServeReport ServingRuntime::serve_ingresses(
   report_ = ServeReport{};
   captured_.clear();
 
+  const ObsConfig& obs_config = config_.obs;
+  const ScopedTracing tracing_guard(obs_config);
+  const bool tracing = obs_config.trace || obs_config.trace_nodes;
+
+  // Live metrics: registration happens once up front; the hot paths
+  // below use the cached pointers (nullptr = metrics off).
+  obs::Counter* m_completed = nullptr;
+  obs::Counter* m_shed = nullptr;
+  obs::Counter* m_failed = nullptr;
+  obs::Histogram* m_latency = nullptr;
+  obs::Gauge* g_queue_depth = nullptr;
+  obs::Gauge* g_degrade_level = nullptr;
+  obs::Gauge* g_queue_dropped = nullptr;
+  if (obs_config.metrics) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    m_completed = &registry.counter("evedge_frames_completed_total",
+                                    "Frames through inference");
+    m_shed = &registry.counter("evedge_frames_shed_total",
+                               "SLO-stale frames shed before inference");
+    m_failed = &registry.counter("evedge_frames_failed_total",
+                                 "Frames quarantined");
+    m_latency = &registry.histogram(
+        "evedge_completion_latency_us", obs::Histogram::Options{},
+        "Enqueue-to-completion latency (us)");
+    g_queue_depth = &registry.gauge("evedge_queue_depth",
+                                    "Live frame queue depth");
+    g_degrade_level = &registry.gauge("evedge_degrade_level",
+                                      "Current degradation ladder level");
+    g_queue_dropped = &registry.gauge(
+        "evedge_queue_dropped", "Frames displaced by drop-oldest so far");
+  }
+  std::atomic<std::int64_t> completed_total{0};
+
   // Completion-side accounting, shared by every worker thread.
   std::mutex sink_mutex;
   std::vector<StreamServeStats> completion(ingresses.size());
@@ -144,6 +218,13 @@ ServeReport ServingRuntime::serve_ingresses(
     DenseTensor output;
     if (capture) sparse::copy_sample(batch_output, lane, output);
     if (latency_probe.has_value()) latency_probe->add(latency_us);
+    if (m_completed != nullptr) {
+      m_completed->add();
+      m_latency->observe(latency_us);
+    }
+    obs::Tracer::counter(
+        "serve", "frames.completed",
+        completed_total.fetch_add(1, std::memory_order_relaxed) + 1);
     const std::lock_guard<std::mutex> lock(sink_mutex);
     StreamServeStats& s =
         completion[static_cast<std::size_t>(frame.stream_id)];
@@ -162,6 +243,13 @@ ServeReport ServingRuntime::serve_ingresses(
                           " fault=" + to_string(q.fault) +
                           " action=" +
                           (is_shed_fault(q.fault) ? "shed" : "worker-reject"));
+    }
+    if (is_shed_fault(q.fault)) {
+      if (m_shed != nullptr) m_shed->add();
+    } else {
+      if (m_failed != nullptr) m_failed->add();
+      obs::Tracer::instant("serve", "frame.quarantine", "stream",
+                           q.stream_id, "seq", q.seq);
     }
     const std::lock_guard<std::mutex> lock(sink_mutex);
     StreamServeStats& s =
@@ -190,17 +278,52 @@ ServeReport ServingRuntime::serve_ingresses(
     if (latency_probe.has_value()) {
       controller->set_latency_probe(&*latency_probe);
     }
-    if (journal != nullptr) {
-      controller->set_transition_hook([journal](
-                                          const DegradationTransition& t) {
-        journal->append("degrade",
-                        "from=" + std::to_string(t.from) +
-                            " to=" + std::to_string(t.to) +
-                            " depth=" + std::to_string(t.queue_depth) +
-                            " p99_ms=" + std::to_string(t.p99_ms) +
-                            " action=level-change");
-      });
+    if (journal != nullptr || tracing || obs_config.metrics) {
+      controller->set_transition_hook(
+          [journal, g_degrade_level](const DegradationTransition& t) {
+            if (journal != nullptr) {
+              journal->append(
+                  "degrade",
+                  "from=" + std::to_string(t.from) +
+                      " to=" + std::to_string(t.to) +
+                      " depth=" + std::to_string(t.queue_depth) +
+                      " p99_ms=" + std::to_string(t.p99_ms) +
+                      " action=level-change");
+            }
+            obs::Tracer::instant("serve", "degrade", "from", t.from, "to",
+                                 t.to);
+            if (g_degrade_level != nullptr) {
+              g_degrade_level->set(static_cast<double>(t.to));
+            }
+          });
     }
+  }
+
+  // Periodic metrics exposition: the snapshotter samples the live
+  // gauges and rewrites the Prometheus / JSON files on its own thread
+  // for the duration of the run.
+  std::optional<obs::Snapshotter> snapshotter;
+  if (obs_config.metrics && obs_config.snapshot_interval_ms > 0.0 &&
+      (!obs_config.snapshot_prom_path.empty() ||
+       !obs_config.snapshot_json_path.empty())) {
+    snapshotter.emplace(obs::MetricsRegistry::global(),
+                        obs_config.snapshot_interval_ms,
+                        obs_config.snapshot_prom_path,
+                        obs_config.snapshot_json_path);
+    snapshotter->set_sample_hook([&queue, &degrade_state, g_queue_depth,
+                                  g_degrade_level, g_queue_dropped,
+                                  armed = controller.has_value()] {
+      if (g_queue_depth != nullptr) {
+        g_queue_depth->set(static_cast<double>(queue.depth()));
+      }
+      if (g_queue_dropped != nullptr) {
+        g_queue_dropped->set(static_cast<double>(queue.dropped()));
+      }
+      if (armed && g_degrade_level != nullptr) {
+        g_degrade_level->set(static_cast<double>(degrade_state.level()));
+      }
+    });
+    snapshotter->start();
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -280,6 +403,7 @@ ServeReport ServingRuntime::serve_ingresses(
                            wall_end - wall_start)
                            .count());
   }
+  if (snapshotter.has_value()) snapshotter->stop();
 
   // --- Assemble the report.
   report_.wall_ms =
@@ -331,6 +455,14 @@ ServeReport ServingRuntime::serve_ingresses(
   report_.workers.reserve(pool.size());
   for (std::size_t i = 0; i < pool.size(); ++i) {
     report_.workers.push_back(pool.worker(i).stats());
+  }
+  if (config_.worker.profile_layers || config_.worker.trace_nodes) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const obs::LayerProfiler* prof = pool.worker(i).profiler();
+      if (prof == nullptr) continue;
+      report_.layer_profiles.push_back(
+          WorkerLayerProfile{static_cast<int>(i), prof->snapshot()});
+    }
   }
   if (controller.has_value()) {
     report_.degradation = controller->transitions();

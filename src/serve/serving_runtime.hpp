@@ -48,6 +48,40 @@
 
 namespace evedge::serve {
 
+/// Observability switches for one run: all off by default, in which
+/// case the only cost left in the pipeline is the tracer's disabled
+/// check (one relaxed load per instrumentation site) and a null-pointer
+/// test per engine node.
+struct ObsConfig {
+  /// Enable the lock-free tracer for the run: serve_ingresses clears
+  /// the rings, enables on entry, disables on exit, and — when
+  /// trace_path is non-empty — exports the Chrome trace JSON there.
+  bool trace = false;
+  /// Also emit a per-node sub-span for every engine node execution
+  /// (needs trace; implies the layer profiler is installed).
+  bool trace_nodes = false;
+  /// Publish live counters/gauges/histograms to the global
+  /// MetricsRegistry during the run.
+  bool metrics = false;
+  /// Install a LayerProfiler per worker; snapshots land in
+  /// ServeReport::layer_profiles.
+  bool layer_profiles = false;
+  /// Per-thread trace ring capacity installed at run start.
+  std::size_t trace_ring_capacity = 1u << 16;
+  /// When > 0 (and metrics is on): snapshot cadence of the Prometheus /
+  /// JSON exposition files below.
+  double snapshot_interval_ms = 0.0;
+  std::string snapshot_prom_path{};
+  std::string snapshot_json_path{};
+  /// Chrome trace JSON export target ("" = keep events in the rings;
+  /// collect via obs::Tracer::instance().collect()).
+  std::string trace_path{};
+
+  [[nodiscard]] bool any() const noexcept {
+    return trace || trace_nodes || metrics || layer_profiles;
+  }
+};
+
 struct ServeConfig {
   IngressConfig ingress{};
   WorkerConfig worker{};
@@ -74,6 +108,9 @@ struct ServeConfig {
   /// appended (fsync'd per line) to this file during the run. Empty =
   /// journaling off.
   std::string journal_path{};
+  /// Always-on observability layer (tracing / metrics / layer profiles);
+  /// everything defaults off.
+  ObsConfig obs{};
 };
 
 class ServingRuntime {

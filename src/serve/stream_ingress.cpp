@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace evedge::serve {
 
 namespace {
@@ -33,10 +35,15 @@ void ingest(const events::EventStream& stream, const IngressConfig& config,
   for (std::size_t i = 0; i < clock.interval_count(); ++i) {
     const events::TimeUs t0 = clock.timestamps[i];
     const events::TimeUs t1 = clock.timestamps[i + 1];
-    for (sparse::SparseFrame& frame :
-         e2sf.convert(stream.slice(t0, t1), t0, t1)) {
-      ++raw_frames;
-      dsfa.push(std::move(frame));
+    {
+      // Span covers conversion + DSFA merge only; the queue push (which
+      // may block) happens in drain() outside it.
+      const obs::ScopedSpan span("ingress", "e2sf.interval");
+      for (sparse::SparseFrame& frame :
+           e2sf.convert(stream.slice(t0, t1), t0, t1)) {
+        ++raw_frames;
+        dsfa.push(std::move(frame));
+      }
     }
     if (!drain()) return;
   }
@@ -122,6 +129,8 @@ void StreamIngress::run() {
                  case FaultType::kStreamStall:
                    faults_->record(FaultType::kStreamStall);
                    journal_fire("stall");
+                   obs::Tracer::instant("fault", "fault.stream_stall",
+                                        "stream", stream_id_, "seq", seq);
                    std::this_thread::sleep_for(
                        std::chrono::duration<double, std::milli>(
                            spec.delay_ms));
@@ -129,11 +138,15 @@ void StreamIngress::run() {
                  case FaultType::kStreamDisconnect:
                    faults_->record(FaultType::kStreamDisconnect);
                    journal_fire("disconnect");
+                   obs::Tracer::instant("fault", "fault.stream_disconnect",
+                                        "stream", stream_id_, "seq", seq);
                    mark_failed("injected stream disconnect");
                    return false;  // stop ingesting; stream dies here
                  case FaultType::kCorruptFrame:
                    faults_->record(FaultType::kCorruptFrame);
                    journal_fire("corrupt");
+                   obs::Tracer::instant("fault", "fault.corrupt_frame",
+                                        "stream", stream_id_, "seq", seq);
                    FaultInjector::corrupt(spec, frame);
                    break;
                  default:
@@ -168,6 +181,8 @@ void StreamIngress::run() {
            ready.seq = seq;
            ready.frame = std::move(frame);
            ready.ingress_density = dsfa.recent_density();
+           obs::Tracer::instant("ingress", "frame.dispatch", "stream",
+                                stream_id_, "seq", seq);
            std::optional<ReadyFrame> rejected = queue_.push(std::move(ready));
            if (rejected.has_value() && rejected->stream_id == stream_id_ &&
                rejected->seq == seq) {

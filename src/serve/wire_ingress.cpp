@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace evedge::serve {
 
 WireStreamIngress::WireStreamIngress(int stream_id, IngressConfig config,
@@ -70,6 +72,8 @@ bool WireStreamIngress::dispatch(sparse::SparseFrame frame) {
   ready.seq = seq_;
   ready.frame = std::move(frame);
   ready.ingress_density = dsfa_->recent_density();
+  obs::Tracer::instant("ingress", "frame.dispatch", "stream", stream_id_,
+                       "seq", seq_);
   std::optional<ReadyFrame> rejected = queue_.push(std::move(ready));
   if (rejected.has_value() && rejected->stream_id == stream_id_ &&
       rejected->seq == seq_) {
@@ -141,6 +145,7 @@ void WireStreamIngress::run() {
   wire::WireReceiver receiver(wire_config_.receiver, std::move(sink));
 
   int losses = 0;
+  std::size_t accepted_transports = 0;
   while (!receiver.eos() && !abort_) {
     std::unique_ptr<wire::Transport> transport =
         acceptor_(wire_config_.accept_timeout);
@@ -150,6 +155,12 @@ void WireStreamIngress::run() {
         break;
       }
       continue;
+    }
+    // Every transport accepted beyond the first is a mid-stream
+    // reconnect (the session state carried across the gap).
+    if (accepted_transports++ > 0) {
+      ++stats_.wire_reconnects;
+      obs::Tracer::instant("wire", "wire.reaccept", "stream", stream_id_);
     }
     current_ = transport.get();
     const wire::ServeOutcome outcome = receiver.serve(*transport);
@@ -184,6 +195,9 @@ void WireStreamIngress::run() {
   stats_.rejected_packets = wire_stats_.rejected_packets;
   stats_.duplicate_packets = wire_stats_.duplicate_packets;
   stats_.wire_resumes = wire_stats_.resumes_served;
+  stats_.wire_heartbeats = wire_stats_.heartbeats_seen;
+  stats_.wire_rewinds = wire_stats_.rewinds_seen;
+  stats_.wire_resyncs = wire_stats_.resyncs;
   stats_.completed = 0;  // filled in by the runtime from worker results
   if (stats_.enqueued > 0) {
     stats_.mean_frame_density =

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/batch_executor.hpp"
+#include "obs/trace.hpp"
 
 namespace evedge::serve {
 
@@ -52,6 +53,11 @@ ServeWorker::ServeWorker(int worker_id,
   needs_image_ = input_ids.size() > 1;
   if (needs_image_) image_ = core::make_reference_image(spec);
   stats_.worker_id = worker_id;
+  if (config_.profile_layers || config_.trace_nodes) {
+    profiler_ =
+        std::make_unique<obs::LayerProfiler>(spec, config_.trace_nodes);
+    net_.set_exec_observer(profiler_.get());
+  }
 }
 
 void ServeWorker::calibrate_from(const std::vector<DenseTensor>& steps) {
@@ -131,6 +137,9 @@ void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
   const DenseTensor out =
       net_.run_batched(steps_, needs_image_ ? &image_ : nullptr);
   const auto t1 = std::chrono::steady_clock::now();
+  obs::Tracer::span("worker", "inference", obs::to_trace_ns(t0),
+                    obs::to_trace_ns(t1), "worker", stats_.worker_id,
+                    "batch", static_cast<std::int64_t>(batch.size()));
   stats_.busy_ms +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   ++stats_.batches;
@@ -165,6 +174,8 @@ std::size_t ServeWorker::shed_stale(std::vector<ReadyFrame>& batch,
                               .count();
     if (age_ms > hooks.slo.deadline_ms) {
       ++shed;
+      obs::Tracer::instant("serve", "frame.shed", "stream",
+                           batch[n].stream_id, "seq", batch[n].seq);
       if (hooks.failure) {
         hooks.failure(QuarantinedFrame{batch[n].stream_id, batch[n].seq,
                                        FrameFault::kDeadlineExceeded,
@@ -181,10 +192,15 @@ std::size_t ServeWorker::shed_stale(std::vector<ReadyFrame>& batch,
 
 void ServeWorker::restart() {
   net_ = prototype_->clone();
+  // clone() carries no observer — re-attach the profiler so per-layer
+  // accounting continues across the restart.
+  if (profiler_ != nullptr) net_.set_exec_observer(profiler_.get());
   plan_ready_ = false;
   quant_ready_ = false;
   quant_installed_ = false;
   ++stats_.restarts;
+  obs::Tracer::instant("serve", "worker.restart", "worker",
+                       stats_.worker_id);
 }
 
 void ServeWorker::recover_from_failure(FrameQueue& queue,
@@ -204,6 +220,8 @@ void ServeWorker::recover_from_failure(FrameQueue& queue,
       }
     } else {
       ++stats_.frames_retried;
+      obs::Tracer::instant("serve", "frame.retry", "stream",
+                           frame.stream_id, "seq", frame.seq);
       queue.requeue(std::move(frame));
     }
   }
@@ -250,10 +268,14 @@ void ServeWorker::serve(FrameQueue& queue, const ServeHooks& hooks) {
              hooks.faults->at_worker(stats_.worker_id, this_batch)) {
           if (spec.type == FaultType::kLatencySpike) {
             hooks.faults->record(FaultType::kLatencySpike);
+            obs::Tracer::instant("fault", "fault.latency_spike", "worker",
+                                 stats_.worker_id);
             std::this_thread::sleep_for(
                 std::chrono::duration<double, std::milli>(spec.delay_ms));
           } else if (spec.type == FaultType::kWorkerException) {
             hooks.faults->record(FaultType::kWorkerException);
+            obs::Tracer::instant("fault", "fault.worker_exception",
+                                 "worker", stats_.worker_id);
             throw FaultInjectionError(
                 "injected worker exception (worker " +
                 std::to_string(stats_.worker_id) + ", batch " +

@@ -38,6 +38,7 @@
 
 #include "nn/engine.hpp"
 #include "nn/exec_plan.hpp"
+#include "obs/profile.hpp"
 #include "quant/calibrate.hpp"
 #include "serve/batch_collator.hpp"
 #include "serve/degrade.hpp"
@@ -65,6 +66,13 @@ struct WorkerConfig {
   /// from burning its core while siblings drain the queue.
   double retry_backoff_ms = 1.0;
   double retry_backoff_max_ms = 50.0;
+  /// Per-layer wall-time profiling via the engine's ExecObserver hook
+  /// (obs::LayerProfiler); snapshots land in ServeReport::layer_profiles.
+  bool profile_layers = false;
+  /// Additionally mirror every node execution as a per-node trace
+  /// sub-span (implies the profiler is installed; spans only emit while
+  /// the tracer is enabled).
+  bool trace_nodes = false;
 };
 
 /// Called once per completed frame, potentially from several worker
@@ -134,6 +142,11 @@ class ServeWorker {
   [[nodiscard]] bool int8_active() const noexcept {
     return quant_installed_;
   }
+  /// The worker's layer profiler (nullptr unless profile_layers /
+  /// trace_nodes). Snapshot only after the worker thread joined.
+  [[nodiscard]] const obs::LayerProfiler* profiler() const noexcept {
+    return profiler_.get();
+  }
 
  private:
   void calibrate_from(const std::vector<sparse::DenseTensor>& steps);
@@ -168,6 +181,8 @@ class ServeWorker {
   std::size_t emit_progress_ = 0;  ///< lanes emitted of the current batch
   int consecutive_failures_ = 0;
   WorkerServeStats stats_;
+  /// Owned per-layer profiler, re-installed on every restart() clone.
+  std::unique_ptr<obs::LayerProfiler> profiler_;
 };
 
 class ServeWorkerPool {

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace evedge::wire {
 
 namespace {
@@ -155,6 +157,13 @@ bool WireSender::serve_connection(Transport& transport,
         dup_acks >= 3 && now - last_rewind > config_.rto / 4;
     if (base_ < packets_.size() && next_send_ > base_ &&
         (rto_fired || dup_fired)) {
+      if (dup_fired) {
+        obs::Tracer::instant("wire", "wire.fast_rewind", "base",
+                             static_cast<std::int64_t>(base_));
+      } else {
+        obs::Tracer::instant("wire", "wire.rewind", "base",
+                             static_cast<std::int64_t>(base_));
+      }
       next_send_ = base_;  // go-back-N: rewind to the unacked base
       last_rewind = now;
       dup_acks = 0;
@@ -183,7 +192,11 @@ WireSendStats WireSender::run() {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
-    if (!first) ++stats.reconnects;
+    if (!first) {
+      ++stats.reconnects;
+      obs::Tracer::instant("wire", "wire.reconnect", "base",
+                           static_cast<std::int64_t>(base_));
+    }
     first = false;
     const std::uint32_t before = base_;
     const bool done = serve_connection(*transport, stats);
@@ -277,6 +290,12 @@ void WireReceiver::handle(const Framed& framed, Transport& transport) {
   if (framed.error != PacketError::kNone) {
     ++stats_.packets_seen;
     ++stats_.rejected_packets;
+    if (framed.error == PacketError::kBadMagic) {
+      // The framer skipped garbage to find the next magic — a byte-level
+      // resynchronization, the health signal behind kBadMagic.
+      ++stats_.resyncs;
+      obs::Tracer::instant("wire", "wire.resync");
+    }
     if (sink_.rejected) sink_.rejected(framed.error);
     return;
   }
@@ -318,6 +337,15 @@ void WireReceiver::handle(const Framed& framed, Transport& transport) {
   }
 
   ++stats_.packets_seen;
+  // Rewind probe: go-back-N redelivery starts with a data seq below the
+  // previously seen one. One backwards transition == one sender rewind
+  // (the redelivered run then climbs again).
+  if (static_cast<std::int64_t>(header.seq) < prev_data_seq_) {
+    ++stats_.rewinds_seen;
+    obs::Tracer::instant("wire", "wire.rewind_seen", "seq",
+                         static_cast<std::int64_t>(header.seq));
+  }
+  prev_data_seq_ = static_cast<std::int64_t>(header.seq);
   if (!have_hello_) {
     // Data before hello: nothing to decode against. Reject without
     // consuming the seq — the sender's rewind redelivers it after the

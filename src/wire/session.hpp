@@ -129,6 +129,12 @@ struct WireRecvStats {
   std::size_t acks_sent = 0;
   std::size_t resumes_served = 0;
   std::size_t heartbeats_seen = 0;
+  // Session-health observables (outside the accounting partition): the
+  // receiver cannot see the sender's retransmit counter directly, but a
+  // go-back-N rewind is visible as the data seq jumping backwards, and
+  // a framing resynchronization as a kBadMagic rejection.
+  std::size_t rewinds_seen = 0;  ///< data seq went backwards (ARQ rewind)
+  std::size_t resyncs = 0;       ///< kBadMagic framing resynchronizations
 
   [[nodiscard]] bool accounting_ok() const noexcept {
     return packets_seen ==
@@ -205,6 +211,7 @@ class WireReceiver {
   std::int64_t min_t_us_ = 0;
 
   std::uint32_t next_expected_ = 0;
+  std::int64_t prev_data_seq_ = -1;  ///< last data seq seen (rewind probe)
   std::size_t since_ack_ = 0;
   bool eos_ = false;
   /// seq -> (header, payload copy) awaiting the gap fill.

@@ -1,0 +1,237 @@
+// evedge_trace: offline companion for the obs tracer's Chrome trace
+// exports. Works on the line-oriented JSON write_chrome_trace produces
+// (and ServingRuntime emits via ObsConfig::trace_path).
+//
+//   evedge_trace summarize <trace.json>
+//       Per-(cat, name) table: span counts + total/mean/max duration,
+//       instant counts, final counter values, per-thread event counts.
+//
+//   evedge_trace top <trace.json> [N]
+//       The N spans with the largest individual duration (default 20).
+//
+//   evedge_trace diff <a.json> <b.json>
+//       Per-(cat, name) total-duration and count delta between two
+//       traces of the same workload — the "what got slower" view.
+//
+//   evedge_trace export <in.json> <out.json> [--journal <journal.log>]
+//       Re-emits a normalized trace; with --journal, overlays the fault
+//       journal's entries as instant events on the same timeline (the
+//       journal's t_ms and the trace's ts share obs::trace_epoch(), so
+//       the overlay needs no clock translation).
+//
+// Exit status: 0 on success, 1 on usage / I/O errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_io.hpp"
+#include "serve/journal.hpp"
+
+namespace obs = evedge::obs;
+namespace serve = evedge::serve;
+
+namespace {
+
+struct SpanAgg {
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+  double last_counter = 0.0;
+  bool has_counter = false;
+};
+
+using Key = std::pair<std::string, std::string>;  // (cat, name)
+
+[[nodiscard]] std::map<Key, SpanAgg> aggregate(
+    const std::vector<obs::ParsedEvent>& events) {
+  std::map<Key, SpanAgg> agg;
+  for (const obs::ParsedEvent& e : events) {
+    SpanAgg& a = agg[Key{e.cat, e.name}];
+    switch (e.ph) {
+      case 'X':
+        ++a.spans;
+        a.total_us += e.dur_us;
+        a.max_us = std::max(a.max_us, e.dur_us);
+        break;
+      case 'i':
+        ++a.instants;
+        break;
+      case 'C': {
+        // The exporter writes counters as {"value": N}; recover N for
+        // the "final value" column (best-effort: skip on mismatch).
+        const std::size_t colon = e.args_json.find(':');
+        if (colon != std::string::npos) {
+          a.last_counter =
+              std::strtod(e.args_json.c_str() + colon + 1, nullptr);
+          a.has_counter = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return agg;
+}
+
+int cmd_summarize(const std::string& path) {
+  const std::vector<obs::ParsedEvent> events = obs::read_chrome_trace(path);
+  if (events.empty()) {
+    std::printf("%s: no events\n", path.c_str());
+    return 0;
+  }
+  double t_min = events.front().ts_us, t_max = 0.0;
+  std::map<int, std::size_t> per_thread;
+  for (const obs::ParsedEvent& e : events) {
+    t_min = std::min(t_min, e.ts_us);
+    t_max = std::max(t_max, e.ts_us + e.dur_us);
+    ++per_thread[e.tid];
+  }
+  std::printf("%s: %zu events, %zu threads, span %.3f ms\n", path.c_str(),
+              events.size(), per_thread.size(), (t_max - t_min) / 1e3);
+  std::printf("%-10s %-24s %8s %8s %12s %10s %10s\n", "cat", "name",
+              "spans", "inst", "total_ms", "mean_us", "max_us");
+  for (const auto& [key, a] : aggregate(events)) {
+    if (a.has_counter) {
+      std::printf("%-10s %-24s %8s %8s %12s %10s counter=%.0f\n",
+                  key.first.c_str(), key.second.c_str(), "-", "-", "-", "-",
+                  a.last_counter);
+      continue;
+    }
+    const double mean_us =
+        a.spans > 0 ? a.total_us / static_cast<double>(a.spans) : 0.0;
+    std::printf("%-10s %-24s %8zu %8zu %12.3f %10.2f %10.2f\n",
+                key.first.c_str(), key.second.c_str(), a.spans, a.instants,
+                a.total_us / 1e3, mean_us, a.max_us);
+  }
+  std::printf("threads:");
+  for (const auto& [tid, n] : per_thread) {
+    std::printf(" tid%d=%zu", tid, n);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_top(const std::string& path, int n) {
+  std::vector<obs::ParsedEvent> events = obs::read_chrome_trace(path);
+  std::erase_if(events,
+                [](const obs::ParsedEvent& e) { return e.ph != 'X'; });
+  std::sort(events.begin(), events.end(),
+            [](const obs::ParsedEvent& a, const obs::ParsedEvent& b) {
+              return a.dur_us > b.dur_us;
+            });
+  if (static_cast<int>(events.size()) > n) {
+    events.resize(static_cast<std::size_t>(n));
+  }
+  std::printf("%-10s %-24s %5s %14s %12s\n", "cat", "name", "tid", "ts_ms",
+              "dur_us");
+  for (const obs::ParsedEvent& e : events) {
+    std::printf("%-10s %-24s %5d %14.3f %12.2f\n", e.cat.c_str(),
+                e.name.c_str(), e.tid, e.ts_us / 1e3, e.dur_us);
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const std::map<Key, SpanAgg> a = aggregate(obs::read_chrome_trace(path_a));
+  const std::map<Key, SpanAgg> b = aggregate(obs::read_chrome_trace(path_b));
+  std::map<Key, std::pair<SpanAgg, SpanAgg>> joined;
+  for (const auto& [key, agg] : a) joined[key].first = agg;
+  for (const auto& [key, agg] : b) joined[key].second = agg;
+  std::printf("%-10s %-24s %12s %12s %12s %9s\n", "cat", "name",
+              "a_total_ms", "b_total_ms", "delta_ms", "count");
+  for (const auto& [key, pair] : joined) {
+    const SpanAgg& ja = pair.first;
+    const SpanAgg& jb = pair.second;
+    if (ja.has_counter || jb.has_counter) continue;
+    std::printf("%-10s %-24s %12.3f %12.3f %+12.3f %4zu->%zu\n",
+                key.first.c_str(), key.second.c_str(), ja.total_us / 1e3,
+                jb.total_us / 1e3, (jb.total_us - ja.total_us) / 1e3,
+                ja.spans + ja.instants, jb.spans + jb.instants);
+  }
+  return 0;
+}
+
+int cmd_export(const std::string& in_path, const std::string& out_path,
+               const std::string& journal_path) {
+  std::vector<obs::ParsedEvent> events = obs::read_chrome_trace(in_path);
+  if (!journal_path.empty()) {
+    // Journal t_ms and trace ts share obs::trace_epoch(): the overlay
+    // is a unit conversion, not a clock translation.
+    for (const serve::FaultJournal::Entry& entry :
+         serve::FaultJournal::read(journal_path)) {
+      obs::ParsedEvent e;
+      e.ph = 'i';
+      e.ts_us = entry.t_ms * 1e3;
+      e.tid = 0;
+      e.cat = "journal";
+      e.name = entry.kind;
+      e.args_json =
+          "{\"detail\": \"" + obs::json_escape(entry.detail) + "\"}";
+      events.push_back(std::move(e));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const obs::ParsedEvent& a, const obs::ParsedEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  obs::write_parsed_trace(out, events);
+  std::printf("wrote %s (%zu events%s)\n", out_path.c_str(), events.size(),
+              journal_path.empty() ? "" : ", journal overlaid");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  evedge_trace summarize <trace.json>\n"
+      "  evedge_trace top <trace.json> [N]\n"
+      "  evedge_trace diff <a.json> <b.json>\n"
+      "  evedge_trace export <in.json> <out.json> "
+      "[--journal <journal.log>]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "summarize") {
+      return cmd_summarize(argv[2]);
+    }
+    if (cmd == "top") {
+      const int n = argc > 3 ? std::atoi(argv[3]) : 20;
+      return cmd_top(argv[2], n > 0 ? n : 20);
+    }
+    if (cmd == "diff" && argc >= 4) {
+      return cmd_diff(argv[2], argv[3]);
+    }
+    if (cmd == "export" && argc >= 4) {
+      std::string journal;
+      for (int i = 4; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--journal") journal = argv[i + 1];
+      }
+      return cmd_export(argv[2], argv[3], journal);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "evedge_trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
