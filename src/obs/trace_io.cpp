@@ -1,5 +1,6 @@
 #include "obs/trace_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -194,6 +195,36 @@ std::vector<ParsedEvent> read_chrome_trace(const std::string& path) {
     events.push_back(std::move(e));
   }
   return events;
+}
+
+bool event_arg(const ParsedEvent& e, const std::string& key,
+               std::int64_t* out) {
+  if (e.args_json.empty()) return false;
+  const std::string raw = raw_field(e.args_json, key);
+  if (raw.empty()) return false;
+  try {
+    *out = std::stoll(raw);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<LineageHop> frame_lineage(std::span<const ParsedEvent> events,
+                                      std::int64_t stream, std::int64_t seq) {
+  std::vector<LineageHop> hops;
+  for (const ParsedEvent& e : events) {
+    std::int64_t s = -1;
+    std::int64_t q = -1;
+    if (!event_arg(e, "stream", &s) || !event_arg(e, "seq", &q)) continue;
+    if (s != stream || q != seq) continue;
+    hops.push_back(LineageHop{e.ph, e.ts_us, e.dur_us, e.tid, e.cat, e.name});
+  }
+  std::stable_sort(hops.begin(), hops.end(),
+                   [](const LineageHop& a, const LineageHop& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return hops;
 }
 
 void write_parsed_trace(std::ostream& os,

@@ -12,6 +12,7 @@
 // with thread scope, counters -> "ph":"C". Thread ids are the tracer's
 // ring indices; pid is fixed (single process).
 
+#include <cstdint>
 #include <ostream>
 #include <span>
 #include <string>
@@ -55,5 +56,29 @@ void write_parsed_trace(std::ostream& os,
 
 /// JSON string escaping for names/details embedded in trace documents.
 [[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Extracts an integer arg (`"key":N`) from a parsed event's args
+/// object. Returns false when the key is absent or non-numeric.
+[[nodiscard]] bool event_arg(const ParsedEvent& e, const std::string& key,
+                             std::int64_t* out);
+
+/// One hop of a frame's reconstructed journey: a trace event whose args
+/// carried the frame's (stream, seq) lineage context.
+struct LineageHop {
+  char ph = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  std::string cat;
+  std::string name;
+};
+
+/// Filters a parsed trace down to the events carrying the given
+/// (stream, seq) lineage args, ordered by start time — one frame's
+/// journey through ingress -> queue -> collator -> worker -> capture,
+/// the reconstruction behind `evedge_trace lineage`.
+[[nodiscard]] std::vector<LineageHop> frame_lineage(
+    std::span<const ParsedEvent> events, std::int64_t stream,
+    std::int64_t seq);
 
 }  // namespace evedge::obs

@@ -10,6 +10,7 @@
 // batch lane its own LIF state and per-sample arithmetic, so cross-stream
 // batches are bitwise identical to per-stream serial execution.
 
+#include <cstdint>
 #include <vector>
 
 #include "serve/frame_queue.hpp"
@@ -39,6 +40,10 @@ class BatchCollator {
 
  private:
   CollatorConfig config_;
+  /// Per-frame pop timestamps of the batch being collected (tracing
+  /// only) — scratch for the "collate.wait" lineage spans emitted when
+  /// the batch is ready. One worker drives one collator, so no locking.
+  std::vector<std::uint64_t> pop_ns_;
 };
 
 }  // namespace evedge::serve

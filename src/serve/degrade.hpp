@@ -73,6 +73,16 @@ struct SloConfig {
   double latency_high_ms = 0.0;  ///< 0 = latency trigger off
   double latency_low_ms = 0.0;   ///< recovery bound (0 = high/2)
   std::size_t latency_window = 128;  ///< rolling probe sample window
+  /// SLO burn-rate accounting (active whenever deadline_ms > 0): every
+  /// frame outcome is classified good (completed within the deadline)
+  /// or bad (missed it, shed, or failed) into a per-stream rolling
+  /// window, and the burn rate — bad fraction over the window divided
+  /// by the error budget (1 - burn_good_target) — is exported as the
+  /// `evedge_slo_burn_rate{stream=...}` gauge and surfaced in
+  /// StreamServeStats. 1.0 means the stream consumes its error budget
+  /// exactly; above it, the budget exhausts early.
+  std::size_t burn_window = 256;   ///< rolling good/bad event window
+  double burn_good_target = 0.99;  ///< SLO target in-deadline fraction
 
   /// Highest reachable ladder level under these knobs.
   [[nodiscard]] int max_level() const noexcept {

@@ -105,4 +105,22 @@ std::vector<FaultJournal::Entry> FaultJournal::read(
   return entries;
 }
 
+std::vector<obs::ParsedEvent> journal_overlay(
+    const std::vector<FaultJournal::Entry>& entries) {
+  std::vector<obs::ParsedEvent> events;
+  events.reserve(entries.size());
+  for (const FaultJournal::Entry& entry : entries) {
+    obs::ParsedEvent e;
+    e.ph = 'i';
+    e.ts_us = entry.t_ms * 1e3;
+    e.tid = 0;
+    e.cat = "journal";
+    e.name = entry.kind;
+    e.args_json =
+        "{\"detail\": \"" + obs::json_escape(entry.detail) + "\"}";
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
 }  // namespace evedge::serve

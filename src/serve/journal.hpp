@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_io.hpp"
+
 namespace evedge::serve {
 
 class FaultJournal {
@@ -68,5 +70,14 @@ class FaultJournal {
   std::size_t written_ = 0;
   std::chrono::steady_clock::time_point opened_;
 };
+
+/// Converts journal entries into instant events on the trace timeline —
+/// the `evedge_trace export --journal` overlay. Re-basing is a unit
+/// conversion only (ts_us = t_ms * 1e3): entries and trace events
+/// already share the process-wide obs::trace_epoch() zero. Events come
+/// back in journal order with cat "journal", the entry kind as the
+/// name, and the detail text as an args object.
+[[nodiscard]] std::vector<obs::ParsedEvent> journal_overlay(
+    const std::vector<FaultJournal::Entry>& entries);
 
 }  // namespace evedge::serve

@@ -162,6 +162,12 @@ std::string ServeReport::describe() const {
                   s.latency.percentile_us(0.95) / 1e3,
                   s.mean_frame_density);
     out += line;
+    if (s.slo_good + s.slo_bad > 0) {
+      std::snprintf(line, sizeof(line),
+                    "    slo: %zu good, %zu bad, burn rate %.2f\n",
+                    s.slo_good, s.slo_bad, s.burn_rate);
+      out += line;
+    }
   }
   for (const WorkerServeStats& w : workers) {
     std::snprintf(line, sizeof(line),

@@ -156,6 +156,66 @@ class RollingLatency {
   std::size_t next_ = 0;
 };
 
+/// Rolling good/bad event window behind the per-stream SLO burn rate.
+/// Every frame outcome is one event: good when it completed within the
+/// deadline, bad when it missed it, was shed, or failed. burn_rate() is
+/// the window's bad fraction divided by the error budget
+/// (1 - good_target) — the standard multiplicative burn reading: 1.0
+/// consumes the budget exactly, above it the budget exhausts early.
+/// Not internally synchronized; the runtime updates it under the
+/// result-sink mutex.
+class BurnRateWindow {
+ public:
+  explicit BurnRateWindow(std::size_t capacity = 256,
+                          double good_target = 0.99)
+      : ring_(capacity > 0 ? capacity : 1),
+        budget_(good_target < 1.0 ? 1.0 - good_target : 0.0) {}
+
+  void add(bool good) {
+    if (size_ == ring_.size()) {
+      window_bad_ -= ring_[next_];
+    } else {
+      ++size_;
+    }
+    ring_[next_] = good ? 0 : 1;
+    window_bad_ += ring_[next_];
+    next_ = (next_ + 1) % ring_.size();
+    if (good) {
+      ++total_good_;
+    } else {
+      ++total_bad_;
+    }
+  }
+
+  [[nodiscard]] std::size_t good() const noexcept { return total_good_; }
+  [[nodiscard]] std::size_t bad() const noexcept { return total_bad_; }
+
+  /// Bad fraction over the current window; 0 when empty.
+  [[nodiscard]] double bad_fraction() const noexcept {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(window_bad_) /
+                            static_cast<double>(size_);
+  }
+
+  /// bad_fraction() / (1 - good_target). With a zero error budget any
+  /// bad event reads as infinite burn; that is represented as the bad
+  /// count itself scaled arbitrarily high (1e9) to stay finite.
+  [[nodiscard]] double burn_rate() const noexcept {
+    const double bad = bad_fraction();
+    if (budget_ <= 0.0) return bad > 0.0 ? 1e9 : 0.0;
+    return bad / budget_;
+  }
+
+ private:
+  std::vector<std::uint8_t> ring_;
+  double budget_;
+  std::size_t size_ = 0;
+  std::size_t next_ = 0;
+  std::size_t window_bad_ = 0;
+  std::size_t total_good_ = 0;
+  std::size_t total_bad_ = 0;
+};
+
 /// Per-stream serving statistics.
 struct StreamServeStats {
   int stream_id = -1;
@@ -170,6 +230,15 @@ struct StreamServeStats {
   double mean_frame_density = 0.0;  ///< mean merged-frame spatial density
   double last_ingress_density = 0.0;  ///< DSFA recent_density() at stream end
   LatencyReservoir latency;     ///< enqueue -> inference completion
+
+  // SLO burn-rate accounting (all zero unless SloConfig::deadline_ms >
+  // 0 for the run; see BurnRateWindow). slo_good/slo_bad are run
+  // totals, burn_rate the rolling-window value at end of run —
+  // deliberately NOT part of accounting_ok(): they grade outcomes the
+  // frame ledger already conserves.
+  std::size_t slo_good = 0;  ///< completions within the deadline
+  std::size_t slo_bad = 0;   ///< deadline misses + shed + failed
+  double burn_rate = 0.0;    ///< final rolling-window burn rate
 
   // Wire-ingress packet lanes (all zero for in-process ingress; see the
   // packet-partition contract at the top of this header).

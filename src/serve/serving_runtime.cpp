@@ -14,6 +14,7 @@
 
 #include "core/batch_executor.hpp"
 #include "core/parallel.hpp"
+#include "nn/exec_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_io.hpp"
@@ -123,6 +124,19 @@ ServeReport ServingRuntime::run(
     if (inject) ingresses.back().attach_faults(&injector);
     if (journal.has_value()) ingresses.back().attach_journal(&*journal);
   }
+  if (config_.obs.metrics) {
+    // Per-stream dispatch counters, resolved here where the concrete
+    // ingress type is known; the ingress hot path pays one null check
+    // when metrics are off.
+    obs::LabeledCounter& enq =
+        obs::MetricsRegistry::global().labeled_counter(
+            "evedge_stream_frames_enqueued_total",
+            "Merged frames dispatched by ingress, per stream");
+    for (std::size_t i = 0; i < ingresses.size(); ++i) {
+      ingresses[i].attach_dispatch_counter(
+          &enq.at(obs::LabelSet{{"stream", std::to_string(i)}}));
+    }
+  }
   std::vector<IngressBase*> bases;
   bases.reserve(ingresses.size());
   for (StreamIngress& ingress : ingresses) bases.push_back(&ingress);
@@ -148,6 +162,16 @@ ServeReport ServingRuntime::run_wire(
     ingresses.emplace_back(static_cast<int>(i), config_.ingress,
                            wire_config, queue, acceptors[i]);
     if (journal.has_value()) ingresses.back().attach_journal(&*journal);
+  }
+  if (config_.obs.metrics) {
+    obs::LabeledCounter& enq =
+        obs::MetricsRegistry::global().labeled_counter(
+            "evedge_stream_frames_enqueued_total",
+            "Merged frames dispatched by ingress, per stream");
+    for (std::size_t i = 0; i < ingresses.size(); ++i) {
+      ingresses[i].attach_dispatch_counter(
+          &enq.at(obs::LabelSet{{"stream", std::to_string(i)}}));
+    }
   }
   std::vector<IngressBase*> bases;
   bases.reserve(ingresses.size());
@@ -177,6 +201,14 @@ ServeReport ServingRuntime::serve_ingresses(
   obs::Gauge* g_queue_depth = nullptr;
   obs::Gauge* g_degrade_level = nullptr;
   obs::Gauge* g_queue_dropped = nullptr;
+  // Per-stream labeled series, indexed by stream id. Series creation is
+  // the cold path (family mutex); the sinks below touch these cached
+  // pointers only, so the metrics-off cost stays one null check.
+  std::vector<obs::Counter*> m_s_completed;
+  std::vector<obs::Counter*> m_s_shed;
+  std::vector<obs::Counter*> m_s_failed;
+  std::vector<obs::Histogram*> m_s_latency;
+  std::vector<obs::Gauge*> g_burn;
   if (obs_config.metrics) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
     m_completed = &registry.counter("evedge_frames_completed_total",
@@ -194,8 +226,39 @@ ServeReport ServingRuntime::serve_ingresses(
                                       "Current degradation ladder level");
     g_queue_dropped = &registry.gauge(
         "evedge_queue_dropped", "Frames displaced by drop-oldest so far");
+    obs::LabeledCounter& frames = registry.labeled_counter(
+        "evedge_stream_frames_total",
+        "Frame outcomes by stream and outcome class");
+    obs::LabeledHistogram& latency = registry.labeled_histogram(
+        "evedge_stream_latency_us", obs::Histogram::Options{},
+        "Enqueue-to-completion latency (us), per stream");
+    obs::LabeledGauge& burn_rate = registry.labeled_gauge(
+        "evedge_slo_burn_rate",
+        "Rolling SLO burn rate per stream (1.0 = error budget consumed "
+        "exactly)");
+    for (std::size_t i = 0; i < ingresses.size(); ++i) {
+      const std::string id = std::to_string(i);
+      m_s_completed.push_back(
+          &frames.at({{"stream", id}, {"outcome", "completed"}}));
+      m_s_shed.push_back(&frames.at({{"stream", id}, {"outcome", "shed"}}));
+      m_s_failed.push_back(
+          &frames.at({{"stream", id}, {"outcome", "failed"}}));
+      m_s_latency.push_back(&latency.at({{"stream", id}}));
+      g_burn.push_back(&burn_rate.at({{"stream", id}}));
+    }
   }
   std::atomic<std::int64_t> completed_total{0};
+
+  // Per-stream SLO burn-rate windows (good = completed within the
+  // deadline; bad = missed it, shed, or worker-failed), updated under
+  // the sink mutex. Armed whenever a deadline is configured.
+  const bool slo_burn = config_.slo.deadline_ms > 0.0;
+  std::vector<BurnRateWindow> burn;
+  if (slo_burn) {
+    burn.resize(ingresses.size(),
+                BurnRateWindow(config_.slo.burn_window,
+                               config_.slo.burn_good_target));
+  }
 
   // Completion-side accounting, shared by every worker thread.
   std::mutex sink_mutex;
@@ -212,27 +275,51 @@ ServeReport ServingRuntime::serve_ingresses(
   const ResultSink sink = [&](const ReadyFrame& frame,
                               const DenseTensor& batch_output, int lane,
                               double latency_us) {
+    // Lineage: the "frame.capture" hop covers the result hand-off —
+    // output copy, metric updates, and the locked accounting below.
+    const std::uint64_t cap0 =
+        obs::Tracer::enabled() ? obs::now_ns() : 0;
     // The output copy happens outside the lock (each (stream, seq) key
     // is produced exactly once, so only the shared accounting and the
     // map mutation need the mutex).
     DenseTensor output;
     if (capture) sparse::copy_sample(batch_output, lane, output);
     if (latency_probe.has_value()) latency_probe->add(latency_us);
+    const auto si = static_cast<std::size_t>(frame.stream_id);
     if (m_completed != nullptr) {
       m_completed->add();
       m_latency->observe(latency_us);
+      m_s_completed[si]->add();
+      m_s_latency[si]->observe(latency_us);
     }
     obs::Tracer::counter(
         "serve", "frames.completed",
         completed_total.fetch_add(1, std::memory_order_relaxed) + 1);
-    const std::lock_guard<std::mutex> lock(sink_mutex);
-    StreamServeStats& s =
-        completion[static_cast<std::size_t>(frame.stream_id)];
-    ++s.completed;
-    s.latency.add(latency_us);
-    if (capture) {
-      captured_[capture_key(frame.stream_id, frame.seq)] =
-          std::move(output);
+    double burn_now = -1.0;
+    {
+      const std::lock_guard<std::mutex> lock(sink_mutex);
+      StreamServeStats& s = completion[si];
+      ++s.completed;
+      s.latency.add(latency_us);
+      if (slo_burn) {
+        const bool good = latency_us <= config_.slo.deadline_ms * 1e3;
+        burn[si].add(good);
+        if (good) {
+          ++s.slo_good;
+        } else {
+          ++s.slo_bad;
+        }
+        burn_now = burn[si].burn_rate();
+      }
+      if (capture) {
+        captured_[capture_key(frame.stream_id, frame.seq)] =
+            std::move(output);
+      }
+    }
+    if (burn_now >= 0.0 && !g_burn.empty()) g_burn[si]->set(burn_now);
+    if (cap0 != 0) {
+      obs::Tracer::span("serve", "frame.capture", cap0, obs::now_ns(),
+                        "stream", frame.stream_id, "seq", frame.seq);
     }
   };
   const FailureSink failure = [&](const QuarantinedFrame& q) {
@@ -244,22 +331,37 @@ ServeReport ServingRuntime::serve_ingresses(
                           " action=" +
                           (is_shed_fault(q.fault) ? "shed" : "worker-reject"));
     }
+    const auto si = static_cast<std::size_t>(q.stream_id);
     if (is_shed_fault(q.fault)) {
-      if (m_shed != nullptr) m_shed->add();
+      if (m_shed != nullptr) {
+        m_shed->add();
+        m_s_shed[si]->add();
+      }
     } else {
-      if (m_failed != nullptr) m_failed->add();
+      if (m_failed != nullptr) {
+        m_failed->add();
+        m_s_failed[si]->add();
+      }
       obs::Tracer::instant("serve", "frame.quarantine", "stream",
                            q.stream_id, "seq", q.seq);
     }
-    const std::lock_guard<std::mutex> lock(sink_mutex);
-    StreamServeStats& s =
-        completion[static_cast<std::size_t>(q.stream_id)];
-    if (is_shed_fault(q.fault)) {
-      ++s.shed;
-    } else {
-      ++s.failed;
+    double burn_now = -1.0;
+    {
+      const std::lock_guard<std::mutex> lock(sink_mutex);
+      StreamServeStats& s = completion[si];
+      if (is_shed_fault(q.fault)) {
+        ++s.shed;
+      } else {
+        ++s.failed;
+      }
+      if (slo_burn) {
+        burn[si].add(false);
+        ++s.slo_bad;
+        burn_now = burn[si].burn_rate();
+      }
+      worker_quarantine.push_back(q);
     }
-    worker_quarantine.push_back(q);
+    if (burn_now >= 0.0 && !g_burn.empty()) g_burn[si]->set(burn_now);
   };
 
   ServeWorkerPool pool(prototype_, config_.n_workers, config_.worker);
@@ -420,6 +522,9 @@ ServeReport ServingRuntime::serve_ingresses(
     s.shed = done.shed;
     s.failed += done.failed;  // ingress quarantine + worker quarantine
     s.latency = done.latency;
+    s.slo_good = done.slo_good;
+    s.slo_bad = done.slo_bad;
+    if (i < burn.size()) s.burn_rate = burn[i].burn_rate();
     // Per-stream drops reconcile as the residual once the queue drained:
     // every enqueued frame was served, shed, quarantined, or displaced
     // by drop-oldest. A negative residual is an accounting bug (frames
@@ -457,11 +562,35 @@ ServeReport ServingRuntime::serve_ingresses(
     report_.workers.push_back(pool.worker(i).stats());
   }
   if (config_.worker.profile_layers || config_.worker.trace_nodes) {
+    // Re-export the per-layer means as labeled gauges so per-node
+    // timing reaches Prometheus, not just ServeReport. The family gets
+    // a wider cap than the default: nodes x routes x workers.
+    obs::LabeledGauge* layer_gauge = nullptr;
+    if (obs_config.metrics) {
+      layer_gauge = &obs::MetricsRegistry::global().labeled_gauge(
+          "evedge_layer_ns",
+          "Mean per-node execution wall time (ns) by route and worker",
+          1024);
+    }
     for (std::size_t i = 0; i < pool.size(); ++i) {
       const obs::LayerProfiler* prof = pool.worker(i).profiler();
       if (prof == nullptr) continue;
+      std::vector<obs::NodeRouteProfile> nodes = prof->snapshot();
+      if (layer_gauge != nullptr) {
+        for (const obs::NodeRouteProfile& row : nodes) {
+          const double mean_ns =
+              row.runs == 0 ? 0.0
+                            : static_cast<double>(row.total_ns) /
+                                  static_cast<double>(row.runs);
+          layer_gauge
+              ->at({{"node", row.name},
+                    {"route", nn::to_string(row.route)},
+                    {"worker", std::to_string(i)}})
+              .set(mean_ns);
+        }
+      }
       report_.layer_profiles.push_back(
-          WorkerLayerProfile{static_cast<int>(i), prof->snapshot()});
+          WorkerLayerProfile{static_cast<int>(i), std::move(nodes)});
     }
   }
   if (controller.has_value()) {

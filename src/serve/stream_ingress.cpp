@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace evedge::serve {
@@ -172,6 +173,7 @@ void StreamIngress::run() {
                }
                ++stats_.enqueued;
                ++stats_.failed;
+               if (dispatch_counter_ != nullptr) dispatch_counter_->add();
                ++seq;  // the seq is consumed: downstream keys stay aligned
                return true;
              }
@@ -197,6 +199,7 @@ void StreamIngress::run() {
            // queue drains.
            ++seq;
            ++stats_.enqueued;
+           if (dispatch_counter_ != nullptr) dispatch_counter_->add();
            return true;
          });
 

@@ -37,6 +37,10 @@
 #include "serve/journal.hpp"
 #include "serve/serve_stats.hpp"
 
+namespace evedge::obs {
+class Counter;
+}  // namespace evedge::obs
+
 namespace evedge::serve {
 
 struct IngressConfig {
@@ -105,6 +109,14 @@ class StreamIngress final : public IngressBase {
     journal_ = journal;
   }
 
+  /// Attaches this stream's labeled enqueue counter (nullptr detaches);
+  /// bumped once per dispatched frame, mirroring stats().enqueued. The
+  /// runtime resolves the series up front, so the hot path is one null
+  /// check plus one atomic add. Must outlive the ingress.
+  void attach_dispatch_counter(obs::Counter* counter) noexcept {
+    dispatch_counter_ = counter;
+  }
+
   /// Runs the stream to completion (call on a dedicated thread): E2SF ->
   /// DSFA -> queue. Returns when every dispatched frame was enqueued (or
   /// the queue closed early, or an injected disconnect fired).
@@ -141,6 +153,7 @@ class StreamIngress final : public IngressBase {
   FrameQueue& queue_;
   FaultInjector* faults_ = nullptr;
   FaultJournal* journal_ = nullptr;
+  obs::Counter* dispatch_counter_ = nullptr;
   StreamServeStats stats_;
   std::vector<QuarantinedFrame> quarantined_;
 };

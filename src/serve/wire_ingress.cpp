@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace evedge::serve {
@@ -63,6 +64,7 @@ bool WireStreamIngress::dispatch(sparse::SparseFrame frame) {
       }
       ++stats_.enqueued;
       ++stats_.failed;
+      if (dispatch_counter_ != nullptr) dispatch_counter_->add();
       ++seq_;  // seq consumed: (stream, seq) keys stay aligned
       return true;
     }
@@ -86,6 +88,7 @@ bool WireStreamIngress::dispatch(sparse::SparseFrame frame) {
   }
   ++seq_;
   ++stats_.enqueued;
+  if (dispatch_counter_ != nullptr) dispatch_counter_->add();
   return true;
 }
 

@@ -66,6 +66,13 @@ class WireStreamIngress final : public IngressBase {
     journal_ = journal;
   }
 
+  /// Attaches this stream's labeled enqueue counter (nullptr detaches);
+  /// bumped once per dispatched frame, mirroring stats().enqueued.
+  /// Must outlive the ingress.
+  void attach_dispatch_counter(obs::Counter* counter) noexcept {
+    dispatch_counter_ = counter;
+  }
+
   void run() override;
   void mark_failed(std::string reason) override;
   [[nodiscard]] const StreamServeStats& stats() const noexcept override {
@@ -105,6 +112,7 @@ class WireStreamIngress final : public IngressBase {
   FrameQueue& queue_;
   TransportAcceptor acceptor_;
   FaultJournal* journal_ = nullptr;
+  obs::Counter* dispatch_counter_ = nullptr;
 
   StreamServeStats stats_;
   std::vector<QuarantinedFrame> quarantined_;

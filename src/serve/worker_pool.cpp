@@ -107,6 +107,11 @@ void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
   if (batch.empty()) {
     throw std::invalid_argument("ServeWorker: empty batch");
   }
+  // Lineage anchor: per-frame inference spans start here, before batch
+  // prep (tensor adaptation, planner recalibration, precision rung) —
+  // all of it is work the frame waits on.
+  const std::uint64_t entry_ns =
+      obs::Tracer::enabled() ? obs::now_ns() : 0;
   emit_progress_ = 0;
   const nn::NetworkSpec& spec = net_.spec();
   frames_.clear();
@@ -145,6 +150,18 @@ void ServeWorker::process_batch(const std::vector<ReadyFrame>& batch,
   ++stats_.batches;
   stats_.samples += batch.size();
   if (quant_installed_) ++stats_.int8_batches;
+
+  // One "frame.inference" lineage span per lane (batch-entry -> t1,
+  // with (stream, seq) args) alongside the batch-level span above: the
+  // per-frame view sums with queue.wait/collate.wait to the frame's
+  // measured enqueue -> completion latency.
+  if (entry_ns != 0) {
+    for (const ReadyFrame& ready : batch) {
+      obs::Tracer::span("worker", "frame.inference", entry_ns,
+                        obs::to_trace_ns(t1), "stream", ready.stream_id,
+                        "seq", ready.seq);
+    }
+  }
 
   for (std::size_t n = 0; n < batch.size(); ++n) {
     const double latency_us =

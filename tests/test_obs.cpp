@@ -311,6 +311,200 @@ TEST(Metrics, PrometheusTextRoundTrips) {
   EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
 }
 
+// ------------------------------------------------------- labeled metrics
+
+TEST(LabeledMetrics, LabelSetCanonicalizesAndInternsStably) {
+  // Construction order does not matter: sets sort by key, equal sets
+  // intern to the same stable id.
+  const eo::LabelSet a{{"stream", "3"}, {"route", "csr"}};
+  const eo::LabelSet b{{"route", "csr"}, {"stream", "3"}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(a.prometheus(), "{route=\"csr\",stream=\"3\"}");
+  EXPECT_EQ(eo::intern_labels(a), eo::intern_labels(b));
+
+  const eo::LabelSet c{{"route", "dense"}, {"stream", "3"}};
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_NE(eo::intern_labels(a), eo::intern_labels(c));
+
+  // Duplicated key: the first value wins, deterministically.
+  const eo::LabelSet dup{{"k", "first"}, {"k", "second"}};
+  ASSERT_EQ(dup.pairs().size(), 1u);
+  EXPECT_EQ(dup.pairs().front().second, "first");
+
+  EXPECT_TRUE(eo::LabelSet{}.empty());
+  EXPECT_EQ(eo::LabelSet{}.prometheus(), "");
+  // The histogram `le` label is appended inside the braces.
+  EXPECT_EQ(a.prometheus({{"le", "10"}}),
+            "{route=\"csr\",stream=\"3\",le=\"10\"}");
+}
+
+TEST(LabeledMetrics, PrometheusAndJsonRoundTripLabeledSeries) {
+  eo::MetricsRegistry registry;
+  eo::LabeledCounter& frames =
+      registry.labeled_counter("frames_total", "frames by stream");
+  frames.at({{"stream", "0"}, {"outcome", "completed"}}).add(7);
+  frames.at({{"stream", "1"}, {"outcome", "completed"}}).add(2);
+  frames.at({{"stream", "1"}, {"outcome", "shed"}}).add();
+  eo::LabeledGauge& burn = registry.labeled_gauge("burn_rate");
+  burn.at({{"stream", "0"}}).set(1.25);
+  eo::Histogram::Options options;
+  options.min = 10.0;
+  options.growth = 2.0;
+  options.buckets = 4;
+  eo::LabeledHistogram& lat =
+      registry.labeled_histogram("lat_us", options, "latency by stream");
+  lat.at({{"stream", "0"}}).observe(5.0);
+  lat.at({{"stream", "0"}}).observe(15.0);
+
+  // Re-registration returns the same family; kind clashes throw (both
+  // labeled-vs-labeled and labeled-vs-plain).
+  EXPECT_EQ(&registry.labeled_counter("frames_total"), &frames);
+  EXPECT_THROW((void)registry.labeled_gauge("frames_total"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("frames_total"),
+               std::invalid_argument);
+
+  std::map<std::string, double> samples;
+  const std::string text = registry.prometheus_text();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+
+  EXPECT_DOUBLE_EQ(
+      samples.at("frames_total{outcome=\"completed\",stream=\"0\"}"), 7.0);
+  EXPECT_DOUBLE_EQ(
+      samples.at("frames_total{outcome=\"completed\",stream=\"1\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(samples.at("frames_total{outcome=\"shed\",stream=\"1\"}"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(samples.at("burn_rate{stream=\"0\"}"), 1.25);
+  // Labeled histogram: full conformance — cumulative buckets with `le`
+  // appended to the series labels, plus per-series _sum/_count.
+  EXPECT_DOUBLE_EQ(samples.at("lat_us_bucket{stream=\"0\",le=\"10\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(samples.at("lat_us_bucket{stream=\"0\",le=\"+Inf\"}"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(samples.at("lat_us_sum{stream=\"0\"}"), 20.0);
+  EXPECT_DOUBLE_EQ(samples.at("lat_us_count{stream=\"0\"}"), 2.0);
+  // No overflow yet: the dropped-series lane stays out of the scrape.
+  EXPECT_EQ(text.find("frames_total_dropped_series"), std::string::npos);
+  EXPECT_NE(text.find("# HELP frames_total frames by stream"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos);
+
+  const std::string json = registry.json_text();
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_series\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\": \"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"stream\": \"1\""), std::string::npos);
+}
+
+TEST(LabeledMetrics, ExpositionEscapesLabelValuesAndHelp) {
+  EXPECT_EQ(eo::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(eo::prometheus_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(eo::prometheus_escape_help("say \"hi\"\nback\\slash"),
+            "say \"hi\"\\nback\\\\slash");
+
+  eo::MetricsRegistry registry;
+  registry.counter("plain_total", "line one\nline two");
+  registry.labeled_counter("hostile_total")
+      .at({{"path", "C:\\tmp\n\"x\""}})
+      .add();
+  const std::string text = registry.prometheus_text();
+  // HELP newline escaped -> the exposition stays one line per sample.
+  EXPECT_NE(text.find("# HELP plain_total line one\\nline two"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("hostile_total{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1"),
+      std::string::npos);
+}
+
+TEST(LabeledMetrics, CardinalityCapNeverDropsAccounting) {
+  constexpr std::size_t kCap = 4;
+  constexpr int kDistinct = 10;
+  eo::MetricsRegistry registry;
+  eo::LabeledCounter& family =
+      registry.labeled_counter("capped_total", "", kCap);
+
+  std::uint64_t expected = 0;
+  for (int i = 0; i < kDistinct; ++i) {
+    const auto n = static_cast<std::uint64_t>(i + 1);
+    family.at({{"stream", std::to_string(i)}}).add(n);
+    expected += n;
+  }
+  // Exactly kCap live series; every over-cap request routed (and
+  // counted) to the overflow series, so nothing vanished.
+  EXPECT_EQ(family.series_count(), kCap);
+  EXPECT_EQ(family.dropped(),
+            static_cast<std::uint64_t>(kDistinct - kCap));
+  std::uint64_t total = 0;
+  bool saw_overflow = false;
+  for (const auto* s : family.series()) {
+    total += s->metric->value();
+    if (!s->labels.pairs().empty() &&
+        s->labels.pairs().front().first == "overflow") {
+      saw_overflow = true;
+    }
+  }
+  EXPECT_EQ(total, expected);
+  EXPECT_TRUE(saw_overflow);
+
+  // Existing series stay addressable at the cap; only new label sets
+  // route to overflow.
+  family.at({{"stream", "0"}}).add();
+  EXPECT_EQ(family.dropped(),
+            static_cast<std::uint64_t>(kDistinct - kCap));
+
+  // The scrape surfaces the loss: a dropped-series counter appears
+  // once overflow happened, alongside the overflow series itself.
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("capped_total_dropped_series 6"), std::string::npos);
+  EXPECT_NE(text.find("capped_total{overflow=\"true\"}"),
+            std::string::npos);
+}
+
+TEST(LabeledMetrics, ConcurrentFirstTouchIsExact) {
+  // Many threads race to first-touch the same 16 label sets (the TSan
+  // CI job runs this): every add must land, exactly 16 series exist,
+  // and equal label sets resolve to the same series object.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  constexpr int kSets = 16;
+  eo::MetricsRegistry registry;
+  eo::LabeledCounter& family = registry.labeled_counter("race_total");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&family, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int set = (t + i) % kSets;
+        family.at({{"stream", std::to_string(set)}}).add();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(family.series_count(), static_cast<std::size_t>(kSets));
+  EXPECT_EQ(family.dropped(), 0u);
+  std::uint64_t total = 0;
+  for (const auto* s : family.series()) total += s->metric->value();
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int set = 0; set < kSets; ++set) {
+    const eo::LabelSet labels{{"stream", std::to_string(set)}};
+    EXPECT_EQ(&family.at(labels), &family.at(labels));
+    EXPECT_EQ(family.at(labels).value(),
+              static_cast<std::uint64_t>(kThreads) * kIters / kSets);
+  }
+}
+
 TEST(Metrics, SnapshotterWritesAtomicSnapshots) {
   eo::MetricsRegistry registry;
   eo::Counter& ticks = registry.counter("ticks_total");
@@ -462,6 +656,48 @@ TEST(Journal, SharesTheTraceEpoch) {
   std::remove(path.c_str());
 }
 
+TEST(Journal, OverlayRebasesOntoTraceTimeline) {
+  // The `evedge_trace export --journal` overlay: t_ms becomes ts_us by
+  // unit conversion alone (the epoch is already shared), entries become
+  // instant events, and the free-form detail is JSON-escaped.
+  std::vector<ev::FaultJournal::Entry> entries;
+  entries.push_back({12.5, "quarantine", "stream=0 seq=3"});
+  entries.push_back({99.125, "degrade", "level=2 \"why\"=watermark"});
+
+  const std::vector<eo::ParsedEvent> overlay = ev::journal_overlay(entries);
+  ASSERT_EQ(overlay.size(), 2u);
+  EXPECT_EQ(overlay[0].ph, 'i');
+  EXPECT_DOUBLE_EQ(overlay[0].ts_us, 12'500.0);
+  EXPECT_EQ(overlay[0].cat, "journal");
+  EXPECT_EQ(overlay[0].name, "quarantine");
+  EXPECT_EQ(overlay[0].args_json, "{\"detail\": \"stream=0 seq=3\"}");
+  EXPECT_DOUBLE_EQ(overlay[1].ts_us, 99'125.0);
+  // Quotes in the detail survive as valid JSON.
+  EXPECT_NE(overlay[1].args_json.find("\\\"why\\\""), std::string::npos);
+}
+
+TEST(Journal, OverlayToleratesTornTail) {
+  // A crash mid-append leaves a torn final line; the reader must keep
+  // every complete entry and the overlay must carry exactly those.
+  const std::string path = temp_path("journal_torn");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("10.000\trun\tphase=start\n", f);
+    std::fputs("20.500\tinject\tstream=1 seq=4 action=stall\n", f);
+    std::fputs("31.2\tquaran", f);  // torn: no tab2, no newline
+    std::fclose(f);
+  }
+  const auto entries = ev::FaultJournal::read(path);
+  ASSERT_EQ(entries.size(), 2u);
+  const std::vector<eo::ParsedEvent> overlay = ev::journal_overlay(entries);
+  ASSERT_EQ(overlay.size(), 2u);
+  EXPECT_DOUBLE_EQ(overlay[0].ts_us, 10'000.0);
+  EXPECT_DOUBLE_EQ(overlay[1].ts_us, 20'500.0);
+  EXPECT_EQ(overlay[1].name, "inject");
+  std::remove(path.c_str());
+}
+
 // -------------------------------------------------- end-to-end serving
 
 TEST(ServeObservability, TracedRunExportsTimelineAndMetrics) {
@@ -534,7 +770,166 @@ TEST(ServeObservability, TracedRunExportsTimelineAndMetrics) {
     for (const eo::NodeRouteProfile& row : wp.nodes) profiled_runs += row.runs;
   }
   EXPECT_GT(profiled_runs, 0u);
+
+  // Per-stream labeled series advanced alongside the report, and the
+  // per-worker layer means were exported as evedge_layer_ns series with
+  // node/route/worker labels.
+  eo::MetricsRegistry& global = eo::MetricsRegistry::global();
+  eo::LabeledCounter& stream_frames =
+      global.labeled_counter("evedge_stream_frames_total");
+  std::uint64_t labeled_completed = 0;
+  for (std::size_t s = 0; s < report.streams.size(); ++s) {
+    labeled_completed += stream_frames
+                             .at({{"stream", std::to_string(s)},
+                                  {"outcome", "completed"}})
+                             .value();
+  }
+  EXPECT_GE(labeled_completed, report.frames_completed);
+  EXPECT_GT(global.labeled_gauge("evedge_layer_ns").series_count(), 0u);
+  const std::string prom = global.prometheus_text();
+  const std::size_t layer_pos = prom.find("evedge_layer_ns{");
+  ASSERT_NE(layer_pos, std::string::npos);
+  const std::string layer_line =
+      prom.substr(layer_pos, prom.find('\n', layer_pos) - layer_pos);
+  EXPECT_NE(layer_line.find("node="), std::string::npos);
+  EXPECT_NE(layer_line.find("route="), std::string::npos);
+  EXPECT_NE(layer_line.find("worker="), std::string::npos);
   std::remove(trace_path.c_str());
+}
+
+TEST(ServeObservability, FrameLineageReconstructsJourney) {
+  // One frame's journey must be reconstructable from its (stream, seq)
+  // lineage args alone, and the hop durations must tile the measured
+  // enqueue -> inference-complete latency: queue.wait + collate.wait +
+  // frame.inference covers the wall up to the (untraced) batch handoff,
+  // so the sum lands within one latency-histogram bucket of the wall.
+  const en::NetworkSpec spec = en::build_network(
+      en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+
+  const std::string trace_path = temp_path("lineage_trace") + ".json";
+  ev::ServeConfig config;
+  config.n_workers = 2;
+  config.queue_capacity = 32;
+  config.overflow = ev::OverflowPolicy::kBlock;
+  config.obs.trace = true;
+  config.obs.trace_path = trace_path;
+  config.obs.trace_ring_capacity = 1u << 16;
+  ev::ServingRuntime runtime(spec, 7, config);
+
+  std::vector<ee::EventStream> streams;
+  streams.push_back(matched_stream(shape.h, shape.w, 150'000, 51));
+  streams.push_back(matched_stream(shape.h, shape.w, 150'000, 52));
+  const ev::ServeReport report = runtime.run(streams);
+  ASSERT_TRUE(report.accounting_ok());
+  ASSERT_GT(report.frames_completed, 0u);
+
+  const std::vector<eo::ParsedEvent> events =
+      eo::read_chrome_trace(trace_path);
+  ASSERT_FALSE(events.empty());
+
+  std::size_t checked = 0;
+  for (std::int64_t stream = 0; stream < 2; ++stream) {
+    const std::vector<eo::LineageHop> hops =
+        eo::frame_lineage(events, stream, 0);
+    ASSERT_FALSE(hops.empty()) << "stream " << stream;
+    const auto find = [&](const char* cat,
+                          const char* name) -> const eo::LineageHop* {
+      for (const eo::LineageHop& h : hops) {
+        if (h.cat == cat && h.name == name) return &h;
+      }
+      return nullptr;
+    };
+    const eo::LineageHop* dispatch = find("ingress", "frame.dispatch");
+    const eo::LineageHop* queue_wait = find("queue", "queue.wait");
+    const eo::LineageHop* collate = find("queue", "collate.wait");
+    const eo::LineageHop* inference = find("worker", "frame.inference");
+    const eo::LineageHop* capture = find("serve", "frame.capture");
+    ASSERT_NE(dispatch, nullptr);
+    ASSERT_NE(queue_wait, nullptr);
+    ASSERT_NE(collate, nullptr);
+    ASSERT_NE(inference, nullptr);
+    ASSERT_NE(capture, nullptr);
+    EXPECT_EQ(dispatch->ph, 'i');
+
+    // Hops are ordered and contiguous on one timeline: dispatch <=
+    // enqueue, pop continues where the queue wait ended, inference ends
+    // past the collate window, capture follows inference.
+    EXPECT_LE(dispatch->ts_us, queue_wait->ts_us + 1e-3);
+    EXPECT_GE(collate->ts_us + 1e-3, queue_wait->ts_us + queue_wait->dur_us);
+    EXPECT_GE(inference->ts_us + inference->dur_us,
+              collate->ts_us + collate->dur_us);
+    EXPECT_GE(capture->ts_us + 1e-3, inference->ts_us);
+
+    // The tiling contract, in latency-histogram bucket units (the same
+    // default options evedge_stream_latency_us uses).
+    const double hop_sum_us =
+        queue_wait->dur_us + collate->dur_us + inference->dur_us;
+    const double wall_us =
+        inference->ts_us + inference->dur_us - queue_wait->ts_us;
+    EXPECT_LE(hop_sum_us, wall_us + 1e-3);
+    const eo::Histogram h{eo::Histogram::Options{}};
+    EXPECT_LE(std::abs(h.bucket_index(wall_us) - h.bucket_index(hop_sum_us)),
+              1);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 2u);
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServeObservability, BurnRateAccountsSloExtremes) {
+  const en::NetworkSpec spec = en::build_network(
+      en::NetworkId::kDotie, en::ZooConfig::test_scale());
+  const auto shape =
+      spec.graph.node(spec.graph.input_ids().front()).spec.out_shape;
+  std::vector<ee::EventStream> streams;
+  streams.push_back(matched_stream(shape.h, shape.w, 150'000, 61));
+
+  ev::ServeConfig config;
+  config.n_workers = 1;
+  config.queue_capacity = 64;
+  config.overflow = ev::OverflowPolicy::kBlock;
+  config.obs.metrics = true;
+
+  // A deadline nothing can miss: every completion is in-SLO, the error
+  // budget is untouched, the burn gauge reads zero.
+  config.slo.deadline_ms = 60'000.0;
+  {
+    ev::ServingRuntime runtime(spec, 7, config);
+    const ev::ServeReport report = runtime.run(streams);
+    ASSERT_TRUE(report.accounting_ok());
+    ASSERT_GT(report.frames_completed, 0u);
+    const ev::StreamServeStats& s = report.streams.front();
+    EXPECT_EQ(s.slo_good, report.frames_completed);
+    EXPECT_EQ(s.slo_bad, 0u);
+    EXPECT_DOUBLE_EQ(s.burn_rate, 0.0);
+    EXPECT_NE(report.describe().find("burn rate 0.00"), std::string::npos);
+  }
+
+  // A deadline nothing can meet: every frame is shed, the whole window
+  // is bad, and burn = bad_fraction / (1 - burn_good_target) saturates
+  // at 1/0.01 = 100x the error budget.
+  config.slo.deadline_ms = 0.0001;
+  {
+    ev::ServingRuntime runtime(spec, 7, config);
+    const ev::ServeReport report = runtime.run(streams);
+    ASSERT_TRUE(report.accounting_ok());
+    const ev::StreamServeStats& s = report.streams.front();
+    ASSERT_GT(s.slo_bad, 0u);
+    EXPECT_GT(s.burn_rate, 1.0);  // burning through the budget
+    if (s.slo_good == 0) {
+      EXPECT_DOUBLE_EQ(s.burn_rate,
+                       1.0 / (1.0 - config.slo.burn_good_target));
+    }
+    // The labeled gauge carries the same final rolling value the report
+    // hands back.
+    const double gauge = eo::MetricsRegistry::global()
+                             .labeled_gauge("evedge_slo_burn_rate")
+                             .at({{"stream", "0"}})
+                             .value();
+    EXPECT_DOUBLE_EQ(gauge, s.burn_rate);
+  }
 }
 
 TEST(ServeObservability, WireServingTracesAndCountsSessionHealth) {

@@ -19,6 +19,14 @@
 //       journal's t_ms and the trace's ts share obs::trace_epoch(), so
 //       the overlay needs no clock translation).
 //
+//   evedge_trace lineage <trace.json> <stream> <seq>
+//       Reconstructs one frame's journey through the pipeline from its
+//       lineage events (every hop carries "stream"/"seq" args): the hop
+//       table in time order, then the per-stage latency breakdown
+//       (queue wait, collate wait, inference, capture) and the
+//       dispatch-to-inference-end wall time. Exit 1 when the trace has
+//       no events for that (stream, seq).
+//
 // Exit status: 0 on success, 1 on usage / I/O errors.
 
 #include <algorithm>
@@ -26,6 +34,7 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <utility>
@@ -164,20 +173,10 @@ int cmd_export(const std::string& in_path, const std::string& out_path,
                const std::string& journal_path) {
   std::vector<obs::ParsedEvent> events = obs::read_chrome_trace(in_path);
   if (!journal_path.empty()) {
-    // Journal t_ms and trace ts share obs::trace_epoch(): the overlay
-    // is a unit conversion, not a clock translation.
-    for (const serve::FaultJournal::Entry& entry :
-         serve::FaultJournal::read(journal_path)) {
-      obs::ParsedEvent e;
-      e.ph = 'i';
-      e.ts_us = entry.t_ms * 1e3;
-      e.tid = 0;
-      e.cat = "journal";
-      e.name = entry.kind;
-      e.args_json =
-          "{\"detail\": \"" + obs::json_escape(entry.detail) + "\"}";
-      events.push_back(std::move(e));
-    }
+    std::vector<obs::ParsedEvent> overlay =
+        serve::journal_overlay(serve::FaultJournal::read(journal_path));
+    events.insert(events.end(), std::make_move_iterator(overlay.begin()),
+                  std::make_move_iterator(overlay.end()));
   }
   std::sort(events.begin(), events.end(),
             [](const obs::ParsedEvent& a, const obs::ParsedEvent& b) {
@@ -194,6 +193,60 @@ int cmd_export(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
+int cmd_lineage(const std::string& path, std::int64_t stream,
+                std::int64_t seq) {
+  const std::vector<obs::ParsedEvent> events = obs::read_chrome_trace(path);
+  const std::vector<obs::LineageHop> hops =
+      obs::frame_lineage(events, stream, seq);
+  if (hops.empty()) {
+    std::fprintf(stderr, "no lineage events for stream=%lld seq=%lld\n",
+                 static_cast<long long>(stream),
+                 static_cast<long long>(seq));
+    return 1;
+  }
+  std::printf("frame stream=%lld seq=%lld: %zu hops\n",
+              static_cast<long long>(stream), static_cast<long long>(seq),
+              hops.size());
+  std::printf("%-10s %-24s %3s %5s %14s %12s\n", "cat", "name", "ph",
+              "tid", "ts_ms", "dur_us");
+  for (const obs::LineageHop& h : hops) {
+    std::printf("%-10s %-24s %3c %5d %14.3f %12.2f\n", h.cat.c_str(),
+                h.name.c_str(), h.ph, h.tid, h.ts_us / 1e3, h.dur_us);
+  }
+  // Per-stage breakdown: each lineage stage appears at most once per
+  // frame, so the first matching hop is the frame's hop.
+  const auto stage = [&](const char* cat,
+                         const char* name) -> const obs::LineageHop* {
+    for (const obs::LineageHop& h : hops) {
+      if (h.cat == cat && h.name == name) return &h;
+    }
+    return nullptr;
+  };
+  const obs::LineageHop* queue_wait = stage("queue", "queue.wait");
+  const obs::LineageHop* collate = stage("queue", "collate.wait");
+  const obs::LineageHop* inference = stage("worker", "frame.inference");
+  const obs::LineageHop* capture = stage("serve", "frame.capture");
+  std::printf("breakdown:\n");
+  const auto row = [](const char* label, const obs::LineageHop* h) {
+    if (h != nullptr) {
+      std::printf("  %-14s %12.2f us\n", label, h->dur_us);
+    } else {
+      std::printf("  %-14s %12s\n", label, "-");
+    }
+  };
+  row("queue wait", queue_wait);
+  row("collate wait", collate);
+  row("inference", inference);
+  row("capture", capture);
+  if (queue_wait != nullptr && inference != nullptr) {
+    // Same-clock end-to-end measure: enqueue (queue.wait start) to
+    // inference completion — the latency the runtime reports.
+    std::printf("  %-14s %12.2f us\n", "wall",
+                inference->ts_us + inference->dur_us - queue_wait->ts_us);
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -202,7 +255,8 @@ int usage() {
       "  evedge_trace top <trace.json> [N]\n"
       "  evedge_trace diff <a.json> <b.json>\n"
       "  evedge_trace export <in.json> <out.json> "
-      "[--journal <journal.log>]\n");
+      "[--journal <journal.log>]\n"
+      "  evedge_trace lineage <trace.json> <stream> <seq>\n");
   return 1;
 }
 
@@ -228,6 +282,9 @@ int main(int argc, char** argv) {
         if (std::string(argv[i]) == "--journal") journal = argv[i + 1];
       }
       return cmd_export(argv[2], argv[3], journal);
+    }
+    if (cmd == "lineage" && argc >= 5) {
+      return cmd_lineage(argv[2], std::atoll(argv[3]), std::atoll(argv[4]));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "evedge_trace: %s\n", e.what());
